@@ -1,0 +1,36 @@
+// A1 — Instruction-signature construction ablation (paper Section III-B2):
+// per-stage slots vs the flat fetched-but-not-retired list. The per-stage
+// variant also sees *pipeline phase* (same instructions, different
+// stages), so its instruction-match count can only be <= the flat one.
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+using namespace safedm;
+using namespace safedm::bench;
+
+int main() {
+  std::printf("IS mode ablation: per-stage (NOEL-V group advance) vs flat in-flight list\n");
+  std::printf("%-16s %14s %14s %14s %14s\n", "benchmark", "IS-match/stage", "IS-match/flat",
+              "nodiv/stage", "nodiv/flat");
+  bool shape_ok = true;
+  for (const char* name : {"bitcount", "cubic", "quicksort", "fft", "pm", "iir"}) {
+    const assembler::Program program = workloads::build(name, 1);
+    RunSpec per_stage;
+    per_stage.dm.is_mode = monitor::IsMode::kPerStage;
+    RunSpec flat;
+    flat.dm.is_mode = monitor::IsMode::kFlatList;
+    const RunOutcome a = run_redundant(program, per_stage);
+    const RunOutcome b = run_redundant(program, flat);
+    std::printf("%-16s %14llu %14llu %14llu %14llu\n", name,
+                static_cast<unsigned long long>(a.is_match),
+                static_cast<unsigned long long>(b.is_match),
+                static_cast<unsigned long long>(a.nodiv),
+                static_cast<unsigned long long>(b.nodiv));
+    if (a.is_match > b.is_match) shape_ok = false;
+    std::fflush(stdout);
+  }
+  std::printf("\nShape check: per-stage IS matches <= flat IS matches on every row: %s\n",
+              shape_ok ? "OK" : "MISMATCH");
+  return shape_ok ? 0 : 1;
+}

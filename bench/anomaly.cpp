@@ -1,0 +1,52 @@
+// E2 — The `pm` timing anomaly (paper Section V-C): with some initial
+// staggerings, the delayed core's store misses pile up in its store buffer
+// while the bus is busy, coalesce per cache line, and drain in fewer
+// transactions — the delayed program runs *faster* and the cores can
+// re-synchronize (zero staggering) while still being diverse (distinct
+// addresses, different pipeline phases).
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+using namespace safedm;
+using namespace safedm::bench;
+
+int main() {
+  const assembler::Program pm = workloads::build("pm", 1);
+
+  std::printf("pm timing anomaly: staggering sweep (store-buffer coalescing ON)\n");
+  std::printf("%-12s %12s %12s %12s %12s\n", "nops", "cycles", "zero-stag", "no-div",
+              "nodiv/monitored");
+  // Note on scale: the paper's runs are >56M instructions, ours ~25k, so
+  // the staggering at which the delayed core manages to catch back up
+  // shrinks proportionally (paper: 1,000 nops; here: ~20).
+  for (unsigned nops : {0u, 10u, 20u, 30u, 50u, 100u, 1000u, 10000u}) {
+    RunSpec spec;
+    spec.stagger_nops = nops;
+    const RunOutcome out = max_over_runs(pm, spec);
+    std::printf("%-12u %12llu %12llu %12llu %11.6f%%\n", nops,
+                static_cast<unsigned long long>(out.cycles),
+                static_cast<unsigned long long>(out.zero_stag),
+                static_cast<unsigned long long>(out.nodiv),
+                out.monitored_cycles
+                    ? 100.0 * static_cast<double>(out.nodiv) / out.monitored_cycles
+                    : 0.0);
+  }
+
+  std::printf("\nMechanism ablation: coalescing OFF removes the anomaly's cause\n");
+  std::printf("%-12s %14s %14s\n", "nops", "coalesce=on", "coalesce=off");
+  for (unsigned nops : {0u, 1000u}) {
+    RunSpec on;
+    on.stagger_nops = nops;
+    RunSpec off = on;
+    off.soc.core.store_buffer.coalesce = false;
+    const RunOutcome out_on = run_redundant(pm, on);
+    const RunOutcome out_off = run_redundant(pm, off);
+    std::printf("%-12u %14llu %14llu   (cycles)\n", nops,
+                static_cast<unsigned long long>(out_on.cycles),
+                static_cast<unsigned long long>(out_off.cycles));
+  }
+  std::printf("\nShape check: zero-stag can be nonzero at some staggered starts while\n"
+              "no-div stays ~0 — diversity despite null staggering (the paper's pm row).\n");
+  return 0;
+}

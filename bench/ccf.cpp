@@ -1,0 +1,53 @@
+// E6 — Fault-injection validation of the CCF premise (paper Sections I-III):
+// an identical double fault (same register bit flipped in both cores, same
+// cycle) at a *no-diversity* cycle tends to produce identical wrong
+// results — an undetectable Common Cause Failure — while at a *diverse*
+// cycle the same double fault produces differing errors that output
+// comparison catches. The residual CCF rate at diverse cycles measures the
+// probability that the targeted register happened to hold equal values
+// anyway; the gap between the two classes is what SafeDM's verdict buys.
+#include <cstdio>
+
+#include "safedm/faultsim/faultsim.hpp"
+#include "safedm/workloads/workloads.hpp"
+
+using namespace safedm;
+using namespace safedm::faultsim;
+
+int main() {
+  std::printf("CCF fault-injection campaign: identical double faults, classified by\n"
+              "SafeDM's verdict at the injection cycle\n\n");
+  std::printf("%-14s | %-9s %8s %8s %8s %8s %8s | %8s\n", "benchmark", "class", "masked",
+              "detected", "CCF", "crashed", "hung", "CCF rate");
+
+  u64 nodiv_detected = 0;
+  u64 diverse_detected = 0;
+  for (const char* name : {"bitcount", "cubic", "md5", "quicksort"}) {
+    const assembler::Program program = workloads::build(name, 1);
+    CampaignConfig config;
+    const CampaignResult result = run_campaign(program, config);
+    for (int cls = 1; cls >= 0; --cls) {
+      const auto& row = result.counts[cls];
+      std::printf("%-14s | %-9s %8llu %8llu %8llu %8llu %8llu | %7.1f%%\n",
+                  cls == 1 ? name : "", cls == 1 ? "no-div" : "diverse",
+                  static_cast<unsigned long long>(row[0]),
+                  static_cast<unsigned long long>(row[1]),
+                  static_cast<unsigned long long>(row[2]),
+                  static_cast<unsigned long long>(row[3]),
+                  static_cast<unsigned long long>(row[4]),
+                  100.0 * result.ccf_rate(cls == 1));
+    }
+    nodiv_detected += result.counts[1][static_cast<int>(Outcome::kDetected)];
+    diverse_detected += result.counts[0][static_cast<int>(Outcome::kDetected)];
+    std::fflush(stdout);
+  }
+
+  std::printf("\nShape check: at no-diversity cycles an identical double fault can NEVER be\n"
+              "detected by output comparison (identical state -> identical errors):\n"
+              "  detected@no-div = %llu (must be 0), detected@diverse = %llu (> 0)\n",
+              static_cast<unsigned long long>(nodiv_detected),
+              static_cast<unsigned long long>(diverse_detected));
+  std::printf("Lacking diversity is exactly the window in which redundancy stops "
+              "protecting — what SafeDM makes observable.\n");
+  return nodiv_detected == 0 ? 0 : 1;
+}

@@ -1,0 +1,51 @@
+// E8 — Diversity magnitude (extension): the paper's comparator answers
+// equal / not-equal; the same taps also support *quantifying* diversity as
+// the Hamming distance between the two cores' signatures. The margin
+// matters for a safety argument: a pair hovering a few bits from equality
+// is closer to a CCF window than one hundreds of bits apart.
+#include <cstdio>
+
+#include "safedm/safedm/monitor.hpp"
+#include "safedm/soc/soc.hpp"
+#include "safedm/workloads/workloads.hpp"
+
+using namespace safedm;
+
+namespace {
+
+monitor::SafeDmCounters measure(const char* name, unsigned stagger) {
+  soc::MpSoc soc{soc::SocConfig{}};
+  monitor::SafeDmConfig config;
+  config.start_enabled = true;
+  config.track_distance = true;
+  monitor::SafeDm dm(config);
+  soc.add_observer(&dm);
+  soc.load_redundant(workloads::build(name, 1), stagger, 1);
+  dm.set_prelude_ignore(0, soc.prelude_commits(0));
+  dm.set_prelude_ignore(1, soc.prelude_commits(1));
+  soc.run(50'000'000);
+  dm.finalize();
+  return dm.counters();
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Diversity magnitude: per-cycle signature Hamming distance (bits)\n\n");
+  std::printf("%-14s %8s | %10s %10s %10s | %10s\n", "benchmark", "stagger", "min", "mean",
+              "max", "no-div");
+  for (const char* name : {"bitcount", "cubic", "quicksort", "md5", "fft", "st"}) {
+    for (unsigned stagger : {0u, 1000u}) {
+      const auto c = measure(name, stagger);
+      std::printf("%-14s %8u | %10llu %10.1f %10llu | %10llu\n", name, stagger,
+                  static_cast<unsigned long long>(
+                      c.distance_min == ~u64{0} ? 0 : c.distance_min),
+                  c.mean_distance(), static_cast<unsigned long long>(c.distance_max),
+                  static_cast<unsigned long long>(c.nodiv_cycles));
+      std::fflush(stdout);
+    }
+  }
+  std::printf("\nShape checks: min distance is 0 exactly when no-div cycles exist;\n"
+              "staggering lifts the minimum well above 0 (a quantified safety margin).\n");
+  return 0;
+}

@@ -1,0 +1,94 @@
+// S1 — google-benchmark microbenchmarks of the monitor datapath itself:
+// per-cycle capture and comparison cost as a function of signature
+// geometry (bounds the simulation-side cost of attaching SafeDM).
+#include <benchmark/benchmark.h>
+
+#include "safedm/safedm/monitor.hpp"
+#include "safedm/safedm/signature.hpp"
+
+using namespace safedm;
+
+namespace {
+
+core::CoreTapFrame busy_frame(u64 salt) {
+  core::CoreTapFrame f;
+  for (unsigned s = 0; s < core::kPipelineStages; ++s)
+    for (unsigned l = 0; l < core::kMaxIssueWidth; ++l)
+      f.stage[s][l] = core::StageSlotTap{true, static_cast<u32>(0x13 + s * 64 + l + salt)};
+  for (unsigned p = 0; p < core::kMaxPorts; ++p)
+    f.port[p] = core::PortTap{true, 0x1234'5678'9ABCull + p * 977 + salt};
+  f.commits = 2;
+  return f;
+}
+
+void BM_SignatureCapture(benchmark::State& state) {
+  monitor::SafeDmConfig config;
+  config.data_fifo_depth = static_cast<unsigned>(state.range(0));
+  monitor::SignatureGenerator sig(config);
+  const core::CoreTapFrame frame = busy_frame(0);
+  for (auto _ : state) {
+    sig.capture(frame);
+    benchmark::ClobberMemory();
+  }
+}
+BENCHMARK(BM_SignatureCapture)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_RawCompareEqual(benchmark::State& state) {
+  monitor::SafeDmConfig config;
+  config.data_fifo_depth = static_cast<unsigned>(state.range(0));
+  monitor::SignatureGenerator a(config), b(config);
+  const core::CoreTapFrame frame = busy_frame(0);
+  for (int i = 0; i < 64; ++i) {
+    a.capture(frame);
+    b.capture(frame);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(monitor::SignatureGenerator::data_equal(a, b));
+    benchmark::DoNotOptimize(monitor::SignatureGenerator::instruction_equal(a, b));
+  }
+}
+BENCHMARK(BM_RawCompareEqual)->Arg(4)->Arg(8)->Arg(32);
+
+void BM_RawCompareDivergent(benchmark::State& state) {
+  // Early-exit path: the common case during real execution.
+  monitor::SafeDmConfig config;
+  config.data_fifo_depth = static_cast<unsigned>(state.range(0));
+  monitor::SignatureGenerator a(config), b(config);
+  for (int i = 0; i < 64; ++i) {
+    a.capture(busy_frame(0));
+    b.capture(busy_frame(1));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(monitor::SignatureGenerator::data_equal(a, b));
+  }
+}
+BENCHMARK(BM_RawCompareDivergent)->Arg(8)->Arg(32);
+
+void BM_CrcCompare(benchmark::State& state) {
+  monitor::SafeDmConfig config;
+  config.data_fifo_depth = static_cast<unsigned>(state.range(0));
+  monitor::SignatureGenerator a(config);
+  for (int i = 0; i < 64; ++i) a.capture(busy_frame(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.data_crc());
+    benchmark::DoNotOptimize(a.instruction_crc());
+  }
+}
+BENCHMARK(BM_CrcCompare)->Arg(8)->Arg(32);
+
+void BM_MonitorFullCycle(benchmark::State& state) {
+  monitor::SafeDmConfig config;
+  config.start_enabled = true;
+  monitor::SafeDm dm(config);
+  const core::CoreTapFrame f0 = busy_frame(0);
+  const core::CoreTapFrame f1 = busy_frame(1);
+  u64 cycle = 0;
+  for (auto _ : state) {
+    dm.on_cycle(++cycle, f0, f1);
+  }
+}
+BENCHMARK(BM_MonitorFullCycle);
+
+}  // namespace
+
+BENCHMARK_MAIN();

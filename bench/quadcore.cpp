@@ -1,0 +1,101 @@
+// E7 — Four-core deployment (paper Section I: "We integrate SafeDM in a
+// 4-core multicore by Cobham Gaisler"): two redundant pairs share the bus
+// and L2, each pair watched by its own SafeDM.
+//
+// Measured finding: cross-pair contention acts as a *synchronizer* — both
+// cores of a pair queue at the same arbiter, so their relative progress
+// equalizes and zero-staggering GROWS under load. Lack of diversity grows
+// with it in absolute terms (stalled-together cycles keep comparing the
+// same frozen state) but stays a small fraction of monitored cycles. The
+// practical conclusion is the paper's: timing alone ("some staggering
+// exists") is not evidence of diversity — monitoring the actual state is
+// needed precisely because congested systems re-synchronize.
+#include <cstdio>
+
+#include "safedm/safedm/monitor.hpp"
+#include "safedm/soc/soc.hpp"
+#include "safedm/workloads/workloads.hpp"
+
+using namespace safedm;
+
+namespace {
+
+struct PairCounters {
+  u64 zero_stag = 0;
+  u64 nodiv = 0;
+  u64 cycles = 0;
+};
+
+PairCounters run_solo(const char* name) {
+  soc::MpSoc soc{soc::SocConfig{}};
+  monitor::SafeDmConfig config;
+  config.start_enabled = true;
+  monitor::SafeDm dm(config);
+  soc.add_observer(&dm);
+  soc.load_redundant(workloads::build(name, 1));
+  const u64 cycles = soc.run(50'000'000);
+  dm.finalize();
+  return PairCounters{dm.counters().zero_stag_cycles, dm.counters().nodiv_cycles, cycles};
+}
+
+void run_quad(const char* name0, const char* name1, PairCounters& pair0, PairCounters& pair1) {
+  soc::SocConfig soc_config;
+  soc_config.num_cores = 4;
+  soc::MpSoc soc(soc_config);
+  monitor::SafeDmConfig config;
+  config.start_enabled = true;
+  monitor::SafeDm dm0(config), dm1(config);
+  soc.add_observer(&dm0, 0);
+  soc.add_observer(&dm1, 1);
+  soc.load_redundant_pair(0, workloads::build(name0, 1));
+  soc.load_redundant_pair(1, workloads::build(name1, 1));
+  const u64 cycles = soc.run(100'000'000);
+  dm0.finalize();
+  dm1.finalize();
+  pair0 = PairCounters{dm0.counters().zero_stag_cycles, dm0.counters().nodiv_cycles, cycles};
+  pair1 = PairCounters{dm1.counters().zero_stag_cycles, dm1.counters().nodiv_cycles, cycles};
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Quad-core deployment: two redundant pairs, per-pair SafeDM\n\n");
+  std::printf("%-14s %-14s | %10s %10s | %10s %10s | %10s\n", "pair0", "pair1", "p0 zstag",
+              "p0 nodiv", "p1 zstag", "p1 nodiv", "cycles");
+
+  struct Combo {
+    const char* a;
+    const char* b;
+  };
+  const Combo combos[] = {{"bitcount", "md5"}, {"cubic", "matrix1"}, {"quicksort", "fft"}};
+  for (const Combo& combo : combos) {
+    PairCounters p0, p1;
+    run_quad(combo.a, combo.b, p0, p1);
+    std::printf("%-14s %-14s | %10llu %10llu | %10llu %10llu | %10llu\n", combo.a, combo.b,
+                static_cast<unsigned long long>(p0.zero_stag),
+                static_cast<unsigned long long>(p0.nodiv),
+                static_cast<unsigned long long>(p1.zero_stag),
+                static_cast<unsigned long long>(p1.nodiv),
+                static_cast<unsigned long long>(p0.cycles));
+    std::fflush(stdout);
+  }
+
+  std::printf("\nSolo vs contended (pair 0 workload alone vs sharing the SoC):\n");
+  std::printf("%-14s %14s %14s %14s %14s\n", "benchmark", "solo zstag", "quad zstag",
+              "solo nodiv", "quad nodiv");
+  for (const Combo& combo : combos) {
+    const PairCounters solo = run_solo(combo.a);
+    PairCounters quad, other;
+    run_quad(combo.a, combo.b, quad, other);
+    std::printf("%-14s %14llu %14llu %14llu %14llu\n", combo.a,
+                static_cast<unsigned long long>(solo.zero_stag),
+                static_cast<unsigned long long>(quad.zero_stag),
+                static_cast<unsigned long long>(solo.nodiv),
+                static_cast<unsigned long long>(quad.nodiv));
+    std::fflush(stdout);
+  }
+  std::printf("\nShape check: contention synchronizes the pairs (zero-stag grows under\n"
+              "load) while no-div remains a tiny fraction of monitored cycles — staggering\n"
+              "cannot be assumed, which is exactly why a diversity *monitor* is needed.\n");
+  return 0;
+}

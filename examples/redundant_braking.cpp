@@ -1,0 +1,95 @@
+// ASIL-D safety-concept demo (paper Section III-A): a braking-style task
+// runs redundantly every period; SafeDM raises an interrupt when diversity
+// is lost, and the "RTOS" applies the paper's corrective action — drop the
+// job (the previous command stays in force) and re-launch the next one
+// with staggering. Safety holds as long as drops are not consecutive
+// within the Fault Tolerant Time Interval (FTTI).
+#include <cstdio>
+
+#include "safedm/safedm/monitor.hpp"
+#include "safedm/soc/soc.hpp"
+#include "safedm/workloads/workloads.hpp"
+
+using namespace safedm;
+
+namespace {
+
+struct JobResult {
+  bool diversity_lost = false;
+  bool outputs_match = false;
+  u64 cycles = 0;
+};
+
+JobResult run_job(const assembler::Program& program, unsigned stagger, bool force_shared_data) {
+  soc::SocConfig soc_config;
+  soc_config.shared_data = force_shared_data;  // fault model: a mis-set-up job
+  soc::MpSoc soc(soc_config);
+
+  monitor::SafeDmConfig dm_config;
+  dm_config.report = monitor::ReportMode::kInterruptThreshold;
+  dm_config.interrupt_threshold = 32;  // tolerate brief matches
+  dm_config.start_enabled = true;
+  monitor::SafeDm safedm(dm_config);
+  soc.add_observer(&safedm);
+
+  bool interrupted = false;
+  safedm.set_interrupt_handler([&](u64 cycle) {
+    std::printf("    [IRQ] diversity lost for %u cycles at cycle %llu\n",
+                dm_config.interrupt_threshold, static_cast<unsigned long long>(cycle));
+    interrupted = true;
+  });
+
+  soc.load_redundant(program, stagger, 1);
+  safedm.set_prelude_ignore(0, soc.prelude_commits(0));
+  safedm.set_prelude_ignore(1, soc.prelude_commits(1));
+  const u64 cycles = soc.run(50'000'000);
+  safedm.finalize();
+
+  JobResult result;
+  result.diversity_lost = interrupted;
+  result.outputs_match = soc.memory().load(soc.config().data_base0, 8) ==
+                         soc.memory().load(soc.config().data_base1, 8);
+  result.cycles = cycles;
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  // The "braking controller" job: a filter + decision kernel.
+  const assembler::Program job = workloads::build("iir", 1);
+
+  std::printf("ASIL-D redundant braking task — 8 periodic jobs, FTTI = 2 periods\n\n");
+  unsigned consecutive_drops = 0;
+  unsigned total_drops = 0;
+  unsigned stagger = 0;
+  for (unsigned period = 0; period < 8; ++period) {
+    // Fault model: in periods 2 and 3 the RTOS mis-launches the redundant
+    // pair into a *shared* address space (e.g. fork failed and both run in
+    // one process image) — natural diversity collapses.
+    const bool misconfigured = (period == 2 || period == 3) && stagger == 0;
+    std::printf("period %u: launching redundant job (stagger=%u%s)\n", period, stagger,
+                misconfigured ? ", MISCONFIGURED: shared address space" : "");
+    const JobResult result = run_job(job, stagger, misconfigured);
+    if (result.diversity_lost) {
+      ++total_drops;
+      ++consecutive_drops;
+      std::printf("    -> job DROPPED (previous braking command stays in force)\n");
+      std::printf("    -> corrective action: next launch with 1000-nop staggering\n");
+      stagger = 1000;
+      if (consecutive_drops >= 2) {
+        std::printf("    !! FTTI exhausted: escalate to safe state\n");
+        return 1;
+      }
+    } else {
+      std::printf("    -> job OK (outputs %s, %llu cycles)\n",
+                  result.outputs_match ? "match" : "MISMATCH",
+                  static_cast<unsigned long long>(result.cycles));
+      consecutive_drops = 0;
+      stagger = 0;  // staggering not needed while diversity holds
+    }
+  }
+  std::printf("\ncompleted: %u of 8 jobs dropped, FTTI never exhausted — system stayed safe\n",
+              total_drops);
+  return 0;
+}

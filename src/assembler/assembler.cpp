@@ -1,0 +1,125 @@
+#include "safedm/assembler/assembler.hpp"
+
+#include <limits>
+
+#include "safedm/common/check.hpp"
+
+namespace safedm::assembler {
+
+namespace enc = isa::enc;
+
+// ---- DataBuilder -------------------------------------------------------------
+
+u64 DataBuilder::add_bytes(std::span<const u8> bytes, u64 align) {
+  SAFEDM_CHECK(is_pow2(align));
+  while (bytes_.size() % align != 0) bytes_.push_back(0);
+  const u64 offset = bytes_.size();
+  bytes_.insert(bytes_.end(), bytes.begin(), bytes.end());
+  return offset;
+}
+
+u64 DataBuilder::add_u32_array(std::span<const u32> values) {
+  return add_bytes({reinterpret_cast<const u8*>(values.data()), values.size() * 4}, 8);
+}
+
+u64 DataBuilder::add_i32_array(std::span<const i32> values) {
+  return add_bytes({reinterpret_cast<const u8*>(values.data()), values.size() * 4}, 8);
+}
+
+u64 DataBuilder::add_u64_array(std::span<const u64> values) {
+  return add_bytes({reinterpret_cast<const u8*>(values.data()), values.size() * 8}, 8);
+}
+
+u64 DataBuilder::add_f64_array(std::span<const double> values) {
+  return add_bytes({reinterpret_cast<const u8*>(values.data()), values.size() * 8}, 8);
+}
+
+u64 DataBuilder::reserve(u64 bytes, u64 align) {
+  SAFEDM_CHECK(is_pow2(align));
+  while (bytes_.size() % align != 0) bytes_.push_back(0);
+  const u64 offset = bytes_.size();
+  bytes_.insert(bytes_.end(), bytes, 0);
+  return offset;
+}
+
+// ---- Assembler ---------------------------------------------------------------
+
+Label Assembler::new_label() {
+  label_offsets_.push_back(-1);
+  return Label(static_cast<u32>(label_offsets_.size() - 1));
+}
+
+void Assembler::bind(Label label) {
+  SAFEDM_CHECK_MSG(label.id_ < label_offsets_.size(), "bind of unknown label");
+  SAFEDM_CHECK_MSG(label_offsets_[label.id_] < 0, "label bound twice");
+  label_offsets_[label.id_] = static_cast<i64>(pc());
+}
+
+void Assembler::branch_fixup(u32 raw_zero_offset, Label target, FixupKind kind) {
+  SAFEDM_CHECK_MSG(target.id_ < label_offsets_.size(), "branch to unknown label");
+  fixups_.push_back(Fixup{text_.size(), kind, target.id_, raw_zero_offset});
+  text_.push_back(raw_zero_offset);  // patched in assemble()
+}
+
+void Assembler::beq(Reg rs1, Reg rs2, Label t) { branch_fixup(enc::beq(rs1, rs2, 0), t, FixupKind::kBranch); }
+void Assembler::bne(Reg rs1, Reg rs2, Label t) { branch_fixup(enc::bne(rs1, rs2, 0), t, FixupKind::kBranch); }
+void Assembler::blt(Reg rs1, Reg rs2, Label t) { branch_fixup(enc::blt(rs1, rs2, 0), t, FixupKind::kBranch); }
+void Assembler::bge(Reg rs1, Reg rs2, Label t) { branch_fixup(enc::bge(rs1, rs2, 0), t, FixupKind::kBranch); }
+void Assembler::bltu(Reg rs1, Reg rs2, Label t) { branch_fixup(enc::bltu(rs1, rs2, 0), t, FixupKind::kBranch); }
+void Assembler::bgeu(Reg rs1, Reg rs2, Label t) { branch_fixup(enc::bgeu(rs1, rs2, 0), t, FixupKind::kBranch); }
+
+void Assembler::jal(Reg rd, Label t) { branch_fixup(enc::jal(rd, 0), t, FixupKind::kJal); }
+
+void Assembler::li(Reg rd, i64 value) {
+  if (value >= -2048 && value <= 2047) {
+    (*this)(enc::addi(rd, ZERO, value));
+    return;
+  }
+  if (value >= std::numeric_limits<i32>::min() && value <= std::numeric_limits<i32>::max()) {
+    const i64 hi20 = (value + 0x800) >> 12;
+    const i64 lo12 = value - (hi20 << 12);
+    (*this)(enc::lui(rd, hi20));
+    if (lo12 != 0) (*this)(enc::addiw(rd, rd, lo12));
+    return;
+  }
+  const i64 lo12 = sign_extend(static_cast<u64>(value) & 0xFFF, 12);
+  li(rd, (value - lo12) >> 12);
+  (*this)(enc::slli(rd, rd, 12));
+  if (lo12 != 0) (*this)(enc::addi(rd, rd, lo12));
+}
+
+void Assembler::nops(unsigned count) {
+  for (unsigned i = 0; i < count; ++i) nop();
+}
+
+void Assembler::add_imm(Reg rd, Reg rs, i64 imm, Reg scratch) {
+  if (imm >= -2048 && imm <= 2047) {
+    (*this)(enc::addi(rd, rs, imm));
+    return;
+  }
+  SAFEDM_CHECK_MSG(scratch != rs, "add_imm scratch register aliases the source");
+  li(scratch, imm);
+  (*this)(enc::add(rd, rs, scratch));
+}
+
+Program Assembler::assemble(std::string name, DataBuilder data) {
+  for (const Fixup& fixup : fixups_) {
+    const i64 target = label_offsets_[fixup.label];
+    SAFEDM_CHECK_MSG(target >= 0, "unbound label referenced in " << name);
+    const i64 offset = target - static_cast<i64>(fixup.index * 4);
+    // Re-derive the offset bit pattern by packing with zero registers; the
+    // register/opcode fields are already present in fixup.raw.
+    const u32 offset_bits = (fixup.kind == FixupKind::kBranch)
+                                ? isa::enc::detail::pack_b(0, 0, 0, offset)
+                                : isa::enc::detail::pack_j(0, 0, offset);
+    text_[fixup.index] = fixup.raw | offset_bits;
+  }
+  Program program;
+  program.name = std::move(name);
+  program.text = std::move(text_);
+  program.data = data.take();
+  SAFEDM_CHECK_MSG(!program.text.empty(), "empty program");
+  return program;
+}
+
+}  // namespace safedm::assembler

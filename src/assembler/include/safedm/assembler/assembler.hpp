@@ -1,0 +1,152 @@
+// Embedded RV64 assembler: workloads are authored in C++ against this
+// builder (no offline cross-compiler is available), producing loadable
+// program images.
+//
+// Conventions shared with the SoC loader:
+//   - a0 holds the core's data-segment base at reset (redundant processes
+//     get distinct bases — the paper's "different address spaces").
+//   - sp holds the top of a per-core stack.
+//   - programs terminate with `ecall`.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "safedm/common/bits.hpp"
+#include "safedm/isa/encode.hpp"
+#include "safedm/assembler/regs.hpp"
+
+namespace safedm::assembler {
+
+/// Opaque label handle; create with Assembler::new_label, place with bind.
+class Label {
+ public:
+  Label() = default;
+
+ private:
+  friend class Assembler;
+  explicit Label(u32 id) : id_(id) {}
+  u32 id_ = ~u32{0};
+};
+
+/// A fully assembled program image (position-independent apart from the
+/// text base chosen at load time; data is addressed via a0).
+struct Program {
+  std::string name;
+  std::vector<u32> text;     // instruction words, entry at text[0]
+  std::vector<u8> data;      // initial data-segment image
+  u64 bss_bytes = 0;         // zero-initialized space after data
+  u64 stack_bytes = 4096;    // per-core stack to reserve
+
+  u64 data_segment_bytes() const { return data.size() + bss_bytes; }
+};
+
+/// Builder for the data segment. Returned offsets are relative to the
+/// segment base (a0 at run time).
+class DataBuilder {
+ public:
+  u64 add_bytes(std::span<const u8> bytes, u64 align = 8);
+  u64 add_u8(u8 v) { return add_pod(v, 1); }
+  u64 add_u16(u16 v) { return add_pod(v, 2); }
+  u64 add_u32(u32 v) { return add_pod(v, 4); }
+  u64 add_u64(u64 v) { return add_pod(v, 8); }
+  u64 add_i64(i64 v) { return add_pod(v, 8); }
+  u64 add_f64(double v) { return add_pod(v, 8); }
+  u64 add_u32_array(std::span<const u32> values);
+  u64 add_i32_array(std::span<const i32> values);
+  u64 add_u64_array(std::span<const u64> values);
+  u64 add_f64_array(std::span<const double> values);
+
+  /// Reserve zero-initialized space (allocated in the image for simplicity).
+  u64 reserve(u64 bytes, u64 align = 8);
+
+  u64 size() const { return static_cast<u64>(bytes_.size()); }
+  std::vector<u8> take() { return std::move(bytes_); }
+
+ private:
+  template <typename T>
+  u64 add_pod(T v, u64 align) {
+    u8 raw[sizeof(T)];
+    __builtin_memcpy(raw, &v, sizeof(T));
+    return add_bytes({raw, sizeof(T)}, align);
+  }
+
+  std::vector<u8> bytes_;
+};
+
+/// The instruction-stream builder.
+class Assembler {
+ public:
+  /// Emit a raw instruction word (use with safedm::isa::enc builders):
+  ///   a(enc::add(T0, T1, T2));
+  void operator()(u32 word) { text_.push_back(word); }
+
+  u64 pc() const { return text_.size() * 4; }
+
+  // ---- labels and control flow -------------------------------------------
+  Label new_label();
+  void bind(Label label);
+
+  void beq(Reg rs1, Reg rs2, Label target);
+  void bne(Reg rs1, Reg rs2, Label target);
+  void blt(Reg rs1, Reg rs2, Label target);
+  void bge(Reg rs1, Reg rs2, Label target);
+  void bltu(Reg rs1, Reg rs2, Label target);
+  void bgeu(Reg rs1, Reg rs2, Label target);
+  /// ble/bgt style helpers (operand-swapped blt/bge).
+  void ble(Reg rs1, Reg rs2, Label target) { bge(rs2, rs1, target); }
+  void bgt(Reg rs1, Reg rs2, Label target) { blt(rs2, rs1, target); }
+  void beqz(Reg rs1, Label target) { beq(rs1, ZERO, target); }
+  void bnez(Reg rs1, Label target) { bne(rs1, ZERO, target); }
+  void blez(Reg rs1, Label target) { ble(rs1, ZERO, target); }
+  void bgtz(Reg rs1, Label target) { bgt(rs1, ZERO, target); }
+
+  void jal(Reg rd, Label target);
+  void j(Label target) { jal(ZERO, target); }
+  void call(Label target) { jal(RA, target); }
+  void ret() { (*this)(isa::enc::jalr(ZERO, RA, 0)); }
+
+  // ---- pseudo-instructions --------------------------------------------------
+  void li(Reg rd, i64 value);           // arbitrary 64-bit constant
+  void mv(Reg rd, Reg rs) { (*this)(isa::enc::addi(rd, rs, 0)); }
+  void neg(Reg rd, Reg rs) { (*this)(isa::enc::sub(rd, ZERO, rs)); }
+  void not_(Reg rd, Reg rs) { (*this)(isa::enc::xori(rd, rs, -1)); }
+  void seqz(Reg rd, Reg rs) { (*this)(isa::enc::sltiu(rd, rs, 1)); }
+  void snez(Reg rd, Reg rs) { (*this)(isa::enc::sltu(rd, ZERO, rs)); }
+  void fmv_d(Reg frd, Reg frs) { (*this)(isa::enc::fsgnj_d(frd, frs, frs)); }
+  void fneg_d(Reg frd, Reg frs) { (*this)(isa::enc::fsgnjn_d(frd, frs, frs)); }
+  void fabs_d(Reg frd, Reg frs) { (*this)(isa::enc::fsgnjx_d(frd, frs, frs)); }
+  void nop() { (*this)(isa::enc::nop()); }
+  void nops(unsigned count);
+
+  /// rd = rs + imm for any 64-bit imm (expands through a scratch register
+  /// when imm does not fit 12 bits; scratch defaults to t6).
+  void add_imm(Reg rd, Reg rs, i64 imm, Reg scratch = T6);
+
+  /// rd = data-segment address of `offset` (a0-relative by convention).
+  void lea_data(Reg rd, u64 offset, Reg base = A0, Reg scratch = T6) {
+    add_imm(rd, base, static_cast<i64>(offset), scratch);
+  }
+
+  /// Finish: resolve all label fixups and produce the image.
+  Program assemble(std::string name, DataBuilder data = {});
+
+ private:
+  enum class FixupKind { kBranch, kJal };
+  struct Fixup {
+    std::size_t index;  // instruction slot in text_
+    FixupKind kind;
+    u32 label;
+    u32 raw;  // instruction with zero offset; offset patched in
+  };
+
+  void branch_fixup(u32 raw_zero_offset, Label target, FixupKind kind);
+
+  std::vector<u32> text_;
+  std::vector<i64> label_offsets_;  // -1 = unbound
+  std::vector<Fixup> fixups_;
+};
+
+}  // namespace safedm::assembler

@@ -1,0 +1,31 @@
+// RISC-V ABI register aliases for workload authoring.
+#pragma once
+
+#include "safedm/isa/encode.hpp"
+
+namespace safedm::assembler {
+
+using Reg = isa::enc::Reg;
+
+inline constexpr Reg ZERO = 0;
+inline constexpr Reg RA = 1;
+inline constexpr Reg SP = 2;
+inline constexpr Reg GP = 3;
+inline constexpr Reg TP = 4;
+inline constexpr Reg T0 = 5, T1 = 6, T2 = 7;
+inline constexpr Reg S0 = 8, S1 = 9;
+inline constexpr Reg A0 = 10, A1 = 11, A2 = 12, A3 = 13, A4 = 14, A5 = 15, A6 = 16, A7 = 17;
+inline constexpr Reg S2 = 18, S3 = 19, S4 = 20, S5 = 21, S6 = 22, S7 = 23, S8 = 24, S9 = 25,
+                     S10 = 26, S11 = 27;
+inline constexpr Reg T3 = 28, T4 = 29, T5 = 30, T6 = 31;
+
+// FP registers (fN); same numeric space, distinct register file.
+inline constexpr Reg FT0 = 0, FT1 = 1, FT2 = 2, FT3 = 3, FT4 = 4, FT5 = 5, FT6 = 6, FT7 = 7;
+inline constexpr Reg FS0 = 8, FS1 = 9;
+inline constexpr Reg FA0 = 10, FA1 = 11, FA2 = 12, FA3 = 13, FA4 = 14, FA5 = 15, FA6 = 16,
+                     FA7 = 17;
+inline constexpr Reg FS2 = 18, FS3 = 19, FS4 = 20, FS5 = 21, FS6 = 22, FS7 = 23, FS8 = 24,
+                     FS9 = 25, FS10 = 26, FS11 = 27;
+inline constexpr Reg FT8 = 28, FT9 = 29, FT10 = 30, FT11 = 31;
+
+}  // namespace safedm::assembler

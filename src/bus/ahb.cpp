@@ -1,0 +1,75 @@
+#include "safedm/bus/ahb.hpp"
+
+#include "safedm/common/check.hpp"
+
+namespace safedm::bus {
+
+AhbBus::AhbBus(AhbSlave& slave, unsigned first_grant_bias)
+    : slave_(slave), rr_next_(first_grant_bias) {}
+
+int AhbBus::attach(AhbCompletion* master, std::string name) {
+  SAFEDM_CHECK_MSG(!started_, "masters must attach before the bus starts stepping");
+  SAFEDM_CHECK(master != nullptr);
+  masters_.push_back(master);
+  names_.push_back(std::move(name));
+  pending_.push_back({});
+  stats_.wait_cycles.push_back(0);
+  stats_.master_grants.push_back(0);
+  return static_cast<int>(masters_.size()) - 1;
+}
+
+void AhbBus::request(int master, const BusTxn& txn) {
+  SAFEDM_CHECK(master >= 0 && static_cast<std::size_t>(master) < masters_.size());
+  SAFEDM_CHECK_MSG(!pending_[master].valid,
+                   "master " << names_[master] << " already has a pending transaction");
+  pending_[master].valid = true;
+  pending_[master].txn = txn;
+}
+
+bool AhbBus::has_pending(int master) const {
+  SAFEDM_CHECK(master >= 0 && static_cast<std::size_t>(master) < masters_.size());
+  return pending_[master].valid ||
+         (busy_cycles_left_ > 0 && active_master_ == master);
+}
+
+void AhbBus::try_grant() {
+  if (masters_.empty()) return;
+  const unsigned n = static_cast<unsigned>(masters_.size());
+  for (unsigned i = 0; i < n; ++i) {
+    const unsigned candidate = (rr_next_ + i) % n;
+    if (!pending_[candidate].valid) continue;
+    active_master_ = static_cast<int>(candidate);
+    active_txn_ = pending_[candidate].txn;
+    pending_[candidate].valid = false;
+    rr_next_ = (candidate + 1) % n;
+    busy_cycles_left_ = slave_.serve(active_txn_);
+    SAFEDM_CHECK_MSG(busy_cycles_left_ > 0, "slave returned zero-cycle transaction");
+    ++stats_.grants;
+    ++stats_.master_grants[candidate];
+    return;
+  }
+}
+
+void AhbBus::step() {
+  started_ = true;
+  // Account waiting requesters (they lose this cycle to arbitration).
+  for (std::size_t m = 0; m < pending_.size(); ++m)
+    if (pending_[m].valid) ++stats_.wait_cycles[m];
+
+  if (busy_cycles_left_ > 0) {
+    ++stats_.busy_cycles;
+    if (--busy_cycles_left_ == 0) {
+      const int master = active_master_;
+      active_master_ = -1;
+      masters_[master]->bus_complete(active_txn_);
+      // The bus re-arbitrates on the next cycle (one dead cycle between
+      // transactions, like AHB address-phase handover).
+    }
+    return;
+  }
+
+  ++stats_.idle_cycles;
+  try_grant();
+}
+
+}  // namespace safedm::bus

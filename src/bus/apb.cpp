@@ -1,0 +1,42 @@
+#include "safedm/bus/apb.hpp"
+
+#include "safedm/common/check.hpp"
+
+namespace safedm::bus {
+
+void ApbBus::map(u64 base, u64 size, ApbDevice* device, std::string name) {
+  SAFEDM_CHECK(device != nullptr && size > 0);
+  SAFEDM_CHECK_MSG(base % 4 == 0 && size % 4 == 0, "APB mapping must be word aligned");
+  for (const Mapping& m : mappings_) {
+    const bool overlaps = base < m.base + m.size && m.base < base + size;
+    SAFEDM_CHECK_MSG(!overlaps, "APB mapping '" << name << "' overlaps '" << m.name << "'");
+  }
+  mappings_.push_back(Mapping{base, size, device, std::move(name)});
+}
+
+const ApbBus::Mapping& ApbBus::find(u64 addr) const {
+  for (const Mapping& m : mappings_)
+    if (addr >= m.base && addr < m.base + m.size) return m;
+  SAFEDM_CHECK_MSG(false, "APB access to unmapped address 0x" << std::hex << addr);
+  __builtin_unreachable();
+}
+
+bool ApbBus::decodes(u64 addr) const {
+  for (const Mapping& m : mappings_)
+    if (addr >= m.base && addr < m.base + m.size) return true;
+  return false;
+}
+
+u32 ApbBus::read(u64 addr) {
+  SAFEDM_CHECK_MSG(addr % 4 == 0, "unaligned APB read");
+  const Mapping& m = find(addr);
+  return m.device->apb_read(static_cast<u32>(addr - m.base));
+}
+
+void ApbBus::write(u64 addr, u32 value) {
+  SAFEDM_CHECK_MSG(addr % 4 == 0, "unaligned APB write");
+  const Mapping& m = find(addr);
+  m.device->apb_write(static_cast<u32>(addr - m.base), value);
+}
+
+}  // namespace safedm::bus

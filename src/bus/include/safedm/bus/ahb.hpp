@@ -1,0 +1,92 @@
+// AHB-style shared system bus with single-outstanding-transaction
+// arbitration.
+//
+// This is the serialization point the paper's Section V-C analysis hinges
+// on: when both cores miss their L1s in the same cycle, one master is
+// granted first and the other waits, which is what breaks zero staggering
+// between redundant cores "naturally".
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "safedm/common/bits.hpp"
+
+namespace safedm::bus {
+
+struct BusTxn {
+  enum class Kind : u8 {
+    kReadLine,   // cache-line refill (L1 I/D miss)
+    kWriteLine,  // store-buffer drain (write-through traffic)
+  };
+  Kind kind = Kind::kReadLine;
+  u64 addr = 0;
+  u32 tag = 0;  // opaque, returned to the master on completion
+};
+
+/// Completion callback implemented by masters.
+class AhbCompletion {
+ public:
+  virtual ~AhbCompletion() = default;
+  virtual void bus_complete(const BusTxn& txn) = 0;
+};
+
+/// The slave side: computes how many cycles a transaction occupies the bus.
+class AhbSlave {
+ public:
+  virtual ~AhbSlave() = default;
+  virtual unsigned serve(const BusTxn& txn) = 0;
+};
+
+struct AhbStats {
+  u64 grants = 0;
+  u64 busy_cycles = 0;
+  u64 idle_cycles = 0;
+  std::vector<u64> wait_cycles;  // per master: cycles spent waiting for grant
+  std::vector<u64> master_grants;
+};
+
+class AhbBus {
+ public:
+  /// `first_grant_bias` rotates the initial round-robin pointer; used to
+  /// model run-to-run variation of the platform's initial arbiter state.
+  AhbBus(AhbSlave& slave, unsigned first_grant_bias = 0);
+
+  /// Register a master; returns its id. All masters must attach before the
+  /// first step().
+  int attach(AhbCompletion* master, std::string name = {});
+
+  /// Post a transaction for `master`. One pending request per master.
+  void request(int master, const BusTxn& txn);
+  bool has_pending(int master) const;
+
+  /// True while a granted transaction is in flight.
+  bool busy() const { return busy_cycles_left_ > 0; }
+
+  /// Advance one cycle: progress the in-flight transaction and, when the
+  /// bus is free, grant the next requester round-robin.
+  void step();
+
+  const AhbStats& stats() const { return stats_; }
+
+ private:
+  struct Pending {
+    bool valid = false;
+    BusTxn txn;
+  };
+
+  void try_grant();
+
+  AhbSlave& slave_;
+  std::vector<AhbCompletion*> masters_;
+  std::vector<std::string> names_;
+  std::vector<Pending> pending_;
+  unsigned rr_next_ = 0;  // round-robin pointer
+  unsigned busy_cycles_left_ = 0;
+  int active_master_ = -1;
+  BusTxn active_txn_;
+  AhbStats stats_;
+  bool started_ = false;
+};
+
+}  // namespace safedm::bus

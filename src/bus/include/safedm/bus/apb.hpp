@@ -1,0 +1,48 @@
+// APB peripheral bus: word-granular register access to slaves.
+//
+// SafeDM hangs off this bus exactly as in the paper's integration (Fig. 3):
+// the monitor is an APB slave, so swapping the bus logic ports it to
+// another SoC. The RTOS/host side reads and programs the monitor through
+// ApbBus::read/write.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "safedm/common/bits.hpp"
+
+namespace safedm::bus {
+
+/// Register-mapped peripheral. Offsets are byte offsets, word aligned.
+class ApbDevice {
+ public:
+  virtual ~ApbDevice() = default;
+  virtual u32 apb_read(u32 offset) = 0;
+  virtual void apb_write(u32 offset, u32 value) = 0;
+};
+
+class ApbBus {
+ public:
+  /// Map `device` at [base, base + size). Ranges must not overlap.
+  void map(u64 base, u64 size, ApbDevice* device, std::string name = {});
+
+  u32 read(u64 addr);
+  void write(u64 addr, u32 value);
+
+  /// True if some device is mapped at `addr`.
+  bool decodes(u64 addr) const;
+
+ private:
+  struct Mapping {
+    u64 base = 0;
+    u64 size = 0;
+    ApbDevice* device = nullptr;
+    std::string name;
+  };
+
+  const Mapping& find(u64 addr) const;
+
+  std::vector<Mapping> mappings_;
+};
+
+}  // namespace safedm::bus

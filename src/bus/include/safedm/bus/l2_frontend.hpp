@@ -1,0 +1,33 @@
+// Shared L2 cache front-end: the AHB slave that turns bus transactions into
+// latencies, modelling a write-back, write-allocate L2 in front of the
+// memory controller (paper Fig. 3).
+#pragma once
+
+#include "safedm/bus/ahb.hpp"
+#include "safedm/mem/cache.hpp"
+
+namespace safedm::bus {
+
+struct L2Timing {
+  unsigned hit_cycles = 8;        // line served from L2
+  unsigned miss_cycles = 30;      // L2 miss serviced by the memory controller
+  unsigned writeback_cycles = 6;  // extra bus occupancy for a dirty eviction
+};
+
+class L2Frontend final : public AhbSlave {
+ public:
+  L2Frontend(const mem::CacheConfig& config, const L2Timing& timing)
+      : tags_(config, "L2"), timing_(timing) {}
+
+  unsigned serve(const BusTxn& txn) override;
+
+  const mem::CacheStats& stats() const { return tags_.stats(); }
+  mem::CacheTags& tags() { return tags_; }
+  const L2Timing& timing() const { return timing_; }
+
+ private:
+  mem::CacheTags tags_;
+  L2Timing timing_;
+};
+
+}  // namespace safedm::bus

@@ -1,0 +1,18 @@
+#include "safedm/bus/l2_frontend.hpp"
+
+namespace safedm::bus {
+
+unsigned L2Frontend::serve(const BusTxn& txn) {
+  const bool hit = tags_.access(txn.addr);
+  unsigned latency = hit ? timing_.hit_cycles : timing_.miss_cycles;
+  if (!hit) {
+    const bool write_allocate = txn.kind == BusTxn::Kind::kWriteLine;
+    const auto fill = tags_.fill(txn.addr, /*dirty=*/write_allocate);
+    if (fill.evicted && fill.victim_dirty) latency += timing_.writeback_cycles;
+  } else if (txn.kind == BusTxn::Kind::kWriteLine) {
+    tags_.mark_dirty(txn.addr);
+  }
+  return latency;
+}
+
+}  // namespace safedm::bus

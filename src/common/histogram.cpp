@@ -1,0 +1,79 @@
+#include "safedm/common/histogram.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <sstream>
+
+#include "safedm/common/check.hpp"
+
+namespace safedm {
+
+Histogram::Histogram(std::vector<u64> upper_bounds) : bounds_(std::move(upper_bounds)) {
+  SAFEDM_CHECK_MSG(!bounds_.empty(), "histogram needs at least one bin bound");
+  SAFEDM_CHECK_MSG(std::is_sorted(bounds_.begin(), bounds_.end()) &&
+                       std::adjacent_find(bounds_.begin(), bounds_.end()) == bounds_.end(),
+                   "histogram bounds must be strictly increasing");
+  counts_.assign(bounds_.size() + 1, 0);
+}
+
+Histogram Histogram::equal_width(u64 width, std::size_t count) {
+  SAFEDM_CHECK(width > 0 && count > 0);
+  std::vector<u64> bounds;
+  bounds.reserve(count);
+  for (std::size_t i = 1; i <= count; ++i) bounds.push_back(width * i);
+  return Histogram(std::move(bounds));
+}
+
+Histogram Histogram::exponential(std::size_t count) {
+  SAFEDM_CHECK(count > 0 && count < 64);
+  std::vector<u64> bounds;
+  bounds.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) bounds.push_back(u64{1} << i);
+  return Histogram(std::move(bounds));
+}
+
+void Histogram::add(u64 sample, u64 weight) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), sample);
+  const std::size_t bin = static_cast<std::size_t>(it - bounds_.begin());
+  counts_[bin] += weight;
+  total_samples_ += 1;
+  total_weight_ += weight;
+  sample_sum_ += sample * weight;
+  max_sample_ = std::max(max_sample_, sample);
+}
+
+void Histogram::clear() {
+  std::fill(counts_.begin(), counts_.end(), 0);
+  total_samples_ = 0;
+  total_weight_ = 0;
+  sample_sum_ = 0;
+  max_sample_ = 0;
+}
+
+u64 Histogram::bin_upper(std::size_t bin) const {
+  SAFEDM_CHECK(bin < counts_.size());
+  if (bin == bounds_.size()) return std::numeric_limits<u64>::max();
+  return bounds_[bin];
+}
+
+std::string Histogram::to_string() const {
+  std::ostringstream os;
+  u64 lower = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) {
+      lower = (i < bounds_.size()) ? bounds_[i] : lower;
+      continue;
+    }
+    if (i == bounds_.size()) {
+      os << "  (" << lower << ", inf)";
+    } else {
+      os << "  (" << lower << ", " << bounds_[i] << "]";
+      lower = bounds_[i];
+    }
+    os << " -> " << counts_[i] << '\n';
+  }
+  os << "  samples=" << total_samples_ << " max=" << max_sample_ << '\n';
+  return os.str();
+}
+
+}  // namespace safedm

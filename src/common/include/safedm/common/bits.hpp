@@ -1,0 +1,72 @@
+// Bit-manipulation helpers shared across the simulator.
+//
+// All helpers are constexpr and operate on explicit-width unsigned types so
+// that instruction-encoding code reads like the ISA manual's field tables.
+#pragma once
+
+#include <cstdint>
+#include <type_traits>
+
+namespace safedm {
+
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using i8 = std::int8_t;
+using i16 = std::int16_t;
+using i32 = std::int32_t;
+using i64 = std::int64_t;
+
+/// Extract bits [hi:lo] (inclusive, hi >= lo) of `value`, right-aligned.
+constexpr u64 bits(u64 value, unsigned hi, unsigned lo) noexcept {
+  const unsigned width = hi - lo + 1;
+  if (width >= 64) return value >> lo;
+  return (value >> lo) & ((u64{1} << width) - 1);
+}
+
+/// Extract a single bit.
+constexpr u64 bit(u64 value, unsigned pos) noexcept { return (value >> pos) & 1; }
+
+/// Sign-extend the low `width` bits of `value` to 64 bits.
+constexpr i64 sign_extend(u64 value, unsigned width) noexcept {
+  if (width == 0 || width >= 64) return static_cast<i64>(value);
+  const u64 mask = (u64{1} << width) - 1;
+  const u64 sign = u64{1} << (width - 1);
+  const u64 v = value & mask;
+  return static_cast<i64>((v ^ sign) - sign);
+}
+
+/// Zero-extend (mask) the low `width` bits.
+constexpr u64 zero_extend(u64 value, unsigned width) noexcept {
+  if (width >= 64) return value;
+  return value & ((u64{1} << width) - 1);
+}
+
+/// True if `value` is a power of two (and nonzero).
+constexpr bool is_pow2(u64 value) noexcept { return value != 0 && (value & (value - 1)) == 0; }
+
+/// log2 of a power of two.
+constexpr unsigned log2_exact(u64 value) noexcept {
+  unsigned n = 0;
+  while (value > 1) {
+    value >>= 1;
+    ++n;
+  }
+  return n;
+}
+
+/// Align `value` down to a multiple of `align` (power of two).
+constexpr u64 align_down(u64 value, u64 align) noexcept { return value & ~(align - 1); }
+
+/// Align `value` up to a multiple of `align` (power of two).
+constexpr u64 align_up(u64 value, u64 align) noexcept {
+  return (value + align - 1) & ~(align - 1);
+}
+
+static_assert(bits(0xF0u, 7, 4) == 0xF);
+static_assert(sign_extend(0x800, 12) == -2048);
+static_assert(sign_extend(0x7FF, 12) == 2047);
+static_assert(align_up(13, 8) == 16);
+
+}  // namespace safedm

@@ -1,0 +1,46 @@
+// Runtime invariant checks.
+//
+// The simulator is a model of hardware whose invariants must hold on every
+// cycle; a violated invariant is a modelling bug, so we fail fast with a
+// descriptive exception rather than limping on with corrupt state.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace safedm {
+
+/// Thrown when a modelling invariant is violated.
+class CheckError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+namespace detail {
+[[noreturn]] inline void check_fail(const char* expr, const char* file, int line,
+                                    const std::string& msg) {
+  std::ostringstream os;
+  os << file << ':' << line << ": check failed: " << expr;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckError(os.str());
+}
+}  // namespace detail
+
+}  // namespace safedm
+
+/// Always-on invariant check (simulation correctness matters more than the
+/// last few percent of speed).
+#define SAFEDM_CHECK(expr)                                                 \
+  do {                                                                     \
+    if (!(expr)) ::safedm::detail::check_fail(#expr, __FILE__, __LINE__, {}); \
+  } while (false)
+
+#define SAFEDM_CHECK_MSG(expr, msg)                                        \
+  do {                                                                     \
+    if (!(expr)) {                                                         \
+      std::ostringstream os_;                                              \
+      os_ << msg;                                                          \
+      ::safedm::detail::check_fail(#expr, __FILE__, __LINE__, os_.str());  \
+    }                                                                      \
+  } while (false)

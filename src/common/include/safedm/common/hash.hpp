@@ -1,0 +1,64 @@
+// Hash primitives used by the compressed-signature ablation (A2) and tests.
+//
+// The hardware SafeDM compares raw FIFO contents; a cheaper variant hashes
+// each signature into a small word at the cost of a collision probability
+// (a potential false negative). CRC32 models a realistic hardware
+// compactor; FNV-1a is used for software-side containers.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <span>
+
+#include "safedm/common/bits.hpp"
+
+namespace safedm {
+
+/// FNV-1a over a byte span (software hashing, containers, tests).
+constexpr u64 fnv1a(std::span<const u8> data, u64 seed = 0xCBF29CE484222325ULL) noexcept {
+  u64 h = seed;
+  for (u8 b : data) {
+    h ^= b;
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+/// Incremental FNV-1a over 64-bit words; convenient for streaming FIFO
+/// contents without materializing a byte buffer.
+class Fnv1a64 {
+ public:
+  void add(u64 word) noexcept {
+    for (int i = 0; i < 8; ++i) {
+      h_ ^= (word >> (8 * i)) & 0xFF;
+      h_ *= 0x100000001B3ULL;
+    }
+  }
+  void add_bit(bool b) noexcept {
+    h_ ^= b ? 0x9Eu : 0x3Cu;
+    h_ *= 0x100000001B3ULL;
+  }
+  u64 value() const noexcept { return h_; }
+
+ private:
+  u64 h_ = 0xCBF29CE484222325ULL;
+};
+
+/// CRC-32 (IEEE 802.3, reflected) — the hardware-style signature compactor.
+class Crc32 {
+ public:
+  void add(u64 word) noexcept {
+    for (int i = 0; i < 8; ++i) add_byte(static_cast<u8>(word >> (8 * i)));
+  }
+  void add_byte(u8 byte) noexcept {
+    crc_ ^= byte;
+    for (int k = 0; k < 8; ++k)
+      crc_ = (crc_ >> 1) ^ (0xEDB88320u & (0u - (crc_ & 1u)));
+  }
+  u32 value() const noexcept { return ~crc_; }
+
+ private:
+  u32 crc_ = 0xFFFFFFFFu;
+};
+
+}  // namespace safedm

@@ -1,0 +1,56 @@
+// Configurable-bin histogram, modelling the SafeDM History module's
+// result-gathering storage (paper Section IV-B4: "stores the results in a
+// histogram fashion, where the bin sizes can be configured").
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "safedm/common/bits.hpp"
+
+namespace safedm {
+
+/// Histogram over u64 samples with caller-defined bin upper bounds.
+///
+/// Bin i counts samples x with bound[i-1] < x <= bound[i]; samples above
+/// the last bound land in a final overflow bin, mirroring a hardware
+/// histogram with a saturating top bin.
+class Histogram {
+ public:
+  /// `upper_bounds` must be strictly increasing and non-empty.
+  explicit Histogram(std::vector<u64> upper_bounds);
+
+  /// Equal-width bins: [1..width], (width..2*width], ... `count` bins.
+  static Histogram equal_width(u64 width, std::size_t count);
+
+  /// Power-of-two bins: [1], (1,2], (2,4], ... up to 2^(count-1).
+  static Histogram exponential(std::size_t count);
+
+  void add(u64 sample, u64 weight = 1);
+  void clear();
+
+  std::size_t bin_count() const { return counts_.size(); }
+  u64 bin_value(std::size_t bin) const { return counts_.at(bin); }
+  /// Upper bound of bin (inclusive); the overflow bin returns UINT64_MAX.
+  u64 bin_upper(std::size_t bin) const;
+
+  u64 total_samples() const { return total_samples_; }
+  u64 total_weight() const { return total_weight_; }
+  /// Sum of sample*weight — e.g. total cycles across all recorded episodes.
+  u64 sample_sum() const { return sample_sum_; }
+  u64 max_sample() const { return max_sample_; }
+
+  /// Multi-line human-readable rendering (used by example apps).
+  std::string to_string() const;
+
+ private:
+  std::vector<u64> bounds_;  // strictly increasing upper bounds
+  std::vector<u64> counts_;  // bounds_.size() + 1 entries (last = overflow)
+  u64 total_samples_ = 0;
+  u64 total_weight_ = 0;
+  u64 sample_sum_ = 0;
+  u64 max_sample_ = 0;
+};
+
+}  // namespace safedm

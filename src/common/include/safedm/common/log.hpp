@@ -1,0 +1,43 @@
+// Minimal leveled logger for simulator diagnostics.
+//
+// Off by default so that benchmark loops pay only a branch; the trace level
+// is what replaces the paper's Modelsim cycle-by-cycle inspection.
+#pragma once
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace safedm {
+
+enum class LogLevel { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kError = 4, kOff = 5 };
+
+class Logger {
+ public:
+  static Logger& instance();
+
+  void set_level(LogLevel level) { level_ = level; }
+  LogLevel level() const { return level_; }
+  bool enabled(LogLevel level) const { return level >= level_; }
+
+  void write(LogLevel level, const std::string& msg);
+
+ private:
+  LogLevel level_ = LogLevel::kWarn;
+};
+
+}  // namespace safedm
+
+#define SAFEDM_LOG(level, stream_expr)                                        \
+  do {                                                                        \
+    if (::safedm::Logger::instance().enabled(level)) {                        \
+      std::ostringstream os_;                                                 \
+      os_ << stream_expr;                                                     \
+      ::safedm::Logger::instance().write(level, os_.str());                   \
+    }                                                                         \
+  } while (false)
+
+#define SAFEDM_TRACE(s) SAFEDM_LOG(::safedm::LogLevel::kTrace, s)
+#define SAFEDM_DEBUG(s) SAFEDM_LOG(::safedm::LogLevel::kDebug, s)
+#define SAFEDM_INFO(s) SAFEDM_LOG(::safedm::LogLevel::kInfo, s)
+#define SAFEDM_WARN(s) SAFEDM_LOG(::safedm::LogLevel::kWarn, s)

@@ -1,0 +1,24 @@
+// Abstract byte-addressed memory port.
+//
+// Shared by the golden-model ISS (functional accesses) and the memory
+// hierarchy (backing storage), so architectural equivalence tests can run
+// both against the same image.
+#pragma once
+
+#include "safedm/common/bits.hpp"
+
+namespace safedm {
+
+class MemoryPort {
+ public:
+  virtual ~MemoryPort() = default;
+
+  /// Read `size` bytes (1, 2, 4 or 8) at `addr`, little-endian,
+  /// zero-extended into the return value.
+  virtual u64 load(u64 addr, unsigned size) = 0;
+
+  /// Write the low `size` bytes of `value` at `addr`, little-endian.
+  virtual void store(u64 addr, u64 value, unsigned size) = 0;
+};
+
+}  // namespace safedm

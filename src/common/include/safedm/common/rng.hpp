@@ -1,0 +1,58 @@
+// Deterministic PRNG (xoshiro256**) for reproducible experiments.
+//
+// The FPGA experiments in the paper have run-to-run variation from initial
+// platform state; we reproduce "multiple runs" by seeding perturbations
+// (arbiter phase, start order) from this generator so every experiment is
+// replayable from its seed.
+#pragma once
+
+#include <cstdint>
+
+#include "safedm/common/bits.hpp"
+
+namespace safedm {
+
+class Xoshiro256 {
+ public:
+  explicit Xoshiro256(u64 seed = 0xDEADBEEFCAFEF00DULL) noexcept { reseed(seed); }
+
+  void reseed(u64 seed) noexcept {
+    // SplitMix64 expansion of the seed into the four state words.
+    u64 x = seed;
+    for (auto& word : state_) {
+      x += 0x9E3779B97F4A7C15ULL;
+      u64 z = x;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  u64 next() noexcept {
+    const u64 result = rotl(state_[1] * 5, 7) * 9;
+    const u64 t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform value in [0, bound).
+  u64 below(u64 bound) noexcept { return bound == 0 ? 0 : next() % bound; }
+
+  /// Uniform value in [lo, hi] inclusive.
+  u64 range(u64 lo, u64 hi) noexcept { return lo + below(hi - lo + 1); }
+
+  bool chance(double p) noexcept {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53 < p;
+  }
+
+ private:
+  static constexpr u64 rotl(u64 x, int k) noexcept { return (x << k) | (x >> (64 - k)); }
+  u64 state_[4]{};
+};
+
+}  // namespace safedm

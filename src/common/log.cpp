@@ -1,0 +1,15 @@
+#include "safedm/common/log.hpp"
+
+namespace safedm {
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::write(LogLevel level, const std::string& msg) {
+  static constexpr const char* kNames[] = {"TRACE", "DEBUG", "INFO", "WARN", "ERROR", "OFF"};
+  std::clog << '[' << kNames[static_cast<int>(level)] << "] " << msg << '\n';
+}
+
+}  // namespace safedm

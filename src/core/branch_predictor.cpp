@@ -1,0 +1,64 @@
+#include "safedm/core/branch_predictor.hpp"
+
+#include "safedm/common/check.hpp"
+
+namespace safedm::core {
+
+BranchPredictor::BranchPredictor(const BranchPredictorConfig& config) : config_(config) {
+  SAFEDM_CHECK(is_pow2(config.bht_entries) && is_pow2(config.btb_entries));
+  reset();
+}
+
+void BranchPredictor::reset() {
+  bht_.assign(config_.bht_entries, 1);  // weakly not-taken
+  btb_.assign(config_.btb_entries, {});
+}
+
+BranchPredictor::Prediction BranchPredictor::predict_branch(u64 pc) {
+  ++stats_.lookups;
+  if (!config_.enabled) return {};
+  Prediction p;
+  p.taken = bht_[bht_index(pc)] >= 2;
+  if (p.taken) {
+    ++stats_.predicted_taken;
+    const BtbEntry& e = btb_[btb_index(pc)];
+    if (e.valid && e.tag == pc) {
+      p.target = e.target;
+      p.has_target = true;
+    } else {
+      // Direction says taken but no target known: fall through (the core
+      // treats a direction-only prediction as not-taken).
+      p.taken = false;
+    }
+  }
+  return p;
+}
+
+BranchPredictor::Prediction BranchPredictor::predict_indirect(u64 pc) {
+  ++stats_.lookups;
+  if (!config_.enabled) return {};
+  const BtbEntry& e = btb_[btb_index(pc)];
+  Prediction p;
+  if (e.valid && e.tag == pc) {
+    p.taken = true;
+    p.target = e.target;
+    p.has_target = true;
+  }
+  return p;
+}
+
+void BranchPredictor::train(u64 pc, bool taken, u64 target) {
+  if (!config_.enabled) return;
+  ++stats_.trains;
+  u8& counter = bht_[bht_index(pc)];
+  if (taken && counter < 3) ++counter;
+  if (!taken && counter > 0) --counter;
+  if (taken) {
+    BtbEntry& e = btb_[btb_index(pc)];
+    e.valid = true;
+    e.tag = pc;
+    e.target = target;
+  }
+}
+
+}  // namespace safedm::core

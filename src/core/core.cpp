@@ -1,0 +1,526 @@
+#include "safedm/core/core.hpp"
+
+#include <algorithm>
+
+#include "safedm/common/check.hpp"
+#include "safedm/isa/decode.hpp"
+
+namespace safedm::core {
+namespace {
+
+constexpr unsigned kF1 = 0, kF2 = 1, kD = 2, kRA = 3, kEX = 4, kME = 5, kWB = 6;
+
+// Bus transaction tags for this core's master port.
+constexpr u32 kTagIFetch = 1;
+constexpr u32 kTagDRefill = 2;
+constexpr u32 kTagSbDrain = 3;
+
+bool is_mem(const isa::InstInfo& ii) { return ii.is_load() || ii.is_store(); }
+
+bool is_long_latency(const isa::InstInfo& ii) {
+  switch (ii.exec_class) {
+    case isa::ExecClass::kMul:
+    case isa::ExecClass::kDiv:
+    case isa::ExecClass::kFpAdd:
+    case isa::ExecClass::kFpMul:
+    case isa::ExecClass::kFpDiv:
+    case isa::ExecClass::kFpFma:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool is_halting(const isa::InstInfo& ii) {
+  return ii.exec_class == isa::ExecClass::kEcall || ii.exec_class == isa::ExecClass::kEbreak;
+}
+
+}  // namespace
+
+const char* stage_name(Stage stage) {
+  static constexpr const char* kNames[] = {"F1", "F2", "D", "RA", "EX", "ME", "WB"};
+  return kNames[static_cast<unsigned>(stage)];
+}
+
+Core::Core(const CoreConfig& config, MemoryPort& mem, bus::AhbBus& bus, std::string name)
+    : config_(config),
+      mem_(mem),
+      bus_(bus),
+      name_(std::move(name)),
+      l1i_(config.l1i, name_ + ".l1i"),
+      l1d_(config.l1d, name_ + ".l1d"),
+      sb_(config.store_buffer),
+      predictor_(config.predictor) {
+  bus_id_ = bus_.attach(this, name_);
+}
+
+void Core::reset(u64 boot_pc, u64 data_base, u64 stack_top) {
+  SAFEDM_CHECK_MSG(boot_pc % 4 == 0, "boot pc must be word aligned");
+  arch_ = isa::ArchState{};
+  arch_.pc = boot_pc;
+  arch_.set_x(10, data_base);  // a0
+  arch_.set_x(2, stack_top);   // sp
+  for (auto& g : stage_) g.clear();
+  fetch_pc_ = boot_pc;
+  fetch_enabled_ = true;
+  x_ready_.fill(0);
+  f_ready_.fill(0);
+  cycle_ = 0;
+  ex_ready_cycle_ = 0;
+  me_state_ = MemState::kIdle;
+  icache_wait_ = false;
+  icache_need_refill_ = false;
+  sb_drain_in_flight_ = false;
+  pipeline_halted_ = false;
+  halt_seen_ = false;
+  external_stall_ = false;
+  l1i_.invalidate_all();
+  l1d_.invalidate_all();
+  predictor_.reset();
+  stats_ = {};
+}
+
+unsigned Core::ex_latency(const Group& group) const {
+  unsigned latency = 1;
+  for (const Slot& slot : group.slot) {
+    if (!slot.valid) continue;
+    unsigned l = 1;
+    switch (slot.inst.info().exec_class) {
+      case isa::ExecClass::kMul:
+        l = config_.mul_latency;
+        break;
+      case isa::ExecClass::kDiv:
+        l = config_.div_latency;
+        break;
+      case isa::ExecClass::kFpAdd:
+        l = config_.fp_add_latency;
+        break;
+      case isa::ExecClass::kFpMul:
+        l = config_.fp_mul_latency;
+        break;
+      case isa::ExecClass::kFpFma:
+        l = config_.fp_fma_latency;
+        break;
+      case isa::ExecClass::kFpDiv:
+        l = config_.fp_div_latency;
+        break;
+      default:
+        break;
+    }
+    latency = std::max(latency, l);
+  }
+  return latency;
+}
+
+bool Core::try_pair(const isa::DecodedInst& first, const isa::DecodedInst& second) const {
+  if (!first.valid() || !second.valid()) return false;
+  const isa::InstInfo& a = first.info();
+  const isa::InstInfo& b = second.info();
+  if (a.changes_control_flow() || is_halting(a)) return false;
+  if (is_halting(b)) return false;
+  if (is_mem(a) && is_mem(b)) return false;
+  if (is_long_latency(a) && is_long_latency(b)) return false;
+
+  // RAW within the pair: the second may not consume the first's result.
+  if (a.writes_rd() && (a.rd_fp() || first.rd != 0)) {
+    const auto depends = [&](bool reads, u8 reg, bool fp) {
+      return reads && fp == a.rd_fp() && reg == first.rd;
+    };
+    if (depends(b.reads_rs1(), second.rs1, b.rs1_fp())) return false;
+    if (depends(b.reads_rs2(), second.rs2, b.rs2_fp())) return false;
+    if (depends(b.reads_rs3(), second.rs3, b.rs3_fp())) return false;
+    // WAW on the same destination.
+    if (b.writes_rd() && b.rd_fp() == a.rd_fp() && second.rd == first.rd) return false;
+  }
+  return true;
+}
+
+void Core::flush_frontend(u64 redirect_pc) {
+  for (unsigned s = kF1; s <= kRA; ++s) stage_[s].clear();
+  fetch_pc_ = redirect_pc;
+  icache_need_refill_ = false;  // cancel a not-yet-issued refill request
+  redirect_bubble_ = true;
+}
+
+void Core::retire(CoreTapFrame& frame) {
+  Group& wb = stage_[kWB];
+  if (!wb.any()) return;
+  unsigned commits = 0;
+  for (unsigned lane = 0; lane < kMaxIssueWidth; ++lane) {
+    Slot& slot = wb.slot[lane];
+    if (!slot.valid) continue;
+    ++commits;
+    // Write-port taps.
+    PortTap& wr = frame.at(lane == 0 ? Port::kLane0Wr : Port::kLane1Wr);
+    wr.enable = slot.rd_written;
+    wr.value = slot.rd_written ? slot.rd_value : 0;
+    if (is_halting(slot.inst.info()) || !slot.inst.valid()) pipeline_halted_ = true;
+  }
+  frame.commits = commits;
+  stats_.committed += commits;
+  ++stats_.committed_groups;
+  if (commits == 2) ++stats_.dual_issue_commits;
+  wb.clear();
+  moved_this_cycle_ = true;
+}
+
+void Core::enter_ex(Group& group, CoreTapFrame& frame) {
+  ex_ready_cycle_ = cycle_ + ex_latency(group);
+  for (unsigned lane = 0; lane < kMaxIssueWidth; ++lane) {
+    Slot& slot = group.slot[lane];
+    if (!slot.valid) continue;
+    const isa::InstInfo& ii = slot.inst.info();
+
+    // Capture operand values for the register read-port taps (post-bypass
+    // architectural values, which is what the RA stage consumes).
+    slot.rs1_read = ii.reads_rs1();
+    slot.rs2_read = ii.reads_rs2();
+    slot.rs1_value = ii.rs1_fp() ? arch_.f[slot.inst.rs1] : arch_.xr(slot.inst.rs1);
+    slot.rs2_value = ii.rs2_fp() ? arch_.f[slot.inst.rs2] : arch_.xr(slot.inst.rs2);
+    const Port rs1_port = lane == 0 ? Port::kLane0Rs1 : Port::kLane1Rs1;
+    const Port rs2_port = lane == 0 ? Port::kLane0Rs2 : Port::kLane1Rs2;
+    frame.at(rs1_port) = PortTap{slot.rs1_read, slot.rs1_read ? slot.rs1_value : 0};
+    frame.at(rs2_port) = PortTap{slot.rs2_read, slot.rs2_read ? slot.rs2_value : 0};
+
+    if (ii.is_load() || ii.is_store())
+      slot.mem_addr = arch_.xr(slot.inst.rs1) + static_cast<u64>(slot.inst.imm);
+
+    // Functional execution (shared with the golden ISS).
+    arch_.pc = slot.pc;
+    isa::Iss::execute(slot.inst, arch_, mem_);
+    const u64 actual_next = arch_.pc;
+
+    // Result capture for the write-port tap at WB.
+    slot.rd_written = ii.writes_rd() && (ii.rd_fp() || slot.inst.rd != 0);
+    slot.rd_value =
+        slot.rd_written ? (ii.rd_fp() ? arch_.f[slot.inst.rd] : arch_.xr(slot.inst.rd)) : 0;
+
+    // Scoreboard: when may a dependent instruction enter EX?
+    if (slot.rd_written) {
+      const u64 ready = ii.is_load() ? cycle_ + 2 : cycle_ + ex_latency(group);
+      reg_ready(ii.rd_fp(), slot.inst.rd) = std::max(reg_ready(ii.rd_fp(), slot.inst.rd), ready);
+    }
+
+    // Halting instruction (ecall/ebreak/illegal): squash younger, stop fetch.
+    if (arch_.halted()) {
+      halt_seen_ = true;
+      fetch_enabled_ = false;
+      if (lane == 0) group.slot[1].valid = false;
+      flush_frontend(slot.pc);  // nothing younger may execute
+      redirect_bubble_ = false; // no refetch will happen anyway
+      break;
+    }
+
+    // Branch predictor training.
+    if (ii.is_branch()) {
+      predictor_.train(slot.pc, actual_next != slot.pc + 4, actual_next);
+    } else if (ii.exec_class == isa::ExecClass::kJalr) {
+      predictor_.train(slot.pc, true, actual_next);
+    }
+
+    // Misprediction: the fetch stream after this slot was wrong.
+    if (actual_next != slot.predicted_next) {
+      ++stats_.mispredicts;
+      predictor_.note_mispredict();
+      if (lane == 0) group.slot[1].valid = false;
+      flush_frontend(actual_next);
+      break;
+    }
+  }
+}
+
+void Core::enter_me(Group& group) {
+  me_state_ = MemState::kDone;
+  for (const Slot& slot : group.slot) {
+    if (!slot.valid) continue;
+    const isa::InstInfo& ii = slot.inst.info();
+    const bool is_mmio = (ii.is_load() || ii.is_store()) &&
+                         slot.mem_addr >= config_.mmio_base &&
+                         slot.mem_addr < config_.mmio_base + config_.mmio_size;
+    if (is_mmio) {
+      // Uncached peripheral access: no cache lookup, no store buffer; the
+      // functional access already happened at EX through the SoC's routing
+      // memory port. Pay a fixed bus latency here.
+      me_state_ = MemState::kMmioWait;
+      me_mmio_done_cycle_ = cycle_ + config_.mmio_latency;
+      if (ii.is_load()) reg_ready(ii.rd_fp(), slot.inst.rd) = me_mmio_done_cycle_ + 1;
+    } else if (ii.is_load()) {
+      if (l1d_.access(slot.mem_addr)) {
+        me_state_ = MemState::kDone;
+      } else {
+        me_state_ = MemState::kNeedRefill;
+        me_refill_line_ = l1d_.line_addr(slot.mem_addr);
+        me_load_rd_ = slot.inst.rd;
+        me_load_fp_ = ii.rd_fp();
+        // The optimistic load-use latency no longer holds; block consumers
+        // until the refill returns.
+        reg_ready(me_load_fp_, me_load_rd_) = ~u64{0};
+      }
+    } else if (ii.is_store()) {
+      (void)l1d_.access(slot.mem_addr);  // write-through: update LRU / count
+      if (sb_.push(slot.mem_addr)) {
+        me_state_ = MemState::kDone;
+      } else {
+        me_state_ = MemState::kStorePending;
+        me_store_addr_ = slot.mem_addr;
+      }
+    } else if (ii.exec_class == isa::ExecClass::kFence) {
+      me_state_ = sb_.empty() ? MemState::kDone : MemState::kFenceDrain;
+    }
+  }
+}
+
+bool Core::step_me() {
+  if (!stage_[kME].any()) return false;
+  switch (me_state_) {
+    case MemState::kIdle:
+    case MemState::kDone:
+      return true;
+    case MemState::kNeedRefill:
+    case MemState::kRefillWait:
+      ++stats_.l1d_miss_stall_cycles;
+      return false;
+    case MemState::kStorePending:
+      if (sb_.push(me_store_addr_)) {
+        me_state_ = MemState::kDone;
+        return true;
+      }
+      ++stats_.sb_full_stall_cycles;
+      return false;
+    case MemState::kFenceDrain:
+      if (sb_.empty()) {
+        me_state_ = MemState::kDone;
+        return true;
+      }
+      return false;
+    case MemState::kMmioWait:
+      if (cycle_ >= me_mmio_done_cycle_) {
+        me_state_ = MemState::kDone;
+        return true;
+      }
+      ++stats_.l1d_miss_stall_cycles;
+      return false;
+  }
+  return false;
+}
+
+void Core::fetch() {
+  if (!fetch_enabled_ || halt_seen_) return;
+  if (redirect_bubble_) {
+    redirect_bubble_ = false;
+    return;
+  }
+  if (icache_wait_ || icache_need_refill_) {
+    ++stats_.l1i_miss_stall_cycles;
+    return;
+  }
+  if (!l1i_.access(fetch_pc_)) {
+    icache_need_refill_ = true;
+    icache_refill_line_ = l1i_.line_addr(fetch_pc_);
+    ++stats_.l1i_miss_stall_cycles;
+    return;
+  }
+
+  Group group;
+  Slot& s0 = group.slot[0];
+  s0.valid = true;
+  s0.pc = fetch_pc_;
+  s0.raw = static_cast<u32>(mem_.load(fetch_pc_, 4));
+  s0.inst = isa::decode(s0.raw);
+
+  bool dual = false;
+  if (fetch_pc_ % 8 == 0) {
+    const u32 raw1 = static_cast<u32>(mem_.load(fetch_pc_ + 4, 4));
+    const isa::DecodedInst inst1 = isa::decode(raw1);
+    if (try_pair(s0.inst, inst1)) {
+      Slot& s1 = group.slot[1];
+      s1.valid = true;
+      s1.pc = fetch_pc_ + 4;
+      s1.raw = raw1;
+      s1.inst = inst1;
+      dual = true;
+    }
+  }
+
+  // Predict the continuation after the last slot of the group.
+  const auto predict_slot = [&](const Slot& slot) -> std::optional<u64> {
+    if (!slot.inst.valid()) return std::nullopt;
+    const isa::InstInfo& ii = slot.inst.info();
+    if (ii.exec_class == isa::ExecClass::kJal)
+      return slot.pc + static_cast<u64>(slot.inst.imm);
+    if (ii.is_branch()) {
+      const auto p = predictor_.predict_branch(slot.pc);
+      if (p.taken && p.has_target) return p.target;
+      return std::nullopt;
+    }
+    if (ii.exec_class == isa::ExecClass::kJalr) {
+      const auto p = predictor_.predict_indirect(slot.pc);
+      if (p.taken && p.has_target) return p.target;
+      return std::nullopt;
+    }
+    return std::nullopt;
+  };
+
+  if (dual) {
+    // Pairing rules guarantee slot 0 is not control flow.
+    Slot& s1 = group.slot[1];
+    s0.predicted_next = s1.pc;
+    const auto target = predict_slot(s1);
+    s1.predicted_next = target.value_or(s1.pc + 4);
+    fetch_pc_ = s1.predicted_next;
+  } else {
+    const auto target = predict_slot(s0);
+    s0.predicted_next = target.value_or(s0.pc + 4);
+    fetch_pc_ = s0.predicted_next;
+  }
+
+  stage_[kF1] = group;
+  moved_this_cycle_ = true;
+}
+
+void Core::service_bus_requests() {
+  if (bus_.has_pending(bus_id_)) return;
+
+  // Data-side refill has priority, except when the missing line is still
+  // sitting in the store buffer: drain it first (memory ordering).
+  if (me_state_ == MemState::kNeedRefill && !sb_.holds_line(me_refill_line_)) {
+    bus_.request(bus_id_, bus::BusTxn{bus::BusTxn::Kind::kReadLine, me_refill_line_, kTagDRefill});
+    me_state_ = MemState::kRefillWait;
+    return;
+  }
+  if (icache_need_refill_) {
+    bus_.request(bus_id_, bus::BusTxn{bus::BusTxn::Kind::kReadLine, icache_refill_line_, kTagIFetch});
+    icache_need_refill_ = false;
+    icache_wait_ = true;
+    return;
+  }
+  if (!sb_.empty() && !sb_drain_in_flight_) {
+    bus_.request(bus_id_, bus::BusTxn{bus::BusTxn::Kind::kWriteLine, sb_.head_line(), kTagSbDrain});
+    sb_drain_in_flight_ = true;
+    return;
+  }
+}
+
+void Core::bus_complete(const bus::BusTxn& txn) {
+  switch (txn.tag) {
+    case kTagIFetch:
+      if (!l1i_.present(txn.addr)) l1i_.fill(txn.addr);
+      icache_wait_ = false;
+      break;
+    case kTagDRefill:
+      SAFEDM_CHECK(me_state_ == MemState::kRefillWait);
+      if (!l1d_.present(txn.addr)) l1d_.fill(txn.addr);
+      me_state_ = MemState::kDone;
+      reg_ready(me_load_fp_, me_load_rd_) = cycle_ + 1;
+      break;
+    case kTagSbDrain:
+      sb_.pop_head();
+      sb_drain_in_flight_ = false;
+      break;
+    default:
+      SAFEDM_CHECK_MSG(false, "unknown bus tag " << txn.tag);
+  }
+}
+
+bool Core::ra_ready(const Group& group) const {
+  for (const Slot& slot : group.slot) {
+    if (!slot.valid) continue;
+    const isa::InstInfo& ii = slot.inst.info();
+    if (ii.reads_rs1() && reg_ready(ii.rs1_fp(), slot.inst.rs1) > cycle_) return false;
+    if (ii.reads_rs2() && reg_ready(ii.rs2_fp(), slot.inst.rs2) > cycle_) return false;
+    if (ii.reads_rs3() && reg_ready(ii.rs3_fp(), slot.inst.rs3) > cycle_) return false;
+  }
+  return true;
+}
+
+void Core::step(CoreTapFrame& frame) {
+  frame = CoreTapFrame{};
+  ++cycle_;
+  ++stats_.cycles;
+  moved_this_cycle_ = false;
+
+  if (pipeline_halted_) {
+    frame.halted = true;
+    frame.hold = true;
+    snapshot_stages(frame);
+    return;
+  }
+  if (external_stall_) {
+    ++stats_.external_stall_cycles;
+    frame.hold = true;
+    snapshot_stages(frame);
+    return;
+  }
+
+  // 1. Retire from WB.
+  retire(frame);
+
+  // 2. ME -> WB.
+  if (stage_[kME].any() && step_me() && !stage_[kWB].any()) {
+    stage_[kWB] = stage_[kME];
+    stage_[kME].clear();
+    me_state_ = MemState::kIdle;
+    moved_this_cycle_ = true;
+  }
+
+  // 3. EX -> ME.
+  if (stage_[kEX].any()) {
+    if (cycle_ < ex_ready_cycle_) {
+      ++stats_.ex_busy_stall_cycles;
+    } else if (!stage_[kME].any()) {
+      stage_[kME] = stage_[kEX];
+      stage_[kEX].clear();
+      enter_me(stage_[kME]);
+      moved_this_cycle_ = true;
+    }
+  }
+
+  // 4. RA -> EX (functional execution happens here).
+  if (stage_[kRA].any() && !stage_[kEX].any()) {
+    if (ra_ready(stage_[kRA])) {
+      stage_[kEX] = stage_[kRA];
+      stage_[kRA].clear();
+      enter_ex(stage_[kEX], frame);
+      moved_this_cycle_ = true;
+    } else {
+      ++stats_.raw_hazard_stall_cycles;
+    }
+  }
+
+  // 5. D -> RA, F2 -> D, F1 -> F2.
+  for (unsigned s = kRA; s > kF1; --s) {
+    if (!stage_[s].any() && stage_[s - 1].any()) {
+      stage_[s] = stage_[s - 1];
+      stage_[s - 1].clear();
+      moved_this_cycle_ = true;
+    }
+  }
+
+  // 6. Fetch a new group into F1.
+  if (!stage_[kF1].any()) fetch();
+
+  // 7. Post bus requests for whatever is outstanding.
+  service_bus_requests();
+
+  // 8. Publish this cycle's observation frame.
+  snapshot_stages(frame);
+  frame.hold = !moved_this_cycle_;
+  frame.halted = pipeline_halted_;
+}
+
+void Core::flip_architectural_bit(u8 reg, unsigned bit) {
+  SAFEDM_CHECK(reg < 32 && bit < 64);
+  if (reg == 0) return;
+  arch_.x[reg] ^= u64{1} << bit;
+}
+
+void Core::snapshot_stages(CoreTapFrame& frame) const {
+  for (unsigned s = 0; s < kPipelineStages; ++s) {
+    for (unsigned lane = 0; lane < kMaxIssueWidth; ++lane) {
+      const Slot& slot = stage_[s].slot[lane];
+      frame.stage[s][lane] = StageSlotTap{slot.valid, slot.valid ? slot.raw : 0};
+    }
+  }
+}
+
+}  // namespace safedm::core

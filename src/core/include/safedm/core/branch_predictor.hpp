@@ -1,0 +1,65 @@
+// Bimodal branch predictor with a direct-mapped BTB, after NOEL-V's
+// BHT/BTB front end. Predictor initial state is part of the natural
+// diversity story (paper Section V-C mentions branch predictor state), so
+// it is explicit, resettable and inspectable.
+#pragma once
+
+#include <vector>
+
+#include "safedm/common/bits.hpp"
+
+namespace safedm::core {
+
+struct BranchPredictorConfig {
+  unsigned bht_entries = 64;  // 2-bit bimodal counters
+  unsigned btb_entries = 16;  // direct-mapped, tagged
+  bool enabled = true;        // disabled: always predict fall-through
+};
+
+struct BranchPredictorStats {
+  u64 lookups = 0;
+  u64 predicted_taken = 0;
+  u64 trains = 0;
+  u64 mispredicts = 0;  // incremented by the core on resolution
+};
+
+class BranchPredictor {
+ public:
+  explicit BranchPredictor(const BranchPredictorConfig& config);
+
+  struct Prediction {
+    bool taken = false;
+    u64 target = 0;
+    bool has_target = false;  // BTB hit (target trustworthy)
+  };
+
+  /// Direction + target prediction for a conditional branch at `pc`.
+  Prediction predict_branch(u64 pc);
+
+  /// Target prediction for an indirect jump (jalr) at `pc`.
+  Prediction predict_indirect(u64 pc);
+
+  /// Train after resolution in EX.
+  void train(u64 pc, bool taken, u64 target);
+
+  void note_mispredict() { ++stats_.mispredicts; }
+  const BranchPredictorStats& stats() const { return stats_; }
+  void reset();
+
+ private:
+  struct BtbEntry {
+    bool valid = false;
+    u64 tag = 0;
+    u64 target = 0;
+  };
+
+  unsigned bht_index(u64 pc) const { return (pc >> 2) & (config_.bht_entries - 1); }
+  unsigned btb_index(u64 pc) const { return (pc >> 2) & (config_.btb_entries - 1); }
+
+  BranchPredictorConfig config_;
+  std::vector<u8> bht_;       // 2-bit saturating counters, init weakly not-taken
+  std::vector<BtbEntry> btb_;
+  BranchPredictorStats stats_;
+};
+
+}  // namespace safedm::core

@@ -1,0 +1,192 @@
+// Cycle-stepped model of a NOEL-V-style RV64 core:
+// dual-issue, in-order, 7-stage pipeline (F1 F2 D RA EX ME WB), private
+// write-through/write-no-allocate L1 D-cache, L1 I-cache, coalescing store
+// buffer, bimodal BHT + BTB, AHB master port towards the shared L2.
+//
+// Functional semantics come from the same Iss::execute the golden ISS
+// uses (executed once per instruction when its group enters EX), so the
+// pipeline cannot diverge architecturally from the reference model; the
+// pipeline machinery only decides *when* things happen. Every cycle the
+// core publishes a CoreTapFrame for SafeDM.
+#pragma once
+
+#include <array>
+#include <optional>
+#include <string>
+
+#include "safedm/bus/ahb.hpp"
+#include "safedm/core/branch_predictor.hpp"
+#include "safedm/core/tap.hpp"
+#include "safedm/isa/iss.hpp"
+#include "safedm/mem/cache.hpp"
+#include "safedm/mem/store_buffer.hpp"
+
+namespace safedm::core {
+
+struct CoreConfig {
+  mem::CacheConfig l1i{.size_bytes = 16 * 1024, .ways = 4, .line_bytes = 32};
+  mem::CacheConfig l1d{.size_bytes = 16 * 1024, .ways = 4, .line_bytes = 32};
+  mem::StoreBufferConfig store_buffer{.entries = 8, .line_bytes = 32, .coalesce = true};
+  BranchPredictorConfig predictor{};
+
+  /// Uncached MMIO window (APB peripherals): accesses bypass the caches
+  /// and the store buffer and pay a fixed bus latency.
+  u64 mmio_base = 0x8000'0000;
+  u64 mmio_size = 0x0010'0000;
+  unsigned mmio_latency = 8;
+
+  // EX occupancy in cycles per execution class.
+  unsigned mul_latency = 3;
+  unsigned div_latency = 35;
+  unsigned fp_add_latency = 4;
+  unsigned fp_mul_latency = 4;
+  unsigned fp_fma_latency = 5;
+  unsigned fp_div_latency = 25;
+};
+
+struct CoreStats {
+  u64 cycles = 0;
+  u64 committed = 0;
+  u64 committed_groups = 0;
+  u64 dual_issue_commits = 0;  // groups that retired 2 instructions
+  u64 mispredicts = 0;
+  u64 l1d_miss_stall_cycles = 0;
+  u64 l1i_miss_stall_cycles = 0;
+  u64 sb_full_stall_cycles = 0;
+  u64 raw_hazard_stall_cycles = 0;
+  u64 ex_busy_stall_cycles = 0;
+  u64 external_stall_cycles = 0;
+};
+
+class Core final : public bus::AhbCompletion {
+ public:
+  /// `mem` provides functional data (fetch + load/store); `bus` carries the
+  /// timing transactions towards the shared L2.
+  Core(const CoreConfig& config, MemoryPort& mem, bus::AhbBus& bus, std::string name);
+
+  /// Reset architectural and microarchitectural state; execution begins at
+  /// `boot_pc` with a0 = `data_base` and sp = `stack_top` (the loader's ABI
+  /// convention — each redundant process gets its own data segment).
+  void reset(u64 boot_pc, u64 data_base, u64 stack_top);
+
+  /// Advance one clock cycle; fills `frame` with this cycle's tap data.
+  void step(CoreTapFrame& frame);
+
+  bool halted() const { return pipeline_halted_; }
+  isa::HaltReason halt_reason() const { return arch_.halt; }
+
+  /// SafeDE-style enforcement hook: while true, the core is frozen
+  /// (clock-gated); cycles still elapse.
+  void set_external_stall(bool stalled) { external_stall_ = stalled; }
+  bool external_stall() const { return external_stall_; }
+
+  /// Fault-injection hook: flip one bit of an architectural integer
+  /// register (models a transient fault in the register file). x0 is
+  /// hardwired and immune.
+  void flip_architectural_bit(u8 reg, unsigned bit);
+
+  const isa::ArchState& arch() const { return arch_; }
+  const CoreStats& stats() const { return stats_; }
+  const mem::CacheStats& l1i_stats() const { return l1i_.stats(); }
+  const mem::CacheStats& l1d_stats() const { return l1d_.stats(); }
+  const mem::StoreBufferStats& sb_stats() const { return sb_.stats(); }
+  const BranchPredictor& predictor() const { return predictor_; }
+  const std::string& name() const { return name_; }
+  u64 cycle() const { return cycle_; }
+
+  // AhbCompletion
+  void bus_complete(const bus::BusTxn& txn) override;
+
+ private:
+  struct Slot {
+    bool valid = false;
+    u64 pc = 0;
+    u32 raw = 0;
+    isa::DecodedInst inst;
+    u64 predicted_next = 0;  // pc the fetch stream assumed follows this slot
+    // Captured at execute time (EX entry) for register-port taps:
+    u64 rs1_value = 0, rs2_value = 0;
+    bool rs1_read = false, rs2_read = false;
+    u64 rd_value = 0;
+    bool rd_written = false;
+    u64 mem_addr = 0;  // effective address for loads/stores
+  };
+
+  struct Group {
+    std::array<Slot, kMaxIssueWidth> slot{};
+    bool any() const { return slot[0].valid || slot[1].valid; }
+    void clear() { slot = {}; }
+  };
+
+  enum class MemState : u8 {
+    kIdle,          // nothing outstanding in ME
+    kNeedRefill,    // load miss waiting to win the master port
+    kRefillWait,    // refill transaction in flight
+    kStorePending,  // store waiting for a store-buffer slot
+    kFenceDrain,    // fence waiting for the store buffer to empty
+    kMmioWait,      // uncached peripheral access in flight
+    kDone,          // ME work finished, group may move to WB
+  };
+
+  // Per-cycle phases.
+  void retire(CoreTapFrame& frame);
+  bool step_me();                    // returns true when ME group may leave
+  void enter_me(Group& group);
+  void enter_ex(Group& group, CoreTapFrame& frame);
+  bool ra_ready(const Group& group) const;
+  void fetch();
+  void service_bus_requests();
+  void flush_frontend(u64 redirect_pc);
+  void snapshot_stages(CoreTapFrame& frame) const;
+
+  unsigned ex_latency(const Group& group) const;
+  u64& reg_ready(bool fp, u8 reg) { return fp ? f_ready_[reg] : x_ready_[reg]; }
+  u64 reg_ready(bool fp, u8 reg) const { return fp ? f_ready_[reg] : x_ready_[reg]; }
+
+  bool try_pair(const isa::DecodedInst& first, const isa::DecodedInst& second) const;
+
+  CoreConfig config_;
+  MemoryPort& mem_;
+  bus::AhbBus& bus_;
+  int bus_id_ = -1;
+  std::string name_;
+
+  isa::ArchState arch_;
+  mem::CacheTags l1i_;
+  mem::CacheTags l1d_;
+  mem::StoreBuffer sb_;
+  BranchPredictor predictor_;
+
+  std::array<Group, kPipelineStages> stage_{};
+  u64 fetch_pc_ = 0;
+  bool fetch_enabled_ = false;
+
+  std::array<u64, 32> x_ready_{};
+  std::array<u64, 32> f_ready_{};
+
+  u64 cycle_ = 0;
+  u64 ex_ready_cycle_ = 0;  // cycle at which the EX group may leave
+
+  MemState me_state_ = MemState::kIdle;
+  u64 me_refill_line_ = 0;
+  u64 me_store_addr_ = 0;
+  u64 me_mmio_done_cycle_ = 0;
+  u8 me_load_rd_ = 0;
+  bool me_load_fp_ = false;
+  bool redirect_bubble_ = false;  // one dead fetch cycle after a flush
+
+  bool icache_wait_ = false;       // refill in flight for the fetch line
+  bool icache_need_refill_ = false;
+  u64 icache_refill_line_ = 0;
+
+  bool sb_drain_in_flight_ = false;
+
+  bool pipeline_halted_ = false;
+  bool halt_seen_ = false;  // halting instruction executed; stop fetching
+  bool external_stall_ = false;
+  bool moved_this_cycle_ = false;
+
+  CoreStats stats_;
+};
+
+}  // namespace safedm::core

@@ -1,0 +1,69 @@
+// SafeDM observation interface ("taps") exported by the core model.
+//
+// This is the hardware boundary from the paper's Fig. 4: the Signature
+// generator consumes, per cycle and per core, (a) the instruction encoding
+// + valid bit of every pipeline-stage slot, (b) the value + enable of each
+// monitored register-file port, and (c) the hold signal that freezes the
+// FIFOs while the pipeline is stalled. SafeDM is built only against this
+// interface, which keeps it portable across core models.
+#pragma once
+
+#include <array>
+
+#include "safedm/common/bits.hpp"
+
+namespace safedm::core {
+
+inline constexpr unsigned kPipelineStages = 7;  // F1 F2 D RA EX ME WB
+inline constexpr unsigned kMaxIssueWidth = 2;   // dual issue
+inline constexpr unsigned kMaxPorts = 6;        // monitored register ports
+
+/// Names of the 7 NOEL-V-style stages, index-aligned with tap frames.
+enum class Stage : u8 { kF1 = 0, kF2, kD, kRA, kEX, kME, kWB };
+const char* stage_name(Stage stage);
+
+/// Monitored register-file ports. The paper's integration uses 4 FIFOs
+/// (Section IV-B1); the "paper" preset taps ports 0..3, the "full" preset
+/// taps all 6.
+enum class Port : u8 {
+  kLane0Rs1 = 0,
+  kLane0Rs2 = 1,
+  kLane0Wr = 2,
+  kLane1Wr = 3,
+  kLane1Rs1 = 4,
+  kLane1Rs2 = 5,
+};
+
+struct StageSlotTap {
+  bool valid = false;
+  u32 encoding = 0;
+
+  bool operator==(const StageSlotTap&) const = default;
+};
+
+struct PortTap {
+  bool enable = false;
+  u64 value = 0;
+
+  bool operator==(const PortTap&) const = default;
+};
+
+/// Everything SafeDM can see of one core in one cycle.
+struct CoreTapFrame {
+  std::array<std::array<StageSlotTap, kMaxIssueWidth>, kPipelineStages> stage{};
+  std::array<PortTap, kMaxPorts> port{};
+  bool hold = false;      // no pipeline movement this cycle: FIFOs freeze
+  unsigned commits = 0;   // instructions retired this cycle (Instruction diff)
+  bool halted = false;
+
+  StageSlotTap& slot(Stage s, unsigned lane) {
+    return stage[static_cast<unsigned>(s)][lane];
+  }
+  const StageSlotTap& slot(Stage s, unsigned lane) const {
+    return stage[static_cast<unsigned>(s)][lane];
+  }
+  PortTap& at(Port p) { return port[static_cast<unsigned>(p)]; }
+  const PortTap& at(Port p) const { return port[static_cast<unsigned>(p)]; }
+};
+
+}  // namespace safedm::core

@@ -1,0 +1,51 @@
+#include "safedm/dcls/dcls.hpp"
+
+#include <algorithm>
+
+namespace safedm::dcls {
+
+void DclsChecker::collect(unsigned which, const core::CoreTapFrame& frame,
+                          std::deque<CommitRecord>& out) {
+  // `frame.commits` retirements correspond to the slots that sat in WB in
+  // the previous cycle's snapshot; their result values ride on this
+  // cycle's write ports.
+  unsigned lane_commits = 0;
+  for (unsigned lane = 0; lane < core::kMaxIssueWidth && lane_commits < frame.commits;
+       ++lane) {
+    const core::StageSlotTap& slot = prev_wb_[which][lane];
+    if (!slot.valid) continue;
+    ++lane_commits;
+    CommitRecord record;
+    record.encoding = slot.encoding;
+    const core::PortTap& wr =
+        frame.port[static_cast<unsigned>(lane == 0 ? core::Port::kLane0Wr
+                                                   : core::Port::kLane1Wr)];
+    record.rd_written = wr.enable;
+    record.rd_value = wr.enable ? wr.value : 0;
+    out.push_back(record);
+  }
+  prev_wb_[which] = frame.stage[static_cast<unsigned>(core::Stage::kWB)];
+}
+
+void DclsChecker::on_cycle(u64, const core::CoreTapFrame& frame0,
+                           const core::CoreTapFrame& frame1) {
+  const auto& head_frame = config_.head_core == 0 ? frame0 : frame1;
+  const auto& shadow_frame = config_.head_core == 0 ? frame1 : frame0;
+  collect(0, head_frame, head_queue_);
+  collect(1, shadow_frame, shadow_queue_);
+
+  while (!head_queue_.empty() && !shadow_queue_.empty()) {
+    const CommitRecord head = head_queue_.front();
+    const CommitRecord shadow = shadow_queue_.front();
+    head_queue_.pop_front();
+    shadow_queue_.pop_front();
+    ++stats_.compared_commits;
+    if (!(head == shadow)) ++stats_.mismatches;
+  }
+  stats_.max_skew =
+      std::max<u64>(stats_.max_skew, std::max(head_queue_.size(), shadow_queue_.size()));
+  if (head_queue_.size() > config_.max_queue || shadow_queue_.size() > config_.max_queue)
+    stats_.desynchronized = true;
+}
+
+}  // namespace safedm::dcls

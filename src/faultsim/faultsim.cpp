@@ -1,0 +1,178 @@
+#include "safedm/faultsim/faultsim.hpp"
+
+#include <algorithm>
+
+#include "safedm/common/check.hpp"
+#include "safedm/common/rng.hpp"
+#include "safedm/safedm/monitor.hpp"
+#include "safedm/soc/soc.hpp"
+#include "safedm/workloads/workloads.hpp"
+
+namespace safedm::faultsim {
+namespace {
+
+constexpr u64 kDefaultBudget = 30'000'000;
+
+struct Rig {
+  explicit Rig(monitor::SafeDmConfig dm_config) : soc(soc::SocConfig{}), dm([&] {
+    dm_config.start_enabled = true;
+    return dm_config;
+  }()) {
+    soc.add_observer(&dm);
+  }
+
+  void load(const assembler::Program& program) {
+    soc.load_redundant(program);
+    dm.set_prelude_ignore(0, 0);
+    dm.set_prelude_ignore(1, 0);
+  }
+
+  u64 result(unsigned core_index) {
+    const u64 base = core_index == 0 ? soc.config().data_base0 : soc.config().data_base1;
+    return soc.memory().load(base + workloads::kResultOffset, 8);
+  }
+
+  soc::MpSoc soc;
+  monitor::SafeDm dm;
+};
+
+Outcome classify(Rig& rig, u64 golden, bool finished, bool crashed) {
+  if (crashed) return Outcome::kCrashed;
+  if (!finished) return Outcome::kHung;
+  // A core that halted for any reason other than a clean ecall is a
+  // detectable failure as well.
+  if (rig.soc.core(0).halt_reason() != isa::HaltReason::kEcall ||
+      rig.soc.core(1).halt_reason() != isa::HaltReason::kEcall)
+    return Outcome::kCrashed;
+  const u64 r0 = rig.result(0);
+  const u64 r1 = rig.result(1);
+  if (r0 != r1) return Outcome::kDetected;
+  if (r0 == golden) return Outcome::kMasked;
+  return Outcome::kCcf;
+}
+
+Outcome run_with_fault(const assembler::Program& program, const Injection& injection,
+                       bool both_cores, unsigned target_core, u64 golden, u64 max_cycles) {
+  Rig rig{monitor::SafeDmConfig{}};
+  rig.load(program);
+  bool crashed = false;
+  bool injected = false;
+  try {
+    while (!rig.soc.all_halted() && rig.soc.cycle() < max_cycles) {
+      rig.soc.step();
+      if (!injected && rig.soc.cycle() >= injection.cycle) {
+        injected = true;
+        if (both_cores) {
+          rig.soc.core(0).flip_architectural_bit(injection.reg, injection.bit);
+          rig.soc.core(1).flip_architectural_bit(injection.reg, injection.bit);
+        } else {
+          rig.soc.core(target_core).flip_architectural_bit(injection.reg, injection.bit);
+        }
+      }
+    }
+  } catch (const CheckError&) {
+    // Wild pointer / unmapped access after the flip: a loud, detectable
+    // failure (the platform would raise a bus error).
+    crashed = true;
+  }
+  return classify(rig, golden, rig.soc.all_halted(), crashed);
+}
+
+}  // namespace
+
+const char* outcome_name(Outcome outcome) {
+  switch (outcome) {
+    case Outcome::kMasked:
+      return "masked";
+    case Outcome::kDetected:
+      return "detected";
+    case Outcome::kCcf:
+      return "CCF";
+    case Outcome::kCrashed:
+      return "crashed";
+    case Outcome::kHung:
+      return "hung";
+  }
+  return "?";
+}
+
+ReferenceTrace record_reference(const assembler::Program& program,
+                                const monitor::SafeDmConfig& dm_config) {
+  Rig rig{dm_config};
+  rig.load(program);
+  ReferenceTrace trace;
+  while (!rig.soc.all_halted() && rig.soc.cycle() < kDefaultBudget) {
+    rig.soc.step();
+    trace.nodiv.push_back(rig.dm.lacking_diversity_now());
+  }
+  SAFEDM_CHECK_MSG(rig.soc.all_halted(), "reference run did not finish");
+  trace.golden_checksum = rig.result(0);
+  SAFEDM_CHECK_MSG(trace.golden_checksum == rig.result(1),
+                   "reference run: redundant results disagree");
+  trace.cycles = rig.soc.cycle();
+  return trace;
+}
+
+Outcome inject_identical_fault(const assembler::Program& program, const Injection& injection,
+                               u64 golden_checksum, u64 max_cycles) {
+  return run_with_fault(program, injection, /*both_cores=*/true, 0, golden_checksum,
+                        max_cycles);
+}
+
+Outcome inject_single_fault(const assembler::Program& program, const Injection& injection,
+                            unsigned target_core, u64 golden_checksum, u64 max_cycles) {
+  SAFEDM_CHECK(target_core < soc::kNumCores);
+  return run_with_fault(program, injection, /*both_cores=*/false, target_core,
+                        golden_checksum, max_cycles);
+}
+
+u64 CampaignResult::total(bool nodiv_class) const {
+  u64 sum = 0;
+  for (u64 c : counts[nodiv_class ? 1 : 0]) sum += c;
+  return sum;
+}
+
+double CampaignResult::ccf_rate(bool nodiv_class) const {
+  const u64 n = total(nodiv_class);
+  if (n == 0) return 0.0;
+  return static_cast<double>(counts[nodiv_class ? 1 : 0][static_cast<int>(Outcome::kCcf)]) / n;
+}
+
+CampaignResult run_campaign(const assembler::Program& program, const CampaignConfig& config,
+                            const monitor::SafeDmConfig& dm_config) {
+  const ReferenceTrace trace = record_reference(program, dm_config);
+
+  // Collect candidate injection cycles for each verdict class. Skip the
+  // first ~100 cycles (startup) so the flipped registers are live.
+  std::vector<u64> diverse_cycles, nodiv_cycles;
+  for (u64 c = 100; c < trace.nodiv.size(); ++c)
+    (trace.nodiv[c] ? nodiv_cycles : diverse_cycles).push_back(c + 1);
+
+  Xoshiro256 rng(config.seed);
+  const auto sample = [&](std::vector<u64>& pool, unsigned count) {
+    std::vector<u64> picked;
+    for (unsigned i = 0; i < count && !pool.empty(); ++i)
+      picked.push_back(pool[rng.below(pool.size())]);
+    return picked;
+  };
+
+  CampaignResult result;
+  const u64 budget = trace.cycles * 4 + 100'000;
+  for (int cls = 0; cls < 2; ++cls) {
+    auto& pool = cls == 1 ? nodiv_cycles : diverse_cycles;
+    for (u64 cycle : sample(pool, config.samples_per_class)) {
+      for (u8 reg : config.registers) {
+        for (unsigned bit : config.bits) {
+          const Outcome outcome =
+              inject_identical_fault(program, Injection{cycle, reg, bit},
+                                     trace.golden_checksum, budget);
+          ++result.counts[cls][static_cast<int>(outcome)];
+          ++result.injections;
+        }
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace safedm::faultsim

@@ -1,0 +1,83 @@
+// Common-cause-failure (CCF) fault-injection campaign.
+//
+// Validates the premise of the paper (Section III-B): when two redundant
+// cores hold *identical* state, a single physical fault affecting both
+// identically (e.g. a voltage droop flipping the same register bit in
+// both) produces identical errors, which output comparison cannot detect —
+// a CCF. When the cores are diverse, the same double fault lands on
+// different state and the errors differ, so comparison catches them.
+//
+// The campaign:
+//   1. a reference run records SafeDM's per-cycle verdict and the golden
+//      result checksum;
+//   2. injection runs flip the same register bit in both cores at a chosen
+//      cycle and classify the outcome;
+//   3. outcomes are aggregated by the SafeDM verdict at the injection
+//      cycle, yielding the empirical CCF rate per verdict class.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "safedm/assembler/assembler.hpp"
+#include "safedm/common/bits.hpp"
+#include "safedm/safedm/config.hpp"
+
+namespace safedm::faultsim {
+
+enum class Outcome : u8 {
+  kMasked,    // both results equal the golden value: fault had no effect
+  kDetected,  // the two cores' results differ: comparison catches the error
+  kCcf,       // results agree with each other but are wrong: undetectable
+  kCrashed,   // a core trapped / accessed unmapped memory: detectable
+  kHung,      // a core failed to finish within the cycle budget: watchdog
+};
+
+const char* outcome_name(Outcome outcome);
+
+struct ReferenceTrace {
+  std::vector<bool> nodiv;     // SafeDM verdict per cycle (index 0 = cycle 1)
+  u64 golden_checksum = 0;
+  u64 cycles = 0;
+};
+
+/// Reference run: record per-cycle verdicts and the golden result.
+ReferenceTrace record_reference(const assembler::Program& program,
+                                const monitor::SafeDmConfig& dm_config = {});
+
+struct Injection {
+  u64 cycle = 0;   // inject right after this SoC cycle completes
+  u8 reg = 5;      // architectural integer register (1..31)
+  unsigned bit = 0;
+};
+
+/// Run with the identical fault injected into BOTH cores (the CCF model).
+Outcome inject_identical_fault(const assembler::Program& program, const Injection& injection,
+                               u64 golden_checksum, u64 max_cycles);
+
+/// Run with the fault injected into ONE core (the single-fault model the
+/// redundancy is designed for; must always be masked or detected).
+Outcome inject_single_fault(const assembler::Program& program, const Injection& injection,
+                            unsigned target_core, u64 golden_checksum, u64 max_cycles);
+
+struct CampaignConfig {
+  unsigned samples_per_class = 12;  // injection cycles sampled per verdict class
+  std::vector<u8> registers{6, 9, 18};  // t1, s1, s2: live in most workloads
+  std::vector<unsigned> bits{2, 17, 40};
+  u64 seed = 1;
+};
+
+struct CampaignResult {
+  // [verdict: 0 = diverse cycle, 1 = no-diversity cycle][outcome]
+  u64 counts[2][5] = {};
+  u64 injections = 0;
+
+  u64 total(bool nodiv_class) const;
+  double ccf_rate(bool nodiv_class) const;
+};
+
+/// Full campaign over one workload.
+CampaignResult run_campaign(const assembler::Program& program, const CampaignConfig& config,
+                            const monitor::SafeDmConfig& dm_config = {});
+
+}  // namespace safedm::faultsim

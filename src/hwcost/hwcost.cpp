@@ -1,0 +1,49 @@
+#include "safedm/hwcost/hwcost.hpp"
+
+#include <cmath>
+
+#include "safedm/core/tap.hpp"
+
+namespace safedm::hwcost {
+
+CostEstimate estimate(const monitor::SafeDmConfig& config, const Calibration& cal) {
+  CostEstimate est;
+
+  const u64 entry_bits = static_cast<u64>(cal.data_width_bits) + 1;  // value + enable
+  const u64 slot_bits = static_cast<u64>(cal.encoding_width_bits) + 1;  // encoding + valid
+
+  est.ds_bits = 2ull * config.num_ports * config.data_fifo_depth * entry_bits;
+  est.is_bits = 2ull * core::kPipelineStages * core::kMaxIssueWidth * slot_bits;
+  est.storage_bits = est.ds_bits + est.is_bits;
+
+  // The comparator sees one core's worth of signature bits against the
+  // other's; with CRC compression only the compacted words are compared,
+  // but the compactor fabric itself costs LUTs.
+  const u64 per_core_bits = est.storage_bits / 2;
+  double luts_compare = 0.0;
+  if (config.compare == monitor::CompareMode::kRaw) {
+    est.compare_bits = per_core_bits;
+    luts_compare = static_cast<double>(per_core_bits) * cal.luts_per_compare_bit;
+  } else {
+    est.compare_bits = 64;  // two 32-bit CRCs
+    luts_compare = 64 * cal.luts_per_compare_bit +
+                   static_cast<double>(per_core_bits) * cal.luts_crc_per_bit;
+  }
+
+  est.flip_flops = est.storage_bits + cal.control_ffs;
+  est.luts_storage =
+      static_cast<u64>(std::llround(static_cast<double>(est.storage_bits) *
+                                    cal.luts_per_storage_bit));
+  est.luts_compare = static_cast<u64>(std::llround(luts_compare));
+  est.luts_control = cal.control_luts;
+  est.luts_total = est.luts_storage + est.luts_compare + est.luts_control;
+  est.area_fraction =
+      static_cast<double>(est.luts_total) / static_cast<double>(cal.baseline_mpsoc_luts);
+
+  est.power_watts = static_cast<double>(est.storage_bits) * cal.watts_per_storage_bit +
+                    0.002;  // static + control
+  est.power_fraction = est.power_watts / cal.baseline_power_watts;
+  return est;
+}
+
+}  // namespace safedm::hwcost

@@ -1,0 +1,76 @@
+#include "safedm/isa/decode.hpp"
+
+#include <array>
+#include <vector>
+
+namespace safedm::isa {
+namespace {
+
+// Candidate mnemonics bucketed by the 7-bit major opcode so decode is a
+// short scan instead of a walk over the whole table.
+struct OpcodeIndex {
+  std::array<std::vector<Mnemonic>, 128> buckets;
+
+  OpcodeIndex() {
+    for (const InstInfo& ii : inst_table()) {
+      const u32 opcode = ii.match & 0x7Fu;
+      buckets[opcode].push_back(ii.mnemonic);
+    }
+  }
+};
+
+const OpcodeIndex& opcode_index() {
+  static const OpcodeIndex index;
+  return index;
+}
+
+i64 extract_imm(Format fmt, u32 raw) {
+  switch (fmt) {
+    case Format::kI:
+      return sign_extend(bits(raw, 31, 20), 12);
+    case Format::kISh64:
+      return static_cast<i64>(bits(raw, 25, 20));
+    case Format::kISh32:
+      return static_cast<i64>(bits(raw, 24, 20));
+    case Format::kS:
+      return sign_extend((bits(raw, 31, 25) << 5) | bits(raw, 11, 7), 12);
+    case Format::kB:
+      return sign_extend((bit(raw, 31) << 12) | (bit(raw, 7) << 11) |
+                             (bits(raw, 30, 25) << 5) | (bits(raw, 11, 8) << 1),
+                         13);
+    case Format::kU:
+      // Stored pre-shifted: the architectural value added/loaded is imm<<12.
+      return sign_extend(bits(raw, 31, 12), 20) << 12;
+    case Format::kJ:
+      return sign_extend((bit(raw, 31) << 20) | (bits(raw, 19, 12) << 12) |
+                             (bit(raw, 20) << 11) | (bits(raw, 30, 21) << 1),
+                         21);
+    case Format::kR:
+    case Format::kRFp:
+    case Format::kRFp1:
+    case Format::kR4:
+      return 0;
+  }
+  return 0;
+}
+
+}  // namespace
+
+DecodedInst decode(u32 raw) {
+  DecodedInst inst;
+  inst.raw = raw;
+  for (Mnemonic m : opcode_index().buckets[raw & 0x7Fu]) {
+    const InstInfo& ii = info(m);
+    if ((raw & ii.mask) != ii.match) continue;
+    inst.mnemonic = m;
+    inst.rd = static_cast<u8>(bits(raw, 11, 7));
+    inst.rs1 = static_cast<u8>(bits(raw, 19, 15));
+    inst.rs2 = static_cast<u8>(bits(raw, 24, 20));
+    inst.rs3 = static_cast<u8>(bits(raw, 31, 27));
+    inst.imm = extract_imm(ii.format, raw);
+    return inst;
+  }
+  return inst;  // kInvalid
+}
+
+}  // namespace safedm::isa

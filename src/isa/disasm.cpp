@@ -1,0 +1,79 @@
+#include "safedm/isa/disasm.hpp"
+
+#include <sstream>
+
+#include "safedm/isa/decode.hpp"
+
+namespace safedm::isa {
+namespace {
+
+std::string reg_name(u8 index, bool fp) {
+  std::ostringstream os;
+  os << (fp ? 'f' : 'x') << static_cast<unsigned>(index);
+  return os.str();
+}
+
+}  // namespace
+
+std::string disassemble(const DecodedInst& inst) {
+  if (!inst.valid()) {
+    std::ostringstream os;
+    os << ".word 0x" << std::hex << inst.raw;
+    return os.str();
+  }
+  const InstInfo& ii = inst.info();
+  std::ostringstream os;
+  os << ii.name;
+
+  const auto rd = [&] { return reg_name(inst.rd, ii.rd_fp()); };
+  const auto rs1 = [&] { return reg_name(inst.rs1, ii.rs1_fp()); };
+  const auto rs2 = [&] { return reg_name(inst.rs2, ii.rs2_fp()); };
+  const auto rs3 = [&] { return reg_name(inst.rs3, ii.rs3_fp()); };
+
+  switch (ii.format) {
+    case Format::kR:
+    case Format::kRFp:
+      if (ii.reads_rs2())
+        os << ' ' << rd() << ", " << rs1() << ", " << rs2();
+      else
+        os << ' ' << rd() << ", " << rs1();
+      break;
+    case Format::kRFp1:
+      os << ' ' << rd() << ", " << rs1();
+      break;
+    case Format::kR4:
+      os << ' ' << rd() << ", " << rs1() << ", " << rs2() << ", " << rs3();
+      break;
+    case Format::kI:
+      if (ii.exec_class == ExecClass::kEcall || ii.exec_class == ExecClass::kEbreak ||
+          ii.exec_class == ExecClass::kFence) {
+        // no operands
+      } else if (ii.is_load()) {
+        os << ' ' << rd() << ", " << inst.imm << '(' << rs1() << ')';
+      } else {
+        os << ' ' << rd() << ", " << rs1() << ", " << inst.imm;
+      }
+      break;
+    case Format::kISh64:
+    case Format::kISh32:
+      os << ' ' << rd() << ", " << rs1() << ", " << inst.imm;
+      break;
+    case Format::kS:
+      os << ' ' << rs2() << ", " << inst.imm << '(' << rs1() << ')';
+      break;
+    case Format::kB:
+      os << ' ' << rs1() << ", " << rs2() << ", " << inst.imm;
+      break;
+    case Format::kU:
+      os << ' ' << rd() << ", 0x" << std::hex << (static_cast<u64>(inst.imm) >> 12);
+      break;
+    case Format::kJ:
+      os << ' ' << rd() << ", " << inst.imm;
+      break;
+  }
+  return os.str();
+}
+
+std::string disassemble(u32 raw) { return disassemble(decode(raw)); }
+
+}  // namespace safedm::isa

@@ -1,0 +1,12 @@
+// Instruction decoder: raw 32-bit encoding -> DecodedInst.
+#pragma once
+
+#include "safedm/isa/inst.hpp"
+
+namespace safedm::isa {
+
+/// Decode one 32-bit instruction word. Unknown encodings decode to
+/// Mnemonic::kInvalid (the pipeline raises an illegal-instruction trap).
+DecodedInst decode(u32 raw);
+
+}  // namespace safedm::isa

@@ -1,0 +1,17 @@
+// Disassembler for traces and test diagnostics.
+#pragma once
+
+#include <string>
+
+#include "safedm/isa/inst.hpp"
+
+namespace safedm::isa {
+
+/// Render a decoded instruction in assembler-like syntax, e.g.
+/// "addi x5, x5, -1" or "fmadd.d f1, f2, f3, f4".
+std::string disassemble(const DecodedInst& inst);
+
+/// Convenience overload decoding first.
+std::string disassemble(u32 raw);
+
+}  // namespace safedm::isa

@@ -1,0 +1,212 @@
+// Instruction encoders.
+//
+// One function per mnemonic, built on format packers that mirror the RISC-V
+// spec's bit layouts. Immediate ranges are checked eagerly: an
+// out-of-range immediate is a workload-authoring bug we want at build time
+// of the program image, not as a misdecoded instruction later.
+#pragma once
+
+#include "safedm/common/bits.hpp"
+#include "safedm/common/check.hpp"
+#include "safedm/isa/inst.hpp"
+
+namespace safedm::isa::enc {
+
+using Reg = u8;  // x0..x31 or f0..f31 depending on instruction
+
+namespace detail {
+
+inline void check_reg(Reg r) { SAFEDM_CHECK_MSG(r < 32, "register index out of range"); }
+
+inline void check_simm(i64 imm, unsigned width) {
+  const i64 lo = -(i64{1} << (width - 1));
+  const i64 hi = (i64{1} << (width - 1)) - 1;
+  SAFEDM_CHECK_MSG(imm >= lo && imm <= hi,
+                   "immediate " << imm << " does not fit in " << width << " signed bits");
+}
+
+inline u32 pack_r(u32 match, Reg rd, Reg rs1, Reg rs2) {
+  check_reg(rd);
+  check_reg(rs1);
+  check_reg(rs2);
+  return match | (u32{rd} << 7) | (u32{rs1} << 15) | (u32{rs2} << 20);
+}
+
+inline u32 pack_r4(u32 match, Reg rd, Reg rs1, Reg rs2, Reg rs3) {
+  check_reg(rs3);
+  return pack_r(match, rd, rs1, rs2) | (u32{rs3} << 27);
+}
+
+inline u32 pack_i(u32 match, Reg rd, Reg rs1, i64 imm) {
+  check_reg(rd);
+  check_reg(rs1);
+  check_simm(imm, 12);
+  return match | (u32{rd} << 7) | (u32{rs1} << 15) |
+         (static_cast<u32>(imm & 0xFFF) << 20);
+}
+
+inline u32 pack_sh(u32 match, Reg rd, Reg rs1, unsigned shamt, unsigned max_shamt) {
+  check_reg(rd);
+  check_reg(rs1);
+  SAFEDM_CHECK_MSG(shamt <= max_shamt, "shift amount out of range");
+  return match | (u32{rd} << 7) | (u32{rs1} << 15) | (static_cast<u32>(shamt) << 20);
+}
+
+inline u32 pack_s(u32 match, Reg rs1, Reg rs2, i64 imm) {
+  check_reg(rs1);
+  check_reg(rs2);
+  check_simm(imm, 12);
+  const u32 uimm = static_cast<u32>(imm & 0xFFF);
+  return match | (bits(uimm, 4, 0) << 7) | (u32{rs1} << 15) | (u32{rs2} << 20) |
+         (static_cast<u32>(bits(uimm, 11, 5)) << 25);
+}
+
+inline u32 pack_b(u32 match, Reg rs1, Reg rs2, i64 offset) {
+  check_reg(rs1);
+  check_reg(rs2);
+  SAFEDM_CHECK_MSG((offset & 1) == 0, "branch offset must be even");
+  check_simm(offset, 13);
+  const u32 uimm = static_cast<u32>(offset & 0x1FFF);
+  return match | (static_cast<u32>(bit(uimm, 11)) << 7) |
+         (static_cast<u32>(bits(uimm, 4, 1)) << 8) | (u32{rs1} << 15) | (u32{rs2} << 20) |
+         (static_cast<u32>(bits(uimm, 10, 5)) << 25) |
+         (static_cast<u32>(bit(uimm, 12)) << 31);
+}
+
+inline u32 pack_u(u32 match, Reg rd, i64 imm20) {
+  check_reg(rd);
+  // imm20 is the value placed in bits [31:12]; accept signed or unsigned views.
+  SAFEDM_CHECK_MSG(imm20 >= -(i64{1} << 19) && imm20 < (i64{1} << 20),
+                   "U-type immediate out of range");
+  return match | (u32{rd} << 7) | (static_cast<u32>(imm20 & 0xFFFFF) << 12);
+}
+
+inline u32 pack_j(u32 match, Reg rd, i64 offset) {
+  check_reg(rd);
+  SAFEDM_CHECK_MSG((offset & 1) == 0, "jump offset must be even");
+  check_simm(offset, 21);
+  const u32 uimm = static_cast<u32>(offset & 0x1FFFFF);
+  return match | (u32{rd} << 7) | (static_cast<u32>(bits(uimm, 19, 12)) << 12) |
+         (static_cast<u32>(bit(uimm, 11)) << 20) |
+         (static_cast<u32>(bits(uimm, 10, 1)) << 21) |
+         (static_cast<u32>(bit(uimm, 20)) << 31);
+}
+
+}  // namespace detail
+
+// ---- RV64I ------------------------------------------------------------------
+inline u32 lui(Reg rd, i64 imm20) { return detail::pack_u(0x37u, rd, imm20); }
+inline u32 auipc(Reg rd, i64 imm20) { return detail::pack_u(0x17u, rd, imm20); }
+inline u32 jal(Reg rd, i64 offset) { return detail::pack_j(0x6Fu, rd, offset); }
+inline u32 jalr(Reg rd, Reg rs1, i64 imm) { return detail::pack_i(0x67u, rd, rs1, imm); }
+
+inline u32 beq(Reg rs1, Reg rs2, i64 off) { return detail::pack_b(0x63u, rs1, rs2, off); }
+inline u32 bne(Reg rs1, Reg rs2, i64 off) { return detail::pack_b(0x1063u, rs1, rs2, off); }
+inline u32 blt(Reg rs1, Reg rs2, i64 off) { return detail::pack_b(0x4063u, rs1, rs2, off); }
+inline u32 bge(Reg rs1, Reg rs2, i64 off) { return detail::pack_b(0x5063u, rs1, rs2, off); }
+inline u32 bltu(Reg rs1, Reg rs2, i64 off) { return detail::pack_b(0x6063u, rs1, rs2, off); }
+inline u32 bgeu(Reg rs1, Reg rs2, i64 off) { return detail::pack_b(0x7063u, rs1, rs2, off); }
+
+inline u32 lb(Reg rd, Reg rs1, i64 imm) { return detail::pack_i(0x03u, rd, rs1, imm); }
+inline u32 lh(Reg rd, Reg rs1, i64 imm) { return detail::pack_i(0x1003u, rd, rs1, imm); }
+inline u32 lw(Reg rd, Reg rs1, i64 imm) { return detail::pack_i(0x2003u, rd, rs1, imm); }
+inline u32 ld(Reg rd, Reg rs1, i64 imm) { return detail::pack_i(0x3003u, rd, rs1, imm); }
+inline u32 lbu(Reg rd, Reg rs1, i64 imm) { return detail::pack_i(0x4003u, rd, rs1, imm); }
+inline u32 lhu(Reg rd, Reg rs1, i64 imm) { return detail::pack_i(0x5003u, rd, rs1, imm); }
+inline u32 lwu(Reg rd, Reg rs1, i64 imm) { return detail::pack_i(0x6003u, rd, rs1, imm); }
+inline u32 sb(Reg rs2, Reg rs1, i64 imm) { return detail::pack_s(0x23u, rs1, rs2, imm); }
+inline u32 sh(Reg rs2, Reg rs1, i64 imm) { return detail::pack_s(0x1023u, rs1, rs2, imm); }
+inline u32 sw(Reg rs2, Reg rs1, i64 imm) { return detail::pack_s(0x2023u, rs1, rs2, imm); }
+inline u32 sd(Reg rs2, Reg rs1, i64 imm) { return detail::pack_s(0x3023u, rs1, rs2, imm); }
+
+inline u32 addi(Reg rd, Reg rs1, i64 imm) { return detail::pack_i(0x13u, rd, rs1, imm); }
+inline u32 slti(Reg rd, Reg rs1, i64 imm) { return detail::pack_i(0x2013u, rd, rs1, imm); }
+inline u32 sltiu(Reg rd, Reg rs1, i64 imm) { return detail::pack_i(0x3013u, rd, rs1, imm); }
+inline u32 xori(Reg rd, Reg rs1, i64 imm) { return detail::pack_i(0x4013u, rd, rs1, imm); }
+inline u32 ori(Reg rd, Reg rs1, i64 imm) { return detail::pack_i(0x6013u, rd, rs1, imm); }
+inline u32 andi(Reg rd, Reg rs1, i64 imm) { return detail::pack_i(0x7013u, rd, rs1, imm); }
+inline u32 slli(Reg rd, Reg rs1, unsigned sh) { return detail::pack_sh(0x1013u, rd, rs1, sh, 63); }
+inline u32 srli(Reg rd, Reg rs1, unsigned sh) { return detail::pack_sh(0x5013u, rd, rs1, sh, 63); }
+inline u32 srai(Reg rd, Reg rs1, unsigned sh) {
+  return detail::pack_sh(0x40005013u, rd, rs1, sh, 63);
+}
+inline u32 addiw(Reg rd, Reg rs1, i64 imm) { return detail::pack_i(0x1Bu, rd, rs1, imm); }
+inline u32 slliw(Reg rd, Reg rs1, unsigned sh) { return detail::pack_sh(0x101Bu, rd, rs1, sh, 31); }
+inline u32 srliw(Reg rd, Reg rs1, unsigned sh) { return detail::pack_sh(0x501Bu, rd, rs1, sh, 31); }
+inline u32 sraiw(Reg rd, Reg rs1, unsigned sh) {
+  return detail::pack_sh(0x4000501Bu, rd, rs1, sh, 31);
+}
+
+inline u32 add(Reg rd, Reg rs1, Reg rs2) { return detail::pack_r(0x33u, rd, rs1, rs2); }
+inline u32 sub(Reg rd, Reg rs1, Reg rs2) { return detail::pack_r(0x40000033u, rd, rs1, rs2); }
+inline u32 sll(Reg rd, Reg rs1, Reg rs2) { return detail::pack_r(0x1033u, rd, rs1, rs2); }
+inline u32 slt(Reg rd, Reg rs1, Reg rs2) { return detail::pack_r(0x2033u, rd, rs1, rs2); }
+inline u32 sltu(Reg rd, Reg rs1, Reg rs2) { return detail::pack_r(0x3033u, rd, rs1, rs2); }
+inline u32 xor_(Reg rd, Reg rs1, Reg rs2) { return detail::pack_r(0x4033u, rd, rs1, rs2); }
+inline u32 srl(Reg rd, Reg rs1, Reg rs2) { return detail::pack_r(0x5033u, rd, rs1, rs2); }
+inline u32 sra(Reg rd, Reg rs1, Reg rs2) { return detail::pack_r(0x40005033u, rd, rs1, rs2); }
+inline u32 or_(Reg rd, Reg rs1, Reg rs2) { return detail::pack_r(0x6033u, rd, rs1, rs2); }
+inline u32 and_(Reg rd, Reg rs1, Reg rs2) { return detail::pack_r(0x7033u, rd, rs1, rs2); }
+inline u32 addw(Reg rd, Reg rs1, Reg rs2) { return detail::pack_r(0x3Bu, rd, rs1, rs2); }
+inline u32 subw(Reg rd, Reg rs1, Reg rs2) { return detail::pack_r(0x4000003Bu, rd, rs1, rs2); }
+inline u32 sllw(Reg rd, Reg rs1, Reg rs2) { return detail::pack_r(0x103Bu, rd, rs1, rs2); }
+inline u32 srlw(Reg rd, Reg rs1, Reg rs2) { return detail::pack_r(0x503Bu, rd, rs1, rs2); }
+inline u32 sraw(Reg rd, Reg rs1, Reg rs2) { return detail::pack_r(0x4000503Bu, rd, rs1, rs2); }
+
+// ---- RV64M ------------------------------------------------------------------
+inline u32 mul(Reg rd, Reg rs1, Reg rs2) { return detail::pack_r(0x02000033u, rd, rs1, rs2); }
+inline u32 mulh(Reg rd, Reg rs1, Reg rs2) { return detail::pack_r(0x02001033u, rd, rs1, rs2); }
+inline u32 mulhsu(Reg rd, Reg rs1, Reg rs2) { return detail::pack_r(0x02002033u, rd, rs1, rs2); }
+inline u32 mulhu(Reg rd, Reg rs1, Reg rs2) { return detail::pack_r(0x02003033u, rd, rs1, rs2); }
+inline u32 div(Reg rd, Reg rs1, Reg rs2) { return detail::pack_r(0x02004033u, rd, rs1, rs2); }
+inline u32 divu(Reg rd, Reg rs1, Reg rs2) { return detail::pack_r(0x02005033u, rd, rs1, rs2); }
+inline u32 rem(Reg rd, Reg rs1, Reg rs2) { return detail::pack_r(0x02006033u, rd, rs1, rs2); }
+inline u32 remu(Reg rd, Reg rs1, Reg rs2) { return detail::pack_r(0x02007033u, rd, rs1, rs2); }
+inline u32 mulw(Reg rd, Reg rs1, Reg rs2) { return detail::pack_r(0x0200003Bu, rd, rs1, rs2); }
+inline u32 divw(Reg rd, Reg rs1, Reg rs2) { return detail::pack_r(0x0200403Bu, rd, rs1, rs2); }
+inline u32 divuw(Reg rd, Reg rs1, Reg rs2) { return detail::pack_r(0x0200503Bu, rd, rs1, rs2); }
+inline u32 remw(Reg rd, Reg rs1, Reg rs2) { return detail::pack_r(0x0200603Bu, rd, rs1, rs2); }
+inline u32 remuw(Reg rd, Reg rs1, Reg rs2) { return detail::pack_r(0x0200703Bu, rd, rs1, rs2); }
+
+// ---- System -----------------------------------------------------------------
+inline u32 fence() { return 0x0000000Fu; }
+inline u32 ecall() { return 0x00000073u; }
+inline u32 ebreak() { return 0x00100073u; }
+inline u32 nop() { return kNopEncoding; }
+
+// ---- RV64D subset -------------------------------------------------------------
+inline u32 fld(Reg frd, Reg rs1, i64 imm) { return detail::pack_i(0x3007u, frd, rs1, imm); }
+inline u32 fsd(Reg frs2, Reg rs1, i64 imm) { return detail::pack_s(0x3027u, rs1, frs2, imm); }
+inline u32 fadd_d(Reg rd, Reg rs1, Reg rs2) { return detail::pack_r(0x02000053u, rd, rs1, rs2); }
+inline u32 fsub_d(Reg rd, Reg rs1, Reg rs2) { return detail::pack_r(0x0A000053u, rd, rs1, rs2); }
+inline u32 fmul_d(Reg rd, Reg rs1, Reg rs2) { return detail::pack_r(0x12000053u, rd, rs1, rs2); }
+inline u32 fdiv_d(Reg rd, Reg rs1, Reg rs2) { return detail::pack_r(0x1A000053u, rd, rs1, rs2); }
+inline u32 fsqrt_d(Reg rd, Reg rs1) { return detail::pack_r(0x5A000053u, rd, rs1, 0); }
+inline u32 fsgnj_d(Reg rd, Reg rs1, Reg rs2) { return detail::pack_r(0x22000053u, rd, rs1, rs2); }
+inline u32 fsgnjn_d(Reg rd, Reg rs1, Reg rs2) { return detail::pack_r(0x22001053u, rd, rs1, rs2); }
+inline u32 fsgnjx_d(Reg rd, Reg rs1, Reg rs2) { return detail::pack_r(0x22002053u, rd, rs1, rs2); }
+inline u32 fmin_d(Reg rd, Reg rs1, Reg rs2) { return detail::pack_r(0x2A000053u, rd, rs1, rs2); }
+inline u32 fmax_d(Reg rd, Reg rs1, Reg rs2) { return detail::pack_r(0x2A001053u, rd, rs1, rs2); }
+inline u32 fcvt_w_d(Reg rd, Reg frs1) { return detail::pack_r(0xC2000053u, rd, frs1, 0); }
+inline u32 fcvt_l_d(Reg rd, Reg frs1) { return detail::pack_r(0xC2200053u, rd, frs1, 0); }
+inline u32 fcvt_d_w(Reg frd, Reg rs1) { return detail::pack_r(0xD2000053u, frd, rs1, 0); }
+inline u32 fcvt_d_l(Reg frd, Reg rs1) { return detail::pack_r(0xD2200053u, frd, rs1, 0); }
+inline u32 feq_d(Reg rd, Reg frs1, Reg frs2) { return detail::pack_r(0xA2002053u, rd, frs1, frs2); }
+inline u32 flt_d(Reg rd, Reg frs1, Reg frs2) { return detail::pack_r(0xA2001053u, rd, frs1, frs2); }
+inline u32 fle_d(Reg rd, Reg frs1, Reg frs2) { return detail::pack_r(0xA2000053u, rd, frs1, frs2); }
+inline u32 fmv_x_d(Reg rd, Reg frs1) { return detail::pack_r(0xE2000053u, rd, frs1, 0); }
+inline u32 fmv_d_x(Reg frd, Reg rs1) { return detail::pack_r(0xF2000053u, frd, rs1, 0); }
+inline u32 fmadd_d(Reg rd, Reg rs1, Reg rs2, Reg rs3) {
+  return detail::pack_r4(0x02000043u, rd, rs1, rs2, rs3);
+}
+inline u32 fmsub_d(Reg rd, Reg rs1, Reg rs2, Reg rs3) {
+  return detail::pack_r4(0x02000047u, rd, rs1, rs2, rs3);
+}
+inline u32 fnmsub_d(Reg rd, Reg rs1, Reg rs2, Reg rs3) {
+  return detail::pack_r4(0x0200004Bu, rd, rs1, rs2, rs3);
+}
+inline u32 fnmadd_d(Reg rd, Reg rs1, Reg rs2, Reg rs3) {
+  return detail::pack_r4(0x0200004Fu, rd, rs1, rs2, rs3);
+}
+
+}  // namespace safedm::isa::enc

@@ -1,0 +1,144 @@
+// Instruction metadata for the modelled RV64IMD subset.
+//
+// The mnemonic enum, per-instruction match/mask pair, format and execution
+// class live in a single X-macro table (inst_table.inc) so the encoder,
+// decoder, disassembler, ISS and pipeline timing can never drift apart.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string_view>
+
+#include "safedm/common/bits.hpp"
+
+namespace safedm::isa {
+
+/// Encoding format (controls immediate extraction and operand presence).
+enum class Format : u8 {
+  kR,      // register-register (also FP ops with fixed funct3)
+  kRFp,    // FP register-register with free rounding-mode field
+  kRFp1,   // FP single-source (sqrt, cvt, mv) with free/fixed rm
+  kR4,     // fused multiply-add, three sources
+  kI,      // immediate / load / jalr / system
+  kISh64,  // 64-bit shift-immediate (6-bit shamt)
+  kISh32,  // 32-bit shift-immediate (5-bit shamt)
+  kS,      // store
+  kB,      // branch
+  kU,      // upper immediate
+  kJ,      // jal
+};
+
+/// Coarse execution class used for pipeline timing and ISS dispatch.
+enum class ExecClass : u8 {
+  kAlu,
+  kMul,
+  kDiv,
+  kLoad,
+  kStore,
+  kBranch,
+  kJal,
+  kJalr,
+  kFence,
+  kEcall,
+  kEbreak,
+  kFpAdd,  // add/sub/sign-inject/min-max/compare/convert/move
+  kFpMul,
+  kFpDiv,  // divide and square root (iterative unit)
+  kFpFma,
+};
+
+/// Operand-usage flags.
+namespace flag {
+inline constexpr u16 kReadsRs1 = 1u << 0;
+inline constexpr u16 kReadsRs2 = 1u << 1;
+inline constexpr u16 kReadsRs3 = 1u << 2;
+inline constexpr u16 kWritesRd = 1u << 3;
+inline constexpr u16 kRs1Fp = 1u << 4;
+inline constexpr u16 kRs2Fp = 1u << 5;
+inline constexpr u16 kRs3Fp = 1u << 6;
+inline constexpr u16 kRdFp = 1u << 7;
+}  // namespace flag
+
+enum class Mnemonic : u8 {
+#define SAFEDM_INST(enum_name, str, fmt, match, mask, exec, flags) enum_name,
+#define R1 0
+#define R2 0
+#define R3 0
+#define WD 0
+#define F1 0
+#define F2 0
+#define F3 0
+#define FD 0
+#include "safedm/isa/inst_table.inc"
+#undef R1
+#undef R2
+#undef R3
+#undef WD
+#undef F1
+#undef F2
+#undef F3
+#undef FD
+#undef SAFEDM_INST
+  kInvalid,
+};
+
+inline constexpr std::size_t kMnemonicCount = static_cast<std::size_t>(Mnemonic::kInvalid);
+
+/// Static description of one instruction of the table.
+struct InstInfo {
+  Mnemonic mnemonic = Mnemonic::kInvalid;
+  std::string_view name;
+  Format format = Format::kI;
+  u32 match = 0;
+  u32 mask = 0;
+  ExecClass exec_class = ExecClass::kAlu;
+  u16 flags = 0;
+
+  constexpr bool reads_rs1() const { return flags & flag::kReadsRs1; }
+  constexpr bool reads_rs2() const { return flags & flag::kReadsRs2; }
+  constexpr bool reads_rs3() const { return flags & flag::kReadsRs3; }
+  constexpr bool writes_rd() const { return flags & flag::kWritesRd; }
+  constexpr bool rs1_fp() const { return flags & flag::kRs1Fp; }
+  constexpr bool rs2_fp() const { return flags & flag::kRs2Fp; }
+  constexpr bool rs3_fp() const { return flags & flag::kRs3Fp; }
+  constexpr bool rd_fp() const { return flags & flag::kRdFp; }
+
+  constexpr bool is_load() const {
+    return exec_class == ExecClass::kLoad;
+  }
+  constexpr bool is_store() const { return exec_class == ExecClass::kStore; }
+  constexpr bool is_branch() const { return exec_class == ExecClass::kBranch; }
+  constexpr bool is_jump() const {
+    return exec_class == ExecClass::kJal || exec_class == ExecClass::kJalr;
+  }
+  constexpr bool changes_control_flow() const { return is_branch() || is_jump(); }
+  constexpr bool is_fp() const {
+    return exec_class == ExecClass::kFpAdd || exec_class == ExecClass::kFpMul ||
+           exec_class == ExecClass::kFpDiv || exec_class == ExecClass::kFpFma;
+  }
+};
+
+/// The full table, indexed by Mnemonic.
+std::span<const InstInfo> inst_table();
+
+/// Metadata for one mnemonic.
+const InstInfo& info(Mnemonic m);
+
+/// A fully decoded instruction.
+struct DecodedInst {
+  Mnemonic mnemonic = Mnemonic::kInvalid;
+  u32 raw = 0;
+  u8 rd = 0;
+  u8 rs1 = 0;
+  u8 rs2 = 0;
+  u8 rs3 = 0;
+  i64 imm = 0;
+
+  const InstInfo& info() const { return isa::info(mnemonic); }
+  bool valid() const { return mnemonic != Mnemonic::kInvalid; }
+};
+
+/// Canonical NOP encoding (addi x0, x0, 0).
+inline constexpr u32 kNopEncoding = 0x00000013u;
+
+}  // namespace safedm::isa

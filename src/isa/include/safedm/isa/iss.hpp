@@ -1,0 +1,63 @@
+// Instruction-set simulator (golden functional model).
+//
+// A plain fetch-decode-execute interpreter over MemoryPort, used as the
+// architectural reference the pipelined core model is checked against
+// (pipeline-vs-ISS equivalence property tests), and by workload unit tests
+// to validate benchmark results quickly.
+#pragma once
+
+#include <array>
+
+#include "safedm/common/mem_port.hpp"
+#include "safedm/isa/inst.hpp"
+
+namespace safedm::isa {
+
+enum class HaltReason : u8 {
+  kRunning,
+  kEcall,       // clean program exit (ecall convention)
+  kEbreak,      // debugger breakpoint
+  kIllegalInst, // undecodable encoding reached execute
+};
+
+/// Architectural state of one hart.
+struct ArchState {
+  u64 pc = 0;
+  std::array<u64, 32> x{};  // x0 reads as zero; writes ignored
+  std::array<u64, 32> f{};  // IEEE-754 binary64 bit patterns
+  u64 instret = 0;
+  HaltReason halt = HaltReason::kRunning;
+
+  bool halted() const { return halt != HaltReason::kRunning; }
+
+  u64 xr(u8 r) const { return r == 0 ? 0 : x[r]; }
+  void set_x(u8 r, u64 v) {
+    if (r != 0) x[r] = v;
+  }
+};
+
+class Iss {
+ public:
+  Iss(MemoryPort& mem, u64 reset_pc) : mem_(mem) { state_.pc = reset_pc; }
+
+  ArchState& state() { return state_; }
+  const ArchState& state() const { return state_; }
+
+  /// Execute one instruction; returns false once halted.
+  bool step();
+
+  /// Run until halt or `max_instructions` executed; returns instructions run.
+  u64 run(u64 max_instructions);
+
+  /// Execute one *already decoded* instruction against an arbitrary state.
+  /// This is the single source of truth for instruction semantics: the
+  /// pipelined core model calls it too, so ISS and pipeline cannot diverge
+  /// functionally. `next_pc` is the fall-through PC (pc + 4).
+  static void execute(const DecodedInst& inst, ArchState& state, MemoryPort& mem);
+
+ private:
+  MemoryPort& mem_;
+  ArchState state_;
+};
+
+}  // namespace safedm::isa

@@ -1,0 +1,52 @@
+#include "safedm/isa/inst.hpp"
+
+#include <array>
+
+#include "safedm/common/check.hpp"
+
+namespace safedm::isa {
+namespace {
+
+constexpr std::array<InstInfo, kMnemonicCount + 1> kTable = {{
+#define R1 ::safedm::isa::flag::kReadsRs1
+#define R2 ::safedm::isa::flag::kReadsRs2
+#define R3 ::safedm::isa::flag::kReadsRs3
+#define WD ::safedm::isa::flag::kWritesRd
+#define F1 ::safedm::isa::flag::kRs1Fp
+#define F2 ::safedm::isa::flag::kRs2Fp
+#define F3 ::safedm::isa::flag::kRs3Fp
+#define FD ::safedm::isa::flag::kRdFp
+#define SAFEDM_INST(enum_name, str, fmt, match, mask, exec, flags_) \
+  InstInfo{Mnemonic::enum_name, str, fmt, match, mask, exec, static_cast<u16>(flags_)},
+#include "safedm/isa/inst_table.inc"
+#undef SAFEDM_INST
+#undef R1
+#undef R2
+#undef R3
+#undef WD
+#undef F1
+#undef F2
+#undef F3
+#undef FD
+    InstInfo{Mnemonic::kInvalid, "invalid", Format::kI, 0, 0, ExecClass::kAlu, 0},
+}};
+
+// Every entry's position must equal its mnemonic value so info() can index.
+constexpr bool table_is_consistent() {
+  for (std::size_t i = 0; i < kTable.size(); ++i)
+    if (static_cast<std::size_t>(kTable[i].mnemonic) != i) return false;
+  return true;
+}
+static_assert(table_is_consistent());
+
+}  // namespace
+
+std::span<const InstInfo> inst_table() {
+  return {kTable.data(), kMnemonicCount};
+}
+
+const InstInfo& info(Mnemonic m) {
+  return kTable[static_cast<std::size_t>(m)];
+}
+
+}  // namespace safedm::isa

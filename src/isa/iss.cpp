@@ -1,0 +1,399 @@
+#include "safedm/isa/iss.hpp"
+
+#include <bit>
+#include <cmath>
+#include <limits>
+
+#include "safedm/common/check.hpp"
+#include "safedm/isa/decode.hpp"
+
+namespace safedm::isa {
+namespace {
+
+double as_f64(u64 bits) { return std::bit_cast<double>(bits); }
+u64 as_u64(double value) { return std::bit_cast<u64>(value); }
+
+u64 sext32(u64 value) { return static_cast<u64>(static_cast<i64>(static_cast<i32>(value))); }
+
+i64 div_signed(i64 a, i64 b) {
+  if (b == 0) return -1;
+  if (a == std::numeric_limits<i64>::min() && b == -1) return a;
+  return a / b;
+}
+
+i64 rem_signed(i64 a, i64 b) {
+  if (b == 0) return a;
+  if (a == std::numeric_limits<i64>::min() && b == -1) return 0;
+  return a % b;
+}
+
+i32 div_signed32(i32 a, i32 b) {
+  if (b == 0) return -1;
+  if (a == std::numeric_limits<i32>::min() && b == -1) return a;
+  return a / b;
+}
+
+i32 rem_signed32(i32 a, i32 b) {
+  if (b == 0) return a;
+  if (a == std::numeric_limits<i32>::min() && b == -1) return 0;
+  return a % b;
+}
+
+i64 fcvt_to_i32(double v) {
+  if (std::isnan(v)) return std::numeric_limits<i32>::max();
+  if (v >= 2147483648.0) return std::numeric_limits<i32>::max();
+  if (v <= -2147483649.0) return std::numeric_limits<i32>::min();
+  return static_cast<i64>(static_cast<i32>(std::nearbyint(v)));
+}
+
+i64 fcvt_to_i64(double v) {
+  if (std::isnan(v)) return std::numeric_limits<i64>::max();
+  if (v >= 9223372036854775808.0) return std::numeric_limits<i64>::max();
+  if (v < -9223372036854775808.0) return std::numeric_limits<i64>::min();
+  return static_cast<i64>(std::nearbyint(v));
+}
+
+}  // namespace
+
+void Iss::execute(const DecodedInst& inst, ArchState& s, MemoryPort& mem) {
+  if (!inst.valid()) {
+    s.halt = HaltReason::kIllegalInst;
+    return;
+  }
+
+  const u64 pc = s.pc;
+  u64 next_pc = pc + 4;
+  const u64 a = s.xr(inst.rs1);
+  const u64 b = s.xr(inst.rs2);
+  const i64 ia = static_cast<i64>(a);
+  const i64 ib = static_cast<i64>(b);
+  const i64 imm = inst.imm;
+  const double fa = as_f64(s.f[inst.rs1]);
+  const double fb = as_f64(s.f[inst.rs2]);
+  const double fc = as_f64(s.f[inst.rs3]);
+
+  switch (inst.mnemonic) {
+    // ---- upper immediates / jumps ------------------------------------------
+    case Mnemonic::kLui:
+      s.set_x(inst.rd, static_cast<u64>(imm));
+      break;
+    case Mnemonic::kAuipc:
+      s.set_x(inst.rd, pc + static_cast<u64>(imm));
+      break;
+    case Mnemonic::kJal:
+      s.set_x(inst.rd, pc + 4);
+      next_pc = pc + static_cast<u64>(imm);
+      break;
+    case Mnemonic::kJalr:
+      s.set_x(inst.rd, pc + 4);
+      next_pc = (a + static_cast<u64>(imm)) & ~u64{1};
+      break;
+
+    // ---- branches ------------------------------------------------------------
+    case Mnemonic::kBeq:
+      if (a == b) next_pc = pc + static_cast<u64>(imm);
+      break;
+    case Mnemonic::kBne:
+      if (a != b) next_pc = pc + static_cast<u64>(imm);
+      break;
+    case Mnemonic::kBlt:
+      if (ia < ib) next_pc = pc + static_cast<u64>(imm);
+      break;
+    case Mnemonic::kBge:
+      if (ia >= ib) next_pc = pc + static_cast<u64>(imm);
+      break;
+    case Mnemonic::kBltu:
+      if (a < b) next_pc = pc + static_cast<u64>(imm);
+      break;
+    case Mnemonic::kBgeu:
+      if (a >= b) next_pc = pc + static_cast<u64>(imm);
+      break;
+
+    // ---- loads ---------------------------------------------------------------
+    case Mnemonic::kLb:
+      s.set_x(inst.rd, static_cast<u64>(sign_extend(mem.load(a + imm, 1), 8)));
+      break;
+    case Mnemonic::kLh:
+      s.set_x(inst.rd, static_cast<u64>(sign_extend(mem.load(a + imm, 2), 16)));
+      break;
+    case Mnemonic::kLw:
+      s.set_x(inst.rd, static_cast<u64>(sign_extend(mem.load(a + imm, 4), 32)));
+      break;
+    case Mnemonic::kLd:
+      s.set_x(inst.rd, mem.load(a + imm, 8));
+      break;
+    case Mnemonic::kLbu:
+      s.set_x(inst.rd, mem.load(a + imm, 1));
+      break;
+    case Mnemonic::kLhu:
+      s.set_x(inst.rd, mem.load(a + imm, 2));
+      break;
+    case Mnemonic::kLwu:
+      s.set_x(inst.rd, mem.load(a + imm, 4));
+      break;
+    case Mnemonic::kFld:
+      s.f[inst.rd] = mem.load(a + imm, 8);
+      break;
+
+    // ---- stores ----------------------------------------------------------------
+    case Mnemonic::kSb:
+      mem.store(a + imm, b, 1);
+      break;
+    case Mnemonic::kSh:
+      mem.store(a + imm, b, 2);
+      break;
+    case Mnemonic::kSw:
+      mem.store(a + imm, b, 4);
+      break;
+    case Mnemonic::kSd:
+      mem.store(a + imm, b, 8);
+      break;
+    case Mnemonic::kFsd:
+      mem.store(a + imm, s.f[inst.rs2], 8);
+      break;
+
+    // ---- immediate ALU -----------------------------------------------------------
+    case Mnemonic::kAddi:
+      s.set_x(inst.rd, a + static_cast<u64>(imm));
+      break;
+    case Mnemonic::kSlti:
+      s.set_x(inst.rd, ia < imm ? 1 : 0);
+      break;
+    case Mnemonic::kSltiu:
+      s.set_x(inst.rd, a < static_cast<u64>(imm) ? 1 : 0);
+      break;
+    case Mnemonic::kXori:
+      s.set_x(inst.rd, a ^ static_cast<u64>(imm));
+      break;
+    case Mnemonic::kOri:
+      s.set_x(inst.rd, a | static_cast<u64>(imm));
+      break;
+    case Mnemonic::kAndi:
+      s.set_x(inst.rd, a & static_cast<u64>(imm));
+      break;
+    case Mnemonic::kSlli:
+      s.set_x(inst.rd, a << (imm & 63));
+      break;
+    case Mnemonic::kSrli:
+      s.set_x(inst.rd, a >> (imm & 63));
+      break;
+    case Mnemonic::kSrai:
+      s.set_x(inst.rd, static_cast<u64>(ia >> (imm & 63)));
+      break;
+    case Mnemonic::kAddiw:
+      s.set_x(inst.rd, sext32(a + static_cast<u64>(imm)));
+      break;
+    case Mnemonic::kSlliw:
+      s.set_x(inst.rd, sext32(a << (imm & 31)));
+      break;
+    case Mnemonic::kSrliw:
+      s.set_x(inst.rd, sext32(static_cast<u32>(a) >> (imm & 31)));
+      break;
+    case Mnemonic::kSraiw:
+      s.set_x(inst.rd, static_cast<u64>(static_cast<i64>(static_cast<i32>(a) >> (imm & 31))));
+      break;
+
+    // ---- register-register ALU -----------------------------------------------------
+    case Mnemonic::kAdd:
+      s.set_x(inst.rd, a + b);
+      break;
+    case Mnemonic::kSub:
+      s.set_x(inst.rd, a - b);
+      break;
+    case Mnemonic::kSll:
+      s.set_x(inst.rd, a << (b & 63));
+      break;
+    case Mnemonic::kSlt:
+      s.set_x(inst.rd, ia < ib ? 1 : 0);
+      break;
+    case Mnemonic::kSltu:
+      s.set_x(inst.rd, a < b ? 1 : 0);
+      break;
+    case Mnemonic::kXor:
+      s.set_x(inst.rd, a ^ b);
+      break;
+    case Mnemonic::kSrl:
+      s.set_x(inst.rd, a >> (b & 63));
+      break;
+    case Mnemonic::kSra:
+      s.set_x(inst.rd, static_cast<u64>(ia >> (b & 63)));
+      break;
+    case Mnemonic::kOr:
+      s.set_x(inst.rd, a | b);
+      break;
+    case Mnemonic::kAnd:
+      s.set_x(inst.rd, a & b);
+      break;
+    case Mnemonic::kAddw:
+      s.set_x(inst.rd, sext32(a + b));
+      break;
+    case Mnemonic::kSubw:
+      s.set_x(inst.rd, sext32(a - b));
+      break;
+    case Mnemonic::kSllw:
+      s.set_x(inst.rd, sext32(a << (b & 31)));
+      break;
+    case Mnemonic::kSrlw:
+      s.set_x(inst.rd, sext32(static_cast<u32>(a) >> (b & 31)));
+      break;
+    case Mnemonic::kSraw:
+      s.set_x(inst.rd, static_cast<u64>(static_cast<i64>(static_cast<i32>(a) >> (b & 31))));
+      break;
+
+    // ---- RV64M ------------------------------------------------------------------
+    case Mnemonic::kMul:
+      s.set_x(inst.rd, a * b);
+      break;
+    case Mnemonic::kMulh:
+      s.set_x(inst.rd,
+              static_cast<u64>((static_cast<__int128>(ia) * static_cast<__int128>(ib)) >> 64));
+      break;
+    case Mnemonic::kMulhsu:
+      s.set_x(inst.rd, static_cast<u64>(
+                           (static_cast<__int128>(ia) * static_cast<unsigned __int128>(b)) >> 64));
+      break;
+    case Mnemonic::kMulhu:
+      s.set_x(inst.rd, static_cast<u64>((static_cast<unsigned __int128>(a) *
+                                         static_cast<unsigned __int128>(b)) >>
+                                        64));
+      break;
+    case Mnemonic::kDiv:
+      s.set_x(inst.rd, static_cast<u64>(div_signed(ia, ib)));
+      break;
+    case Mnemonic::kDivu:
+      s.set_x(inst.rd, b == 0 ? ~u64{0} : a / b);
+      break;
+    case Mnemonic::kRem:
+      s.set_x(inst.rd, static_cast<u64>(rem_signed(ia, ib)));
+      break;
+    case Mnemonic::kRemu:
+      s.set_x(inst.rd, b == 0 ? a : a % b);
+      break;
+    case Mnemonic::kMulw:
+      s.set_x(inst.rd, sext32(a * b));
+      break;
+    case Mnemonic::kDivw:
+      s.set_x(inst.rd, static_cast<u64>(static_cast<i64>(
+                           div_signed32(static_cast<i32>(a), static_cast<i32>(b)))));
+      break;
+    case Mnemonic::kDivuw: {
+      const u32 ua = static_cast<u32>(a), ub = static_cast<u32>(b);
+      s.set_x(inst.rd, sext32(ub == 0 ? ~u32{0} : ua / ub));
+      break;
+    }
+    case Mnemonic::kRemw:
+      s.set_x(inst.rd, static_cast<u64>(static_cast<i64>(
+                           rem_signed32(static_cast<i32>(a), static_cast<i32>(b)))));
+      break;
+    case Mnemonic::kRemuw: {
+      const u32 ua = static_cast<u32>(a), ub = static_cast<u32>(b);
+      s.set_x(inst.rd, sext32(ub == 0 ? ua : ua % ub));
+      break;
+    }
+
+    // ---- system -------------------------------------------------------------------
+    case Mnemonic::kFence:
+      break;
+    case Mnemonic::kEcall:
+      s.halt = HaltReason::kEcall;
+      break;
+    case Mnemonic::kEbreak:
+      s.halt = HaltReason::kEbreak;
+      break;
+
+    // ---- RV64D --------------------------------------------------------------------
+    case Mnemonic::kFaddD:
+      s.f[inst.rd] = as_u64(fa + fb);
+      break;
+    case Mnemonic::kFsubD:
+      s.f[inst.rd] = as_u64(fa - fb);
+      break;
+    case Mnemonic::kFmulD:
+      s.f[inst.rd] = as_u64(fa * fb);
+      break;
+    case Mnemonic::kFdivD:
+      s.f[inst.rd] = as_u64(fa / fb);
+      break;
+    case Mnemonic::kFsqrtD:
+      s.f[inst.rd] = as_u64(std::sqrt(fa));
+      break;
+    case Mnemonic::kFsgnjD:
+      s.f[inst.rd] = (s.f[inst.rs1] & ~(u64{1} << 63)) | (s.f[inst.rs2] & (u64{1} << 63));
+      break;
+    case Mnemonic::kFsgnjnD:
+      s.f[inst.rd] = (s.f[inst.rs1] & ~(u64{1} << 63)) | (~s.f[inst.rs2] & (u64{1} << 63));
+      break;
+    case Mnemonic::kFsgnjxD:
+      s.f[inst.rd] = s.f[inst.rs1] ^ (s.f[inst.rs2] & (u64{1} << 63));
+      break;
+    case Mnemonic::kFminD:
+      s.f[inst.rd] = as_u64(std::fmin(fa, fb));
+      break;
+    case Mnemonic::kFmaxD:
+      s.f[inst.rd] = as_u64(std::fmax(fa, fb));
+      break;
+    case Mnemonic::kFcvtWD:
+      s.set_x(inst.rd, static_cast<u64>(fcvt_to_i32(fa)));
+      break;
+    case Mnemonic::kFcvtLD:
+      s.set_x(inst.rd, static_cast<u64>(fcvt_to_i64(fa)));
+      break;
+    case Mnemonic::kFcvtDW:
+      s.f[inst.rd] = as_u64(static_cast<double>(static_cast<i32>(a)));
+      break;
+    case Mnemonic::kFcvtDL:
+      s.f[inst.rd] = as_u64(static_cast<double>(ia));
+      break;
+    case Mnemonic::kFeqD:
+      s.set_x(inst.rd, fa == fb ? 1 : 0);
+      break;
+    case Mnemonic::kFltD:
+      s.set_x(inst.rd, fa < fb ? 1 : 0);
+      break;
+    case Mnemonic::kFleD:
+      s.set_x(inst.rd, fa <= fb ? 1 : 0);
+      break;
+    case Mnemonic::kFmvXD:
+      s.set_x(inst.rd, s.f[inst.rs1]);
+      break;
+    case Mnemonic::kFmvDX:
+      s.f[inst.rd] = a;
+      break;
+    case Mnemonic::kFmaddD:
+      s.f[inst.rd] = as_u64(std::fma(fa, fb, fc));
+      break;
+    case Mnemonic::kFmsubD:
+      s.f[inst.rd] = as_u64(std::fma(fa, fb, -fc));
+      break;
+    case Mnemonic::kFnmsubD:
+      s.f[inst.rd] = as_u64(std::fma(-fa, fb, fc));
+      break;
+    case Mnemonic::kFnmaddD:
+      s.f[inst.rd] = as_u64(-std::fma(fa, fb, fc));
+      break;
+
+    case Mnemonic::kInvalid:
+      s.halt = HaltReason::kIllegalInst;
+      return;
+  }
+
+  s.pc = next_pc;
+  s.instret += 1;
+}
+
+bool Iss::step() {
+  if (state_.halted()) return false;
+  const u32 raw = static_cast<u32>(mem_.load(state_.pc, 4));
+  const DecodedInst inst = decode(raw);
+  execute(inst, state_, mem_);
+  return !state_.halted();
+}
+
+u64 Iss::run(u64 max_instructions) {
+  const u64 start = state_.instret;
+  while (state_.instret - start < max_instructions && step()) {
+  }
+  return state_.instret - start;
+}
+
+}  // namespace safedm::isa

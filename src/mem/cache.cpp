@@ -1,0 +1,91 @@
+#include "safedm/mem/cache.hpp"
+
+#include "safedm/common/check.hpp"
+
+namespace safedm::mem {
+
+CacheTags::CacheTags(const CacheConfig& config, std::string name)
+    : config_(config), name_(std::move(name)) {
+  SAFEDM_CHECK_MSG(is_pow2(config.line_bytes) && is_pow2(config.size_bytes),
+                   "cache geometry must be powers of two");
+  SAFEDM_CHECK_MSG(config.ways >= 1 && config.sets() >= 1, "invalid cache geometry");
+  SAFEDM_CHECK_MSG(config.size_bytes % (config.ways * config.line_bytes) == 0,
+                   "cache size not divisible by way*line");
+  SAFEDM_CHECK(is_pow2(config.sets()));
+  ways_.resize(config.sets() * config.ways);
+}
+
+u64 CacheTags::set_index(u64 addr) const {
+  return (addr / config_.line_bytes) & (config_.sets() - 1);
+}
+
+u64 CacheTags::tag_of(u64 addr) const { return addr / config_.line_bytes / config_.sets(); }
+
+CacheTags::Way* CacheTags::find(u64 addr) {
+  const u64 set = set_index(addr);
+  const u64 tag = tag_of(addr);
+  for (unsigned w = 0; w < config_.ways; ++w) {
+    Way& way = ways_[set * config_.ways + w];
+    if (way.valid && way.tag == tag) return &way;
+  }
+  return nullptr;
+}
+
+const CacheTags::Way* CacheTags::find(u64 addr) const {
+  return const_cast<CacheTags*>(this)->find(addr);
+}
+
+bool CacheTags::access(u64 addr) {
+  if (Way* way = find(addr)) {
+    way->lru = ++lru_clock_;
+    ++stats_.hits;
+    return true;
+  }
+  ++stats_.misses;
+  return false;
+}
+
+bool CacheTags::present(u64 addr) const { return find(addr) != nullptr; }
+
+CacheTags::Fill CacheTags::fill(u64 addr, bool dirty) {
+  SAFEDM_CHECK_MSG(!present(addr), "fill of already-present line in " << name_);
+  const u64 set = set_index(addr);
+  Way* victim = nullptr;
+  for (unsigned w = 0; w < config_.ways; ++w) {
+    Way& way = ways_[set * config_.ways + w];
+    if (!way.valid) {
+      victim = &way;
+      break;
+    }
+    if (victim == nullptr || way.lru < victim->lru) victim = &way;
+  }
+  Fill result;
+  if (victim->valid) {
+    result.evicted = true;
+    result.victim_dirty = victim->dirty;
+    // Reconstruct the victim's line address from tag + set.
+    result.victim_line_addr =
+        (victim->tag * config_.sets() + set) * config_.line_bytes;
+    ++stats_.evictions;
+    if (victim->dirty) ++stats_.writeback_evictions;
+  }
+  victim->valid = true;
+  victim->dirty = dirty;
+  victim->tag = tag_of(addr);
+  victim->lru = ++lru_clock_;
+  return result;
+}
+
+bool CacheTags::mark_dirty(u64 addr) {
+  if (Way* way = find(addr)) {
+    way->dirty = true;
+    return true;
+  }
+  return false;
+}
+
+void CacheTags::invalidate_all() {
+  for (Way& way : ways_) way = Way{};
+}
+
+}  // namespace safedm::mem

@@ -1,0 +1,83 @@
+// Set-associative cache tag/LRU model (timing only; data lives in PhysMem).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "safedm/common/bits.hpp"
+
+namespace safedm::mem {
+
+struct CacheConfig {
+  u64 size_bytes = 16 * 1024;
+  unsigned ways = 4;
+  unsigned line_bytes = 32;
+
+  u64 sets() const { return size_bytes / (static_cast<u64>(ways) * line_bytes); }
+};
+
+struct CacheStats {
+  u64 hits = 0;
+  u64 misses = 0;
+  u64 evictions = 0;
+  u64 writeback_evictions = 0;
+
+  u64 accesses() const { return hits + misses; }
+  double miss_rate() const { return accesses() ? static_cast<double>(misses) / accesses() : 0.0; }
+};
+
+/// Tags + true-LRU state of one cache. The owner decides the policy
+/// (write-through L1 never marks dirty; write-back L2 does).
+class CacheTags {
+ public:
+  explicit CacheTags(const CacheConfig& config, std::string name = {});
+
+  const CacheConfig& config() const { return config_; }
+  const CacheStats& stats() const { return stats_; }
+  const std::string& name() const { return name_; }
+
+  /// Tag lookup; on hit updates LRU and returns true. Counts in stats.
+  bool access(u64 addr);
+
+  /// Lookup without LRU update or stats (for probing).
+  bool present(u64 addr) const;
+
+  /// Result of allocating a line.
+  struct Fill {
+    bool evicted = false;
+    u64 victim_line_addr = 0;
+    bool victim_dirty = false;
+  };
+
+  /// Allocate the line containing `addr` (must currently miss), evicting
+  /// the LRU way. `dirty` marks the new line dirty (write-allocate store).
+  Fill fill(u64 addr, bool dirty = false);
+
+  /// Mark the line containing `addr` dirty if present; returns presence.
+  bool mark_dirty(u64 addr);
+
+  void invalidate_all();
+
+  u64 line_addr(u64 addr) const { return align_down(addr, config_.line_bytes); }
+
+ private:
+  struct Way {
+    bool valid = false;
+    bool dirty = false;
+    u64 tag = 0;
+    u64 lru = 0;  // higher = more recently used
+  };
+
+  u64 set_index(u64 addr) const;
+  u64 tag_of(u64 addr) const;
+  Way* find(u64 addr);
+  const Way* find(u64 addr) const;
+
+  CacheConfig config_;
+  std::string name_;
+  std::vector<Way> ways_;  // sets * ways, row-major by set
+  u64 lru_clock_ = 0;
+  CacheStats stats_;
+};
+
+}  // namespace safedm::mem

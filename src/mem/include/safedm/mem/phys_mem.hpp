@@ -1,0 +1,42 @@
+// Flat physical memory backing the whole MPSoC.
+//
+// Functional data lives here; the cache models above it track tags/timing
+// only ("functional-first, timing-tags", see DESIGN.md). This is safe for
+// the redundant-execution workloads because the two cores use disjoint
+// data segments, so delayed store visibility cannot change results.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "safedm/common/bits.hpp"
+#include "safedm/common/mem_port.hpp"
+
+namespace safedm::mem {
+
+class PhysMem final : public MemoryPort {
+ public:
+  PhysMem(u64 base, u64 size_bytes);
+
+  u64 base() const { return base_; }
+  u64 size() const { return bytes_.size(); }
+  bool contains(u64 addr, u64 len = 1) const {
+    return addr >= base_ && addr + len <= base_ + bytes_.size();
+  }
+
+  u64 load(u64 addr, unsigned size) override;
+  void store(u64 addr, u64 value, unsigned size) override;
+
+  /// Backdoor bulk access for program loading and test inspection.
+  void write_block(u64 addr, std::span<const u8> bytes);
+  void read_block(u64 addr, std::span<u8> out) const;
+  void fill(u64 addr, u64 len, u8 value);
+
+ private:
+  u64 index(u64 addr, unsigned size) const;
+
+  u64 base_;
+  std::vector<u8> bytes_;
+};
+
+}  // namespace safedm::mem

@@ -1,0 +1,61 @@
+// Core-local coalescing store buffer.
+//
+// Write-through L1 sends every store towards L2 through this buffer; while
+// the bus is busy, stores to the same cache line merge into one entry so
+// they later drain as a single transaction. This is the mechanism behind
+// the paper's `pm` timing anomaly (Section V-C): a delayed core's stores
+// pile up locally, coalesce, and the program ends up *faster*.
+#pragma once
+
+#include <deque>
+
+#include "safedm/common/bits.hpp"
+
+namespace safedm::mem {
+
+struct StoreBufferConfig {
+  unsigned entries = 8;
+  unsigned line_bytes = 32;
+  bool coalesce = true;  // ablation hook: disable line merging
+};
+
+struct StoreBufferStats {
+  u64 pushed = 0;     // stores accepted
+  u64 coalesced = 0;  // stores merged into an existing entry
+  u64 drained = 0;    // entries (bus transactions) completed
+  u64 full_stalls = 0;
+};
+
+class StoreBuffer {
+ public:
+  explicit StoreBuffer(const StoreBufferConfig& config) : config_(config) {}
+
+  const StoreBufferConfig& config() const { return config_; }
+  const StoreBufferStats& stats() const { return stats_; }
+
+  bool empty() const { return lines_.empty(); }
+  bool full() const { return lines_.size() >= config_.entries; }
+  std::size_t size() const { return lines_.size(); }
+
+  /// Try to accept a store to `addr`. Returns false (and counts a stall)
+  /// when the buffer is full and the store cannot coalesce.
+  bool push(u64 addr);
+
+  /// Line address of the oldest entry (next to drain). Requires !empty().
+  u64 head_line() const;
+
+  /// Complete the drain of the head entry.
+  void pop_head();
+
+  /// True if any pending entry covers the line containing `addr`.
+  bool holds_line(u64 addr) const;
+
+ private:
+  u64 line_of(u64 addr) const { return align_down(addr, config_.line_bytes); }
+
+  StoreBufferConfig config_;
+  std::deque<u64> lines_;  // FIFO of pending line addresses
+  StoreBufferStats stats_;
+};
+
+}  // namespace safedm::mem

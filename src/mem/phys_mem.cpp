@@ -1,0 +1,54 @@
+#include "safedm/mem/phys_mem.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "safedm/common/check.hpp"
+
+namespace safedm::mem {
+
+PhysMem::PhysMem(u64 base, u64 size_bytes) : base_(base), bytes_(size_bytes, 0) {
+  SAFEDM_CHECK(size_bytes > 0);
+}
+
+u64 PhysMem::index(u64 addr, unsigned size) const {
+  SAFEDM_CHECK_MSG(size == 1 || size == 2 || size == 4 || size == 8,
+                   "unsupported access size " << size);
+  SAFEDM_CHECK_MSG(contains(addr, size),
+                   "access at 0x" << std::hex << addr << " size " << std::dec << size
+                                  << " outside memory [0x" << std::hex << base_ << ", 0x"
+                                  << base_ + bytes_.size() << ")");
+  return addr - base_;
+}
+
+u64 PhysMem::load(u64 addr, unsigned size) {
+  const u64 i = index(addr, size);
+  u64 value = 0;
+  std::memcpy(&value, bytes_.data() + i, size);
+  return value;
+}
+
+void PhysMem::store(u64 addr, u64 value, unsigned size) {
+  const u64 i = index(addr, size);
+  std::memcpy(bytes_.data() + i, &value, size);
+}
+
+void PhysMem::write_block(u64 addr, std::span<const u8> bytes) {
+  if (bytes.empty()) return;
+  SAFEDM_CHECK(contains(addr, bytes.size()));
+  std::copy(bytes.begin(), bytes.end(), bytes_.begin() + static_cast<std::ptrdiff_t>(addr - base_));
+}
+
+void PhysMem::read_block(u64 addr, std::span<u8> out) const {
+  if (out.empty()) return;
+  SAFEDM_CHECK(contains(addr, out.size()));
+  std::copy_n(bytes_.begin() + static_cast<std::ptrdiff_t>(addr - base_), out.size(), out.begin());
+}
+
+void PhysMem::fill(u64 addr, u64 len, u8 value) {
+  if (len == 0) return;
+  SAFEDM_CHECK(contains(addr, len));
+  std::fill_n(bytes_.begin() + static_cast<std::ptrdiff_t>(addr - base_), len, value);
+}
+
+}  // namespace safedm::mem

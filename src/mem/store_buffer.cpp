@@ -1,0 +1,43 @@
+#include "safedm/mem/store_buffer.hpp"
+
+#include <algorithm>
+
+#include "safedm/common/check.hpp"
+
+namespace safedm::mem {
+
+bool StoreBuffer::push(u64 addr) {
+  const u64 line = line_of(addr);
+  if (config_.coalesce) {
+    const auto it = std::find(lines_.begin(), lines_.end(), line);
+    if (it != lines_.end()) {
+      ++stats_.pushed;
+      ++stats_.coalesced;
+      return true;
+    }
+  }
+  if (full()) {
+    ++stats_.full_stalls;
+    return false;
+  }
+  lines_.push_back(line);
+  ++stats_.pushed;
+  return true;
+}
+
+u64 StoreBuffer::head_line() const {
+  SAFEDM_CHECK(!lines_.empty());
+  return lines_.front();
+}
+
+void StoreBuffer::pop_head() {
+  SAFEDM_CHECK(!lines_.empty());
+  lines_.pop_front();
+  ++stats_.drained;
+}
+
+bool StoreBuffer::holds_line(u64 addr) const {
+  return std::find(lines_.begin(), lines_.end(), line_of(addr)) != lines_.end();
+}
+
+}  // namespace safedm::mem

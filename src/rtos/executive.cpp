@@ -1,0 +1,101 @@
+#include "safedm/rtos/executive.hpp"
+
+#include <algorithm>
+
+#include "safedm/common/check.hpp"
+#include "safedm/safedm/monitor.hpp"
+#include "safedm/workloads/workloads.hpp"
+
+namespace safedm::rtos {
+
+RedundantTaskExecutive::RedundantTaskExecutive(TaskConfig task, assembler::Program program)
+    : task_(std::move(task)), program_(std::move(program)) {
+  SAFEDM_CHECK(task_.ftti_jobs >= 1);
+  configurator_ = [](unsigned) { return soc::SocConfig{}; };
+}
+
+void RedundantTaskExecutive::set_soc_configurator(SocConfigurator configurator) {
+  SAFEDM_CHECK(configurator != nullptr);
+  configurator_ = std::move(configurator);
+}
+
+JobRecord RedundantTaskExecutive::run_job(unsigned index, unsigned stagger,
+                                          const soc::SocConfig& soc_config) {
+  soc::MpSoc soc(soc_config);
+
+  monitor::SafeDmConfig dm_config;
+  dm_config.report = task_.report;
+  dm_config.interrupt_threshold = task_.diversity_loss_threshold;
+  dm_config.start_enabled = true;
+  monitor::SafeDm dm(dm_config);
+  soc.add_observer(&dm);
+
+  bool diversity_lost = false;
+  dm.set_interrupt_handler([&](u64) { diversity_lost = true; });
+
+  soc.load_redundant(program_, stagger, /*delayed_core=*/1);
+  dm.set_prelude_ignore(0, soc.prelude_commits(0));
+  dm.set_prelude_ignore(1, soc.prelude_commits(1));
+  const u64 cycles = soc.run(task_.job_cycle_budget);
+  dm.finalize();
+
+  JobRecord record;
+  record.index = index;
+  record.stagger_used = stagger;
+  record.cycles = cycles;
+  record.nodiv_cycles = dm.counters().nodiv_cycles;
+  // Poll-only mode: the executive itself applies the threshold when no
+  // interrupt was programmed.
+  if (task_.report == monitor::ReportMode::kPollOnly)
+    diversity_lost = dm.counters().nodiv_cycles >= task_.diversity_loss_threshold;
+  record.dropped = diversity_lost || !soc.all_halted();
+  record.outputs_matched =
+      soc.memory().load(soc.data_base(0) + workloads::kResultOffset, 8) ==
+      soc.memory().load(soc.data_base(1) + workloads::kResultOffset, 8);
+  return record;
+}
+
+RunSummary RedundantTaskExecutive::run() {
+  RunSummary summary;
+  unsigned consecutive_drops = 0;
+  unsigned stagger = task_.relaunch == RelaunchPolicy::kStaggerForever ? 0 : 0;
+  bool stagger_armed = false;  // kStaggerNextJob one-shot
+  bool stagger_latched = false;  // kStaggerForever latch
+
+  for (unsigned job = 0; job < task_.jobs; ++job) {
+    stagger = 0;
+    if (stagger_armed || stagger_latched) stagger = task_.stagger_nops;
+    stagger_armed = false;
+
+    const JobRecord record = run_job(job, stagger, configurator_(job));
+    summary.jobs.push_back(record);
+    summary.total_cycles += record.cycles;
+
+    if (record.dropped) {
+      ++summary.drops;
+      ++consecutive_drops;
+      summary.max_consecutive_drops =
+          std::max(summary.max_consecutive_drops, consecutive_drops);
+      switch (task_.relaunch) {
+        case RelaunchPolicy::kNone:
+          break;
+        case RelaunchPolicy::kStaggerNextJob:
+          stagger_armed = true;
+          break;
+        case RelaunchPolicy::kStaggerForever:
+          stagger_latched = true;
+          break;
+      }
+      if (consecutive_drops >= task_.ftti_jobs) {
+        // FTTI exhausted: the system transitions to its safe state.
+        summary.safe_state_entered = true;
+        break;
+      }
+    } else {
+      consecutive_drops = 0;
+    }
+  }
+  return summary;
+}
+
+}  // namespace safedm::rtos

@@ -1,0 +1,85 @@
+// Redundant-task executive: the RTOS-side half of the paper's safety
+// concept (Section III-A).
+//
+// An ASIL-D task (e.g. braking) releases a job every period. Each job runs
+// redundantly on the core pair with SafeDM watching. If SafeDM reports
+// diversity loss per the configured policy, the executive applies the
+// paper's corrective action: the job is DROPPED (the previous actuation
+// command stays in force — safe as long as drops are not consecutive
+// beyond the Fault Tolerant Time Interval) and the relaunch policy decides
+// whether subsequent jobs get staggering. The executive also cross-checks
+// the redundant outputs, the error-detection mechanism the diversity
+// argument protects.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "safedm/assembler/assembler.hpp"
+#include "safedm/safedm/config.hpp"
+#include "safedm/soc/soc.hpp"
+
+namespace safedm::rtos {
+
+/// What the executive does after a diversity-loss drop.
+enum class RelaunchPolicy : u8 {
+  kNone = 0,           // keep launching without staggering (hope it passes)
+  kStaggerNextJob,     // stagger the next job only, then fall back
+  kStaggerForever,     // once burnt, always stagger (intrusive but safe)
+};
+
+struct TaskConfig {
+  std::string name = "task";
+  unsigned jobs = 8;                 // jobs to run
+  unsigned ftti_jobs = 2;            // consecutive drops tolerated before safe state
+  monitor::ReportMode report = monitor::ReportMode::kInterruptThreshold;
+  u32 diversity_loss_threshold = 32; // no-div cycles before a job is dropped
+  RelaunchPolicy relaunch = RelaunchPolicy::kStaggerNextJob;
+  unsigned stagger_nops = 1000;
+  u64 job_cycle_budget = 30'000'000;
+};
+
+struct JobRecord {
+  unsigned index = 0;
+  unsigned stagger_used = 0;
+  bool dropped = false;         // diversity loss -> job result discarded
+  bool outputs_matched = false; // redundant cross-check
+  u64 cycles = 0;
+  u64 nodiv_cycles = 0;
+};
+
+struct RunSummary {
+  std::vector<JobRecord> jobs;
+  unsigned drops = 0;
+  unsigned max_consecutive_drops = 0;
+  bool safe_state_entered = false;  // FTTI exhausted
+  u64 total_cycles = 0;
+
+  double drop_rate() const {
+    return jobs.empty() ? 0.0 : static_cast<double>(drops) / jobs.size();
+  }
+};
+
+class RedundantTaskExecutive {
+ public:
+  /// `configure_soc` may perturb the platform per job (fault/misconfig
+  /// injection in tests and benches); identity by default.
+  using SocConfigurator = std::function<soc::SocConfig(unsigned job_index)>;
+
+  RedundantTaskExecutive(TaskConfig task, assembler::Program program);
+
+  void set_soc_configurator(SocConfigurator configurator);
+
+  /// Run the configured number of jobs (stops early on safe-state entry).
+  RunSummary run();
+
+ private:
+  JobRecord run_job(unsigned index, unsigned stagger, const soc::SocConfig& soc_config);
+
+  TaskConfig task_;
+  assembler::Program program_;
+  SocConfigurator configurator_;
+};
+
+}  // namespace safedm::rtos

@@ -1,0 +1,50 @@
+#include "safedm/safede/safede.hpp"
+
+#include <algorithm>
+
+#include "safedm/common/check.hpp"
+
+namespace safedm::safede {
+
+SafeDe::SafeDe(const SafeDeConfig& config, soc::MpSoc& soc) : config_(config), soc_(soc) {
+  SAFEDM_CHECK(config.head_core < soc::kNumCores);
+  SAFEDM_CHECK_MSG(config.min_staggering >= 0, "staggering threshold must be non-negative");
+}
+
+void SafeDe::enable(bool on) {
+  config_.enabled = on;
+  if (!on && stalling_) {
+    soc_.core(config_.head_core ^ 1u).set_external_stall(false);
+    stalling_ = false;
+  }
+}
+
+void SafeDe::on_cycle(u64, const core::CoreTapFrame& frame0, const core::CoreTapFrame& frame1) {
+  const unsigned head = config_.head_core;
+  const unsigned trail = head ^ 1u;
+  const auto& head_frame = head == 0 ? frame0 : frame1;
+  const auto& trail_frame = head == 0 ? frame1 : frame0;
+
+  diff_ += static_cast<i64>(head_frame.commits) - static_cast<i64>(trail_frame.commits);
+  if (first_sample_) {
+    stats_.min_observed_diff = diff_;
+    first_sample_ = false;
+  }
+  stats_.min_observed_diff = std::min(stats_.min_observed_diff, diff_);
+
+  if (!config_.enabled) return;
+
+  // Once the head core finishes, holding the trail core back can only
+  // deadlock the system; release it.
+  const bool head_done = head_frame.halted;
+  const bool want_stall = !head_done && !trail_frame.halted && diff_ < config_.min_staggering;
+
+  if (want_stall && !stalling_) ++stats_.interventions;
+  if (want_stall) ++stats_.stall_cycles;
+  if (want_stall != stalling_) {
+    soc_.core(trail).set_external_stall(want_stall);
+    stalling_ = want_stall;
+  }
+}
+
+}  // namespace safedm::safede

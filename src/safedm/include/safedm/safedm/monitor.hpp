@@ -1,0 +1,160 @@
+// SafeDM: the hardware Diversity Monitor (paper Section III/IV).
+//
+// Consumes both cores' per-cycle tap frames, maintains a SignatureGenerator
+// per core, and reports lack of diversity — a cycle in which *both* the
+// Data Signatures and the Instruction Signatures of the two cores match.
+// SafeDM can only raise false positives (unmonitored diversity sources),
+// never false negatives (paper III-A): if any monitored state differs, the
+// cycle is diverse.
+//
+// The block also contains the two evaluation-support modules of the
+// paper's integration (Fig. 4): the Instruction diff (staggering counter)
+// and the History module (episode-length histograms), plus the APB slave
+// register file through which an RTOS programs and polls the monitor.
+#pragma once
+
+#include <functional>
+
+#include "safedm/bus/apb.hpp"
+#include "safedm/common/histogram.hpp"
+#include "safedm/safedm/signature.hpp"
+#include "safedm/soc/soc.hpp"
+
+namespace safedm::monitor {
+
+/// Staggering counter: +1 per core-0 commit, -1 per core-1 commit (paper
+/// IV-B3). Optionally ignores each core's first `ignore` commits so that a
+/// nop prelude does not distort the program-position distance.
+class InstructionDiff {
+ public:
+  void set_ignore(unsigned core_index, u64 count);
+  void on_commits(unsigned commits0, unsigned commits1);
+  void reset();
+
+  i64 diff() const { return diff_; }
+  /// True once both cores have consumed their ignored prelude commits.
+  bool armed() const { return ignore_[0] == 0 && ignore_[1] == 0; }
+
+ private:
+  i64 diff_ = 0;
+  std::array<u64, 2> ignore_{0, 0};
+};
+
+struct SafeDmCounters {
+  u64 monitored_cycles = 0;   // cycles with both cores running, monitor enabled
+  u64 nodiv_cycles = 0;       // DS and IS both matched
+  u64 ds_match_cycles = 0;
+  u64 is_match_cycles = 0;
+  u64 zero_stag_cycles = 0;   // instruction diff == 0 (once armed)
+  u64 interrupts = 0;         // rising edges of the interrupt line
+
+  // Diversity-magnitude extension (config.track_distance):
+  u64 distance_sum = 0;       // sum over cycles of DS+IS Hamming distance
+  u64 distance_min = ~u64{0}; // smallest per-cycle distance observed
+  u64 distance_max = 0;
+
+  double mean_distance() const {
+    return monitored_cycles ? static_cast<double>(distance_sum) / monitored_cycles : 0.0;
+  }
+};
+
+/// APB register map (byte offsets; all registers 32-bit).
+namespace reg {
+inline constexpr u32 kCtrl = 0x00;        // [0] enable, [2:1] report mode, [3] w1: reset, [4] w1: clear irq
+inline constexpr u32 kStatus = 0x04;      // [0] lacking diversity now, [1] irq pending
+inline constexpr u32 kNodivLo = 0x08;
+inline constexpr u32 kNodivHi = 0x0C;
+inline constexpr u32 kThreshold = 0x10;
+inline constexpr u32 kMonitoredLo = 0x14;
+inline constexpr u32 kMonitoredHi = 0x18;
+inline constexpr u32 kInstDiff = 0x1C;    // signed
+inline constexpr u32 kZeroStagLo = 0x20;
+inline constexpr u32 kZeroStagHi = 0x24;
+inline constexpr u32 kDsMatchLo = 0x28;
+inline constexpr u32 kDsMatchHi = 0x2C;
+inline constexpr u32 kIsMatchLo = 0x30;
+inline constexpr u32 kIsMatchHi = 0x34;
+inline constexpr u32 kIgnore0 = 0x38;     // prelude commits to ignore, core 0
+inline constexpr u32 kIgnore1 = 0x3C;
+inline constexpr u32 kHistSelect = 0x40;  // [7:0] bin, [9:8] histogram (0=nodiv,1=ds,2=is)
+inline constexpr u32 kHistData = 0x44;    // selected bin count (saturating u32)
+inline constexpr u32 kGeometry = 0x48;    // [7:0] n, [15:8] m, [23:16] o, [31:24] p
+inline constexpr u32 kSize = 0x80;        // register file span
+}  // namespace reg
+
+class SafeDm final : public soc::CycleObserver, public bus::ApbDevice {
+ public:
+  explicit SafeDm(const SafeDmConfig& config);
+
+  // ---- programming interface (RTOS-facing; also reachable via APB) -------
+  void enable(bool on);
+  bool enabled() const { return enabled_; }
+  void set_report_mode(ReportMode mode) { config_.report = mode; }
+  void set_interrupt_threshold(u32 threshold) { config_.interrupt_threshold = threshold; }
+  /// Program the prelude lengths so staggering nops don't skew the diff.
+  void set_prelude_ignore(unsigned core_index, u64 commits);
+  void clear_interrupt();
+  void reset();
+
+  /// Invoked on the rising edge of the interrupt line (the RTOS hook).
+  void set_interrupt_handler(std::function<void(u64 cycle)> handler);
+
+  // ---- observation ---------------------------------------------------------
+  void on_cycle(u64 cycle, const core::CoreTapFrame& frame0,
+                const core::CoreTapFrame& frame1) override;
+
+  /// Flush any open no-diversity episode into the histograms (call when an
+  /// experiment window ends).
+  void finalize();
+
+  // ---- results ---------------------------------------------------------------
+  const SafeDmCounters& counters() const { return counters_; }
+  bool lacking_diversity_now() const { return lacking_now_; }
+  bool ds_matched_now() const { return ds_match_now_; }
+  bool is_matched_now() const { return is_match_now_; }
+  bool interrupt_pending() const { return irq_pending_; }
+  i64 instruction_diff() const { return inst_diff_.diff(); }
+  const Histogram& nodiv_history() const { return hist_nodiv_; }
+  const Histogram& ds_history() const { return hist_ds_; }
+  const Histogram& is_history() const { return hist_is_; }
+  /// Per-cycle signature Hamming-distance distribution (track_distance).
+  const Histogram& distance_history() const { return hist_distance_; }
+  const SafeDmConfig& config() const { return config_; }
+  const SignatureGenerator& signatures(unsigned core_index) const;
+
+  /// Total monitor storage bits (both cores' signature FIFOs); feeds the
+  /// hardware cost model.
+  u64 storage_bits() const;
+
+  // ---- APB slave ---------------------------------------------------------------
+  u32 apb_read(u32 offset) override;
+  void apb_write(u32 offset, u32 value) override;
+
+ private:
+  void update_interrupt(u64 cycle);
+
+  SafeDmConfig config_;
+  SignatureGenerator sig0_;
+  SignatureGenerator sig1_;
+  InstructionDiff inst_diff_;
+  bool enabled_ = false;
+  std::array<bool, 2> seen_commit_{false, false};
+  bool lacking_now_ = false;
+  bool ds_match_now_ = false;
+  bool is_match_now_ = false;
+  bool irq_pending_ = false;
+  SafeDmCounters counters_;
+
+  u64 nodiv_run_ = 0;
+  u64 ds_run_ = 0;
+  u64 is_run_ = 0;
+  Histogram hist_nodiv_;
+  Histogram hist_ds_;
+  Histogram hist_is_;
+  Histogram hist_distance_;
+
+  u32 hist_select_ = 0;
+  std::function<void(u64)> irq_handler_;
+};
+
+}  // namespace safedm::monitor

@@ -1,0 +1,72 @@
+// Signature generator (paper Fig. 4, "Signature generator" block): per-core
+// capture of the Data Signature (DS) and Instruction Signature (IS).
+//
+// DS: one FIFO per monitored register-file port holding the last n cycles
+// of {enable, value} samples; the DS is the concatenation of all FIFOs
+// (paper III-B1). The hold signal freezes the FIFOs while the pipeline is
+// stalled (paper IV-B1).
+//
+// IS: the {valid, encoding} contents of every pipeline-stage slot
+// (per-stage mode, paper III-B2), or the flat in-flight instruction list
+// for cores without group-advance pipelines.
+#pragma once
+
+#include <vector>
+
+#include "safedm/common/hash.hpp"
+#include "safedm/core/tap.hpp"
+#include "safedm/safedm/config.hpp"
+
+namespace safedm::monitor {
+
+class SignatureGenerator {
+ public:
+  explicit SignatureGenerator(const SafeDmConfig& config);
+
+  /// Capture one cycle of core observation.
+  void capture(const core::CoreTapFrame& frame);
+
+  /// Clear all captured state (FIFOs empty, pipeline snapshot invalid).
+  void reset();
+
+  /// DS0 == DS1 (bit-exact, including enables and sample order).
+  static bool data_equal(const SignatureGenerator& a, const SignatureGenerator& b);
+
+  /// IS0 == IS1 under the configured IS mode.
+  static bool instruction_equal(const SignatureGenerator& a, const SignatureGenerator& b);
+
+  /// Compressed signatures (CompareMode::kCrc32).
+  u32 data_crc() const;
+  u32 instruction_crc() const;
+
+  /// Diversity *magnitude*: Hamming distance between the two cores'
+  /// signatures in bits (0 = no diversity). The paper's comparator only
+  /// answers equal/unequal; the distance quantifies how far apart the
+  /// cores' states are — a richer metric the same hardware taps support.
+  static u64 data_distance(const SignatureGenerator& a, const SignatureGenerator& b);
+  static u64 instruction_distance(const SignatureGenerator& a, const SignatureGenerator& b);
+
+  /// Total signature storage in bits (used by the hardware cost model and
+  /// the APB SIZE register).
+  u64 data_signature_bits() const;
+  u64 instruction_signature_bits() const;
+
+  const SafeDmConfig& config() const { return config_; }
+
+  /// Test access: the sample most recently shifted into `port`'s FIFO.
+  core::PortTap newest_sample(unsigned port) const;
+
+ private:
+  struct PortFifo {
+    std::vector<core::PortTap> entries;  // ring buffer, size n
+    unsigned head = 0;                   // next slot to overwrite
+  };
+
+  SafeDmConfig config_;
+  std::vector<PortFifo> fifos_;  // one per monitored port
+  // Latest pipeline snapshot (per-stage slots).
+  std::array<std::array<core::StageSlotTap, core::kMaxIssueWidth>, core::kPipelineStages>
+      stages_{};
+};
+
+}  // namespace safedm::monitor

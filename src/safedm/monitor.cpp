@@ -1,0 +1,258 @@
+#include "safedm/safedm/monitor.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "safedm/common/check.hpp"
+
+namespace safedm::monitor {
+namespace {
+
+Histogram make_history(const SafeDmConfig& config) {
+  if (!config.history_bins.empty()) return Histogram(config.history_bins);
+  return Histogram::exponential(16);
+}
+
+}  // namespace
+
+// ---- InstructionDiff -----------------------------------------------------------
+
+void InstructionDiff::set_ignore(unsigned core_index, u64 count) {
+  SAFEDM_CHECK(core_index < 2);
+  ignore_[core_index] = count;
+}
+
+void InstructionDiff::on_commits(unsigned commits0, unsigned commits1) {
+  u64 c0 = commits0, c1 = commits1;
+  const u64 skip0 = std::min<u64>(ignore_[0], c0);
+  const u64 skip1 = std::min<u64>(ignore_[1], c1);
+  ignore_[0] -= skip0;
+  c0 -= skip0;
+  ignore_[1] -= skip1;
+  c1 -= skip1;
+  diff_ += static_cast<i64>(c0) - static_cast<i64>(c1);
+}
+
+void InstructionDiff::reset() {
+  diff_ = 0;
+  ignore_ = {0, 0};
+}
+
+// ---- SafeDm -----------------------------------------------------------------------
+
+SafeDm::SafeDm(const SafeDmConfig& config)
+    : config_(config),
+      sig0_(config),
+      sig1_(config),
+      enabled_(config.start_enabled),
+      hist_nodiv_(make_history(config)),
+      hist_ds_(make_history(config)),
+      hist_is_(make_history(config)),
+      hist_distance_(Histogram::exponential(20)) {}
+
+void SafeDm::enable(bool on) { enabled_ = on; }
+
+void SafeDm::set_prelude_ignore(unsigned core_index, u64 commits) {
+  inst_diff_.set_ignore(core_index, commits);
+}
+
+void SafeDm::clear_interrupt() { irq_pending_ = false; }
+
+void SafeDm::set_interrupt_handler(std::function<void(u64)> handler) {
+  irq_handler_ = std::move(handler);
+}
+
+void SafeDm::reset() {
+  sig0_.reset();
+  sig1_.reset();
+  inst_diff_.reset();
+  counters_ = {};
+  seen_commit_ = {false, false};
+  lacking_now_ = false;
+  irq_pending_ = false;
+  nodiv_run_ = ds_run_ = is_run_ = 0;
+  hist_nodiv_.clear();
+  hist_ds_.clear();
+  hist_is_.clear();
+  hist_distance_.clear();
+}
+
+const SignatureGenerator& SafeDm::signatures(unsigned core_index) const {
+  SAFEDM_CHECK(core_index < 2);
+  return core_index == 0 ? sig0_ : sig1_;
+}
+
+u64 SafeDm::storage_bits() const {
+  return 2 * (sig0_.data_signature_bits() + sig0_.instruction_signature_bits());
+}
+
+void SafeDm::on_cycle(u64 cycle, const core::CoreTapFrame& frame0,
+                      const core::CoreTapFrame& frame1) {
+  // The signature FIFOs clock continuously (hardware is never "off"); only
+  // the counting/reporting logic is gated by the enable bit.
+  sig0_.capture(frame0);
+  sig1_.capture(frame1);
+  inst_diff_.on_commits(frame0.commits, frame1.commits);
+
+  seen_commit_[0] = seen_commit_[0] || frame0.commits > 0;
+  seen_commit_[1] = seen_commit_[1] || frame1.commits > 0;
+  const bool armed = !config_.arm_on_first_commit || (seen_commit_[0] && seen_commit_[1]);
+
+  const bool both_running = !frame0.halted && !frame1.halted;
+  if (!enabled_ || !both_running || !armed) {
+    lacking_now_ = false;
+    ds_match_now_ = false;
+    is_match_now_ = false;
+    return;
+  }
+
+  ++counters_.monitored_cycles;
+
+  bool ds_match = false;
+  bool is_match = false;
+  if (config_.compare == CompareMode::kRaw) {
+    ds_match = SignatureGenerator::data_equal(sig0_, sig1_);
+    is_match = SignatureGenerator::instruction_equal(sig0_, sig1_);
+  } else {
+    ds_match = sig0_.data_crc() == sig1_.data_crc();
+    is_match = sig0_.instruction_crc() == sig1_.instruction_crc();
+  }
+
+  const bool nodiv = ds_match && is_match;
+  lacking_now_ = nodiv;
+  ds_match_now_ = ds_match;
+  is_match_now_ = is_match;
+
+  const auto track = [](bool condition, u64& run, u64& counter, Histogram& hist) {
+    if (condition) {
+      ++counter;
+      ++run;
+    } else if (run > 0) {
+      hist.add(run);
+      run = 0;
+    }
+  };
+  track(ds_match, ds_run_, counters_.ds_match_cycles, hist_ds_);
+  track(is_match, is_run_, counters_.is_match_cycles, hist_is_);
+  track(nodiv, nodiv_run_, counters_.nodiv_cycles, hist_nodiv_);
+
+  if (inst_diff_.armed() && inst_diff_.diff() == 0) ++counters_.zero_stag_cycles;
+
+  if (config_.track_distance) {
+    const u64 distance = SignatureGenerator::data_distance(sig0_, sig1_) +
+                         SignatureGenerator::instruction_distance(sig0_, sig1_);
+    counters_.distance_sum += distance;
+    counters_.distance_min = std::min(counters_.distance_min, distance);
+    counters_.distance_max = std::max(counters_.distance_max, distance);
+    hist_distance_.add(distance);
+  }
+
+  update_interrupt(cycle);
+}
+
+void SafeDm::finalize() {
+  if (ds_run_ > 0) hist_ds_.add(ds_run_);
+  if (is_run_ > 0) hist_is_.add(is_run_);
+  if (nodiv_run_ > 0) hist_nodiv_.add(nodiv_run_);
+  ds_run_ = is_run_ = nodiv_run_ = 0;
+}
+
+void SafeDm::update_interrupt(u64 cycle) {
+  bool fire = false;
+  switch (config_.report) {
+    case ReportMode::kInterruptFirst:
+      fire = counters_.nodiv_cycles >= 1;
+      break;
+    case ReportMode::kInterruptThreshold:
+      fire = counters_.nodiv_cycles >= config_.interrupt_threshold;
+      break;
+    case ReportMode::kPollOnly:
+      fire = false;
+      break;
+  }
+  if (fire && !irq_pending_) {
+    irq_pending_ = true;
+    ++counters_.interrupts;
+    if (irq_handler_) irq_handler_(cycle);
+  }
+}
+
+// ---- APB register file ---------------------------------------------------------------
+
+u32 SafeDm::apb_read(u32 offset) {
+  switch (offset) {
+    case reg::kCtrl:
+      return (enabled_ ? 1u : 0u) | (static_cast<u32>(config_.report) << 1);
+    case reg::kStatus:
+      return (lacking_now_ ? 1u : 0u) | (irq_pending_ ? 2u : 0u);
+    case reg::kNodivLo:
+      return static_cast<u32>(counters_.nodiv_cycles);
+    case reg::kNodivHi:
+      return static_cast<u32>(counters_.nodiv_cycles >> 32);
+    case reg::kThreshold:
+      return config_.interrupt_threshold;
+    case reg::kMonitoredLo:
+      return static_cast<u32>(counters_.monitored_cycles);
+    case reg::kMonitoredHi:
+      return static_cast<u32>(counters_.monitored_cycles >> 32);
+    case reg::kInstDiff:
+      return static_cast<u32>(static_cast<i32>(
+          std::clamp<i64>(inst_diff_.diff(), std::numeric_limits<i32>::min(),
+                          std::numeric_limits<i32>::max())));
+    case reg::kZeroStagLo:
+      return static_cast<u32>(counters_.zero_stag_cycles);
+    case reg::kZeroStagHi:
+      return static_cast<u32>(counters_.zero_stag_cycles >> 32);
+    case reg::kDsMatchLo:
+      return static_cast<u32>(counters_.ds_match_cycles);
+    case reg::kDsMatchHi:
+      return static_cast<u32>(counters_.ds_match_cycles >> 32);
+    case reg::kIsMatchLo:
+      return static_cast<u32>(counters_.is_match_cycles);
+    case reg::kIsMatchHi:
+      return static_cast<u32>(counters_.is_match_cycles >> 32);
+    case reg::kHistSelect:
+      return hist_select_;
+    case reg::kHistData: {
+      const unsigned bin = hist_select_ & 0xFF;
+      const unsigned which = (hist_select_ >> 8) & 0x3;
+      const Histogram& hist = which == 0 ? hist_nodiv_ : which == 1 ? hist_ds_ : hist_is_;
+      if (bin >= hist.bin_count()) return 0;
+      const u64 value = hist.bin_value(bin);
+      return value > 0xFFFFFFFFull ? 0xFFFFFFFFu : static_cast<u32>(value);
+    }
+    case reg::kGeometry:
+      return (config_.data_fifo_depth & 0xFF) | ((config_.num_ports & 0xFF) << 8) |
+             ((core::kPipelineStages & 0xFF) << 16) |
+             ((core::kMaxIssueWidth & 0xFF) << 24);
+    default:
+      return 0;
+  }
+}
+
+void SafeDm::apb_write(u32 offset, u32 value) {
+  switch (offset) {
+    case reg::kCtrl:
+      enabled_ = value & 1u;
+      config_.report = static_cast<ReportMode>((value >> 1) & 0x3u);
+      if (value & (1u << 3)) reset();
+      if (value & (1u << 4)) clear_interrupt();
+      break;
+    case reg::kThreshold:
+      config_.interrupt_threshold = value;
+      break;
+    case reg::kIgnore0:
+      inst_diff_.set_ignore(0, value);
+      break;
+    case reg::kIgnore1:
+      inst_diff_.set_ignore(1, value);
+      break;
+    case reg::kHistSelect:
+      hist_select_ = value;
+      break;
+    default:
+      break;  // writes to read-only registers are ignored, like hardware
+  }
+}
+
+}  // namespace safedm::monitor

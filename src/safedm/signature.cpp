@@ -1,0 +1,155 @@
+#include "safedm/safedm/signature.hpp"
+
+#include "safedm/common/check.hpp"
+
+namespace safedm::monitor {
+
+SignatureGenerator::SignatureGenerator(const SafeDmConfig& config) : config_(config) {
+  SAFEDM_CHECK_MSG(config.num_ports >= 1 && config.num_ports <= core::kMaxPorts,
+                   "monitored port count out of range");
+  SAFEDM_CHECK_MSG(config.data_fifo_depth >= 1, "data FIFO depth must be positive");
+  fifos_.resize(config.num_ports);
+  for (PortFifo& fifo : fifos_) fifo.entries.assign(config.data_fifo_depth, {});
+}
+
+void SignatureGenerator::reset() {
+  for (PortFifo& fifo : fifos_) {
+    fifo.entries.assign(config_.data_fifo_depth, {});
+    fifo.head = 0;
+  }
+  stages_ = {};
+}
+
+void SignatureGenerator::capture(const core::CoreTapFrame& frame) {
+  // Stage snapshot: pipeline contents are level signals; re-capturing a
+  // held pipeline reproduces the same snapshot.
+  stages_ = frame.stage;
+
+  // Data FIFOs shift once per un-held clock (paper IV-B1: "the hold signal
+  // is used to not overwrite any values in the FIFOs if the pipeline is
+  // stalled").
+  if (frame.hold) return;
+  for (unsigned p = 0; p < config_.num_ports; ++p) {
+    PortFifo& fifo = fifos_[p];
+    fifo.entries[fifo.head] = frame.port[p];
+    fifo.head = (fifo.head + 1) % config_.data_fifo_depth;
+  }
+}
+
+bool SignatureGenerator::data_equal(const SignatureGenerator& a, const SignatureGenerator& b) {
+  SAFEDM_CHECK_MSG(a.config_.num_ports == b.config_.num_ports &&
+                       a.config_.data_fifo_depth == b.config_.data_fifo_depth,
+                   "comparing signature generators of different geometry");
+  // Ring phase is part of the hardware state; compare entries in FIFO
+  // order (oldest to newest) so equal histories compare equal regardless
+  // of internal head positions.
+  const unsigned n = a.config_.data_fifo_depth;
+  for (unsigned p = 0; p < a.config_.num_ports; ++p) {
+    const PortFifo& fa = a.fifos_[p];
+    const PortFifo& fb = b.fifos_[p];
+    for (unsigned i = 0; i < n; ++i) {
+      if (!(fa.entries[(fa.head + i) % n] == fb.entries[(fb.head + i) % n])) return false;
+    }
+  }
+  return true;
+}
+
+bool SignatureGenerator::instruction_equal(const SignatureGenerator& a,
+                                           const SignatureGenerator& b) {
+  SAFEDM_CHECK(a.config_.is_mode == b.config_.is_mode);
+  if (a.config_.is_mode == IsMode::kPerStage) {
+    return a.stages_ == b.stages_;
+  }
+  // Flat mode: the ordered list of in-flight encodings, oldest (WB) first,
+  // ignoring which stage holds them.
+  const auto flatten = [](const SignatureGenerator& s) {
+    std::vector<u32> list;
+    for (int st = core::kPipelineStages - 1; st >= 0; --st)
+      for (unsigned lane = 0; lane < core::kMaxIssueWidth; ++lane)
+        if (s.stages_[st][lane].valid) list.push_back(s.stages_[st][lane].encoding);
+    return list;
+  };
+  return flatten(a) == flatten(b);
+}
+
+u64 SignatureGenerator::data_distance(const SignatureGenerator& a,
+                                      const SignatureGenerator& b) {
+  SAFEDM_CHECK(a.config_.num_ports == b.config_.num_ports &&
+               a.config_.data_fifo_depth == b.config_.data_fifo_depth);
+  const unsigned n = a.config_.data_fifo_depth;
+  u64 distance = 0;
+  for (unsigned p = 0; p < a.config_.num_ports; ++p) {
+    const PortFifo& fa = a.fifos_[p];
+    const PortFifo& fb = b.fifos_[p];
+    for (unsigned i = 0; i < n; ++i) {
+      const core::PortTap& ta = fa.entries[(fa.head + i) % n];
+      const core::PortTap& tb = fb.entries[(fb.head + i) % n];
+      distance += static_cast<u64>(__builtin_popcountll(ta.value ^ tb.value));
+      distance += ta.enable != tb.enable ? 1 : 0;
+    }
+  }
+  return distance;
+}
+
+u64 SignatureGenerator::instruction_distance(const SignatureGenerator& a,
+                                             const SignatureGenerator& b) {
+  u64 distance = 0;
+  for (unsigned st = 0; st < core::kPipelineStages; ++st) {
+    for (unsigned lane = 0; lane < core::kMaxIssueWidth; ++lane) {
+      const core::StageSlotTap& sa = a.stages_[st][lane];
+      const core::StageSlotTap& sb = b.stages_[st][lane];
+      distance += static_cast<u64>(__builtin_popcount(sa.encoding ^ sb.encoding));
+      distance += sa.valid != sb.valid ? 1 : 0;
+    }
+  }
+  return distance;
+}
+
+u32 SignatureGenerator::data_crc() const {
+  Crc32 crc;
+  const unsigned n = config_.data_fifo_depth;
+  for (const PortFifo& fifo : fifos_) {
+    for (unsigned i = 0; i < n; ++i) {
+      const core::PortTap& tap = fifo.entries[(fifo.head + i) % n];
+      crc.add_byte(tap.enable ? 1 : 0);
+      crc.add(tap.value);
+    }
+  }
+  return crc.value();
+}
+
+u32 SignatureGenerator::instruction_crc() const {
+  Crc32 crc;
+  if (config_.is_mode == IsMode::kPerStage) {
+    for (const auto& stage : stages_) {
+      for (const auto& slot : stage) {
+        crc.add_byte(slot.valid ? 1 : 0);
+        crc.add(slot.encoding);
+      }
+    }
+  } else {
+    for (int st = core::kPipelineStages - 1; st >= 0; --st)
+      for (unsigned lane = 0; lane < core::kMaxIssueWidth; ++lane)
+        if (stages_[st][lane].valid) crc.add(stages_[st][lane].encoding);
+  }
+  return crc.value();
+}
+
+u64 SignatureGenerator::data_signature_bits() const {
+  // Each FIFO entry stores a 64-bit value plus its enable bit.
+  return static_cast<u64>(config_.num_ports) * config_.data_fifo_depth * 65;
+}
+
+u64 SignatureGenerator::instruction_signature_bits() const {
+  // Each stage slot stores a 32-bit encoding plus its valid bit.
+  return static_cast<u64>(core::kPipelineStages) * core::kMaxIssueWidth * 33;
+}
+
+core::PortTap SignatureGenerator::newest_sample(unsigned port) const {
+  SAFEDM_CHECK(port < config_.num_ports);
+  const PortFifo& fifo = fifos_[port];
+  const unsigned newest = (fifo.head + config_.data_fifo_depth - 1) % config_.data_fifo_depth;
+  return fifo.entries[newest];
+}
+
+}  // namespace safedm::monitor

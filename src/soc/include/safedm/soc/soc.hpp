@@ -1,0 +1,150 @@
+// Multicore MPSoC model after the Cobham Gaisler NOEL-V platform of the
+// paper (Fig. 3): NOEL-V-style cores with private L1s, a shared AHB bus, a
+// shared write-back L2 in front of the memory controller, and an APB bus
+// for peripherals (SafeDM attaches there).
+//
+// The paper integrates SafeDM "in a 4-core multicore by Cobham Gaisler":
+// cores are grouped into redundant pairs (cores 2p and 2p+1 form pair p),
+// each pair monitored by its own SafeDM instance; the default
+// configuration is the dual-core setup of the evaluation.
+//
+// Redundant-execution conventions:
+//   - Both cores of a pair run the same text segment (shared physical
+//     code, same PCs). An optional nop prelude placed *before* the program
+//     entry implements the paper's initial staggering: the delayed core
+//     boots at the prelude, the other directly at the program entry.
+//   - Each core gets its own data segment copy at a distinct base
+//     (different address spaces), passed in a0; stacks are per-core.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "safedm/assembler/assembler.hpp"
+#include "safedm/bus/ahb.hpp"
+#include "safedm/bus/apb.hpp"
+#include "safedm/bus/l2_frontend.hpp"
+#include "safedm/core/core.hpp"
+#include "safedm/mem/phys_mem.hpp"
+
+namespace safedm::soc {
+
+/// Cores in the default (paper-evaluation) configuration.
+inline constexpr unsigned kNumCores = 2;
+
+struct SocConfig {
+  unsigned num_cores = kNumCores;  // even, 2..8; cores 2p/2p+1 form pair p
+  core::CoreConfig core{};
+  mem::CacheConfig l2{.size_bytes = 256 * 1024, .ways = 8, .line_bytes = 32};
+  bus::L2Timing l2_timing{};
+
+  u64 mem_base = 0;
+  u64 mem_size = 64 * 1024 * 1024;
+  u64 text_base = 0x0001'0000;
+  u64 text_stride = 0x0010'0000;   // per-pair text segment spacing
+  u64 data_base0 = 0x0040'0000;    // core 0's data segment
+  u64 data_base1 = 0x0080'0000;    // core 1's; later cores continue the stride
+  bool shared_data = false;        // ablation A3: a pair shares one data segment
+
+  /// APB peripheral window: core loads/stores here route to the APB bus
+  /// (uncached), letting guest programs poll SafeDM directly.
+  u64 apb_base = 0x8000'0000;
+  u64 apb_size = 0x0010'0000;
+
+  /// Initial arbiter round-robin position (run-to-run platform variation).
+  unsigned arbiter_bias = 0;
+};
+
+/// Observers see their pair's two tap frames each cycle (SafeDM, SafeDE,
+/// traces). frame0/frame1 are the pair's lower/upper core.
+class CycleObserver {
+ public:
+  virtual ~CycleObserver() = default;
+  virtual void on_cycle(u64 cycle, const core::CoreTapFrame& frame0,
+                        const core::CoreTapFrame& frame1) = 0;
+};
+
+class MpSoc {
+ public:
+  explicit MpSoc(const SocConfig& config);
+
+  unsigned num_cores() const { return static_cast<unsigned>(cores_.size()); }
+  unsigned num_pairs() const { return num_cores() / 2; }
+
+  /// Load `program` for redundant execution on pair 0 (cores 0 and 1).
+  /// `stagger_nops` nop instructions are executed by core `delayed_core`
+  /// (0 or 1) before it enters the program. Both cores start at cycle 0.
+  void load_redundant(const assembler::Program& program, unsigned stagger_nops = 0,
+                      unsigned delayed_core = 1);
+
+  /// Same, for an arbitrary pair; `delayed_local` selects the pair's lower
+  /// (0) or upper (1) core. Pairs can be loaded independently.
+  void load_redundant_pair(unsigned pair, const assembler::Program& program,
+                           unsigned stagger_nops = 0, unsigned delayed_local = 1);
+
+  /// Load two different programs onto pair 0 (diverse software use case).
+  void load_distinct(const assembler::Program& program0, const assembler::Program& program1);
+
+  /// Park a core in a halted state (unused cores of a partially loaded SoC).
+  void park_core(unsigned core_index);
+
+  /// Advance one clock cycle (cores, then bus, then observers).
+  void step();
+
+  /// Run until all cores halt or `max_cycles` elapse; returns cycles run.
+  u64 run(u64 max_cycles);
+
+  bool all_halted() const;
+
+  core::Core& core(unsigned i);
+  const core::Core& core(unsigned i) const;
+  const core::CoreTapFrame& frame(unsigned i) const;
+  /// Number of prelude nops core `i` executes before its program.
+  u64 prelude_commits(unsigned i) const;
+  /// Data segment base assigned to core `i`.
+  u64 data_base(unsigned i) const;
+
+  mem::PhysMem& memory() { return *memory_; }
+  bus::ApbBus& apb() { return apb_; }
+  bus::AhbBus& ahb() { return *ahb_; }
+  const bus::L2Frontend& l2() const { return *l2_; }
+  u64 cycle() const { return cycle_; }
+  const SocConfig& config() const { return config_; }
+
+  /// Attach an observer to `pair` (default: pair 0).
+  void add_observer(CycleObserver* observer, unsigned pair = 0);
+
+ private:
+  void load_pair_images(unsigned pair, const assembler::Program& program,
+                        unsigned stagger_nops, unsigned delayed_local);
+
+  /// Routes the APB window to the peripheral bus, everything else to RAM.
+  class RoutingMemPort final : public MemoryPort {
+   public:
+    RoutingMemPort(mem::PhysMem& ram, bus::ApbBus& apb, u64 apb_base, u64 apb_size)
+        : ram_(ram), apb_(apb), apb_base_(apb_base), apb_size_(apb_size) {}
+    u64 load(u64 addr, unsigned size) override;
+    void store(u64 addr, u64 value, unsigned size) override;
+
+   private:
+    mem::PhysMem& ram_;
+    bus::ApbBus& apb_;
+    u64 apb_base_;
+    u64 apb_size_;
+  };
+
+  SocConfig config_;
+  std::unique_ptr<mem::PhysMem> memory_;
+  std::unique_ptr<bus::L2Frontend> l2_;
+  std::unique_ptr<bus::AhbBus> ahb_;
+  bus::ApbBus apb_;
+  std::unique_ptr<RoutingMemPort> mem_port_;
+  std::vector<std::unique_ptr<core::Core>> cores_;
+  std::vector<core::CoreTapFrame> frames_;
+  std::vector<u64> prelude_commits_;
+  std::vector<std::vector<CycleObserver*>> observers_;  // per pair
+  u64 cycle_ = 0;
+};
+
+}  // namespace safedm::soc

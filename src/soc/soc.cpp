@@ -1,0 +1,191 @@
+#include "safedm/soc/soc.hpp"
+
+#include <algorithm>
+
+#include "safedm/common/check.hpp"
+#include "safedm/isa/encode.hpp"
+
+namespace safedm::soc {
+
+MpSoc::MpSoc(const SocConfig& config) : config_(config) {
+  SAFEDM_CHECK_MSG(config.num_cores >= 2 && config.num_cores <= 8 &&
+                       config.num_cores % 2 == 0,
+                   "num_cores must be even and in [2, 8]");
+  memory_ = std::make_unique<mem::PhysMem>(config.mem_base, config.mem_size);
+  l2_ = std::make_unique<bus::L2Frontend>(config.l2, config.l2_timing);
+  ahb_ = std::make_unique<bus::AhbBus>(*l2_, config.arbiter_bias);
+  mem_port_ = std::make_unique<RoutingMemPort>(*memory_, apb_, config.apb_base,
+                                               config.apb_size);
+  config_.core.mmio_base = config.apb_base;
+  config_.core.mmio_size = config.apb_size;
+  for (unsigned i = 0; i < config.num_cores; ++i)
+    cores_.push_back(std::make_unique<core::Core>(config_.core, *mem_port_, *ahb_,
+                                                  "core" + std::to_string(i)));
+  frames_.resize(config.num_cores);
+  prelude_commits_.assign(config.num_cores, 0);
+  observers_.resize(config.num_cores / 2);
+  // Cores come out of reset parked; loading a pair brings it up.
+  for (unsigned i = 0; i < config.num_cores; ++i) park_core(i);
+}
+
+core::Core& MpSoc::core(unsigned i) {
+  SAFEDM_CHECK(i < cores_.size());
+  return *cores_[i];
+}
+
+const core::Core& MpSoc::core(unsigned i) const {
+  SAFEDM_CHECK(i < cores_.size());
+  return *cores_[i];
+}
+
+const core::CoreTapFrame& MpSoc::frame(unsigned i) const {
+  SAFEDM_CHECK(i < frames_.size());
+  return frames_[i];
+}
+
+u64 MpSoc::prelude_commits(unsigned i) const {
+  SAFEDM_CHECK(i < prelude_commits_.size());
+  return prelude_commits_[i];
+}
+
+u64 MpSoc::data_base(unsigned i) const {
+  SAFEDM_CHECK(i < cores_.size());
+  if (config_.shared_data) {
+    // A pair shares its lower core's segment.
+    i &= ~1u;
+  }
+  const u64 stride = config_.data_base1 - config_.data_base0;
+  return config_.data_base0 + i * stride;
+}
+
+void MpSoc::add_observer(CycleObserver* observer, unsigned pair) {
+  SAFEDM_CHECK(observer != nullptr);
+  SAFEDM_CHECK_MSG(pair < observers_.size(), "observer pair index out of range");
+  observers_[pair].push_back(observer);
+}
+
+void MpSoc::park_core(unsigned core_index) {
+  SAFEDM_CHECK(core_index < cores_.size());
+  // Park by pointing the core at a private `ecall`: it fetches one
+  // instruction and halts.
+  const u64 park_pc = align_down(config_.text_base, 4096) - 4096 + core_index * 64;
+  memory_->store(park_pc, isa::enc::ecall(), 4);
+  cores_[core_index]->reset(park_pc, data_base(core_index), data_base(core_index) + 0x1000);
+  prelude_commits_[core_index] = 0;
+}
+
+void MpSoc::load_pair_images(unsigned pair, const assembler::Program& program,
+                             unsigned stagger_nops, unsigned delayed_local) {
+  SAFEDM_CHECK(pair < num_pairs());
+  SAFEDM_CHECK(delayed_local < 2);
+  const u64 text_base = config_.text_base + pair * config_.text_stride;
+
+  // Text: [prelude nops][program]; program PCs identical for both cores.
+  u64 addr = text_base;
+  for (unsigned i = 0; i < stagger_nops; ++i, addr += 4)
+    memory_->store(addr, isa::kNopEncoding, 4);
+  const u64 program_entry = addr;
+  for (const u32 word : program.text) {
+    memory_->store(addr, word, 4);
+    addr += 4;
+  }
+  SAFEDM_CHECK_MSG(addr <= text_base + config_.text_stride,
+                   "text segment '" << program.name << "' overflows its window");
+  SAFEDM_CHECK_MSG(addr <= config_.data_base0, "text overlaps the data segments");
+
+  for (unsigned local = 0; local < 2; ++local) {
+    const unsigned core_index = pair * 2 + local;
+    const u64 base = data_base(core_index);
+    if (local == 0 || !config_.shared_data) {
+      memory_->write_block(base, program.data);
+      memory_->fill(base + program.data.size(), program.bss_bytes, 0);
+    }
+    const u64 stack_top = align_down(
+        base + align_up(program.data_segment_bytes(), 16) + program.stack_bytes, 16);
+    const bool delayed = (local == delayed_local) && stagger_nops > 0;
+    cores_[core_index]->reset(delayed ? text_base : program_entry, base, stack_top);
+    prelude_commits_[core_index] = delayed ? stagger_nops : 0;
+  }
+}
+
+void MpSoc::load_redundant(const assembler::Program& program, unsigned stagger_nops,
+                           unsigned delayed_core) {
+  load_redundant_pair(0, program, stagger_nops, delayed_core);
+}
+
+void MpSoc::load_redundant_pair(unsigned pair, const assembler::Program& program,
+                                unsigned stagger_nops, unsigned delayed_local) {
+  load_pair_images(pair, program, stagger_nops, delayed_local);
+  cycle_ = 0;
+}
+
+void MpSoc::load_distinct(const assembler::Program& program0,
+                          const assembler::Program& program1) {
+  // Two text segments inside pair 0's window.
+  const u64 text_base0 = config_.text_base;
+  const u64 text_base1 =
+      align_up(text_base0 + program0.text.size() * 4 + 4096, 4096);
+  SAFEDM_CHECK_MSG(text_base1 + program1.text.size() * 4 <= text_base0 + config_.text_stride,
+                   "distinct programs overflow the pair-0 text window");
+
+  const auto load_one = [&](unsigned core_index, const assembler::Program& program,
+                            u64 text_base) {
+    u64 addr = text_base;
+    for (const u32 word : program.text) {
+      memory_->store(addr, word, 4);
+      addr += 4;
+    }
+    const u64 base = data_base(core_index);
+    memory_->write_block(base, program.data);
+    memory_->fill(base + program.data.size(), program.bss_bytes, 0);
+    const u64 stack_top = align_down(
+        base + align_up(program.data_segment_bytes(), 16) + program.stack_bytes, 16);
+    cores_[core_index]->reset(text_base, base, stack_top);
+    prelude_commits_[core_index] = 0;
+  };
+  load_one(0, program0, text_base0);
+  load_one(1, program1, text_base1);
+  cycle_ = 0;
+}
+
+void MpSoc::step() {
+  ++cycle_;
+  for (unsigned i = 0; i < num_cores(); ++i) cores_[i]->step(frames_[i]);
+  ahb_->step();
+  for (unsigned pair = 0; pair < num_pairs(); ++pair)
+    for (CycleObserver* observer : observers_[pair])
+      observer->on_cycle(cycle_, frames_[pair * 2], frames_[pair * 2 + 1]);
+}
+
+u64 MpSoc::run(u64 max_cycles) {
+  u64 executed = 0;
+  while (executed < max_cycles && !all_halted()) {
+    step();
+    ++executed;
+  }
+  return executed;
+}
+
+u64 MpSoc::RoutingMemPort::load(u64 addr, unsigned size) {
+  if (addr >= apb_base_ && addr < apb_base_ + apb_size_) {
+    SAFEDM_CHECK_MSG(size == 4, "APB access must be 32-bit (lw/sw)");
+    return apb_.read(addr);
+  }
+  return ram_.load(addr, size);
+}
+
+void MpSoc::RoutingMemPort::store(u64 addr, u64 value, unsigned size) {
+  if (addr >= apb_base_ && addr < apb_base_ + apb_size_) {
+    SAFEDM_CHECK_MSG(size == 4, "APB access must be 32-bit (lw/sw)");
+    apb_.write(addr, static_cast<u32>(value));
+    return;
+  }
+  ram_.store(addr, value, size);
+}
+
+bool MpSoc::all_halted() const {
+  return std::all_of(cores_.begin(), cores_.end(),
+                     [](const auto& c) { return c->halted(); });
+}
+
+}  // namespace safedm::soc

@@ -1,0 +1,69 @@
+#include "safedm/trace/pipeline_tracer.hpp"
+
+#include <iomanip>
+
+#include "safedm/isa/disasm.hpp"
+
+namespace safedm::trace {
+
+PipelineTracer::PipelineTracer(std::ostream& out, const TracerConfig& config,
+                               const monitor::SafeDm* monitor)
+    : out_(out), config_(config), monitor_(monitor) {}
+
+void PipelineTracer::render_core(const core::CoreTapFrame& frame) {
+  for (unsigned s = 0; s < core::kPipelineStages; ++s) {
+    out_ << "  " << std::setw(2) << core::stage_name(static_cast<core::Stage>(s)) << ':';
+    bool any = false;
+    for (unsigned lane = 0; lane < core::kMaxIssueWidth; ++lane) {
+      const core::StageSlotTap& slot = frame.stage[s][lane];
+      if (!slot.valid) continue;
+      any = true;
+      out_ << ' ';
+      if (config_.disassemble) {
+        out_ << '[' << isa::disassemble(slot.encoding) << ']';
+      } else {
+        out_ << std::hex << "[0x" << slot.encoding << ']' << std::dec;
+      }
+    }
+    if (!any) out_ << " -";
+    out_ << '\n';
+  }
+  out_ << "  ports:";
+  for (unsigned p = 0; p < core::kMaxPorts; ++p) {
+    if (!frame.port[p].enable) continue;
+    out_ << " P" << p << "=0x" << std::hex << frame.port[p].value << std::dec;
+  }
+  out_ << (frame.hold ? "  (hold)" : "") << "  commits=" << frame.commits << '\n';
+}
+
+void PipelineTracer::on_cycle(u64 cycle, const core::CoreTapFrame& frame0,
+                              const core::CoreTapFrame& frame1) {
+  if (cycle < config_.start_cycle || cycle > config_.end_cycle) return;
+  if (config_.only_when_lacking_diversity &&
+      (monitor_ == nullptr || !monitor_->lacking_diversity_now()))
+    return;
+
+  if (!header_written_) {
+    out_ << "==== pipeline trace (cycles " << config_.start_cycle << "..";
+    if (config_.end_cycle == ~u64{0})
+      out_ << "end";
+    else
+      out_ << config_.end_cycle;
+    out_ << ") ====\n";
+    header_written_ = true;
+  }
+
+  out_ << "cycle " << cycle;
+  if (monitor_ != nullptr) {
+    out_ << "  diff=" << monitor_->instruction_diff()
+         << (monitor_->lacking_diversity_now() ? "  ** NO DIVERSITY **" : "");
+  }
+  out_ << '\n';
+  out_ << " core0:\n";
+  render_core(frame0);
+  out_ << " core1:\n";
+  render_core(frame1);
+  ++traced_;
+}
+
+}  // namespace safedm::trace

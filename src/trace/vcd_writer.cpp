@@ -1,0 +1,124 @@
+#include "safedm/trace/vcd_writer.hpp"
+
+#include <sstream>
+
+namespace safedm::trace {
+namespace {
+
+/// Per-core signal count: per stage slot {valid, encoding}, per port
+/// {enable, value}, plus hold and commits.
+constexpr unsigned kSlotSignals = core::kPipelineStages * core::kMaxIssueWidth * 2;
+constexpr unsigned kPortSignals = core::kMaxPorts * 2;
+constexpr unsigned kPerCore = kSlotSignals + kPortSignals + 2;
+
+std::string binary(u64 value, unsigned width) {
+  std::string bits(width, '0');
+  for (unsigned i = 0; i < width; ++i)
+    if (value & (u64{1} << i)) bits[width - 1 - i] = '1';
+  return bits;
+}
+
+}  // namespace
+
+VcdWriter::VcdWriter(std::ostream& out, const monitor::SafeDm* monitor)
+    : out_(out), monitor_(monitor) {
+  for (unsigned c = 0; c < 2; ++c) {
+    core_base_[c] = static_cast<unsigned>(signals_.size());
+    const std::string prefix = "core" + std::to_string(c) + ".";
+    for (unsigned s = 0; s < core::kPipelineStages; ++s) {
+      for (unsigned lane = 0; lane < core::kMaxIssueWidth; ++lane) {
+        const std::string slot =
+            prefix + core::stage_name(static_cast<core::Stage>(s)) + "_l" + std::to_string(lane);
+        declare(slot + "_valid", 1);
+        declare(slot + "_inst", 32);
+      }
+    }
+    for (unsigned p = 0; p < core::kMaxPorts; ++p) {
+      declare(prefix + "port" + std::to_string(p) + "_en", 1);
+      declare(prefix + "port" + std::to_string(p) + "_val", 64);
+    }
+    declare(prefix + "hold", 1);
+    declare(prefix + "commits", 2);
+  }
+  if (monitor_ != nullptr) {
+    sig_nodiv_ = declare("safedm.lack_of_diversity", 1);
+    sig_ds_match_ = declare("safedm.ds_match", 1);
+    sig_is_match_ = declare("safedm.is_match", 1);
+    sig_diff_ = declare("safedm.inst_diff", 32);
+  }
+}
+
+std::string VcdWriter::next_id() {
+  // Identifiers over the printable range '!'..'~', base-94.
+  unsigned n = id_counter_++;
+  std::string id;
+  do {
+    id.push_back(static_cast<char>('!' + n % 94));
+    n /= 94;
+  } while (n != 0);
+  return id;
+}
+
+unsigned VcdWriter::declare(const std::string& name, unsigned width) {
+  Signal signal;
+  signal.id = next_id();
+  signal.width = width;
+  std::ostringstream decl;
+  decl << "$var wire " << width << ' ' << signal.id << ' ' << name << " $end";
+  declarations_.push_back(decl.str());
+  signals_.push_back(signal);
+  return static_cast<unsigned>(signals_.size()) - 1;
+}
+
+void VcdWriter::write_header() {
+  out_ << "$timescale 1ns $end\n$scope module safedm_soc $end\n";
+  for (const std::string& decl : declarations_) out_ << decl << '\n';
+  out_ << "$upscope $end\n$enddefinitions $end\n";
+  header_done_ = true;
+}
+
+void VcdWriter::emit(unsigned index, u64 value) {
+  Signal& signal = signals_[index];
+  if (signal.last == value) return;
+  signal.last = value;
+  ++changes_;
+  if (signal.width == 1) {
+    out_ << (value ? '1' : '0') << signal.id << '\n';
+  } else {
+    out_ << 'b' << binary(value, signal.width) << ' ' << signal.id << '\n';
+  }
+}
+
+void VcdWriter::dump_frame(unsigned base, const core::CoreTapFrame& frame) {
+  unsigned index = base;
+  for (unsigned s = 0; s < core::kPipelineStages; ++s) {
+    for (unsigned lane = 0; lane < core::kMaxIssueWidth; ++lane) {
+      const core::StageSlotTap& slot = frame.stage[s][lane];
+      emit(index++, slot.valid ? 1 : 0);
+      emit(index++, slot.valid ? slot.encoding : 0);
+    }
+  }
+  for (unsigned p = 0; p < core::kMaxPorts; ++p) {
+    emit(index++, frame.port[p].enable ? 1 : 0);
+    emit(index++, frame.port[p].enable ? frame.port[p].value : 0);
+  }
+  emit(index++, frame.hold ? 1 : 0);
+  emit(index++, frame.commits);
+}
+
+void VcdWriter::on_cycle(u64 cycle, const core::CoreTapFrame& frame0,
+                         const core::CoreTapFrame& frame1) {
+  if (!header_done_) write_header();
+  out_ << '#' << cycle << '\n';
+  dump_frame(core_base_[0], frame0);
+  dump_frame(core_base_[1], frame1);
+  if (monitor_ != nullptr) {
+    emit(sig_nodiv_, monitor_->lacking_diversity_now() ? 1 : 0);
+    emit(sig_diff_, static_cast<u64>(static_cast<u32>(
+                        static_cast<i32>(monitor_->instruction_diff()))));
+    emit(sig_ds_match_, monitor_->ds_matched_now() ? 1 : 0);
+    emit(sig_is_match_, monitor_->is_matched_now() ? 1 : 0);
+  }
+}
+
+}  // namespace safedm::trace

@@ -1,0 +1,642 @@
+// Extended workload set: additional TACLeBench-family kernels beyond the
+// 29 the paper's Table I evaluates (TACLeBench ships more programs; these
+// widen the diversity-behaviour coverage: codecs, graph search, state
+// machines, image kernels).
+#include <algorithm>
+#include <array>
+
+#include "internal.hpp"
+
+namespace safedm::workloads {
+
+using namespace internal;
+
+// ---- adpcm --------------------------------------------------------------------------
+// IMA-style ADPCM encoder: per-sample table-driven quantization with a
+// loop-carried predictor state and step-size adaptation.
+assembler::Program build_adpcm(unsigned scale) {
+  const unsigned n = 192 * scale;
+  Assembler a;
+  DataBuilder d;
+  reserve_result(d);
+  Xoshiro256 rng = input_rng("adpcm");
+  std::vector<i32> pcm(n);
+  i32 wave = 0;
+  for (auto& s : pcm) {
+    wave += static_cast<i32>(rng.below(2049)) - 1024;
+    wave = std::clamp(wave, -32768, 32767);
+    s = wave;
+  }
+  const u64 samples = d.add_i32_array(pcm);
+  static constexpr std::array<u32, 16> kSteps = {7,    16,   34,  73,   157,  337,
+                                                 724,  1552, 3327, 7132, 15289, 32767,
+                                                 32767, 32767, 32767, 32767};
+  const u64 steps = d.add_u32_array({kSteps.data(), kSteps.size()});
+
+  a.lea_data(S0, samples);
+  a.lea_data(S1, steps);
+  a.li(S3, static_cast<i64>(n));
+  a.li(S5, 0);  // predictor
+  a.li(S6, 0);  // step index (0..15)
+  a.li(S4, 0);  // checksum of emitted codes
+  Label loop = a.new_label(), done = a.new_label();
+  a.bind(loop);
+  a.beqz(S3, done);
+  a(e::lw(T0, S0, 0));    // sample
+  a(e::sub(T1, T0, S5));  // diff
+  a.li(T2, 0);            // code
+  Label nonneg = a.new_label();
+  a.bge(T1, ZERO, nonneg);
+  a.li(T2, 4);
+  a.neg(T1, T1);
+  a.bind(nonneg);
+  // step = steps[index]
+  a(e::slli(T3, S6, 2));
+  a(e::add(T3, T3, S1));
+  a(e::lwu(T3, T3, 0));
+  Label no2 = a.new_label(), no1 = a.new_label();
+  a.blt(T1, T3, no2);
+  a(e::ori(T2, T2, 2));
+  a(e::sub(T1, T1, T3));
+  a.bind(no2);
+  a(e::srli(T4, T3, 1));
+  a.blt(T1, T4, no1);
+  a(e::ori(T2, T2, 1));
+  a.bind(no1);
+  // Reconstruct: delta = (mag * step) / 2 + step / 4; apply sign.
+  a(e::andi(T5, T2, 3));
+  a(e::mul(T5, T5, T3));
+  a(e::srli(T5, T5, 1));
+  a(e::srli(T4, T3, 2));
+  a(e::add(T5, T5, T4));
+  a(e::andi(T4, T2, 4));
+  Label add_delta = a.new_label(), pred_done = a.new_label();
+  a.beqz(T4, add_delta);
+  a(e::sub(S5, S5, T5));
+  a.j(pred_done);
+  a.bind(add_delta);
+  a(e::add(S5, S5, T5));
+  a.bind(pred_done);
+  // Clamp predictor to [-32768, 32767].
+  a.li(T4, 32767);
+  Label clamp_lo = a.new_label(), clamp_done = a.new_label();
+  a.ble(S5, T4, clamp_lo);
+  a.mv(S5, T4);
+  a.bind(clamp_lo);
+  a.li(T4, -32768);
+  a.bge(S5, T4, clamp_done);
+  a.mv(S5, T4);
+  a.bind(clamp_done);
+  // Step-index adaptation: up on large codes, down on small.
+  a(e::andi(T4, T2, 3));
+  a.li(T5, 2);
+  Label idx_down = a.new_label(), idx_done = a.new_label();
+  a.blt(T4, T5, idx_down);
+  a(e::addi(S6, S6, 1));
+  a.j(idx_done);
+  a.bind(idx_down);
+  a(e::addi(S6, S6, -1));
+  a.bind(idx_done);
+  a.li(T5, 15);
+  Label idx_lo = a.new_label(), idx_ok = a.new_label();
+  a.ble(S6, T5, idx_lo);
+  a.mv(S6, T5);
+  a.bind(idx_lo);
+  a.bge(S6, ZERO, idx_ok);
+  a.li(S6, 0);
+  a.bind(idx_ok);
+  // Fold code into the checksum.
+  a(e::slli(T4, S4, 3));
+  a(e::add(S4, S4, T4));
+  a(e::add(S4, S4, T2));
+  a(e::addi(S0, S0, 4));
+  a(e::addi(S3, S3, -1));
+  a.j(loop);
+  a.bind(done);
+  emit_result_and_halt(a, S4);
+  return a.assemble("adpcm", std::move(d));
+}
+
+// ---- crc -----------------------------------------------------------------------------
+// Bitwise CRC-32 over a byte buffer (the TACLe crc kernel's structure).
+assembler::Program build_crc(unsigned scale) {
+  const unsigned n = 256 * scale;
+  Assembler a;
+  DataBuilder d;
+  reserve_result(d);
+  Xoshiro256 rng = input_rng("crc");
+  std::vector<u8> buffer(n);
+  for (auto& b : buffer) b = static_cast<u8>(rng.next());
+  const u64 buf = d.add_bytes(buffer);
+
+  a.lea_data(S0, buf);
+  a.li(S1, static_cast<i64>(n));
+  a.li(S2, -1);
+  a(e::slli(S2, S2, 32));
+  a(e::srli(S2, S2, 32));  // crc = 0xFFFFFFFF
+  a.li(S3, 0xEDB88320ll);  // reflected polynomial
+  Label byte_loop = a.new_label(), done = a.new_label();
+  a.bind(byte_loop);
+  a.beqz(S1, done);
+  a(e::lbu(T0, S0, 0));
+  a(e::xor_(S2, S2, T0));
+  a.li(T1, 8);
+  Label bit_loop = a.new_label(), bit_done = a.new_label(), no_xor = a.new_label();
+  a.bind(bit_loop);
+  a.beqz(T1, bit_done);
+  a(e::andi(T2, S2, 1));
+  a(e::srli(S2, S2, 1));
+  a.beqz(T2, no_xor);
+  a(e::xor_(S2, S2, S3));
+  a.bind(no_xor);
+  a(e::addi(T1, T1, -1));
+  a.j(bit_loop);
+  a.bind(bit_done);
+  a(e::addi(S0, S0, 1));
+  a(e::addi(S1, S1, -1));
+  a.j(byte_loop);
+  a.bind(done);
+  a.not_(S4, S2);
+  a(e::slli(S4, S4, 32));
+  a(e::srli(S4, S4, 32));
+  emit_result_and_halt(a, S4);
+  return a.assemble("crc", std::move(d));
+}
+
+// ---- dijkstra -------------------------------------------------------------------------
+// Single-source shortest paths on a dense adjacency matrix, O(n^2) scans.
+assembler::Program build_dijkstra(unsigned scale) {
+  const unsigned n = 20 + 4 * scale;
+  constexpr u32 kInf = 0x3FFFFFFF;
+  Assembler a;
+  DataBuilder d;
+  reserve_result(d);
+  Xoshiro256 rng = input_rng("dijkstra");
+  std::vector<u32> adj(n * n);
+  for (unsigned i = 0; i < n; ++i)
+    for (unsigned j = 0; j < n; ++j)
+      adj[i * n + j] = i == j ? 0 : (rng.below(4) == 0 ? 1 + static_cast<u32>(rng.below(100))
+                                                       : kInf);
+  const u64 graph = d.add_u32_array(adj);
+  const u64 dist = d.reserve(n * 4);
+  const u64 visited = d.reserve(n * 4);
+
+  a.lea_data(S0, graph);
+  a.lea_data(S1, dist);
+  a.lea_data(S2, visited);
+  a.li(S3, static_cast<i64>(n));
+  // init: dist[i] = adj[0][i], visited = {0}, visited[0] = 1.
+  a.li(T0, 0);
+  Label init = a.new_label(), init_done = a.new_label();
+  a.bind(init);
+  a.bge(T0, S3, init_done);
+  a(e::slli(T1, T0, 2));
+  a(e::add(T2, T1, S0));
+  a(e::lwu(T3, T2, 0));
+  a(e::add(T2, T1, S1));
+  a(e::sw(T3, T2, 0));
+  a(e::add(T2, T1, S2));
+  a(e::sw(ZERO, T2, 0));
+  a(e::addi(T0, T0, 1));
+  a.j(init);
+  a.bind(init_done);
+  a.li(T0, 1);
+  a(e::sw(T0, S2, 0));
+
+  // n-1 rounds: pick unvisited min, relax its edges.
+  a.li(S5, 1);  // round counter
+  Label round = a.new_label(), rounds_done = a.new_label();
+  a.bind(round);
+  a.bge(S5, S3, rounds_done);
+  // find min unvisited
+  a.li(S6, -1);          // best index
+  a.li(S7, kInf + 1);    // best dist
+  a.li(T0, 0);
+  Label scan = a.new_label(), scan_done = a.new_label(), skip = a.new_label();
+  a.bind(scan);
+  a.bge(T0, S3, scan_done);
+  a(e::slli(T1, T0, 2));
+  a(e::add(T2, T1, S2));
+  a(e::lwu(T3, T2, 0));
+  a.bnez(T3, skip);
+  a(e::add(T2, T1, S1));
+  a(e::lwu(T3, T2, 0));
+  a.bgeu(T3, S7, skip);
+  a.mv(S7, T3);
+  a.mv(S6, T0);
+  a.bind(skip);
+  a(e::addi(T0, T0, 1));
+  a.j(scan);
+  a.bind(scan_done);
+  Label relax_done = a.new_label();
+  a.blt(S6, ZERO, relax_done);  // disconnected remainder
+  // visited[best] = 1
+  a(e::slli(T1, S6, 2));
+  a(e::add(T2, T1, S2));
+  a.li(T0, 1);
+  a(e::sw(T0, T2, 0));
+  // relax: dist[j] = min(dist[j], best_dist + adj[best][j])
+  a.li(T0, 0);
+  Label relax = a.new_label(), no_update = a.new_label();
+  a.bind(relax);
+  a.bge(T0, S3, relax_done);
+  a(e::mul(T1, S6, S3));
+  a(e::add(T1, T1, T0));
+  a(e::slli(T1, T1, 2));
+  a(e::add(T1, T1, S0));
+  a(e::lwu(T2, T1, 0));     // adj[best][j]
+  a(e::add(T2, T2, S7));    // candidate
+  a(e::slli(T3, T0, 2));
+  a(e::add(T3, T3, S1));
+  a(e::lwu(T4, T3, 0));     // dist[j]
+  a.bgeu(T2, T4, no_update);
+  a(e::sw(T2, T3, 0));
+  a.bind(no_update);
+  a(e::addi(T0, T0, 1));
+  a.j(relax);
+  a.bind(relax_done);
+  a(e::addi(S5, S5, 1));
+  a.j(round);
+  a.bind(rounds_done);
+  a.lea_data(S1, dist);
+  a.li(S4, 0);
+  emit_checksum_u32(a, S1, n, S4, T1, T2, T0);
+  emit_result_and_halt(a, S4);
+  return a.assemble("dijkstra", std::move(d));
+}
+
+// ---- huffman --------------------------------------------------------------------------
+// Frequency histogram + greedy two-smallest merging (array-based) to
+// compute the total encoded bit length.
+assembler::Program build_huffman(unsigned scale) {
+  const unsigned n = 512 * scale;
+  const unsigned symbols = 32;
+  Assembler a;
+  DataBuilder d;
+  reserve_result(d);
+  Xoshiro256 rng = input_rng("huffman");
+  std::vector<u8> text(n);
+  for (auto& c : text) c = static_cast<u8>(rng.below(rng.below(2) ? symbols : symbols / 4));
+  const u64 buf = d.add_bytes(text);
+  const u64 freq = d.reserve(symbols * 8);
+
+  // Histogram.
+  a.lea_data(S0, buf);
+  a.lea_data(S1, freq);
+  a.li(S3, static_cast<i64>(n));
+  Label hist = a.new_label(), hist_done = a.new_label();
+  a.bind(hist);
+  a.beqz(S3, hist_done);
+  a(e::lbu(T0, S0, 0));
+  a(e::slli(T0, T0, 3));
+  a(e::add(T0, T0, S1));
+  a(e::ld(T1, T0, 0));
+  a(e::addi(T1, T1, 1));
+  a(e::sd(T1, T0, 0));
+  a(e::addi(S0, S0, 1));
+  a(e::addi(S3, S3, -1));
+  a.j(hist);
+  a.bind(hist_done);
+
+  // Greedy merge: repeatedly find two smallest nonzero weights, replace
+  // one with the sum, zero the other; accumulate the sum (total bits).
+  a.li(S4, 0);  // total encoded length
+  Label merge_round = a.new_label(), merge_done = a.new_label();
+  a.bind(merge_round);
+  // find smallest (S5 idx/S6 val) and second smallest (S7 idx/A1 val)
+  a.li(S5, -1);
+  a.li(S6, -1);  // max u64 sentinel via unsigned compare
+  a.li(S7, -1);
+  a.li(A1, -1);
+  a.li(T0, 0);
+  Label find = a.new_label(), find_done = a.new_label(), next_sym = a.new_label(),
+        second = a.new_label();
+  a.bind(find);
+  a.li(T1, symbols);
+  a.bge(T0, T1, find_done);
+  a(e::slli(T1, T0, 3));
+  a(e::add(T1, T1, S1));
+  a(e::ld(T2, T1, 0));
+  a.beqz(T2, next_sym);
+  a.bgeu(T2, S6, second);
+  // new smallest; old smallest becomes second.
+  a.mv(S7, S5);
+  a.mv(A1, S6);
+  a.mv(S5, T0);
+  a.mv(S6, T2);
+  a.j(next_sym);
+  a.bind(second);
+  a.bgeu(T2, A1, next_sym);
+  a.mv(S7, T0);
+  a.mv(A1, T2);
+  a.bind(next_sym);
+  a(e::addi(T0, T0, 1));
+  a.j(find);
+  a.bind(find_done);
+  a.blt(S7, ZERO, merge_done);  // fewer than two nodes left
+  // merge: freq[S5] += freq[S7]; freq[S7] = 0; total += sum.
+  a(e::add(T3, S6, A1));
+  a(e::add(S4, S4, T3));
+  a(e::slli(T1, S5, 3));
+  a(e::add(T1, T1, S1));
+  a(e::sd(T3, T1, 0));
+  a(e::slli(T1, S7, 3));
+  a(e::add(T1, T1, S1));
+  a(e::sd(ZERO, T1, 0));
+  a.j(merge_round);
+  a.bind(merge_done);
+  emit_result_and_halt(a, S4);
+  return a.assemble("huffman", std::move(d));
+}
+
+// ---- ndes -----------------------------------------------------------------------------
+// DES-shaped Feistel network: 16 rounds of S-box lookups + bit mixing over
+// a block stream.
+assembler::Program build_ndes(unsigned scale) {
+  const unsigned blocks = 24 * scale;
+  Assembler a;
+  DataBuilder d;
+  reserve_result(d);
+  Xoshiro256 rng = input_rng("ndes");
+  std::vector<u64> data(blocks);
+  for (auto& b : data) b = rng.next();
+  const u64 blocks_off = d.add_u64_array(data);
+  std::vector<u32> sbox(256);
+  for (auto& s : sbox) s = static_cast<u32>(rng.next());
+  const u64 sbox_off = d.add_u32_array(sbox);
+  std::vector<u32> keys(16);
+  for (auto& k : keys) k = static_cast<u32>(rng.next());
+  const u64 keys_off = d.add_u32_array(keys);
+
+  a.lea_data(S0, blocks_off);
+  a.lea_data(S1, sbox_off);
+  a.lea_data(S2, keys_off);
+  a.li(S3, static_cast<i64>(blocks));
+  a.li(S4, 0);
+  Label blk = a.new_label(), blk_done = a.new_label();
+  a.bind(blk);
+  a.beqz(S3, blk_done);
+  a(e::ld(T0, S0, 0));
+  a(e::srli(S5, T0, 32));      // L
+  a(e::slli(S6, T0, 32));
+  a(e::srli(S6, S6, 32));      // R
+  a.li(S7, 0);                 // round
+  Label round = a.new_label(), rounds_done = a.new_label();
+  a.bind(round);
+  a.li(T1, 16);
+  a.bge(S7, T1, rounds_done);
+  // f(R, K) = sbox[(R ^ K) & 0xFF] ^ rotl(R, 5)
+  a(e::slli(T1, S7, 2));
+  a(e::add(T1, T1, S2));
+  a(e::lwu(T2, T1, 0));        // K
+  a(e::xor_(T3, S6, T2));
+  a(e::andi(T3, T3, 0xFF));
+  a(e::slli(T3, T3, 2));
+  a(e::add(T3, T3, S1));
+  a(e::lwu(T4, T3, 0));        // sbox value
+  emit_rotl32(a, T5, S6, 5, A1);
+  a(e::xor_(T4, T4, T5));
+  // L, R = R, L ^ f
+  a(e::xor_(T4, T4, S5));
+  a.mv(S5, S6);
+  a(e::slli(T4, T4, 32));
+  a(e::srli(S6, T4, 32));
+  a(e::addi(S7, S7, 1));
+  a.j(round);
+  a.bind(rounds_done);
+  a(e::slli(T0, S5, 32));
+  a(e::or_(T0, T0, S6));
+  a(e::xor_(S4, S4, T0));
+  a(e::slli(T1, S4, 7));
+  a(e::add(S4, S4, T1));
+  a(e::addi(S0, S0, 8));
+  a(e::addi(S3, S3, -1));
+  a.j(blk);
+  a.bind(blk_done);
+  emit_result_and_halt(a, S4);
+  return a.assemble("ndes", std::move(d));
+}
+
+// ---- epic -----------------------------------------------------------------------------
+// Integer Haar wavelet transform (rows then columns, 2 levels) — the
+// image-compression front end EPIC builds on.
+assembler::Program build_epic(unsigned scale) {
+  const unsigned dim = 16 * (1u << std::min(scale - 1, 2u));
+  Assembler a;
+  DataBuilder d;
+  reserve_result(d);
+  const u64 img = d.add_i32_array(random_i32("epic", dim * dim));
+  const u64 tmp = d.reserve(dim * 4);
+
+  a.lea_data(S0, img);
+  a.lea_data(S1, tmp);
+  a.li(S2, static_cast<i64>(dim));
+  for (int level = 0; level < 2; ++level) {
+    const unsigned extent = dim >> level;
+    for (int pass = 0; pass < 2; ++pass) {  // 0 = rows, 1 = columns
+      const i64 elem_step = pass == 0 ? 4 : static_cast<i64>(dim) * 4;
+      const i64 line_step = pass == 0 ? static_cast<i64>(dim) * 4 : 4;
+      a.li(S5, static_cast<i64>(extent));  // lines
+      a.mv(S6, S0);                        // line base
+      Label line = a.new_label(), line_done = a.new_label();
+      a.bind(line);
+      a.beqz(S5, line_done);
+      // Haar pairs: tmp[k] = (a+b)/2 (low half), tmp[k+half] = a-b (high).
+      a.li(T0, 0);  // pair index k
+      Label pair = a.new_label(), pair_done = a.new_label();
+      a.bind(pair);
+      a.li(T1, static_cast<i64>(extent / 2));
+      a.bge(T0, T1, pair_done);
+      a.li(T2, elem_step * 2);
+      a(e::mul(T2, T2, T0));
+      a(e::add(T2, T2, S6));
+      a(e::lw(T3, T2, 0));
+      a.li(T4, elem_step);
+      a(e::add(T4, T4, T2));
+      a(e::lw(T5, T4, 0));
+      a(e::addw(A1, T3, T5));
+      a(e::sraiw(A1, A1, 1));  // low
+      a(e::subw(A2, T3, T5));  // high
+      a(e::slli(A3, T0, 2));
+      a(e::add(A3, A3, S1));
+      a(e::sw(A1, A3, 0));                                  // tmp[k]
+      a(e::sw(A2, A3, static_cast<i64>(extent / 2) * 4));   // tmp[k+half]
+      a(e::addi(T0, T0, 1));
+      a.j(pair);
+      a.bind(pair_done);
+      // Copy tmp back into the line.
+      a.li(T0, 0);
+      Label copy = a.new_label(), copy_done = a.new_label();
+      a.bind(copy);
+      a.li(T1, static_cast<i64>(extent));
+      a.bge(T0, T1, copy_done);
+      a(e::slli(T2, T0, 2));
+      a(e::add(T2, T2, S1));
+      a(e::lw(T3, T2, 0));
+      a.li(T4, elem_step);
+      a(e::mul(T4, T4, T0));
+      a(e::add(T4, T4, S6));
+      a(e::sw(T3, T4, 0));
+      a(e::addi(T0, T0, 1));
+      a.j(copy);
+      a.bind(copy_done);
+      a.add_imm(S6, S6, line_step, T6);
+      a(e::addi(S5, S5, -1));
+      a.j(line);
+      a.bind(line_done);
+    }
+  }
+  a.lea_data(S1, img);
+  a.li(S4, 0);
+  emit_checksum_u32(a, S1, dim * dim, S4, T1, T2, T0);
+  emit_result_and_halt(a, S4);
+  return a.assemble("epic", std::move(d));
+}
+
+// ---- susan ----------------------------------------------------------------------------
+// SUSAN-style corner response: per pixel, count 3x3 neighbours within a
+// brightness threshold of the centre (data-dependent branches on image
+// content).
+assembler::Program build_susan(unsigned scale) {
+  const unsigned dim = 20 + 4 * scale;
+  Assembler a;
+  DataBuilder d;
+  reserve_result(d);
+  Xoshiro256 rng = input_rng("susan");
+  std::vector<i32> img(dim * dim);
+  for (auto& p : img) p = static_cast<i32>(rng.below(256));
+  const u64 image = d.add_i32_array(img);
+
+  a.lea_data(S0, image);
+  a.li(S2, static_cast<i64>(dim));
+  a.li(S4, 0);  // response accumulator
+  a.li(S5, 1);  // row
+  Label row = a.new_label(), row_done = a.new_label();
+  a.bind(row);
+  a(e::addi(T0, S2, -1));
+  a.bge(S5, T0, row_done);
+  a.li(S6, 1);  // col
+  Label col = a.new_label(), col_done = a.new_label();
+  a.bind(col);
+  a(e::addi(T0, S2, -1));
+  a.bge(S6, T0, col_done);
+  // centre brightness
+  a(e::mul(T1, S5, S2));
+  a(e::add(T1, T1, S6));
+  a(e::slli(T1, T1, 2));
+  a(e::add(T1, T1, S0));
+  a(e::lw(T2, T1, 0));
+  a.li(S7, 0);  // USAN count
+  for (int dr = -1; dr <= 1; ++dr) {
+    for (int dc = -1; dc <= 1; ++dc) {
+      if (dr == 0 && dc == 0) continue;
+      const i64 off = (static_cast<i64>(dr) * dim + dc) * 4;
+      a(e::lw(T3, T1, off));
+      a(e::sub(T4, T3, T2));
+      Label pos = a.new_label(), skip = a.new_label();
+      a.bge(T4, ZERO, pos);
+      a.neg(T4, T4);
+      a.bind(pos);
+      a.li(T5, 27);  // brightness threshold
+      a.bgt(T4, T5, skip);
+      a(e::addi(S7, S7, 1));
+      a.bind(skip);
+    }
+  }
+  // Corner-ish response: g - USAN when below geometric threshold g = 6.
+  a.li(T3, 6);
+  Label no_corner = a.new_label();
+  a.bge(S7, T3, no_corner);
+  a(e::sub(T4, T3, S7));
+  a(e::add(S4, S4, T4));
+  a.bind(no_corner);
+  a(e::addi(S6, S6, 1));
+  a.j(col);
+  a.bind(col_done);
+  a(e::addi(S5, S5, 1));
+  a.j(row);
+  a.bind(row_done);
+  emit_result_and_halt(a, S4);
+  return a.assemble("susan", std::move(d));
+}
+
+// ---- statemate ------------------------------------------------------------------------
+// Statechart-style controller: a state machine driven by an event tape,
+// dense data-dependent branching with almost no arithmetic.
+assembler::Program build_statemate(unsigned scale) {
+  const unsigned events = 512 * scale;
+  Assembler a;
+  DataBuilder d;
+  reserve_result(d);
+  Xoshiro256 rng = input_rng("statemate");
+  std::vector<u8> tape(events);
+  for (auto& ev : tape) ev = static_cast<u8>(rng.below(4));
+  const u64 tape_off = d.add_bytes(tape);
+  const u64 visits = d.reserve(5 * 8);  // per-state visit counters
+
+  a.lea_data(S0, tape_off);
+  a.lea_data(S1, visits);
+  a.li(S2, static_cast<i64>(events));
+  a.li(S3, 0);  // state in {0..4}
+  Label loop = a.new_label(), done = a.new_label();
+  Label dispatch_done = a.new_label();
+  a.bind(loop);
+  a.beqz(S2, done);
+  a(e::lbu(T0, S0, 0));  // event in {0..3}
+  // Transition table as a branch ladder: state' = f(state, event).
+  std::array<std::array<int, 4>, 5> table = {{{1, 0, 2, 0},
+                                              {2, 1, 3, 0},
+                                              {3, 1, 4, 2},
+                                              {4, 2, 0, 1},
+                                              {0, 3, 1, 4}}};
+  std::vector<Label> state_labels;
+  for (int s = 0; s < 5; ++s) state_labels.push_back(a.new_label());
+  for (int s = 0; s < 5; ++s) {
+    a.li(T1, s);
+    a.beq(S3, T1, state_labels[static_cast<std::size_t>(s)]);
+  }
+  a.j(dispatch_done);  // unreachable guard
+  for (int s = 0; s < 5; ++s) {
+    a.bind(state_labels[static_cast<std::size_t>(s)]);
+    std::vector<Label> event_labels;
+    for (int ev = 0; ev < 4; ++ev) event_labels.push_back(a.new_label());
+    for (int ev = 0; ev < 3; ++ev) {
+      a.li(T1, ev);
+      a.beq(T0, T1, event_labels[static_cast<std::size_t>(ev)]);
+    }
+    a.j(event_labels[3]);
+    for (int ev = 0; ev < 4; ++ev) {
+      a.bind(event_labels[static_cast<std::size_t>(ev)]);
+      a.li(S3, table[static_cast<std::size_t>(s)][static_cast<std::size_t>(ev)]);
+      a.j(dispatch_done);
+    }
+  }
+  a.bind(dispatch_done);
+  // visits[state]++
+  a(e::slli(T1, S3, 3));
+  a(e::add(T1, T1, S1));
+  a(e::ld(T2, T1, 0));
+  a(e::addi(T2, T2, 1));
+  a(e::sd(T2, T1, 0));
+  a(e::addi(S0, S0, 1));
+  a(e::addi(S2, S2, -1));
+  a.j(loop);
+  a.bind(done);
+  a.lea_data(S1, visits);
+  a.li(S4, 0);
+  emit_checksum_u64(a, S1, 5, S4, T1, T2, T0);
+  emit_result_and_halt(a, S4);
+  return a.assemble("statemate", std::move(d));
+}
+
+const std::vector<WorkloadInfo>& registry_extended() {
+  static const std::vector<WorkloadInfo> kExtended = {
+      {"adpcm", false, build_adpcm},     {"crc", false, build_crc},
+      {"dijkstra", false, build_dijkstra}, {"epic", false, build_epic},
+      {"huffman", false, build_huffman}, {"ndes", false, build_ndes},
+      {"statemate", false, build_statemate}, {"susan", false, build_susan},
+  };
+  return kExtended;
+}
+
+}  // namespace safedm::workloads

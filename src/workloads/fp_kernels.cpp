@@ -1,0 +1,287 @@
+// Floating-point streaming kernels: complex_updates, cosf, cubic, deg2rad,
+// rad2deg, iir.
+#include <cmath>
+
+#include "internal.hpp"
+
+namespace safedm::workloads {
+
+using namespace internal;
+
+// ---- deg2rad / rad2deg ------------------------------------------------------------
+// Array scaling by a constant: one load, one multiply, one store per
+// element — the simplest FP pipeline pattern.
+namespace {
+
+assembler::Program build_angle_convert(const char* name, double factor, unsigned scale) {
+  const unsigned n = 192 * scale;
+  Assembler a;
+  DataBuilder d;
+  reserve_result(d);
+  const u64 arr = d.add_f64_array(random_f64(name, n, -360.0, 360.0));
+  const u64 fac = d.add_f64(factor);
+
+  a.lea_data(S0, arr);
+  a.lea_data(T0, fac);
+  a(e::fld(1, T0, 0));  // f1 = conversion factor
+  a.li(S1, static_cast<i64>(n));
+  Label loop = a.new_label(), done = a.new_label();
+  a.bind(loop);
+  a.beqz(S1, done);
+  a(e::fld(2, S0, 0));
+  a(e::fmul_d(2, 2, 1));
+  a(e::fsd(2, S0, 0));
+  a(e::addi(S0, S0, 8));
+  a(e::addi(S1, S1, -1));
+  a.j(loop);
+  a.bind(done);
+  a.lea_data(S1, arr);
+  a.li(S4, 0);
+  emit_checksum_u64(a, S1, n, S4, T1, T2, T3);
+  emit_result_and_halt(a, S4);
+  return a.assemble(name, std::move(d));
+}
+
+}  // namespace
+
+assembler::Program build_deg2rad(unsigned scale) {
+  return build_angle_convert("deg2rad", 3.14159265358979323846 / 180.0, scale);
+}
+
+assembler::Program build_rad2deg(unsigned scale) {
+  return build_angle_convert("rad2deg", 180.0 / 3.14159265358979323846, scale);
+}
+
+// ---- cosf -----------------------------------------------------------------------------
+// Taylor-series cosine with a precomputed reciprocal-factorial table: a
+// short dependent FP chain per term, data-independent trip counts.
+assembler::Program build_cosf(unsigned scale) {
+  const unsigned n = 96 * scale;
+  const unsigned terms = 8;
+  Assembler a;
+  DataBuilder d;
+  reserve_result(d);
+  const u64 angles = d.add_f64_array(random_f64("cosf", n, -3.1, 3.1));
+  // recip[k] = -1 / ((2k-1) * 2k): the term update factor.
+  std::vector<double> recip(terms);
+  for (unsigned k = 1; k <= terms; ++k)
+    recip[k - 1] = -1.0 / static_cast<double>((2 * k - 1) * (2 * k));
+  const u64 rtab = d.add_f64_array(recip);
+  const u64 results = d.reserve(n * 8);
+
+  a.lea_data(S0, angles);
+  a.lea_data(S1, rtab);
+  a.lea_data(S2, results);
+  a.li(S3, static_cast<i64>(n));
+  Label outer = a.new_label(), done = a.new_label();
+  a.bind(outer);
+  a.beqz(S3, done);
+  a(e::fld(1, S0, 0));       // x
+  a(e::fmul_d(2, 1, 1));     // x^2
+  a.li(T0, 1);
+  a(e::fcvt_d_l(3, T0));     // sum = 1.0
+  a.fmv_d(4, 3);             // term = 1.0
+  a.mv(T1, S1);              // recip cursor
+  a.li(T2, terms);
+  Label term_loop = a.new_label(), term_done = a.new_label();
+  a.bind(term_loop);
+  a.beqz(T2, term_done);
+  a(e::fld(5, T1, 0));
+  a(e::fmul_d(4, 4, 2));     // term *= x^2
+  a(e::fmul_d(4, 4, 5));     // term *= -1/((2k-1)2k)
+  a(e::fadd_d(3, 3, 4));     // sum += term
+  a(e::addi(T1, T1, 8));
+  a(e::addi(T2, T2, -1));
+  a.j(term_loop);
+  a.bind(term_done);
+  a(e::fsd(3, S2, 0));
+  a(e::addi(S0, S0, 8));
+  a(e::addi(S2, S2, 8));
+  a(e::addi(S3, S3, -1));
+  a.j(outer);
+  a.bind(done);
+  a.lea_data(S1, results);
+  a.li(S4, 0);
+  emit_checksum_u64(a, S1, n, S4, T1, T2, T3);
+  emit_result_and_halt(a, S4);
+  return a.assemble("cosf", std::move(d));
+}
+
+// ---- complex_updates ---------------------------------------------------------------
+// Complex multiply-accumulate: c[i] += a[i] * b[i] over interleaved
+// re/im arrays (the classic DSPstone kernel TACLe inherits).
+assembler::Program build_complex_updates(unsigned scale) {
+  const unsigned n = 64 * scale;
+  const unsigned passes = 4;
+  Assembler a;
+  DataBuilder d;
+  reserve_result(d);
+  const u64 va = d.add_f64_array(random_f64("complex.a", 2 * n));
+  const u64 vb = d.add_f64_array(random_f64("complex.b", 2 * n));
+  const u64 vc = d.add_f64_array(random_f64("complex.c", 2 * n));
+
+  a.li(S5, passes);
+  Label pass = a.new_label(), pass_done = a.new_label();
+  a.bind(pass);
+  a.beqz(S5, pass_done);
+  a.lea_data(S0, va);
+  a.lea_data(S1, vb);
+  a.lea_data(S2, vc);
+  a.li(S3, static_cast<i64>(n));
+  Label loop = a.new_label(), loop_done = a.new_label();
+  a.bind(loop);
+  a.beqz(S3, loop_done);
+  a(e::fld(1, S0, 0));        // ar
+  a(e::fld(2, S0, 8));        // ai
+  a(e::fld(3, S1, 0));        // br
+  a(e::fld(4, S1, 8));        // bi
+  a(e::fld(5, S2, 0));        // cr
+  a(e::fld(6, S2, 8));        // ci
+  a(e::fmadd_d(5, 1, 3, 5));  // cr += ar*br
+  a(e::fnmsub_d(5, 2, 4, 5)); // cr -= ai*bi
+  a(e::fmadd_d(6, 1, 4, 6));  // ci += ar*bi
+  a(e::fmadd_d(6, 2, 3, 6));  // ci += ai*br
+  a(e::fsd(5, S2, 0));
+  a(e::fsd(6, S2, 8));
+  a(e::addi(S0, S0, 16));
+  a(e::addi(S1, S1, 16));
+  a(e::addi(S2, S2, 16));
+  a(e::addi(S3, S3, -1));
+  a.j(loop);
+  a.bind(loop_done);
+  a(e::addi(S5, S5, -1));
+  a.j(pass);
+  a.bind(pass_done);
+  a.lea_data(S1, vc);
+  a.li(S4, 0);
+  emit_checksum_u64(a, S1, 2 * n, S4, T1, T2, T3);
+  emit_result_and_halt(a, S4);
+  return a.assemble("complex_updates", std::move(d));
+}
+
+// ---- cubic -----------------------------------------------------------------------------
+// Newton iteration on cubic polynomials: FP divide in the loop-carried
+// dependency — the longest-latency benchmark in Table I's "0 nops" column.
+assembler::Program build_cubic(unsigned scale) {
+  const unsigned n = 24 * scale;
+  const unsigned iters = 16;
+  Assembler a;
+  DataBuilder d;
+  reserve_result(d);
+  // Coefficients x^3 + b x^2 + c x + k with roots pulled toward [-2, 2].
+  const u64 cb = d.add_f64_array(random_f64("cubic.b", n, -2.0, 2.0));
+  const u64 cc = d.add_f64_array(random_f64("cubic.c", n, -2.0, 2.0));
+  const u64 ck = d.add_f64_array(random_f64("cubic.k", n, -1.0, 1.0));
+  const u64 roots = d.reserve(n * 8);
+  const u64 consts = d.add_f64_array(std::vector<double>{3.0, 2.0, 1.5});
+
+  a.lea_data(T0, consts);
+  a(e::fld(10, T0, 0));   // 3.0
+  a(e::fld(11, T0, 8));   // 2.0
+  a(e::fld(12, T0, 16));  // initial guess 1.5
+  a.lea_data(S0, cb);
+  a.lea_data(S1, cc);
+  a.lea_data(S2, ck);
+  a.lea_data(S3, roots);
+  a.li(S5, static_cast<i64>(n));
+  Label outer = a.new_label(), done = a.new_label();
+  a.bind(outer);
+  a.beqz(S5, done);
+  a(e::fld(1, S0, 0));  // b
+  a(e::fld(2, S1, 0));  // c
+  a(e::fld(3, S2, 0));  // k
+  a.fmv_d(4, 12);       // x = 1.5
+  a.li(T1, iters);
+  Label newton = a.new_label(), newton_done = a.new_label();
+  a.bind(newton);
+  a.beqz(T1, newton_done);
+  // f = ((x + b) * x + c) * x + k
+  a(e::fadd_d(5, 4, 1));
+  a(e::fmul_d(5, 5, 4));
+  a(e::fadd_d(5, 5, 2));
+  a(e::fmul_d(5, 5, 4));
+  a(e::fadd_d(5, 5, 3));
+  // f' = (3x + 2b) * x + c
+  a(e::fmul_d(6, 4, 10));
+  a(e::fmadd_d(6, 1, 11, 6));
+  a(e::fmul_d(6, 6, 4));
+  a(e::fadd_d(6, 6, 2));
+  // x -= f / f'
+  a(e::fdiv_d(7, 5, 6));
+  a(e::fsub_d(4, 4, 7));
+  a(e::addi(T1, T1, -1));
+  a.j(newton);
+  a.bind(newton_done);
+  a(e::fsd(4, S3, 0));
+  a(e::addi(S0, S0, 8));
+  a(e::addi(S1, S1, 8));
+  a(e::addi(S2, S2, 8));
+  a(e::addi(S3, S3, 8));
+  a(e::addi(S5, S5, -1));
+  a.j(outer);
+  a.bind(done);
+  a.lea_data(S1, roots);
+  a.li(S4, 0);
+  emit_checksum_u64(a, S1, n, S4, T1, T2, T3);
+  emit_result_and_halt(a, S4);
+  return a.assemble("cubic", std::move(d));
+}
+
+// ---- iir -------------------------------------------------------------------------------
+// Two cascaded biquad sections over a sample stream: loop-carried FP state,
+// stores of every output sample.
+assembler::Program build_iir(unsigned scale) {
+  const unsigned n = 256 * scale;
+  Assembler a;
+  DataBuilder d;
+  reserve_result(d);
+  const u64 in = d.add_f64_array(random_f64("iir", n));
+  const u64 out = d.reserve(n * 8);
+  // Stable biquad coefficients (b0 b1 b2 a1 a2) x 2 sections.
+  const u64 coef = d.add_f64_array(std::vector<double>{
+      0.2929, 0.5858, 0.2929, -0.0000, 0.1716,   // low-pass section
+      0.25, 0.5, 0.25, -0.1, 0.05});             // smoothing section
+
+  a.lea_data(S0, in);
+  a.lea_data(S1, out);
+  a.lea_data(T0, coef);
+  for (unsigned i = 0; i < 10; ++i) a(e::fld(static_cast<u8>(10 + i), T0, i * 8));
+  // State: f1,f2 = x1,x2 (sec 1); f3,f4 = y1,y2 (sec 1); f5,f6 = y1,y2 (sec 2).
+  for (u8 f = 1; f <= 6; ++f) a(e::fmv_d_x(f, ZERO));
+  a.li(S3, static_cast<i64>(n));
+  Label loop = a.new_label(), done = a.new_label();
+  a.bind(loop);
+  a.beqz(S3, done);
+  a(e::fld(7, S0, 0));          // x
+  // Section 1: y = b0 x + b1 x1 + b2 x2 - a1 y1 - a2 y2
+  a(e::fmul_d(8, 7, 10));
+  a(e::fmadd_d(8, 1, 11, 8));
+  a(e::fmadd_d(8, 2, 12, 8));
+  a(e::fnmsub_d(8, 3, 13, 8));
+  a(e::fnmsub_d(8, 4, 14, 8));
+  a.fmv_d(2, 1);                // x2 = x1
+  a.fmv_d(1, 7);                // x1 = x
+  a.fmv_d(4, 3);                // y2 = y1
+  a.fmv_d(3, 8);                // y1 = y
+  // Section 2 on y (uses its own y-state; feed-forward from section 1).
+  a(e::fmul_d(9, 8, 15));
+  a(e::fmadd_d(9, 3, 16, 9));
+  a(e::fmadd_d(9, 4, 17, 9));
+  a(e::fnmsub_d(9, 5, 18, 9));
+  a(e::fnmsub_d(9, 6, 19, 9));
+  a.fmv_d(6, 5);
+  a.fmv_d(5, 9);
+  a(e::fsd(9, S1, 0));
+  a(e::addi(S0, S0, 8));
+  a(e::addi(S1, S1, 8));
+  a(e::addi(S3, S3, -1));
+  a.j(loop);
+  a.bind(done);
+  a.lea_data(S1, out);
+  a.li(S4, 0);
+  emit_checksum_u64(a, S1, n, S4, T1, T2, T3);
+  emit_result_and_halt(a, S4);
+  return a.assemble("iir", std::move(d));
+}
+
+}  // namespace safedm::workloads

@@ -1,0 +1,656 @@
+// Floating-point DSP / linear-algebra benchmarks: fft, filterbank, fir2dim,
+// lms, ludcmp, minver, st.
+#include <cmath>
+
+#include "internal.hpp"
+
+namespace safedm::workloads {
+
+using namespace internal;
+
+// ---- fft --------------------------------------------------------------------------
+// Iterative radix-2 Cooley-Tukey with an explicit bit-reversal pass and
+// precomputed twiddle tables.
+assembler::Program build_fft(unsigned scale) {
+  unsigned n = 64;
+  unsigned log2n = 6;
+  while (scale > 1) {
+    n *= 2;
+    ++log2n;
+    --scale;
+  }
+  Assembler a;
+  DataBuilder d;
+  reserve_result(d);
+  const u64 re = d.add_f64_array(random_f64("fft.re", n));
+  const u64 im = d.add_f64_array(random_f64("fft.im", n));
+  std::vector<double> wre(n / 2), wim(n / 2);
+  for (unsigned j = 0; j < n / 2; ++j) {
+    wre[j] = std::cos(-2.0 * 3.14159265358979323846 * j / n);
+    wim[j] = std::sin(-2.0 * 3.14159265358979323846 * j / n);
+  }
+  const u64 twr = d.add_f64_array(wre);
+  const u64 twi = d.add_f64_array(wim);
+
+  a.lea_data(S0, re);
+  a.lea_data(S1, im);
+  a.lea_data(S2, twr);
+  a.lea_data(S3, twi);
+  a.li(S5, static_cast<i64>(n));
+
+  // ---- bit-reversal permutation.
+  a.li(S6, 0);  // i
+  Label rev_loop = a.new_label(), rev_done = a.new_label(), no_swap = a.new_label();
+  a.bind(rev_loop);
+  a.bge(S6, S5, rev_done);
+  a.li(T0, 0);                     // r
+  a.mv(T1, S6);                    // v
+  a.li(T2, static_cast<i64>(log2n));
+  Label bits = a.new_label(), bits_done = a.new_label();
+  a.bind(bits);
+  a.beqz(T2, bits_done);
+  a(e::slli(T0, T0, 1));
+  a(e::andi(T3, T1, 1));
+  a(e::or_(T0, T0, T3));
+  a(e::srli(T1, T1, 1));
+  a(e::addi(T2, T2, -1));
+  a.j(bits);
+  a.bind(bits_done);
+  a.ble(T0, S6, no_swap);          // only swap when r > i
+  a(e::slli(T1, S6, 3));
+  a(e::slli(T2, T0, 3));
+  a(e::add(T3, S0, T1));
+  a(e::add(T4, S0, T2));
+  a(e::fld(1, T3, 0));
+  a(e::fld(2, T4, 0));
+  a(e::fsd(2, T3, 0));
+  a(e::fsd(1, T4, 0));
+  a(e::add(T3, S1, T1));
+  a(e::add(T4, S1, T2));
+  a(e::fld(1, T3, 0));
+  a(e::fld(2, T4, 0));
+  a(e::fsd(2, T3, 0));
+  a(e::fsd(1, T4, 0));
+  a.bind(no_swap);
+  a(e::addi(S6, S6, 1));
+  a.j(rev_loop);
+  a.bind(rev_done);
+
+  // ---- butterfly stages.
+  a.li(S6, 2);  // len
+  Label len_loop = a.new_label(), len_done = a.new_label();
+  a.bind(len_loop);
+  a.bgt(S6, S5, len_done);
+  a(e::srli(S7, S6, 1));   // half
+  a(e::divu(S8, S5, S6));  // step = n / len
+  a.li(S9, 0);             // i
+  Label i_loop = a.new_label(), i_done = a.new_label();
+  a.bind(i_loop);
+  a.bge(S9, S5, i_done);
+  a.li(S10, 0);            // j
+  Label j_loop = a.new_label(), j_done = a.new_label();
+  a.bind(j_loop);
+  a.bge(S10, S7, j_done);
+  // twiddle = w[j * step]
+  a(e::mul(T0, S10, S8));
+  a(e::slli(T0, T0, 3));
+  a(e::add(T1, S2, T0));
+  a(e::fld(5, T1, 0));     // wr
+  a(e::add(T1, S3, T0));
+  a(e::fld(6, T1, 0));     // wi
+  // p = i + j, q = p + half
+  a(e::add(T2, S9, S10));
+  a(e::slli(T3, T2, 3));
+  a(e::add(T4, T2, S7));
+  a(e::slli(T5, T4, 3));
+  a(e::add(A2, S0, T3));   // &re[p]
+  a(e::add(A3, S1, T3));   // &im[p]
+  a(e::add(A4, S0, T5));   // &re[q]
+  a(e::add(A5, S1, T5));   // &im[q]
+  a(e::fld(1, A2, 0));     // ur
+  a(e::fld(2, A3, 0));     // ui
+  a(e::fld(3, A4, 0));     // xr
+  a(e::fld(4, A5, 0));     // xi
+  // v = x * w (complex)
+  a(e::fmul_d(7, 3, 5));
+  a(e::fnmsub_d(7, 4, 6, 7));  // vr = xr*wr - xi*wi
+  a(e::fmul_d(8, 3, 6));
+  a(e::fmadd_d(8, 4, 5, 8));   // vi = xr*wi + xi*wr
+  a(e::fadd_d(9, 1, 7));
+  a(e::fsd(9, A2, 0));
+  a(e::fadd_d(9, 2, 8));
+  a(e::fsd(9, A3, 0));
+  a(e::fsub_d(9, 1, 7));
+  a(e::fsd(9, A4, 0));
+  a(e::fsub_d(9, 2, 8));
+  a(e::fsd(9, A5, 0));
+  a(e::addi(S10, S10, 1));
+  a.j(j_loop);
+  a.bind(j_done);
+  a(e::add(S9, S9, S6));
+  a.j(i_loop);
+  a.bind(i_done);
+  a(e::slli(S6, S6, 1));
+  a.j(len_loop);
+  a.bind(len_done);
+
+  a.lea_data(S1, re);
+  a.li(S4, 0);
+  emit_checksum_u64(a, S1, n, S4, T1, T2, T0);
+  a.lea_data(S1, im);
+  emit_checksum_u64(a, S1, n, S4, T1, T2, T0);
+  emit_result_and_halt(a, S4);
+  return a.assemble("fft", std::move(d));
+}
+
+// ---- filterbank ----------------------------------------------------------------------
+// Bank of FIR filters with decimation: nested filter/sample/tap loops.
+assembler::Program build_filterbank(unsigned scale) {
+  const unsigned filters = 4;
+  const unsigned taps = 16;
+  const unsigned n = 128 * scale;
+  const unsigned decim = 8;
+  Assembler a;
+  DataBuilder d;
+  reserve_result(d);
+  const u64 input = d.add_f64_array(random_f64("filterbank.x", n));
+  const u64 coeff = d.add_f64_array(random_f64("filterbank.h", filters * taps, -0.5, 0.5));
+  const unsigned outputs_per_filter = (n - taps) / decim;
+  const u64 out = d.reserve(filters * outputs_per_filter * 8);
+
+  a.lea_data(S0, input);
+  a.lea_data(S1, coeff);
+  a.lea_data(S2, out);
+  a.li(S5, filters);  // filter countdown
+  Label f_loop = a.new_label(), f_done = a.new_label();
+  a.bind(f_loop);
+  a.beqz(S5, f_done);
+  a.li(S6, taps);  // first sample index n0 = taps
+  Label s_loop = a.new_label(), s_done = a.new_label();
+  a.bind(s_loop);
+  a.li(T0, static_cast<i64>(n));
+  a.bge(S6, T0, s_done);
+  a(e::fmv_d_x(1, ZERO));  // acc = 0
+  a.li(T1, taps);          // tap countdown
+  a.mv(T2, S1);            // coeff cursor (current filter)
+  a(e::slli(T3, S6, 3));
+  a(e::add(T3, T3, S0));   // &x[n0]
+  Label t_loop = a.new_label(), t_done = a.new_label();
+  a.bind(t_loop);
+  a.beqz(T1, t_done);
+  a(e::fld(2, T2, 0));
+  a(e::fld(3, T3, 0));
+  a(e::fmadd_d(1, 2, 3, 1));
+  a(e::addi(T2, T2, 8));
+  a(e::addi(T3, T3, -8));  // x[n0 - t]
+  a(e::addi(T1, T1, -1));
+  a.j(t_loop);
+  a.bind(t_done);
+  a(e::fsd(1, S2, 0));
+  a(e::addi(S2, S2, 8));
+  a(e::addi(S6, S6, decim));
+  a.j(s_loop);
+  a.bind(s_done);
+  a(e::addi(S1, S1, taps * 8));  // next filter's coefficients
+  a(e::addi(S5, S5, -1));
+  a.j(f_loop);
+  a.bind(f_done);
+  a.lea_data(S1, out);
+  a.li(S4, 0);
+  emit_checksum_u64(a, S1, filters * outputs_per_filter, S4, T1, T2, T0);
+  emit_result_and_halt(a, S4);
+  return a.assemble("filterbank", std::move(d));
+}
+
+// ---- fir2dim --------------------------------------------------------------------------
+// 3x3 convolution over a 2D image.
+assembler::Program build_fir2dim(unsigned scale) {
+  const unsigned dim = 12 + 4 * scale;
+  Assembler a;
+  DataBuilder d;
+  reserve_result(d);
+  const u64 img = d.add_f64_array(random_f64("fir2dim.img", dim * dim));
+  const u64 ker = d.add_f64_array(random_f64("fir2dim.ker", 9, -0.3, 0.3));
+  const unsigned odim = dim - 2;
+  const u64 out = d.reserve(odim * odim * 8);
+
+  a.lea_data(S0, img);
+  a.lea_data(S1, ker);
+  a.lea_data(S2, out);
+  a.li(S5, 0);  // row
+  Label r_loop = a.new_label(), r_done = a.new_label();
+  a.bind(r_loop);
+  a.li(T0, static_cast<i64>(odim));
+  a.bge(S5, T0, r_done);
+  a.li(S6, 0);  // col
+  Label c_loop = a.new_label(), c_done = a.new_label();
+  a.bind(c_loop);
+  a.li(T0, static_cast<i64>(odim));
+  a.bge(S6, T0, c_done);
+  a(e::fmv_d_x(1, ZERO));
+  // &img[row][col]
+  a.li(T1, static_cast<i64>(dim));
+  a(e::mul(T2, S5, T1));
+  a(e::add(T2, T2, S6));
+  a(e::slli(T2, T2, 3));
+  a(e::add(T2, T2, S0));
+  for (unsigned kr = 0; kr < 3; ++kr) {
+    for (unsigned kc = 0; kc < 3; ++kc) {
+      a(e::fld(2, S1, static_cast<i64>((kr * 3 + kc) * 8)));
+      a(e::fld(3, T2, static_cast<i64>((kr * dim + kc) * 8)));
+      a(e::fmadd_d(1, 2, 3, 1));
+    }
+  }
+  a(e::fsd(1, S2, 0));
+  a(e::addi(S2, S2, 8));
+  a(e::addi(S6, S6, 1));
+  a.j(c_loop);
+  a.bind(c_done);
+  a(e::addi(S5, S5, 1));
+  a.j(r_loop);
+  a.bind(r_done);
+  a.lea_data(S1, out);
+  a.li(S4, 0);
+  emit_checksum_u64(a, S1, odim * odim, S4, T1, T2, T0);
+  emit_result_and_halt(a, S4);
+  return a.assemble("fir2dim", std::move(d));
+}
+
+// ---- lms -------------------------------------------------------------------------------
+// LMS adaptive filter: per-sample FIR plus coefficient update.
+assembler::Program build_lms(unsigned scale) {
+  const unsigned taps = 16;
+  const unsigned n = 128 * scale;
+  Assembler a;
+  DataBuilder d;
+  reserve_result(d);
+  const u64 x = d.add_f64_array(random_f64("lms.x", n));
+  const u64 desired = d.add_f64_array(random_f64("lms.d", n));
+  const u64 weights = d.reserve(taps * 8);
+  const u64 mu = d.add_f64(0.01);
+
+  a.lea_data(S0, x);
+  a.lea_data(S1, desired);
+  a.lea_data(S2, weights);
+  a.lea_data(T0, mu);
+  a(e::fld(10, T0, 0));  // mu
+  a.li(S5, taps);        // sample index starts at taps
+  Label s_loop = a.new_label(), s_done = a.new_label();
+  a.bind(s_loop);
+  a.li(T0, static_cast<i64>(n));
+  a.bge(S5, T0, s_done);
+  // y = w . x[window]; window is x[s-taps+1 .. s]
+  a(e::fmv_d_x(1, ZERO));
+  a.li(T1, taps);
+  a.mv(T2, S2);
+  a(e::slli(T3, S5, 3));
+  a(e::add(T3, T3, S0));
+  Label dot = a.new_label(), dot_done = a.new_label();
+  a.bind(dot);
+  a.beqz(T1, dot_done);
+  a(e::fld(2, T2, 0));
+  a(e::fld(3, T3, 0));
+  a(e::fmadd_d(1, 2, 3, 1));
+  a(e::addi(T2, T2, 8));
+  a(e::addi(T3, T3, -8));
+  a(e::addi(T1, T1, -1));
+  a.j(dot);
+  a.bind(dot_done);
+  // e = d[s] - y;  w[t] += mu * e * x[s - t]
+  a(e::slli(T4, S5, 3));
+  a(e::add(T4, T4, S1));
+  a(e::fld(4, T4, 0));
+  a(e::fsub_d(4, 4, 1));   // e
+  a(e::fmul_d(4, 4, 10));  // mu * e
+  a.li(T1, taps);
+  a.mv(T2, S2);
+  a(e::slli(T3, S5, 3));
+  a(e::add(T3, T3, S0));
+  Label upd = a.new_label(), upd_done = a.new_label();
+  a.bind(upd);
+  a.beqz(T1, upd_done);
+  a(e::fld(2, T2, 0));
+  a(e::fld(3, T3, 0));
+  a(e::fmadd_d(2, 3, 4, 2));
+  a(e::fsd(2, T2, 0));
+  a(e::addi(T2, T2, 8));
+  a(e::addi(T3, T3, -8));
+  a(e::addi(T1, T1, -1));
+  a.j(upd);
+  a.bind(upd_done);
+  a(e::addi(S5, S5, 1));
+  a.j(s_loop);
+  a.bind(s_done);
+  a.lea_data(S1, weights);
+  a.li(S4, 0);
+  emit_checksum_u64(a, S1, taps, S4, T1, T2, T0);
+  emit_result_and_halt(a, S4);
+  return a.assemble("lms", std::move(d));
+}
+
+namespace {
+
+/// Diagonally dominant random matrix (safe for pivot-free elimination).
+std::vector<double> dominant_matrix(std::string_view name, unsigned n) {
+  std::vector<double> m = random_f64(name, n * n, -1.0, 1.0);
+  for (unsigned i = 0; i < n; ++i) m[i * n + i] = 8.0 + m[i * n + i];
+  return m;
+}
+
+}  // namespace
+
+// ---- ludcmp -------------------------------------------------------------------------
+// Doolittle LU decomposition in place plus forward/back substitution.
+assembler::Program build_ludcmp(unsigned scale) {
+  const unsigned n = 8 + 2 * scale;
+  Assembler a;
+  DataBuilder d;
+  reserve_result(d);
+  const u64 mat = d.add_f64_array(dominant_matrix("ludcmp", n));
+  const u64 rhs = d.add_f64_array(random_f64("ludcmp.b", n));
+  const u64 sol = d.reserve(n * 8);
+
+  const auto elem = [&](Reg out, Reg row, Reg col, Reg tmp) {
+    // out = &mat[row][col]
+    a.li(tmp, static_cast<i64>(n));
+    a(e::mul(out, row, tmp));
+    a(e::add(out, out, col));
+    a(e::slli(out, out, 3));
+    a(e::add(out, out, S0));
+  };
+
+  a.lea_data(S0, mat);
+  a.lea_data(S1, rhs);
+  a.lea_data(S2, sol);
+  a.li(S3, static_cast<i64>(n));
+
+  // Elimination: for k, for i>k: m = a[i][k]/a[k][k]; row_i -= m*row_k.
+  a.li(S5, 0);  // k
+  Label k_loop = a.new_label(), k_done = a.new_label();
+  a.bind(k_loop);
+  a(e::addi(T0, S3, -1));
+  a.bge(S5, T0, k_done);
+  a(e::addi(S6, S5, 1));  // i
+  Label i_loop = a.new_label(), i_done = a.new_label();
+  a.bind(i_loop);
+  a.bge(S6, S3, i_done);
+  elem(T1, S6, S5, T5);   // &a[i][k]
+  elem(T2, S5, S5, T5);   // &a[k][k]
+  a(e::fld(1, T1, 0));
+  a(e::fld(2, T2, 0));
+  a(e::fdiv_d(3, 1, 2));  // m
+  a(e::fsd(3, T1, 0));    // store multiplier (the L part)
+  a(e::addi(S7, S5, 1));  // j
+  Label j_loop = a.new_label(), j_done = a.new_label();
+  a.bind(j_loop);
+  a.bge(S7, S3, j_done);
+  elem(T1, S6, S7, T5);
+  elem(T2, S5, S7, T5);
+  a(e::fld(1, T1, 0));
+  a(e::fld(2, T2, 0));
+  a(e::fnmsub_d(1, 3, 2, 1));  // a[i][j] -= m * a[k][j]
+  a(e::fsd(1, T1, 0));
+  a(e::addi(S7, S7, 1));
+  a.j(j_loop);
+  a.bind(j_done);
+  a(e::addi(S6, S6, 1));
+  a.j(i_loop);
+  a.bind(i_done);
+  a(e::addi(S5, S5, 1));
+  a.j(k_loop);
+  a.bind(k_done);
+
+  // Forward substitution: y[i] = b[i] - sum_{j<i} L[i][j] y[j]  (y -> sol).
+  a.li(S5, 0);  // i
+  Label fwd = a.new_label(), fwd_done = a.new_label();
+  a.bind(fwd);
+  a.bge(S5, S3, fwd_done);
+  a(e::slli(T0, S5, 3));
+  a(e::add(T0, T0, S1));
+  a(e::fld(1, T0, 0));  // b[i]
+  a.li(S6, 0);          // j
+  Label facc = a.new_label(), facc_done = a.new_label();
+  a.bind(facc);
+  a.bge(S6, S5, facc_done);
+  elem(T1, S5, S6, T5);
+  a(e::fld(2, T1, 0));
+  a(e::slli(T2, S6, 3));
+  a(e::add(T2, T2, S2));
+  a(e::fld(3, T2, 0));
+  a(e::fnmsub_d(1, 2, 3, 1));
+  a(e::addi(S6, S6, 1));
+  a.j(facc);
+  a.bind(facc_done);
+  a(e::slli(T0, S5, 3));
+  a(e::add(T0, T0, S2));
+  a(e::fsd(1, T0, 0));
+  a(e::addi(S5, S5, 1));
+  a.j(fwd);
+  a.bind(fwd_done);
+
+  // Back substitution: x[i] = (y[i] - sum_{j>i} U[i][j] x[j]) / U[i][i].
+  a(e::addi(S5, S3, -1));
+  Label bwd = a.new_label(), bwd_done = a.new_label();
+  a.bind(bwd);
+  a.blt(S5, ZERO, bwd_done);
+  a(e::slli(T0, S5, 3));
+  a(e::add(T0, T0, S2));
+  a(e::fld(1, T0, 0));    // y[i]
+  a(e::addi(S6, S5, 1));  // j
+  Label bacc = a.new_label(), bacc_done = a.new_label();
+  a.bind(bacc);
+  a.bge(S6, S3, bacc_done);
+  elem(T1, S5, S6, T5);
+  a(e::fld(2, T1, 0));
+  a(e::slli(T2, S6, 3));
+  a(e::add(T2, T2, S2));
+  a(e::fld(3, T2, 0));
+  a(e::fnmsub_d(1, 2, 3, 1));
+  a(e::addi(S6, S6, 1));
+  a.j(bacc);
+  a.bind(bacc_done);
+  elem(T1, S5, S5, T5);
+  a(e::fld(2, T1, 0));
+  a(e::fdiv_d(1, 1, 2));
+  a(e::fsd(1, T0, 0));
+  a(e::addi(S5, S5, -1));
+  a.j(bwd);
+  a.bind(bwd_done);
+
+  a.lea_data(S1, sol);
+  a.li(S4, 0);
+  emit_checksum_u64(a, S1, n, S4, T1, T2, T0);
+  emit_result_and_halt(a, S4);
+  return a.assemble("ludcmp", std::move(d));
+}
+
+// ---- minver --------------------------------------------------------------------------
+// Gauss-Jordan matrix inversion with an identity-augmented working copy.
+assembler::Program build_minver(unsigned scale) {
+  const unsigned n = 6 + (scale - 1) * 2;
+  Assembler a;
+  DataBuilder d;
+  reserve_result(d);
+  const u64 mat = d.add_f64_array(dominant_matrix("minver", n));
+  const u64 inv = d.reserve(n * n * 8);
+
+  a.lea_data(S0, mat);
+  a.lea_data(S1, inv);
+  a.li(S3, static_cast<i64>(n));
+  // inv = I.
+  a.li(S5, 0);
+  Label init = a.new_label(), init_done = a.new_label();
+  a.bind(init);
+  a(e::mul(T0, S3, S3));
+  a.bge(S5, T0, init_done);
+  a(e::slli(T1, S5, 3));
+  a(e::add(T1, T1, S1));
+  a(e::sd(ZERO, T1, 0));
+  a(e::addi(S5, S5, 1));
+  a.j(init);
+  a.bind(init_done);
+  a.li(T2, 1);
+  a(e::fcvt_d_l(1, T2));
+  a.li(S5, 0);
+  Label diag = a.new_label(), diag_done = a.new_label();
+  a.bind(diag);
+  a.bge(S5, S3, diag_done);
+  a(e::mul(T0, S5, S3));
+  a(e::add(T0, T0, S5));
+  a(e::slli(T0, T0, 3));
+  a(e::add(T0, T0, S1));
+  a(e::fsd(1, T0, 0));
+  a(e::addi(S5, S5, 1));
+  a.j(diag);
+  a.bind(diag_done);
+
+  const auto elem = [&](Reg out, Reg base, Reg row, Reg col, Reg tmp) {
+    a.li(tmp, static_cast<i64>(n));
+    a(e::mul(out, row, tmp));
+    a(e::add(out, out, col));
+    a(e::slli(out, out, 3));
+    a(e::add(out, out, base));
+  };
+
+  // For each pivot column: normalize the pivot row, eliminate others.
+  a.li(S5, 0);  // col
+  Label col_loop = a.new_label(), col_done = a.new_label();
+  a.bind(col_loop);
+  a.bge(S5, S3, col_done);
+  elem(T0, S0, S5, S5, T5);
+  a(e::fld(1, T0, 0));   // pivot
+  // Normalize row S5 in both matrices: row /= pivot.
+  a.li(S6, 0);
+  Label norm = a.new_label(), norm_done = a.new_label();
+  a.bind(norm);
+  a.bge(S6, S3, norm_done);
+  elem(T1, S0, S5, S6, T5);
+  a(e::fld(2, T1, 0));
+  a(e::fdiv_d(2, 2, 1));
+  a(e::fsd(2, T1, 0));
+  elem(T1, S1, S5, S6, T5);
+  a(e::fld(2, T1, 0));
+  a(e::fdiv_d(2, 2, 1));
+  a(e::fsd(2, T1, 0));
+  a(e::addi(S6, S6, 1));
+  a.j(norm);
+  a.bind(norm_done);
+  // Eliminate column S5 from all other rows.
+  a.li(S7, 0);  // row
+  Label row_loop = a.new_label(), row_done = a.new_label(), skip_row = a.new_label();
+  a.bind(row_loop);
+  a.bge(S7, S3, row_done);
+  a.beq(S7, S5, skip_row);
+  elem(T0, S0, S7, S5, T5);
+  a(e::fld(3, T0, 0));  // factor
+  a.li(S6, 0);
+  Label elim = a.new_label(), elim_done = a.new_label();
+  a.bind(elim);
+  a.bge(S6, S3, elim_done);
+  elem(T1, S0, S5, S6, T5);
+  a(e::fld(1, T1, 0));
+  elem(T2, S0, S7, S6, T5);
+  a(e::fld(2, T2, 0));
+  a(e::fnmsub_d(2, 3, 1, 2));
+  a(e::fsd(2, T2, 0));
+  elem(T1, S1, S5, S6, T5);
+  a(e::fld(1, T1, 0));
+  elem(T2, S1, S7, S6, T5);
+  a(e::fld(2, T2, 0));
+  a(e::fnmsub_d(2, 3, 1, 2));
+  a(e::fsd(2, T2, 0));
+  a(e::addi(S6, S6, 1));
+  a.j(elim);
+  a.bind(elim_done);
+  a.bind(skip_row);
+  a(e::addi(S7, S7, 1));
+  a.j(row_loop);
+  a.bind(row_done);
+  a(e::addi(S5, S5, 1));
+  a.j(col_loop);
+  a.bind(col_done);
+
+  a.lea_data(S1, inv);
+  a.li(S4, 0);
+  emit_checksum_u64(a, S1, n * n, S4, T1, T2, T0);
+  emit_result_and_halt(a, S4);
+  return a.assemble("minver", std::move(d));
+}
+
+// ---- st --------------------------------------------------------------------------------
+// Statistics: mean, variance, covariance and correlation of two series
+// (sum passes, then a divide/sqrt epilogue).
+assembler::Program build_st(unsigned scale) {
+  const unsigned n = 256 * scale;
+  Assembler a;
+  DataBuilder d;
+  reserve_result(d);
+  const u64 xs = d.add_f64_array(random_f64("st.x", n, -10.0, 10.0));
+  const u64 ys = d.add_f64_array(random_f64("st.y", n, -5.0, 15.0));
+  const u64 out = d.reserve(6 * 8);
+
+  // Pass 1: sums -> means.
+  a.lea_data(S0, xs);
+  a.lea_data(S1, ys);
+  a(e::fmv_d_x(1, ZERO));  // sum x
+  a(e::fmv_d_x(2, ZERO));  // sum y
+  a.li(T0, static_cast<i64>(n));
+  Label p1 = a.new_label(), p1_done = a.new_label();
+  a.bind(p1);
+  a.beqz(T0, p1_done);
+  a(e::fld(3, S0, 0));
+  a(e::fadd_d(1, 1, 3));
+  a(e::fld(3, S1, 0));
+  a(e::fadd_d(2, 2, 3));
+  a(e::addi(S0, S0, 8));
+  a(e::addi(S1, S1, 8));
+  a(e::addi(T0, T0, -1));
+  a.j(p1);
+  a.bind(p1_done);
+  a.li(T0, static_cast<i64>(n));
+  a(e::fcvt_d_l(4, T0));   // n as double
+  a(e::fdiv_d(5, 1, 4));   // mean x
+  a(e::fdiv_d(6, 2, 4));   // mean y
+  // Pass 2: variance and covariance sums.
+  a.lea_data(S0, xs);
+  a.lea_data(S1, ys);
+  a(e::fmv_d_x(7, ZERO));  // var x acc
+  a(e::fmv_d_x(8, ZERO));  // var y acc
+  a(e::fmv_d_x(9, ZERO));  // cov acc
+  a.li(T0, static_cast<i64>(n));
+  Label p2 = a.new_label(), p2_done = a.new_label();
+  a.bind(p2);
+  a.beqz(T0, p2_done);
+  a(e::fld(1, S0, 0));
+  a(e::fsub_d(1, 1, 5));   // dx
+  a(e::fld(2, S1, 0));
+  a(e::fsub_d(2, 2, 6));   // dy
+  a(e::fmadd_d(7, 1, 1, 7));
+  a(e::fmadd_d(8, 2, 2, 8));
+  a(e::fmadd_d(9, 1, 2, 9));
+  a(e::addi(S0, S0, 8));
+  a(e::addi(S1, S1, 8));
+  a(e::addi(T0, T0, -1));
+  a.j(p2);
+  a.bind(p2_done);
+  a(e::fdiv_d(7, 7, 4));   // var x
+  a(e::fdiv_d(8, 8, 4));   // var y
+  a(e::fdiv_d(9, 9, 4));   // cov
+  a(e::fmul_d(10, 7, 8));
+  a(e::fsqrt_d(10, 10));
+  a(e::fdiv_d(10, 9, 10)); // correlation
+  a.lea_data(S2, out);
+  a(e::fsd(5, S2, 0));
+  a(e::fsd(6, S2, 8));
+  a(e::fsd(7, S2, 16));
+  a(e::fsd(8, S2, 24));
+  a(e::fsd(9, S2, 32));
+  a(e::fsd(10, S2, 40));
+  a.lea_data(S1, out);
+  a.li(S4, 0);
+  emit_checksum_u64(a, S1, 6, S4, T1, T2, T0);
+  emit_result_and_halt(a, S4);
+  return a.assemble("st", std::move(d));
+}
+
+}  // namespace safedm::workloads

@@ -1,0 +1,88 @@
+// TACLeBench-style workload suite (paper Section V-A).
+//
+// The paper evaluates SafeDM with the TACLe benchmarks compiled for the
+// NOEL-V; with no cross-compiler available offline, each benchmark is
+// re-authored here against the embedded assembler, preserving the original
+// algorithm's control-flow and memory-access character (the properties
+// diversity monitoring is sensitive to). Inputs are scaled down so a run
+// is ~10^5 cycles instead of the paper's >56M instructions; the `scale`
+// parameter grows them back when longer runs are wanted.
+//
+// Conventions (shared with the SoC loader):
+//   - a0 = data-segment base; the first u64 of the segment receives a
+//     result checksum before the final `ecall`, so tests can compare the
+//     pipelined cores and the golden ISS bit-for-bit.
+//   - sp = per-core stack top (recursive benchmarks use it).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "safedm/assembler/assembler.hpp"
+
+namespace safedm::workloads {
+
+/// Byte offset of the result checksum within the data segment.
+inline constexpr u64 kResultOffset = 0;
+
+struct WorkloadInfo {
+  std::string name;
+  bool uses_fp = false;
+  std::function<assembler::Program(unsigned scale)> build;
+};
+
+/// All 29 benchmarks of the paper's Table I, in its row order.
+const std::vector<WorkloadInfo>& registry();
+
+/// Additional TACLeBench-family kernels beyond the paper's Table I set
+/// (codecs, graph search, state machines, image kernels).
+const std::vector<WorkloadInfo>& registry_extended();
+
+/// Build one benchmark by name from either registry (throws CheckError
+/// for unknown names).
+assembler::Program build(std::string_view name, unsigned scale = 1);
+
+// Individual builders (scale >= 1).
+assembler::Program build_binarysearch(unsigned scale);
+assembler::Program build_bitcount(unsigned scale);
+assembler::Program build_bitonic(unsigned scale);
+assembler::Program build_bsort(unsigned scale);
+assembler::Program build_complex_updates(unsigned scale);
+assembler::Program build_cosf(unsigned scale);
+assembler::Program build_countnegative(unsigned scale);
+assembler::Program build_cubic(unsigned scale);
+assembler::Program build_deg2rad(unsigned scale);
+assembler::Program build_fac(unsigned scale);
+assembler::Program build_fft(unsigned scale);
+assembler::Program build_filterbank(unsigned scale);
+assembler::Program build_fir2dim(unsigned scale);
+assembler::Program build_iir(unsigned scale);
+assembler::Program build_insertsort(unsigned scale);
+assembler::Program build_isqrt(unsigned scale);
+assembler::Program build_jfdctint(unsigned scale);
+assembler::Program build_lms(unsigned scale);
+assembler::Program build_ludcmp(unsigned scale);
+assembler::Program build_matrix1(unsigned scale);
+assembler::Program build_md5(unsigned scale);
+assembler::Program build_minver(unsigned scale);
+assembler::Program build_pm(unsigned scale);
+assembler::Program build_prime(unsigned scale);
+assembler::Program build_quicksort(unsigned scale);
+assembler::Program build_rad2deg(unsigned scale);
+assembler::Program build_recursion(unsigned scale);
+assembler::Program build_sha(unsigned scale);
+assembler::Program build_st(unsigned scale);
+
+// Extended set (registry_extended()).
+assembler::Program build_adpcm(unsigned scale);
+assembler::Program build_crc(unsigned scale);
+assembler::Program build_dijkstra(unsigned scale);
+assembler::Program build_epic(unsigned scale);
+assembler::Program build_huffman(unsigned scale);
+assembler::Program build_ndes(unsigned scale);
+assembler::Program build_statemate(unsigned scale);
+assembler::Program build_susan(unsigned scale);
+
+}  // namespace safedm::workloads

@@ -1,0 +1,324 @@
+// Hash-style integer benchmarks: md5, sha. Table-driven mixing rounds with
+// software rotates (RV64I has no rotate instruction), long dependency
+// chains and word-granular loads.
+#include <array>
+
+#include "internal.hpp"
+
+namespace safedm::workloads {
+
+using namespace internal;
+
+namespace {
+
+// MD5 per-round shift amounts and the additive constant table.
+constexpr std::array<u32, 64> kMd5Shifts = {
+    7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22,
+    5, 9,  14, 20, 5, 9,  14, 20, 5, 9,  14, 20, 5, 9,  14, 20,
+    4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23,
+    6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21};
+
+std::array<u32, 64> md5_constants() {
+  // K[i] = floor(2^32 * |sin(i+1)|) — generated deterministically without
+  // libm by the standard published table.
+  return {0xd76aa478, 0xe8c7b756, 0x242070db, 0xc1bdceee, 0xf57c0faf, 0x4787c62a, 0xa8304613,
+          0xfd469501, 0x698098d8, 0x8b44f7af, 0xffff5bb1, 0x895cd7be, 0x6b901122, 0xfd987193,
+          0xa679438e, 0x49b40821, 0xf61e2562, 0xc040b340, 0x265e5a51, 0xe9b6c7aa, 0xd62f105d,
+          0x02441453, 0xd8a1e681, 0xe7d3fbc8, 0x21e1cde6, 0xc33707d6, 0xf4d50d87, 0x455a14ed,
+          0xa9e3e905, 0xfcefa3f8, 0x676f02d9, 0x8d2a4c8a, 0xfffa3942, 0x8771f681, 0x6d9d6122,
+          0xfde5380c, 0xa4beea44, 0x4bdecfa9, 0xf6bb4b60, 0xbebfbc70, 0x289b7ec6, 0xeaa127fa,
+          0xd4ef3085, 0x04881d05, 0xd9d4d039, 0xe6db99e5, 0x1fa27cf8, 0xc4ac5665, 0xf4292244,
+          0x432aff97, 0xab9423a7, 0xfc93a039, 0x655b59c3, 0x8f0ccc92, 0xffeff47d, 0x85845dd1,
+          0x6fa87e4f, 0xfe2ce6e0, 0xa3014314, 0x4e0811a1, 0xf7537e82, 0xbd3af235, 0x2ad7d2bb,
+          0xeb86d391};
+}
+
+// SHA-256 round constants.
+std::array<u32, 64> sha_constants() {
+  return {0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1, 0x923f82a4,
+          0xab1c5ed5, 0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3, 0x72be5d74, 0x80deb1fe,
+          0x9bdc06a7, 0xc19bf174, 0xe49b69c1, 0xefbe4786, 0x0fc19dc6, 0x240ca1cc, 0x2de92c6f,
+          0x4a7484aa, 0x5cb0a9dc, 0x76f988da, 0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7,
+          0xc6e00bf3, 0xd5a79147, 0x06ca6351, 0x14292967, 0x27b70a85, 0x2e1b2138, 0x4d2c6dfc,
+          0x53380d13, 0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85, 0xa2bfe8a1, 0xa81a664b,
+          0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070, 0x19a4c116,
+          0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a, 0x5b9cca4f, 0x682e6ff3,
+          0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208, 0x90befffa, 0xa4506ceb, 0xbef9a3f7,
+          0xc67178f2};
+}
+
+/// Emit rd = rs rotated left by the amount in `amt` (register, 32-bit).
+void emit_rotl32_reg(Assembler& a, Reg rd, Reg rs, Reg amt, Reg t1, Reg t2) {
+  a(e::sllw(t1, rs, amt));
+  a.li(t2, 32);
+  a(e::subw(t2, t2, amt));
+  a(e::srlw(t2, rs, t2));
+  a(e::or_(rd, t1, t2));
+  a(e::addiw(rd, rd, 0));
+}
+
+}  // namespace
+
+// ---- md5 ---------------------------------------------------------------------------
+assembler::Program build_md5(unsigned scale) {
+  const unsigned blocks = 4 * scale;
+  Assembler a;
+  DataBuilder d;
+  reserve_result(d);
+  const u64 msg = d.add_u32_array(random_u32("md5", blocks * 16));
+  const u64 ktab = d.add_u32_array(md5_constants());
+  const u64 stab = d.add_u32_array({kMd5Shifts.data(), kMd5Shifts.size()});
+
+  // State in s2..s5 (a,b,c,d); block pointer s0; tables s1, s6.
+  a.lea_data(S0, msg);
+  a.lea_data(S1, ktab);
+  a.lea_data(S6, stab);
+  a.li(S7, static_cast<i64>(blocks));
+  a.li(S2, 0x67452301);
+  a.li(S3, static_cast<i64>(0xefcdab89u));
+  a.li(S4, static_cast<i64>(0x98badcfeu));
+  a.li(S5, 0x10325476);
+
+  Label blk = a.new_label(), blk_done = a.new_label();
+  a.bind(blk);
+  a.beqz(S7, blk_done);
+  // Per-block working copy in s8..s11.
+  a.mv(S8, S2);
+  a.mv(S9, S3);
+  a.mv(S10, S4);
+  a.mv(S11, S5);
+  a.li(A1, 0);  // round r
+  Label round = a.new_label(), rounds_done = a.new_label();
+  Label f1 = a.new_label(), f2 = a.new_label(), f3 = a.new_label(), f4 = a.new_label(),
+        have_f = a.new_label();
+  a.bind(round);
+  a.li(T0, 64);
+  a.bge(A1, T0, rounds_done);
+  // Select F and message index g by round quarter.
+  a(e::srli(T0, A1, 4));
+  a.li(T1, 1);
+  a.bltu(T0, T1, f1);
+  a.li(T1, 2);
+  a.bltu(T0, T1, f2);
+  a.li(T1, 3);
+  a.bltu(T0, T1, f3);
+  a.j(f4);
+  a.bind(f1);  // F = (b & c) | (~b & d); g = r
+  a(e::and_(T2, S9, S10));
+  a.not_(T3, S9);
+  a(e::and_(T3, T3, S11));
+  a(e::or_(T2, T2, T3));
+  a.mv(T4, A1);
+  a.j(have_f);
+  a.bind(f2);  // F = (d & b) | (~d & c); g = (5r + 1) mod 16
+  a(e::and_(T2, S11, S9));
+  a.not_(T3, S11);
+  a(e::and_(T3, T3, S10));
+  a(e::or_(T2, T2, T3));
+  a(e::slli(T4, A1, 2));
+  a(e::add(T4, T4, A1));
+  a(e::addi(T4, T4, 1));
+  a(e::andi(T4, T4, 15));
+  a.j(have_f);
+  a.bind(f3);  // F = b ^ c ^ d; g = (3r + 5) mod 16
+  a(e::xor_(T2, S9, S10));
+  a(e::xor_(T2, T2, S11));
+  a(e::slli(T4, A1, 1));
+  a(e::add(T4, T4, A1));
+  a(e::addi(T4, T4, 5));
+  a(e::andi(T4, T4, 15));
+  a.j(have_f);
+  a.bind(f4);  // F = c ^ (b | ~d); g = 7r mod 16
+  a.not_(T3, S11);
+  a(e::or_(T3, S9, T3));
+  a(e::xor_(T2, S10, T3));
+  a(e::slli(T4, A1, 3));
+  a(e::sub(T4, T4, A1));
+  a(e::andi(T4, T4, 15));
+  a.bind(have_f);
+  // tmp = a + F + K[r] + M[g]
+  a(e::addw(T2, T2, S8));
+  a(e::slli(T3, A1, 2));
+  a(e::add(T3, T3, S1));
+  a(e::lwu(T3, T3, 0));
+  a(e::addw(T2, T2, T3));
+  a(e::slli(T4, T4, 2));
+  a(e::add(T4, T4, S0));
+  a(e::lwu(T4, T4, 0));
+  a(e::addw(T2, T2, T4));
+  // rotate by S[r] and add b; shuffle state.
+  a(e::slli(T3, A1, 2));
+  a(e::add(T3, T3, S6));
+  a(e::lwu(T3, T3, 0));
+  emit_rotl32_reg(a, T2, T2, T3, T5, A2);
+  a(e::addw(T2, T2, S9));
+  a.mv(S8, S11);   // a' = d
+  a.mv(S11, S10);  // d' = c
+  a.mv(S10, S9);   // c' = b
+  a.mv(S9, T2);    // b' = rotated
+  a(e::addi(A1, A1, 1));
+  a.j(round);
+  a.bind(rounds_done);
+  a(e::addw(S2, S2, S8));
+  a(e::addw(S3, S3, S9));
+  a(e::addw(S4, S4, S10));
+  a(e::addw(S5, S5, S11));
+  a(e::addi(S0, S0, 64));
+  a(e::addi(S7, S7, -1));
+  a.j(blk);
+  a.bind(blk_done);
+  // Digest checksum.
+  a(e::slli(T0, S2, 32));
+  a(e::xor_(T0, T0, S3));
+  a(e::slli(T1, S4, 32));
+  a(e::xor_(T1, T1, S5));
+  a(e::add(S4, T0, T1));
+  emit_result_and_halt(a, S4);
+  return a.assemble("md5", std::move(d));
+}
+
+// ---- sha ----------------------------------------------------------------------------
+// SHA-256-shaped: full message schedule plus a compression loop with the
+// Σ/σ rotate-xor functions (constant rotate amounts, emitted inline).
+assembler::Program build_sha(unsigned scale) {
+  const unsigned blocks = 2 * scale;
+  Assembler a;
+  DataBuilder d;
+  reserve_result(d);
+  const u64 msg = d.add_u32_array(random_u32("sha", blocks * 16));
+  const u64 ktab = d.add_u32_array(sha_constants());
+  const u64 wbuf = d.reserve(64 * 4);
+
+  a.lea_data(S0, msg);
+  a.lea_data(S1, ktab);
+  a.lea_data(S6, wbuf);
+  a.li(S7, static_cast<i64>(blocks));
+  // State h0..h7 kept in memory next to W to spare registers; working vars
+  // a..h live in s2..s5, s8..s11.
+  const u64 state = d.reserve(8 * 4);
+  a.lea_data(A3, state);
+  {
+    const std::array<u32, 8> init = {0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a,
+                                     0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19};
+    for (unsigned i = 0; i < 8; ++i) {
+      a.li(T0, static_cast<i64>(init[i]));
+      a(e::sw(T0, A3, static_cast<i64>(i * 4)));
+    }
+  }
+
+  Label blk = a.new_label(), blk_done = a.new_label();
+  a.bind(blk);
+  a.beqz(S7, blk_done);
+
+  // ---- message schedule: W[0..15] = M, W[16..63] expanded.
+  for (int t = 0; t < 16; ++t) {
+    a(e::lwu(T0, S0, t * 4));
+    a(e::sw(T0, S6, t * 4));
+  }
+  a.li(A1, 16);
+  Label sched = a.new_label(), sched_done = a.new_label();
+  a.bind(sched);
+  a.li(T0, 64);
+  a.bge(A1, T0, sched_done);
+  a(e::slli(T0, A1, 2));
+  a(e::add(T0, T0, S6));   // &W[t]
+  a(e::lwu(T1, T0, -2 * 4));   // W[t-2]
+  // s1 = rotr(x,17) ^ rotr(x,19) ^ (x >> 10)
+  emit_rotr32(a, T2, T1, 17, T5);
+  emit_rotr32(a, T3, T1, 19, T5);
+  a(e::xor_(T2, T2, T3));
+  a(e::srliw(T3, T1, 10));
+  a(e::xor_(T2, T2, T3));
+  a(e::lwu(T1, T0, -7 * 4));   // W[t-7]
+  a(e::addw(T2, T2, T1));
+  a(e::lwu(T1, T0, -15 * 4));  // W[t-15]
+  // s0 = rotr(x,7) ^ rotr(x,18) ^ (x >> 3)
+  emit_rotr32(a, T3, T1, 7, T5);
+  emit_rotr32(a, T4, T1, 18, T5);
+  a(e::xor_(T3, T3, T4));
+  a(e::srliw(T4, T1, 3));
+  a(e::xor_(T3, T3, T4));
+  a(e::addw(T2, T2, T3));
+  a(e::lwu(T1, T0, -16 * 4));  // W[t-16]
+  a(e::addw(T2, T2, T1));
+  a(e::sw(T2, T0, 0));
+  a(e::addi(A1, A1, 1));
+  a.j(sched);
+  a.bind(sched_done);
+
+  // ---- compression. Load state a..h.
+  for (unsigned i = 0; i < 8; ++i) {
+    const Reg regs[8] = {S2, S3, S4, S5, S8, S9, S10, S11};
+    a(e::lwu(regs[i], A3, static_cast<i64>(i * 4)));
+  }
+  a.li(A1, 0);
+  Label comp = a.new_label(), comp_done = a.new_label();
+  a.bind(comp);
+  a.li(T0, 64);
+  a.bge(A1, T0, comp_done);
+  // T1' = h + Sigma1(e) + Ch(e,f,g) + K[t] + W[t]
+  emit_rotr32(a, T1, S8, 6, T5);
+  emit_rotr32(a, T2, S8, 11, T5);
+  a(e::xor_(T1, T1, T2));
+  emit_rotr32(a, T2, S8, 25, T5);
+  a(e::xor_(T1, T1, T2));          // Sigma1(e)
+  a(e::and_(T2, S8, S9));
+  a.not_(T3, S8);
+  a(e::and_(T3, T3, S10));
+  a(e::xor_(T2, T2, T3));          // Ch
+  a(e::addw(T1, T1, T2));
+  a(e::addw(T1, T1, S11));         // + h
+  a(e::slli(T2, A1, 2));
+  a(e::add(T2, T2, S1));
+  a(e::lwu(T3, T2, 0));            // K[t]
+  a(e::addw(T1, T1, T3));
+  a(e::slli(T2, A1, 2));
+  a(e::add(T2, T2, S6));
+  a(e::lwu(T3, T2, 0));            // W[t]
+  a(e::addw(T1, T1, T3));          // temp1
+  // T2' = Sigma0(a) + Maj(a,b,c)
+  emit_rotr32(a, T2, S2, 2, T5);
+  emit_rotr32(a, T3, S2, 13, T5);
+  a(e::xor_(T2, T2, T3));
+  emit_rotr32(a, T3, S2, 22, T5);
+  a(e::xor_(T2, T2, T3));          // Sigma0(a)
+  a(e::and_(T3, S2, S3));
+  a(e::and_(T4, S2, S4));
+  a(e::xor_(T3, T3, T4));
+  a(e::and_(T4, S3, S4));
+  a(e::xor_(T3, T3, T4));          // Maj
+  a(e::addw(T2, T2, T3));          // temp2
+  // Rotate the eight working variables.
+  a.mv(S11, S10);                  // h = g
+  a.mv(S10, S9);                   // g = f
+  a.mv(S9, S8);                    // f = e
+  a(e::addw(S8, S5, T1));          // e = d + temp1
+  a.mv(S5, S4);                    // d = c
+  a.mv(S4, S3);                    // c = b
+  a.mv(S3, S2);                    // b = a
+  a(e::addw(S2, T1, T2));          // a = temp1 + temp2
+  a(e::addi(A1, A1, 1));
+  a.j(comp);
+  a.bind(comp_done);
+  // Fold into the state.
+  {
+    const Reg regs[8] = {S2, S3, S4, S5, S8, S9, S10, S11};
+    for (unsigned i = 0; i < 8; ++i) {
+      a(e::lwu(T0, A3, static_cast<i64>(i * 4)));
+      a(e::addw(T0, T0, regs[i]));
+      a(e::sw(T0, A3, static_cast<i64>(i * 4)));
+    }
+  }
+  a(e::addi(S0, S0, 64));
+  a(e::addi(S7, S7, -1));
+  a.j(blk);
+  a.bind(blk_done);
+  // Checksum the 8-word digest.
+  a.mv(S1, A3);
+  a.li(S4, 0);
+  emit_checksum_u32(a, S1, 8, S4, T1, T2, T0);
+  emit_result_and_halt(a, S4);
+  return a.assemble("sha", std::move(d));
+}
+
+}  // namespace safedm::workloads

@@ -1,0 +1,450 @@
+// Integer compute kernels: bitcount, isqrt, prime, fac, recursion, matrix1,
+// jfdctint, pm.
+#include <algorithm>
+
+#include "internal.hpp"
+
+namespace safedm::workloads {
+
+using namespace internal;
+
+// ---- bitcount -------------------------------------------------------------------
+// Pure register compute: population count of a value stream using two
+// methods (Kernighan loop + shift-and-mask loop). Long stretches with no
+// memory traffic — the benchmark with the longest zero-staggering window
+// in the paper's Table I.
+assembler::Program build_bitcount(unsigned scale) {
+  const unsigned n = 128 * scale;
+  Assembler a;
+  DataBuilder d;
+  reserve_result(d);
+  const u64 vals = d.add_u64_array([&] {
+    Xoshiro256 rng = input_rng("bitcount");
+    std::vector<u64> v(n);
+    for (auto& x : v) x = rng.next();
+    return v;
+  }());
+
+  a.lea_data(S0, vals);
+  a.li(S1, static_cast<i64>(n));
+  a.li(S4, 0);
+  Label outer = a.new_label(), done = a.new_label();
+  a.bind(outer);
+  a.beqz(S1, done);
+  a(e::ld(T0, S0, 0));
+  // Method 1: Kernighan — clear lowest set bit until zero.
+  a.mv(T1, T0);
+  a.li(T2, 0);
+  Label kern = a.new_label(), kern_done = a.new_label();
+  a.bind(kern);
+  a.beqz(T1, kern_done);
+  a(e::addi(T3, T1, -1));
+  a(e::and_(T1, T1, T3));
+  a(e::addi(T2, T2, 1));
+  a.j(kern);
+  a.bind(kern_done);
+  // Method 2: shift-and-mask over all 64 bits.
+  a.mv(T1, T0);
+  a.li(T3, 0);
+  a.li(T4, 64);
+  Label shloop = a.new_label(), shdone = a.new_label();
+  a.bind(shloop);
+  a.beqz(T4, shdone);
+  a(e::andi(T5, T1, 1));
+  a(e::add(T3, T3, T5));
+  a(e::srli(T1, T1, 1));
+  a(e::addi(T4, T4, -1));
+  a.j(shloop);
+  a.bind(shdone);
+  // Both methods must agree; fold both into the checksum.
+  a(e::slli(T2, T2, 8));
+  a(e::add(T2, T2, T3));
+  a(e::add(S4, S4, T2));
+  a(e::addi(S0, S0, 8));
+  a(e::addi(S1, S1, -1));
+  a.j(outer);
+  a.bind(done);
+  emit_result_and_halt(a, S4);
+  return a.assemble("bitcount", std::move(d));
+}
+
+// ---- isqrt ----------------------------------------------------------------------
+// Integer square root by the bit-by-bit (digit-recurrence) method.
+assembler::Program build_isqrt(unsigned scale) {
+  const unsigned n = 192 * scale;
+  Assembler a;
+  DataBuilder d;
+  reserve_result(d);
+  const u64 vals = d.add_u32_array(random_u32("isqrt", n));
+
+  a.lea_data(S0, vals);
+  a.li(S1, static_cast<i64>(n));
+  a.li(S4, 0);
+  Label outer = a.new_label(), done = a.new_label();
+  a.bind(outer);
+  a.beqz(S1, done);
+  a(e::lwu(T0, S0, 0));  // x
+  a.li(T1, 0);           // root
+  a.li(T2, 1);
+  a(e::slli(T2, T2, 30));  // bit = 1 << 30
+  Label bitloop = a.new_label(), bitdone = a.new_label(), no_sub = a.new_label();
+  a.bind(bitloop);
+  a.beqz(T2, bitdone);
+  a(e::add(T3, T1, T2));  // root + bit
+  a(e::srli(T1, T1, 1));  // root >>= 1
+  a.bltu(T0, T3, no_sub);
+  a(e::sub(T0, T0, T3));
+  a(e::add(T1, T1, T2));  // root += bit
+  a.bind(no_sub);
+  a(e::srli(T2, T2, 2));
+  a.j(bitloop);
+  a.bind(bitdone);
+  a(e::slli(T4, S4, 3));
+  a(e::add(S4, S4, T4));
+  a(e::add(S4, S4, T1));
+  a(e::addi(S0, S0, 4));
+  a(e::addi(S1, S1, -1));
+  a.j(outer);
+  a.bind(done);
+  emit_result_and_halt(a, S4);
+  return a.assemble("isqrt", std::move(d));
+}
+
+// ---- prime ------------------------------------------------------------------------
+// Trial-division prime counting: heavy use of the iterative divider.
+assembler::Program build_prime(unsigned scale) {
+  const unsigned limit = 1000 + 500 * scale;
+  Assembler a;
+  DataBuilder d;
+  reserve_result(d);
+  // As in the TACLe original, the kernel works against memory: trial
+  // divisors come from a table in the data segment and found primes are
+  // logged back to it. This ties the inner loop to the core's address
+  // space — without it both redundant copies would execute in perfect
+  // register-level lockstep with identical values, and every cycle would
+  // (correctly, but uninterestingly) lack diversity.
+  std::vector<u32> divisors;
+  for (u32 v = 2; v * v <= limit + 500; ++v) divisors.push_back(v);
+  const u64 dtab = d.add_u32_array(divisors);
+  const u64 log = d.reserve(512 * 4);
+
+  a.lea_data(S6, log);
+  a.lea_data(S8, dtab);
+  a.li(S7, 0);  // primes logged
+  a.li(S0, 2);  // candidate
+  a.li(S1, static_cast<i64>(limit));
+  a.li(S4, 0);  // prime count
+  a.li(S5, 0);  // sum of primes
+  Label outer = a.new_label(), done = a.new_label(), not_prime = a.new_label(),
+        is_prime = a.new_label(), next = a.new_label();
+  a.bind(outer);
+  a.bge(S0, S1, done);
+  a.mv(T4, S8);  // divisor cursor
+  Label trial = a.new_label();
+  a.bind(trial);
+  a(e::lwu(T0, T4, 0));     // divisor from the table
+  a(e::mul(T1, T0, T0));
+  a.bgt(T1, S0, is_prime);  // divisor^2 > candidate: prime
+  a(e::rem(T2, S0, T0));
+  a.beqz(T2, not_prime);
+  a(e::addi(T4, T4, 4));
+  a.j(trial);
+  a.bind(is_prime);
+  a(e::addi(S4, S4, 1));
+  a(e::add(S5, S5, S0));   // sum of primes, folded below
+  a(e::andi(T3, S7, 511)); // bounded log of found primes
+  a(e::slli(T3, T3, 2));
+  a(e::add(T3, T3, S6));
+  a(e::sw(S0, T3, 0));
+  a(e::addi(S7, S7, 1));
+  a.bind(not_prime);
+  a.bind(next);
+  a(e::addi(S0, S0, 1));
+  a.j(outer);
+  a.bind(done);
+  a(e::slli(T0, S4, 32));
+  a(e::add(S4, T0, S5));
+  emit_result_and_halt(a, S4);
+  return a.assemble("prime", std::move(d));
+}
+
+// ---- fac -------------------------------------------------------------------------
+// Sum of factorials, computed with a recursive factorial function.
+assembler::Program build_fac(unsigned scale) {
+  const unsigned reps = 8 * scale;
+  Assembler a;
+  DataBuilder d;
+  reserve_result(d);
+
+  Label fac = a.new_label(), main = a.new_label();
+  a.j(main);
+  // fac(a1) -> a2 = a1!, recursive.
+  a.bind(fac);
+  Label base = a.new_label();
+  a.li(T0, 2);
+  a.blt(A1, T0, base);
+  a(e::addi(SP, SP, -16));
+  a(e::sd(RA, SP, 0));
+  a(e::sd(A1, SP, 8));
+  a(e::addi(A1, A1, -1));
+  a.call(fac);
+  a(e::ld(A1, SP, 8));
+  a(e::ld(RA, SP, 0));
+  a(e::addi(SP, SP, 16));
+  a(e::mul(A2, A2, A1));
+  a.ret();
+  a.bind(base);
+  a.li(A2, 1);
+  a.ret();
+
+  a.bind(main);
+  a.li(S1, static_cast<i64>(reps));
+  a.li(S4, 0);
+  Label rep = a.new_label(), done = a.new_label();
+  a.bind(rep);
+  a.beqz(S1, done);
+  a.li(S2, 1);  // k
+  Label sum = a.new_label(), sum_done = a.new_label();
+  a.bind(sum);
+  a.li(T0, 15);
+  a.bgt(S2, T0, sum_done);
+  a.mv(A1, S2);
+  a.call(fac);
+  a(e::add(S4, S4, A2));
+  a(e::addi(S2, S2, 1));
+  a.j(sum);
+  a.bind(sum_done);
+  a(e::addi(S1, S1, -1));
+  a.j(rep);
+  a.bind(done);
+  emit_result_and_halt(a, S4);
+  return a.assemble("fac", std::move(d));
+}
+
+// ---- recursion --------------------------------------------------------------------
+// Naive doubly-recursive fibonacci: deep, unbalanced call tree.
+assembler::Program build_recursion(unsigned scale) {
+  const unsigned arg = 13 + std::min(scale - 1, 6u);
+  Assembler a;
+  DataBuilder d;
+  reserve_result(d);
+
+  Label fib = a.new_label(), main = a.new_label();
+  a.j(main);
+  // fib(a1) -> a2
+  a.bind(fib);
+  Label base = a.new_label();
+  a.li(T0, 2);
+  a.blt(A1, T0, base);
+  a(e::addi(SP, SP, -24));
+  a(e::sd(RA, SP, 0));
+  a(e::sd(A1, SP, 8));
+  a(e::addi(A1, A1, -1));
+  a.call(fib);
+  a(e::sd(A2, SP, 16));
+  a(e::ld(A1, SP, 8));
+  a(e::addi(A1, A1, -2));
+  a.call(fib);
+  a(e::ld(T0, SP, 16));
+  a(e::add(A2, A2, T0));
+  a(e::ld(RA, SP, 0));
+  a(e::addi(SP, SP, 24));
+  a.ret();
+  a.bind(base);
+  a.mv(A2, A1);
+  a.ret();
+
+  a.bind(main);
+  a.li(A1, static_cast<i64>(arg));
+  a.call(fib);
+  emit_result_and_halt(a, A2);
+  return a.assemble("recursion", std::move(d));
+}
+
+// ---- matrix1 ----------------------------------------------------------------------
+// Dense integer matrix multiply C = A * B.
+assembler::Program build_matrix1(unsigned scale) {
+  const unsigned dim = 16 + 4 * scale;
+  Assembler a;
+  DataBuilder d;
+  reserve_result(d);
+  const u64 ma = d.add_i32_array(random_i32("matrix1.a", dim * dim));
+  const u64 mb = d.add_i32_array(random_i32("matrix1.b", dim * dim));
+  const u64 mc = d.reserve(dim * dim * 4);
+
+  a.lea_data(S0, ma);
+  a.lea_data(S1, mb);
+  a.lea_data(S2, mc);
+  a.li(S3, static_cast<i64>(dim));
+  a.li(S5, 0);  // i
+  Label i_loop = a.new_label(), i_done = a.new_label();
+  a.bind(i_loop);
+  a.bge(S5, S3, i_done);
+  a.li(S6, 0);  // j
+  Label j_loop = a.new_label(), j_done = a.new_label();
+  a.bind(j_loop);
+  a.bge(S6, S3, j_done);
+  a.li(T0, 0);  // k
+  a.li(T1, 0);  // acc
+  Label k_loop = a.new_label(), k_done = a.new_label();
+  a.bind(k_loop);
+  a.bge(T0, S3, k_done);
+  // A[i][k]
+  a(e::mul(T2, S5, S3));
+  a(e::add(T2, T2, T0));
+  a(e::slli(T2, T2, 2));
+  a(e::add(T2, T2, S0));
+  a(e::lw(T3, T2, 0));
+  // B[k][j]
+  a(e::mul(T4, T0, S3));
+  a(e::add(T4, T4, S6));
+  a(e::slli(T4, T4, 2));
+  a(e::add(T4, T4, S1));
+  a(e::lw(T5, T4, 0));
+  a(e::mulw(T3, T3, T5));
+  a(e::addw(T1, T1, T3));
+  a(e::addi(T0, T0, 1));
+  a.j(k_loop);
+  a.bind(k_done);
+  // C[i][j] = acc
+  a(e::mul(T2, S5, S3));
+  a(e::add(T2, T2, S6));
+  a(e::slli(T2, T2, 2));
+  a(e::add(T2, T2, S2));
+  a(e::sw(T1, T2, 0));
+  a(e::addi(S6, S6, 1));
+  a.j(j_loop);
+  a.bind(j_done);
+  a(e::addi(S5, S5, 1));
+  a.j(i_loop);
+  a.bind(i_done);
+  a.lea_data(S1, mc);
+  a.li(S4, 0);
+  emit_checksum_u32(a, S1, dim * dim, S4, T1, T2, T0);
+  emit_result_and_halt(a, S4);
+  return a.assemble("matrix1", std::move(d));
+}
+
+// ---- jfdctint ---------------------------------------------------------------------
+// JPEG-style integer forward DCT over 8x8 blocks (shift/add butterflies; a
+// simplified LLM structure that keeps the row/column two-pass shape).
+assembler::Program build_jfdctint(unsigned scale) {
+  const unsigned blocks = 8 * scale;
+  Assembler a;
+  DataBuilder d;
+  reserve_result(d);
+  const u64 data = d.add_i32_array(random_i32("jfdctint", blocks * 64));
+
+  // Two passes (rows then columns) of a 4-point butterfly approximation
+  // applied over each 8x8 block.
+  a.lea_data(S0, data);
+  a.li(S1, static_cast<i64>(blocks));
+  Label blk = a.new_label(), blk_done = a.new_label();
+  a.bind(blk);
+  a.beqz(S1, blk_done);
+  for (int pass = 0; pass < 2; ++pass) {
+    const int stride = pass == 0 ? 4 : 32;          // element step in bytes
+    const int line_step = pass == 0 ? 32 : 4;       // line step in bytes
+    a.mv(S2, S0);
+    a.li(S3, 8);  // lines
+    Label line = a.new_label(), line_done = a.new_label();
+    a.bind(line);
+    a.beqz(S3, line_done);
+    // Butterfly pairs (k, 7-k) for k = 0..3.
+    for (int k = 0; k < 4; ++k) {
+      const i64 off_lo = k * stride;
+      const i64 off_hi = (7 - k) * stride;
+      a(e::lw(T0, S2, off_lo));
+      a(e::lw(T1, S2, off_hi));
+      a(e::addw(T2, T0, T1));   // sum
+      a(e::subw(T3, T0, T1));   // diff
+      a(e::sraiw(T2, T2, 1));
+      a(e::sraiw(T3, T3, 1));
+      a(e::sw(T2, S2, off_lo));
+      a(e::sw(T3, S2, off_hi));
+    }
+    a(e::addi(S2, S2, line_step));
+    a(e::addi(S3, S3, -1));
+    a.j(line);
+    a.bind(line_done);
+  }
+  a(e::addi(S0, S0, 256));
+  a(e::addi(S1, S1, -1));
+  a.j(blk);
+  a.bind(blk_done);
+  a.lea_data(S1, data);
+  a.li(S4, 0);
+  emit_checksum_u32(a, S1, blocks * 64, S4, T1, T2, T0);
+  emit_result_and_halt(a, S4);
+  return a.assemble("jfdctint", std::move(d));
+}
+
+// ---- pm --------------------------------------------------------------------------------
+// Pattern matching: naive string search recording matches with stores.
+// Store-heavy bookkeeping to the same lines makes this the benchmark that
+// exposes the store-buffer coalescing timing anomaly (paper Section V-C).
+assembler::Program build_pm(unsigned scale) {
+  const unsigned text_len = 1024 * scale;
+  const unsigned pat_len = 4;
+  Assembler a;
+  DataBuilder d;
+  reserve_result(d);
+  // Text over a tiny alphabet so matches are frequent.
+  Xoshiro256 rng = input_rng("pm");
+  std::vector<u8> text(text_len);
+  for (auto& c : text) c = static_cast<u8>('a' + rng.below(3));
+  std::vector<u8> pattern(pat_len);
+  for (auto& c : pattern) c = static_cast<u8>('a' + rng.below(3));
+  const u64 txt = d.add_bytes(text);
+  const u64 pat = d.add_bytes(pattern);
+  const u64 hits = d.reserve(1024);  // per-position bookkeeping table (wraps at 512 entries)
+
+  a.lea_data(S0, txt);
+  a.lea_data(S1, pat);
+  a.lea_data(S2, hits);
+  a.li(S3, static_cast<i64>(text_len - pat_len));
+  a.li(S5, 0);   // position i
+  a.li(S6, 0);   // match count
+  Label outer = a.new_label(), outer_done = a.new_label();
+  a.bind(outer);
+  a.bgt(S5, S3, outer_done);
+  a.li(T0, 0);   // k
+  Label cmp = a.new_label(), mismatch = a.new_label(), match = a.new_label(),
+        next = a.new_label();
+  a.bind(cmp);
+  a.li(T1, pat_len);
+  a.bge(T0, T1, match);
+  a(e::add(T2, S0, S5));
+  a(e::add(T2, T2, T0));
+  a(e::lbu(T3, T2, 0));
+  a(e::add(T4, S1, T0));
+  a(e::lbu(T5, T4, 0));
+  a.bne(T3, T5, mismatch);
+  a(e::addi(T0, T0, 1));
+  a.j(cmp);
+  a.bind(match);
+  a(e::addi(S6, S6, 1));
+  a.bind(mismatch);
+  a.bind(next);
+  // Per-position bookkeeping store (the TACLe pm continuously writes its
+  // match table): sequential 16-bit stores — 16 to a line — that the store
+  // buffer coalesces while the bus is busy. This write stream is what
+  // produces the paper's pm timing anomaly under staggered starts.
+  a(e::andi(T1, S5, 0x1FF));
+  a(e::slli(T1, T1, 1));
+  a(e::add(T1, T1, S2));
+  a(e::sh(T0, T1, 0));  // prefix length reached at this position
+  a(e::addi(S5, S5, 1));
+  a.j(outer);
+  a.bind(outer_done);
+  // Checksum: match count and a digest of the logged positions.
+  a.lea_data(S1, hits);
+  a.li(S4, 0);
+  emit_checksum_u32(a, S1, static_cast<unsigned>(text_len / 8), S4, T1, T2, T0);
+  a(e::slli(T0, S6, 48));
+  a(e::add(S4, S4, T0));
+  emit_result_and_halt(a, S4);
+  return a.assemble("pm", std::move(d));
+}
+
+}  // namespace safedm::workloads

@@ -1,0 +1,325 @@
+// Integer search & sort benchmarks: binarysearch, bsort, insertsort,
+// quicksort, bitonic, countnegative.
+#include <algorithm>
+
+#include "internal.hpp"
+
+namespace safedm::workloads {
+
+using namespace internal;
+
+// ---- binarysearch --------------------------------------------------------------
+// Repeated binary searches over a sorted table; data-dependent branch
+// pattern, read-only memory traffic.
+assembler::Program build_binarysearch(unsigned scale) {
+  const unsigned n = 256 * scale;
+  const unsigned keys = 128;
+  Assembler a;
+  DataBuilder d;
+  reserve_result(d);
+  std::vector<u32> table = random_u32("binarysearch", n, 0x00FFFFFF);
+  std::sort(table.begin(), table.end());
+  std::vector<u32> probes = random_u32("binarysearch.keys", keys, 0x00FFFFFF);
+  // Make half the probes guaranteed hits.
+  for (unsigned i = 0; i < keys; i += 2) probes[i] = table[(i * 37) % n];
+  const u64 tbl = d.add_u32_array(table);
+  const u64 prb = d.add_u32_array(probes);
+
+  a.lea_data(S0, tbl);
+  a.lea_data(S1, prb);
+  a.li(S2, keys);
+  a.li(S3, static_cast<i64>(n));
+  a.li(S4, 0);  // checksum
+  Label outer = a.new_label(), done = a.new_label();
+  a.bind(outer);
+  a.beqz(S2, done);
+  a(e::lwu(T4, S1, 0));
+  a(e::addi(S1, S1, 4));
+  a.li(T0, 0);        // lo
+  a.mv(T1, S3);       // hi
+  Label loop = a.new_label(), found = a.new_label(), go_right = a.new_label(),
+        next = a.new_label();
+  a.bind(loop);
+  a.bgeu(T0, T1, next);                  // lo >= hi: not found
+  a(e::add(T2, T0, T1));
+  a(e::srli(T2, T2, 1));                 // mid
+  a(e::slli(T5, T2, 2));
+  a(e::add(T5, T5, S0));
+  a(e::lwu(T3, T5, 0));
+  a.beq(T3, T4, found);
+  a.bltu(T3, T4, go_right);
+  a.mv(T1, T2);                          // hi = mid
+  a.j(loop);
+  a.bind(go_right);
+  a(e::addi(T0, T2, 1));                 // lo = mid + 1
+  a.j(loop);
+  a.bind(found);
+  a(e::add(S4, S4, T2));
+  a.bind(next);
+  a(e::xori(S4, S4, 0x55));
+  a(e::addi(S2, S2, -1));
+  a.j(outer);
+  a.bind(done);
+  emit_result_and_halt(a, S4);
+  return a.assemble("binarysearch", std::move(d));
+}
+
+// ---- bsort ------------------------------------------------------------------------
+// Bubble sort: quadratic compare/swap, very regular strided loads/stores.
+assembler::Program build_bsort(unsigned scale) {
+  const unsigned n = 64 + 32 * scale;
+  Assembler a;
+  DataBuilder d;
+  reserve_result(d);
+  const u64 arr = d.add_u32_array(random_u32("bsort", n));
+
+  a.li(S2, static_cast<i64>(n - 1));  // passes remaining
+  Label pass = a.new_label(), done = a.new_label();
+  a.bind(pass);
+  a.beqz(S2, done);
+  a.lea_data(S0, arr);
+  a.mv(T0, S2);  // comparisons this pass
+  Label inner = a.new_label(), no_swap = a.new_label(), inner_done = a.new_label();
+  a.bind(inner);
+  a.beqz(T0, inner_done);
+  a(e::lwu(T1, S0, 0));
+  a(e::lwu(T2, S0, 4));
+  a.bgeu(T2, T1, no_swap);
+  a(e::sw(T2, S0, 0));
+  a(e::sw(T1, S0, 4));
+  a.bind(no_swap);
+  a(e::addi(S0, S0, 4));
+  a(e::addi(T0, T0, -1));
+  a.j(inner);
+  a.bind(inner_done);
+  a(e::addi(S2, S2, -1));
+  a.j(pass);
+  a.bind(done);
+  a.lea_data(S0, arr);
+  a.li(S4, 0);
+  emit_checksum_u32(a, S0, n, S4, T1, T2, T0);
+  emit_result_and_halt(a, S4);
+  return a.assemble("bsort", std::move(d));
+}
+
+// ---- insertsort ----------------------------------------------------------------------
+assembler::Program build_insertsort(unsigned scale) {
+  const unsigned n = 96 + 32 * scale;
+  Assembler a;
+  DataBuilder d;
+  reserve_result(d);
+  const u64 arr = d.add_u32_array(random_u32("insertsort", n));
+
+  a.lea_data(S0, arr);
+  a.li(S1, 1);  // i
+  a.li(S3, static_cast<i64>(n));
+  Label outer = a.new_label(), done = a.new_label();
+  a.bind(outer);
+  a.bge(S1, S3, done);
+  // key = a[i]
+  a(e::slli(T0, S1, 2));
+  a(e::add(T0, T0, S0));
+  a(e::lwu(T1, T0, 0));   // key
+  a.mv(T2, S1);            // j = i
+  Label shift = a.new_label(), place = a.new_label();
+  a.bind(shift);
+  a.beqz(T2, place);
+  a(e::slli(T3, T2, 2));
+  a(e::add(T3, T3, S0));
+  a(e::lwu(T4, T3, -4));  // a[j-1]
+  a.bgeu(T1, T4, place);
+  a(e::sw(T4, T3, 0));    // a[j] = a[j-1]
+  a(e::addi(T2, T2, -1));
+  a.j(shift);
+  a.bind(place);
+  a(e::slli(T3, T2, 2));
+  a(e::add(T3, T3, S0));
+  a(e::sw(T1, T3, 0));
+  a(e::addi(S1, S1, 1));
+  a.j(outer);
+  a.bind(done);
+  a.lea_data(S0, arr);
+  a.li(S4, 0);
+  emit_checksum_u32(a, S0, n, S4, T1, T2, T0);
+  emit_result_and_halt(a, S4);
+  return a.assemble("insertsort", std::move(d));
+}
+
+// ---- quicksort -----------------------------------------------------------------------
+// Recursive quicksort (Lomuto partition): deep call stack, data-dependent
+// control flow — the paper's hardest naturally-diverse case.
+assembler::Program build_quicksort(unsigned scale) {
+  const unsigned n = 192 + 64 * scale;
+  Assembler a;
+  DataBuilder d;
+  reserve_result(d);
+  const u64 arr = d.add_u32_array(random_u32("quicksort", n));
+
+  Label qs = a.new_label(), main = a.new_label();
+  a.j(main);
+
+  // qs(a1 = lo index, a2 = hi index), array base in s0.
+  a.bind(qs);
+  Label ret_now = a.new_label(), part_loop = a.new_label(), part_done = a.new_label(),
+        no_swap = a.new_label();
+  a.bge(A1, A2, ret_now);
+  a(e::addi(SP, SP, -32));
+  a(e::sd(RA, SP, 0));
+  a(e::sd(A1, SP, 8));
+  a(e::sd(A2, SP, 16));
+  // pivot = a[hi]
+  a(e::slli(T0, A2, 2));
+  a(e::add(T0, T0, S0));
+  a(e::lwu(T1, T0, 0));    // pivot
+  a(e::addi(T2, A1, -1));  // i = lo - 1
+  a.mv(T3, A1);            // j = lo
+  a.bind(part_loop);
+  a.bge(T3, A2, part_done);
+  a(e::slli(T4, T3, 2));
+  a(e::add(T4, T4, S0));
+  a(e::lwu(T5, T4, 0));    // a[j]
+  a.bgeu(T5, T1, no_swap);
+  a(e::addi(T2, T2, 1));   // ++i
+  a(e::slli(A3, T2, 2));
+  a(e::add(A3, A3, S0));
+  a(e::lwu(A4, A3, 0));
+  a(e::sw(T5, A3, 0));     // swap a[i], a[j]
+  a(e::sw(A4, T4, 0));
+  a.bind(no_swap);
+  a(e::addi(T3, T3, 1));
+  a.j(part_loop);
+  a.bind(part_done);
+  a(e::addi(T2, T2, 1));   // pivot position = i + 1
+  // swap a[pivot_pos], a[hi]
+  a(e::slli(A3, T2, 2));
+  a(e::add(A3, A3, S0));
+  a(e::lwu(A4, A3, 0));
+  a(e::sw(T1, A3, 0));
+  a(e::sw(A4, T0, 0));
+  a(e::sd(T2, SP, 24));    // save pivot position
+  // qs(lo, p-1)
+  a(e::addi(A2, T2, -1));
+  a.call(qs);
+  // qs(p+1, hi)
+  a(e::ld(T2, SP, 24));
+  a(e::ld(A2, SP, 16));
+  a(e::addi(A1, T2, 1));
+  a.call(qs);
+  a(e::ld(RA, SP, 0));
+  a(e::addi(SP, SP, 32));
+  a.bind(ret_now);
+  a.ret();
+
+  a.bind(main);
+  a.lea_data(S0, arr);
+  a.li(A1, 0);
+  a.li(A2, static_cast<i64>(n - 1));
+  a.call(qs);
+  a.lea_data(S1, arr);
+  a.li(S4, 0);
+  emit_checksum_u32(a, S1, n, S4, T1, T2, T0);
+  emit_result_and_halt(a, S4);
+  return a.assemble("quicksort", std::move(d));
+}
+
+// ---- bitonic ---------------------------------------------------------------------------
+// Bitonic sorting network: oblivious (data-independent) control flow, XOR
+// index arithmetic — contrast to quicksort.
+assembler::Program build_bitonic(unsigned scale) {
+  unsigned n = 128;
+  while (scale > 1) {
+    n *= 2;
+    --scale;
+  }
+  Assembler a;
+  DataBuilder d;
+  reserve_result(d);
+  const u64 arr = d.add_u32_array(random_u32("bitonic", n));
+
+  a.lea_data(S0, arr);
+  a.li(S1, 2);  // k
+  a.li(S5, static_cast<i64>(n));
+  Label k_loop = a.new_label(), k_done = a.new_label();
+  a.bind(k_loop);
+  a.bgt(S1, S5, k_done);
+  a(e::srli(S2, S1, 1));  // j = k / 2
+  Label j_loop = a.new_label(), j_done = a.new_label();
+  a.bind(j_loop);
+  a.beqz(S2, j_done);
+  a.li(S3, 0);  // i
+  Label i_loop = a.new_label(), i_done = a.new_label(), skip = a.new_label(),
+        descending = a.new_label(), maybe_swap_asc = a.new_label(), do_swap = a.new_label();
+  a.bind(i_loop);
+  a.bge(S3, S5, i_done);
+  a(e::xor_(T0, S3, S2));  // l = i ^ j
+  a.ble(T0, S3, skip);     // only l > i
+  // load a[i], a[l]
+  a(e::slli(T1, S3, 2));
+  a(e::add(T1, T1, S0));
+  a(e::lwu(T2, T1, 0));    // a[i]
+  a(e::slli(T3, T0, 2));
+  a(e::add(T3, T3, S0));
+  a(e::lwu(T4, T3, 0));    // a[l]
+  a(e::and_(T5, S3, S1));  // i & k
+  a.bnez(T5, descending);
+  a.bind(maybe_swap_asc);
+  a.bgeu(T4, T2, skip);    // ascending: swap if a[i] > a[l]
+  a.j(do_swap);
+  a.bind(descending);
+  a.bgeu(T2, T4, skip);    // descending: swap if a[i] < a[l]
+  a.bind(do_swap);
+  a(e::sw(T4, T1, 0));
+  a(e::sw(T2, T3, 0));
+  a.bind(skip);
+  a(e::addi(S3, S3, 1));
+  a.j(i_loop);
+  a.bind(i_done);
+  a(e::srli(S2, S2, 1));
+  a.j(j_loop);
+  a.bind(j_done);
+  a(e::slli(S1, S1, 1));
+  a.j(k_loop);
+  a.bind(k_done);
+  a.lea_data(S1, arr);
+  a.li(S4, 0);
+  emit_checksum_u32(a, S1, n, S4, T1, T2, T0);
+  emit_result_and_halt(a, S4);
+  return a.assemble("bitonic", std::move(d));
+}
+
+// ---- countnegative ------------------------------------------------------------------------
+// Matrix scan counting negatives and summing positives per quadrant.
+assembler::Program build_countnegative(unsigned scale) {
+  const unsigned dim = 24 + 8 * scale;
+  Assembler a;
+  DataBuilder d;
+  reserve_result(d);
+  const u64 mat = d.add_i32_array(random_i32("countnegative", dim * dim));
+
+  a.lea_data(S0, mat);
+  a.li(T0, static_cast<i64>(dim * dim));
+  a.li(S2, 0);  // negatives
+  a.li(S3, 0);  // sum of positives
+  Label loop = a.new_label(), done = a.new_label(), nonneg = a.new_label(),
+        next = a.new_label();
+  a.bind(loop);
+  a.beqz(T0, done);
+  a(e::lw(T1, S0, 0));
+  a.bge(T1, ZERO, nonneg);
+  a(e::addi(S2, S2, 1));
+  a.j(next);
+  a.bind(nonneg);
+  a(e::add(S3, S3, T1));
+  a.bind(next);
+  a(e::addi(S0, S0, 4));
+  a(e::addi(T0, T0, -1));
+  a.j(loop);
+  a.bind(done);
+  a.li(T2, 2654435761);
+  a(e::mul(S4, S2, T2));
+  a(e::add(S4, S4, S3));
+  emit_result_and_halt(a, S4);
+  return a.assemble("countnegative", std::move(d));
+}
+
+}  // namespace safedm::workloads

@@ -1,0 +1,106 @@
+// Shared helpers for workload authoring (internal to the workloads lib).
+#pragma once
+
+#include <vector>
+
+#include "safedm/assembler/assembler.hpp"
+#include "safedm/common/rng.hpp"
+#include "safedm/isa/encode.hpp"
+#include "safedm/workloads/workloads.hpp"
+
+namespace safedm::workloads::internal {
+
+using namespace safedm::assembler;  // register aliases + Assembler/DataBuilder
+namespace e = safedm::isa::enc;
+
+/// Deterministic input data, seeded per benchmark name so inputs are stable
+/// across runs and identical for both redundant cores.
+inline Xoshiro256 input_rng(std::string_view name) {
+  u64 seed = 0x5AFED0DEull;
+  for (char c : name) seed = seed * 131 + static_cast<u8>(c);
+  return Xoshiro256(seed);
+}
+
+inline std::vector<u32> random_u32(std::string_view name, std::size_t count, u32 mask = ~0u) {
+  Xoshiro256 rng = input_rng(name);
+  std::vector<u32> values(count);
+  for (auto& v : values) v = static_cast<u32>(rng.next()) & mask;
+  return values;
+}
+
+inline std::vector<i32> random_i32(std::string_view name, std::size_t count) {
+  Xoshiro256 rng = input_rng(name);
+  std::vector<i32> values(count);
+  for (auto& v : values) v = static_cast<i32>(rng.next());
+  return values;
+}
+
+inline std::vector<double> random_f64(std::string_view name, std::size_t count, double lo = -1.0,
+                                      double hi = 1.0) {
+  Xoshiro256 rng = input_rng(name);
+  std::vector<double> values(count);
+  for (auto& v : values)
+    v = lo + (hi - lo) * (static_cast<double>(rng.next() >> 11) * 0x1.0p-53);
+  return values;
+}
+
+/// Emit: rd = rs rotated right by `amount` (32-bit semantics), using tmp.
+/// RV64I has no rotate; crypto-style benchmarks build it from shifts.
+inline void emit_rotr32(Assembler& a, Reg rd, Reg rs, unsigned amount, Reg tmp) {
+  a(e::srliw(tmp, rs, amount));
+  a(e::slliw(rd, rs, 32 - amount));
+  a(e::or_(rd, rd, tmp));
+  a(e::addiw(rd, rd, 0));  // keep the value canonically sign-extended
+}
+
+/// Emit: rd = rs rotated left by `amount` (32-bit semantics), using tmp.
+inline void emit_rotl32(Assembler& a, Reg rd, Reg rs, unsigned amount, Reg tmp) {
+  emit_rotr32(a, rd, rs, (32 - amount) % 32, tmp);
+}
+
+/// Standard epilogue: store the checksum register to [a0 + kResultOffset]
+/// and halt.
+inline void emit_result_and_halt(Assembler& a, Reg checksum) {
+  a(e::sd(checksum, A0, static_cast<i64>(kResultOffset)));
+  a(e::ecall());
+}
+
+/// Standard prologue for the data segment: slot 0 reserved for the result.
+inline u64 reserve_result(DataBuilder& d) { return d.add_u64(0); }
+
+/// Emit a checksum loop over `count` 32-bit words at [base]:
+/// acc = acc*33 + word, advancing base. Clobbers base, t1, t2, counter.
+inline void emit_checksum_u32(Assembler& a, Reg base, unsigned count, Reg acc, Reg t1, Reg t2,
+                              Reg counter) {
+  a.li(counter, static_cast<i64>(count));
+  Label loop = a.new_label(), done = a.new_label();
+  a.bind(loop);
+  a.beqz(counter, done);
+  a(e::lwu(t1, base, 0));
+  a(e::slli(t2, acc, 5));
+  a(e::add(acc, acc, t2));
+  a(e::add(acc, acc, t1));
+  a(e::addi(base, base, 4));
+  a(e::addi(counter, counter, -1));
+  a.j(loop);
+  a.bind(done);
+}
+
+/// Same over 64-bit words (used for FP outputs: checksum the raw bits).
+inline void emit_checksum_u64(Assembler& a, Reg base, unsigned count, Reg acc, Reg t1, Reg t2,
+                              Reg counter) {
+  a.li(counter, static_cast<i64>(count));
+  Label loop = a.new_label(), done = a.new_label();
+  a.bind(loop);
+  a.beqz(counter, done);
+  a(e::ld(t1, base, 0));
+  a(e::slli(t2, acc, 5));
+  a(e::add(acc, acc, t2));
+  a(e::xor_(acc, acc, t1));
+  a(e::addi(base, base, 8));
+  a(e::addi(counter, counter, -1));
+  a.j(loop);
+  a.bind(done);
+}
+
+}  // namespace safedm::workloads::internal

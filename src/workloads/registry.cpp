@@ -1,0 +1,52 @@
+#include "safedm/workloads/workloads.hpp"
+
+#include "safedm/common/check.hpp"
+
+namespace safedm::workloads {
+
+const std::vector<WorkloadInfo>& registry() {
+  static const std::vector<WorkloadInfo> kRegistry = {
+      {"binarysearch", false, build_binarysearch},
+      {"bitcount", false, build_bitcount},
+      {"bitonic", false, build_bitonic},
+      {"bsort", false, build_bsort},
+      {"complex_updates", true, build_complex_updates},
+      {"cosf", true, build_cosf},
+      {"countnegative", false, build_countnegative},
+      {"cubic", true, build_cubic},
+      {"deg2rad", true, build_deg2rad},
+      {"fac", false, build_fac},
+      {"fft", true, build_fft},
+      {"filterbank", true, build_filterbank},
+      {"fir2dim", true, build_fir2dim},
+      {"iir", true, build_iir},
+      {"insertsort", false, build_insertsort},
+      {"isqrt", false, build_isqrt},
+      {"jfdctint", false, build_jfdctint},
+      {"lms", true, build_lms},
+      {"ludcmp", true, build_ludcmp},
+      {"matrix1", false, build_matrix1},
+      {"md5", false, build_md5},
+      {"minver", true, build_minver},
+      {"pm", false, build_pm},
+      {"prime", false, build_prime},
+      {"quicksort", false, build_quicksort},
+      {"rad2deg", true, build_rad2deg},
+      {"recursion", false, build_recursion},
+      {"sha", false, build_sha},
+      {"st", true, build_st},
+  };
+  return kRegistry;
+}
+
+assembler::Program build(std::string_view name, unsigned scale) {
+  SAFEDM_CHECK_MSG(scale >= 1, "workload scale must be >= 1");
+  for (const WorkloadInfo& info : registry())
+    if (info.name == name) return info.build(scale);
+  for (const WorkloadInfo& info : registry_extended())
+    if (info.name == name) return info.build(scale);
+  SAFEDM_CHECK_MSG(false, "unknown workload '" << name << "'");
+  __builtin_unreachable();
+}
+
+}  // namespace safedm::workloads

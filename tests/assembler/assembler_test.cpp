@@ -1,0 +1,191 @@
+#include "safedm/assembler/assembler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <limits>
+
+#include "safedm/isa/iss.hpp"
+#include "safedm/mem/phys_mem.hpp"
+
+namespace safedm::assembler {
+namespace {
+
+namespace e = isa::enc;
+
+constexpr u64 kTextBase = 0x10000;
+constexpr u64 kDataBase = 0x40000;
+constexpr u64 kStackTop = 0xF0000;
+
+/// Load a Program the same way the SoC does and run it on the ISS.
+isa::ArchState run_program(const Program& program, u64 max_inst = 1'000'000) {
+  mem::PhysMem mem(0, 1 << 20);
+  for (std::size_t i = 0; i < program.text.size(); ++i)
+    mem.store(kTextBase + i * 4, program.text[i], 4);
+  mem.write_block(kDataBase, program.data);
+  isa::Iss iss(mem, kTextBase);
+  iss.state().set_x(A0, kDataBase);
+  iss.state().set_x(SP, kStackTop);
+  iss.run(max_inst);
+  return iss.state();
+}
+
+TEST(Assembler, ForwardAndBackwardBranches) {
+  Assembler a;
+  Label loop = a.new_label();
+  Label done = a.new_label();
+  a.li(T0, 5);
+  a.li(T1, 0);
+  a.bind(loop);
+  a.beqz(T0, done);                 // forward branch
+  a(e::add(T1, T1, T0));
+  a(e::addi(T0, T0, -1));
+  a.j(loop);                        // backward jump
+  a.bind(done);
+  a(e::ecall());
+  const auto s = run_program(a.assemble("sum"));
+  EXPECT_EQ(s.halt, isa::HaltReason::kEcall);
+  EXPECT_EQ(s.x[T1], 15u);
+}
+
+TEST(Assembler, CallAndReturn) {
+  Assembler a;
+  Label func = a.new_label();
+  Label main = a.new_label();
+  a.j(main);
+  a.bind(func);                     // t2 = t0 + t1
+  a(e::add(T2, T0, T1));
+  a.ret();
+  a.bind(main);
+  a.li(T0, 40);
+  a.li(T1, 2);
+  a.call(func);
+  a(e::ecall());
+  const auto s = run_program(a.assemble("call"));
+  EXPECT_EQ(s.x[T2], 42u);
+}
+
+TEST(Assembler, LiCoversFullRange) {
+  const std::array<i64, 12> values = {
+      0,    1,     -1,        2047, -2048,        2048,
+      -2049, 0x7FFFFFFF, i64{-2147483648}, 0x123456789ABCDEFLL,
+      std::numeric_limits<i64>::min(), -559038737,
+  };
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    Assembler a;
+    a.li(T0, values[i]);
+    a(e::ecall());
+    const auto s = run_program(a.assemble("li"));
+    EXPECT_EQ(static_cast<i64>(s.x[T0]), values[i]) << "li value index " << i;
+  }
+}
+
+TEST(Assembler, AddImmLargeOffsets) {
+  Assembler a;
+  a.add_imm(T0, A0, 4096);      // beyond addi range
+  a.add_imm(T1, A0, -4097);
+  a.add_imm(T2, A0, 12);        // small path
+  a(e::ecall());
+  const auto s = run_program(a.assemble("add_imm"));
+  EXPECT_EQ(s.x[T0], kDataBase + 4096);
+  EXPECT_EQ(s.x[T1], kDataBase - 4097);
+  EXPECT_EQ(s.x[T2], kDataBase + 12);
+}
+
+TEST(Assembler, DataSegmentAccessViaA0) {
+  Assembler a;
+  DataBuilder d;
+  const std::array<u32, 4> input = {10, 20, 30, 40};
+  const u64 arr = d.add_u32_array(input);
+  const u64 out = d.add_u64(0);
+  // Sum the array into `out`.
+  a.lea_data(S0, arr);
+  a.li(T0, 4);
+  a.li(T1, 0);
+  Label loop = a.new_label(), done = a.new_label();
+  a.bind(loop);
+  a.beqz(T0, done);
+  a(e::lwu(T2, S0, 0));
+  a(e::add(T1, T1, T2));
+  a(e::addi(S0, S0, 4));
+  a(e::addi(T0, T0, -1));
+  a.j(loop);
+  a.bind(done);
+  a.lea_data(S1, out);
+  a(e::sd(T1, S1, 0));
+  a(e::ecall());
+
+  mem::PhysMem mem(0, 1 << 20);
+  const Program program = a.assemble("sumarray", std::move(d));
+  for (std::size_t i = 0; i < program.text.size(); ++i)
+    mem.store(kTextBase + i * 4, program.text[i], 4);
+  mem.write_block(kDataBase, program.data);
+  isa::Iss iss(mem, kTextBase);
+  iss.state().set_x(A0, kDataBase);
+  iss.run(1000);
+  EXPECT_EQ(mem.load(kDataBase + out, 8), 100u);
+}
+
+TEST(Assembler, PseudoInstructions) {
+  Assembler a;
+  a.li(T0, -7);
+  a.neg(T1, T0);         // 7
+  a.not_(T2, T0);        // 6
+  a.seqz(S0, ZERO);      // 1
+  a.snez(S1, T0);        // 1
+  a.mv(S2, T1);          // 7
+  a(e::ecall());
+  const auto s = run_program(a.assemble("pseudo"));
+  EXPECT_EQ(s.x[T1], 7u);
+  EXPECT_EQ(s.x[T2], 6u);
+  EXPECT_EQ(s.x[S0], 1u);
+  EXPECT_EQ(s.x[S1], 1u);
+  EXPECT_EQ(s.x[S2], 7u);
+}
+
+TEST(Assembler, NopsEmitCanonicalNop) {
+  Assembler a;
+  a.nops(3);
+  a(e::ecall());
+  const Program p = a.assemble("nops");
+  ASSERT_EQ(p.text.size(), 4u);
+  for (int i = 0; i < 3; ++i) EXPECT_EQ(p.text[i], isa::kNopEncoding);
+}
+
+TEST(Assembler, UnboundLabelThrows) {
+  Assembler a;
+  Label l = a.new_label();
+  a.j(l);
+  EXPECT_THROW(a.assemble("bad"), CheckError);
+}
+
+TEST(Assembler, DoubleBindThrows) {
+  Assembler a;
+  Label l = a.new_label();
+  a.bind(l);
+  EXPECT_THROW(a.bind(l), CheckError);
+}
+
+TEST(DataBuilder, AlignmentAndOffsets) {
+  DataBuilder d;
+  const u64 byte_off = d.add_u8(0xAA);
+  const u64 word_off = d.add_u64(0x1122334455667788ull);
+  EXPECT_EQ(byte_off, 0u);
+  EXPECT_EQ(word_off, 8u);  // aligned up
+  const u64 reserved = d.reserve(16);
+  EXPECT_EQ(reserved, 16u);
+  EXPECT_EQ(d.size(), 32u);
+}
+
+TEST(DataBuilder, F64ArrayBitExact) {
+  DataBuilder d;
+  const std::array<double, 2> values = {1.5, -2.25};
+  const u64 off = d.add_f64_array(values);
+  auto bytes = d.take();
+  double read = 0;
+  __builtin_memcpy(&read, bytes.data() + off + 8, 8);
+  EXPECT_EQ(read, -2.25);
+}
+
+}  // namespace
+}  // namespace safedm::assembler

@@ -1,0 +1,66 @@
+#include "safedm/bus/apb.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "safedm/common/check.hpp"
+
+namespace safedm::bus {
+namespace {
+
+class ScratchDevice : public ApbDevice {
+ public:
+  u32 apb_read(u32 offset) override { return regs_[offset]; }
+  void apb_write(u32 offset, u32 value) override { regs_[offset] = value; }
+
+ private:
+  std::map<u32, u32> regs_;
+};
+
+TEST(ApbBus, RoutesByAddress) {
+  ApbBus bus;
+  ScratchDevice d0, d1;
+  bus.map(0x8000, 0x100, &d0, "dev0");
+  bus.map(0x9000, 0x100, &d1, "dev1");
+  bus.write(0x8004, 11);
+  bus.write(0x9004, 22);
+  EXPECT_EQ(bus.read(0x8004), 11u);
+  EXPECT_EQ(bus.read(0x9004), 22u);
+}
+
+TEST(ApbBus, OffsetsAreBaseRelative) {
+  ApbBus bus;
+  ScratchDevice dev;
+  bus.map(0x8000, 0x100, &dev, "dev");
+  bus.write(0x8000, 7);
+  EXPECT_EQ(dev.apb_read(0), 7u);
+}
+
+TEST(ApbBus, UnmappedAccessThrows) {
+  ApbBus bus;
+  ScratchDevice dev;
+  bus.map(0x8000, 0x100, &dev, "dev");
+  EXPECT_THROW(bus.read(0x7FFC), CheckError);
+  EXPECT_THROW(bus.write(0x8100, 0), CheckError);
+  EXPECT_TRUE(bus.decodes(0x80FC));
+  EXPECT_FALSE(bus.decodes(0x8100));
+}
+
+TEST(ApbBus, OverlappingMapThrows) {
+  ApbBus bus;
+  ScratchDevice d0, d1;
+  bus.map(0x8000, 0x100, &d0, "dev0");
+  EXPECT_THROW(bus.map(0x80F0, 0x20, &d1, "dev1"), CheckError);
+}
+
+TEST(ApbBus, UnalignedAccessThrows) {
+  ApbBus bus;
+  ScratchDevice dev;
+  bus.map(0x8000, 0x100, &dev, "dev");
+  EXPECT_THROW(bus.read(0x8002), CheckError);
+  EXPECT_THROW(bus.map(0x8102, 0x10, &dev, "dev2"), CheckError);
+}
+
+}  // namespace
+}  // namespace safedm::bus

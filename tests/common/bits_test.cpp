@@ -1,0 +1,47 @@
+#include "safedm/common/bits.hpp"
+
+#include <gtest/gtest.h>
+
+namespace safedm {
+namespace {
+
+TEST(Bits, ExtractField) {
+  EXPECT_EQ(bits(0xDEADBEEF, 31, 28), 0xDu);
+  EXPECT_EQ(bits(0xDEADBEEF, 3, 0), 0xFu);
+  EXPECT_EQ(bits(0xDEADBEEF, 15, 8), 0xBEu);
+  EXPECT_EQ(bits(~u64{0}, 63, 0), ~u64{0});
+}
+
+TEST(Bits, SingleBit) {
+  EXPECT_EQ(bit(0b1010, 1), 1u);
+  EXPECT_EQ(bit(0b1010, 0), 0u);
+  EXPECT_EQ(bit(u64{1} << 63, 63), 1u);
+}
+
+TEST(Bits, SignExtend) {
+  EXPECT_EQ(sign_extend(0xFFF, 12), -1);
+  EXPECT_EQ(sign_extend(0x001, 12), 1);
+  EXPECT_EQ(sign_extend(0x800, 12), -2048);
+  EXPECT_EQ(sign_extend(0x7FF, 12), 2047);
+  EXPECT_EQ(sign_extend(0x80000000u, 32), i64{-2147483648});
+  EXPECT_EQ(sign_extend(0x12345678, 64), 0x12345678);
+}
+
+TEST(Bits, ZeroExtend) {
+  EXPECT_EQ(zero_extend(0xFFFF, 8), 0xFFu);
+  EXPECT_EQ(zero_extend(0x1234, 16), 0x1234u);
+}
+
+TEST(Bits, Pow2Helpers) {
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(4096));
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_FALSE(is_pow2(12));
+  EXPECT_EQ(log2_exact(32), 5u);
+  EXPECT_EQ(align_down(0x1234, 0x100), 0x1200u);
+  EXPECT_EQ(align_up(0x1201, 0x100), 0x1300u);
+  EXPECT_EQ(align_up(0x1200, 0x100), 0x1200u);
+}
+
+}  // namespace
+}  // namespace safedm

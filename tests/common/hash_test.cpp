@@ -1,0 +1,48 @@
+#include "safedm/common/hash.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace safedm {
+namespace {
+
+TEST(Fnv1a, KnownVector) {
+  // FNV-1a 64-bit of "a" is 0xAF63DC4C8601EC8C.
+  const u8 a = 'a';
+  EXPECT_EQ(fnv1a({&a, 1}), 0xAF63DC4C8601EC8Cull);
+}
+
+TEST(Fnv1a, StreamingMatchesOrderSensitivity) {
+  Fnv1a64 h1, h2;
+  h1.add(1);
+  h1.add(2);
+  h2.add(2);
+  h2.add(1);
+  EXPECT_NE(h1.value(), h2.value());
+}
+
+TEST(Fnv1a, BitAndWordDiffer) {
+  Fnv1a64 h1, h2;
+  h1.add_bit(true);
+  h2.add_bit(false);
+  EXPECT_NE(h1.value(), h2.value());
+}
+
+TEST(Crc32, KnownVector) {
+  // CRC-32 (IEEE) of "123456789" is 0xCBF43926.
+  Crc32 crc;
+  for (char c : {'1', '2', '3', '4', '5', '6', '7', '8', '9'})
+    crc.add_byte(static_cast<u8>(c));
+  EXPECT_EQ(crc.value(), 0xCBF43926u);
+}
+
+TEST(Crc32, SensitiveToSingleBit) {
+  Crc32 a, b;
+  a.add(0x123456789ABCDEF0ull);
+  b.add(0x123456789ABCDEF1ull);
+  EXPECT_NE(a.value(), b.value());
+}
+
+}  // namespace
+}  // namespace safedm

@@ -1,0 +1,66 @@
+#include "safedm/common/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include "safedm/common/check.hpp"
+
+namespace safedm {
+namespace {
+
+TEST(Histogram, BinsSamplesByUpperBound) {
+  Histogram h({10, 100, 1000});
+  h.add(1);
+  h.add(10);    // still first bin (inclusive upper bound)
+  h.add(11);
+  h.add(500);
+  h.add(5000);  // overflow bin
+  EXPECT_EQ(h.bin_value(0), 2u);
+  EXPECT_EQ(h.bin_value(1), 1u);
+  EXPECT_EQ(h.bin_value(2), 1u);
+  EXPECT_EQ(h.bin_value(3), 1u);
+  EXPECT_EQ(h.total_samples(), 5u);
+  EXPECT_EQ(h.max_sample(), 5000u);
+}
+
+TEST(Histogram, WeightsAccumulateSeparately) {
+  Histogram h({4});
+  h.add(2, 7);
+  EXPECT_EQ(h.total_samples(), 1u);
+  EXPECT_EQ(h.total_weight(), 7u);
+  EXPECT_EQ(h.bin_value(0), 7u);
+}
+
+TEST(Histogram, EqualWidthFactory) {
+  Histogram h = Histogram::equal_width(100, 4);
+  EXPECT_EQ(h.bin_count(), 5u);  // 4 + overflow
+  EXPECT_EQ(h.bin_upper(0), 100u);
+  EXPECT_EQ(h.bin_upper(3), 400u);
+  h.add(400);
+  EXPECT_EQ(h.bin_value(3), 1u);
+}
+
+TEST(Histogram, ExponentialFactory) {
+  Histogram h = Histogram::exponential(5);
+  EXPECT_EQ(h.bin_upper(0), 1u);
+  EXPECT_EQ(h.bin_upper(4), 16u);
+  h.add(3);
+  EXPECT_EQ(h.bin_value(2), 1u);  // (2,4]
+}
+
+TEST(Histogram, ClearResets) {
+  Histogram h({10});
+  h.add(3);
+  h.clear();
+  EXPECT_EQ(h.total_samples(), 0u);
+  EXPECT_EQ(h.bin_value(0), 0u);
+  EXPECT_EQ(h.max_sample(), 0u);
+}
+
+TEST(Histogram, RejectsBadBounds) {
+  EXPECT_THROW(Histogram({}), CheckError);
+  EXPECT_THROW(Histogram({5, 5}), CheckError);
+  EXPECT_THROW(Histogram({5, 3}), CheckError);
+}
+
+}  // namespace
+}  // namespace safedm

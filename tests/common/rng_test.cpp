@@ -1,0 +1,50 @@
+#include "safedm/common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+namespace safedm {
+namespace {
+
+TEST(Xoshiro, DeterministicForSeed) {
+  Xoshiro256 a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Xoshiro, DifferentSeedsDiverge) {
+  Xoshiro256 a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next() == b.next()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Xoshiro, BelowStaysInRange) {
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.below(17), 17u);
+  EXPECT_EQ(rng.below(0), 0u);
+}
+
+TEST(Xoshiro, RangeInclusive) {
+  Xoshiro256 rng(9);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const u64 v = rng.range(3, 5);
+    EXPECT_GE(v, 3u);
+    EXPECT_LE(v, 5u);
+    saw_lo |= v == 3;
+    saw_hi |= v == 5;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Xoshiro, ReseedRestartsSequence) {
+  Xoshiro256 rng(5);
+  const u64 first = rng.next();
+  rng.next();
+  rng.reseed(5);
+  EXPECT_EQ(rng.next(), first);
+}
+
+}  // namespace
+}  // namespace safedm

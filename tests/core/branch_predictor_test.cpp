@@ -1,0 +1,79 @@
+#include "safedm/core/branch_predictor.hpp"
+
+#include <gtest/gtest.h>
+
+namespace safedm::core {
+namespace {
+
+BranchPredictorConfig cfg() { return BranchPredictorConfig{.bht_entries = 16, .btb_entries = 8}; }
+
+TEST(BranchPredictor, ColdPredictsNotTaken) {
+  BranchPredictor bp(cfg());
+  const auto p = bp.predict_branch(0x1000);
+  EXPECT_FALSE(p.taken);
+}
+
+TEST(BranchPredictor, LearnsTakenBranchWithTarget) {
+  BranchPredictor bp(cfg());
+  bp.train(0x1000, true, 0x2000);
+  bp.train(0x1000, true, 0x2000);
+  const auto p = bp.predict_branch(0x1000);
+  EXPECT_TRUE(p.taken);
+  EXPECT_TRUE(p.has_target);
+  EXPECT_EQ(p.target, 0x2000u);
+}
+
+TEST(BranchPredictor, CounterHysteresis) {
+  BranchPredictor bp(cfg());
+  bp.train(0x1000, true, 0x2000);
+  bp.train(0x1000, true, 0x2000);  // strongly taken
+  bp.train(0x1000, false, 0);      // one not-taken
+  EXPECT_TRUE(bp.predict_branch(0x1000).taken);  // still weakly taken
+  bp.train(0x1000, false, 0);
+  EXPECT_FALSE(bp.predict_branch(0x1000).taken);
+}
+
+TEST(BranchPredictor, IndirectUsesBtb) {
+  BranchPredictor bp(cfg());
+  EXPECT_FALSE(bp.predict_indirect(0x3000).taken);
+  bp.train(0x3000, true, 0x4444);
+  const auto p = bp.predict_indirect(0x3000);
+  EXPECT_TRUE(p.taken);
+  EXPECT_EQ(p.target, 0x4444u);
+}
+
+TEST(BranchPredictor, BtbTagPreventsAliasedTargets) {
+  BranchPredictor bp(cfg());
+  bp.train(0x1000, true, 0x2000);
+  // 0x1000 + 8*4 = 0x1020 maps to the same BTB set but has a different tag.
+  const auto p = bp.predict_branch(0x1020);
+  EXPECT_FALSE(p.has_target);
+}
+
+TEST(BranchPredictor, DisabledAlwaysFallsThrough) {
+  BranchPredictor bp(BranchPredictorConfig{.bht_entries = 16, .btb_entries = 8, .enabled = false});
+  bp.train(0x1000, true, 0x2000);
+  EXPECT_FALSE(bp.predict_branch(0x1000).taken);
+  EXPECT_FALSE(bp.predict_indirect(0x1000).taken);
+}
+
+TEST(BranchPredictor, ResetClearsLearnedState) {
+  BranchPredictor bp(cfg());
+  bp.train(0x1000, true, 0x2000);
+  bp.train(0x1000, true, 0x2000);
+  bp.reset();
+  EXPECT_FALSE(bp.predict_branch(0x1000).taken);
+}
+
+TEST(BranchPredictor, StatsCount) {
+  BranchPredictor bp(cfg());
+  bp.predict_branch(0x1000);
+  bp.train(0x1000, true, 0x2000);
+  bp.note_mispredict();
+  EXPECT_EQ(bp.stats().lookups, 1u);
+  EXPECT_EQ(bp.stats().trains, 1u);
+  EXPECT_EQ(bp.stats().mispredicts, 1u);
+}
+
+}  // namespace
+}  // namespace safedm::core

@@ -1,0 +1,73 @@
+#include "safedm/hwcost/hwcost.hpp"
+
+#include <gtest/gtest.h>
+
+namespace safedm::hwcost {
+namespace {
+
+monitor::SafeDmConfig paper_point() {
+  monitor::SafeDmConfig c;
+  c.data_fifo_depth = 8;
+  c.num_ports = 4;
+  c.compare = monitor::CompareMode::kRaw;
+  return c;
+}
+
+TEST(HwCost, PaperDesignPointReproducesSectionVD) {
+  const CostEstimate est = estimate(paper_point());
+  // Paper: ~4,000 LUTs, 3.4% of the MPSoC, 0.019 W (<1%) extra power.
+  EXPECT_NEAR(static_cast<double>(est.luts_total), 4000.0, 400.0);
+  EXPECT_NEAR(est.area_fraction, 0.034, 0.005);
+  EXPECT_NEAR(est.power_watts, 0.019, 0.004);
+  EXPECT_LT(est.power_fraction, 0.01);
+}
+
+TEST(HwCost, StorageBitsArithmetic) {
+  const CostEstimate est = estimate(paper_point());
+  EXPECT_EQ(est.ds_bits, 2u * 4u * 8u * 65u);
+  EXPECT_EQ(est.is_bits, 2u * 7u * 2u * 33u);
+  EXPECT_EQ(est.storage_bits, est.ds_bits + est.is_bits);
+}
+
+TEST(HwCost, CostGrowsWithFifoDepth) {
+  monitor::SafeDmConfig small = paper_point();
+  small.data_fifo_depth = 4;
+  monitor::SafeDmConfig big = paper_point();
+  big.data_fifo_depth = 16;
+  EXPECT_LT(estimate(small).luts_total, estimate(big).luts_total);
+  EXPECT_LT(estimate(small).power_watts, estimate(big).power_watts);
+}
+
+TEST(HwCost, CostGrowsWithPortCount) {
+  monitor::SafeDmConfig few = paper_point();
+  few.num_ports = 2;
+  monitor::SafeDmConfig many = paper_point();
+  many.num_ports = 6;
+  EXPECT_LT(estimate(few).luts_total, estimate(many).luts_total);
+}
+
+TEST(HwCost, CrcCompressionShrinksComparatorNotStorage) {
+  monitor::SafeDmConfig raw = paper_point();
+  monitor::SafeDmConfig crc = paper_point();
+  crc.compare = monitor::CompareMode::kCrc32;
+  const CostEstimate raw_est = estimate(raw);
+  const CostEstimate crc_est = estimate(crc);
+  EXPECT_EQ(raw_est.storage_bits, crc_est.storage_bits);
+  EXPECT_LT(crc_est.compare_bits, raw_est.compare_bits);
+  EXPECT_LT(crc_est.luts_compare, raw_est.luts_compare);
+}
+
+TEST(HwCost, LutBreakdownSumsToTotal) {
+  const CostEstimate est = estimate(paper_point());
+  EXPECT_EQ(est.luts_total, est.luts_storage + est.luts_compare + est.luts_control);
+}
+
+TEST(HwCost, CalibrationOverride) {
+  Calibration cal;
+  cal.baseline_mpsoc_luts = 1'000'000;  // big SoC: relative cost shrinks
+  const CostEstimate est = estimate(paper_point(), cal);
+  EXPECT_LT(est.area_fraction, 0.01);
+}
+
+}  // namespace
+}  // namespace safedm::hwcost

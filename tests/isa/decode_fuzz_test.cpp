@@ -1,0 +1,74 @@
+// Decoder robustness fuzzing: any 32-bit word must decode without crashing,
+// the decode must be consistent with the matched table entry, and the
+// disassembler must render every outcome.
+#include <gtest/gtest.h>
+
+#include "safedm/common/rng.hpp"
+#include "safedm/isa/decode.hpp"
+#include "safedm/isa/disasm.hpp"
+
+namespace safedm::isa {
+namespace {
+
+TEST(DecodeFuzz, RandomWordsDecodeConsistently) {
+  Xoshiro256 rng(0xF00DF00D);
+  for (int i = 0; i < 200'000; ++i) {
+    const u32 raw = static_cast<u32>(rng.next());
+    const DecodedInst inst = decode(raw);
+    if (!inst.valid()) continue;
+    const InstInfo& ii = inst.info();
+    // The matched entry's mask/match must hold for the raw word.
+    EXPECT_EQ(raw & ii.mask, ii.match) << std::hex << raw;
+    // Register fields must agree with the bit positions.
+    EXPECT_EQ(inst.rd, (raw >> 7) & 0x1F);
+    EXPECT_EQ(inst.rs1, (raw >> 15) & 0x1F);
+    EXPECT_EQ(inst.rs2, (raw >> 20) & 0x1F);
+  }
+}
+
+TEST(DecodeFuzz, DisassemblerNeverCrashes) {
+  Xoshiro256 rng(0xDECAFBAD);
+  for (int i = 0; i < 50'000; ++i) {
+    const u32 raw = static_cast<u32>(rng.next());
+    const std::string text = disassemble(raw);
+    EXPECT_FALSE(text.empty());
+  }
+}
+
+TEST(DecodeFuzz, ImmediateSignBitsRoundTrip) {
+  // For every I/S/B/U/J entry, the decoded immediate of the all-ones
+  // immediate-field pattern must be negative (sign extension applied).
+  for (const InstInfo& ii : inst_table()) {
+    u32 raw = ii.match;
+    switch (ii.format) {
+      case Format::kI:
+        if (ii.mask == 0xFFFFFFFFu) continue;  // ecall/ebreak
+        raw |= 0xFFF00000u & ~ii.mask;
+        break;
+      case Format::kS:
+        raw |= (0xFE000000u | 0x00000F80u) & ~ii.mask;
+        break;
+      case Format::kB:
+      case Format::kJ:
+      case Format::kU:
+        raw |= 0x80000000u;
+        break;
+      default:
+        continue;
+    }
+    const DecodedInst inst = decode(raw);
+    if (inst.mnemonic != ii.mnemonic) continue;  // pattern hit another entry
+    EXPECT_LT(inst.imm, 0) << ii.name;
+  }
+}
+
+TEST(DecodeFuzz, CanonicalEncodingsOfAllEntriesAreValid) {
+  for (const InstInfo& ii : inst_table()) {
+    const DecodedInst inst = decode(ii.match);
+    EXPECT_EQ(inst.mnemonic, ii.mnemonic) << ii.name;
+    EXPECT_FALSE(disassemble(inst).empty());
+  }
+}
+
+}  // namespace
+}  // namespace safedm::isa

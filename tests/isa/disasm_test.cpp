@@ -1,0 +1,42 @@
+#include <gtest/gtest.h>
+
+#include "safedm/isa/disasm.hpp"
+#include "safedm/isa/encode.hpp"
+
+namespace safedm::isa {
+namespace {
+
+namespace e = enc;
+
+TEST(Disasm, RendersCommonForms) {
+  EXPECT_EQ(disassemble(e::addi(5, 6, -1)), "addi x5, x6, -1");
+  EXPECT_EQ(disassemble(e::add(1, 2, 3)), "add x1, x2, x3");
+  EXPECT_EQ(disassemble(e::ld(11, 10, 8)), "ld x11, 8(x10)");
+  EXPECT_EQ(disassemble(e::sd(11, 10, -16)), "sd x11, -16(x10)");
+  EXPECT_EQ(disassemble(e::beq(1, 2, 64)), "beq x1, x2, 64");
+  EXPECT_EQ(disassemble(e::jal(1, -4)), "jal x1, -4");
+  EXPECT_EQ(disassemble(e::lui(7, 0x12345)), "lui x7, 0x12345");
+  EXPECT_EQ(disassemble(e::ecall()), "ecall");
+  EXPECT_EQ(disassemble(e::fmadd_d(1, 2, 3, 4)), "fmadd.d f1, f2, f3, f4");
+  EXPECT_EQ(disassemble(e::fld(1, 10, 16)), "fld f1, 16(x10)");
+  EXPECT_EQ(disassemble(e::fsd(1, 10, 16)), "fsd f1, 16(x10)");
+  EXPECT_EQ(disassemble(e::fsqrt_d(1, 2)), "fsqrt.d f1, f2");
+}
+
+TEST(Disasm, InvalidRendersAsWord) {
+  EXPECT_EQ(disassemble(u32{0}), ".word 0x0");
+}
+
+TEST(Disasm, EveryTableEntryRendersItsMnemonic) {
+  for (const InstInfo& ii : inst_table()) {
+    DecodedInst inst;
+    inst.mnemonic = ii.mnemonic;
+    inst.raw = ii.match;
+    const std::string text = disassemble(inst);
+    EXPECT_EQ(text.rfind(std::string(ii.name), 0), 0u)
+        << "disasm of " << ii.name << " -> " << text;
+  }
+}
+
+}  // namespace
+}  // namespace safedm::isa

@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include "safedm/isa/decode.hpp"
+#include "safedm/isa/encode.hpp"
+
+namespace safedm::isa {
+namespace {
+
+namespace e = enc;
+
+TEST(Encode, MatchesKnownWords) {
+  // Cross-checked against riscv64 binutils output.
+  EXPECT_EQ(e::addi(0, 0, 0), 0x00000013u);            // nop
+  EXPECT_EQ(e::addi(10, 10, 1), 0x00150513u);          // addi a0, a0, 1
+  EXPECT_EQ(e::add(5, 6, 7), 0x007302B3u);             // add t0, t1, t2
+  EXPECT_EQ(e::sub(5, 6, 7), 0x407302B3u);             // sub t0, t1, t2
+  EXPECT_EQ(e::lui(10, 0x12345), 0x12345537u);         // lui a0, 0x12345
+  EXPECT_EQ(e::jal(1, 2048), 0x001000EFu);             // jal ra, .+2048 (imm[11] -> bit 20)
+  EXPECT_EQ(e::jal(1, 16), 0x010000EFu);               // jal ra, .+16
+  EXPECT_EQ(e::ld(11, 10, 8), 0x00853583u);            // ld a1, 8(a0)
+  EXPECT_EQ(e::sd(11, 10, 8), 0x00B53423u);            // sd a1, 8(a0)
+  EXPECT_EQ(e::beq(10, 11, -4), 0xFEB50EE3u);          // beq a0, a1, .-4
+  EXPECT_EQ(e::ecall(), 0x00000073u);
+  EXPECT_EQ(e::mul(5, 6, 7), 0x027302B3u);
+  EXPECT_EQ(e::fadd_d(1, 2, 3), 0x023100D3u);          // fadd.d f1, f2, f3
+}
+
+TEST(Decode, RoundTripsEveryTableEntryWithRandomOperands) {
+  // For every instruction in the table, build a representative encoding via
+  // the table's match plus operand fields and verify decode returns the
+  // same mnemonic and fields.
+  for (const InstInfo& ii : inst_table()) {
+    const u8 rd = 5, rs1 = 6, rs2 = 7, rs3 = 8;
+    u32 raw = ii.match;
+    if (ii.mask != 0xFFFFFFFFu) {
+      raw |= (u32{rd} << 7) & ~ii.mask & 0x00000F80u;
+      raw |= (u32{rs1} << 15) & ~ii.mask & 0x000F8000u;
+      raw |= (u32{rs2} << 20) & ~ii.mask & 0x01F00000u;
+      raw |= (u32{rs3} << 27) & ~ii.mask & 0xF8000000u;
+    }
+    const DecodedInst inst = decode(raw);
+    EXPECT_EQ(inst.mnemonic, ii.mnemonic) << ii.name << " raw=0x" << std::hex << raw
+                                          << " decoded as " << inst.info().name;
+  }
+}
+
+TEST(Decode, ImmediateFormats) {
+  EXPECT_EQ(decode(enc::addi(1, 2, -5)).imm, -5);
+  EXPECT_EQ(decode(enc::addi(1, 2, 2047)).imm, 2047);
+  EXPECT_EQ(decode(enc::sd(3, 4, -16)).imm, -16);
+  EXPECT_EQ(decode(enc::beq(1, 2, -4096)).imm, -4096);
+  EXPECT_EQ(decode(enc::beq(1, 2, 4094)).imm, 4094);
+  EXPECT_EQ(decode(enc::jal(0, -1048576)).imm, -1048576);
+  EXPECT_EQ(decode(enc::jal(0, 1048574)).imm, 1048574);
+  EXPECT_EQ(decode(enc::lui(1, 0x80000)).imm, i64{-2147483648});  // sign-extended upper
+  EXPECT_EQ(decode(enc::lui(1, 1)).imm, 4096);
+  EXPECT_EQ(decode(enc::slli(1, 2, 63)).imm, 63);
+  EXPECT_EQ(decode(enc::sraiw(1, 2, 31)).imm, 31);
+}
+
+TEST(Decode, RegistersExtracted) {
+  const DecodedInst inst = decode(enc::add(1, 2, 3));
+  EXPECT_EQ(inst.rd, 1);
+  EXPECT_EQ(inst.rs1, 2);
+  EXPECT_EQ(inst.rs2, 3);
+  const DecodedInst fma = decode(enc::fmadd_d(4, 5, 6, 7));
+  EXPECT_EQ(fma.rd, 4);
+  EXPECT_EQ(fma.rs1, 5);
+  EXPECT_EQ(fma.rs2, 6);
+  EXPECT_EQ(fma.rs3, 7);
+}
+
+TEST(Decode, UnknownEncodingIsInvalid) {
+  EXPECT_FALSE(decode(0x00000000u).valid());
+  EXPECT_FALSE(decode(0xFFFFFFFFu).valid());
+  EXPECT_TRUE(decode(kNopEncoding).valid());
+}
+
+TEST(Encode, RangeChecksThrow) {
+  EXPECT_THROW(e::addi(1, 2, 4096), CheckError);
+  EXPECT_THROW(e::addi(1, 2, -2049), CheckError);
+  EXPECT_THROW(e::beq(1, 2, 3), CheckError);      // odd offset
+  EXPECT_THROW(e::beq(1, 2, 4096), CheckError);   // too far
+  EXPECT_THROW(e::slli(1, 2, 64), CheckError);
+  EXPECT_THROW(e::add(32, 0, 0), CheckError);     // bad register
+}
+
+TEST(InstInfo, OperandFlagsConsistentWithClasses) {
+  for (const InstInfo& ii : inst_table()) {
+    if (ii.is_store()) {
+      EXPECT_TRUE(ii.reads_rs1() && ii.reads_rs2()) << ii.name;
+      EXPECT_FALSE(ii.writes_rd()) << ii.name;
+    }
+    if (ii.is_load()) {
+      EXPECT_TRUE(ii.reads_rs1() && ii.writes_rd()) << ii.name;
+      EXPECT_FALSE(ii.rs1_fp()) << ii.name;  // base address is integer
+    }
+    if (ii.is_branch()) {
+      EXPECT_FALSE(ii.writes_rd()) << ii.name;
+    }
+  }
+}
+
+TEST(InstInfo, MatchMaskConsistent) {
+  for (const InstInfo& ii : inst_table()) {
+    EXPECT_EQ(ii.match & ~ii.mask, 0u) << ii.name << ": match has bits outside mask";
+  }
+}
+
+TEST(InstInfo, NoAmbiguousDecodes) {
+  // No two table entries may both match the same canonical encoding.
+  for (const InstInfo& a : inst_table()) {
+    for (const InstInfo& b : inst_table()) {
+      if (a.mnemonic == b.mnemonic) continue;
+      if ((a.match & b.mask) == b.match && (b.match & a.mask) == a.match)
+        FAIL() << a.name << " and " << b.name << " are mutually ambiguous";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace safedm::isa

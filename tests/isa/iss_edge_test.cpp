@@ -1,0 +1,252 @@
+// ISS semantic edge cases: the interpreter is the single source of truth
+// for instruction semantics (the pipeline executes through it), so the
+// corners of the ISA spec get dedicated coverage.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <limits>
+
+#include "safedm/isa/encode.hpp"
+#include "safedm/isa/iss.hpp"
+#include "safedm/mem/phys_mem.hpp"
+
+namespace safedm::isa {
+namespace {
+
+namespace e = enc;
+
+constexpr u64 kTextBase = 0x10000;
+constexpr u64 kDataBase = 0x20000;
+
+class IssEdgeTest : public ::testing::Test {
+ protected:
+  IssEdgeTest() : mem_(0, 1 << 20) {}
+
+  isa::ArchState run(const std::vector<u32>& words, u64 budget = 1000) {
+    for (std::size_t i = 0; i < words.size(); ++i)
+      mem_.store(kTextBase + i * 4, words[i], 4);
+    Iss iss(mem_, kTextBase);
+    iss.run(budget);
+    return iss.state();
+  }
+
+  mem::PhysMem mem_;
+};
+
+TEST_F(IssEdgeTest, SltiuTreatsImmediateAsUnsignedAfterSext) {
+  // sltiu rd, rs, -1 compares against 0xFFFF...FFFF: true for everything
+  // except all-ones.
+  const auto s = run({e::addi(5, 0, 7), e::sltiu(6, 5, -1), e::addi(7, 0, -1),
+                      e::sltiu(28, 7, -1), e::ecall()});
+  EXPECT_EQ(s.x[6], 1u);
+  EXPECT_EQ(s.x[28], 0u);
+}
+
+TEST_F(IssEdgeTest, JalrClearsLsbOfTarget) {
+  // jalr to an odd address must land on target & ~1.
+  const auto s = run({
+      e::lui(5, kTextBase >> 12),
+      e::addi(5, 5, 0x11),  // odd target: text + 16 | 1
+      e::jalr(1, 5, 0),     // lands at index 4
+      e::addi(6, 0, 99),    // skipped
+      e::addi(7, 0, 1),
+      e::ecall(),
+  });
+  EXPECT_EQ(s.x[6], 0u);
+  EXPECT_EQ(s.x[7], 1u);
+}
+
+TEST_F(IssEdgeTest, AuipcAddsShiftedImmediateToPc) {
+  const auto s = run({e::auipc(5, 1), e::ecall()});
+  EXPECT_EQ(s.x[5], kTextBase + 0x1000);
+}
+
+TEST_F(IssEdgeTest, ShiftAmountsAreMasked) {
+  // Register shift amounts use the low 6 bits (64-bit) / 5 bits (32-bit).
+  const auto s = run({
+      e::addi(5, 0, 1),
+      e::addi(6, 0, 65),   // 65 & 63 == 1
+      e::sll(7, 5, 6),     // 1 << 1
+      e::addi(6, 0, 33),   // 33 & 31 == 1
+      e::sllw(28, 5, 6),   // 1 << 1 (32-bit)
+      e::ecall(),
+  });
+  EXPECT_EQ(s.x[7], 2u);
+  EXPECT_EQ(s.x[28], 2u);
+}
+
+TEST_F(IssEdgeTest, SrawOnNegativeValue) {
+  const auto s = run({
+      e::lui(5, 0x80000),  // t0 = 0xFFFFFFFF80000000
+      e::addi(6, 0, 4),
+      e::sraw(7, 5, 6),    // arithmetic 32-bit: 0xF8000000 sext
+      e::srlw(28, 5, 6),   // logical 32-bit:    0x08000000
+      e::ecall(),
+  });
+  EXPECT_EQ(s.x[7], 0xFFFFFFFFF8000000ull);
+  EXPECT_EQ(s.x[28], 0x08000000u);
+}
+
+TEST_F(IssEdgeTest, MulWrapsModulo64) {
+  const auto s = run({
+      e::addi(5, 0, -1),
+      e::addi(6, 0, 2),
+      e::mul(7, 5, 6),  // -2
+      e::ecall(),
+  });
+  EXPECT_EQ(static_cast<i64>(s.x[7]), -2);
+}
+
+TEST_F(IssEdgeTest, BranchEqualOperandEdges) {
+  const auto s = run({
+      e::addi(5, 0, 3),
+      e::addi(6, 0, 3),
+      e::blt(5, 6, 8),    // not taken (equal)
+      e::addi(7, 0, 1),   // executed
+      e::bge(5, 6, 8),    // taken (equal)
+      e::addi(28, 0, 1),  // skipped
+      e::ecall(),
+  });
+  EXPECT_EQ(s.x[7], 1u);
+  EXPECT_EQ(s.x[28], 0u);
+}
+
+TEST_F(IssEdgeTest, ByteAndHalfSignEdges) {
+  mem_.store(kDataBase, 0x80, 1);
+  mem_.store(kDataBase + 2, 0x8000, 2);
+  const auto s = run({
+      e::lui(10, kDataBase >> 12),
+      e::lb(5, 10, 0),   // -128
+      e::lbu(6, 10, 0),  // 128
+      e::lh(7, 10, 2),   // -32768
+      e::lhu(28, 10, 2), // 32768
+      e::ecall(),
+  });
+  EXPECT_EQ(static_cast<i64>(s.x[5]), -128);
+  EXPECT_EQ(s.x[6], 128u);
+  EXPECT_EQ(static_cast<i64>(s.x[7]), -32768);
+  EXPECT_EQ(s.x[28], 32768u);
+}
+
+TEST_F(IssEdgeTest, StoreTruncatesToAccessWidth) {
+  const auto s = run({
+      e::lui(10, kDataBase >> 12),
+      e::addi(5, 0, -1),        // all ones
+      e::sd(5, 10, 0),
+      e::addi(6, 0, 0x12),
+      e::sb(6, 10, 0),          // only low byte replaced
+      e::ld(7, 10, 0),
+      e::ecall(),
+  });
+  EXPECT_EQ(s.x[7], 0xFFFFFFFFFFFFFF12ull);
+}
+
+TEST_F(IssEdgeTest, FcvtSaturatesAndHandlesNan) {
+  const double huge = 1e300;
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  mem_.store(kDataBase, std::bit_cast<u64>(huge), 8);
+  mem_.store(kDataBase + 8, std::bit_cast<u64>(-huge), 8);
+  mem_.store(kDataBase + 16, std::bit_cast<u64>(nan), 8);
+  const auto s = run({
+      e::lui(10, kDataBase >> 12),
+      e::fld(1, 10, 0),
+      e::fld(2, 10, 8),
+      e::fld(3, 10, 16),
+      e::fcvt_w_d(5, 1),   // INT32_MAX
+      e::fcvt_w_d(6, 2),   // INT32_MIN
+      e::fcvt_w_d(7, 3),   // NaN -> INT32_MAX
+      e::fcvt_l_d(28, 1),  // INT64_MAX
+      e::fcvt_l_d(29, 2),  // INT64_MIN
+      e::ecall(),
+  });
+  EXPECT_EQ(static_cast<i64>(s.x[5]), std::numeric_limits<i32>::max());
+  EXPECT_EQ(static_cast<i64>(s.x[6]), std::numeric_limits<i32>::min());
+  EXPECT_EQ(static_cast<i64>(s.x[7]), std::numeric_limits<i32>::max());
+  EXPECT_EQ(static_cast<i64>(s.x[28]), std::numeric_limits<i64>::max());
+  EXPECT_EQ(static_cast<i64>(s.x[29]), std::numeric_limits<i64>::min());
+}
+
+TEST_F(IssEdgeTest, FsgnjManipulatesRawSignBits) {
+  const double neg = -2.5;
+  mem_.store(kDataBase, std::bit_cast<u64>(neg), 8);
+  const auto s = run({
+      e::lui(10, kDataBase >> 12),
+      e::fld(1, 10, 0),
+      e::fsgnjx_d(2, 1, 1),  // fabs via xor of equal signs
+      e::fsgnjn_d(3, 2, 2),  // negate
+      e::fsd(2, 10, 8),
+      e::fsd(3, 10, 16),
+      e::ecall(),
+  });
+  EXPECT_EQ(std::bit_cast<double>(mem_.load(kDataBase + 8, 8)), 2.5);
+  EXPECT_EQ(std::bit_cast<double>(mem_.load(kDataBase + 16, 8)), -2.5);
+}
+
+TEST_F(IssEdgeTest, FminFmaxBasic) {
+  mem_.store(kDataBase, std::bit_cast<u64>(1.0), 8);
+  mem_.store(kDataBase + 8, std::bit_cast<u64>(-3.0), 8);
+  const auto s = run({
+      e::lui(10, kDataBase >> 12),
+      e::fld(1, 10, 0),
+      e::fld(2, 10, 8),
+      e::fmin_d(3, 1, 2),
+      e::fmax_d(4, 1, 2),
+      e::fsd(3, 10, 16),
+      e::fsd(4, 10, 24),
+      e::ecall(),
+  });
+  (void)s;
+  EXPECT_EQ(std::bit_cast<double>(mem_.load(kDataBase + 16, 8)), -3.0);
+  EXPECT_EQ(std::bit_cast<double>(mem_.load(kDataBase + 24, 8)), 1.0);
+}
+
+TEST_F(IssEdgeTest, FmvMovesRawBits) {
+  // Bit round-trip through the FP file must preserve NaN payloads exactly.
+  const u64 pattern = 0x7FF8DEADBEEF0001ull;
+  mem_.store(kDataBase, pattern, 8);
+  const auto s = run({
+      e::lui(10, kDataBase >> 12),
+      e::ld(5, 10, 0),
+      e::fmv_d_x(1, 5),
+      e::fmv_x_d(6, 1),
+      e::ecall(),
+  });
+  EXPECT_EQ(s.x[6], pattern);
+}
+
+TEST_F(IssEdgeTest, FenceIsANoOpForSingleHart) {
+  const auto s = run({e::addi(5, 0, 1), e::fence(), e::addi(5, 5, 1), e::ecall()});
+  EXPECT_EQ(s.x[5], 2u);
+  EXPECT_EQ(s.instret, 4u);
+}
+
+TEST_F(IssEdgeTest, FmaddIsFused) {
+  // fma(a, b, c) with values where fused and unfused differ: a*a has a
+  // 2^-60 tail that the separate multiply rounds away but the fused form
+  // keeps (2^-29 * (1 + 2^-31) is exactly representable).
+  const double a = 1.0 + 0x1.0p-30;
+  mem_.store(kDataBase, std::bit_cast<u64>(a), 8);
+  mem_.store(kDataBase + 8, std::bit_cast<u64>(a), 8);
+  mem_.store(kDataBase + 16, std::bit_cast<u64>(-1.0), 8);
+  const auto s = run({
+      e::lui(10, kDataBase >> 12),
+      e::fld(1, 10, 0),
+      e::fld(2, 10, 8),
+      e::fld(3, 10, 16),
+      e::fmadd_d(4, 1, 2, 3),  // a*a - 1, fused
+      e::fmul_d(5, 1, 2),
+      e::fadd_d(5, 5, 3),      // a*a - 1, unfused
+      e::fsd(4, 10, 24),
+      e::fsd(5, 10, 32),
+      e::ecall(),
+  });
+  (void)s;
+  const double fused = std::bit_cast<double>(mem_.load(kDataBase + 24, 8));
+  const double unfused = std::bit_cast<double>(mem_.load(kDataBase + 32, 8));
+  EXPECT_EQ(fused, std::fma(a, a, -1.0));
+  EXPECT_NE(fused, unfused);  // the fused form keeps the low bits
+}
+
+}  // namespace
+}  // namespace safedm::isa

@@ -1,0 +1,232 @@
+#include "safedm/isa/iss.hpp"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <vector>
+
+#include "safedm/isa/encode.hpp"
+#include "safedm/mem/phys_mem.hpp"
+
+namespace safedm::isa {
+namespace {
+
+namespace e = enc;
+
+constexpr u64 kTextBase = 0x10000;
+constexpr u64 kDataBase = 0x20000;
+
+class IssTest : public ::testing::Test {
+ protected:
+  IssTest() : mem_(0, 1 << 20) {}
+
+  Iss make(const std::vector<u32>& words) {
+    for (std::size_t i = 0; i < words.size(); ++i)
+      mem_.store(kTextBase + i * 4, words[i], 4);
+    return Iss(mem_, kTextBase);
+  }
+
+  mem::PhysMem mem_;
+};
+
+TEST_F(IssTest, ArithmeticSequence) {
+  Iss iss = make({
+      e::addi(5, 0, 100),    // t0 = 100
+      e::addi(6, 0, -30),    // t1 = -30
+      e::add(7, 5, 6),       // t2 = 70
+      e::sub(28, 5, 6),      // t3 = 130
+      e::mul(29, 5, 6),      // t4 = -3000
+      e::ecall(),
+  });
+  iss.run(100);
+  EXPECT_EQ(iss.state().halt, HaltReason::kEcall);
+  EXPECT_EQ(iss.state().x[7], 70u);
+  EXPECT_EQ(iss.state().x[28], 130u);
+  EXPECT_EQ(static_cast<i64>(iss.state().x[29]), -3000);
+  EXPECT_EQ(iss.state().instret, 6u);
+}
+
+TEST_F(IssTest, X0IsHardwiredZero) {
+  Iss iss = make({e::addi(0, 0, 123), e::ecall()});
+  iss.run(10);
+  EXPECT_EQ(iss.state().x[0], 0u);
+  EXPECT_EQ(iss.state().xr(0), 0u);
+}
+
+TEST_F(IssTest, LoadStoreAllWidths) {
+  Iss iss = make({
+      e::addi(10, 0, 0), e::lui(10, kDataBase >> 12),  // a0 = data base
+      e::addi(5, 0, -2),                               // t0 = 0xFFFF...FE
+      e::sd(5, 10, 0),
+      e::lb(6, 10, 0),   // -2 sign-extended
+      e::lbu(7, 10, 0),  // 0xFE
+      e::lh(28, 10, 0),  // -2
+      e::lhu(29, 10, 0), // 0xFFFE
+      e::lw(30, 10, 0),  // -2
+      e::lwu(31, 10, 0), // 0xFFFFFFFE
+      e::ld(9, 10, 0),
+      e::ecall(),
+  });
+  iss.run(100);
+  EXPECT_EQ(static_cast<i64>(iss.state().x[6]), -2);
+  EXPECT_EQ(iss.state().x[7], 0xFEu);
+  EXPECT_EQ(static_cast<i64>(iss.state().x[28]), -2);
+  EXPECT_EQ(iss.state().x[29], 0xFFFEu);
+  EXPECT_EQ(static_cast<i64>(iss.state().x[30]), -2);
+  EXPECT_EQ(iss.state().x[31], 0xFFFFFFFEu);
+  EXPECT_EQ(iss.state().x[9], ~u64{1});
+}
+
+TEST_F(IssTest, BranchesAndLoop) {
+  // Sum 1..10 with a loop.
+  Iss iss = make({
+      e::addi(5, 0, 10),   // t0 = 10 (counter)
+      e::addi(6, 0, 0),    // t1 = 0  (sum)
+      e::add(6, 6, 5),     // loop: sum += counter
+      e::addi(5, 5, -1),
+      e::bne(5, 0, -8),    // back to loop
+      e::ecall(),
+  });
+  iss.run(1000);
+  EXPECT_EQ(iss.state().x[6], 55u);
+}
+
+TEST_F(IssTest, JalAndJalrLinkCorrectly) {
+  Iss iss = make({
+      e::jal(1, 8),        // skip next instruction; ra = pc+4
+      e::addi(5, 0, 99),   // skipped
+      e::addi(6, 0, 1),
+      e::jalr(7, 1, 8),    // jump to ra+8 = instruction 3 (addi t1) + 8 = idx4
+      e::ecall(),
+  });
+  iss.run(10);
+  EXPECT_EQ(iss.state().x[5], 0u);
+  EXPECT_EQ(iss.state().x[6], 1u);
+  EXPECT_EQ(iss.state().x[1], kTextBase + 4);
+  EXPECT_EQ(iss.state().x[7], kTextBase + 16);
+}
+
+TEST_F(IssTest, DivisionByZeroAndOverflow) {
+  Iss iss = make({
+      e::addi(5, 0, 7),
+      e::addi(6, 0, 0),
+      e::div(7, 5, 6),
+      e::rem(28, 5, 6),
+      e::divu(29, 5, 6),
+      e::addi(6, 0, -1),
+      e::lui(5, 0x80000),       // t0 = INT32_MIN sign-extended
+      e::divw(30, 5, 6),        // INT32_MIN / -1 -> INT32_MIN
+      e::remw(31, 5, 6),        // -> 0
+      e::ecall(),
+  });
+  iss.run(100);
+  EXPECT_EQ(static_cast<i64>(iss.state().x[7]), -1);
+  EXPECT_EQ(iss.state().x[28], 7u);
+  EXPECT_EQ(iss.state().x[29], ~u64{0});
+  EXPECT_EQ(static_cast<i64>(iss.state().x[30]), i64{-2147483648});
+  EXPECT_EQ(iss.state().x[31], 0u);
+}
+
+TEST_F(IssTest, Word32OpsSignExtend) {
+  Iss iss = make({
+      e::lui(5, 0x7FFFF),      // t0 = 0x7FFFF000
+      e::addiw(5, 5, 0x7FF),   // near INT32_MAX
+      e::addiw(6, 5, 1),       // overflow wraps to negative
+      e::ecall(),
+  });
+  iss.run(10);
+  EXPECT_EQ(iss.state().x[5], 0x7FFFF7FFu);
+  EXPECT_EQ(static_cast<i64>(iss.state().x[6]), i64{0x7FFFF800});
+}
+
+TEST_F(IssTest, ShiftsNarrowAndWide) {
+  Iss iss = make({
+      e::addi(5, 0, 1),
+      e::slli(5, 5, 40),       // 1 << 40
+      e::srli(6, 5, 8),        // logical
+      e::addi(7, 0, -8),
+      e::srai(7, 7, 1),        // arithmetic: -4
+      e::addi(28, 0, -8),
+      e::sraiw(28, 28, 1),     // -4 (32-bit)
+      e::ecall(),
+  });
+  iss.run(10);
+  EXPECT_EQ(iss.state().x[5], u64{1} << 40);
+  EXPECT_EQ(iss.state().x[6], u64{1} << 32);
+  EXPECT_EQ(static_cast<i64>(iss.state().x[7]), -4);
+  EXPECT_EQ(static_cast<i64>(iss.state().x[28]), -4);
+}
+
+TEST_F(IssTest, MulhVariants) {
+  Iss iss = make({
+      e::addi(5, 0, -1),        // t0 = all ones
+      e::addi(6, 0, -1),
+      e::mulh(7, 5, 6),         // (-1 * -1) >> 64 = 0
+      e::mulhu(28, 5, 6),       // (2^64-1)^2 >> 64 = 2^64 - 2
+      e::mulhsu(29, 5, 6),      // (-1 * (2^64-1)) >> 64 = -1
+      e::ecall(),
+  });
+  iss.run(10);
+  EXPECT_EQ(iss.state().x[7], 0u);
+  EXPECT_EQ(iss.state().x[28], ~u64{1});
+  EXPECT_EQ(iss.state().x[29], ~u64{0});
+}
+
+TEST_F(IssTest, FpArithmetic) {
+  Iss iss = make({
+      e::addi(5, 0, 3),
+      e::fcvt_d_l(1, 5),        // f1 = 3.0
+      e::addi(5, 0, 4),
+      e::fcvt_d_l(2, 5),        // f2 = 4.0
+      e::fmul_d(3, 1, 2),       // 12.0
+      e::fadd_d(4, 3, 2),       // 16.0
+      e::fsqrt_d(5, 4),         // 4.0
+      e::fmadd_d(6, 1, 2, 4),   // 3*4+16 = 28
+      e::fdiv_d(7, 6, 2),       // 7.0
+      e::fcvt_l_d(6, 7),        // x6 = 7
+      e::feq_d(7, 5, 2),        // 4.0 == 4.0 -> 1
+      e::ecall(),
+  });
+  iss.run(20);
+  EXPECT_EQ(std::bit_cast<double>(iss.state().f[4]), 16.0);
+  EXPECT_EQ(std::bit_cast<double>(iss.state().f[5]), 4.0);
+  EXPECT_EQ(iss.state().x[6], 7u);
+  EXPECT_EQ(iss.state().x[7], 1u);
+}
+
+TEST_F(IssTest, FpLoadStoreAndSignInjection) {
+  const double value = -123.456;
+  mem_.store(kDataBase, std::bit_cast<u64>(value), 8);
+  Iss iss = make({
+      e::lui(10, kDataBase >> 12),
+      e::fld(1, 10, 0),
+      e::fsgnjx_d(2, 1, 1),  // fabs
+      e::fsd(2, 10, 8),
+      e::ecall(),
+  });
+  iss.run(10);
+  EXPECT_EQ(std::bit_cast<double>(mem_.load(kDataBase + 8, 8)), 123.456);
+}
+
+TEST_F(IssTest, IllegalInstructionHalts) {
+  Iss iss = make({0xFFFFFFFFu});
+  iss.run(10);
+  EXPECT_EQ(iss.state().halt, HaltReason::kIllegalInst);
+}
+
+TEST_F(IssTest, EbreakHalts) {
+  Iss iss = make({e::ebreak()});
+  iss.run(10);
+  EXPECT_EQ(iss.state().halt, HaltReason::kEbreak);
+}
+
+TEST_F(IssTest, RunHonoursInstructionBudget) {
+  // Infinite loop: jal x0, 0 (jump to self).
+  Iss iss = make({e::jal(0, 0)});
+  EXPECT_EQ(iss.run(50), 50u);
+  EXPECT_FALSE(iss.state().halted());
+}
+
+}  // namespace
+}  // namespace safedm::isa

@@ -1,0 +1,97 @@
+#include "safedm/mem/cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include "safedm/common/check.hpp"
+
+namespace safedm::mem {
+namespace {
+
+CacheConfig small_cache() {
+  // 4 sets x 2 ways x 32B lines = 256 B.
+  return CacheConfig{.size_bytes = 256, .ways = 2, .line_bytes = 32};
+}
+
+TEST(CacheTags, MissThenHitAfterFill) {
+  CacheTags cache(small_cache());
+  EXPECT_FALSE(cache.access(0x1000));
+  cache.fill(0x1000);
+  EXPECT_TRUE(cache.access(0x1000));
+  EXPECT_TRUE(cache.access(0x101F));  // same line
+  EXPECT_FALSE(cache.access(0x1020)); // next line
+  EXPECT_EQ(cache.stats().hits, 2u);
+  EXPECT_EQ(cache.stats().misses, 2u);
+}
+
+TEST(CacheTags, LruEviction) {
+  CacheTags cache(small_cache());
+  // Three lines mapping to the same set (stride = sets * line = 128).
+  cache.fill(0x0000);
+  cache.fill(0x0080);
+  EXPECT_TRUE(cache.access(0x0000));  // make 0x0000 MRU
+  const auto fill = cache.fill(0x0100, false);
+  EXPECT_TRUE(fill.evicted);
+  EXPECT_EQ(fill.victim_line_addr, 0x0080u);  // LRU way evicted
+  EXPECT_TRUE(cache.access(0x0000));
+  EXPECT_FALSE(cache.access(0x0080));
+}
+
+TEST(CacheTags, DirtyVictimReported) {
+  CacheTags cache(small_cache());
+  cache.fill(0x0000, /*dirty=*/true);
+  cache.fill(0x0080);
+  const auto fill = cache.fill(0x0100);
+  EXPECT_TRUE(fill.evicted);
+  EXPECT_EQ(fill.victim_line_addr, 0x0000u);
+  EXPECT_TRUE(fill.victim_dirty);
+  EXPECT_EQ(cache.stats().writeback_evictions, 1u);
+}
+
+TEST(CacheTags, MarkDirty) {
+  CacheTags cache(small_cache());
+  EXPECT_FALSE(cache.mark_dirty(0x40));
+  cache.fill(0x40);
+  EXPECT_TRUE(cache.mark_dirty(0x40));
+}
+
+TEST(CacheTags, FillOfPresentLineThrows) {
+  CacheTags cache(small_cache());
+  cache.fill(0x40);
+  EXPECT_THROW(cache.fill(0x40), CheckError);
+  EXPECT_THROW(cache.fill(0x44), CheckError);  // same line
+}
+
+TEST(CacheTags, InvalidateAll) {
+  CacheTags cache(small_cache());
+  cache.fill(0x0);
+  cache.invalidate_all();
+  EXPECT_FALSE(cache.present(0x0));
+}
+
+TEST(CacheTags, PresentDoesNotTouchStats) {
+  CacheTags cache(small_cache());
+  cache.fill(0x0);
+  (void)cache.present(0x0);
+  (void)cache.present(0x1000);
+  EXPECT_EQ(cache.stats().accesses(), 0u);
+}
+
+TEST(CacheTags, GeometryValidation) {
+  EXPECT_THROW(CacheTags(CacheConfig{.size_bytes = 100, .ways = 2, .line_bytes = 32}, "bad"),
+               CheckError);
+  EXPECT_THROW(CacheTags(CacheConfig{.size_bytes = 256, .ways = 3, .line_bytes = 32}, "bad"),
+               CheckError);
+}
+
+TEST(CacheTags, VictimAddressReconstruction) {
+  // Distinct sets must reconstruct distinct victim addresses.
+  CacheTags cache(small_cache());
+  cache.fill(0x0020);  // set 1
+  cache.fill(0x00A0);  // set 1, way 2
+  const auto fill = cache.fill(0x0120);
+  EXPECT_TRUE(fill.evicted);
+  EXPECT_EQ(fill.victim_line_addr, 0x0020u);
+}
+
+}  // namespace
+}  // namespace safedm::mem

@@ -1,0 +1,56 @@
+#include "safedm/mem/phys_mem.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "safedm/common/check.hpp"
+
+namespace safedm::mem {
+namespace {
+
+TEST(PhysMem, LoadStoreAllSizesLittleEndian) {
+  PhysMem mem(0x1000, 0x1000);
+  mem.store(0x1000, 0x1122334455667788ull, 8);
+  EXPECT_EQ(mem.load(0x1000, 8), 0x1122334455667788ull);
+  EXPECT_EQ(mem.load(0x1000, 4), 0x55667788u);
+  EXPECT_EQ(mem.load(0x1004, 4), 0x11223344u);
+  EXPECT_EQ(mem.load(0x1000, 2), 0x7788u);
+  EXPECT_EQ(mem.load(0x1000, 1), 0x88u);
+  mem.store(0x1007, 0xAB, 1);
+  EXPECT_EQ(mem.load(0x1000, 8) >> 56, 0xABu);
+}
+
+TEST(PhysMem, OutOfRangeThrows) {
+  PhysMem mem(0x1000, 0x100);
+  EXPECT_THROW(mem.load(0xFFF, 1), CheckError);
+  EXPECT_THROW(mem.load(0x10FD, 8), CheckError);  // straddles the end
+  EXPECT_THROW(mem.store(0x1100, 0, 1), CheckError);
+  EXPECT_NO_THROW(mem.load(0x10F8, 8));
+}
+
+TEST(PhysMem, RejectsWeirdSizes) {
+  PhysMem mem(0, 0x100);
+  EXPECT_THROW(mem.load(0, 3), CheckError);
+  EXPECT_THROW(mem.store(0, 0, 16), CheckError);
+}
+
+TEST(PhysMem, BlockAccess) {
+  PhysMem mem(0, 0x100);
+  const std::array<u8, 4> in = {1, 2, 3, 4};
+  mem.write_block(0x10, in);
+  std::array<u8, 4> out{};
+  mem.read_block(0x10, out);
+  EXPECT_EQ(out, in);
+  mem.fill(0x10, 2, 0xFF);
+  EXPECT_EQ(mem.load(0x10, 2), 0xFFFFu);
+  EXPECT_EQ(mem.load(0x12, 2), 0x0403u);
+}
+
+TEST(PhysMem, ZeroInitialized) {
+  PhysMem mem(0, 0x40);
+  for (u64 a = 0; a < 0x40; a += 8) EXPECT_EQ(mem.load(a, 8), 0u);
+}
+
+}  // namespace
+}  // namespace safedm::mem

@@ -1,0 +1,62 @@
+#include "safedm/mem/store_buffer.hpp"
+
+#include <gtest/gtest.h>
+
+namespace safedm::mem {
+namespace {
+
+StoreBufferConfig cfg(unsigned entries = 4, bool coalesce = true) {
+  return StoreBufferConfig{.entries = entries, .line_bytes = 32, .coalesce = coalesce};
+}
+
+TEST(StoreBuffer, FifoOrder) {
+  StoreBuffer sb(cfg());
+  EXPECT_TRUE(sb.push(0x100));
+  EXPECT_TRUE(sb.push(0x200));
+  EXPECT_EQ(sb.head_line(), 0x100u);
+  sb.pop_head();
+  EXPECT_EQ(sb.head_line(), 0x200u);
+  sb.pop_head();
+  EXPECT_TRUE(sb.empty());
+  EXPECT_EQ(sb.stats().drained, 2u);
+}
+
+TEST(StoreBuffer, CoalescesSameLine) {
+  StoreBuffer sb(cfg());
+  EXPECT_TRUE(sb.push(0x100));
+  EXPECT_TRUE(sb.push(0x108));  // same 32B line
+  EXPECT_TRUE(sb.push(0x11F));
+  EXPECT_EQ(sb.size(), 1u);
+  EXPECT_EQ(sb.stats().coalesced, 2u);
+  EXPECT_EQ(sb.stats().pushed, 3u);
+}
+
+TEST(StoreBuffer, CoalescingDisabled) {
+  StoreBuffer sb(cfg(4, /*coalesce=*/false));
+  EXPECT_TRUE(sb.push(0x100));
+  EXPECT_TRUE(sb.push(0x108));
+  EXPECT_EQ(sb.size(), 2u);
+  EXPECT_EQ(sb.stats().coalesced, 0u);
+}
+
+TEST(StoreBuffer, FullRejectsAndCountsStall) {
+  StoreBuffer sb(cfg(2));
+  EXPECT_TRUE(sb.push(0x000));
+  EXPECT_TRUE(sb.push(0x020));
+  EXPECT_TRUE(sb.full());
+  EXPECT_FALSE(sb.push(0x040));
+  EXPECT_EQ(sb.stats().full_stalls, 1u);
+  // But a coalescing store still succeeds when full.
+  EXPECT_TRUE(sb.push(0x010));
+  EXPECT_EQ(sb.stats().coalesced, 1u);
+}
+
+TEST(StoreBuffer, HoldsLine) {
+  StoreBuffer sb(cfg());
+  sb.push(0x100);
+  EXPECT_TRUE(sb.holds_line(0x11C));
+  EXPECT_FALSE(sb.holds_line(0x120));
+}
+
+}  // namespace
+}  // namespace safedm::mem

@@ -1,0 +1,102 @@
+#include "safedm/rtos/executive.hpp"
+
+#include <gtest/gtest.h>
+
+#include "safedm/workloads/workloads.hpp"
+
+namespace safedm::rtos {
+namespace {
+
+TaskConfig braking_task() {
+  TaskConfig task;
+  task.name = "braking";
+  task.jobs = 6;
+  task.ftti_jobs = 2;
+  task.diversity_loss_threshold = 32;
+  return task;
+}
+
+TEST(Executive, HealthyTaskNeverDrops) {
+  RedundantTaskExecutive executive(braking_task(), workloads::build("iir", 1));
+  const RunSummary summary = executive.run();
+  EXPECT_EQ(summary.drops, 0u);
+  EXPECT_FALSE(summary.safe_state_entered);
+  EXPECT_EQ(summary.jobs.size(), 6u);
+  for (const JobRecord& job : summary.jobs) {
+    EXPECT_TRUE(job.outputs_matched) << "job " << job.index;
+    EXPECT_EQ(job.stagger_used, 0u);
+  }
+}
+
+TEST(Executive, MisconfiguredJobIsDroppedAndNextIsStaggered) {
+  RedundantTaskExecutive executive(braking_task(), workloads::build("iir", 1));
+  executive.set_soc_configurator([](unsigned job) {
+    soc::SocConfig config;
+    config.shared_data = job == 2;  // one bad launch
+    return config;
+  });
+  const RunSummary summary = executive.run();
+  ASSERT_EQ(summary.jobs.size(), 6u);
+  EXPECT_TRUE(summary.jobs[2].dropped);
+  EXPECT_EQ(summary.drops, 1u);
+  EXPECT_FALSE(summary.safe_state_entered);
+  // kStaggerNextJob: job 3 launched with the corrective staggering.
+  EXPECT_EQ(summary.jobs[3].stagger_used, braking_task().stagger_nops);
+  EXPECT_FALSE(summary.jobs[3].dropped);
+  // And job 4 is back to normal.
+  EXPECT_EQ(summary.jobs[4].stagger_used, 0u);
+}
+
+TEST(Executive, FttiExhaustionEntersSafeState) {
+  TaskConfig task = braking_task();
+  task.relaunch = RelaunchPolicy::kNone;  // no corrective action
+  RedundantTaskExecutive executive(task, workloads::build("iir", 1));
+  executive.set_soc_configurator([](unsigned) {
+    soc::SocConfig config;
+    config.shared_data = true;  // persistently broken launches
+    return config;
+  });
+  const RunSummary summary = executive.run();
+  EXPECT_TRUE(summary.safe_state_entered);
+  EXPECT_EQ(summary.max_consecutive_drops, 2u);
+  EXPECT_LT(summary.jobs.size(), 6u);  // stopped early
+}
+
+TEST(Executive, StaggerForeverSurvivesPersistentFault) {
+  TaskConfig task = braking_task();
+  task.relaunch = RelaunchPolicy::kStaggerForever;
+  RedundantTaskExecutive executive(task, workloads::build("iir", 1));
+  executive.set_soc_configurator([](unsigned) {
+    soc::SocConfig config;
+    config.shared_data = true;  // every launch shares the address space
+    return config;
+  });
+  const RunSummary summary = executive.run();
+  // First job drops (no staggering, shared space => no diversity); once
+  // staggering latches, the pipeline-phase difference restores diversity
+  // and the task keeps running.
+  EXPECT_TRUE(summary.jobs[0].dropped);
+  EXPECT_FALSE(summary.safe_state_entered);
+  EXPECT_EQ(summary.max_consecutive_drops, 1u);
+  for (std::size_t i = 1; i < summary.jobs.size(); ++i) {
+    EXPECT_EQ(summary.jobs[i].stagger_used, task.stagger_nops);
+    EXPECT_FALSE(summary.jobs[i].dropped) << "job " << i;
+  }
+}
+
+TEST(Executive, PollOnlyModeAppliesThresholdItself) {
+  TaskConfig task = braking_task();
+  task.report = monitor::ReportMode::kPollOnly;
+  RedundantTaskExecutive executive(task, workloads::build("iir", 1));
+  executive.set_soc_configurator([](unsigned job) {
+    soc::SocConfig config;
+    config.shared_data = job == 1;
+    return config;
+  });
+  const RunSummary summary = executive.run();
+  EXPECT_TRUE(summary.jobs[1].dropped);
+  EXPECT_EQ(summary.drops, 1u);
+}
+
+}  // namespace
+}  // namespace safedm::rtos

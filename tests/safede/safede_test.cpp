@@ -1,0 +1,87 @@
+#include "safedm/safede/safede.hpp"
+
+#include <gtest/gtest.h>
+
+#include "safedm/isa/encode.hpp"
+
+namespace safedm::safede {
+namespace {
+
+using namespace assembler;
+namespace e = isa::enc;
+
+Program loop_program(unsigned iterations) {
+  Assembler a;
+  Label loop = a.new_label(), done = a.new_label();
+  a.li(T0, static_cast<i64>(iterations));
+  a.bind(loop);
+  a.beqz(T0, done);
+  a(e::addi(T0, T0, -1));
+  a(e::xor_(T1, T1, T0));
+  a.j(loop);
+  a.bind(done);
+  a(e::ecall());
+  return a.assemble("loop");
+}
+
+TEST(SafeDe, EnforcesMinimumStaggering) {
+  soc::MpSoc soc{soc::SocConfig{}};
+  SafeDe safede(SafeDeConfig{.head_core = 0, .min_staggering = 100}, soc);
+  soc.add_observer(&safede);
+  soc.load_redundant(loop_program(2000));
+  soc.run(4'000'000);
+  ASSERT_TRUE(soc.all_halted());
+  EXPECT_GT(safede.stats().stall_cycles, 0u);
+  EXPECT_GT(safede.stats().interventions, 0u);
+}
+
+TEST(SafeDe, IsIntrusive) {
+  // The enforced run must take longer than the unconstrained run — the
+  // intrusiveness SafeDM avoids (Table II).
+  soc::MpSoc bare{soc::SocConfig{}};
+  bare.load_redundant(loop_program(2000));
+  const u64 bare_cycles = bare.run(4'000'000);
+
+  soc::MpSoc soc{soc::SocConfig{}};
+  SafeDe safede(SafeDeConfig{.head_core = 0, .min_staggering = 200}, soc);
+  soc.add_observer(&safede);
+  soc.load_redundant(loop_program(2000));
+  const u64 enforced_cycles = soc.run(4'000'000);
+  ASSERT_TRUE(soc.all_halted());
+  EXPECT_GT(enforced_cycles, bare_cycles);
+}
+
+TEST(SafeDe, TrailReleasedAfterThresholdReached) {
+  soc::MpSoc soc{soc::SocConfig{}};
+  SafeDe safede(SafeDeConfig{.head_core = 0, .min_staggering = 50}, soc);
+  soc.add_observer(&safede);
+  soc.load_redundant(loop_program(3000));
+  soc.run(4'000'000);
+  ASSERT_TRUE(soc.all_halted());
+  // The trail core finished, so it cannot have been stalled forever.
+  EXPECT_TRUE(soc.core(1).halted());
+  EXPECT_GE(safede.staggering(), 0);
+}
+
+TEST(SafeDe, DisabledDoesNothing) {
+  soc::MpSoc soc{soc::SocConfig{}};
+  SafeDe safede(SafeDeConfig{.head_core = 0, .min_staggering = 100, .enabled = false}, soc);
+  soc.add_observer(&safede);
+  soc.load_redundant(loop_program(1000));
+  soc.run(4'000'000);
+  EXPECT_EQ(safede.stats().stall_cycles, 0u);
+}
+
+TEST(SafeDe, HeadCompletionReleasesTrail) {
+  // Even with an absurd threshold, the run must terminate: the trail core
+  // is released once the head halts.
+  soc::MpSoc soc{soc::SocConfig{}};
+  SafeDe safede(SafeDeConfig{.head_core = 0, .min_staggering = 1'000'000}, soc);
+  soc.add_observer(&safede);
+  soc.load_redundant(loop_program(500));
+  soc.run(8'000'000);
+  EXPECT_TRUE(soc.all_halted());
+}
+
+}  // namespace
+}  // namespace safedm::safede

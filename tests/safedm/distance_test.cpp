@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include "safedm/safedm/monitor.hpp"
+#include "safedm/safedm/signature.hpp"
+
+namespace safedm::monitor {
+namespace {
+
+SafeDmConfig cfg() {
+  SafeDmConfig c;
+  c.data_fifo_depth = 4;
+  c.num_ports = 4;
+  c.track_distance = true;
+  c.start_enabled = true;
+  return c;
+}
+
+core::CoreTapFrame frame_with_port(unsigned port, u64 value) {
+  core::CoreTapFrame f;
+  f.port[port] = core::PortTap{true, value};
+  f.commits = 1;
+  return f;
+}
+
+TEST(Distance, ZeroForIdenticalState) {
+  SignatureGenerator a(cfg()), b(cfg());
+  a.capture(frame_with_port(0, 42));
+  b.capture(frame_with_port(0, 42));
+  EXPECT_EQ(SignatureGenerator::data_distance(a, b), 0u);
+  EXPECT_EQ(SignatureGenerator::instruction_distance(a, b), 0u);
+}
+
+TEST(Distance, CountsExactBitFlips) {
+  SignatureGenerator a(cfg()), b(cfg());
+  a.capture(frame_with_port(1, 0b1011));
+  b.capture(frame_with_port(1, 0b0010));  // differs in 2 bits
+  EXPECT_EQ(SignatureGenerator::data_distance(a, b), 2u);
+}
+
+TEST(Distance, EnableBitCountsAsOne) {
+  SignatureGenerator a(cfg()), b(cfg());
+  core::CoreTapFrame fa, fb;
+  fa.port[0] = core::PortTap{true, 0};
+  fb.port[0] = core::PortTap{false, 0};
+  a.capture(fa);
+  b.capture(fb);
+  EXPECT_EQ(SignatureGenerator::data_distance(a, b), 1u);
+}
+
+TEST(Distance, InstructionDistanceSeesEncodingAndValidBits) {
+  SignatureGenerator a(cfg()), b(cfg());
+  core::CoreTapFrame fa, fb;
+  fa.stage[3][0] = core::StageSlotTap{true, 0x0000000F};
+  fb.stage[3][0] = core::StageSlotTap{true, 0x00000000};
+  a.capture(fa);
+  b.capture(fb);
+  EXPECT_EQ(SignatureGenerator::instruction_distance(a, b), 4u);
+
+  fb.stage[3][0] = core::StageSlotTap{false, 0x0000000F};
+  b.capture(fb);
+  EXPECT_EQ(SignatureGenerator::instruction_distance(a, b), 1u);
+}
+
+TEST(Distance, ZeroDistanceIffEqualSignatures) {
+  // Distance and equality must agree across a sweep of random-ish states.
+  SignatureGenerator a(cfg()), b(cfg());
+  u64 salt = 0x9E3779B97F4A7C15ull;
+  for (int i = 0; i < 200; ++i) {
+    salt = salt * 6364136223846793005ull + 1442695040888963407ull;
+    a.capture(frame_with_port(salt % 4, salt >> 8));
+    b.capture(frame_with_port((salt >> 4) % 4, salt >> 12));
+    const bool equal = SignatureGenerator::data_equal(a, b);
+    const u64 distance = SignatureGenerator::data_distance(a, b);
+    EXPECT_EQ(equal, distance == 0) << "iteration " << i;
+  }
+}
+
+TEST(Distance, MonitorAggregatesMinMeanMax) {
+  SafeDm dm(cfg());
+  // cycle 1: identical; cycle 2: one bit apart on port 0.
+  dm.on_cycle(1, frame_with_port(0, 8), frame_with_port(0, 8));
+  dm.on_cycle(2, frame_with_port(0, 8), frame_with_port(0, 9));
+  const auto& c = dm.counters();
+  EXPECT_EQ(c.distance_min, 0u);
+  EXPECT_GE(c.distance_max, 1u);
+  EXPECT_EQ(dm.distance_history().total_samples(), 2u);
+}
+
+TEST(Distance, DisabledTrackingCostsNothing) {
+  SafeDmConfig c = cfg();
+  c.track_distance = false;
+  SafeDm dm(c);
+  dm.on_cycle(1, frame_with_port(0, 1), frame_with_port(0, 2));
+  EXPECT_EQ(dm.counters().distance_sum, 0u);
+  EXPECT_EQ(dm.distance_history().total_samples(), 0u);
+}
+
+}  // namespace
+}  // namespace safedm::monitor

@@ -1,0 +1,182 @@
+#include "safedm/safedm/signature.hpp"
+
+#include <gtest/gtest.h>
+
+#include "safedm/common/check.hpp"
+
+namespace safedm::monitor {
+namespace {
+
+SafeDmConfig cfg(unsigned depth = 4, unsigned ports = 4) {
+  SafeDmConfig c;
+  c.data_fifo_depth = depth;
+  c.num_ports = ports;
+  return c;
+}
+
+core::CoreTapFrame frame_with_port(unsigned port, u64 value, bool enable = true) {
+  core::CoreTapFrame f;
+  f.port[port] = core::PortTap{enable, value};
+  return f;
+}
+
+core::CoreTapFrame frame_with_stage(unsigned stage, unsigned lane, u32 encoding) {
+  core::CoreTapFrame f;
+  f.stage[stage][lane] = core::StageSlotTap{true, encoding};
+  return f;
+}
+
+TEST(SignatureGenerator, FreshGeneratorsAreEqual) {
+  SignatureGenerator a(cfg()), b(cfg());
+  EXPECT_TRUE(SignatureGenerator::data_equal(a, b));
+  EXPECT_TRUE(SignatureGenerator::instruction_equal(a, b));
+}
+
+TEST(SignatureGenerator, PortValueDifferenceBreaksDataEquality) {
+  SignatureGenerator a(cfg()), b(cfg());
+  a.capture(frame_with_port(0, 0x1234));
+  b.capture(frame_with_port(0, 0x1235));
+  EXPECT_FALSE(SignatureGenerator::data_equal(a, b));
+}
+
+TEST(SignatureGenerator, EnableBitAloneBreaksDataEquality) {
+  SignatureGenerator a(cfg()), b(cfg());
+  a.capture(frame_with_port(0, 0, true));
+  b.capture(frame_with_port(0, 0, false));
+  EXPECT_FALSE(SignatureGenerator::data_equal(a, b));
+}
+
+TEST(SignatureGenerator, SameHistorySameSignature) {
+  SignatureGenerator a(cfg()), b(cfg());
+  for (u64 v : {1, 2, 3}) {
+    a.capture(frame_with_port(1, v));
+    b.capture(frame_with_port(1, v));
+  }
+  EXPECT_TRUE(SignatureGenerator::data_equal(a, b));
+}
+
+TEST(SignatureGenerator, TimingOfPortActivityMatters) {
+  // Same values read, but at different cycles (one core idles a cycle):
+  // the paper's rationale for recording every cycle rather than only on
+  // accesses (Section III-B1).
+  SignatureGenerator a(cfg()), b(cfg());
+  a.capture(frame_with_port(0, 7));
+  a.capture(core::CoreTapFrame{});  // idle cycle after
+  b.capture(core::CoreTapFrame{});  // idle cycle before
+  b.capture(frame_with_port(0, 7));
+  EXPECT_FALSE(SignatureGenerator::data_equal(a, b));
+}
+
+TEST(SignatureGenerator, OldSamplesAgeOutOfTheWindow) {
+  SignatureGenerator a(cfg(2)), b(cfg(2));
+  a.capture(frame_with_port(0, 111));  // will age out
+  // Two more captures push the difference out of the depth-2 window.
+  for (int i = 0; i < 2; ++i) {
+    a.capture(frame_with_port(0, 9));
+    b.capture(frame_with_port(0, 9));
+  }
+  EXPECT_TRUE(SignatureGenerator::data_equal(a, b));
+}
+
+TEST(SignatureGenerator, HoldFreezesDataFifos) {
+  SignatureGenerator a(cfg()), b(cfg());
+  a.capture(frame_with_port(0, 5));
+  b.capture(frame_with_port(0, 5));
+  // Core A stalls for 3 cycles; its FIFO must not shift.
+  for (int i = 0; i < 3; ++i) {
+    core::CoreTapFrame held = frame_with_port(0, 0xDEAD);
+    held.hold = true;
+    a.capture(held);
+  }
+  EXPECT_TRUE(SignatureGenerator::data_equal(a, b));
+}
+
+TEST(SignatureGenerator, RingPhaseDoesNotAffectEquality) {
+  // Generator a has shifted depth+1 times, b only once, with identical
+  // trailing history: signatures must compare equal (FIFO content, not
+  // internal head position, is the signature).
+  SignatureGenerator a(cfg(3)), b(cfg(3));
+  a.capture(frame_with_port(0, 42));  // extra old sample
+  for (u64 v : {1, 2, 3}) a.capture(frame_with_port(0, v));
+  // b gets zero-fill (reset state) then the same 3 samples... but its
+  // oldest entry is the reset entry, not 42's successor; replicate by
+  // pushing a zero frame first.
+  b.capture(core::CoreTapFrame{});
+  for (u64 v : {1, 2, 3}) b.capture(frame_with_port(0, v));
+  EXPECT_TRUE(SignatureGenerator::data_equal(a, b));
+}
+
+TEST(SignatureGenerator, StageEncodingDifferenceBreaksInstructionEquality) {
+  SignatureGenerator a(cfg()), b(cfg());
+  a.capture(frame_with_stage(2, 0, 0x00100093));
+  b.capture(frame_with_stage(2, 0, 0x00200093));
+  EXPECT_FALSE(SignatureGenerator::instruction_equal(a, b));
+}
+
+TEST(SignatureGenerator, PerStageModeDetectsPipelinePhaseDifference) {
+  // Same instruction, different stage: per-stage IS sees diversity
+  // (paper III-B2); the flat list does not (ablation A1).
+  const u32 encoding = 0x00100093;
+  SafeDmConfig per_stage = cfg();
+  SignatureGenerator a(per_stage), b(per_stage);
+  a.capture(frame_with_stage(2, 0, encoding));
+  b.capture(frame_with_stage(3, 0, encoding));
+  EXPECT_FALSE(SignatureGenerator::instruction_equal(a, b));
+
+  SafeDmConfig flat = cfg();
+  flat.is_mode = IsMode::kFlatList;
+  SignatureGenerator c(flat), d(flat);
+  c.capture(frame_with_stage(2, 0, encoding));
+  d.capture(frame_with_stage(3, 0, encoding));
+  EXPECT_TRUE(SignatureGenerator::instruction_equal(c, d));
+}
+
+TEST(SignatureGenerator, FlatModeStillSeesDifferentInstructions) {
+  SafeDmConfig flat = cfg();
+  flat.is_mode = IsMode::kFlatList;
+  SignatureGenerator a(flat), b(flat);
+  a.capture(frame_with_stage(2, 0, 0x00100093));
+  b.capture(frame_with_stage(2, 0, 0x00200093));
+  EXPECT_FALSE(SignatureGenerator::instruction_equal(a, b));
+}
+
+TEST(SignatureGenerator, CrcMatchesRawVerdictOnSimpleCases) {
+  SignatureGenerator a(cfg()), b(cfg());
+  a.capture(frame_with_port(0, 1));
+  b.capture(frame_with_port(0, 1));
+  EXPECT_EQ(a.data_crc(), b.data_crc());
+  b.capture(frame_with_port(0, 2));
+  a.capture(frame_with_port(0, 3));
+  EXPECT_NE(a.data_crc(), b.data_crc());
+}
+
+TEST(SignatureGenerator, SignatureBitCounts) {
+  SignatureGenerator s(cfg(8, 4));
+  EXPECT_EQ(s.data_signature_bits(), 8u * 4u * 65u);
+  EXPECT_EQ(s.instruction_signature_bits(), 7u * 2u * 33u);
+}
+
+TEST(SignatureGenerator, ResetRestoresInitialState) {
+  SignatureGenerator a(cfg()), b(cfg());
+  a.capture(frame_with_port(0, 77));
+  a.capture(frame_with_stage(1, 0, 0x13));
+  a.reset();
+  EXPECT_TRUE(SignatureGenerator::data_equal(a, b));
+  EXPECT_TRUE(SignatureGenerator::instruction_equal(a, b));
+}
+
+TEST(SignatureGenerator, NewestSampleAccessor) {
+  SignatureGenerator s(cfg());
+  s.capture(frame_with_port(2, 0xABCD));
+  EXPECT_EQ(s.newest_sample(2).value, 0xABCDu);
+  EXPECT_TRUE(s.newest_sample(2).enable);
+  EXPECT_FALSE(s.newest_sample(0).enable);
+}
+
+TEST(SignatureGenerator, GeometryMismatchThrows) {
+  SignatureGenerator a(cfg(4)), b(cfg(8));
+  EXPECT_THROW(SignatureGenerator::data_equal(a, b), safedm::CheckError);
+}
+
+}  // namespace
+}  // namespace safedm::monitor

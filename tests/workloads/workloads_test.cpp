@@ -1,0 +1,133 @@
+// Workload validation: every benchmark must (a) terminate cleanly on the
+// golden ISS, (b) produce a non-trivial result checksum, (c) execute the
+// same on the pipelined core (same checksum, same instruction count), and
+// (d) be deterministic across builds. Parameterized over the registry.
+#include <gtest/gtest.h>
+
+#include "safedm/bus/ahb.hpp"
+#include "safedm/bus/l2_frontend.hpp"
+#include "safedm/core/core.hpp"
+#include "safedm/isa/iss.hpp"
+#include "safedm/mem/phys_mem.hpp"
+#include "safedm/workloads/workloads.hpp"
+
+namespace safedm::workloads {
+namespace {
+
+constexpr u64 kTextBase = 0x10000;
+constexpr u64 kDataBase = 0x200000;
+constexpr u64 kMemSize = 16 << 20;
+
+struct RunResult {
+  isa::HaltReason halt = isa::HaltReason::kRunning;
+  u64 checksum = 0;
+  u64 instret = 0;
+  u64 cycles = 0;
+};
+
+void load(mem::PhysMem& mem, const assembler::Program& program) {
+  for (std::size_t i = 0; i < program.text.size(); ++i)
+    mem.store(kTextBase + i * 4, program.text[i], 4);
+  mem.write_block(kDataBase, program.data);
+}
+
+RunResult run_iss(const assembler::Program& program) {
+  mem::PhysMem mem(0, kMemSize);
+  load(mem, program);
+  isa::Iss iss(mem, kTextBase);
+  iss.state().set_x(assembler::A0, kDataBase);
+  iss.state().set_x(assembler::SP, kDataBase + 0x100000);
+  iss.run(100'000'000);
+  return RunResult{iss.state().halt, mem.load(kDataBase + kResultOffset, 8),
+                   iss.state().instret, 0};
+}
+
+RunResult run_pipeline(const assembler::Program& program) {
+  mem::PhysMem mem(0, kMemSize);
+  load(mem, program);
+  bus::L2Frontend l2(mem::CacheConfig{.size_bytes = 128 * 1024, .ways = 8, .line_bytes = 32},
+                     bus::L2Timing{});
+  bus::AhbBus bus(l2);
+  core::Core core(core::CoreConfig{}, mem, bus, "core0");
+  core.reset(kTextBase, kDataBase, kDataBase + 0x100000);
+  core::CoreTapFrame frame;
+  u64 cycles = 0;
+  while (!core.halted() && cycles < 50'000'000) {
+    core.step(frame);
+    bus.step();
+    ++cycles;
+  }
+  return RunResult{core.halt_reason(), mem.load(kDataBase + kResultOffset, 8),
+                   core.arch().instret, cycles};
+}
+
+class WorkloadTest : public ::testing::TestWithParam<WorkloadInfo> {};
+
+TEST_P(WorkloadTest, TerminatesCleanlyOnIss) {
+  const RunResult result = run_iss(GetParam().build(1));
+  EXPECT_EQ(result.halt, isa::HaltReason::kEcall) << GetParam().name;
+  EXPECT_GT(result.instret, 500u) << GetParam().name << " is trivially short";
+}
+
+TEST_P(WorkloadTest, ChecksumIsNontrivial) {
+  const RunResult result = run_iss(GetParam().build(1));
+  EXPECT_NE(result.checksum, 0u) << GetParam().name;
+}
+
+TEST_P(WorkloadTest, DeterministicAcrossBuilds) {
+  const RunResult a = run_iss(GetParam().build(1));
+  const RunResult b = run_iss(GetParam().build(1));
+  EXPECT_EQ(a.checksum, b.checksum);
+  EXPECT_EQ(a.instret, b.instret);
+}
+
+TEST_P(WorkloadTest, PipelineMatchesIssArchitecturally) {
+  const assembler::Program program = GetParam().build(1);
+  const RunResult golden = run_iss(program);
+  const RunResult piped = run_pipeline(program);
+  EXPECT_EQ(piped.halt, isa::HaltReason::kEcall) << GetParam().name;
+  EXPECT_EQ(piped.checksum, golden.checksum) << GetParam().name;
+  EXPECT_EQ(piped.instret, golden.instret) << GetParam().name;
+}
+
+TEST_P(WorkloadTest, ScaleGrowsWork) {
+  const RunResult small = run_iss(GetParam().build(1));
+  const RunResult big = run_iss(GetParam().build(2));
+  EXPECT_GT(big.instret, small.instret) << GetParam().name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBenchmarks, WorkloadTest, ::testing::ValuesIn(registry()),
+                         [](const ::testing::TestParamInfo<WorkloadInfo>& info) {
+                           return info.param.name;
+                         });
+
+INSTANTIATE_TEST_SUITE_P(ExtendedBenchmarks, WorkloadTest,
+                         ::testing::ValuesIn(registry_extended()),
+                         [](const ::testing::TestParamInfo<WorkloadInfo>& info) {
+                           return info.param.name;
+                         });
+
+TEST(WorkloadRegistry, ExtendedSetPresentAndDisjoint) {
+  EXPECT_EQ(registry_extended().size(), 8u);
+  for (const auto& extended : registry_extended())
+    for (const auto& base : registry()) EXPECT_NE(extended.name, base.name);
+}
+
+TEST(WorkloadRegistry, HasAllTwentyNinePaperBenchmarks) {
+  EXPECT_EQ(registry().size(), 29u);
+}
+
+TEST(WorkloadRegistry, BuildByNameMatchesRegistry) {
+  const assembler::Program p = build("bitcount", 1);
+  EXPECT_EQ(p.name, "bitcount");
+  EXPECT_THROW(build("nonexistent"), CheckError);
+}
+
+TEST(WorkloadRegistry, NamesAreUniqueAndSorted) {
+  const auto& reg = registry();
+  for (std::size_t i = 1; i < reg.size(); ++i)
+    EXPECT_LT(reg[i - 1].name, reg[i].name) << "registry must stay in Table I order";
+}
+
+}  // namespace
+}  // namespace safedm::workloads
