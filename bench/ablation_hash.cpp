@@ -5,7 +5,9 @@
 // bench measures verdict disagreement empirically and reports the
 // hardware saving from the cost model.
 #include <cstdio>
+#include <vector>
 
+#include "bench_util.hpp"
 #include "safedm/hwcost/hwcost.hpp"
 #include "safedm/safedm/monitor.hpp"
 #include "safedm/soc/soc.hpp"
@@ -49,24 +51,37 @@ struct DualMonitor : soc::CycleObserver {
 }  // namespace
 
 int main() {
-  std::printf("Compression ablation: raw vs CRC32 signatures\n\n");
+  std::printf("Compression ablation: raw vs CRC32 signatures (threads=%u)\n\n",
+              bench::bench_pool().size());
   std::printf("%-16s %14s %14s %16s\n", "benchmark", "nodiv(raw)", "nodiv(crc)",
               "crc collisions");
-  u64 total_collisions = 0;
-  for (const char* name : {"bitcount", "cubic", "quicksort", "md5", "fft"}) {
+  const char* names[] = {"bitcount", "cubic", "quicksort", "md5", "fft"};
+  constexpr std::size_t kNumNames = 5;
+  struct Row {
+    u64 nodiv_raw = 0;
+    u64 nodiv_crc = 0;
+    u64 collisions = 0;
+  };
+  std::vector<Row> rows(kNumNames);
+  // Each workload is an independent MpSoc + dual-monitor rig.
+  bench::bench_pool().parallel_for(kNumNames, [&](std::size_t i) {
     soc::MpSoc soc{soc::SocConfig{}};
     DualMonitor dual{monitor::SafeDmConfig{}};
     soc.add_observer(&dual);
-    soc.load_redundant(workloads::build(name, 1));
+    soc.load_redundant(workloads::build(names[i], 1));
     soc.run(20'000'000);
     dual.raw.finalize();
     dual.crc.finalize();
-    std::printf("%-16s %14llu %14llu %16llu\n", name,
-                static_cast<unsigned long long>(dual.raw.counters().nodiv_cycles),
-                static_cast<unsigned long long>(dual.crc.counters().nodiv_cycles),
-                static_cast<unsigned long long>(dual.false_negatives));
-    total_collisions += dual.false_negatives;
-    std::fflush(stdout);
+    rows[i] = Row{dual.raw.counters().nodiv_cycles, dual.crc.counters().nodiv_cycles,
+                  dual.false_negatives};
+  });
+  u64 total_collisions = 0;
+  for (std::size_t i = 0; i < kNumNames; ++i) {
+    std::printf("%-16s %14llu %14llu %16llu\n", names[i],
+                static_cast<unsigned long long>(rows[i].nodiv_raw),
+                static_cast<unsigned long long>(rows[i].nodiv_crc),
+                static_cast<unsigned long long>(rows[i].collisions));
+    total_collisions += rows[i].collisions;
   }
 
   monitor::SafeDmConfig paper;

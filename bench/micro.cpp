@@ -3,6 +3,10 @@
 // geometry (bounds the simulation-side cost of attaching SafeDM).
 #include <benchmark/benchmark.h>
 
+#include <memory>
+#include <vector>
+
+#include "safedm/common/thread_pool.hpp"
 #include "safedm/safedm/monitor.hpp"
 #include "safedm/safedm/signature.hpp"
 
@@ -77,8 +81,10 @@ void BM_CrcCompare(benchmark::State& state) {
 BENCHMARK(BM_CrcCompare)->Arg(8)->Arg(32);
 
 void BM_MonitorFullCycle(benchmark::State& state) {
+  // range(0): 1 = incremental DiversityComparator, 0 = exhaustive re-scan.
   monitor::SafeDmConfig config;
   config.start_enabled = true;
+  config.incremental_compare = state.range(0) != 0;
   monitor::SafeDm dm(config);
   const core::CoreTapFrame f0 = busy_frame(0);
   const core::CoreTapFrame f1 = busy_frame(1);
@@ -87,7 +93,51 @@ void BM_MonitorFullCycle(benchmark::State& state) {
     dm.on_cycle(++cycle, f0, f1);
   }
 }
-BENCHMARK(BM_MonitorFullCycle);
+BENCHMARK(BM_MonitorFullCycle)->Arg(1)->Arg(0);
+
+void BM_MonitorFullCycleMatched(benchmark::State& state) {
+  // Identical frames on both cores: the exhaustive compare cannot
+  // early-exit, the incremental path's worst case for correctness and the
+  // hardware-relevant steady state.
+  monitor::SafeDmConfig config;
+  config.start_enabled = true;
+  config.incremental_compare = state.range(0) != 0;
+  monitor::SafeDm dm(config);
+  const core::CoreTapFrame f = busy_frame(0);
+  u64 cycle = 0;
+  for (auto _ : state) {
+    dm.on_cycle(++cycle, f, f);
+  }
+}
+BENCHMARK(BM_MonitorFullCycleMatched)->Arg(1)->Arg(0);
+
+void BM_MonitorFleetParallel(benchmark::State& state) {
+  // range(0) independent monitors pumped concurrently over the bench
+  // ThreadPool (SAFEDM_BENCH_THREADS-sized), modelling the per-pair
+  // SafeDM instances of a many-core deployment.
+  const unsigned fleet = static_cast<unsigned>(state.range(0));
+  constexpr u64 kCyclesPerIteration = 1024;
+  ThreadPool pool(bench_thread_count());
+  monitor::SafeDmConfig config;
+  config.start_enabled = true;
+  std::vector<std::unique_ptr<monitor::SafeDm>> monitors;
+  for (unsigned i = 0; i < fleet; ++i)
+    monitors.push_back(std::make_unique<monitor::SafeDm>(config));
+  const core::CoreTapFrame f0 = busy_frame(0);
+  const core::CoreTapFrame f1 = busy_frame(1);
+  u64 cycle = 0;
+  for (auto _ : state) {
+    const u64 base = cycle;
+    pool.parallel_for(fleet, [&](std::size_t m) {
+      for (u64 c = 0; c < kCyclesPerIteration; ++c)
+        monitors[m]->on_cycle(base + c, f0, f1);
+    });
+    cycle += kCyclesPerIteration;
+  }
+  state.SetItemsProcessed(static_cast<i64>(state.iterations()) * fleet *
+                          kCyclesPerIteration);
+}
+BENCHMARK(BM_MonitorFleetParallel)->Arg(1)->Arg(4)->UseRealTime();
 
 }  // namespace
 

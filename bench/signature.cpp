@@ -3,7 +3,11 @@
 // count. Deeper windows and more ports can only reduce reported
 // no-diversity (more monitored state = more chances to see a difference);
 // shallow windows inflate it (more false positives).
+//
+// Every (benchmark, geometry) cell is an independent MpSoc run; the whole
+// sweep fans out over the bench thread pool.
 #include <cstdio>
+#include <vector>
 
 #include "bench_util.hpp"
 
@@ -12,42 +16,57 @@ using namespace safedm::bench;
 
 int main() {
   const char* names[] = {"bitcount", "cubic", "quicksort", "md5"};
-
-  std::printf("Data-FIFO depth (n) sensitivity, m=4 ports, 0-nop start\n");
-  std::printf("%-14s", "benchmark");
+  constexpr unsigned kNumNames = 4;
   const unsigned depths[] = {1, 2, 4, 8, 16};
+  constexpr unsigned kNumDepths = 5;
+  const unsigned port_counts[] = {2, 4, 6};
+  constexpr unsigned kNumPorts = 3;
+
+  std::vector<assembler::Program> programs(kNumNames);
+  bench_pool().parallel_for(kNumNames,
+                            [&](std::size_t w) { programs[w] = workloads::build(names[w], 1); });
+
+  std::vector<RunOutcome> depth_cells(kNumNames * kNumDepths);
+  std::vector<RunOutcome> port_cells(kNumNames * kNumPorts);
+  bench_pool().parallel_for(depth_cells.size() + port_cells.size(), [&](std::size_t i) {
+    if (i < depth_cells.size()) {
+      RunSpec spec;
+      spec.dm.data_fifo_depth = depths[i % kNumDepths];
+      depth_cells[i] = run_redundant(programs[i / kNumDepths], spec);
+    } else {
+      const std::size_t j = i - depth_cells.size();
+      RunSpec spec;
+      spec.dm.num_ports = port_counts[j % kNumPorts];
+      port_cells[j] = run_redundant(programs[j / kNumPorts], spec);
+    }
+  });
+
+  std::printf("Data-FIFO depth (n) sensitivity, m=4 ports, 0-nop start (threads=%u)\n",
+              bench_pool().size());
+  std::printf("%-14s", "benchmark");
   for (unsigned n : depths) std::printf(" %9s%-2u", "n=", n);
   std::printf("\n");
-  for (const char* name : names) {
-    const assembler::Program program = workloads::build(name, 1);
-    std::printf("%-14s", name);
+  for (unsigned w = 0; w < kNumNames; ++w) {
+    std::printf("%-14s", names[w]);
     u64 prev = ~u64{0};
     bool monotone = true;
-    for (unsigned n : depths) {
-      RunSpec spec;
-      spec.dm.data_fifo_depth = n;
-      const RunOutcome out = run_redundant(program, spec);
+    for (unsigned d = 0; d < kNumDepths; ++d) {
+      const RunOutcome& out = depth_cells[w * kNumDepths + d];
       std::printf(" %11llu", static_cast<unsigned long long>(out.nodiv));
       if (out.nodiv > prev) monotone = false;
       prev = out.nodiv;
     }
     std::printf("  %s\n", monotone ? "(monotone non-increasing)" : "(non-monotone)");
-    std::fflush(stdout);
   }
 
   std::printf("\nMonitored-port count (m) sensitivity, n=8, 0-nop start\n");
   std::printf("%-14s %12s %12s %12s\n", "benchmark", "m=2", "m=4 (paper)", "m=6 (full)");
-  for (const char* name : names) {
-    const assembler::Program program = workloads::build(name, 1);
-    std::printf("%-14s", name);
-    for (unsigned m : {2u, 4u, 6u}) {
-      RunSpec spec;
-      spec.dm.num_ports = m;
-      const RunOutcome out = run_redundant(program, spec);
-      std::printf(" %12llu", static_cast<unsigned long long>(out.nodiv));
-    }
+  for (unsigned w = 0; w < kNumNames; ++w) {
+    std::printf("%-14s", names[w]);
+    for (unsigned m = 0; m < kNumPorts; ++m)
+      std::printf(" %12llu",
+                  static_cast<unsigned long long>(port_cells[w * kNumPorts + m].nodiv));
     std::printf("\n");
-    std::fflush(stdout);
   }
   std::printf("\nShape check: no-div counts shrink (or hold) as n and m grow — SafeDM can\n"
               "only raise false positives, never false negatives (Section III-A).\n");

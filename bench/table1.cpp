@@ -6,9 +6,14 @@
 // Expected shape (paper Section V-C): zero-staggering is infrequent, lack
 // of diversity rarer still; both shrink toward zero as initial staggering
 // grows; isolated benchmarks can re-synchronize (the pm timing anomaly).
+//
+// Every (benchmark, staggering) cell is an independent pair of MpSoc runs,
+// so the whole table fans out over the bench thread pool and is printed in
+// row order afterwards.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <vector>
 
 #include "bench_util.hpp"
 
@@ -22,8 +27,9 @@ int main(int argc, char** argv) {
   }
 
   const unsigned staggers[] = {0, 100, 1000, 10000};
-  std::printf("Table I: Taclebench results with different initial staggering (scale=%u)\n",
-              scale);
+  std::printf("Table I: Taclebench results with different initial staggering (scale=%u, "
+              "threads=%u)\n",
+              scale, bench_pool().size());
   std::printf("%-16s", "Staggering");
   for (unsigned s : staggers) std::printf("| %5u nops      ", s);
   std::printf("\n%-16s", "Benchmark");
@@ -32,15 +38,27 @@ int main(int argc, char** argv) {
   for (int i = 0; i < 16 + 4 * 18; ++i) std::printf("-");
   std::printf("\n");
 
+  const auto& registry = workloads::registry();
+  std::vector<assembler::Program> programs(registry.size());
+  bench_pool().parallel_for(registry.size(),
+                            [&](std::size_t w) { programs[w] = registry[w].build(scale); });
+
+  // One cell per (benchmark, staggering); all independent.
+  std::vector<RunOutcome> cells(registry.size() * 4);
+  bench_pool().parallel_for(cells.size(), [&](std::size_t i) {
+    const std::size_t w = i / 4;
+    const unsigned col = static_cast<unsigned>(i % 4);
+    RunSpec spec;
+    spec.scale = scale;
+    spec.stagger_nops = staggers[col];
+    cells[i] = max_over_runs(programs[w], spec);
+  });
+
   u64 total_zero[4] = {}, total_nodiv[4] = {}, total_instr = 0;
-  for (const auto& info : workloads::registry()) {
-    const assembler::Program program = info.build(scale);
-    std::printf("%-16s", info.name.c_str());
+  for (std::size_t w = 0; w < registry.size(); ++w) {
+    std::printf("%-16s", registry[w].name.c_str());
     for (unsigned col = 0; col < 4; ++col) {
-      RunSpec spec;
-      spec.scale = scale;
-      spec.stagger_nops = staggers[col];
-      const RunOutcome out = max_over_runs(program, spec);
+      const RunOutcome& out = cells[w * 4 + col];
       std::printf("| %8llu %6llu ", static_cast<unsigned long long>(out.zero_stag),
                   static_cast<unsigned long long>(out.nodiv));
       total_zero[col] += out.zero_stag;
@@ -52,7 +70,7 @@ int main(int argc, char** argv) {
     std::fflush(stdout);
   }
   for (int i = 0; i < 16 + 4 * 18; ++i) std::printf("-");
-  const double n = static_cast<double>(workloads::registry().size());
+  const double n = static_cast<double>(registry.size());
   std::printf("\n%-16s", "average");
   for (unsigned col = 0; col < 4; ++col)
     std::printf("| %8.0f %6.0f ", total_zero[col] / n, total_nodiv[col] / n);

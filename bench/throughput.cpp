@@ -1,0 +1,439 @@
+// S2 — Monitor simulation throughput: simulated cycles/second of the
+// per-cycle SafeDM datapath for the legacy (pre-incremental) comparison,
+// the current exhaustive path, and the incremental DiversityComparator,
+// in both raw and CRC32 compare modes. Emits machine-readable JSON
+// (BENCH_throughput.json) so the perf trajectory is tracked PR over PR.
+//
+// The "legacy" baseline is a faithful replica of the original per-cycle
+// code: vector-of-vectors ring buffers indexed with modulo arithmetic, a
+// full whole-signature comparison every cycle, and (flat IS mode) a
+// heap-allocated flatten per comparison. It exists only here, as the
+// fixed reference point the speedup is measured against.
+//
+// Frames are a deterministic synthetic stream (xoshiro-seeded). The
+// headline "matched" scenario feeds both cores identical busy frames —
+// the worst case for every comparator (no early exit) and the
+// hardware-relevant steady state; the "divergent" scenario adds
+// independent per-core holds and value divergence, exercising the
+// comparator's realignment fallback.
+//
+// Usage: bench_throughput [--cycles=N] [--reps=N] [--json=PATH] [--check]
+//   --reps: repetitions per mode; the best is reported (noise rejection).
+//   --check exits nonzero if the incremental comparator is not faster
+//   than the exhaustive path (the perf-smoke CTest gate).
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "safedm/common/rng.hpp"
+#include "safedm/safedm/monitor.hpp"
+
+using namespace safedm;
+
+namespace legacy {
+
+// ---- pre-incremental SignatureGenerator + monitor datapath replica ------
+
+// The pre-PR stage slot: `bool valid` plus padding. The padded layout is
+// part of the baseline being measured — it forces the element-wise struct
+// comparison the packed representation replaced.
+struct LegacySlot {
+  bool valid = false;
+  u32 encoding = 0;
+
+  bool operator==(const LegacySlot&) const = default;
+};
+
+struct Signature {
+  explicit Signature(const monitor::SafeDmConfig& config) : config_(config) {
+    fifos_.resize(config.num_ports);
+    for (auto& fifo : fifos_) fifo.entries.assign(config.data_fifo_depth, {});
+  }
+
+  void capture(const core::CoreTapFrame& frame) {
+    for (unsigned st = 0; st < core::kPipelineStages; ++st)
+      for (unsigned lane = 0; lane < core::kMaxIssueWidth; ++lane)
+        stages_[st][lane] = LegacySlot{frame.stage[st][lane].valid != 0,
+                                       frame.stage[st][lane].encoding};
+    if (frame.hold) return;
+    for (unsigned p = 0; p < config_.num_ports; ++p) {
+      PortFifo& fifo = fifos_[p];
+      fifo.entries[fifo.head] = frame.port[p];
+      fifo.head = (fifo.head + 1) % config_.data_fifo_depth;
+    }
+  }
+
+  static bool data_equal(const Signature& a, const Signature& b) {
+    const unsigned n = a.config_.data_fifo_depth;
+    for (unsigned p = 0; p < a.config_.num_ports; ++p) {
+      const PortFifo& fa = a.fifos_[p];
+      const PortFifo& fb = b.fifos_[p];
+      for (unsigned i = 0; i < n; ++i) {
+        if (!(fa.entries[(fa.head + i) % n] == fb.entries[(fb.head + i) % n])) return false;
+      }
+    }
+    return true;
+  }
+
+  static bool instruction_equal(const Signature& a, const Signature& b) {
+    if (a.config_.is_mode == monitor::IsMode::kPerStage) return a.stages_ == b.stages_;
+    const auto flatten = [](const Signature& s) {
+      std::vector<u32> list;  // the per-cycle heap allocation this PR removed
+      for (int st = core::kPipelineStages - 1; st >= 0; --st)
+        for (unsigned lane = 0; lane < core::kMaxIssueWidth; ++lane)
+          if (s.stages_[st][lane].valid) list.push_back(s.stages_[st][lane].encoding);
+      return list;
+    };
+    return flatten(a) == flatten(b);
+  }
+
+  u32 data_crc() const {
+    Crc32 crc;
+    const unsigned n = config_.data_fifo_depth;
+    for (const PortFifo& fifo : fifos_) {
+      for (unsigned i = 0; i < n; ++i) {
+        const core::PortTap& tap = fifo.entries[(fifo.head + i) % n];
+        crc.add_byte(tap.enable ? 1 : 0);
+        crc.add(tap.value);
+      }
+    }
+    return crc.value();
+  }
+
+  u32 instruction_crc() const {
+    Crc32 crc;
+    for (const auto& stage : stages_) {
+      for (const auto& slot : stage) {
+        crc.add_byte(slot.valid ? 1 : 0);
+        crc.add(slot.encoding);
+      }
+    }
+    return crc.value();
+  }
+
+  struct PortFifo {
+    std::vector<core::PortTap> entries;
+    unsigned head = 0;
+  };
+  monitor::SafeDmConfig config_;
+  std::vector<PortFifo> fifos_;
+  std::array<std::array<LegacySlot, core::kMaxIssueWidth>, core::kPipelineStages> stages_{};
+};
+
+// Full pre-PR per-cycle datapath, including the bookkeeping the current
+// SafeDm still performs (commit diff, run-length histograms, interrupt
+// check) so the measured delta isolates the comparison strategy.
+struct Monitor {
+  explicit Monitor(const monitor::SafeDmConfig& config)
+      : config_(config),
+        sig0_(config),
+        sig1_(config),
+        enabled_(config.start_enabled),
+        hist_nodiv_(Histogram::exponential(16)),
+        hist_ds_(Histogram::exponential(16)),
+        hist_is_(Histogram::exponential(16)) {}
+
+  void on_cycle(u64 /*cycle*/, const core::CoreTapFrame& f0, const core::CoreTapFrame& f1) {
+    sig0_.capture(f0);
+    sig1_.capture(f1);
+    inst_diff_.on_commits(f0.commits, f1.commits);
+
+    seen_commit_[0] = seen_commit_[0] || f0.commits > 0;
+    seen_commit_[1] = seen_commit_[1] || f1.commits > 0;
+    const bool armed = !config_.arm_on_first_commit || (seen_commit_[0] && seen_commit_[1]);
+    const bool both_running = !f0.halted && !f1.halted;
+    if (!enabled_ || !both_running || !armed) return;
+    ++monitored_;
+
+    bool ds_match, is_match;
+    if (config_.compare == monitor::CompareMode::kRaw) {
+      ds_match = Signature::data_equal(sig0_, sig1_);
+      is_match = Signature::instruction_equal(sig0_, sig1_);
+    } else {
+      ds_match = sig0_.data_crc() == sig1_.data_crc();
+      is_match = sig0_.instruction_crc() == sig1_.instruction_crc();
+    }
+    const bool nodiv = ds_match && is_match;
+
+    const auto track = [](bool condition, u64& run, u64& counter, Histogram& hist) {
+      if (condition) {
+        ++counter;
+        ++run;
+      } else if (run > 0) {
+        hist.add(run);
+        run = 0;
+      }
+    };
+    track(ds_match, ds_run_, ds_match_, hist_ds_);
+    track(is_match, is_run_, is_match_, hist_is_);
+    track(nodiv, nodiv_run_, nodiv_, hist_nodiv_);
+
+    if (inst_diff_.armed() && inst_diff_.diff() == 0) ++zero_stag_;
+
+    bool fire = false;
+    switch (config_.report) {
+      case monitor::ReportMode::kInterruptFirst:
+        fire = nodiv_ >= 1;
+        break;
+      case monitor::ReportMode::kInterruptThreshold:
+        fire = nodiv_ >= config_.interrupt_threshold;
+        break;
+      case monitor::ReportMode::kPollOnly:
+        break;
+    }
+    if (fire && !irq_pending_) irq_pending_ = true;
+  }
+
+  monitor::SafeDmConfig config_;
+  Signature sig0_;
+  Signature sig1_;
+  monitor::InstructionDiff inst_diff_;
+  bool enabled_;
+  bool irq_pending_ = false;
+  std::array<bool, 2> seen_commit_{false, false};
+  u64 monitored_ = 0;
+  u64 zero_stag_ = 0;
+  u64 nodiv_ = 0;
+  u64 ds_match_ = 0;
+  u64 is_match_ = 0;
+  u64 nodiv_run_ = 0;
+  u64 ds_run_ = 0;
+  u64 is_run_ = 0;
+  Histogram hist_nodiv_;
+  Histogram hist_ds_;
+  Histogram hist_is_;
+};
+
+}  // namespace legacy
+
+namespace {
+
+struct FramePair {
+  core::CoreTapFrame f0;
+  core::CoreTapFrame f1;
+};
+
+core::CoreTapFrame random_frame(Xoshiro256& rng) {
+  core::CoreTapFrame f;
+  for (unsigned s = 0; s < core::kPipelineStages; ++s)
+    for (unsigned l = 0; l < core::kMaxIssueWidth; ++l)
+      f.stage[s][l] = core::StageSlotTap{rng.chance(0.9), static_cast<u32>(rng.next())};
+  for (unsigned p = 0; p < core::kMaxPorts; ++p)
+    f.port[p] = core::PortTap{rng.chance(0.8), rng.next()};
+  f.commits = static_cast<unsigned>(rng.below(3));
+  return f;
+}
+
+/// `divergent` adds independent per-core holds (realignment pressure) and
+/// occasional value divergence; otherwise both cores see identical frames
+/// with an occasional common hold.
+std::vector<FramePair> make_trace(std::size_t length, bool divergent, u64 seed) {
+  Xoshiro256 rng(seed);
+  std::vector<FramePair> trace(length);
+  for (FramePair& pair : trace) {
+    pair.f0 = random_frame(rng);
+    pair.f0.hold = rng.chance(0.15);
+    pair.f1 = pair.f0;
+    if (divergent) {
+      pair.f1.hold = rng.chance(0.15);  // independent: de-aligns the FIFOs
+      if (rng.chance(0.3)) pair.f1 = random_frame(rng);
+    }
+  }
+  return trace;
+}
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+}
+
+struct ModeResult {
+  std::string name;
+  double cycles_per_sec = 0;
+  u64 nodiv = 0;  // consumed so the compiler cannot elide the work
+};
+
+// Repetitions per mode: scheduling noise on a shared host only ever slows
+// a run down, so the best of N repetitions approximates the true speed.
+// Repetitions are interleaved round-robin across modes (see main) so a
+// burst of background load cannot bias one mode's every repetition.
+unsigned g_reps = 5;
+
+template <typename PumpFn>
+ModeResult measure(const std::string& name, u64 cycles, const std::vector<FramePair>& trace,
+                   PumpFn&& pump) {
+  const auto start = std::chrono::steady_clock::now();
+  const u64 nodiv = pump(cycles, trace);
+  const double elapsed = seconds_since(start);
+  return ModeResult{name, elapsed > 0 ? static_cast<double>(cycles) / elapsed : 0, nodiv};
+}
+
+monitor::SafeDmConfig bench_config(monitor::CompareMode compare) {
+  monitor::SafeDmConfig config;
+  config.num_ports = 3;
+  config.data_fifo_depth = 4;
+  config.compare = compare;
+  config.start_enabled = true;
+  config.arm_on_first_commit = false;
+  return config;
+}
+
+ModeResult run_safedm(const std::string& name, u64 cycles, const std::vector<FramePair>& trace,
+                      monitor::CompareMode compare, bool incremental) {
+  return measure(name, cycles, trace, [&](u64 n, const std::vector<FramePair>& t) {
+    monitor::SafeDmConfig config = bench_config(compare);
+    config.incremental_compare = incremental;
+    monitor::SafeDm dm(config);
+    const std::size_t len = t.size();
+    for (u64 c = 0, i = 0; c < n; ++c) {
+      const FramePair& pair = t[i];
+      if (++i == len) i = 0;  // no per-cycle modulo: it would dwarf the DUT
+      dm.on_cycle(c, pair.f0, pair.f1);
+    }
+    return dm.counters().nodiv_cycles;
+  });
+}
+
+ModeResult run_legacy(const std::string& name, u64 cycles, const std::vector<FramePair>& trace,
+                      monitor::CompareMode compare) {
+  return measure(name, cycles, trace, [&](u64 n, const std::vector<FramePair>& t) {
+    legacy::Monitor dm(bench_config(compare));
+    const std::size_t len = t.size();
+    for (u64 c = 0, i = 0; c < n; ++c) {
+      const FramePair& pair = t[i];
+      if (++i == len) i = 0;
+      dm.on_cycle(c, pair.f0, pair.f1);
+    }
+    return dm.nodiv_;
+  });
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  u64 cycles = 2'000'000;
+  std::string json_path = "BENCH_throughput.json";
+  bool check = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--cycles=", 9) == 0) cycles = std::strtoull(argv[i] + 9, nullptr, 10);
+    else if (std::strncmp(argv[i], "--json=", 7) == 0) json_path = argv[i] + 7;
+    else if (std::strncmp(argv[i], "--reps=", 7) == 0)
+      g_reps = static_cast<unsigned>(std::strtoul(argv[i] + 7, nullptr, 10));
+    else if (std::strcmp(argv[i], "--check") == 0) check = true;
+  }
+  if (cycles == 0) cycles = 1;
+  if (g_reps == 0) g_reps = 1;
+
+  // 64 pairs ≈ 27 KB: L1-resident, so trace fetch does not drown the
+  // datapath under measurement.
+  const std::vector<FramePair> matched = make_trace(64, /*divergent=*/false, 0x5AFE0001);
+  const std::vector<FramePair> divergent = make_trace(64, /*divergent=*/true, 0x5AFE0002);
+
+  // Warm-up pass so lazy page faults / frequency scaling don't skew the
+  // first measurement.
+  run_safedm("warmup", std::min<u64>(cycles / 4 + 1, 200'000), matched,
+             monitor::CompareMode::kRaw, true);
+
+  const std::vector<std::function<ModeResult()>> modes = {
+      [&] { return run_legacy("raw_legacy", cycles, matched, monitor::CompareMode::kRaw); },
+      [&] {
+        return run_safedm("raw_exhaustive", cycles, matched, monitor::CompareMode::kRaw, false);
+      },
+      [&] {
+        return run_safedm("raw_incremental", cycles, matched, monitor::CompareMode::kRaw, true);
+      },
+      [&] { return run_legacy("crc_legacy", cycles, matched, monitor::CompareMode::kCrc32); },
+      [&] {
+        return run_safedm("crc_exhaustive", cycles, matched, monitor::CompareMode::kCrc32, false);
+      },
+      [&] {
+        return run_safedm("crc_incremental", cycles, matched, monitor::CompareMode::kCrc32, true);
+      },
+      [&] {
+        return run_legacy("raw_legacy_divergent", cycles, divergent, monitor::CompareMode::kRaw);
+      },
+      [&] {
+        return run_safedm("raw_incremental_divergent", cycles, divergent,
+                          monitor::CompareMode::kRaw, true);
+      },
+  };
+  std::vector<ModeResult> results(modes.size());
+  for (unsigned rep = 0; rep < g_reps; ++rep) {
+    for (std::size_t i = 0; i < modes.size(); ++i) {
+      ModeResult r = modes[i]();
+      if (r.cycles_per_sec > results[i].cycles_per_sec) results[i].cycles_per_sec = r.cycles_per_sec;
+      results[i].name = std::move(r.name);
+      results[i].nodiv = r.nodiv;
+    }
+  }
+
+  const auto find = [&](const char* name) -> const ModeResult& {
+    for (const ModeResult& r : results)
+      if (r.name == name) return r;
+    std::fprintf(stderr, "missing mode %s\n", name);
+    std::exit(2);
+  };
+  const double raw_vs_legacy =
+      find("raw_incremental").cycles_per_sec / find("raw_legacy").cycles_per_sec;
+  const double raw_vs_exhaustive =
+      find("raw_incremental").cycles_per_sec / find("raw_exhaustive").cycles_per_sec;
+  const double crc_vs_legacy =
+      find("crc_incremental").cycles_per_sec / find("crc_legacy").cycles_per_sec;
+  const double crc_vs_exhaustive =
+      find("crc_incremental").cycles_per_sec / find("crc_exhaustive").cycles_per_sec;
+
+  std::printf("Monitor throughput (simulated cycles/sec, %llu cycles, geometry m=3 n=4)\n\n",
+              static_cast<unsigned long long>(cycles));
+  std::printf("%-28s %16s %12s\n", "mode", "cycles/sec", "nodiv");
+  for (const ModeResult& r : results)
+    std::printf("%-28s %16.0f %12llu\n", r.name.c_str(), r.cycles_per_sec,
+                static_cast<unsigned long long>(r.nodiv));
+  std::printf("\nspeedup raw incremental vs legacy (pre-PR): %.2fx\n", raw_vs_legacy);
+  std::printf("speedup raw incremental vs exhaustive:      %.2fx\n", raw_vs_exhaustive);
+  std::printf("speedup crc incremental vs legacy (pre-PR): %.2fx\n", crc_vs_legacy);
+  std::printf("speedup crc incremental vs exhaustive:      %.2fx\n", crc_vs_exhaustive);
+
+  if (FILE* json = std::fopen(json_path.c_str(), "w")) {
+    std::fprintf(json, "{\n");
+    std::fprintf(json, "  \"schema\": \"safedm.bench.throughput/v1\",\n");
+    std::fprintf(json, "  \"geometry\": {\"num_ports\": 3, \"data_fifo_depth\": 4, "
+                       "\"pipeline_stages\": %u, \"issue_width\": %u},\n",
+                 core::kPipelineStages, core::kMaxIssueWidth);
+    std::fprintf(json, "  \"cycles\": %llu,\n", static_cast<unsigned long long>(cycles));
+    std::fprintf(json, "  \"modes\": {\n");
+    for (std::size_t i = 0; i < results.size(); ++i)
+      std::fprintf(json, "    \"%s\": {\"cycles_per_sec\": %.1f, \"nodiv\": %llu}%s\n",
+                   results[i].name.c_str(), results[i].cycles_per_sec,
+                   static_cast<unsigned long long>(results[i].nodiv),
+                   i + 1 < results.size() ? "," : "");
+    std::fprintf(json, "  },\n");
+    std::fprintf(json, "  \"speedups\": {\n");
+    std::fprintf(json, "    \"raw_incremental_vs_legacy\": %.3f,\n", raw_vs_legacy);
+    std::fprintf(json, "    \"raw_incremental_vs_exhaustive\": %.3f,\n", raw_vs_exhaustive);
+    std::fprintf(json, "    \"crc_incremental_vs_legacy\": %.3f,\n", crc_vs_legacy);
+    std::fprintf(json, "    \"crc_incremental_vs_exhaustive\": %.3f\n", crc_vs_exhaustive);
+    std::fprintf(json, "  }\n");
+    std::fprintf(json, "}\n");
+    std::fclose(json);
+    std::printf("\nwrote %s\n", json_path.c_str());
+  } else {
+    std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+    return 2;
+  }
+
+  if (check) {
+    if (raw_vs_exhaustive < 1.0) {
+      std::fprintf(stderr,
+                   "PERF-SMOKE FAIL: incremental comparator slower than exhaustive "
+                   "(%.2fx)\n",
+                   raw_vs_exhaustive);
+      return 1;
+    }
+    std::printf("perf-smoke OK: incremental %.2fx vs exhaustive, %.2fx vs legacy\n",
+                raw_vs_exhaustive, raw_vs_legacy);
+  }
+  return 0;
+}

@@ -45,19 +45,28 @@ class Fnv1a64 {
 };
 
 /// CRC-32 (IEEE 802.3, reflected) — the hardware-style signature compactor.
+/// Table-driven (byte-at-a-time); identical values to the bitwise form.
 class Crc32 {
  public:
   void add(u64 word) noexcept {
     for (int i = 0; i < 8; ++i) add_byte(static_cast<u8>(word >> (8 * i)));
   }
-  void add_byte(u8 byte) noexcept {
-    crc_ ^= byte;
-    for (int k = 0; k < 8; ++k)
-      crc_ = (crc_ >> 1) ^ (0xEDB88320u & (0u - (crc_ & 1u)));
+  void add32(u32 word) noexcept {
+    for (int i = 0; i < 4; ++i) add_byte(static_cast<u8>(word >> (8 * i)));
   }
+  void add_byte(u8 byte) noexcept { crc_ = (crc_ >> 8) ^ kTable[(crc_ ^ byte) & 0xFFu]; }
   u32 value() const noexcept { return ~crc_; }
 
  private:
+  static constexpr std::array<u32, 256> kTable = [] {
+    std::array<u32, 256> table{};
+    for (u32 i = 0; i < 256; ++i) {
+      u32 c = i;
+      for (int k = 0; k < 8; ++k) c = (c >> 1) ^ (0xEDB88320u & (0u - (c & 1u)));
+      table[i] = c;
+    }
+    return table;
+  }();
   u32 crc_ = 0xFFFFFFFFu;
 };
 

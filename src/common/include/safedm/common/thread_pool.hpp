@@ -1,0 +1,109 @@
+// Minimal fixed-size thread pool for the embarrassingly-parallel layers of
+// the experiment harness (independent MpSoc runs, config sweeps).
+//
+// Deliberately work-stealing-free: one shared FIFO queue under a mutex is
+// plenty when each task is an entire simulation run (milliseconds to
+// seconds of work). With `threads == 1` the pool degenerates to inline
+// serial execution — bit-identical to the historical serial harness and
+// the debugging escape hatch (SAFEDM_BENCH_THREADS=1).
+//
+// parallel_for() is the workhorse: the calling thread participates in
+// draining the index range, so a nested parallel_for from inside a worker
+// simply runs its share inline instead of deadlocking on the queue.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace safedm {
+
+class ThreadPool {
+ public:
+  /// `threads == 0` selects std::thread::hardware_concurrency().
+  explicit ThreadPool(unsigned threads = 0);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Worker count (1 means inline serial execution: no worker threads).
+  unsigned size() const { return workers_.empty() ? 1 : static_cast<unsigned>(workers_.size()); }
+
+  /// Enqueue a task; runs inline immediately in serial mode.
+  void submit(std::function<void()> task);
+
+  /// Block until every submitted task has finished. Rethrows the first
+  /// exception any task raised since the previous wait.
+  void wait_idle();
+
+  /// Run fn(0..count-1), distributing indices over the workers *and* the
+  /// calling thread; returns when all indices completed. Rethrows the
+  /// first exception raised by any index. Safe to nest (inner calls run
+  /// inline on their worker).
+  template <typename Fn>
+  void parallel_for(std::size_t count, Fn&& fn) {
+    if (count == 0) return;
+    if (workers_.empty() || count == 1 || in_worker()) {
+      for (std::size_t i = 0; i < count; ++i) fn(i);
+      return;
+    }
+    struct ForState {
+      std::atomic<std::size_t> next{0};
+      std::atomic<unsigned> active{0};
+      std::mutex mutex;
+      std::condition_variable done;
+      std::exception_ptr error;
+    };
+    auto state = std::make_shared<ForState>();
+    std::size_t helper_count = std::min<std::size_t>(workers_.size(), count - 1);
+    const auto drain = [state, &fn, count] {
+      std::size_t i;
+      while ((i = state->next.fetch_add(1, std::memory_order_relaxed)) < count) {
+        try {
+          fn(i);
+        } catch (...) {
+          std::lock_guard<std::mutex> lock(state->mutex);
+          if (!state->error) state->error = std::current_exception();
+        }
+      }
+    };
+    state->active.store(static_cast<unsigned>(helper_count), std::memory_order_relaxed);
+    for (std::size_t h = 0; h < helper_count; ++h) {
+      submit([state, drain] {
+        drain();
+        std::lock_guard<std::mutex> lock(state->mutex);
+        if (state->active.fetch_sub(1, std::memory_order_acq_rel) == 1)
+          state->done.notify_all();
+      });
+    }
+    drain();  // the caller works too
+    std::unique_lock<std::mutex> lock(state->mutex);
+    state->done.wait(lock, [&] { return state->active.load(std::memory_order_acquire) == 0; });
+    if (state->error) std::rethrow_exception(state->error);
+  }
+
+ private:
+  static bool in_worker();
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable work_ready_;
+  std::condition_variable idle_;
+  unsigned running_ = 0;
+  bool stopping_ = false;
+  std::exception_ptr first_error_;
+};
+
+/// Thread count for the bench harness: SAFEDM_BENCH_THREADS if set (>= 1;
+/// 1 forces the historical serial behavior), else hardware concurrency.
+unsigned bench_thread_count();
+
+}  // namespace safedm

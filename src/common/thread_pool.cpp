@@ -1,0 +1,95 @@
+#include "safedm/common/thread_pool.hpp"
+
+#include <cstdlib>
+
+namespace safedm {
+namespace {
+
+thread_local bool t_in_worker = false;
+
+}  // namespace
+
+bool ThreadPool::in_worker() { return t_in_worker; }
+
+ThreadPool::ThreadPool(unsigned threads) {
+  if (threads == 0) {
+    threads = std::thread::hardware_concurrency();
+    if (threads == 0) threads = 1;
+  }
+  if (threads == 1) return;  // serial mode: no workers, submit runs inline
+  workers_.reserve(threads);
+  for (unsigned i = 0; i < threads; ++i) workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  work_ready_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::worker_loop() {
+  t_in_worker = true;
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_ready_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++running_;
+    }
+    try {
+      task();
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (!first_error_) first_error_ = std::current_exception();
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --running_;
+      if (queue_.empty() && running_ == 0) idle_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  if (workers_.empty()) {  // serial mode
+    try {
+      task();
+    } catch (...) {
+      if (!first_error_) first_error_ = std::current_exception();
+    }
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(task));
+  }
+  work_ready_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::exception_ptr error;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    idle_.wait(lock, [&] { return queue_.empty() && running_ == 0; });
+    error = first_error_;
+    first_error_ = nullptr;
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+unsigned bench_thread_count() {
+  if (const char* env = std::getenv("SAFEDM_BENCH_THREADS")) {
+    const long parsed = std::strtol(env, nullptr, 10);
+    if (parsed >= 1) return static_cast<unsigned>(parsed);
+  }
+  const unsigned hc = std::thread::hardware_concurrency();
+  return hc == 0 ? 1 : hc;
+}
+
+}  // namespace safedm

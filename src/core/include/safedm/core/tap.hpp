@@ -35,7 +35,11 @@ enum class Port : u8 {
 };
 
 struct StageSlotTap {
-  bool valid = false;
+  // `valid` is a full word (producers write 0 or 1) so the slot has no
+  // padding bytes: one slot == one 64-bit wire word, which lets the
+  // signature generator snapshot and compare whole pipelines as flat
+  // 64-bit loads instead of per-field walks.
+  u32 valid = 0;
   u32 encoding = 0;
 
   bool operator==(const StageSlotTap&) const = default;

@@ -1,0 +1,67 @@
+#include "safedm/safedm/comparator.hpp"
+
+#include "safedm/common/check.hpp"
+
+namespace safedm::monitor {
+
+DiversityComparator::DiversityComparator(const SignatureGenerator& a,
+                                         const SignatureGenerator& b)
+    : a_(&a),
+      b_(&b),
+      a_samples_(a.samples_data()),
+      b_samples_(b.samples_data()),
+      stride_(a.padded_depth()),
+      ring_mask_(a.padded_depth() - 1),
+      depth_(a.config().data_fifo_depth),
+      ports_(a.config().num_ports),
+      crc_mode_(a.config().compare == CompareMode::kCrc32),
+      raw_perstage_(a.config().compare != CompareMode::kCrc32 &&
+                    a.config().is_mode == IsMode::kPerStage),
+      incremental_ok_(a.config().data_fifo_depth <= 64) {
+  SAFEDM_CHECK_MSG(a.config().num_ports == b.config().num_ports &&
+                       a.config().data_fifo_depth == b.config().data_fifo_depth &&
+                       a.config().is_mode == b.config().is_mode,
+                   "comparator requires generators of identical geometry");
+  resync();
+}
+
+void DiversityComparator::resync() {
+  seen_shift_a_ = a_->shift_count();
+  seen_shift_b_ = b_->shift_count();
+  rescan_data();
+  refresh_data_verdict();
+  seen_stage_a_ = a_->stage_version();
+  seen_stage_b_ = b_->stage_version();
+  recompute_instruction_verdict();
+}
+
+void DiversityComparator::rescan_data() {
+  mismatch_agg_ = 0;
+  for (unsigned p = 0; p < ports_; ++p) {
+    u64 mask = 0;
+    if (incremental_ok_) {
+      for (unsigned i = 0; i < depth_; ++i) {
+        if (!(a_->entry(p, i) == b_->entry(p, i))) mask |= u64{1} << i;
+      }
+    }
+    port_mismatch_[p] = mask;
+    mismatch_agg_ |= mask;
+  }
+}
+
+void DiversityComparator::refresh_data_verdict() {
+  if (crc_mode_) {
+    ds_match_ = a_->data_crc() == b_->data_crc();
+  } else if (incremental_ok_) {
+    ds_match_ = mismatch_agg_ == 0;
+  } else {
+    ds_match_ = SignatureGenerator::data_equal(*a_, *b_);
+  }
+}
+
+void DiversityComparator::recompute_instruction_verdict() {
+  is_match_ = crc_mode_ ? a_->instruction_crc() == b_->instruction_crc()
+                        : SignatureGenerator::instruction_equal(*a_, *b_);
+}
+
+}  // namespace safedm::monitor

@@ -1,0 +1,145 @@
+// Incremental diversity comparator (the per-cycle hot path of the
+// monitor). Real SafeDM hardware compares the full signatures in one
+// cycle because only one sample per port FIFO changes per clock; this
+// software model exploits the same incrementality.
+//
+// DS bookkeeping: one mismatch bitmask per port, bit i set when the two
+// cores' logical FIFO position i (0 = oldest) holds differing samples.
+// When both pipelines shift, each mask shifts down by one (the oldest pair
+// ages out) and the newest pair's comparison enters at the top — O(ports)
+// work per cycle. When the cores' hold signals diverge the windows
+// de-align and the comparator falls back to one full realignment scan;
+// the common both-shift / both-hold cases stay on the fast path. The
+// masks index logical window positions (each generator tracks its own
+// ring offset via its shift count), so alignment recovers automatically
+// once both windows again hold identical histories.
+//
+// IS bookkeeping: the verdict is recomputed only when either core's
+// pipeline-stage snapshot version changed; held pipelines reuse it.
+//
+// CompareMode::kCrc32 routes through the generators' dirty-bit-cached
+// CRCs instead, preserving the compressed compare's collision semantics
+// (the A2 ablation's false-negative risk).
+#pragma once
+
+#include "safedm/safedm/signature.hpp"
+
+namespace safedm::monitor {
+
+class DiversityComparator {
+ public:
+  DiversityComparator(const SignatureGenerator& a, const SignatureGenerator& b);
+
+  /// Re-derive all bookkeeping from the generators' current state (after a
+  /// generator reset, or to attach mid-stream).
+  void resync();
+
+  /// Advance one cycle; call after both generators captured their frames.
+  /// Inline: this runs once per simulated cycle and the common both-shift /
+  /// both-hold cases must stay a handful of instructions.
+  void update() {
+    const u64 sa = a_->shift_count();
+    const u64 sb = b_->shift_count();
+    const u64 da = sa - seen_shift_a_;
+    const u64 db = sb - seen_shift_b_;
+    seen_shift_a_ = sa;
+    seen_shift_b_ = sb;
+
+    if (da == 1 && db == 1 && incremental_ok_) {
+      // Both shifted: every logical position ages down by one; the evicted
+      // (oldest) pair falls off the bottom of each mask and the newly
+      // inserted pair is compared at the top. O(ports) total, on raw
+      // storage pointers with the ring offset computed once.
+      const unsigned top = depth_ - 1;
+      const core::PortTap* ta = a_samples_ + ((static_cast<unsigned>(sa) - 1) & ring_mask_);
+      const core::PortTap* tb = b_samples_ + ((static_cast<unsigned>(sb) - 1) & ring_mask_);
+      u64 agg = 0;
+      for (unsigned p = 0; p < ports_; ++p, ta += stride_, tb += stride_) {
+        u64 mask = port_mismatch_[p] >> 1;
+        mask |= static_cast<u64>((ta->value != tb->value) | (ta->enable != tb->enable))
+                << top;
+        port_mismatch_[p] = mask;
+        agg |= mask;
+      }
+      mismatch_agg_ = agg;
+      if (!crc_mode_) ds_match_ = agg == 0;
+      else refresh_data_verdict();
+      ++stats_.fast_updates;
+    } else if (da == 0 && db == 0) {
+      // Both held: window contents unchanged, verdict carries over.
+      ++stats_.hold_reuses;
+    } else {
+      // Hold signals diverged (or a multi-shift gap): the windows
+      // de-aligned relative to each other, so realign with one full scan.
+      rescan_data();
+      refresh_data_verdict();
+      ++stats_.realign_scans;
+    }
+
+    // IS verdict. Raw per-stage mode: one flat word compare of the packed
+    // snapshots, every cycle — cheaper than tracking whether they changed.
+    // Other modes gate the (CRC / flat-list) recompute on the generators'
+    // stage versions so held pipelines reuse the verdict.
+    if (raw_perstage_) {
+      // Branchless xor-reduce beats a library memcmp at this size.
+      const SignatureGenerator::PackedStages& pa = a_->packed_stages();
+      const SignatureGenerator::PackedStages& pb = b_->packed_stages();
+      u64 diff = 0;
+      for (unsigned k = 0; k < SignatureGenerator::kStageSlots; ++k) diff |= pa[k] ^ pb[k];
+      is_match_ = diff == 0;
+      ++stats_.is_recomputes;
+    } else {
+      const u64 va = a_->stage_version();
+      const u64 vb = b_->stage_version();
+      if (va != seen_stage_a_ || vb != seen_stage_b_) {
+        seen_stage_a_ = va;
+        seen_stage_b_ = vb;
+        ++stats_.is_recomputes;
+        recompute_instruction_verdict();
+      }
+    }
+  }
+
+  bool ds_match() const { return ds_match_; }
+  bool is_match() const { return is_match_; }
+
+  /// Fast-path / fallback accounting (simulation observability only).
+  struct Stats {
+    u64 fast_updates = 0;    // O(ports) incremental steps
+    u64 hold_reuses = 0;     // both held: verdict carried over unchanged
+    u64 realign_scans = 0;   // divergent holds: full window rescan
+    u64 is_recomputes = 0;   // stage snapshot changed on either core
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  void rescan_data();
+  void refresh_data_verdict();
+  void recompute_instruction_verdict();
+
+  const SignatureGenerator* a_;
+  const SignatureGenerator* b_;
+  const core::PortTap* a_samples_;  // stable raw views (fast path)
+  const core::PortTap* b_samples_;
+  unsigned stride_;     // padded per-port ring span
+  unsigned ring_mask_;  // stride_ - 1
+  unsigned depth_;
+  unsigned ports_;
+  bool crc_mode_;
+  bool raw_perstage_;    // raw compare + per-stage IS: verdict inlines
+  bool incremental_ok_;  // mismatch masks fit in 64 bits
+
+  std::array<u64, core::kMaxPorts> port_mismatch_{};  // bit i: logical pos i differs
+  u64 mismatch_agg_ = 0;                              // OR of all port masks
+
+  u64 seen_shift_a_ = 0;
+  u64 seen_shift_b_ = 0;
+  u64 seen_stage_a_ = ~u64{0};
+  u64 seen_stage_b_ = ~u64{0};
+
+  bool ds_match_ = true;
+  bool is_match_ = true;
+  Stats stats_{};
+};
+
+}  // namespace safedm::monitor

@@ -51,6 +51,14 @@ struct SafeDmConfig {
   /// signatures each cycle (a diversity magnitude, not just a verdict).
   /// Costs extra simulation time; off by default.
   bool track_distance = false;
+
+  /// Simulation-side comparison strategy: the incremental
+  /// DiversityComparator updates cross-core mismatch bookkeeping in
+  /// O(num_ports) per cycle (mirroring the hardware, which only sees one
+  /// new sample per FIFO per clock). Disable to force the exhaustive
+  /// whole-signature comparison every cycle — the reference oracle and
+  /// perf baseline. Verdicts are identical either way.
+  bool incremental_compare = true;
 };
 
 }  // namespace safedm::monitor

@@ -17,6 +17,7 @@
 
 #include "safedm/bus/apb.hpp"
 #include "safedm/common/histogram.hpp"
+#include "safedm/safedm/comparator.hpp"
 #include "safedm/safedm/signature.hpp"
 #include "safedm/soc/soc.hpp"
 
@@ -28,7 +29,13 @@ namespace safedm::monitor {
 class InstructionDiff {
  public:
   void set_ignore(unsigned core_index, u64 count);
-  void on_commits(unsigned commits0, unsigned commits1);
+  void on_commits(unsigned commits0, unsigned commits1) {
+    if ((ignore_[0] | ignore_[1]) == 0) {  // steady state: no prelude left
+      diff_ += static_cast<i64>(commits0) - static_cast<i64>(commits1);
+      return;
+    }
+    on_commits_prelude(commits0, commits1);
+  }
   void reset();
 
   i64 diff() const { return diff_; }
@@ -36,6 +43,8 @@ class InstructionDiff {
   bool armed() const { return ignore_[0] == 0 && ignore_[1] == 0; }
 
  private:
+  void on_commits_prelude(unsigned commits0, unsigned commits1);
+
   i64 diff_ = 0;
   std::array<u64, 2> ignore_{0, 0};
 };
@@ -85,6 +94,9 @@ inline constexpr u32 kSize = 0x80;        // register file span
 class SafeDm final : public soc::CycleObserver, public bus::ApbDevice {
  public:
   explicit SafeDm(const SafeDmConfig& config);
+  // The comparator aliases sig0_/sig1_; copying would leave it dangling.
+  SafeDm(const SafeDm&) = delete;
+  SafeDm& operator=(const SafeDm&) = delete;
 
   // ---- programming interface (RTOS-facing; also reachable via APB) -------
   void enable(bool on);
@@ -121,6 +133,8 @@ class SafeDm final : public soc::CycleObserver, public bus::ApbDevice {
   const Histogram& distance_history() const { return hist_distance_; }
   const SafeDmConfig& config() const { return config_; }
   const SignatureGenerator& signatures(unsigned core_index) const;
+  /// Incremental-comparator fast-path/fallback accounting.
+  const DiversityComparator::Stats& comparator_stats() const { return comparator_.stats(); }
 
   /// Total monitor storage bits (both cores' signature FIFOs); feeds the
   /// hardware cost model.
@@ -136,6 +150,7 @@ class SafeDm final : public soc::CycleObserver, public bus::ApbDevice {
   SafeDmConfig config_;
   SignatureGenerator sig0_;
   SignatureGenerator sig1_;
+  DiversityComparator comparator_;  // observes sig0_/sig1_
   InstructionDiff inst_diff_;
   bool enabled_ = false;
   std::array<bool, 2> seen_commit_{false, false};

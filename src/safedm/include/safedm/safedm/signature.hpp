@@ -9,8 +9,16 @@
 // IS: the {valid, encoding} contents of every pipeline-stage slot
 // (per-stage mode, paper III-B2), or the flat in-flight instruction list
 // for cores without group-advance pipelines.
+//
+// Storage layout: all port FIFOs live in one contiguous buffer whose
+// per-port span is padded to a power of two, so ring indexing is a mask
+// instead of a modulo. The write cursor counts total shifts; the logical
+// window (oldest..newest) is the last `data_fifo_depth` writes. The
+// padding slots beyond the logical depth are never read, and the logical
+// signature geometry (data_signature_bits) is unchanged by the padding.
 #pragma once
 
+#include <cstring>
 #include <vector>
 
 #include "safedm/common/hash.hpp"
@@ -23,21 +31,80 @@ class SignatureGenerator {
  public:
   explicit SignatureGenerator(const SafeDmConfig& config);
 
-  /// Capture one cycle of core observation.
-  void capture(const core::CoreTapFrame& frame);
+  /// Capture one cycle of core observation. Returns true when the data
+  /// FIFOs shifted (i.e. the frame was not held). Inline: runs twice per
+  /// simulated cycle in the monitor hot path.
+  bool capture(const core::CoreTapFrame& frame) {
+    // Stage snapshot: pipeline contents are level signals; re-capturing a
+    // held pipeline reproduces the same snapshot. The snapshot is packed
+    // one slot per 64-bit word so the change check (and every downstream
+    // IS comparison) is a flat word walk instead of a struct element walk.
+    static_assert(sizeof(frame.stage) == sizeof(PackedStages));
+    if (!detect_stage_changes_) {
+      // Raw per-stage mode: the comparator's IS verdict is one flat word
+      // compare, cheaper than exact change detection would be — just
+      // refresh the snapshot.
+      std::memcpy(stage_packed_.data(), &frame.stage, sizeof(PackedStages));
+      ++stage_version_;
+    } else {
+      // Change detection gates real work here (CRC rehash / flat-list
+      // rebuild), so pay for the exact compare. Only bump the version (and
+      // invalidate the IS CRC) when the content actually changed.
+      u64 delta = 0;
+      for (unsigned k = 0; k < kStageSlots; ++k) {
+        u64 word;  // per-word memcpy folds to a plain load
+        std::memcpy(&word, reinterpret_cast<const char*>(&frame.stage) + k * sizeof(u64),
+                    sizeof(word));
+        delta |= word ^ stage_packed_[k];
+      }
+      if (delta != 0) {
+        std::memcpy(stage_packed_.data(), &frame.stage, sizeof(PackedStages));
+        ++stage_version_;
+        inst_crc_valid_ = false;
+      }
+    }
+
+    // Data FIFOs shift once per un-held clock (paper IV-B1: "the hold
+    // signal is used to not overwrite any values in the FIFOs if the
+    // pipeline is stalled").
+    if (frame.hold) return false;
+    const unsigned slot = static_cast<unsigned>(shifts_) & depth_mask_;
+    for (unsigned p = 0; p < config_.num_ports; ++p) {
+      samples_[p * padded_depth_ + slot] = frame.port[p];
+    }
+    if (crc_cached_) {
+      for (unsigned p = 0; p < config_.num_ports; ++p) {
+        entry_dirty_[p * padded_depth_ + slot] = 1;
+      }
+      data_crc_valid_ = false;
+    }
+    ++shifts_;
+    return true;
+  }
 
   /// Clear all captured state (FIFOs empty, pipeline snapshot invalid).
   void reset();
 
-  /// DS0 == DS1 (bit-exact, including enables and sample order).
+  /// DS0 == DS1 (bit-exact, including enables and sample order). This is
+  /// the exhaustive reference comparison; the per-cycle hot path lives in
+  /// DiversityComparator.
   static bool data_equal(const SignatureGenerator& a, const SignatureGenerator& b);
 
   /// IS0 == IS1 under the configured IS mode.
   static bool instruction_equal(const SignatureGenerator& a, const SignatureGenerator& b);
 
-  /// Compressed signatures (CompareMode::kCrc32).
+  /// Compressed signatures (CompareMode::kCrc32). Per-entry CRCs are
+  /// cached with dirty bits, so in steady state only the newly shifted-in
+  /// sample per port is rehashed; the combined value is cached until the
+  /// underlying state changes.
   u32 data_crc() const;
   u32 instruction_crc() const;
+
+  /// Uncached variants that rehash the raw signature bytes end to end;
+  /// used by the exhaustive (pre-incremental) comparison path so perf
+  /// baselines measure what the old code measured.
+  u32 data_crc_exhaustive() const;
+  u32 instruction_crc_exhaustive() const;
 
   /// Diversity *magnitude*: Hamming distance between the two cores'
   /// signatures in bits (0 = no diversity). The paper's comparator only
@@ -47,26 +114,77 @@ class SignatureGenerator {
   static u64 instruction_distance(const SignatureGenerator& a, const SignatureGenerator& b);
 
   /// Total signature storage in bits (used by the hardware cost model and
-  /// the APB SIZE register).
+  /// the APB SIZE register). Reflects the configured logical depth, not
+  /// the padded physical storage.
   u64 data_signature_bits() const;
   u64 instruction_signature_bits() const;
 
   const SafeDmConfig& config() const { return config_; }
 
+  // ---- incremental-comparator observation interface ----------------------
+
+  /// Number of times the data FIFOs have shifted since reset. Two
+  /// generators whose shift counts advance in lockstep stay window-aligned.
+  u64 shift_count() const { return shifts_; }
+
+  /// Bumped when the pipeline-stage snapshot may have changed (and on
+  /// reset); lets observers reuse a cached IS verdict across held cycles.
+  /// Exact (content-compared) in CRC and flat-list modes; in raw per-stage
+  /// mode it bumps on every capture, since there the downstream verdict is
+  /// cheaper than exact change detection.
+  u64 stage_version() const { return stage_version_; }
+
+  /// Logical-window access: entry(p, 0) is port p's oldest sample,
+  /// entry(p, depth-1) the newest. No bounds checks — hot path.
+  const core::PortTap& entry(unsigned port, unsigned i) const {
+    return samples_[port * padded_depth_ +
+                    ((shifts_ - config_.data_fifo_depth + i) & depth_mask_)];
+  }
+
+  /// Raw storage view for the comparator's fast path: contiguous rings,
+  /// port p's physical slot s at samples_data()[p * padded_depth() + s].
+  /// The pointer is stable for the generator's lifetime.
+  const core::PortTap* samples_data() const { return samples_.data(); }
+  unsigned padded_depth() const { return padded_depth_; }
+
+  /// One stage slot per word: the bit image of the (padding-free)
+  /// StageSlotTap. The packed form makes the whole-pipeline IS comparison
+  /// a flat word compare instead of a struct element walk.
+  static constexpr unsigned kStageSlots = core::kPipelineStages * core::kMaxIssueWidth;
+  using PackedStages = std::array<u64, kStageSlots>;
+  const PackedStages& packed_stages() const { return stage_packed_; }
+
   /// Test access: the sample most recently shifted into `port`'s FIFO.
   core::PortTap newest_sample(unsigned port) const;
 
  private:
-  struct PortFifo {
-    std::vector<core::PortTap> entries;  // ring buffer, size n
-    unsigned head = 0;                   // next slot to overwrite
-  };
+  u32 entry_crc(unsigned index) const;
+  u32 data_crc_combine(bool use_cache) const;
 
   SafeDmConfig config_;
-  std::vector<PortFifo> fifos_;  // one per monitored port
-  // Latest pipeline snapshot (per-stage slots).
-  std::array<std::array<core::StageSlotTap, core::kMaxIssueWidth>, core::kPipelineStages>
-      stages_{};
+  unsigned padded_depth_ = 1;  // power of two >= data_fifo_depth
+  unsigned depth_mask_ = 0;    // padded_depth_ - 1
+  bool crc_cached_ = false;    // dirty-bit tracking only pays off in CRC mode
+  // Exact stage-change detection pays for itself only when a change gates
+  // expensive work (CRC rehash, flat-list rebuild); in raw per-stage mode
+  // the snapshot is refreshed unconditionally and the version always bumps.
+  bool detect_stage_changes_ = true;
+  u64 shifts_ = 0;             // total FIFO shifts; write slot = shifts_ & mask
+  u64 stage_version_ = 0;
+  // All ports' rings, contiguous: samples_[p * padded_depth_ + slot].
+  std::vector<core::PortTap> samples_;
+
+  // CRC caches (CompareMode::kCrc32): one CRC per physical slot plus a
+  // dirty flag, and a cached combination over the logical window.
+  mutable std::vector<u32> entry_crc_;
+  mutable std::vector<u8> entry_dirty_;
+  mutable u32 data_crc_cache_ = 0;
+  mutable bool data_crc_valid_ = false;
+  mutable u32 inst_crc_cache_ = 0;
+  mutable bool inst_crc_valid_ = false;
+
+  // Latest pipeline snapshot, packed (slot-major: stage * issue + lane).
+  PackedStages stage_packed_{};
 };
 
 }  // namespace safedm::monitor

@@ -22,7 +22,7 @@ void InstructionDiff::set_ignore(unsigned core_index, u64 count) {
   ignore_[core_index] = count;
 }
 
-void InstructionDiff::on_commits(unsigned commits0, unsigned commits1) {
+void InstructionDiff::on_commits_prelude(unsigned commits0, unsigned commits1) {
   u64 c0 = commits0, c1 = commits1;
   const u64 skip0 = std::min<u64>(ignore_[0], c0);
   const u64 skip1 = std::min<u64>(ignore_[1], c1);
@@ -44,6 +44,7 @@ SafeDm::SafeDm(const SafeDmConfig& config)
     : config_(config),
       sig0_(config),
       sig1_(config),
+      comparator_(sig0_, sig1_),
       enabled_(config.start_enabled),
       hist_nodiv_(make_history(config)),
       hist_ds_(make_history(config)),
@@ -65,6 +66,7 @@ void SafeDm::set_interrupt_handler(std::function<void(u64)> handler) {
 void SafeDm::reset() {
   sig0_.reset();
   sig1_.reset();
+  comparator_.resync();
   inst_diff_.reset();
   counters_ = {};
   seen_commit_ = {false, false};
@@ -89,9 +91,12 @@ u64 SafeDm::storage_bits() const {
 void SafeDm::on_cycle(u64 cycle, const core::CoreTapFrame& frame0,
                       const core::CoreTapFrame& frame1) {
   // The signature FIFOs clock continuously (hardware is never "off"); only
-  // the counting/reporting logic is gated by the enable bit.
+  // the counting/reporting logic is gated by the enable bit. The comparator
+  // likewise tracks every cycle so its bookkeeping stays aligned with the
+  // FIFOs across enable/arm transitions.
   sig0_.capture(frame0);
   sig1_.capture(frame1);
+  if (config_.incremental_compare) comparator_.update();
   inst_diff_.on_commits(frame0.commits, frame1.commits);
 
   seen_commit_[0] = seen_commit_[0] || frame0.commits > 0;
@@ -110,12 +115,15 @@ void SafeDm::on_cycle(u64 cycle, const core::CoreTapFrame& frame0,
 
   bool ds_match = false;
   bool is_match = false;
-  if (config_.compare == CompareMode::kRaw) {
+  if (config_.incremental_compare) {
+    ds_match = comparator_.ds_match();
+    is_match = comparator_.is_match();
+  } else if (config_.compare == CompareMode::kRaw) {
     ds_match = SignatureGenerator::data_equal(sig0_, sig1_);
     is_match = SignatureGenerator::instruction_equal(sig0_, sig1_);
   } else {
-    ds_match = sig0_.data_crc() == sig1_.data_crc();
-    is_match = sig0_.instruction_crc() == sig1_.instruction_crc();
+    ds_match = sig0_.data_crc_exhaustive() == sig1_.data_crc_exhaustive();
+    is_match = sig0_.instruction_crc_exhaustive() == sig1_.instruction_crc_exhaustive();
   }
 
   const bool nodiv = ds_match && is_match;

@@ -1,39 +1,78 @@
 #include "safedm/safedm/signature.hpp"
 
+#include <algorithm>
+#include <array>
+#include <cstring>
+#include <type_traits>
+
+#include "safedm/common/bits.hpp"
 #include "safedm/common/check.hpp"
 
 namespace safedm::monitor {
+namespace {
+
+unsigned next_pow2(unsigned v) {
+  unsigned p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+// A packed stage word is the bit image of one StageSlotTap (8 bytes, no
+// padding), so word equality is slot equality; decode via bit_cast.
+static_assert(sizeof(core::StageSlotTap) == sizeof(u64));
+static_assert(std::has_unique_object_representations_v<core::StageSlotTap>);
+
+core::StageSlotTap unpack_slot(u64 word) {
+  core::StageSlotTap slot;
+  std::memcpy(static_cast<void*>(&slot), &word, sizeof(slot));
+  return slot;
+}
+
+// Flat-mode IS: the ordered list of in-flight encodings, oldest (WB)
+// first, ignoring which stage holds them. Fixed-capacity scratch — the
+// pipeline can hold at most stages × issue-width instructions — so the
+// per-cycle comparison never touches the heap.
+struct FlatList {
+  std::array<u32, SignatureGenerator::kStageSlots> encoding{};
+  unsigned count = 0;
+};
+
+FlatList flatten(const SignatureGenerator& s) {
+  FlatList list;
+  const auto& packed = s.packed_stages();
+  for (int st = core::kPipelineStages - 1; st >= 0; --st) {
+    for (unsigned lane = 0; lane < core::kMaxIssueWidth; ++lane) {
+      const core::StageSlotTap slot =
+          unpack_slot(packed[static_cast<unsigned>(st) * core::kMaxIssueWidth + lane]);
+      if (slot.valid) list.encoding[list.count++] = slot.encoding;
+    }
+  }
+  return list;
+}
+
+}  // namespace
 
 SignatureGenerator::SignatureGenerator(const SafeDmConfig& config) : config_(config) {
   SAFEDM_CHECK_MSG(config.num_ports >= 1 && config.num_ports <= core::kMaxPorts,
                    "monitored port count out of range");
   SAFEDM_CHECK_MSG(config.data_fifo_depth >= 1, "data FIFO depth must be positive");
-  fifos_.resize(config.num_ports);
-  for (PortFifo& fifo : fifos_) fifo.entries.assign(config.data_fifo_depth, {});
+  padded_depth_ = next_pow2(config.data_fifo_depth);
+  depth_mask_ = padded_depth_ - 1;
+  crc_cached_ = config.compare == CompareMode::kCrc32;
+  detect_stage_changes_ = crc_cached_ || config.is_mode == IsMode::kFlatList;
+  samples_.assign(static_cast<size_t>(config.num_ports) * padded_depth_, {});
+  entry_crc_.assign(samples_.size(), 0);
+  entry_dirty_.assign(samples_.size(), 1);
 }
 
 void SignatureGenerator::reset() {
-  for (PortFifo& fifo : fifos_) {
-    fifo.entries.assign(config_.data_fifo_depth, {});
-    fifo.head = 0;
-  }
-  stages_ = {};
-}
-
-void SignatureGenerator::capture(const core::CoreTapFrame& frame) {
-  // Stage snapshot: pipeline contents are level signals; re-capturing a
-  // held pipeline reproduces the same snapshot.
-  stages_ = frame.stage;
-
-  // Data FIFOs shift once per un-held clock (paper IV-B1: "the hold signal
-  // is used to not overwrite any values in the FIFOs if the pipeline is
-  // stalled").
-  if (frame.hold) return;
-  for (unsigned p = 0; p < config_.num_ports; ++p) {
-    PortFifo& fifo = fifos_[p];
-    fifo.entries[fifo.head] = frame.port[p];
-    fifo.head = (fifo.head + 1) % config_.data_fifo_depth;
-  }
+  std::fill(samples_.begin(), samples_.end(), core::PortTap{});
+  std::fill(entry_dirty_.begin(), entry_dirty_.end(), u8{1});
+  shifts_ = 0;
+  data_crc_valid_ = false;
+  inst_crc_valid_ = false;
+  stage_packed_ = {};
+  ++stage_version_;
 }
 
 bool SignatureGenerator::data_equal(const SignatureGenerator& a, const SignatureGenerator& b) {
@@ -42,13 +81,11 @@ bool SignatureGenerator::data_equal(const SignatureGenerator& a, const Signature
                    "comparing signature generators of different geometry");
   // Ring phase is part of the hardware state; compare entries in FIFO
   // order (oldest to newest) so equal histories compare equal regardless
-  // of internal head positions.
+  // of internal write-cursor positions.
   const unsigned n = a.config_.data_fifo_depth;
   for (unsigned p = 0; p < a.config_.num_ports; ++p) {
-    const PortFifo& fa = a.fifos_[p];
-    const PortFifo& fb = b.fifos_[p];
     for (unsigned i = 0; i < n; ++i) {
-      if (!(fa.entries[(fa.head + i) % n] == fb.entries[(fb.head + i) % n])) return false;
+      if (!(a.entry(p, i) == b.entry(p, i))) return false;
     }
   }
   return true;
@@ -58,18 +95,12 @@ bool SignatureGenerator::instruction_equal(const SignatureGenerator& a,
                                            const SignatureGenerator& b) {
   SAFEDM_CHECK(a.config_.is_mode == b.config_.is_mode);
   if (a.config_.is_mode == IsMode::kPerStage) {
-    return a.stages_ == b.stages_;
+    return a.stage_packed_ == b.stage_packed_;
   }
-  // Flat mode: the ordered list of in-flight encodings, oldest (WB) first,
-  // ignoring which stage holds them.
-  const auto flatten = [](const SignatureGenerator& s) {
-    std::vector<u32> list;
-    for (int st = core::kPipelineStages - 1; st >= 0; --st)
-      for (unsigned lane = 0; lane < core::kMaxIssueWidth; ++lane)
-        if (s.stages_[st][lane].valid) list.push_back(s.stages_[st][lane].encoding);
-    return list;
-  };
-  return flatten(a) == flatten(b);
+  const FlatList fa = flatten(a);
+  const FlatList fb = flatten(b);
+  return fa.count == fb.count &&
+         std::equal(fa.encoding.begin(), fa.encoding.begin() + fa.count, fb.encoding.begin());
 }
 
 u64 SignatureGenerator::data_distance(const SignatureGenerator& a,
@@ -79,11 +110,9 @@ u64 SignatureGenerator::data_distance(const SignatureGenerator& a,
   const unsigned n = a.config_.data_fifo_depth;
   u64 distance = 0;
   for (unsigned p = 0; p < a.config_.num_ports; ++p) {
-    const PortFifo& fa = a.fifos_[p];
-    const PortFifo& fb = b.fifos_[p];
     for (unsigned i = 0; i < n; ++i) {
-      const core::PortTap& ta = fa.entries[(fa.head + i) % n];
-      const core::PortTap& tb = fb.entries[(fb.head + i) % n];
+      const core::PortTap& ta = a.entry(p, i);
+      const core::PortTap& tb = b.entry(p, i);
       distance += static_cast<u64>(__builtin_popcountll(ta.value ^ tb.value));
       distance += ta.enable != tb.enable ? 1 : 0;
     }
@@ -93,24 +122,64 @@ u64 SignatureGenerator::data_distance(const SignatureGenerator& a,
 
 u64 SignatureGenerator::instruction_distance(const SignatureGenerator& a,
                                              const SignatureGenerator& b) {
+  // Packed words xor to exactly (encoding diff bits | valid diff bit), so
+  // one popcount per slot covers both fields.
   u64 distance = 0;
-  for (unsigned st = 0; st < core::kPipelineStages; ++st) {
-    for (unsigned lane = 0; lane < core::kMaxIssueWidth; ++lane) {
-      const core::StageSlotTap& sa = a.stages_[st][lane];
-      const core::StageSlotTap& sb = b.stages_[st][lane];
-      distance += static_cast<u64>(__builtin_popcount(sa.encoding ^ sb.encoding));
-      distance += sa.valid != sb.valid ? 1 : 0;
-    }
+  for (unsigned k = 0; k < kStageSlots; ++k) {
+    distance += static_cast<u64>(__builtin_popcountll(a.stage_packed_[k] ^ b.stage_packed_[k]));
   }
   return distance;
 }
 
-u32 SignatureGenerator::data_crc() const {
+u32 SignatureGenerator::entry_crc(unsigned index) const {
+  if (entry_dirty_[index]) {
+    Crc32 crc;
+    crc.add_byte(samples_[index].enable ? 1 : 0);
+    crc.add(samples_[index].value);
+    entry_crc_[index] = crc.value();
+    entry_dirty_[index] = 0;
+  }
+  return entry_crc_[index];
+}
+
+u32 SignatureGenerator::data_crc_combine(bool use_cache) const {
+  // Combine per-entry CRCs in logical (oldest..newest) order. With the
+  // cache, only entries written since their last hash are re-hashed.
   Crc32 crc;
   const unsigned n = config_.data_fifo_depth;
-  for (const PortFifo& fifo : fifos_) {
+  for (unsigned p = 0; p < config_.num_ports; ++p) {
+    const unsigned base = p * padded_depth_;
     for (unsigned i = 0; i < n; ++i) {
-      const core::PortTap& tap = fifo.entries[(fifo.head + i) % n];
+      const unsigned slot = static_cast<unsigned>(shifts_ - n + i) & depth_mask_;
+      if (use_cache) {
+        crc.add32(entry_crc(base + slot));
+      } else {
+        Crc32 e;
+        e.add_byte(samples_[base + slot].enable ? 1 : 0);
+        e.add(samples_[base + slot].value);
+        crc.add32(e.value());
+      }
+    }
+  }
+  return crc.value();
+}
+
+u32 SignatureGenerator::data_crc() const {
+  // Dirty-bit caching is only maintained in CRC compare mode; raw-mode
+  // generators compute the (value-identical) combination fresh.
+  if (!crc_cached_) return data_crc_combine(/*use_cache=*/false);
+  if (data_crc_valid_) return data_crc_cache_;
+  data_crc_cache_ = data_crc_combine(/*use_cache=*/true);
+  data_crc_valid_ = true;
+  return data_crc_cache_;
+}
+
+u32 SignatureGenerator::data_crc_exhaustive() const {
+  Crc32 crc;
+  const unsigned n = config_.data_fifo_depth;
+  for (unsigned p = 0; p < config_.num_ports; ++p) {
+    for (unsigned i = 0; i < n; ++i) {
+      const core::PortTap& tap = entry(p, i);
       crc.add_byte(tap.enable ? 1 : 0);
       crc.add(tap.value);
     }
@@ -119,18 +188,29 @@ u32 SignatureGenerator::data_crc() const {
 }
 
 u32 SignatureGenerator::instruction_crc() const {
+  if (!inst_crc_valid_) {
+    inst_crc_cache_ = instruction_crc_exhaustive();
+    inst_crc_valid_ = true;
+  }
+  return inst_crc_cache_;
+}
+
+u32 SignatureGenerator::instruction_crc_exhaustive() const {
   Crc32 crc;
   if (config_.is_mode == IsMode::kPerStage) {
-    for (const auto& stage : stages_) {
-      for (const auto& slot : stage) {
-        crc.add_byte(slot.valid ? 1 : 0);
-        crc.add(slot.encoding);
-      }
+    for (const u64 word : stage_packed_) {
+      const core::StageSlotTap slot = unpack_slot(word);
+      crc.add_byte(slot.valid ? 1 : 0);
+      crc.add(slot.encoding);
     }
   } else {
-    for (int st = core::kPipelineStages - 1; st >= 0; --st)
-      for (unsigned lane = 0; lane < core::kMaxIssueWidth; ++lane)
-        if (stages_[st][lane].valid) crc.add(stages_[st][lane].encoding);
+    for (int st = core::kPipelineStages - 1; st >= 0; --st) {
+      for (unsigned lane = 0; lane < core::kMaxIssueWidth; ++lane) {
+        const core::StageSlotTap slot =
+            unpack_slot(stage_packed_[static_cast<unsigned>(st) * core::kMaxIssueWidth + lane]);
+        if (slot.valid) crc.add(slot.encoding);
+      }
+    }
   }
   return crc.value();
 }
@@ -147,9 +227,7 @@ u64 SignatureGenerator::instruction_signature_bits() const {
 
 core::PortTap SignatureGenerator::newest_sample(unsigned port) const {
   SAFEDM_CHECK(port < config_.num_ports);
-  const PortFifo& fifo = fifos_[port];
-  const unsigned newest = (fifo.head + config_.data_fifo_depth - 1) % config_.data_fifo_depth;
-  return fifo.entries[newest];
+  return entry(port, config_.data_fifo_depth - 1);
 }
 
 }  // namespace safedm::monitor

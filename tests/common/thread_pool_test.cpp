@@ -1,0 +1,79 @@
+#include "safedm/common/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <stdexcept>
+#include <vector>
+
+namespace safedm {
+namespace {
+
+TEST(ThreadPool, ParallelForCoversEveryIndexExactlyOnce) {
+  for (unsigned threads : {1u, 2u, 4u}) {
+    ThreadPool pool(threads);
+    std::vector<std::atomic<int>> hits(257);
+    pool.parallel_for(hits.size(), [&](std::size_t i) { hits[i].fetch_add(1); });
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(ThreadPool, SerialModeHasNoWorkers) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.size(), 1u);
+  int calls = 0;
+  pool.parallel_for(5, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 5);
+}
+
+TEST(ThreadPool, NestedParallelForDoesNotDeadlock) {
+  ThreadPool pool(2);
+  std::atomic<int> total{0};
+  pool.parallel_for(4, [&](std::size_t) {
+    pool.parallel_for(8, [&](std::size_t) { total.fetch_add(1); });
+  });
+  EXPECT_EQ(total.load(), 32);
+}
+
+TEST(ThreadPool, ParallelForPropagatesException) {
+  for (unsigned threads : {1u, 3u}) {
+    ThreadPool pool(threads);
+    EXPECT_THROW(pool.parallel_for(16,
+                                   [&](std::size_t i) {
+                                     if (i == 7) throw std::runtime_error("boom");
+                                   }),
+                 std::runtime_error);
+  }
+}
+
+TEST(ThreadPool, SubmitAndWaitIdle) {
+  ThreadPool pool(3);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 20; ++i) pool.submit([&] { done.fetch_add(1); });
+  pool.wait_idle();
+  EXPECT_EQ(done.load(), 20);
+}
+
+TEST(ThreadPool, WaitIdleRethrowsSubmittedException) {
+  ThreadPool pool(2);
+  pool.submit([] { throw std::logic_error("task failed"); });
+  EXPECT_THROW(pool.wait_idle(), std::logic_error);
+  // The error is consumed; the pool remains usable.
+  std::atomic<int> ok{0};
+  pool.submit([&] { ok.fetch_add(1); });
+  pool.wait_idle();
+  EXPECT_EQ(ok.load(), 1);
+}
+
+TEST(ThreadPool, BenchThreadCountHonorsEnvOverride) {
+  ::setenv("SAFEDM_BENCH_THREADS", "3", 1);
+  EXPECT_EQ(bench_thread_count(), 3u);
+  ::setenv("SAFEDM_BENCH_THREADS", "1", 1);
+  EXPECT_EQ(bench_thread_count(), 1u);
+  ::unsetenv("SAFEDM_BENCH_THREADS");
+  EXPECT_GE(bench_thread_count(), 1u);
+}
+
+}  // namespace
+}  // namespace safedm

@@ -1,0 +1,178 @@
+// Property test: the incremental DiversityComparator's per-cycle verdicts
+// (DS match, IS match, nodiv) are bit-identical to the exhaustive
+// data_equal / instruction_equal oracle on randomized workloads with
+// independent per-core hold and stagger sequences, across raw and CRC
+// compare modes and both IS modes.
+//
+// The frame streams are scripted through phases that exercise every
+// comparator path: lockstep-identical frames (all-match fast path),
+// value-divergent frames, independently held pipelines (window
+// de-alignment -> realignment scans), and re-convergence (identical
+// samples refill both windows at different ring phases). Values are drawn
+// from a tiny alphabet so coincidental matches are frequent.
+#include <gtest/gtest.h>
+
+#include "safedm/common/rng.hpp"
+#include "safedm/safedm/comparator.hpp"
+#include "safedm/safedm/monitor.hpp"
+#include "safedm/safedm/signature.hpp"
+
+namespace safedm::monitor {
+namespace {
+
+struct Scenario {
+  unsigned depth;
+  unsigned ports;
+  CompareMode compare;
+  IsMode is_mode;
+  u64 seed;
+};
+
+std::string scenario_name(const ::testing::TestParamInfo<Scenario>& info) {
+  const Scenario& s = info.param;
+  return "n" + std::to_string(s.depth) + "_m" + std::to_string(s.ports) +
+         (s.compare == CompareMode::kCrc32 ? "_crc" : "_raw") +
+         (s.is_mode == IsMode::kFlatList ? "_flat" : "_perstage") + "_s" +
+         std::to_string(s.seed);
+}
+
+std::vector<Scenario> make_scenarios() {
+  std::vector<Scenario> scenarios;
+  u64 seed = 1;
+  for (unsigned depth : {1u, 2u, 3u, 4u, 8u, 16u})
+    for (CompareMode compare : {CompareMode::kRaw, CompareMode::kCrc32})
+      for (IsMode is_mode : {IsMode::kPerStage, IsMode::kFlatList})
+        scenarios.push_back(Scenario{depth, depth % 2 ? 3u : 4u, compare, is_mode, seed++});
+  return scenarios;
+}
+
+class ComparatorEquivalence : public ::testing::TestWithParam<Scenario> {};
+
+// Frames with values from a tiny alphabet: coincidental cross-core matches
+// and partial-window matches happen constantly.
+core::CoreTapFrame small_frame(Xoshiro256& rng) {
+  core::CoreTapFrame f;
+  for (unsigned s = 0; s < core::kPipelineStages; ++s)
+    for (unsigned l = 0; l < core::kMaxIssueWidth; ++l)
+      f.stage[s][l] = core::StageSlotTap{rng.chance(0.7), static_cast<u32>(rng.below(3))};
+  for (unsigned p = 0; p < core::kMaxPorts; ++p)
+    f.port[p] = core::PortTap{rng.chance(0.5), rng.below(2)};
+  f.commits = static_cast<unsigned>(rng.below(3));
+  return f;
+}
+
+TEST_P(ComparatorEquivalence, VerdictMatchesOracleEveryCycle) {
+  const Scenario& scenario = GetParam();
+  SafeDmConfig config;
+  config.data_fifo_depth = scenario.depth;
+  config.num_ports = scenario.ports;
+  config.compare = scenario.compare;
+  config.is_mode = scenario.is_mode;
+
+  SignatureGenerator a(config), b(config);
+  DiversityComparator comparator(a, b);
+  Xoshiro256 rng(scenario.seed * 0x9E3779B97F4A7C15ULL + 7);
+
+  constexpr int kCycles = 4000;
+  // Phase schedule, one per 500 cycles: 0=lockstep 1=divergent values
+  // 2=divergent holds 3=lockstep again (re-convergence), repeating.
+  for (int cycle = 0; cycle < kCycles; ++cycle) {
+    const int phase = (cycle / 500) % 4;
+    core::CoreTapFrame f0 = small_frame(rng);
+    core::CoreTapFrame f1 = f0;
+    switch (phase) {
+      case 0:
+      case 3:
+        f0.hold = f1.hold = rng.chance(0.2);
+        break;
+      case 1:
+        f0.hold = f1.hold = rng.chance(0.2);
+        if (rng.chance(0.5)) f1 = small_frame(rng);
+        break;
+      case 2:
+        f0.hold = rng.chance(0.3);
+        f1.hold = rng.chance(0.3);  // independent: de-aligns FIFO phases
+        if (rng.chance(0.2)) f1 = small_frame(rng);
+        break;
+    }
+    a.capture(f0);
+    b.capture(f1);
+    comparator.update();
+
+    // Oracle: exhaustive whole-signature comparison. In CRC mode the
+    // comparator compares compressed signatures; with 32-bit CRCs a
+    // verdict disagreement requires a hash collision, which these
+    // deterministic streams do not contain.
+    const bool oracle_ds = SignatureGenerator::data_equal(a, b);
+    const bool oracle_is = SignatureGenerator::instruction_equal(a, b);
+    ASSERT_EQ(comparator.ds_match(), oracle_ds)
+        << "cycle " << cycle << " phase " << phase << " " << scenario_name({GetParam(), 0});
+    ASSERT_EQ(comparator.is_match(), oracle_is)
+        << "cycle " << cycle << " phase " << phase;
+  }
+
+  // The schedule must actually have exercised both the fast path and the
+  // realignment fallback (and, when depth > 1, reused held cycles).
+  const auto& stats = comparator.stats();
+  EXPECT_GT(stats.fast_updates, 0u);
+  EXPECT_GT(stats.realign_scans, 0u);
+  EXPECT_GT(stats.hold_reuses, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ComparatorEquivalence, ::testing::ValuesIn(make_scenarios()),
+                         scenario_name);
+
+// Monitor-level equivalence: a SafeDm on the incremental comparator and a
+// SafeDm on the exhaustive path, fed the same random stream (including
+// enable toggles and mid-stream resets), must agree on every per-cycle
+// flag and every counter.
+TEST(SafeDmIncrementalEquivalence, CountersMatchExhaustivePath) {
+  for (const CompareMode compare : {CompareMode::kRaw, CompareMode::kCrc32}) {
+    for (const IsMode is_mode : {IsMode::kPerStage, IsMode::kFlatList}) {
+      SafeDmConfig config;
+      config.data_fifo_depth = 4;
+      config.num_ports = 3;
+      config.compare = compare;
+      config.is_mode = is_mode;
+      config.start_enabled = true;
+      config.arm_on_first_commit = true;
+      SafeDmConfig exhaustive_config = config;
+      exhaustive_config.incremental_compare = false;
+
+      SafeDm incremental(config);
+      SafeDm exhaustive(exhaustive_config);
+      Xoshiro256 rng(0xC0FFEE + static_cast<u64>(compare) * 2 + static_cast<u64>(is_mode));
+
+      for (u64 cycle = 0; cycle < 3000; ++cycle) {
+        core::CoreTapFrame f0 = small_frame(rng);
+        core::CoreTapFrame f1 = rng.chance(0.6) ? f0 : small_frame(rng);
+        f0.hold = rng.chance(0.2);
+        f1.hold = rng.chance(0.25);
+        incremental.on_cycle(cycle, f0, f1);
+        exhaustive.on_cycle(cycle, f0, f1);
+        ASSERT_EQ(incremental.lacking_diversity_now(), exhaustive.lacking_diversity_now())
+            << "cycle " << cycle;
+        ASSERT_EQ(incremental.ds_matched_now(), exhaustive.ds_matched_now())
+            << "cycle " << cycle;
+        ASSERT_EQ(incremental.is_matched_now(), exhaustive.is_matched_now())
+            << "cycle " << cycle;
+        if (cycle == 1500) {  // mid-stream reset must resync the comparator
+          incremental.reset();
+          exhaustive.reset();
+        }
+      }
+      incremental.finalize();
+      exhaustive.finalize();
+      const auto& ci = incremental.counters();
+      const auto& ce = exhaustive.counters();
+      EXPECT_EQ(ci.monitored_cycles, ce.monitored_cycles);
+      EXPECT_EQ(ci.nodiv_cycles, ce.nodiv_cycles);
+      EXPECT_EQ(ci.ds_match_cycles, ce.ds_match_cycles);
+      EXPECT_EQ(ci.is_match_cycles, ce.is_match_cycles);
+      EXPECT_EQ(ci.zero_stag_cycles, ce.zero_stag_cycles);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace safedm::monitor
