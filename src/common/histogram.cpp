@@ -32,13 +32,30 @@ Histogram Histogram::exponential(std::size_t count) {
   return Histogram(std::move(bounds));
 }
 
+namespace {
+
+// The hardware History module's counters saturate rather than wrap; model
+// that here so a long campaign can never silently fold a huge count back
+// to a small one.
+u64 saturating_add(u64 a, u64 b) {
+  u64 r;
+  return __builtin_add_overflow(a, b, &r) ? std::numeric_limits<u64>::max() : r;
+}
+
+u64 saturating_mul(u64 a, u64 b) {
+  u64 r;
+  return __builtin_mul_overflow(a, b, &r) ? std::numeric_limits<u64>::max() : r;
+}
+
+}  // namespace
+
 void Histogram::add(u64 sample, u64 weight) {
   const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), sample);
   const std::size_t bin = static_cast<std::size_t>(it - bounds_.begin());
-  counts_[bin] += weight;
-  total_samples_ += 1;
-  total_weight_ += weight;
-  sample_sum_ += sample * weight;
+  counts_[bin] = saturating_add(counts_[bin], weight);
+  total_samples_ = saturating_add(total_samples_, 1);
+  total_weight_ = saturating_add(total_weight_, weight);
+  sample_sum_ = saturating_add(sample_sum_, saturating_mul(sample, weight));
   max_sample_ = std::max(max_sample_, sample);
 }
 

@@ -27,6 +27,9 @@ class Histogram {
   /// Power-of-two bins: [1], (1,2], (2,4], ... up to 2^(count-1).
   static Histogram exponential(std::size_t count);
 
+  /// Record a sample. Bin counts, total weight, and the sample*weight sum
+  /// all saturate at UINT64_MAX instead of wrapping (hardware counters
+  /// stick at their ceiling; a wrapped count would silently look small).
   void add(u64 sample, u64 weight = 1);
   void clear();
 

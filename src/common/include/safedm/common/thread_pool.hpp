@@ -102,8 +102,11 @@ class ThreadPool {
   std::exception_ptr first_error_;
 };
 
-/// Thread count for the bench harness: SAFEDM_BENCH_THREADS if set (>= 1;
-/// 1 forces the historical serial behavior), else hardware concurrency.
+/// Thread count for the bench harness, from SAFEDM_BENCH_THREADS:
+///   >= 1          — that many workers (1 forces the historical serial path)
+///   0             — explicit "auto": hardware concurrency
+///   unset         — auto
+///   anything else — auto, with a one-time warning through safedm::Logger
 unsigned bench_thread_count();
 
 }  // namespace safedm

@@ -2,6 +2,8 @@
 
 #include <cstdlib>
 
+#include "safedm/common/log.hpp"
+
 namespace safedm {
 namespace {
 
@@ -61,6 +63,9 @@ void ThreadPool::submit(std::function<void()> task) {
     try {
       task();
     } catch (...) {
+      // first_error_ is shared with wait_idle() and other submit() callers
+      // (a serial pool may still be driven from several external threads).
+      std::lock_guard<std::mutex> lock(mutex_);
       if (!first_error_) first_error_ = std::current_exception();
     }
     return;
@@ -85,8 +90,19 @@ void ThreadPool::wait_idle() {
 
 unsigned bench_thread_count() {
   if (const char* env = std::getenv("SAFEDM_BENCH_THREADS")) {
-    const long parsed = std::strtol(env, nullptr, 10);
-    if (parsed >= 1) return static_cast<unsigned>(parsed);
+    char* end = nullptr;
+    const long parsed = std::strtol(env, &end, 10);
+    const bool numeric = end != env && *end == '\0';
+    if (numeric && parsed >= 1) return static_cast<unsigned>(parsed);
+    if (!numeric || parsed < 0) {
+      static std::once_flag warned;
+      std::call_once(warned, [env] {
+        SAFEDM_WARN("SAFEDM_BENCH_THREADS=\"" << env
+                                              << "\" is not a non-negative integer; "
+                                                 "falling back to auto (hardware concurrency)");
+      });
+    }
+    // parsed == 0 explicitly selects auto.
   }
   const unsigned hc = std::thread::hardware_concurrency();
   return hc == 0 ? 1 : hc;

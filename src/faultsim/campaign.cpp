@@ -1,0 +1,266 @@
+#include "safedm/faultsim/campaign.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+#include "safedm/common/check.hpp"
+#include "safedm/common/hash.hpp"
+#include "safedm/common/log.hpp"
+#include "safedm/common/rng.hpp"
+#include "safedm/common/thread_pool.hpp"
+#include "safedm/workloads/workloads.hpp"
+
+namespace safedm::faultsim {
+namespace {
+
+// Per-workload plan: the reference trace plus the sampled injection cycles
+// for each verdict class. Built deterministically (seeded only by the
+// campaign seed and the workload name) before any injection runs.
+struct WorkloadPlan {
+  assembler::Program program{};
+  ReferenceTrace trace;
+  u64 budget = 0;
+  std::vector<u64> cycles[2];  // [0] diverse-class, [1] nodiv-class samples
+  u64 pool_size[2] = {0, 0};
+};
+
+// One point of the enumerated injection space.
+struct Site {
+  unsigned workload = 0;
+  Injection injection{};
+  bool nodiv_class = false;
+  bool single = false;        // single-fault control model
+  unsigned target_core = 0;   // only for single == true
+};
+
+/// Sample `count` distinct cycles from `pool` (the whole pool if smaller),
+/// via a partial Fisher-Yates shuffle — O(count) swaps, deterministic in
+/// the RNG regardless of caller.
+std::vector<u64> sample_cycles(std::vector<u64> pool, unsigned count, Xoshiro256& rng) {
+  if (pool.size() <= count) return pool;
+  for (unsigned i = 0; i < count; ++i) {
+    const u64 j = i + rng.below(pool.size() - i);
+    std::swap(pool[i], pool[j]);
+  }
+  pool.resize(count);
+  return pool;
+}
+
+WorkloadPlan build_plan(const std::string& name, const EngineConfig& config) {
+  WorkloadPlan plan;
+  plan.program = workloads::build(name, config.scale);
+  plan.trace = record_reference(plan.program, config.dm);
+  plan.budget = plan.trace.cycles * 4 + 100'000;
+
+  // Candidate injection cycles per verdict class. Skip the first ~100
+  // cycles (startup) so the flipped registers are live.
+  std::vector<u64> pools[2];
+  for (u64 c = 100; c < plan.trace.nodiv.size(); ++c)
+    pools[plan.trace.nodiv[c] ? 1 : 0].push_back(c + 1);
+  plan.pool_size[0] = pools[0].size();
+  plan.pool_size[1] = pools[1].size();
+
+  // The sampling RNG depends only on (seed, workload): plans are identical
+  // whether workloads are prepared serially or concurrently.
+  Fnv1a64 h;
+  h.add(config.seed);
+  for (char ch : name) h.add(static_cast<u8>(ch));
+  Xoshiro256 rng(h.value());
+  for (int cls = 0; cls < 2; ++cls)
+    plan.cycles[cls] = sample_cycles(std::move(pools[cls]), config.samples_per_class, rng);
+  return plan;
+}
+
+void append_class_json(std::ostream& os, const ClassAggregate& agg, const char* indent) {
+  static const char* kNames[] = {"masked", "detected", "ccf", "crashed", "hung"};
+  os << "{\n" << indent << "  \"counts\": {";
+  for (int i = 0; i < 5; ++i)
+    os << (i ? ", " : "") << '"' << kNames[i] << "\": " << agg.counts[i];
+  os << "},\n";
+  char buf[128];
+  const Interval ci = agg.ccf_interval();
+  std::snprintf(buf, sizeof buf, "\"ccf_rate\": %.6f, \"ccf_ci95\": [%.6f, %.6f],",
+                agg.ccf_rate(), ci.lo, ci.hi);
+  os << indent << "  \"total\": " << agg.total() << ", " << buf << '\n';
+  os << indent << "  \"latency\": {\"samples\": " << agg.latency.total_samples()
+     << ", \"max\": " << agg.latency.max_sample() << ", \"sum\": " << agg.latency.sample_sum()
+     << ", \"bins\": [";
+  bool first = true;
+  for (std::size_t b = 0; b < agg.latency.bin_count(); ++b) {
+    if (agg.latency.bin_value(b) == 0) continue;
+    if (!first) os << ", ";
+    first = false;
+    os << '[' << agg.latency.bin_upper(b) << ", " << agg.latency.bin_value(b) << ']';
+  }
+  os << "]}\n" << indent << '}';
+}
+
+}  // namespace
+
+Interval wilson_interval(u64 successes, u64 trials, double z) {
+  if (trials == 0) return {};
+  const double n = static_cast<double>(trials);
+  const double p = static_cast<double>(successes) / n;
+  const double z2 = z * z;
+  const double denom = 1.0 + z2 / n;
+  const double center = (p + z2 / (2.0 * n)) / denom;
+  const double half =
+      (z / denom) * std::sqrt(p * (1.0 - p) / n + z2 / (4.0 * n * n));
+  return {std::max(0.0, center - half), std::min(1.0, center + half)};
+}
+
+u64 ClassAggregate::total() const {
+  u64 sum = 0;
+  for (u64 c : counts) sum += c;
+  return sum;
+}
+
+double ClassAggregate::ccf_rate() const {
+  const u64 n = total();
+  return n == 0 ? 0.0 : static_cast<double>(count(Outcome::kCcf)) / static_cast<double>(n);
+}
+
+void ClassAggregate::add(const InjectionResult& result) {
+  ++counts[static_cast<int>(result.outcome)];
+  const bool detectable = result.outcome == Outcome::kDetected ||
+                          result.outcome == Outcome::kCrashed ||
+                          result.outcome == Outcome::kHung;
+  if (detectable) latency.add(result.detection_latency);
+}
+
+u64 injection_seed(u64 seed, std::string_view workload, u64 cycle, u8 reg, unsigned bit,
+                   bool single_fault) {
+  Fnv1a64 h;
+  h.add(seed);
+  for (char ch : workload) h.add(static_cast<u8>(ch));
+  h.add(cycle);
+  h.add(reg);
+  h.add(bit);
+  h.add_bit(single_fault);
+  return h.value();
+}
+
+EngineReport run_engine(const EngineConfig& raw_config) {
+  EngineReport report;
+  report.config = raw_config;
+  EngineConfig& config = report.config;
+  sanitize_targets(config.registers, config.bits);
+  SAFEDM_CHECK_MSG(!config.workloads.empty(), "campaign needs at least one workload");
+  SAFEDM_CHECK_MSG(!config.registers.empty(), "campaign needs at least one valid register");
+  SAFEDM_CHECK_MSG(!config.bits.empty(), "campaign needs at least one valid bit");
+
+  ThreadPool pool(config.threads);
+  SAFEDM_INFO("faultsim: campaign over " << config.workloads.size() << " workloads, seed "
+                                         << config.seed << ", " << pool.size() << " threads");
+
+  // Stage 1: reference runs + per-class cycle sampling, one plan per
+  // workload. Plans are seed-derived, so the concurrent fan-out cannot
+  // perturb them.
+  std::vector<WorkloadPlan> plans(config.workloads.size());
+  pool.parallel_for(plans.size(), [&](std::size_t i) {
+    plans[i] = build_plan(config.workloads[i], config);
+  });
+
+  // Stage 2: enumerate the full injection space into a flat site list.
+  std::vector<Site> sites;
+  for (unsigned w = 0; w < plans.size(); ++w) {
+    for (int cls = 0; cls < 2; ++cls) {
+      for (u64 cycle : plans[w].cycles[cls]) {
+        for (u8 reg : config.registers) {
+          for (unsigned bit : config.bits) {
+            sites.push_back({w, Injection{cycle, reg, bit}, cls == 1, false, 0});
+            if (config.single_fault) {
+              const u64 s = injection_seed(config.seed, config.workloads[w], cycle, reg, bit,
+                                           /*single_fault=*/true);
+              sites.push_back({w, Injection{cycle, reg, bit}, cls == 1, true,
+                               static_cast<unsigned>(s & 1)});
+            }
+          }
+        }
+      }
+    }
+  }
+
+  // Stage 3: run every site; results land at their site index, so the
+  // aggregation below is independent of completion order.
+  std::vector<InjectionResult> results(sites.size());
+  pool.parallel_for(sites.size(), [&](std::size_t i) {
+    const Site& site = sites[i];
+    const WorkloadPlan& plan = plans[site.workload];
+    results[i] = site.single
+                     ? inject_single_fault_timed(plan.program, site.injection, site.target_core,
+                                                 plan.trace.golden_checksum, plan.budget)
+                     : inject_identical_fault_timed(plan.program, site.injection,
+                                                    plan.trace.golden_checksum, plan.budget);
+  });
+
+  // Stage 4: serial aggregation in site order.
+  report.workloads.resize(plans.size());
+  for (unsigned w = 0; w < plans.size(); ++w) {
+    WorkloadReport& wr = report.workloads[w];
+    wr.name = config.workloads[w];
+    wr.reference_cycles = plans[w].trace.cycles;
+    wr.diverse_pool = plans[w].pool_size[0];
+    wr.nodiv_pool = plans[w].pool_size[1];
+  }
+  for (std::size_t i = 0; i < sites.size(); ++i) {
+    WorkloadReport& wr = report.workloads[sites[i].workload];
+    if (sites[i].single)
+      wr.single.add(results[i]);
+    else
+      wr.identical[sites[i].nodiv_class ? 1 : 0].add(results[i]);
+    ++wr.injections;
+    ++report.injections;
+  }
+  for (const WorkloadReport& wr : report.workloads) {
+    SAFEDM_INFO("faultsim: " << wr.name << ": " << wr.injections << " injections, CCF rate "
+                             << wr.identical[1].ccf_rate() << " @no-div vs "
+                             << wr.identical[0].ccf_rate() << " @diverse (pools "
+                             << wr.nodiv_pool << "/" << wr.diverse_pool << ")");
+  }
+  return report;
+}
+
+void write_report_json(const EngineReport& report, std::ostream& os) {
+  const EngineConfig& config = report.config;
+  os << "{\n  \"schema\": \"safedm.bench.faultsim/v1\",\n";
+  os << "  \"config\": {\"seed\": " << config.seed << ", \"scale\": " << config.scale
+     << ", \"samples_per_class\": " << config.samples_per_class << ",\n";
+  os << "             \"registers\": [";
+  for (std::size_t i = 0; i < config.registers.size(); ++i)
+    os << (i ? ", " : "") << int(config.registers[i]);
+  os << "], \"bits\": [";
+  for (std::size_t i = 0; i < config.bits.size(); ++i) os << (i ? ", " : "") << config.bits[i];
+  os << "], \"single_fault\": " << (config.single_fault ? "true" : "false") << "},\n";
+  os << "  \"injections\": " << report.injections << ",\n";
+  os << "  \"workloads\": [\n";
+  for (std::size_t w = 0; w < report.workloads.size(); ++w) {
+    const WorkloadReport& wr = report.workloads[w];
+    os << "    {\"name\": \"" << wr.name << "\", \"reference_cycles\": " << wr.reference_cycles
+       << ", \"injections\": " << wr.injections << ",\n";
+    os << "     \"pool\": {\"diverse\": " << wr.diverse_pool << ", \"nodiv\": " << wr.nodiv_pool
+       << "},\n";
+    os << "     \"identical\": {\n      \"diverse\": ";
+    append_class_json(os, wr.identical[0], "      ");
+    os << ",\n      \"nodiv\": ";
+    append_class_json(os, wr.identical[1], "      ");
+    os << "\n     }";
+    if (config.single_fault) {
+      os << ",\n     \"single_fault\": ";
+      append_class_json(os, wr.single, "     ");
+    }
+    os << "\n    }" << (w + 1 < report.workloads.size() ? "," : "") << '\n';
+  }
+  os << "  ]\n}\n";
+}
+
+std::string report_to_json(const EngineReport& report) {
+  std::ostringstream os;
+  write_report_json(report, os);
+  return os.str();
+}
+
+}  // namespace safedm::faultsim

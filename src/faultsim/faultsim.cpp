@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "safedm/common/check.hpp"
+#include "safedm/common/log.hpp"
 #include "safedm/common/rng.hpp"
 #include "safedm/safedm/monitor.hpp"
 #include "safedm/soc/soc.hpp"
@@ -51,12 +52,22 @@ Outcome classify(Rig& rig, u64 golden, bool finished, bool crashed) {
   return Outcome::kCcf;
 }
 
-Outcome run_with_fault(const assembler::Program& program, const Injection& injection,
-                       bool both_cores, unsigned target_core, u64 golden, u64 max_cycles) {
+void validate_injection(const Injection& injection) {
+  SAFEDM_CHECK_MSG(injection.reg >= 1 && injection.reg <= 31,
+                   "injection register must be x1..x31 (x0 is hardwired zero), got x"
+                       << int(injection.reg));
+  SAFEDM_CHECK_MSG(injection.bit < 64, "injection bit must be 0..63, got " << injection.bit);
+}
+
+InjectionResult run_with_fault(const assembler::Program& program, const Injection& injection,
+                               bool both_cores, unsigned target_core, u64 golden,
+                               u64 max_cycles) {
+  validate_injection(injection);
   Rig rig{monitor::SafeDmConfig{}};
   rig.load(program);
   bool crashed = false;
   bool injected = false;
+  u64 event_cycle = 0;  // cycle at which the failure became observable
   try {
     while (!rig.soc.all_halted() && rig.soc.cycle() < max_cycles) {
       rig.soc.step();
@@ -70,12 +81,23 @@ Outcome run_with_fault(const assembler::Program& program, const Injection& injec
         }
       }
     }
+    // Clean finish: results are compared when both cores halted. A hang is
+    // caught by the watchdog at budget expiry.
+    event_cycle = rig.soc.all_halted() ? rig.soc.cycle() : max_cycles;
   } catch (const CheckError&) {
     // Wild pointer / unmapped access after the flip: a loud, detectable
-    // failure (the platform would raise a bus error).
+    // failure (the platform would raise a bus error right here).
     crashed = true;
+    event_cycle = rig.soc.cycle();
   }
-  return classify(rig, golden, rig.soc.all_halted(), crashed);
+  InjectionResult result;
+  result.outcome = classify(rig, golden, rig.soc.all_halted(), crashed);
+  const bool detectable = result.outcome == Outcome::kDetected ||
+                          result.outcome == Outcome::kCrashed ||
+                          result.outcome == Outcome::kHung;
+  if (detectable && injected && event_cycle > injection.cycle)
+    result.detection_latency = event_cycle - injection.cycle;
+  return result;
 }
 
 }  // namespace
@@ -113,17 +135,44 @@ ReferenceTrace record_reference(const assembler::Program& program,
   return trace;
 }
 
-Outcome inject_identical_fault(const assembler::Program& program, const Injection& injection,
-                               u64 golden_checksum, u64 max_cycles) {
+InjectionResult inject_identical_fault_timed(const assembler::Program& program,
+                                             const Injection& injection, u64 golden_checksum,
+                                             u64 max_cycles) {
   return run_with_fault(program, injection, /*both_cores=*/true, 0, golden_checksum,
                         max_cycles);
 }
 
-Outcome inject_single_fault(const assembler::Program& program, const Injection& injection,
-                            unsigned target_core, u64 golden_checksum, u64 max_cycles) {
+InjectionResult inject_single_fault_timed(const assembler::Program& program,
+                                          const Injection& injection, unsigned target_core,
+                                          u64 golden_checksum, u64 max_cycles) {
   SAFEDM_CHECK(target_core < soc::kNumCores);
   return run_with_fault(program, injection, /*both_cores=*/false, target_core,
                         golden_checksum, max_cycles);
+}
+
+Outcome inject_identical_fault(const assembler::Program& program, const Injection& injection,
+                               u64 golden_checksum, u64 max_cycles) {
+  return inject_identical_fault_timed(program, injection, golden_checksum, max_cycles).outcome;
+}
+
+Outcome inject_single_fault(const assembler::Program& program, const Injection& injection,
+                            unsigned target_core, u64 golden_checksum, u64 max_cycles) {
+  return inject_single_fault_timed(program, injection, target_core, golden_checksum, max_cycles)
+      .outcome;
+}
+
+void sanitize_targets(std::vector<u8>& registers, std::vector<unsigned>& bits) {
+  std::erase_if(registers, [](u8 reg) {
+    const bool bad = reg < 1 || reg > 31;
+    if (bad) SAFEDM_WARN("faultsim: dropping injection register x" << int(reg)
+                                                                   << " (valid: x1..x31)");
+    return bad;
+  });
+  std::erase_if(bits, [](unsigned bit) {
+    const bool bad = bit >= 64;
+    if (bad) SAFEDM_WARN("faultsim: dropping injection bit " << bit << " (valid: 0..63)");
+    return bad;
+  });
 }
 
 u64 CampaignResult::total(bool nodiv_class) const {
@@ -138,8 +187,10 @@ double CampaignResult::ccf_rate(bool nodiv_class) const {
   return static_cast<double>(counts[nodiv_class ? 1 : 0][static_cast<int>(Outcome::kCcf)]) / n;
 }
 
-CampaignResult run_campaign(const assembler::Program& program, const CampaignConfig& config,
+CampaignResult run_campaign(const assembler::Program& program, const CampaignConfig& raw_config,
                             const monitor::SafeDmConfig& dm_config) {
+  CampaignConfig config = raw_config;
+  sanitize_targets(config.registers, config.bits);
   const ReferenceTrace trace = record_reference(program, dm_config);
 
   // Collect candidate injection cycles for each verdict class. Skip the

@@ -47,16 +47,35 @@ ReferenceTrace record_reference(const assembler::Program& program,
 
 struct Injection {
   u64 cycle = 0;   // inject right after this SoC cycle completes
-  u8 reg = 5;      // architectural integer register (1..31)
+  u8 reg = 5;      // architectural integer register (1..31; x0 is rejected —
+                   // flipping the hardwired zero is a no-op that would be
+                   // miscounted as a masked fault)
   unsigned bit = 0;
 };
 
+/// Outcome plus detection latency: cycles from the injection to the event
+/// that makes the fault observable — the end-of-run output comparison for
+/// `kDetected`, the trap for `kCrashed`, the watchdog budget expiring for
+/// `kHung`. Zero for `kMasked` and `kCcf` (nothing ever detects those).
+struct InjectionResult {
+  Outcome outcome = Outcome::kMasked;
+  u64 detection_latency = 0;
+};
+
 /// Run with the identical fault injected into BOTH cores (the CCF model).
-Outcome inject_identical_fault(const assembler::Program& program, const Injection& injection,
-                               u64 golden_checksum, u64 max_cycles);
+InjectionResult inject_identical_fault_timed(const assembler::Program& program,
+                                             const Injection& injection, u64 golden_checksum,
+                                             u64 max_cycles);
 
 /// Run with the fault injected into ONE core (the single-fault model the
 /// redundancy is designed for; must always be masked or detected).
+InjectionResult inject_single_fault_timed(const assembler::Program& program,
+                                          const Injection& injection, unsigned target_core,
+                                          u64 golden_checksum, u64 max_cycles);
+
+/// Outcome-only conveniences (historical API).
+Outcome inject_identical_fault(const assembler::Program& program, const Injection& injection,
+                               u64 golden_checksum, u64 max_cycles);
 Outcome inject_single_fault(const assembler::Program& program, const Injection& injection,
                             unsigned target_core, u64 golden_checksum, u64 max_cycles);
 
@@ -66,6 +85,12 @@ struct CampaignConfig {
   std::vector<unsigned> bits{2, 17, 40};
   u64 seed = 1;
 };
+
+/// Drop injection targets the fault model cannot express: register x0 (the
+/// hardwired zero — a flip there is a no-op that would be miscounted as
+/// masked), registers >= 32, and bits >= 64. Logs a warning per dropped
+/// entry. Used by `run_campaign` and the campaign engine.
+void sanitize_targets(std::vector<u8>& registers, std::vector<unsigned>& bits);
 
 struct CampaignResult {
   // [verdict: 0 = diverse cycle, 1 = no-diversity cycle][outcome]

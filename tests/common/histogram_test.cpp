@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "safedm/common/check.hpp"
 
 namespace safedm {
@@ -54,6 +56,26 @@ TEST(Histogram, ClearResets) {
   EXPECT_EQ(h.total_samples(), 0u);
   EXPECT_EQ(h.bin_value(0), 0u);
   EXPECT_EQ(h.max_sample(), 0u);
+}
+
+TEST(Histogram, CountersSaturateInsteadOfWrapping) {
+  constexpr u64 kMax = std::numeric_limits<u64>::max();
+  Histogram h({4});
+  // sample * weight overflows u64: sample_sum must stick at the ceiling,
+  // not wrap to a small value.
+  h.add(kMax, 3);
+  EXPECT_EQ(h.sample_sum(), kMax);
+  EXPECT_EQ(h.max_sample(), kMax);
+  // Bin count and total weight saturate under repeated huge weights.
+  h.add(2, kMax - 1);
+  h.add(2, kMax - 1);
+  EXPECT_EQ(h.bin_value(0), kMax);
+  EXPECT_EQ(h.total_weight(), kMax);
+  EXPECT_EQ(h.total_samples(), 3u);
+  // Saturated state still clears.
+  h.clear();
+  EXPECT_EQ(h.sample_sum(), 0u);
+  EXPECT_EQ(h.bin_value(0), 0u);
 }
 
 TEST(Histogram, RejectsBadBounds) {

@@ -5,6 +5,8 @@
 #include <atomic>
 #include <cstdlib>
 #include <stdexcept>
+#include <string>
+#include <thread>
 #include <vector>
 
 namespace safedm {
@@ -66,6 +68,39 @@ TEST(ThreadPool, WaitIdleRethrowsSubmittedException) {
   EXPECT_EQ(ok.load(), 1);
 }
 
+TEST(ThreadPool, SerialSubmitRecordsErrorAndWaitIdleRethrows) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.size(), 1u);
+  pool.submit([] { throw std::logic_error("serial task failed"); });
+  EXPECT_THROW(pool.wait_idle(), std::logic_error);
+  // The error is consumed; the serial pool remains usable.
+  int ok = 0;
+  pool.submit([&] { ++ok; });
+  pool.wait_idle();
+  EXPECT_EQ(ok, 1);
+}
+
+TEST(ThreadPool, SerialSubmitFromConcurrentCallersKeepsFirstError) {
+  // A serial pool can still be driven from several external threads;
+  // submit must update first_error_ under the lock (regression: it used
+  // to write it unlocked, racing with wait_idle).
+  ThreadPool pool(1);
+  std::vector<std::thread> callers;
+  std::atomic<int> ran{0};
+  for (int t = 0; t < 4; ++t)
+    callers.emplace_back([&pool, &ran, t] {
+      for (int i = 0; i < 50; ++i)
+        pool.submit([&ran, t, i] {
+          ran.fetch_add(1);
+          if (i == 25) throw std::runtime_error("caller " + std::to_string(t));
+        });
+    });
+  for (auto& c : callers) c.join();
+  EXPECT_EQ(ran.load(), 200);
+  EXPECT_THROW(pool.wait_idle(), std::runtime_error);
+  pool.wait_idle();  // error consumed; second wait is clean
+}
+
 TEST(ThreadPool, BenchThreadCountHonorsEnvOverride) {
   ::setenv("SAFEDM_BENCH_THREADS", "3", 1);
   EXPECT_EQ(bench_thread_count(), 3u);
@@ -73,6 +108,18 @@ TEST(ThreadPool, BenchThreadCountHonorsEnvOverride) {
   EXPECT_EQ(bench_thread_count(), 1u);
   ::unsetenv("SAFEDM_BENCH_THREADS");
   EXPECT_GE(bench_thread_count(), 1u);
+}
+
+TEST(ThreadPool, BenchThreadCountZeroAndGarbageMeanAuto) {
+  ::unsetenv("SAFEDM_BENCH_THREADS");
+  const unsigned auto_count = bench_thread_count();
+  ::setenv("SAFEDM_BENCH_THREADS", "0", 1);  // explicit "auto"
+  EXPECT_EQ(bench_thread_count(), auto_count);
+  for (const char* garbage : {"", "abc", "4x", "-2", "1.5"}) {
+    ::setenv("SAFEDM_BENCH_THREADS", garbage, 1);
+    EXPECT_EQ(bench_thread_count(), auto_count) << "input \"" << garbage << '"';
+  }
+  ::unsetenv("SAFEDM_BENCH_THREADS");
 }
 
 }  // namespace

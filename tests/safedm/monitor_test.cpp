@@ -217,6 +217,21 @@ TEST(SafeDm, ApbHistogramReadout) {
   EXPECT_EQ(dm.apb_read(reg::kHistData), 0u);
 }
 
+TEST(SafeDm, HistDataReadSaturatesAtU32Max) {
+  // kHistData is documented as a saturating u32 readout of a 64-bit bin
+  // count; a count above 2^32 must clamp to 0xFFFFFFFF, never truncate.
+  SafeDm dm(cfg());
+  // Drive the bin count past 2^32 directly (2^32 monitored episodes are
+  // not reachable in a test); the accessor's constness only reflects the
+  // observation API, the histogram object itself is mutable state.
+  const u64 huge = (u64{1} << 32) + 5;
+  const_cast<Histogram&>(dm.nodiv_history()).add(2, huge);
+  dm.apb_write(reg::kHistSelect, 1u);  // episode length 2 -> (1,2] bin
+  EXPECT_EQ(dm.apb_read(reg::kHistData), 0xFFFFFFFFu);
+  // A truncating read would have produced this instead:
+  EXPECT_NE(dm.apb_read(reg::kHistData), static_cast<u32>(huge));
+}
+
 TEST(SafeDm, CrcCompareModeDetectsSameCases) {
   SafeDmConfig c = cfg();
   c.compare = CompareMode::kCrc32;
