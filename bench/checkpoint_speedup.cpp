@@ -1,0 +1,191 @@
+// Checkpoint-forked vs replay-from-zero injection engine: equivalence and
+// speedup smoke.
+//
+// Runs the same small set of injection sites through both engines on one
+// workload. Sites sit at realistic mid-to-late injection depths (60/80/95%
+// of the reference run), where forking from a checkpoint skips most of the
+// prefix; the replay engine pays O(prefix + tail) per site, the
+// checkpointed engine O(tail). The timed cost of each engine includes its
+// own reference run (the checkpointed one pays the snapshot overhead
+// there), so the reported speedup is the honest per-campaign number.
+//
+// Usage: bench_checkpoint_speedup [options]
+//   --workload=NAME  registry workload (default quicksort — hang-free under
+//                    the default register/bit grid, so no site burns the
+//                    4x watchdog budget in both engines)
+//   --scale=N        workload input scale (default 1)
+//   --interval=N     checkpoint interval in cycles; 0 = auto (default 0)
+//   --reps=N         timing repetitions; best-of-N per engine (default 1)
+//   --min-speedup=X  gate threshold for --check (default 1.2; the target
+//                    at these depths is >= 3x, the gate is kept loose so
+//                    a noisy shared host cannot flake the build)
+//   --json=PATH      report path (default BENCH_checkpoint_speedup.json)
+//   --check          exit non-zero if any site's outcome or latency
+//                    differs between engines, or the measured speedup is
+//                    below the gate
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "json_writer.hpp"
+#include "safedm/faultsim/faultsim.hpp"
+#include "safedm/workloads/workloads.hpp"
+
+using namespace safedm;
+using namespace safedm::faultsim;
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+}
+
+struct EngineRun {
+  ReferenceTrace trace;
+  std::vector<InjectionResult> results;
+  double seconds = 0;
+};
+
+/// Reference run + every site, serially (clean timing), on one engine.
+/// `policy` null = replay engine (no checkpoints recorded or used).
+EngineRun run_engine_once(const assembler::Program& program, const std::vector<Injection>& sites,
+                          const CheckpointPolicy* policy) {
+  const auto start = std::chrono::steady_clock::now();
+  EngineRun run;
+  run.trace = policy != nullptr ? record_reference(program, monitor::SafeDmConfig{}, *policy)
+                                : record_reference(program, monitor::SafeDmConfig{});
+  const u64 budget = run.trace.cycles * 4 + 100'000;
+  const ReferenceTrace* fork = policy != nullptr ? &run.trace : nullptr;
+  for (std::size_t i = 0; i < sites.size(); ++i) {
+    // Alternate identical-CCF and single-fault sites so both injection
+    // paths are covered by the equivalence check.
+    run.results.push_back(
+        i % 2 == 0 ? inject_identical_fault_timed(program, sites[i], run.trace.golden_checksum,
+                                                  budget, fork)
+                   : inject_single_fault_timed(program, sites[i], /*target_core=*/i % 4 == 1,
+                                               run.trace.golden_checksum, budget, fork));
+  }
+  run.seconds = seconds_since(start);
+  return run;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string workload = "quicksort";
+  unsigned scale = 2;
+  u64 interval = 0;
+  unsigned reps = 1;
+  double min_speedup = 1.2;
+  std::string json_path = "BENCH_checkpoint_speedup.json";
+  bool check = false;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--workload=", 11) == 0) workload = arg + 11;
+    else if (std::strncmp(arg, "--scale=", 8) == 0)
+      scale = static_cast<unsigned>(std::atoi(arg + 8));
+    else if (std::strncmp(arg, "--interval=", 11) == 0)
+      interval = std::strtoull(arg + 11, nullptr, 10);
+    else if (std::strncmp(arg, "--reps=", 7) == 0)
+      reps = static_cast<unsigned>(std::atoi(arg + 7));
+    else if (std::strncmp(arg, "--min-speedup=", 14) == 0)
+      min_speedup = std::atof(arg + 14);
+    else if (std::strncmp(arg, "--json=", 7) == 0) json_path = arg + 7;
+    else if (std::strcmp(arg, "--check") == 0) check = true;
+    else {
+      std::fprintf(stderr, "unknown option: %s\n", arg);
+      return 2;
+    }
+  }
+  if (reps == 0) reps = 1;
+
+  const assembler::Program program = workloads::build(workload, scale);
+
+  // Probe run: the site depths are fractions of the reference length.
+  const ReferenceTrace probe = record_reference(program);
+  // Campaign-default register/bit grid at three mid-to-late depths: 27
+  // sites, enough for the one-time reference-run cost to amortize the way
+  // it does in a real campaign.
+  const double depths[] = {0.6, 0.8, 0.95};
+  const u8 registers[] = {6, 9, 18};
+  const unsigned bits[] = {2, 17, 40};
+  std::vector<Injection> sites;
+  for (const double depth : depths)
+    for (const u8 reg : registers)
+      for (const unsigned bit : bits)
+        sites.push_back(Injection{static_cast<u64>(depth * static_cast<double>(probe.cycles)),
+                                  reg, bit});
+
+  CheckpointPolicy policy;
+  policy.interval = interval;
+
+  EngineRun replay;
+  EngineRun forked;
+  for (unsigned rep = 0; rep < reps; ++rep) {
+    EngineRun r = run_engine_once(program, sites, nullptr);
+    EngineRun f = run_engine_once(program, sites, &policy);
+    if (rep == 0 || r.seconds < replay.seconds) replay = std::move(r);
+    if (rep == 0 || f.seconds < forked.seconds) forked = std::move(f);
+  }
+
+  unsigned mismatches = 0;
+  for (std::size_t i = 0; i < sites.size(); ++i) {
+    const InjectionResult& a = replay.results[i];
+    const InjectionResult& b = forked.results[i];
+    if (a.outcome == b.outcome && a.detection_latency == b.detection_latency) continue;
+    ++mismatches;
+    std::fprintf(stderr,
+                 "MISMATCH site %zu (cycle %llu, x%u bit %u): replay %s/%llu vs checkpoint "
+                 "%s/%llu\n",
+                 i, static_cast<unsigned long long>(sites[i].cycle), unsigned(sites[i].reg),
+                 sites[i].bit, outcome_name(a.outcome),
+                 static_cast<unsigned long long>(a.detection_latency), outcome_name(b.outcome),
+                 static_cast<unsigned long long>(b.detection_latency));
+  }
+
+  const double speedup = forked.seconds > 0 ? replay.seconds / forked.seconds : 0.0;
+  std::printf("checkpoint-speedup: %s (%llu reference cycles), %zu sites at 60/80/95%% depth\n",
+              workload.c_str(), static_cast<unsigned long long>(probe.cycles), sites.size());
+  std::printf("  replay engine:      %8.3f s\n", replay.seconds);
+  std::printf("  checkpoint engine:  %8.3f s  (%zu checkpoints, final interval %llu)\n",
+              forked.seconds, forked.trace.checkpoints.size(),
+              static_cast<unsigned long long>(forked.trace.checkpoint_interval));
+  std::printf("  speedup:            %8.2fx\n", speedup);
+  std::printf("  outcome mismatches: %u\n", mismatches);
+
+  bench::JsonWriter json;
+  json.begin_object();
+  json.prop("schema", "safedm.bench.checkpoint_speedup/v1");
+  json.prop("workload", workload).prop("scale", scale);
+  json.prop("reference_cycles", probe.cycles);
+  json.prop("sites", sites.size());
+  json.prop("checkpoints", forked.trace.checkpoints.size());
+  json.prop("checkpoint_interval", forked.trace.checkpoint_interval);
+  json.prop("replay_seconds", replay.seconds, 3);
+  json.prop("checkpoint_seconds", forked.seconds, 3);
+  json.prop("speedup", speedup, 3);
+  json.prop("mismatches", mismatches);
+  json.end_object();
+  if (!json.write_file(json_path)) {
+    std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+    return 2;
+  }
+  std::printf("wrote %s\n", json_path.c_str());
+
+  if (!check) return 0;
+  if (mismatches != 0) {
+    std::fprintf(stderr, "SMOKE FAIL: %u sites differ between engines\n", mismatches);
+    return 1;
+  }
+  if (speedup < min_speedup) {
+    std::fprintf(stderr, "SMOKE FAIL: checkpoint engine speedup %.2fx < gate %.2fx\n", speedup,
+                 min_speedup);
+    return 1;
+  }
+  std::printf("smoke OK: engines agree on all %zu sites, %.2fx speedup\n", sites.size(),
+              speedup);
+  return 0;
+}

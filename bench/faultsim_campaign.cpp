@@ -14,6 +14,9 @@
 //   --scale=N          workload input scale (default 1)
 //   --seed=N           campaign seed (default 1)
 //   --threads=N        worker count; 0 = auto (default SAFEDM_BENCH_THREADS)
+//   --engine=NAME      replay | checkpoint (default checkpoint); a pure
+//                      performance knob — the report is bit-identical
+//   --checkpoint-interval=N  cycles between checkpoints; 0 = auto
 //   --json=PATH        report path (default BENCH_faultsim.json)
 //   --no-single        skip the single-fault control model
 //   --smoke            exit non-zero unless the campaign invariants hold:
@@ -98,6 +101,18 @@ int main(int argc, char** argv) {
       config.seed = static_cast<u64>(std::atoll(arg + 7));
     } else if (std::strncmp(arg, "--threads=", 10) == 0) {
       config.threads = static_cast<unsigned>(std::atoi(arg + 10));
+    } else if (std::strncmp(arg, "--engine=", 9) == 0) {
+      const char* value = arg + 9;
+      if (std::strcmp(value, "replay") == 0) {
+        config.engine = InjectionEngine::kReplay;
+      } else if (std::strcmp(value, "checkpoint") == 0) {
+        config.engine = InjectionEngine::kCheckpoint;
+      } else {
+        std::fprintf(stderr, "unknown engine: %s (replay|checkpoint)\n", value);
+        return 2;
+      }
+    } else if (std::strncmp(arg, "--checkpoint-interval=", 22) == 0) {
+      config.checkpoint_interval = std::strtoull(arg + 22, nullptr, 10);
     } else if (std::strncmp(arg, "--json=", 7) == 0) {
       json_path = arg + 7;
     } else if (std::strcmp(arg, "--no-single") == 0) {

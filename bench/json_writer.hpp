@@ -1,0 +1,178 @@
+// Minimal JSON emitter shared by the bench executables that write
+// BENCH_*.json reports: string escaping, container nesting with the
+// comma/indent bookkeeping, and fixed-precision float formatting, so the
+// benches don't each hand-roll (and subtly diverge on) the same fprintf
+// sequences.
+//
+// Usage is a fluent builder over an in-memory string:
+//
+//   JsonWriter json;
+//   json.begin_object();
+//   json.prop("schema", "safedm.bench.example/v1");
+//   json.key("modes").begin_array();
+//   json.value(1.25, 3);
+//   json.end_array();
+//   json.end_object();
+//   json.write_file("BENCH_example.json");
+//
+// The writer pretty-prints with two-space indentation. It trusts the
+// caller to emit a well-formed sequence (key before value inside objects,
+// balanced begin/end); it is a formatter, not a validator.
+#pragma once
+
+#include <cmath>
+#include <concepts>
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace safedm::bench {
+
+class JsonWriter {
+ public:
+  JsonWriter& begin_object() { return open('{', '}'); }
+  JsonWriter& end_object() { return close(); }
+  JsonWriter& begin_array() { return open('[', ']'); }
+  JsonWriter& end_array() { return close(); }
+
+  JsonWriter& key(std::string_view name) {
+    separate();
+    append_escaped(name);
+    out_ += ": ";
+    key_pending_ = true;
+    return *this;
+  }
+
+  JsonWriter& value(std::string_view text) {
+    separate();
+    append_escaped(text);
+    return *this;
+  }
+  // Distinct overload: without it a string literal would convert to bool
+  // (standard conversion) before string_view (user-defined conversion).
+  JsonWriter& value(const char* text) { return value(std::string_view(text)); }
+
+  JsonWriter& value(bool v) {
+    separate();
+    out_ += v ? "true" : "false";
+    return *this;
+  }
+
+  template <typename T>
+    requires std::integral<T> && (!std::same_as<T, bool>)
+  JsonWriter& value(T v) {
+    separate();
+    out_ += std::to_string(v);
+    return *this;
+  }
+
+  JsonWriter& value(double v, int precision = 6) {
+    separate();
+    if (!std::isfinite(v)) {
+      out_ += "null";  // JSON has no NaN/Inf
+      return *this;
+    }
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+    out_ += buf;
+    return *this;
+  }
+
+  JsonWriter& null() {
+    separate();
+    out_ += "null";
+    return *this;
+  }
+
+  /// key + value in one call.
+  template <typename T>
+  JsonWriter& prop(std::string_view name, T&& v) {
+    key(name);
+    return value(std::forward<T>(v));
+  }
+  JsonWriter& prop(std::string_view name, double v, int precision) {
+    key(name);
+    return value(v, precision);
+  }
+
+  const std::string& str() const { return out_; }
+
+  /// Write the document plus a trailing newline; false on I/O failure.
+  bool write_file(const std::string& path) const {
+    FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) return false;
+    const bool wrote = std::fwrite(out_.data(), 1, out_.size(), f) == out_.size() &&
+                       std::fputc('\n', f) != EOF;
+    return (std::fclose(f) == 0) && wrote;
+  }
+
+ private:
+  struct Frame {
+    char closer;
+    unsigned items = 0;
+  };
+
+  JsonWriter& open(char opener, char closer) {
+    separate();
+    out_ += opener;
+    stack_.push_back(Frame{closer, 0});
+    return *this;
+  }
+
+  JsonWriter& close() {
+    const Frame frame = stack_.back();
+    stack_.pop_back();
+    if (frame.items > 0) newline_indent();
+    out_ += frame.closer;
+    return *this;
+  }
+
+  /// Comma/indent before the next element. A value directly after its key
+  /// stays on the key's line; everything else starts a fresh indented line
+  /// (with a comma when it is not the container's first element).
+  void separate() {
+    if (key_pending_) {
+      key_pending_ = false;
+      return;
+    }
+    if (stack_.empty()) return;  // top-level document
+    if (stack_.back().items++ > 0) out_ += ',';
+    newline_indent();
+  }
+
+  void newline_indent() {
+    out_ += '\n';
+    out_.append(2 * stack_.size(), ' ');
+  }
+
+  void append_escaped(std::string_view text) {
+    out_ += '"';
+    for (const char c : text) {
+      const auto ch = static_cast<unsigned char>(c);
+      switch (ch) {
+        case '"': out_ += "\\\""; break;
+        case '\\': out_ += "\\\\"; break;
+        case '\n': out_ += "\\n"; break;
+        case '\r': out_ += "\\r"; break;
+        case '\t': out_ += "\\t"; break;
+        default:
+          if (ch < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof buf, "\\u%04x", ch);
+            out_ += buf;
+          } else {
+            out_ += c;
+          }
+      }
+    }
+    out_ += '"';
+  }
+
+  std::string out_;
+  std::vector<Frame> stack_;
+  bool key_pending_ = false;
+};
+
+}  // namespace safedm::bench

@@ -29,6 +29,7 @@
 #include <string>
 #include <vector>
 
+#include "json_writer.hpp"
 #include "safedm/common/rng.hpp"
 #include "safedm/safedm/monitor.hpp"
 
@@ -396,28 +397,31 @@ int main(int argc, char** argv) {
   std::printf("speedup crc incremental vs legacy (pre-PR): %.2fx\n", crc_vs_legacy);
   std::printf("speedup crc incremental vs exhaustive:      %.2fx\n", crc_vs_exhaustive);
 
-  if (FILE* json = std::fopen(json_path.c_str(), "w")) {
-    std::fprintf(json, "{\n");
-    std::fprintf(json, "  \"schema\": \"safedm.bench.throughput/v1\",\n");
-    std::fprintf(json, "  \"geometry\": {\"num_ports\": 3, \"data_fifo_depth\": 4, "
-                       "\"pipeline_stages\": %u, \"issue_width\": %u},\n",
-                 core::kPipelineStages, core::kMaxIssueWidth);
-    std::fprintf(json, "  \"cycles\": %llu,\n", static_cast<unsigned long long>(cycles));
-    std::fprintf(json, "  \"modes\": {\n");
-    for (std::size_t i = 0; i < results.size(); ++i)
-      std::fprintf(json, "    \"%s\": {\"cycles_per_sec\": %.1f, \"nodiv\": %llu}%s\n",
-                   results[i].name.c_str(), results[i].cycles_per_sec,
-                   static_cast<unsigned long long>(results[i].nodiv),
-                   i + 1 < results.size() ? "," : "");
-    std::fprintf(json, "  },\n");
-    std::fprintf(json, "  \"speedups\": {\n");
-    std::fprintf(json, "    \"raw_incremental_vs_legacy\": %.3f,\n", raw_vs_legacy);
-    std::fprintf(json, "    \"raw_incremental_vs_exhaustive\": %.3f,\n", raw_vs_exhaustive);
-    std::fprintf(json, "    \"crc_incremental_vs_legacy\": %.3f,\n", crc_vs_legacy);
-    std::fprintf(json, "    \"crc_incremental_vs_exhaustive\": %.3f\n", crc_vs_exhaustive);
-    std::fprintf(json, "  }\n");
-    std::fprintf(json, "}\n");
-    std::fclose(json);
+  bench::JsonWriter json;
+  json.begin_object();
+  json.prop("schema", "safedm.bench.throughput/v1");
+  json.key("geometry").begin_object();
+  json.prop("num_ports", 3)
+      .prop("data_fifo_depth", 4)
+      .prop("pipeline_stages", core::kPipelineStages)
+      .prop("issue_width", core::kMaxIssueWidth);
+  json.end_object();
+  json.prop("cycles", cycles);
+  json.key("modes").begin_object();
+  for (const ModeResult& r : results) {
+    json.key(r.name).begin_object();
+    json.prop("cycles_per_sec", r.cycles_per_sec, 1).prop("nodiv", r.nodiv);
+    json.end_object();
+  }
+  json.end_object();
+  json.key("speedups").begin_object();
+  json.prop("raw_incremental_vs_legacy", raw_vs_legacy, 3)
+      .prop("raw_incremental_vs_exhaustive", raw_vs_exhaustive, 3)
+      .prop("crc_incremental_vs_legacy", crc_vs_legacy, 3)
+      .prop("crc_incremental_vs_exhaustive", crc_vs_exhaustive, 3);
+  json.end_object();
+  json.end_object();
+  if (json.write_file(json_path)) {
     std::printf("\nwrote %s\n", json_path.c_str());
   } else {
     std::fprintf(stderr, "cannot write %s\n", json_path.c_str());

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# CI entry point: default build + full ctest, then an ASan+UBSan build
+# running everything except the perf-labeled timing gates (sanitizer
+# overhead makes wall-clock assertions meaningless; the functional smoke
+# tests, including faultsim_smoke and the snapshot round-trip suite, run
+# in both configurations).
+set -euo pipefail
+cd "$(dirname "$0")"
+
+JOBS="${JOBS:-$(nproc)}"
+
+echo "==> default build"
+cmake --preset default
+cmake --build --preset default -j "${JOBS}"
+ctest --preset default -j "${JOBS}"
+
+echo "==> sanitizer build (ASan + UBSan)"
+cmake --preset san
+cmake --build --preset san -j "${JOBS}"
+ctest --preset san -j "${JOBS}"
+
+echo "==> CI OK"

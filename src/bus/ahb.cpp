@@ -1,8 +1,27 @@
 #include "safedm/bus/ahb.hpp"
 
 #include "safedm/common/check.hpp"
+#include "safedm/common/state.hpp"
 
 namespace safedm::bus {
+
+namespace {
+
+void save_txn(StateWriter& w, const BusTxn& txn) {
+  w.put_u8(static_cast<u8>(txn.kind));
+  w.put_u64(txn.addr);
+  w.put_u32(txn.tag);
+}
+
+BusTxn restore_txn(StateReader& r) {
+  BusTxn txn;
+  txn.kind = static_cast<BusTxn::Kind>(r.get_u8());
+  txn.addr = r.get_u64();
+  txn.tag = r.get_u32();
+  return txn;
+}
+
+}  // namespace
 
 AhbBus::AhbBus(AhbSlave& slave, unsigned first_grant_bias)
     : slave_(slave), rr_next_(first_grant_bias) {}
@@ -70,6 +89,47 @@ void AhbBus::step() {
 
   ++stats_.idle_cycles;
   try_grant();
+}
+
+void AhbBus::save_state(StateWriter& w) const {
+  w.begin_section("AHBB", 1);
+  w.put_u32(static_cast<u32>(masters_.size()));
+  for (const Pending& p : pending_) {
+    w.put_bool(p.valid);
+    save_txn(w, p.txn);
+  }
+  w.put_u32(rr_next_);
+  w.put_u32(busy_cycles_left_);
+  w.put_i64(active_master_);
+  save_txn(w, active_txn_);
+  w.put_bool(started_);
+  w.put_u64(stats_.grants);
+  w.put_u64(stats_.busy_cycles);
+  w.put_u64(stats_.idle_cycles);
+  for (u64 c : stats_.wait_cycles) w.put_u64(c);
+  for (u64 g : stats_.master_grants) w.put_u64(g);
+  w.end_section();
+}
+
+void AhbBus::restore_state(StateReader& r) {
+  r.begin_section("AHBB", 1);
+  if (r.get_u32() != masters_.size())
+    throw StateError("AHB master count mismatch (re-attach the same masters before restore)");
+  for (Pending& p : pending_) {
+    p.valid = r.get_bool();
+    p.txn = restore_txn(r);
+  }
+  rr_next_ = r.get_u32();
+  busy_cycles_left_ = r.get_u32();
+  active_master_ = static_cast<int>(r.get_i64());
+  active_txn_ = restore_txn(r);
+  started_ = r.get_bool();
+  stats_.grants = r.get_u64();
+  stats_.busy_cycles = r.get_u64();
+  stats_.idle_cycles = r.get_u64();
+  for (u64& c : stats_.wait_cycles) c = r.get_u64();
+  for (u64& g : stats_.master_grants) g = r.get_u64();
+  r.end_section();
 }
 
 }  // namespace safedm::bus

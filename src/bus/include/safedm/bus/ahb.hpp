@@ -12,6 +12,11 @@
 
 #include "safedm/common/bits.hpp"
 
+namespace safedm {
+class StateReader;
+class StateWriter;
+}  // namespace safedm
+
 namespace safedm::bus {
 
 struct BusTxn {
@@ -68,6 +73,13 @@ class AhbBus {
   void step();
 
   const AhbStats& stats() const { return stats_; }
+
+  /// Arbiter + in-flight transaction + per-master pending requests.
+  /// Master bindings are NOT serialized: the owner must re-attach the
+  /// same masters in the same order before restoring (the MpSoc
+  /// constructor does this by construction).
+  void save_state(StateWriter& w) const;
+  void restore_state(StateReader& r);
 
  private:
   struct Pending {

@@ -25,6 +25,11 @@ class L2Frontend final : public AhbSlave {
   mem::CacheTags& tags() { return tags_; }
   const L2Timing& timing() const { return timing_; }
 
+  // Timing is configuration; tags/LRU/stats are the only state. A granted
+  // transaction's remaining latency lives in the AhbBus, not here.
+  void save_state(StateWriter& w) const { tags_.save_state(w); }
+  void restore_state(StateReader& r) { tags_.restore_state(r); }
+
  private:
   mem::CacheTags tags_;
   L2Timing timing_;

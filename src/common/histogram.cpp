@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "safedm/common/check.hpp"
+#include "safedm/common/state.hpp"
 
 namespace safedm {
 
@@ -71,6 +72,32 @@ u64 Histogram::bin_upper(std::size_t bin) const {
   SAFEDM_CHECK(bin < counts_.size());
   if (bin == bounds_.size()) return std::numeric_limits<u64>::max();
   return bounds_[bin];
+}
+
+void Histogram::save_state(StateWriter& w) const {
+  w.begin_section("HIST", 1);
+  w.put_u64(bounds_.size());
+  for (u64 b : bounds_) w.put_u64(b);
+  for (u64 c : counts_) w.put_u64(c);
+  w.put_u64(total_samples_);
+  w.put_u64(total_weight_);
+  w.put_u64(sample_sum_);
+  w.put_u64(max_sample_);
+  w.end_section();
+}
+
+void Histogram::restore_state(StateReader& r) {
+  r.begin_section("HIST", 1);
+  const u64 n = r.get_u64();
+  if (n != bounds_.size()) throw StateError("histogram bin-count mismatch");
+  for (u64 b : bounds_)
+    if (r.get_u64() != b) throw StateError("histogram bin-bound mismatch");
+  for (u64& c : counts_) c = r.get_u64();
+  total_samples_ = r.get_u64();
+  total_weight_ = r.get_u64();
+  sample_sum_ = r.get_u64();
+  max_sample_ = r.get_u64();
+  r.end_section();
 }
 
 std::string Histogram::to_string() const {

@@ -11,6 +11,9 @@
 
 namespace safedm {
 
+class StateReader;
+class StateWriter;
+
 /// Histogram over u64 samples with caller-defined bin upper bounds.
 ///
 /// Bin i counts samples x with bound[i-1] < x <= bound[i]; samples above
@@ -46,6 +49,12 @@ class Histogram {
 
   /// Multi-line human-readable rendering (used by example apps).
   std::string to_string() const;
+
+  /// Snapshot counts + running totals. The bin bounds are written as a
+  /// fingerprint and validated on restore (binning is configuration, not
+  /// state); a mismatch throws StateError.
+  void save_state(StateWriter& w) const;
+  void restore_state(StateReader& r);
 
  private:
   std::vector<u64> bounds_;  // strictly increasing upper bounds

@@ -1,0 +1,128 @@
+// Versioned binary state serialization for snapshot/restore.
+//
+// Every stateful component implements
+//
+//   void save_state(StateWriter& w) const;
+//   void restore_state(StateReader& r);
+//
+// writing one tagged section (4-char fourcc + u32 version + u64 payload
+// length). Sections nest, so a composite (Core, SafeDm, MpSoc) wraps its
+// children's sections inside its own. All scalars are written as
+// little-endian byte sequences regardless of host endianness, so a
+// snapshot file is portable across machines.
+//
+// Contract (DESIGN.md §5b): restore must leave the component *forward
+// bit-identical* to the instance that was saved — every subsequent
+// observable (tap frames, counters, bus traffic, results) matches the
+// uninterrupted run. Derived caches (CRC memos, comparator masks) may be
+// rebuilt instead of stored, as long as the rebuilt values are equal.
+// Structural configuration (geometry, sizes) is NOT restored; it is
+// written as a fingerprint and validated, and a mismatch throws
+// StateError. Restore failures always throw StateError — never
+// CheckError — so callers that treat CheckError as a simulated crash
+// (faultsim) cannot misclassify a corrupt snapshot.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "safedm/common/bits.hpp"
+
+namespace safedm {
+
+/// Thrown on malformed, truncated, or incompatible state streams.
+/// Deliberately distinct from CheckError (see header comment).
+class StateError : public std::runtime_error {
+ public:
+  explicit StateError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Serializes tagged, versioned, length-prefixed sections into a byte
+/// buffer. The stream starts with an 8-byte magic identifying the format.
+class StateWriter {
+ public:
+  StateWriter();
+
+  /// Open a section. `tag` must be exactly 4 ASCII characters. Sections
+  /// nest; each begin must be matched by end_section(), which patches the
+  /// section's payload length in place.
+  void begin_section(std::string_view tag, u32 version);
+  void end_section();
+
+  void put_u8(u8 v) { buf_.push_back(v); }
+  void put_u16(u16 v);
+  void put_u32(u32 v);
+  void put_u64(u64 v);
+  void put_i64(i64 v) { put_u64(static_cast<u64>(v)); }
+  void put_bool(bool v) { put_u8(v ? 1 : 0); }
+  /// Raw bytes — only for data that is already a byte sequence (memory
+  /// pages, strings); never for structs (endianness, padding).
+  void put_bytes(const void* data, std::size_t len);
+  /// u64 length prefix + raw bytes.
+  void put_string(std::string_view s);
+
+  /// Finished stream. All sections must be closed.
+  std::vector<u8> take();
+  const std::vector<u8>& bytes() const { return buf_; }
+
+ private:
+  std::vector<u8> buf_;
+  std::vector<std::size_t> open_;  // offsets of unpatched length fields
+};
+
+/// Reads a StateWriter stream back. All getters are bounds-checked
+/// against the innermost open section (and the stream end) and throw
+/// StateError on truncation. end_section() skips any unread payload, so
+/// a reader built for version N tolerates trailing fields appended by a
+/// same-version writer extension only via an explicit version bump —
+/// unknown *sections* can be skipped, unknown *fields* cannot.
+class StateReader {
+ public:
+  explicit StateReader(std::span<const u8> data);
+
+  /// Open the next section, which must carry `tag`; returns its version.
+  u32 begin_section(std::string_view tag);
+  /// Open the next section and require an exact version match.
+  void begin_section(std::string_view tag, u32 expect_version);
+  /// Close the innermost section, skipping any unread payload bytes.
+  void end_section();
+
+  u8 get_u8();
+  u16 get_u16();
+  u32 get_u32();
+  u64 get_u64();
+  i64 get_i64() { return static_cast<i64>(get_u64()); }
+  bool get_bool();
+  void get_bytes(void* out, std::size_t len);
+  std::string get_string();
+
+  /// True once every byte of the stream has been consumed or skipped.
+  bool at_end() const { return pos_ == data_.size(); }
+
+ private:
+  void need(std::size_t n) const;
+
+  std::span<const u8> data_;
+  std::size_t pos_ = 0;
+  std::vector<std::size_t> ends_;  // section end offsets, innermost last
+};
+
+/// In-memory snapshot with file-backed forms. The byte stream is a
+/// complete StateWriter stream (magic included), so `to_file` writes it
+/// verbatim and `from_file` validates via the StateReader magic check at
+/// restore time.
+struct Snapshot {
+  std::vector<u8> bytes;
+
+  void to_file(const std::string& path) const;
+  static Snapshot from_file(const std::string& path);
+};
+
+void write_state_file(const std::string& path, std::span<const u8> bytes);
+std::vector<u8> read_state_file(const std::string& path);
+
+}  // namespace safedm

@@ -1,0 +1,190 @@
+#include "safedm/common/state.hpp"
+
+#include <cstdio>
+#include <cstring>
+
+namespace safedm {
+namespace {
+
+// 8-byte stream magic; last byte is the container format version.
+constexpr u8 kMagic[8] = {'S', 'A', 'F', 'E', 'D', 'M', 'S', 1};
+constexpr std::size_t kSectionHeaderBytes = 4 + 4 + 8;  // tag + version + length
+
+std::string printable_tag(const u8* p) {
+  std::string out;
+  for (int i = 0; i < 4; ++i) {
+    const char c = static_cast<char>(p[i]);
+    out.push_back((c >= 0x20 && c < 0x7F) ? c : '?');
+  }
+  return out;
+}
+
+}  // namespace
+
+StateWriter::StateWriter() { buf_.insert(buf_.end(), kMagic, kMagic + sizeof kMagic); }
+
+void StateWriter::put_u16(u16 v) {
+  put_u8(static_cast<u8>(v));
+  put_u8(static_cast<u8>(v >> 8));
+}
+
+// Scalars stage little-endian bytes locally and append with one insert:
+// snapshots are a few hundred KB of mostly u64s, and a per-byte push_back
+// (capacity check each) is measurable at checkpoint-campaign rates.
+void StateWriter::put_u32(u32 v) {
+  u8 le[4];
+  for (int i = 0; i < 4; ++i) le[i] = static_cast<u8>(v >> (8 * i));
+  buf_.insert(buf_.end(), le, le + 4);
+}
+
+void StateWriter::put_u64(u64 v) {
+  u8 le[8];
+  for (int i = 0; i < 8; ++i) le[i] = static_cast<u8>(v >> (8 * i));
+  buf_.insert(buf_.end(), le, le + 8);
+}
+
+void StateWriter::put_bytes(const void* data, std::size_t len) {
+  const u8* p = static_cast<const u8*>(data);
+  buf_.insert(buf_.end(), p, p + len);
+}
+
+void StateWriter::put_string(std::string_view s) {
+  put_u64(s.size());
+  put_bytes(s.data(), s.size());
+}
+
+void StateWriter::begin_section(std::string_view tag, u32 version) {
+  if (tag.size() != 4) throw StateError("section tag must be 4 characters: '" + std::string(tag) + "'");
+  put_bytes(tag.data(), 4);
+  put_u32(version);
+  open_.push_back(buf_.size());
+  put_u64(0);  // length, patched by end_section
+}
+
+void StateWriter::end_section() {
+  if (open_.empty()) throw StateError("end_section with no open section");
+  const std::size_t at = open_.back();
+  open_.pop_back();
+  const u64 len = buf_.size() - (at + 8);
+  for (int i = 0; i < 8; ++i) buf_[at + i] = static_cast<u8>(len >> (8 * i));
+}
+
+std::vector<u8> StateWriter::take() {
+  if (!open_.empty()) throw StateError("take() with unclosed section");
+  return std::move(buf_);
+}
+
+StateReader::StateReader(std::span<const u8> data) : data_(data) {
+  if (data_.size() < sizeof kMagic || std::memcmp(data_.data(), kMagic, sizeof kMagic) != 0)
+    throw StateError("bad state stream magic (not a SafeDM snapshot, or wrong format version)");
+  pos_ = sizeof kMagic;
+}
+
+void StateReader::need(std::size_t n) const {
+  const std::size_t bound = ends_.empty() ? data_.size() : ends_.back();
+  if (pos_ + n > bound) throw StateError("truncated state stream");
+}
+
+u8 StateReader::get_u8() {
+  need(1);
+  return data_[pos_++];
+}
+
+u16 StateReader::get_u16() {
+  need(2);
+  u16 v = static_cast<u16>(data_[pos_] | (data_[pos_ + 1] << 8));
+  pos_ += 2;
+  return v;
+}
+
+u32 StateReader::get_u32() {
+  need(4);
+  u32 v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<u32>(data_[pos_ + i]) << (8 * i);
+  pos_ += 4;
+  return v;
+}
+
+u64 StateReader::get_u64() {
+  need(8);
+  u64 v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<u64>(data_[pos_ + i]) << (8 * i);
+  pos_ += 8;
+  return v;
+}
+
+bool StateReader::get_bool() {
+  const u8 v = get_u8();
+  if (v > 1) throw StateError("corrupt state stream: bool out of range");
+  return v != 0;
+}
+
+void StateReader::get_bytes(void* out, std::size_t len) {
+  need(len);
+  std::memcpy(out, data_.data() + pos_, len);
+  pos_ += len;
+}
+
+std::string StateReader::get_string() {
+  const u64 len = get_u64();
+  need(len);
+  std::string s(reinterpret_cast<const char*>(data_.data() + pos_), len);
+  pos_ += len;
+  return s;
+}
+
+u32 StateReader::begin_section(std::string_view tag) {
+  need(kSectionHeaderBytes);
+  if (std::memcmp(data_.data() + pos_, tag.data(), 4) != 0)
+    throw StateError("state section mismatch: expected '" + std::string(tag) + "', found '" +
+                     printable_tag(data_.data() + pos_) + "'");
+  pos_ += 4;
+  const u32 version = get_u32();
+  const u64 len = get_u64();
+  const std::size_t bound = ends_.empty() ? data_.size() : ends_.back();
+  if (len > bound - pos_) throw StateError("truncated state stream in section '" + std::string(tag) + "'");
+  ends_.push_back(pos_ + len);
+  return version;
+}
+
+void StateReader::begin_section(std::string_view tag, u32 expect_version) {
+  const u32 got = begin_section(tag);
+  if (got != expect_version) {
+    ends_.pop_back();
+    throw StateError("state section '" + std::string(tag) + "' version " + std::to_string(got) +
+                     " unsupported (expected " + std::to_string(expect_version) + ")");
+  }
+}
+
+void StateReader::end_section() {
+  if (ends_.empty()) throw StateError("end_section with no open section");
+  pos_ = ends_.back();  // skip unread payload (forward compat across sections)
+  ends_.pop_back();
+}
+
+void Snapshot::to_file(const std::string& path) const { write_state_file(path, bytes); }
+
+Snapshot Snapshot::from_file(const std::string& path) { return Snapshot{read_state_file(path)}; }
+
+void write_state_file(const std::string& path, std::span<const u8> bytes) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (!f) throw StateError("cannot open '" + path + "' for writing");
+  const std::size_t written = std::fwrite(bytes.data(), 1, bytes.size(), f);
+  const bool ok = written == bytes.size() && std::fclose(f) == 0;
+  if (!ok) throw StateError("short write to '" + path + "'");
+}
+
+std::vector<u8> read_state_file(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (!f) throw StateError("cannot open '" + path + "' for reading");
+  std::vector<u8> bytes;
+  u8 chunk[4096];
+  std::size_t n;
+  while ((n = std::fread(chunk, 1, sizeof chunk, f)) > 0) bytes.insert(bytes.end(), chunk, chunk + n);
+  const bool err = std::ferror(f) != 0;
+  std::fclose(f);
+  if (err) throw StateError("read error on '" + path + "'");
+  return bytes;
+}
+
+}  // namespace safedm

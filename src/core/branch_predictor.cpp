@@ -1,6 +1,7 @@
 #include "safedm/core/branch_predictor.hpp"
 
 #include "safedm/common/check.hpp"
+#include "safedm/common/state.hpp"
 
 namespace safedm::core {
 
@@ -59,6 +60,40 @@ void BranchPredictor::train(u64 pc, bool taken, u64 target) {
     e.tag = pc;
     e.target = target;
   }
+}
+
+void BranchPredictor::save_state(StateWriter& w) const {
+  w.begin_section("BPRD", 1);
+  w.put_u32(config_.bht_entries);
+  w.put_u32(config_.btb_entries);
+  w.put_bytes(bht_.data(), bht_.size());
+  for (const BtbEntry& e : btb_) {
+    w.put_bool(e.valid);
+    w.put_u64(e.tag);
+    w.put_u64(e.target);
+  }
+  w.put_u64(stats_.lookups);
+  w.put_u64(stats_.predicted_taken);
+  w.put_u64(stats_.trains);
+  w.put_u64(stats_.mispredicts);
+  w.end_section();
+}
+
+void BranchPredictor::restore_state(StateReader& r) {
+  r.begin_section("BPRD", 1);
+  if (r.get_u32() != config_.bht_entries || r.get_u32() != config_.btb_entries)
+    throw StateError("branch predictor geometry mismatch");
+  r.get_bytes(bht_.data(), bht_.size());
+  for (BtbEntry& e : btb_) {
+    e.valid = r.get_bool();
+    e.tag = r.get_u64();
+    e.target = r.get_u64();
+  }
+  stats_.lookups = r.get_u64();
+  stats_.predicted_taken = r.get_u64();
+  stats_.trains = r.get_u64();
+  stats_.mispredicts = r.get_u64();
+  r.end_section();
 }
 
 }  // namespace safedm::core

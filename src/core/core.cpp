@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "safedm/common/check.hpp"
+#include "safedm/common/state.hpp"
 #include "safedm/isa/decode.hpp"
 
 namespace safedm::core {
@@ -521,6 +522,136 @@ void Core::snapshot_stages(CoreTapFrame& frame) const {
       frame.stage[s][lane] = StageSlotTap{slot.valid, slot.valid ? slot.raw : 0};
     }
   }
+}
+
+void Core::save_state(StateWriter& w) const {
+  w.begin_section("CORE", 1);
+  // Architectural state.
+  w.put_u64(arch_.pc);
+  for (u64 x : arch_.x) w.put_u64(x);
+  for (u64 f : arch_.f) w.put_u64(f);
+  w.put_u64(arch_.instret);
+  w.put_u8(static_cast<u8>(arch_.halt));
+  // Microarchitectural sub-blocks.
+  l1i_.save_state(w);
+  l1d_.save_state(w);
+  sb_.save_state(w);
+  predictor_.save_state(w);
+  // Pipeline latches. Decoded form is derived; only the raw encoding and
+  // the execute-time captures are stored.
+  for (const Group& group : stage_) {
+    for (const Slot& s : group.slot) {
+      w.put_bool(s.valid);
+      if (!s.valid) continue;
+      w.put_u64(s.pc);
+      w.put_u32(s.raw);
+      w.put_u64(s.predicted_next);
+      w.put_u64(s.rs1_value);
+      w.put_u64(s.rs2_value);
+      w.put_bool(s.rs1_read);
+      w.put_bool(s.rs2_read);
+      w.put_u64(s.rd_value);
+      w.put_bool(s.rd_written);
+      w.put_u64(s.mem_addr);
+    }
+  }
+  w.put_u64(fetch_pc_);
+  w.put_bool(fetch_enabled_);
+  for (u64 c : x_ready_) w.put_u64(c);
+  for (u64 c : f_ready_) w.put_u64(c);
+  w.put_u64(cycle_);
+  w.put_u64(ex_ready_cycle_);
+  w.put_u8(static_cast<u8>(me_state_));
+  w.put_u64(me_refill_line_);
+  w.put_u64(me_store_addr_);
+  w.put_u64(me_mmio_done_cycle_);
+  w.put_u8(me_load_rd_);
+  w.put_bool(me_load_fp_);
+  w.put_bool(redirect_bubble_);
+  w.put_bool(icache_wait_);
+  w.put_bool(icache_need_refill_);
+  w.put_u64(icache_refill_line_);
+  w.put_bool(sb_drain_in_flight_);
+  w.put_bool(pipeline_halted_);
+  w.put_bool(halt_seen_);
+  w.put_bool(external_stall_);
+  w.put_bool(moved_this_cycle_);
+  w.put_u64(stats_.cycles);
+  w.put_u64(stats_.committed);
+  w.put_u64(stats_.committed_groups);
+  w.put_u64(stats_.dual_issue_commits);
+  w.put_u64(stats_.mispredicts);
+  w.put_u64(stats_.l1d_miss_stall_cycles);
+  w.put_u64(stats_.l1i_miss_stall_cycles);
+  w.put_u64(stats_.sb_full_stall_cycles);
+  w.put_u64(stats_.raw_hazard_stall_cycles);
+  w.put_u64(stats_.ex_busy_stall_cycles);
+  w.put_u64(stats_.external_stall_cycles);
+  w.end_section();
+}
+
+void Core::restore_state(StateReader& r) {
+  r.begin_section("CORE", 1);
+  arch_.pc = r.get_u64();
+  for (u64& x : arch_.x) x = r.get_u64();
+  for (u64& f : arch_.f) f = r.get_u64();
+  arch_.instret = r.get_u64();
+  arch_.halt = static_cast<isa::HaltReason>(r.get_u8());
+  l1i_.restore_state(r);
+  l1d_.restore_state(r);
+  sb_.restore_state(r);
+  predictor_.restore_state(r);
+  for (Group& group : stage_) {
+    for (Slot& s : group.slot) {
+      s = Slot{};
+      s.valid = r.get_bool();
+      if (!s.valid) continue;
+      s.pc = r.get_u64();
+      s.raw = r.get_u32();
+      s.inst = isa::decode(s.raw);
+      s.predicted_next = r.get_u64();
+      s.rs1_value = r.get_u64();
+      s.rs2_value = r.get_u64();
+      s.rs1_read = r.get_bool();
+      s.rs2_read = r.get_bool();
+      s.rd_value = r.get_u64();
+      s.rd_written = r.get_bool();
+      s.mem_addr = r.get_u64();
+    }
+  }
+  fetch_pc_ = r.get_u64();
+  fetch_enabled_ = r.get_bool();
+  for (u64& c : x_ready_) c = r.get_u64();
+  for (u64& c : f_ready_) c = r.get_u64();
+  cycle_ = r.get_u64();
+  ex_ready_cycle_ = r.get_u64();
+  me_state_ = static_cast<MemState>(r.get_u8());
+  me_refill_line_ = r.get_u64();
+  me_store_addr_ = r.get_u64();
+  me_mmio_done_cycle_ = r.get_u64();
+  me_load_rd_ = r.get_u8();
+  me_load_fp_ = r.get_bool();
+  redirect_bubble_ = r.get_bool();
+  icache_wait_ = r.get_bool();
+  icache_need_refill_ = r.get_bool();
+  icache_refill_line_ = r.get_u64();
+  sb_drain_in_flight_ = r.get_bool();
+  pipeline_halted_ = r.get_bool();
+  halt_seen_ = r.get_bool();
+  external_stall_ = r.get_bool();
+  moved_this_cycle_ = r.get_bool();
+  stats_.cycles = r.get_u64();
+  stats_.committed = r.get_u64();
+  stats_.committed_groups = r.get_u64();
+  stats_.dual_issue_commits = r.get_u64();
+  stats_.mispredicts = r.get_u64();
+  stats_.l1d_miss_stall_cycles = r.get_u64();
+  stats_.l1i_miss_stall_cycles = r.get_u64();
+  stats_.sb_full_stall_cycles = r.get_u64();
+  stats_.raw_hazard_stall_cycles = r.get_u64();
+  stats_.ex_busy_stall_cycles = r.get_u64();
+  stats_.external_stall_cycles = r.get_u64();
+  r.end_section();
 }
 
 }  // namespace safedm::core

@@ -8,6 +8,11 @@
 
 #include "safedm/common/bits.hpp"
 
+namespace safedm {
+class StateReader;
+class StateWriter;
+}  // namespace safedm
+
 namespace safedm::core {
 
 struct BranchPredictorConfig {
@@ -45,6 +50,11 @@ class BranchPredictor {
   void note_mispredict() { ++stats_.mispredicts; }
   const BranchPredictorStats& stats() const { return stats_; }
   void reset();
+
+  /// BHT counters + BTB entries + stats (reset() leaves stats alone, so
+  /// they are serialized explicitly here).
+  void save_state(StateWriter& w) const;
+  void restore_state(StateReader& r);
 
  private:
   struct BtbEntry {

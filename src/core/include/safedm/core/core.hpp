@@ -97,6 +97,12 @@ class Core final : public bus::AhbCompletion {
   // AhbCompletion
   void bus_complete(const bus::BusTxn& txn) override;
 
+  /// Full core state: architectural registers, L1/SB/predictor, pipeline
+  /// latches, ME/fetch FSMs, scoreboard ready cycles, stats. Decoded
+  /// instructions are re-derived from the raw encodings on restore.
+  void save_state(StateWriter& w) const;
+  void restore_state(StateReader& r);
+
  private:
   struct Slot {
     bool valid = false;

@@ -60,6 +60,8 @@ struct CoreTapFrame {
   unsigned commits = 0;   // instructions retired this cycle (Instruction diff)
   bool halted = false;
 
+  bool operator==(const CoreTapFrame&) const = default;
+
   StageSlotTap& slot(Stage s, unsigned lane) {
     return stage[static_cast<unsigned>(s)][lane];
   }

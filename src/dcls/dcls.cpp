@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "safedm/common/state.hpp"
+
 namespace safedm::dcls {
 
 void DclsChecker::collect(unsigned which, const core::CoreTapFrame& frame,
@@ -46,6 +48,55 @@ void DclsChecker::on_cycle(u64, const core::CoreTapFrame& frame0,
       std::max<u64>(stats_.max_skew, std::max(head_queue_.size(), shadow_queue_.size()));
   if (head_queue_.size() > config_.max_queue || shadow_queue_.size() > config_.max_queue)
     stats_.desynchronized = true;
+}
+
+void DclsChecker::save_state(StateWriter& w) const {
+  w.begin_section("DCLS", 1);
+  for (const auto& lane : prev_wb_)
+    for (const core::StageSlotTap& slot : lane) {
+      w.put_u32(slot.valid);
+      w.put_u32(slot.encoding);
+    }
+  for (const std::deque<CommitRecord>* queue : {&head_queue_, &shadow_queue_}) {
+    w.put_u64(queue->size());
+    for (const CommitRecord& rec : *queue) {
+      w.put_u32(rec.encoding);
+      w.put_bool(rec.rd_written);
+      w.put_u64(rec.rd_value);
+    }
+  }
+  w.put_u64(stats_.compared_commits);
+  w.put_u64(stats_.mismatches);
+  w.put_u64(stats_.max_skew);
+  w.put_bool(stats_.desynchronized);
+  w.end_section();
+}
+
+void DclsChecker::restore_state(StateReader& r) {
+  r.begin_section("DCLS", 1);
+  for (auto& lane : prev_wb_)
+    for (core::StageSlotTap& slot : lane) {
+      slot.valid = r.get_u32();
+      slot.encoding = r.get_u32();
+    }
+  for (std::deque<CommitRecord>* queue : {&head_queue_, &shadow_queue_}) {
+    queue->clear();
+    const u64 n = r.get_u64();
+    if (n > config_.max_queue + core::kMaxIssueWidth)
+      throw StateError("DCLS queue overflow in snapshot");
+    for (u64 i = 0; i < n; ++i) {
+      CommitRecord rec;
+      rec.encoding = r.get_u32();
+      rec.rd_written = r.get_bool();
+      rec.rd_value = r.get_u64();
+      queue->push_back(rec);
+    }
+  }
+  stats_.compared_commits = r.get_u64();
+  stats_.mismatches = r.get_u64();
+  stats_.max_skew = r.get_u64();
+  stats_.desynchronized = r.get_bool();
+  r.end_section();
 }
 
 }  // namespace safedm::dcls

@@ -51,6 +51,9 @@ class DclsChecker final : public soc::CycleObserver {
   const DclsStats& stats() const { return stats_; }
   const DclsConfig& config() const { return config_; }
 
+  void save_state(StateWriter& w) const;
+  void restore_state(StateReader& r);
+
  private:
   struct CommitRecord {
     u32 encoding = 0;

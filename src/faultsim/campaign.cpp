@@ -52,7 +52,13 @@ std::vector<u64> sample_cycles(std::vector<u64> pool, unsigned count, Xoshiro256
 WorkloadPlan build_plan(const std::string& name, const EngineConfig& config) {
   WorkloadPlan plan;
   plan.program = workloads::build(name, config.scale);
-  plan.trace = record_reference(plan.program, config.dm);
+  if (config.engine == InjectionEngine::kCheckpoint) {
+    CheckpointPolicy policy;
+    policy.interval = config.checkpoint_interval;
+    plan.trace = record_reference(plan.program, config.dm, policy);
+  } else {
+    plan.trace = record_reference(plan.program, config.dm);
+  }
   plan.budget = plan.trace.cycles * 4 + 100'000;
 
   // Candidate injection cycles per verdict class. Skip the first ~100
@@ -190,11 +196,14 @@ EngineReport run_engine(const EngineConfig& raw_config) {
   pool.parallel_for(sites.size(), [&](std::size_t i) {
     const Site& site = sites[i];
     const WorkloadPlan& plan = plans[site.workload];
+    const ReferenceTrace* fork =
+        config.engine == InjectionEngine::kCheckpoint ? &plan.trace : nullptr;
     results[i] = site.single
                      ? inject_single_fault_timed(plan.program, site.injection, site.target_core,
-                                                 plan.trace.golden_checksum, plan.budget)
+                                                 plan.trace.golden_checksum, plan.budget, fork)
                      : inject_identical_fault_timed(plan.program, site.injection,
-                                                    plan.trace.golden_checksum, plan.budget);
+                                                    plan.trace.golden_checksum, plan.budget,
+                                                    fork);
   });
 
   // Stage 4: serial aggregation in site order.

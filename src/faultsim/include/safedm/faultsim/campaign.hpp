@@ -31,6 +31,12 @@ class ThreadPool;
 
 namespace safedm::faultsim {
 
+/// How an injection run reaches its injection cycle.
+enum class InjectionEngine : u8 {
+  kReplay,      // simulate from cycle zero every time (historical engine)
+  kCheckpoint,  // fork from the nearest reference-run checkpoint
+};
+
 struct EngineConfig {
   std::vector<std::string> workloads{"bitcount", "cubic", "md5", "quicksort"};
   unsigned scale = 1;               // workload input scale (see workloads.hpp)
@@ -41,6 +47,11 @@ struct EngineConfig {
   unsigned threads = 0;             // worker count; 0 = hardware concurrency
   bool single_fault = true;         // also run the single-fault control model
   monitor::SafeDmConfig dm{};
+  // Like `threads`, the engine choice is a pure performance knob: reports
+  // are bit-identical across engines and intervals, and neither is echoed
+  // into the JSON.
+  InjectionEngine engine = InjectionEngine::kCheckpoint;
+  u64 checkpoint_interval = 0;      // cycles between checkpoints; 0 = auto
 };
 
 /// Wilson score interval for a binomial proportion (default z: 95%).

@@ -25,6 +25,11 @@
 
 namespace safedm::faultsim {
 
+/// Watchdog budget for the reference run; injection runs derive their own
+/// budget from the measured reference length, and the injector entry
+/// points default to this when no budget is given.
+inline constexpr u64 kReferenceBudget = 30'000'000;
+
 enum class Outcome : u8 {
   kMasked,    // both results equal the golden value: fault had no effect
   kDetected,  // the two cores' results differ: comparison catches the error
@@ -35,15 +40,46 @@ enum class Outcome : u8 {
 
 const char* outcome_name(Outcome outcome);
 
+/// One serialized SoC+monitor rig state, taken after cycle `cycle`'s
+/// observers ran. Forking from it reproduces the replay-from-zero run
+/// bit-exactly from that cycle on (the restored-forward equivalence
+/// invariant, DESIGN.md §5b).
+struct Checkpoint {
+  u64 cycle = 0;
+  std::vector<u8> state;
+};
+
+/// How the reference run drops checkpoints.
+struct CheckpointPolicy {
+  /// Cycles between checkpoints; 0 = auto. Auto starts at a small
+  /// interval and doubles it (thinning the recorded train) whenever the
+  /// count would exceed `max_checkpoints`, bounding memory at roughly
+  /// max_checkpoints snapshots regardless of workload length.
+  u64 interval = 0;
+  unsigned max_checkpoints = 64;
+};
+
 struct ReferenceTrace {
   std::vector<bool> nodiv;     // SafeDM verdict per cycle (index 0 = cycle 1)
   u64 golden_checksum = 0;
   u64 cycles = 0;
+
+  /// Monitor config the trace (and its checkpoints) were recorded with; a
+  /// forked injection run must rebuild the identical rig to restore into.
+  monitor::SafeDmConfig dm_config{};
+  std::vector<Checkpoint> checkpoints;  // ascending by cycle; may be empty
+  u64 checkpoint_interval = 0;          // final effective drop interval
 };
 
 /// Reference run: record per-cycle verdicts and the golden result.
 ReferenceTrace record_reference(const assembler::Program& program,
                                 const monitor::SafeDmConfig& dm_config = {});
+
+/// Same, additionally dropping restorable checkpoints per `policy` for
+/// checkpoint-forked injection runs.
+ReferenceTrace record_reference(const assembler::Program& program,
+                                const monitor::SafeDmConfig& dm_config,
+                                const CheckpointPolicy& policy);
 
 struct Injection {
   u64 cycle = 0;   // inject right after this SoC cycle completes
@@ -63,15 +99,23 @@ struct InjectionResult {
 };
 
 /// Run with the identical fault injected into BOTH cores (the CCF model).
+///
+/// When `fork_from` is non-null and carries checkpoints, the run restores
+/// the nearest checkpoint at or before the injection cycle and simulates
+/// only the tail — O(tail) instead of O(prefix + tail) — with outcomes
+/// bit-identical to the replay-from-zero engine.
 InjectionResult inject_identical_fault_timed(const assembler::Program& program,
                                              const Injection& injection, u64 golden_checksum,
-                                             u64 max_cycles);
+                                             u64 max_cycles = kReferenceBudget,
+                                             const ReferenceTrace* fork_from = nullptr);
 
 /// Run with the fault injected into ONE core (the single-fault model the
 /// redundancy is designed for; must always be masked or detected).
 InjectionResult inject_single_fault_timed(const assembler::Program& program,
                                           const Injection& injection, unsigned target_core,
-                                          u64 golden_checksum, u64 max_cycles);
+                                          u64 golden_checksum,
+                                          u64 max_cycles = kReferenceBudget,
+                                          const ReferenceTrace* fork_from = nullptr);
 
 /// Outcome-only conveniences (historical API).
 Outcome inject_identical_fault(const assembler::Program& program, const Injection& injection,

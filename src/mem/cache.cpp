@@ -1,6 +1,7 @@
 #include "safedm/mem/cache.hpp"
 
 #include "safedm/common/check.hpp"
+#include "safedm/common/state.hpp"
 
 namespace safedm::mem {
 
@@ -86,6 +87,44 @@ bool CacheTags::mark_dirty(u64 addr) {
 
 void CacheTags::invalidate_all() {
   for (Way& way : ways_) way = Way{};
+}
+
+void CacheTags::save_state(StateWriter& w) const {
+  w.begin_section("CTAG", 1);
+  w.put_u64(config_.size_bytes);
+  w.put_u32(config_.ways);
+  w.put_u32(config_.line_bytes);
+  w.put_u64(lru_clock_);
+  w.put_u64(stats_.hits);
+  w.put_u64(stats_.misses);
+  w.put_u64(stats_.evictions);
+  w.put_u64(stats_.writeback_evictions);
+  for (const Way& way : ways_) {
+    w.put_u8(static_cast<u8>((way.valid ? 1 : 0) | (way.dirty ? 2 : 0)));
+    w.put_u64(way.tag);
+    w.put_u64(way.lru);
+  }
+  w.end_section();
+}
+
+void CacheTags::restore_state(StateReader& r) {
+  r.begin_section("CTAG", 1);
+  if (r.get_u64() != config_.size_bytes || r.get_u32() != config_.ways ||
+      r.get_u32() != config_.line_bytes)
+    throw StateError("cache geometry mismatch in '" + name_ + "'");
+  lru_clock_ = r.get_u64();
+  stats_.hits = r.get_u64();
+  stats_.misses = r.get_u64();
+  stats_.evictions = r.get_u64();
+  stats_.writeback_evictions = r.get_u64();
+  for (Way& way : ways_) {
+    const u8 flags = r.get_u8();
+    way.valid = (flags & 1) != 0;
+    way.dirty = (flags & 2) != 0;
+    way.tag = r.get_u64();
+    way.lru = r.get_u64();
+  }
+  r.end_section();
 }
 
 }  // namespace safedm::mem

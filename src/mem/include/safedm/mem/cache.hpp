@@ -6,6 +6,11 @@
 
 #include "safedm/common/bits.hpp"
 
+namespace safedm {
+class StateReader;
+class StateWriter;
+}  // namespace safedm
+
 namespace safedm::mem {
 
 struct CacheConfig {
@@ -57,6 +62,10 @@ class CacheTags {
   bool mark_dirty(u64 addr);
 
   void invalidate_all();
+
+  /// Full tag/LRU/stats snapshot; geometry is validated on restore.
+  void save_state(StateWriter& w) const;
+  void restore_state(StateReader& r);
 
   u64 line_addr(u64 addr) const { return align_down(addr, config_.line_bytes); }
 

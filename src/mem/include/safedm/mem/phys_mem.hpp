@@ -6,11 +6,18 @@
 // data segments, so delayed store visibility cannot change results.
 #pragma once
 
+#include <cstdlib>
+#include <memory>
 #include <span>
 #include <vector>
 
 #include "safedm/common/bits.hpp"
 #include "safedm/common/mem_port.hpp"
+
+namespace safedm {
+class StateReader;
+class StateWriter;
+}  // namespace safedm
 
 namespace safedm::mem {
 
@@ -19,9 +26,9 @@ class PhysMem final : public MemoryPort {
   PhysMem(u64 base, u64 size_bytes);
 
   u64 base() const { return base_; }
-  u64 size() const { return bytes_.size(); }
+  u64 size() const { return size_; }
   bool contains(u64 addr, u64 len = 1) const {
-    return addr >= base_ && addr + len <= base_ + bytes_.size();
+    return addr >= base_ && addr + len <= base_ + size_;
   }
 
   u64 load(u64 addr, unsigned size) override;
@@ -32,11 +39,31 @@ class PhysMem final : public MemoryPort {
   void read_block(u64 addr, std::span<u8> out) const;
   void fill(u64 addr, u64 len, u8 value);
 
+  /// Sparse serialization: only pages with nonzero bytes are written, so
+  /// a 64 MB address space with a few hundred KB live costs a few hundred
+  /// KB per snapshot. Restore zeroes previously-touched pages, then
+  /// applies the snapshot's pages. The touched-page bitmap (maintained by
+  /// every mutator) keeps both operations O(touched), not O(capacity) —
+  /// checkpoint-heavy fault campaigns snapshot memory thousands of times.
+  void save_state(StateWriter& w) const;
+  void restore_state(StateReader& r);
+
  private:
+  struct FreeDeleter {
+    void operator()(u8* p) const { std::free(p); }
+  };
+
   u64 index(u64 addr, unsigned size) const;
+  void touch(u64 offset, u64 len);
 
   u64 base_;
-  std::vector<u8> bytes_;
+  u64 size_;
+  // calloc, not a value-initialized vector: the kernel maps zero pages
+  // lazily, so constructing a 64 MB SoC doesn't memset 64 MB. Fault
+  // campaigns build thousands of short-lived SoCs; the eager memset was
+  // their dominant per-injection cost.
+  std::unique_ptr<u8[], FreeDeleter> bytes_;
+  std::vector<u8> touched_;  // per 4 KB page: 1 if ever written
 };
 
 }  // namespace safedm::mem

@@ -11,6 +11,11 @@
 
 #include "safedm/common/bits.hpp"
 
+namespace safedm {
+class StateReader;
+class StateWriter;
+}  // namespace safedm
+
 namespace safedm::mem {
 
 struct StoreBufferConfig {
@@ -49,6 +54,9 @@ class StoreBuffer {
 
   /// True if any pending entry covers the line containing `addr`.
   bool holds_line(u64 addr) const;
+
+  void save_state(StateWriter& w) const;
+  void restore_state(StateReader& r);
 
  private:
   u64 line_of(u64 addr) const { return align_down(addr, config_.line_bytes); }

@@ -4,11 +4,33 @@
 #include <cstring>
 
 #include "safedm/common/check.hpp"
+#include "safedm/common/state.hpp"
 
 namespace safedm::mem {
 
-PhysMem::PhysMem(u64 base, u64 size_bytes) : base_(base), bytes_(size_bytes, 0) {
+namespace {
+constexpr u64 kPageBytes = 4096;
+
+bool page_is_zero(const u8* p, u64 len) {
+  for (u64 i = 0; i < len; ++i)
+    if (p[i] != 0) return false;
+  return true;
+}
+}  // namespace
+
+PhysMem::PhysMem(u64 base, u64 size_bytes)
+    : base_(base),
+      size_(size_bytes),
+      bytes_(static_cast<u8*>(std::calloc(size_bytes, 1))) {
   SAFEDM_CHECK(size_bytes > 0);
+  SAFEDM_CHECK_MSG(bytes_ != nullptr, "cannot allocate " << size_bytes << " bytes of memory");
+  touched_.assign((size_bytes + kPageBytes - 1) / kPageBytes, 0);
+}
+
+void PhysMem::touch(u64 offset, u64 len) {
+  const u64 first = offset / kPageBytes;
+  const u64 last = (offset + len - 1) / kPageBytes;
+  for (u64 p = first; p <= last; ++p) touched_[p] = 1;
 }
 
 u64 PhysMem::index(u64 addr, unsigned size) const {
@@ -17,38 +39,88 @@ u64 PhysMem::index(u64 addr, unsigned size) const {
   SAFEDM_CHECK_MSG(contains(addr, size),
                    "access at 0x" << std::hex << addr << " size " << std::dec << size
                                   << " outside memory [0x" << std::hex << base_ << ", 0x"
-                                  << base_ + bytes_.size() << ")");
+                                  << base_ + size_ << ")");
   return addr - base_;
 }
 
 u64 PhysMem::load(u64 addr, unsigned size) {
   const u64 i = index(addr, size);
   u64 value = 0;
-  std::memcpy(&value, bytes_.data() + i, size);
+  std::memcpy(&value, bytes_.get() + i, size);
   return value;
 }
 
 void PhysMem::store(u64 addr, u64 value, unsigned size) {
   const u64 i = index(addr, size);
-  std::memcpy(bytes_.data() + i, &value, size);
+  std::memcpy(bytes_.get() + i, &value, size);
+  touch(i, size);
 }
 
 void PhysMem::write_block(u64 addr, std::span<const u8> bytes) {
   if (bytes.empty()) return;
   SAFEDM_CHECK(contains(addr, bytes.size()));
-  std::copy(bytes.begin(), bytes.end(), bytes_.begin() + static_cast<std::ptrdiff_t>(addr - base_));
+  std::memcpy(bytes_.get() + (addr - base_), bytes.data(), bytes.size());
+  touch(addr - base_, bytes.size());
 }
 
 void PhysMem::read_block(u64 addr, std::span<u8> out) const {
   if (out.empty()) return;
   SAFEDM_CHECK(contains(addr, out.size()));
-  std::copy_n(bytes_.begin() + static_cast<std::ptrdiff_t>(addr - base_), out.size(), out.begin());
+  std::memcpy(out.data(), bytes_.get() + (addr - base_), out.size());
 }
 
 void PhysMem::fill(u64 addr, u64 len, u8 value) {
   if (len == 0) return;
   SAFEDM_CHECK(contains(addr, len));
-  std::fill_n(bytes_.begin() + static_cast<std::ptrdiff_t>(addr - base_), len, value);
+  std::memset(bytes_.get() + (addr - base_), value, len);
+  touch(addr - base_, len);
+}
+
+void PhysMem::save_state(StateWriter& w) const {
+  w.begin_section("PMEM", 1);
+  w.put_u64(base_);
+  w.put_u64(size_);
+  // Only touched pages can be nonzero; the zero-check inside keeps the
+  // stream canonical (a page written then overwritten with zeroes is
+  // dropped, so the snapshot depends on content, not write history).
+  std::vector<u64> live;
+  for (u64 p = 0; p < touched_.size(); ++p) {
+    if (!touched_[p]) continue;
+    const u64 off = p * kPageBytes;
+    if (!page_is_zero(bytes_.get() + off, std::min(kPageBytes, size_ - off)))
+      live.push_back(p);
+  }
+  w.put_u64(live.size());
+  for (const u64 p : live) {
+    const u64 off = p * kPageBytes;
+    w.put_u64(p);
+    w.put_bytes(bytes_.get() + off, std::min(kPageBytes, size_ - off));
+  }
+  w.end_section();
+}
+
+void PhysMem::restore_state(StateReader& r) {
+  r.begin_section("PMEM", 1);
+  if (r.get_u64() != base_ || r.get_u64() != size_)
+    throw StateError("physical memory geometry mismatch");
+  // Zero only the pages this instance has ever written — O(touched), and
+  // every other page is already zero.
+  for (u64 p = 0; p < touched_.size(); ++p) {
+    if (!touched_[p]) continue;
+    const u64 off = p * kPageBytes;
+    std::memset(bytes_.get() + off, 0, std::min(kPageBytes, size_ - off));
+    touched_[p] = 0;
+  }
+  const u64 pages = touched_.size();
+  const u64 live = r.get_u64();
+  for (u64 i = 0; i < live; ++i) {
+    const u64 p = r.get_u64();
+    if (p >= pages) throw StateError("physical memory page index out of range");
+    const u64 off = p * kPageBytes;
+    r.get_bytes(bytes_.get() + off, std::min(kPageBytes, size_ - off));
+    touched_[p] = 1;
+  }
+  r.end_section();
 }
 
 }  // namespace safedm::mem

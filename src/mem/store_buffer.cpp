@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "safedm/common/check.hpp"
+#include "safedm/common/state.hpp"
 
 namespace safedm::mem {
 
@@ -38,6 +39,34 @@ void StoreBuffer::pop_head() {
 
 bool StoreBuffer::holds_line(u64 addr) const {
   return std::find(lines_.begin(), lines_.end(), line_of(addr)) != lines_.end();
+}
+
+void StoreBuffer::save_state(StateWriter& w) const {
+  w.begin_section("STBF", 1);
+  w.put_u32(config_.entries);
+  w.put_u32(config_.line_bytes);
+  w.put_u64(lines_.size());
+  for (u64 line : lines_) w.put_u64(line);
+  w.put_u64(stats_.pushed);
+  w.put_u64(stats_.coalesced);
+  w.put_u64(stats_.drained);
+  w.put_u64(stats_.full_stalls);
+  w.end_section();
+}
+
+void StoreBuffer::restore_state(StateReader& r) {
+  r.begin_section("STBF", 1);
+  if (r.get_u32() != config_.entries || r.get_u32() != config_.line_bytes)
+    throw StateError("store buffer geometry mismatch");
+  const u64 n = r.get_u64();
+  if (n > config_.entries) throw StateError("store buffer overflow in snapshot");
+  lines_.clear();
+  for (u64 i = 0; i < n; ++i) lines_.push_back(r.get_u64());
+  stats_.pushed = r.get_u64();
+  stats_.coalesced = r.get_u64();
+  stats_.drained = r.get_u64();
+  stats_.full_stalls = r.get_u64();
+  r.end_section();
 }
 
 }  // namespace safedm::mem

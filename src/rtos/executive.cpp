@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "safedm/common/check.hpp"
+#include "safedm/common/state.hpp"
 #include "safedm/safedm/monitor.hpp"
 #include "safedm/workloads/workloads.hpp"
 
@@ -55,47 +56,104 @@ JobRecord RedundantTaskExecutive::run_job(unsigned index, unsigned stagger,
   return record;
 }
 
-RunSummary RedundantTaskExecutive::run() {
-  RunSummary summary;
-  unsigned consecutive_drops = 0;
-  unsigned stagger = task_.relaunch == RelaunchPolicy::kStaggerForever ? 0 : 0;
-  bool stagger_armed = false;  // kStaggerNextJob one-shot
-  bool stagger_latched = false;  // kStaggerForever latch
+void RedundantTaskExecutive::reset() { exec_ = ExecutiveState{}; }
 
-  for (unsigned job = 0; job < task_.jobs; ++job) {
-    stagger = 0;
-    if (stagger_armed || stagger_latched) stagger = task_.stagger_nops;
-    stagger_armed = false;
+bool RedundantTaskExecutive::finished() const {
+  return exec_.summary.safe_state_entered || exec_.next_job >= task_.jobs;
+}
 
-    const JobRecord record = run_job(job, stagger, configurator_(job));
-    summary.jobs.push_back(record);
-    summary.total_cycles += record.cycles;
+bool RedundantTaskExecutive::step_job() {
+  if (finished()) return false;
 
-    if (record.dropped) {
-      ++summary.drops;
-      ++consecutive_drops;
-      summary.max_consecutive_drops =
-          std::max(summary.max_consecutive_drops, consecutive_drops);
-      switch (task_.relaunch) {
-        case RelaunchPolicy::kNone:
-          break;
-        case RelaunchPolicy::kStaggerNextJob:
-          stagger_armed = true;
-          break;
-        case RelaunchPolicy::kStaggerForever:
-          stagger_latched = true;
-          break;
-      }
-      if (consecutive_drops >= task_.ftti_jobs) {
-        // FTTI exhausted: the system transitions to its safe state.
-        summary.safe_state_entered = true;
+  unsigned stagger = 0;
+  if (exec_.stagger_armed || exec_.stagger_latched) stagger = task_.stagger_nops;
+  exec_.stagger_armed = false;
+
+  const unsigned job = exec_.next_job++;
+  const JobRecord record = run_job(job, stagger, configurator_(job));
+  exec_.summary.jobs.push_back(record);
+  exec_.summary.total_cycles += record.cycles;
+
+  if (record.dropped) {
+    ++exec_.summary.drops;
+    ++exec_.consecutive_drops;
+    exec_.summary.max_consecutive_drops =
+        std::max(exec_.summary.max_consecutive_drops, exec_.consecutive_drops);
+    switch (task_.relaunch) {
+      case RelaunchPolicy::kNone:
         break;
-      }
-    } else {
-      consecutive_drops = 0;
+      case RelaunchPolicy::kStaggerNextJob:
+        exec_.stagger_armed = true;
+        break;
+      case RelaunchPolicy::kStaggerForever:
+        exec_.stagger_latched = true;
+        break;
     }
+    // FTTI exhausted: the system transitions to its safe state.
+    if (exec_.consecutive_drops >= task_.ftti_jobs) exec_.summary.safe_state_entered = true;
+  } else {
+    exec_.consecutive_drops = 0;
   }
-  return summary;
+  return !finished();
+}
+
+RunSummary RedundantTaskExecutive::resume() {
+  while (step_job()) {
+  }
+  return exec_.summary;
+}
+
+RunSummary RedundantTaskExecutive::run() {
+  reset();
+  return resume();
+}
+
+void RedundantTaskExecutive::save_state(StateWriter& w) const {
+  w.begin_section("RTEX", 1);
+  w.put_u32(exec_.next_job);
+  w.put_u32(exec_.consecutive_drops);
+  w.put_bool(exec_.stagger_armed);
+  w.put_bool(exec_.stagger_latched);
+  w.put_u64(exec_.summary.jobs.size());
+  for (const JobRecord& job : exec_.summary.jobs) {
+    w.put_u32(job.index);
+    w.put_u32(job.stagger_used);
+    w.put_bool(job.dropped);
+    w.put_bool(job.outputs_matched);
+    w.put_u64(job.cycles);
+    w.put_u64(job.nodiv_cycles);
+  }
+  w.put_u32(exec_.summary.drops);
+  w.put_u32(exec_.summary.max_consecutive_drops);
+  w.put_bool(exec_.summary.safe_state_entered);
+  w.put_u64(exec_.summary.total_cycles);
+  w.end_section();
+}
+
+void RedundantTaskExecutive::restore_state(StateReader& r) {
+  r.begin_section("RTEX", 1);
+  exec_ = ExecutiveState{};
+  exec_.next_job = r.get_u32();
+  exec_.consecutive_drops = r.get_u32();
+  exec_.stagger_armed = r.get_bool();
+  exec_.stagger_latched = r.get_bool();
+  const u64 n = r.get_u64();
+  if (n > task_.jobs) throw StateError("executive job-record count exceeds configured jobs");
+  for (u64 i = 0; i < n; ++i) {
+    JobRecord job;
+    job.index = r.get_u32();
+    job.stagger_used = r.get_u32();
+    job.dropped = r.get_bool();
+    job.outputs_matched = r.get_bool();
+    job.cycles = r.get_u64();
+    job.nodiv_cycles = r.get_u64();
+    exec_.summary.jobs.push_back(job);
+  }
+  exec_.summary.drops = r.get_u32();
+  exec_.summary.max_consecutive_drops = r.get_u32();
+  exec_.summary.safe_state_entered = r.get_bool();
+  exec_.summary.total_cycles = r.get_u64();
+  r.end_section();
 }
 
 }  // namespace safedm::rtos

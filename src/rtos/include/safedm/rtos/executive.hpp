@@ -61,6 +61,17 @@ struct RunSummary {
   }
 };
 
+/// The executive's inter-job progress state, made explicit (it used to be
+/// loop-local in run()) so a campaign can checkpoint an executive between
+/// jobs and resume it elsewhere.
+struct ExecutiveState {
+  unsigned next_job = 0;
+  unsigned consecutive_drops = 0;
+  bool stagger_armed = false;    // kStaggerNextJob one-shot
+  bool stagger_latched = false;  // kStaggerForever latch
+  RunSummary summary;
+};
+
 class RedundantTaskExecutive {
  public:
   /// `configure_soc` may perturb the platform per job (fault/misconfig
@@ -72,7 +83,22 @@ class RedundantTaskExecutive {
   void set_soc_configurator(SocConfigurator configurator);
 
   /// Run the configured number of jobs (stops early on safe-state entry).
+  /// Equivalent to reset() + resume().
   RunSummary run();
+
+  /// Stepped interface: run one job and apply the drop/relaunch policy.
+  /// Returns false when there is nothing left to do.
+  bool step_job();
+  /// Drain all remaining jobs; returns the (final) summary.
+  RunSummary resume();
+  void reset();
+  bool finished() const;
+  const ExecutiveState& state() const { return exec_; }
+
+  /// Inter-job progress only — the executive owns no mid-job state (each
+  /// job builds a fresh SoC+monitor internally).
+  void save_state(StateWriter& w) const;
+  void restore_state(StateReader& r);
 
  private:
   JobRecord run_job(unsigned index, unsigned stagger, const soc::SocConfig& soc_config);
@@ -80,6 +106,7 @@ class RedundantTaskExecutive {
   TaskConfig task_;
   assembler::Program program_;
   SocConfigurator configurator_;
+  ExecutiveState exec_;
 };
 
 }  // namespace safedm::rtos

@@ -39,6 +39,11 @@ class SafeDe final : public soc::CycleObserver {
   const SafeDeStats& stats() const { return stats_; }
   const SafeDeConfig& config() const { return config_; }
 
+  /// The stall line itself lives in the core (external_stall), which the
+  /// SoC snapshot covers; this covers the enforcement FSM that drives it.
+  void save_state(StateWriter& w) const;
+  void restore_state(StateReader& r);
+
  private:
   SafeDeConfig config_;
   soc::MpSoc& soc_;

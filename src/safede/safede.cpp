@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "safedm/common/check.hpp"
+#include "safedm/common/state.hpp"
 
 namespace safedm::safede {
 
@@ -45,6 +46,34 @@ void SafeDe::on_cycle(u64, const core::CoreTapFrame& frame0, const core::CoreTap
     soc_.core(trail).set_external_stall(want_stall);
     stalling_ = want_stall;
   }
+}
+
+void SafeDe::save_state(StateWriter& w) const {
+  w.begin_section("SFDE", 1);
+  w.put_u32(config_.head_core);
+  w.put_i64(config_.min_staggering);
+  w.put_bool(config_.enabled);
+  w.put_i64(diff_);
+  w.put_bool(stalling_);
+  w.put_bool(first_sample_);
+  w.put_u64(stats_.stall_cycles);
+  w.put_u64(stats_.interventions);
+  w.put_i64(stats_.min_observed_diff);
+  w.end_section();
+}
+
+void SafeDe::restore_state(StateReader& r) {
+  r.begin_section("SFDE", 1);
+  if (r.get_u32() != config_.head_core || r.get_i64() != config_.min_staggering)
+    throw StateError("SafeDE config mismatch");
+  config_.enabled = r.get_bool();  // enable() is a runtime toggle
+  diff_ = r.get_i64();
+  stalling_ = r.get_bool();
+  first_sample_ = r.get_bool();
+  stats_.stall_cycles = r.get_u64();
+  stats_.interventions = r.get_u64();
+  stats_.min_observed_diff = r.get_i64();
+  r.end_section();
 }
 
 }  // namespace safedm::safede

@@ -1,6 +1,7 @@
 #include "safedm/safedm/comparator.hpp"
 
 #include "safedm/common/check.hpp"
+#include "safedm/common/state.hpp"
 
 namespace safedm::monitor {
 
@@ -62,6 +63,27 @@ void DiversityComparator::refresh_data_verdict() {
 void DiversityComparator::recompute_instruction_verdict() {
   is_match_ = crc_mode_ ? a_->instruction_crc() == b_->instruction_crc()
                         : SignatureGenerator::instruction_equal(*a_, *b_);
+}
+
+void DiversityComparator::save_state(StateWriter& w) const {
+  w.begin_section("DCMP", 1);
+  w.put_u64(stats_.fast_updates);
+  w.put_u64(stats_.hold_reuses);
+  w.put_u64(stats_.realign_scans);
+  w.put_u64(stats_.is_recomputes);
+  w.end_section();
+}
+
+void DiversityComparator::restore_state(StateReader& r) {
+  r.begin_section("DCMP", 1);
+  stats_.fast_updates = r.get_u64();
+  stats_.hold_reuses = r.get_u64();
+  stats_.realign_scans = r.get_u64();
+  stats_.is_recomputes = r.get_u64();
+  r.end_section();
+  // Masks, seen shifts/versions, and both verdicts are derived from the
+  // (already restored) generators.
+  resync();
 }
 
 }  // namespace safedm::monitor

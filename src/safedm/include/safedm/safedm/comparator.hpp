@@ -112,6 +112,15 @@ class DiversityComparator {
   };
   const Stats& stats() const { return stats_; }
 
+  /// Only the stats are stored: every mask/verdict/alignment field is a
+  /// pure function of the two generators' state, so restore (called after
+  /// the generators have been restored) is resync() + stats. This is the
+  /// "make hidden state re-bindable" case: the raw sample pointers taken
+  /// at construction stay valid because generator restore never
+  /// reallocates its rings.
+  void save_state(StateWriter& w) const;
+  void restore_state(StateReader& r);
+
  private:
   void rescan_data();
   void refresh_data_verdict();

@@ -42,6 +42,9 @@ class InstructionDiff {
   /// True once both cores have consumed their ignored prelude commits.
   bool armed() const { return ignore_[0] == 0 && ignore_[1] == 0; }
 
+  void save_state(StateWriter& w) const;
+  void restore_state(StateReader& r);
+
  private:
   void on_commits_prelude(unsigned commits0, unsigned commits1);
 
@@ -143,6 +146,15 @@ class SafeDm final : public soc::CycleObserver, public bus::ApbDevice {
   // ---- APB slave ---------------------------------------------------------------
   u32 apb_read(u32 offset) override;
   void apb_write(u32 offset, u32 value) override;
+
+  // ---- snapshot/restore --------------------------------------------------------
+  /// Serializes everything on_cycle/apb_write can mutate — including the
+  /// runtime-writable config bits (report mode, interrupt threshold) —
+  /// plus both signature generators, the comparator, counters, episode
+  /// runs, and histograms. The interrupt handler is a binding, not state:
+  /// the owner re-attaches it after restore if needed.
+  void save_state(StateWriter& w) const;
+  void restore_state(StateReader& r);
 
  private:
   void update_interrupt(u64 cycle);

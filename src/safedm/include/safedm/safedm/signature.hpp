@@ -25,6 +25,11 @@
 #include "safedm/core/tap.hpp"
 #include "safedm/safedm/config.hpp"
 
+namespace safedm {
+class StateReader;
+class StateWriter;
+}  // namespace safedm
+
 namespace safedm::monitor {
 
 class SignatureGenerator {
@@ -156,6 +161,15 @@ class SignatureGenerator {
 
   /// Test access: the sample most recently shifted into `port`'s FIFO.
   core::PortTap newest_sample(unsigned port) const;
+
+  /// FIFO contents + shift cursor + pipeline snapshot. The CRC memo
+  /// caches are deliberately NOT serialized: restore marks every entry
+  /// dirty, so the first post-restore query recomputes them from the
+  /// restored samples — same values, no hidden state. Restore writes into
+  /// the existing ring storage (samples_data() stays stable, so an
+  /// attached DiversityComparator keeps valid pointers).
+  void save_state(StateWriter& w) const;
+  void restore_state(StateReader& r);
 
  private:
   u32 entry_crc(unsigned index) const;

@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "safedm/common/check.hpp"
+#include "safedm/common/state.hpp"
 
 namespace safedm::monitor {
 namespace {
@@ -261,6 +262,96 @@ void SafeDm::apb_write(u32 offset, u32 value) {
     default:
       break;  // writes to read-only registers are ignored, like hardware
   }
+}
+
+// ---- snapshot/restore ----------------------------------------------------------
+
+void InstructionDiff::save_state(StateWriter& w) const {
+  w.begin_section("IDIF", 1);
+  w.put_i64(diff_);
+  w.put_u64(ignore_[0]);
+  w.put_u64(ignore_[1]);
+  w.end_section();
+}
+
+void InstructionDiff::restore_state(StateReader& r) {
+  r.begin_section("IDIF", 1);
+  diff_ = r.get_i64();
+  ignore_[0] = r.get_u64();
+  ignore_[1] = r.get_u64();
+  r.end_section();
+}
+
+void SafeDm::save_state(StateWriter& w) const {
+  w.begin_section("SFDM", 1);
+  // Runtime-writable config bits (kCtrl report mode, kThreshold).
+  w.put_u8(static_cast<u8>(config_.report));
+  w.put_u32(config_.interrupt_threshold);
+  w.put_bool(enabled_);
+  w.put_bool(seen_commit_[0]);
+  w.put_bool(seen_commit_[1]);
+  w.put_bool(lacking_now_);
+  w.put_bool(ds_match_now_);
+  w.put_bool(is_match_now_);
+  w.put_bool(irq_pending_);
+  w.put_u64(counters_.monitored_cycles);
+  w.put_u64(counters_.nodiv_cycles);
+  w.put_u64(counters_.ds_match_cycles);
+  w.put_u64(counters_.is_match_cycles);
+  w.put_u64(counters_.zero_stag_cycles);
+  w.put_u64(counters_.interrupts);
+  w.put_u64(counters_.distance_sum);
+  w.put_u64(counters_.distance_min);
+  w.put_u64(counters_.distance_max);
+  w.put_u64(nodiv_run_);
+  w.put_u64(ds_run_);
+  w.put_u64(is_run_);
+  w.put_u32(hist_select_);
+  inst_diff_.save_state(w);
+  sig0_.save_state(w);
+  sig1_.save_state(w);
+  comparator_.save_state(w);
+  hist_nodiv_.save_state(w);
+  hist_ds_.save_state(w);
+  hist_is_.save_state(w);
+  hist_distance_.save_state(w);
+  w.end_section();
+}
+
+void SafeDm::restore_state(StateReader& r) {
+  r.begin_section("SFDM", 1);
+  config_.report = static_cast<ReportMode>(r.get_u8());
+  config_.interrupt_threshold = r.get_u32();
+  enabled_ = r.get_bool();
+  seen_commit_[0] = r.get_bool();
+  seen_commit_[1] = r.get_bool();
+  lacking_now_ = r.get_bool();
+  ds_match_now_ = r.get_bool();
+  is_match_now_ = r.get_bool();
+  irq_pending_ = r.get_bool();
+  counters_.monitored_cycles = r.get_u64();
+  counters_.nodiv_cycles = r.get_u64();
+  counters_.ds_match_cycles = r.get_u64();
+  counters_.is_match_cycles = r.get_u64();
+  counters_.zero_stag_cycles = r.get_u64();
+  counters_.interrupts = r.get_u64();
+  counters_.distance_sum = r.get_u64();
+  counters_.distance_min = r.get_u64();
+  counters_.distance_max = r.get_u64();
+  nodiv_run_ = r.get_u64();
+  ds_run_ = r.get_u64();
+  is_run_ = r.get_u64();
+  hist_select_ = r.get_u32();
+  inst_diff_.restore_state(r);
+  sig0_.restore_state(r);
+  sig1_.restore_state(r);
+  // The comparator resyncs against the freshly restored generators.
+  comparator_.restore_state(r);
+  hist_nodiv_.restore_state(r);
+  hist_ds_.restore_state(r);
+  hist_is_.restore_state(r);
+  hist_distance_.restore_state(r);
+  r.end_section();
 }
 
 }  // namespace safedm::monitor

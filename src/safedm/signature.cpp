@@ -7,6 +7,7 @@
 
 #include "safedm/common/bits.hpp"
 #include "safedm/common/check.hpp"
+#include "safedm/common/state.hpp"
 
 namespace safedm::monitor {
 namespace {
@@ -228,6 +229,43 @@ u64 SignatureGenerator::instruction_signature_bits() const {
 core::PortTap SignatureGenerator::newest_sample(unsigned port) const {
   SAFEDM_CHECK(port < config_.num_ports);
   return entry(port, config_.data_fifo_depth - 1);
+}
+
+void SignatureGenerator::save_state(StateWriter& w) const {
+  w.begin_section("SIGG", 1);
+  w.put_u32(config_.num_ports);
+  w.put_u32(config_.data_fifo_depth);
+  w.put_u8(static_cast<u8>(config_.is_mode));
+  w.put_u8(static_cast<u8>(config_.compare));
+  w.put_u64(shifts_);
+  w.put_u64(stage_version_);
+  for (const core::PortTap& s : samples_) {
+    w.put_bool(s.enable);
+    w.put_u64(s.value);
+  }
+  for (u64 word : stage_packed_) w.put_u64(word);
+  w.end_section();
+}
+
+void SignatureGenerator::restore_state(StateReader& r) {
+  r.begin_section("SIGG", 1);
+  if (r.get_u32() != config_.num_ports || r.get_u32() != config_.data_fifo_depth ||
+      r.get_u8() != static_cast<u8>(config_.is_mode) ||
+      r.get_u8() != static_cast<u8>(config_.compare))
+    throw StateError("signature generator geometry mismatch");
+  shifts_ = r.get_u64();
+  stage_version_ = r.get_u64();
+  for (core::PortTap& s : samples_) {  // in place: samples_data() stays stable
+    s.enable = r.get_bool();
+    s.value = r.get_u64();
+  }
+  for (u64& word : stage_packed_) word = r.get_u64();
+  // CRC memos are derived state: mark everything dirty so the next query
+  // recomputes from the restored rings.
+  if (crc_cached_) std::fill(entry_dirty_.begin(), entry_dirty_.end(), u8{1});
+  data_crc_valid_ = false;
+  inst_crc_valid_ = false;
+  r.end_section();
 }
 
 }  // namespace safedm::monitor

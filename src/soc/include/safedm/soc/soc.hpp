@@ -25,6 +25,7 @@
 #include "safedm/bus/ahb.hpp"
 #include "safedm/bus/apb.hpp"
 #include "safedm/bus/l2_frontend.hpp"
+#include "safedm/common/state.hpp"
 #include "safedm/core/core.hpp"
 #include "safedm/mem/phys_mem.hpp"
 
@@ -114,6 +115,21 @@ class MpSoc {
 
   /// Attach an observer to `pair` (default: pair 0).
   void add_observer(CycleObserver* observer, unsigned pair = 0);
+
+  /// Capture the complete SoC state (memory, L2, bus, cores, tap frames)
+  /// as a self-contained snapshot; `restore` rewinds this instance to it.
+  /// The snapshot carries a config fingerprint: restoring into an MpSoc
+  /// built from a different SocConfig throws StateError. Observers are
+  /// not part of the SoC's state — stateful observers (SafeDM, SafeDE,
+  /// DCLS) serialize themselves and must be saved/restored alongside,
+  /// staying attached to the same pair.
+  Snapshot snapshot() const;
+  void restore(const Snapshot& snapshot);
+
+  /// Composable forms for embedding the SoC in a larger stream (e.g. a
+  /// fault-campaign checkpoint that bundles the SoC with its monitor).
+  void save_state(StateWriter& w) const;
+  void restore_state(StateReader& r);
 
  private:
   void load_pair_images(unsigned pair, const assembler::Program& program,

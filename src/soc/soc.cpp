@@ -188,4 +188,94 @@ bool MpSoc::all_halted() const {
                      [](const auto& c) { return c->halted(); });
 }
 
+namespace {
+
+void save_frame(StateWriter& w, const core::CoreTapFrame& frame) {
+  for (const auto& stage : frame.stage)
+    for (const core::StageSlotTap& slot : stage) {
+      w.put_u32(slot.valid);
+      w.put_u32(slot.encoding);
+    }
+  for (const core::PortTap& port : frame.port) {
+    w.put_bool(port.enable);
+    w.put_u64(port.value);
+  }
+  w.put_bool(frame.hold);
+  w.put_u32(frame.commits);
+  w.put_bool(frame.halted);
+}
+
+void restore_frame(StateReader& r, core::CoreTapFrame& frame) {
+  for (auto& stage : frame.stage)
+    for (core::StageSlotTap& slot : stage) {
+      slot.valid = r.get_u32();
+      slot.encoding = r.get_u32();
+    }
+  for (core::PortTap& port : frame.port) {
+    port.enable = r.get_bool();
+    port.value = r.get_u64();
+  }
+  frame.hold = r.get_bool();
+  frame.commits = r.get_u32();
+  frame.halted = r.get_bool();
+}
+
+}  // namespace
+
+void MpSoc::save_state(StateWriter& w) const {
+  w.begin_section("MSOC", 1);
+  // Config fingerprint: a snapshot only restores into an identically
+  // configured SoC (same topology, address map, arbiter bias).
+  w.put_u32(config_.num_cores);
+  w.put_u64(config_.mem_base);
+  w.put_u64(config_.mem_size);
+  w.put_u64(config_.text_base);
+  w.put_u64(config_.text_stride);
+  w.put_u64(config_.data_base0);
+  w.put_u64(config_.data_base1);
+  w.put_bool(config_.shared_data);
+  w.put_u64(config_.apb_base);
+  w.put_u64(config_.apb_size);
+  w.put_u32(config_.arbiter_bias);
+  w.put_u64(cycle_);
+  for (const core::CoreTapFrame& frame : frames_) save_frame(w, frame);
+  for (u64 p : prelude_commits_) w.put_u64(p);
+  memory_->save_state(w);
+  l2_->save_state(w);
+  ahb_->save_state(w);
+  for (const auto& core : cores_) core->save_state(w);
+  w.end_section();
+}
+
+void MpSoc::restore_state(StateReader& r) {
+  r.begin_section("MSOC", 1);
+  const bool config_ok =
+      r.get_u32() == config_.num_cores && r.get_u64() == config_.mem_base &&
+      r.get_u64() == config_.mem_size && r.get_u64() == config_.text_base &&
+      r.get_u64() == config_.text_stride && r.get_u64() == config_.data_base0 &&
+      r.get_u64() == config_.data_base1 && r.get_bool() == config_.shared_data &&
+      r.get_u64() == config_.apb_base && r.get_u64() == config_.apb_size &&
+      r.get_u32() == config_.arbiter_bias;
+  if (!config_ok) throw StateError("SoC config fingerprint mismatch");
+  cycle_ = r.get_u64();
+  for (core::CoreTapFrame& frame : frames_) restore_frame(r, frame);
+  for (u64& p : prelude_commits_) p = r.get_u64();
+  memory_->restore_state(r);
+  l2_->restore_state(r);
+  ahb_->restore_state(r);
+  for (const auto& core : cores_) core->restore_state(r);
+  r.end_section();
+}
+
+Snapshot MpSoc::snapshot() const {
+  StateWriter w;
+  save_state(w);
+  return Snapshot{w.take()};
+}
+
+void MpSoc::restore(const Snapshot& snapshot) {
+  StateReader r(snapshot.bytes);
+  restore_state(r);
+}
+
 }  // namespace safedm::soc

@@ -1,0 +1,177 @@
+// StateWriter/StateReader container tests: scalar round-trips, section
+// nesting and skip-on-end semantics, and the rejection paths (bad magic,
+// tag/version mismatch, truncation) that keep a corrupt snapshot from
+// being silently restored. All failures must be StateError, never
+// CheckError — faultsim treats CheckError as a simulated crash.
+#include "safedm/common/state.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+namespace safedm {
+namespace {
+
+TEST(State, ScalarsRoundTripThroughOneSection) {
+  StateWriter w;
+  w.begin_section("TEST", 1);
+  w.put_u8(0xAB);
+  w.put_u16(0xBEEF);
+  w.put_u32(0xDEAD'BEEF);
+  w.put_u64(0x0123'4567'89AB'CDEFull);
+  w.put_i64(-42);
+  w.put_bool(true);
+  w.put_bool(false);
+  w.put_string("hello");
+  w.end_section();
+  const std::vector<u8> bytes = w.take();
+
+  StateReader r(bytes);
+  r.begin_section("TEST", 1);
+  EXPECT_EQ(r.get_u8(), 0xAB);
+  EXPECT_EQ(r.get_u16(), 0xBEEF);
+  EXPECT_EQ(r.get_u32(), 0xDEAD'BEEFu);
+  EXPECT_EQ(r.get_u64(), 0x0123'4567'89AB'CDEFull);
+  EXPECT_EQ(r.get_i64(), -42);
+  EXPECT_TRUE(r.get_bool());
+  EXPECT_FALSE(r.get_bool());
+  EXPECT_EQ(r.get_string(), "hello");
+  r.end_section();
+  EXPECT_TRUE(r.at_end());
+}
+
+TEST(State, ScalarsAreLittleEndianOnTheWire) {
+  StateWriter w;
+  w.begin_section("WIRE", 1);
+  w.put_u32(0x0403'0201);
+  w.end_section();
+  const std::vector<u8> bytes = w.take();
+  // magic(8) + tag(4) + version(4) + length(8) = 24 bytes of header.
+  ASSERT_GE(bytes.size(), 28u);
+  EXPECT_EQ(bytes[24], 0x01);
+  EXPECT_EQ(bytes[25], 0x02);
+  EXPECT_EQ(bytes[26], 0x03);
+  EXPECT_EQ(bytes[27], 0x04);
+}
+
+TEST(State, SectionsNestAndEndSectionSkipsUnreadPayload) {
+  StateWriter w;
+  w.begin_section("OUTR", 3);
+  w.put_u64(7);
+  w.begin_section("INNR", 1);
+  w.put_u64(11);
+  w.put_u64(13);  // the reader will never read this
+  w.end_section();
+  w.put_u64(17);
+  w.end_section();
+  const std::vector<u8> bytes = w.take();
+
+  StateReader r(bytes);
+  EXPECT_EQ(r.begin_section("OUTR"), 3u);  // version-returning overload
+  EXPECT_EQ(r.get_u64(), 7u);
+  r.begin_section("INNR", 1);
+  EXPECT_EQ(r.get_u64(), 11u);
+  r.end_section();  // skips the unread 13
+  EXPECT_EQ(r.get_u64(), 17u);
+  r.end_section();
+  EXPECT_TRUE(r.at_end());
+}
+
+TEST(State, RejectsBadMagic) {
+  std::vector<u8> junk{'N', 'O', 'T', 'A', 'S', 'N', 'A', 'P'};
+  EXPECT_THROW(StateReader{junk}, StateError);
+  EXPECT_THROW(StateReader{std::vector<u8>{}}, StateError);
+}
+
+TEST(State, RejectsSectionTagMismatch) {
+  StateWriter w;
+  w.begin_section("AAAA", 1);
+  w.end_section();
+  const std::vector<u8> bytes = w.take();
+  StateReader r(bytes);
+  EXPECT_THROW(r.begin_section("BBBB", 1), StateError);
+}
+
+TEST(State, RejectsSectionVersionMismatch) {
+  StateWriter w;
+  w.begin_section("VERS", 2);
+  w.put_u64(1);
+  w.end_section();
+  const std::vector<u8> bytes = w.take();
+  StateReader r(bytes);
+  EXPECT_THROW(r.begin_section("VERS", 1), StateError);
+}
+
+TEST(State, RejectsTruncatedStream) {
+  StateWriter w;
+  w.begin_section("TRNC", 1);
+  for (u64 i = 0; i < 32; ++i) w.put_u64(i);
+  w.end_section();
+  std::vector<u8> bytes = w.take();
+
+  // Cut mid-payload: the section header's length now points past the end.
+  std::vector<u8> cut(bytes.begin(), bytes.begin() + static_cast<long>(bytes.size() / 2));
+  StateReader r(cut);
+  EXPECT_THROW(r.begin_section("TRNC", 1), StateError);
+
+  // Cut mid-header: not even the section header survives.
+  std::vector<u8> stub(bytes.begin(), bytes.begin() + 10);
+  StateReader r2(stub);
+  EXPECT_THROW(r2.begin_section("TRNC", 1), StateError);
+}
+
+TEST(State, ReadPastSectionEndIsTruncationNotBleedThrough) {
+  StateWriter w;
+  w.begin_section("ONEE", 1);
+  w.put_u64(1);
+  w.end_section();
+  w.begin_section("TWOO", 1);
+  w.put_u64(2);
+  w.end_section();
+  const std::vector<u8> bytes = w.take();
+
+  StateReader r(bytes);
+  r.begin_section("ONEE", 1);
+  EXPECT_EQ(r.get_u64(), 1u);
+  // The next u64 belongs to section TWOO; the bound must stop us here.
+  EXPECT_THROW(r.get_u64(), StateError);
+}
+
+TEST(State, RejectsBoolOutOfRange) {
+  StateWriter w;
+  w.begin_section("BOOL", 1);
+  w.put_u8(2);  // not a canonical bool
+  w.end_section();
+  const std::vector<u8> bytes = w.take();
+  StateReader r(bytes);
+  r.begin_section("BOOL", 1);
+  EXPECT_THROW(r.get_bool(), StateError);
+}
+
+TEST(State, WriterEnforcesBalancedSections) {
+  StateWriter w;
+  EXPECT_THROW(w.end_section(), StateError);
+  w.begin_section("OPEN", 1);
+  EXPECT_THROW(w.take(), StateError);
+  EXPECT_THROW(w.begin_section("BAD", 1), StateError);  // 3-char tag
+}
+
+TEST(State, SnapshotFileRoundTrip) {
+  StateWriter w;
+  w.begin_section("FILE", 1);
+  w.put_u64(0xC0FF'EE00'1234'5678ull);
+  w.end_section();
+  const Snapshot snap{w.take()};
+
+  const std::string path = ::testing::TempDir() + "safedm_state_test.snap";
+  snap.to_file(path);
+  const Snapshot back = Snapshot::from_file(path);
+  EXPECT_EQ(back.bytes, snap.bytes);
+  std::remove(path.c_str());
+
+  EXPECT_THROW(Snapshot::from_file(path + ".does-not-exist"), StateError);
+}
+
+}  // namespace
+}  // namespace safedm

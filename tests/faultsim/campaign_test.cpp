@@ -34,6 +34,23 @@ TEST(Campaign, ReportIsBitIdenticalAcrossThreadCounts) {
   EXPECT_NE(serial.find("\"schema\": \"safedm.bench.faultsim/v1\""), std::string::npos);
 }
 
+TEST(Campaign, ReportIsBitIdenticalAcrossEnginesAndIntervals) {
+  // The injection engine is a pure performance knob, like `threads`: the
+  // replay engine and the checkpoint-forked engine must emit byte-equal
+  // reports at any checkpoint interval (0 = adaptive), in any combination
+  // with the thread count.
+  EngineConfig config = small_config();
+  config.engine = InjectionEngine::kReplay;
+  config.threads = 1;
+  const std::string replay = report_to_json(run_engine(config));
+  config.engine = InjectionEngine::kCheckpoint;
+  for (const u64 interval : {u64{0}, u64{64}, u64{1000}}) {
+    config.checkpoint_interval = interval;
+    config.threads = interval == 64 ? 4 : 1;
+    EXPECT_EQ(report_to_json(run_engine(config)), replay) << "interval " << interval;
+  }
+}
+
 TEST(Campaign, SeedChangesTheSampledSites) {
   EngineConfig config = small_config();
   config.single_fault = false;

@@ -82,6 +82,64 @@ TEST(FaultSim, CampaignAggregatesConsistently) {
   EXPECT_GT(result.injections, 0u);
 }
 
+TEST(FaultSim, CheckpointTrainIsAscendingAndBounded) {
+  const assembler::Program program = workloads::build("bitcount", 1);
+  const CheckpointPolicy policy;  // interval 0 = adaptive
+  const ReferenceTrace trace = record_reference(program, monitor::SafeDmConfig{}, policy);
+  ASSERT_FALSE(trace.checkpoints.empty());
+  EXPECT_LE(trace.checkpoints.size(), policy.max_checkpoints);
+  EXPECT_GT(trace.checkpoint_interval, 0u);
+  for (std::size_t i = 1; i < trace.checkpoints.size(); ++i)
+    EXPECT_LT(trace.checkpoints[i - 1].cycle, trace.checkpoints[i].cycle);
+  // The checkpoint train must not perturb the trace itself.
+  const ReferenceTrace plain = record_reference(program);
+  EXPECT_EQ(trace.golden_checksum, plain.golden_checksum);
+  EXPECT_EQ(trace.cycles, plain.cycles);
+  EXPECT_EQ(trace.nodiv, plain.nodiv);
+}
+
+TEST(FaultSim, FixedCheckpointIntervalIsNeverThinned) {
+  const assembler::Program program = workloads::build("bitcount", 1);
+  CheckpointPolicy policy;
+  policy.interval = 512;
+  const ReferenceTrace trace = record_reference(program, monitor::SafeDmConfig{}, policy);
+  EXPECT_EQ(trace.checkpoint_interval, 512u);
+  // One checkpoint per full interval strictly inside the run (none is
+  // taken on the halt cycle itself).
+  EXPECT_EQ(trace.checkpoints.size(), (trace.cycles - 1) / 512);
+  for (const Checkpoint& cp : trace.checkpoints) EXPECT_EQ(cp.cycle % 512, 0u);
+}
+
+TEST(FaultSim, ForkedInjectionMatchesReplayAtEveryDepth) {
+  // The tentpole invariant at the injection level: restoring the nearest
+  // checkpoint <= the injection cycle and running only the tail must give
+  // the same outcome and latency as replaying from cycle zero. Cover the
+  // degenerate positions: before the first checkpoint (fork falls back to
+  // a full replay), exactly on a checkpoint, between two, and late.
+  const assembler::Program program = workloads::build("bitcount", 1);
+  CheckpointPolicy policy;
+  policy.interval = 1000;
+  const ReferenceTrace trace = record_reference(program, monitor::SafeDmConfig{}, policy);
+  const u64 budget = trace.cycles * 4 + 100'000;
+  for (const u64 cycle : {u64{400}, u64{1000}, u64{1537}, trace.cycles - 50}) {
+    const Injection injection{cycle, 9, 7};
+    const InjectionResult replay_ccf =
+        inject_identical_fault_timed(program, injection, trace.golden_checksum, budget);
+    const InjectionResult forked_ccf = inject_identical_fault_timed(
+        program, injection, trace.golden_checksum, budget, &trace);
+    EXPECT_EQ(replay_ccf.outcome, forked_ccf.outcome) << "cycle " << cycle;
+    EXPECT_EQ(replay_ccf.detection_latency, forked_ccf.detection_latency) << "cycle " << cycle;
+
+    const InjectionResult replay_single = inject_single_fault_timed(
+        program, injection, /*target_core=*/1, trace.golden_checksum, budget);
+    const InjectionResult forked_single = inject_single_fault_timed(
+        program, injection, /*target_core=*/1, trace.golden_checksum, budget, &trace);
+    EXPECT_EQ(replay_single.outcome, forked_single.outcome) << "cycle " << cycle;
+    EXPECT_EQ(replay_single.detection_latency, forked_single.detection_latency)
+        << "cycle " << cycle;
+  }
+}
+
 TEST(FaultSim, OutcomeNamesCoverAllValues) {
   EXPECT_STREQ(outcome_name(Outcome::kMasked), "masked");
   EXPECT_STREQ(outcome_name(Outcome::kDetected), "detected");

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "safedm/common/state.hpp"
 #include "safedm/workloads/workloads.hpp"
 
 namespace safedm::rtos {
@@ -81,6 +82,74 @@ TEST(Executive, StaggerForeverSurvivesPersistentFault) {
   for (std::size_t i = 1; i < summary.jobs.size(); ++i) {
     EXPECT_EQ(summary.jobs[i].stagger_used, task.stagger_nops);
     EXPECT_FALSE(summary.jobs[i].dropped) << "job " << i;
+  }
+}
+
+TEST(Executive, SteppedRunEqualsUninterruptedRun) {
+  const auto configurator = [](unsigned job) {
+    soc::SocConfig config;
+    config.shared_data = job == 2;
+    return config;
+  };
+  RedundantTaskExecutive whole(braking_task(), workloads::build("iir", 1));
+  whole.set_soc_configurator(configurator);
+  const RunSummary expect = whole.run();
+
+  RedundantTaskExecutive stepped(braking_task(), workloads::build("iir", 1));
+  stepped.set_soc_configurator(configurator);
+  unsigned steps = 0;
+  while (!stepped.finished()) {
+    stepped.step_job();  // returns whether more remains, not whether a job ran
+    ++steps;
+  }
+  EXPECT_EQ(steps, expect.jobs.size());
+  EXPECT_TRUE(stepped.finished());
+  const RunSummary& got = stepped.state().summary;
+  ASSERT_EQ(got.jobs.size(), expect.jobs.size());
+  EXPECT_EQ(got.drops, expect.drops);
+  EXPECT_EQ(got.total_cycles, expect.total_cycles);
+  for (std::size_t i = 0; i < got.jobs.size(); ++i) {
+    EXPECT_EQ(got.jobs[i].dropped, expect.jobs[i].dropped) << "job " << i;
+    EXPECT_EQ(got.jobs[i].cycles, expect.jobs[i].cycles) << "job " << i;
+  }
+}
+
+TEST(Executive, CheckpointBetweenJobsResumesIdentically) {
+  // Inter-job state (next job, drop streak, relaunch latches) moves
+  // through save_state/restore_state into a *fresh* executive, which must
+  // finish the run exactly as the uninterrupted one — including the
+  // stagger-next-job decision pending from the drop at job 2.
+  const auto configurator = [](unsigned job) {
+    soc::SocConfig config;
+    config.shared_data = job == 2;
+    return config;
+  };
+  RedundantTaskExecutive whole(braking_task(), workloads::build("iir", 1));
+  whole.set_soc_configurator(configurator);
+  const RunSummary expect = whole.run();
+
+  RedundantTaskExecutive first(braking_task(), workloads::build("iir", 1));
+  first.set_soc_configurator(configurator);
+  for (int i = 0; i < 3; ++i) ASSERT_TRUE(first.step_job());  // through the drop
+
+  StateWriter w;
+  first.save_state(w);
+  const std::vector<u8> bytes = w.take();
+
+  RedundantTaskExecutive second(braking_task(), workloads::build("iir", 1));
+  second.set_soc_configurator(configurator);
+  StateReader r(bytes);
+  second.restore_state(r);
+  const RunSummary got = second.resume();
+
+  ASSERT_EQ(got.jobs.size(), expect.jobs.size());
+  EXPECT_EQ(got.drops, expect.drops);
+  EXPECT_EQ(got.safe_state_entered, expect.safe_state_entered);
+  EXPECT_EQ(got.total_cycles, expect.total_cycles);
+  for (std::size_t i = 0; i < got.jobs.size(); ++i) {
+    EXPECT_EQ(got.jobs[i].dropped, expect.jobs[i].dropped) << "job " << i;
+    EXPECT_EQ(got.jobs[i].stagger_used, expect.jobs[i].stagger_used) << "job " << i;
+    EXPECT_EQ(got.jobs[i].nodiv_cycles, expect.jobs[i].nodiv_cycles) << "job " << i;
   }
 }
 
