@@ -1,0 +1,165 @@
+// F1 — coverage-guided differential fuzzing campaign driver.
+//
+// Fans fuzz inputs over the thread pool with deterministic per-input
+// seeding: BENCH_fuzz.json is bit-identical for any --threads value at a
+// fixed --seed (same discipline as the fault-injection campaign).
+//
+// Usage: bench_fuzz_campaign [options]
+//   --rounds=N         campaign rounds (default 4)
+//   --inputs=N         inputs per round (default 32)
+//   --seed=N           campaign seed (default 1)
+//   --threads=N        worker count; 0 = auto (default SAFEDM_BENCH_THREADS)
+//   --max-cycles=N     per-input SoC cycle budget (default 2000000)
+//   --corpus=DIR       seed the campaign from an existing corpus directory
+//   --save-corpus=DIR  write the final corpus (.fuzz + .s per entry)
+//   --repro-dir=DIR    write minimized failure repros (.fuzz + .s)
+//   --json=PATH        report path (default BENCH_fuzz.json)
+//   --replay=DIR       replay a corpus through the oracle stack and exit
+//                      (the CI corpus gate); exit 1 on any failure
+//   --smoke            exit non-zero unless the campaign invariants hold:
+//                      (a) cumulative coverage is monotonically
+//                      non-decreasing across rounds, (b) every kept input
+//                      lit a new feature, (c) zero oracle failures
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "safedm/common/thread_pool.hpp"
+#include "safedm/fuzz/campaign.hpp"
+
+using namespace safedm;
+using namespace safedm::fuzz;
+
+int main(int argc, char** argv) {
+  CampaignConfig config;
+  config.threads = bench_thread_count();
+  std::string json_path = "BENCH_fuzz.json";
+  std::string corpus_dir, save_corpus_dir, repro_dir, replay_dir;
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--rounds=", 9) == 0) {
+      config.rounds = static_cast<unsigned>(std::atoi(arg + 9));
+    } else if (std::strncmp(arg, "--inputs=", 9) == 0) {
+      config.inputs_per_round = static_cast<unsigned>(std::atoi(arg + 9));
+    } else if (std::strncmp(arg, "--seed=", 7) == 0) {
+      config.seed = static_cast<u64>(std::atoll(arg + 7));
+    } else if (std::strncmp(arg, "--threads=", 10) == 0) {
+      config.threads = static_cast<unsigned>(std::atoi(arg + 10));
+    } else if (std::strncmp(arg, "--max-cycles=", 13) == 0) {
+      config.oracle.max_cycles = std::strtoull(arg + 13, nullptr, 10);
+    } else if (std::strncmp(arg, "--corpus=", 9) == 0) {
+      corpus_dir = arg + 9;
+    } else if (std::strncmp(arg, "--save-corpus=", 14) == 0) {
+      save_corpus_dir = arg + 14;
+    } else if (std::strncmp(arg, "--repro-dir=", 12) == 0) {
+      repro_dir = arg + 12;
+    } else if (std::strncmp(arg, "--json=", 7) == 0) {
+      json_path = arg + 7;
+    } else if (std::strncmp(arg, "--replay=", 9) == 0) {
+      replay_dir = arg + 9;
+    } else if (std::strcmp(arg, "--smoke") == 0) {
+      smoke = true;
+    } else {
+      std::fprintf(stderr, "unknown option: %s\n", arg);
+      return 2;
+    }
+  }
+
+  // ---- corpus gate: replay every checked-in input and exit -----------------
+  if (!replay_dir.empty()) {
+    Corpus corpus;
+    corpus.load_dir(replay_dir);
+    const auto outcomes = replay_corpus(corpus, config.oracle);
+    unsigned failed = 0;
+    for (const ReplayOutcome& o : outcomes) {
+      if (o.verdict == OracleVerdict::kPass) {
+        std::printf("REPLAY PASS %s\n", o.name.c_str());
+      } else {
+        std::printf("REPLAY FAIL %s: %s (%s)\n", o.name.c_str(), verdict_name(o.verdict),
+                    o.detail.c_str());
+        ++failed;
+      }
+    }
+    std::printf("corpus replay: %zu inputs, %u failures\n", outcomes.size(), failed);
+    return failed == 0 ? 0 : 1;
+  }
+
+  Corpus corpus;
+  if (!corpus_dir.empty()) corpus.load_dir(corpus_dir);
+
+  const CampaignReport report = run_campaign(corpus, config);
+
+  std::printf("fuzz campaign: seed %llu, %u rounds x %u inputs, corpus %zu -> %zu\n",
+              static_cast<unsigned long long>(report.seed), report.rounds,
+              report.inputs_per_round, report.initial_corpus, report.final_corpus);
+  std::printf("%5s %7s %5s %13s %9s %7s %13s %12s\n", "round", "inputs", "kept", "new_features",
+              "failures", "corpus", "features_hit", "total_hits");
+  for (std::size_t r = 0; r < report.round_stats.size(); ++r) {
+    const RoundStats& rs = report.round_stats[r];
+    std::printf("%5zu %7u %5u %13u %9u %7zu %13zu %12llu\n", r, rs.inputs, rs.kept,
+                rs.new_features, rs.failures, rs.corpus_size, rs.features_hit,
+                static_cast<unsigned long long>(rs.total_hits));
+  }
+  const CoverageMap::Breakdown b = report.coverage.hit_breakdown();
+  std::printf("coverage: %zu features (%zu opcodes, %zu formats, %zu events, %zu verdict edges)\n",
+              report.coverage.features_hit(), b.opcodes, b.formats, b.events, b.verdict_edges);
+  for (const FailureRecord& fr : report.failures)
+    std::printf("FAILURE r%u i%u seed %llu: %s, %zu -> %zu ops (%s)\n", fr.round, fr.index,
+                static_cast<unsigned long long>(fr.seed), verdict_name(fr.verdict),
+                fr.original_ops, fr.minimized_ops, fr.detail.c_str());
+
+  if (!save_corpus_dir.empty()) {
+    corpus.save_dir(save_corpus_dir);
+    std::printf("saved %zu corpus entries to %s\n", corpus.size(), save_corpus_dir.c_str());
+  }
+  if (!repro_dir.empty() && !report.failures.empty()) {
+    Corpus repros;
+    for (const FailureRecord& fr : report.failures) {
+      char name[64];
+      std::snprintf(name, sizeof name, "repro-r%02u-i%03u-%s", fr.round, fr.index,
+                    verdict_name(fr.verdict));
+      repros.add(name, fr.repro);
+    }
+    repros.save_dir(repro_dir);
+    std::printf("saved %zu repros to %s\n", repros.size(), repro_dir.c_str());
+  }
+
+  std::ofstream json(json_path);
+  if (!json) {
+    std::fprintf(stderr, "cannot open %s for writing\n", json_path.c_str());
+    return 2;
+  }
+  write_report_json(report, json);
+  std::printf("wrote %s\n", json_path.c_str());
+
+  if (!smoke) return 0;
+
+  // Smoke gate: the corpus-keeping policy makes cumulative coverage
+  // monotone by construction; re-derive it from the report so a future
+  // regression in the merge logic trips CI. Oracle failures mean a real
+  // model divergence — always fatal here.
+  int failures = 0;
+  std::size_t prev_features = 0;
+  u64 prev_hits = 0;
+  for (std::size_t r = 0; r < report.round_stats.size(); ++r) {
+    const RoundStats& rs = report.round_stats[r];
+    if (rs.features_hit < prev_features || rs.total_hits < prev_hits) {
+      std::fprintf(stderr, "SMOKE FAIL round %zu: coverage regressed (%zu < %zu or %llu < %llu)\n",
+                   r, rs.features_hit, prev_features,
+                   static_cast<unsigned long long>(rs.total_hits),
+                   static_cast<unsigned long long>(prev_hits));
+      ++failures;
+    }
+    prev_features = rs.features_hit;
+    prev_hits = rs.total_hits;
+  }
+  if (!report.failures.empty()) {
+    std::fprintf(stderr, "SMOKE FAIL: %zu oracle failures\n", report.failures.size());
+    ++failures;
+  }
+  if (failures == 0)
+    std::printf("smoke invariants hold over %zu rounds\n", report.round_stats.size());
+  return failures == 0 ? 0 : 1;
+}

@@ -1,22 +1,82 @@
 #!/usr/bin/env bash
-# CI entry point: default build + full ctest, then an ASan+UBSan build
-# running everything except the perf-labeled timing gates (sanitizer
-# overhead makes wall-clock assertions meaningless; the functional smoke
-# tests, including faultsim_smoke and the snapshot round-trip suite, run
-# in both configurations).
+# CI entry point. Stages:
+#   ./ci.sh            default build + full ctest, then an ASan+UBSan build
+#                      running everything except the perf-labeled timing
+#                      gates (sanitizer overhead makes wall-clock assertions
+#                      meaningless; all label filtering is ctest -L based —
+#                      see tests/CMakeLists.txt for the label scheme)
+#   ./ci.sh coverage   gcov-instrumented build + ctest (perf excluded) +
+#                      per-subsystem line-coverage summary, so fuzzer-driven
+#                      coverage gains are measurable run over run
 set -euo pipefail
 cd "$(dirname "$0")"
 
 JOBS="${JOBS:-$(nproc)}"
+STAGE="${1:-all}"
 
-echo "==> default build"
-cmake --preset default
-cmake --build --preset default -j "${JOBS}"
-ctest --preset default -j "${JOBS}"
+run_default_and_san() {
+  echo "==> default build"
+  cmake --preset default
+  cmake --build --preset default -j "${JOBS}"
+  ctest --preset default -j "${JOBS}"
 
-echo "==> sanitizer build (ASan + UBSan)"
-cmake --preset san
-cmake --build --preset san -j "${JOBS}"
-ctest --preset san -j "${JOBS}"
+  echo "==> sanitizer build (ASan + UBSan)"
+  cmake --preset san
+  cmake --build --preset san -j "${JOBS}"
+  ctest --preset san -j "${JOBS}"
+}
+
+run_coverage() {
+  echo "==> coverage build (gcov)"
+  cmake --preset coverage
+  cmake --build --preset coverage -j "${JOBS}"
+  ctest --preset coverage -j "${JOBS}"
+
+  echo "==> per-subsystem line coverage (src/*.cpp)"
+  local root
+  root="$(pwd)/src/"
+  (
+    cd build-cov
+    find . -name '*.gcda' -print0 | xargs -0 gcov -n 2>/dev/null |
+      awk -v root="${root}" '
+        /^File /   { f = $2; gsub(/\x27/, "", f) }
+        /^Lines executed:/ {
+          if (index(f, root) == 1 && f ~ /\.cpp$/) {
+            rest = substr(f, length(root) + 1)
+            split(rest, parts, "/")
+            sys = parts[1]
+            split($0, a, ":"); split(a[2], b, "% of ")
+            n = b[2] + 0
+            lines[sys] += n
+            hit[sys] += (b[1] + 0) * n / 100
+          }
+        }
+        END {
+          n = 0
+          for (s in lines) keys[n++] = s
+          for (i = 0; i < n; ++i)  # insertion sort: portable across awks
+            for (j = i + 1; j < n; ++j)
+              if (keys[j] < keys[i]) { t = keys[i]; keys[i] = keys[j]; keys[j] = t }
+          printf "%-12s %8s %8s %8s\n", "subsystem", "lines", "covered", "percent"
+          total = 0; thit = 0
+          for (i = 0; i < n; ++i) {
+            s = keys[i]
+            printf "%-12s %8d %8d %7.1f%%\n", s, lines[s], hit[s], 100 * hit[s] / lines[s]
+            total += lines[s]; thit += hit[s]
+          }
+          if (total > 0)
+            printf "%-12s %8d %8d %7.1f%%\n", "TOTAL", total, thit, 100 * thit / total
+        }'
+  )
+}
+
+case "${STAGE}" in
+  all) run_default_and_san ;;
+  coverage) run_coverage ;;
+  *)
+    echo "unknown stage: ${STAGE} (expected: coverage)" >&2
+    exit 2
+    ;;
+esac
 
 echo "==> CI OK"

@@ -1,0 +1,229 @@
+#include "safedm/fuzz/campaign.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "safedm/common/check.hpp"
+#include "safedm/common/hash.hpp"
+#include "safedm/common/thread_pool.hpp"
+
+namespace safedm::fuzz {
+
+namespace fs = std::filesystem;
+
+void Corpus::add(std::string name, FuzzProgram program) {
+  entries.push_back({std::move(name), std::move(program)});
+}
+
+void Corpus::load_dir(const std::string& dir) {
+  SAFEDM_CHECK_MSG(fs::is_directory(dir), "fuzz corpus directory not found: " + dir);
+  std::vector<fs::path> paths;
+  for (const auto& e : fs::directory_iterator(dir))
+    if (e.is_regular_file() && e.path().extension() == ".fuzz") paths.push_back(e.path());
+  std::sort(paths.begin(), paths.end());
+  for (const fs::path& p : paths) add(p.stem().string(), load_program(p.string()));
+}
+
+void Corpus::save_dir(const std::string& dir) const {
+  fs::create_directories(dir);
+  for (const CorpusEntry& e : entries) {
+    save_program((fs::path(dir) / (e.name + ".fuzz")).string(), e.program);
+    std::ofstream os(fs::path(dir) / (e.name + ".s"));
+    SAFEDM_CHECK_MSG(static_cast<bool>(os), "cannot write repro .s under " + dir);
+    os << to_assembly(e.program);
+  }
+}
+
+u64 input_seed(u64 seed, unsigned round, unsigned index) {
+  Fnv1a64 h;
+  h.add(0x66757A7AULL);  // "fuzz"
+  h.add(seed);
+  h.add(round);
+  h.add(index);
+  return h.value();
+}
+
+namespace {
+
+struct Job {
+  FuzzProgram program;
+  u64 seed = 0;
+  u64 snapshot_cycle = 0;
+};
+
+/// All schedule decisions for one input, derived serially from its seed
+/// against the round-start corpus (which the parallel phase never mutates).
+Job build_job(const Corpus& corpus, const CampaignConfig& cfg, unsigned round, unsigned index) {
+  Job job;
+  job.seed = input_seed(cfg.seed, round, index);
+  Xoshiro256 rng(job.seed);
+  if (!corpus.entries.empty() && rng.chance(cfg.mutate_chance)) {
+    job.program = corpus.entries[rng.below(corpus.entries.size())].program;
+    const FuzzProgram& donor = corpus.entries[rng.below(corpus.entries.size())].program;
+    mutate(job.program, &donor, rng, cfg.generator);
+    job.program.gen_seed = job.seed;
+  } else {
+    job.program = ProgramFuzzer(job.seed, cfg.generator).next();
+  }
+  if (rng.chance(cfg.snapshot_chance)) job.snapshot_cycle = 64 + rng.below(1024);
+  return job;
+}
+
+std::string entry_name(unsigned round, unsigned index, u64 seed) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "r%02u-i%03u-%016llx", round, index,
+                static_cast<unsigned long long>(seed));
+  return buf;
+}
+
+void json_escape(std::ostream& os, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+CampaignReport run_campaign(Corpus& corpus, const CampaignConfig& config) {
+  CampaignReport report;
+  report.seed = config.seed;
+  report.rounds = config.rounds;
+  report.inputs_per_round = config.inputs_per_round;
+  report.initial_corpus = corpus.size();
+
+  ThreadPool pool(config.threads);
+
+  for (unsigned round = 0; round < config.rounds; ++round) {
+    // Serial: fix every input's program and oracle knobs before fan-out.
+    std::vector<Job> jobs;
+    jobs.reserve(config.inputs_per_round);
+    for (unsigned i = 0; i < config.inputs_per_round; ++i)
+      jobs.push_back(build_job(corpus, config, round, i));
+
+    // Parallel: independent oracle runs, one slot per input.
+    std::vector<OracleResult> results(jobs.size());
+    pool.parallel_for(jobs.size(), [&](std::size_t i) {
+      OracleConfig oc = config.oracle;
+      oc.snapshot_cycle = jobs[i].snapshot_cycle;
+      results[i] = run_differential(jobs[i].program, oc);
+    });
+
+    // Serial, index order: merge coverage, grow corpus, record failures.
+    RoundStats rs;
+    rs.inputs = config.inputs_per_round;
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      const OracleResult& res = results[i];
+      const std::size_t fresh = report.coverage.merge_count_new(res.coverage);
+      rs.new_features += static_cast<unsigned>(fresh);
+      if (fresh > 0) {
+        corpus.add(entry_name(round, static_cast<unsigned>(i), jobs[i].seed), jobs[i].program);
+        ++rs.kept;
+      }
+      if (res.ok()) continue;
+      ++rs.failures;
+      FailureRecord fr;
+      fr.round = round;
+      fr.index = static_cast<unsigned>(i);
+      fr.seed = jobs[i].seed;
+      fr.verdict = res.verdict;
+      fr.detail = res.detail;
+      fr.repro = jobs[i].program;
+      fr.original_ops = jobs[i].program.op_count();
+      fr.minimized_ops = fr.original_ops;
+      if (config.shrink_failures) {
+        ShrinkConfig sc;
+        sc.oracle = config.oracle;
+        // The snapshot layer only matters for snapshot failures; dropping
+        // it elsewhere makes every shrink probe one run, not two.
+        sc.oracle.snapshot_cycle =
+            res.verdict == OracleVerdict::kSnapshotMismatch ? jobs[i].snapshot_cycle : 0;
+        sc.max_oracle_runs = config.shrink_max_oracle_runs;
+        const ShrinkResult sr = shrink(fr.repro, sc);
+        if (sr.reproduced) {
+          fr.repro = sr.program;
+          fr.minimized_ops = sr.op_count;
+          fr.shrink_oracle_runs = sr.oracle_runs;
+          if (!sr.detail.empty()) fr.detail = sr.detail;
+        }
+      }
+      report.failures.push_back(std::move(fr));
+    }
+    rs.corpus_size = corpus.size();
+    rs.features_hit = report.coverage.features_hit();
+    rs.total_hits = report.coverage.total_hits();
+    report.round_stats.push_back(rs);
+  }
+
+  report.final_corpus = corpus.size();
+  return report;
+}
+
+void write_report_json(const CampaignReport& report, std::ostream& os) {
+  os << "{\n  \"schema\": \"safedm.bench.fuzz/v1\",\n";
+  os << "  \"config\": {\"seed\": " << report.seed << ", \"rounds\": " << report.rounds
+     << ", \"inputs_per_round\": " << report.inputs_per_round
+     << ", \"initial_corpus\": " << report.initial_corpus << "},\n";
+  os << "  \"rounds\": [\n";
+  for (std::size_t r = 0; r < report.round_stats.size(); ++r) {
+    const RoundStats& rs = report.round_stats[r];
+    os << "    {\"round\": " << r << ", \"inputs\": " << rs.inputs << ", \"kept\": " << rs.kept
+       << ", \"new_features\": " << rs.new_features << ", \"failures\": " << rs.failures
+       << ", \"corpus_size\": " << rs.corpus_size << ", \"features_hit\": " << rs.features_hit
+       << ", \"total_hits\": " << rs.total_hits << "}"
+       << (r + 1 < report.round_stats.size() ? "," : "") << '\n';
+  }
+  os << "  ],\n";
+  const CoverageMap::Breakdown b = report.coverage.hit_breakdown();
+  os << "  \"coverage\": {\"features_hit\": " << report.coverage.features_hit()
+     << ", \"total_hits\": " << report.coverage.total_hits() << ", \"opcodes\": " << b.opcodes
+     << ", \"formats\": " << b.formats << ", \"events\": " << b.events
+     << ", \"verdict_edges\": " << b.verdict_edges << "},\n";
+  os << "  \"failures\": [";
+  for (std::size_t f = 0; f < report.failures.size(); ++f) {
+    const FailureRecord& fr = report.failures[f];
+    os << (f ? "," : "") << "\n    {\"round\": " << fr.round << ", \"index\": " << fr.index
+       << ", \"seed\": " << fr.seed << ", \"verdict\": \"" << verdict_name(fr.verdict)
+       << "\",\n     \"original_ops\": " << fr.original_ops
+       << ", \"minimized_ops\": " << fr.minimized_ops
+       << ", \"shrink_oracle_runs\": " << fr.shrink_oracle_runs << ",\n     \"detail\": \"";
+    json_escape(os, fr.detail);
+    os << "\"}";
+  }
+  os << (report.failures.empty() ? "" : "\n  ") << "],\n";
+  os << "  \"final_corpus\": " << report.final_corpus << "\n}\n";
+}
+
+std::string report_to_json(const CampaignReport& report) {
+  std::ostringstream os;
+  write_report_json(report, os);
+  return os.str();
+}
+
+std::vector<ReplayOutcome> replay_corpus(const Corpus& corpus, const OracleConfig& config) {
+  std::vector<ReplayOutcome> outcomes;
+  outcomes.reserve(corpus.size());
+  for (const CorpusEntry& e : corpus.entries) {
+    const OracleResult res = run_differential(e.program, config);
+    outcomes.push_back({e.name, res.verdict, res.detail});
+  }
+  return outcomes;
+}
+
+}  // namespace safedm::fuzz

@@ -1,0 +1,82 @@
+#include "safedm/fuzz/coverage.hpp"
+
+namespace safedm::fuzz {
+
+const char* event_name(Event e) {
+  switch (e) {
+    case Event::kMispredict: return "mispredict";
+    case Event::kL1dMissStall: return "l1d_miss_stall";
+    case Event::kL1iMissStall: return "l1i_miss_stall";
+    case Event::kSbFullStall: return "sb_full_stall";
+    case Event::kRawHazardStall: return "raw_hazard_stall";
+    case Event::kExBusyStall: return "ex_busy_stall";
+    case Event::kSbCoalesce: return "sb_coalesce";
+    case Event::kSbDrain: return "sb_drain";
+    case Event::kDualIssue: return "dual_issue";
+    case Event::kStagger: return "stagger";
+    case Event::kNodiv: return "nodiv";
+    case Event::kInterrupt: return "interrupt";
+    case Event::kSnapshotTaken: return "snapshot_taken";
+    case Event::kIllegalHalt: return "illegal_halt";
+  }
+  return "?";
+}
+
+void CoverageMap::bump(std::size_t feature, u64 n) {
+  u64& c = counts_[feature];
+  c = (c + n < c) ? ~u64{0} : c + n;  // saturate
+}
+
+void CoverageMap::note_mnemonic(isa::Mnemonic m, u64 n) {
+  if (m == isa::Mnemonic::kInvalid) return;
+  bump(static_cast<std::size_t>(m), n);
+}
+
+void CoverageMap::note_format(isa::Format f, u64 n) {
+  bump(isa::kMnemonicCount + static_cast<std::size_t>(f), n);
+}
+
+void CoverageMap::note_event(Event e, u64 n) {
+  if (n == 0) return;
+  bump(isa::kMnemonicCount + kFormatCount + static_cast<std::size_t>(e), n);
+}
+
+void CoverageMap::note_verdict_edge(unsigned from, unsigned to, u64 n) {
+  bump(isa::kMnemonicCount + kFormatCount + kEventCount +
+           (from % kVerdictStates) * kVerdictStates + (to % kVerdictStates),
+       n);
+}
+
+std::size_t CoverageMap::features_hit() const {
+  std::size_t hit = 0;
+  for (u64 c : counts_) hit += c != 0;
+  return hit;
+}
+
+u64 CoverageMap::total_hits() const {
+  u64 total = 0;
+  for (u64 c : counts_) total = (total + c < total) ? ~u64{0} : total + c;
+  return total;
+}
+
+std::size_t CoverageMap::merge_count_new(const CoverageMap& run) {
+  std::size_t fresh = 0;
+  for (std::size_t i = 0; i < kFeatureCount; ++i) {
+    if (run.counts_[i] == 0) continue;
+    if (counts_[i] == 0) ++fresh;
+    bump(i, run.counts_[i]);
+  }
+  return fresh;
+}
+
+CoverageMap::Breakdown CoverageMap::hit_breakdown() const {
+  Breakdown b;
+  std::size_t i = 0;
+  for (; i < isa::kMnemonicCount; ++i) b.opcodes += counts_[i] != 0;
+  for (; i < isa::kMnemonicCount + kFormatCount; ++i) b.formats += counts_[i] != 0;
+  for (; i < isa::kMnemonicCount + kFormatCount + kEventCount; ++i) b.events += counts_[i] != 0;
+  for (; i < kFeatureCount; ++i) b.verdict_edges += counts_[i] != 0;
+  return b;
+}
+
+}  // namespace safedm::fuzz

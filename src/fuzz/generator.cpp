@@ -1,0 +1,477 @@
+#include "safedm/fuzz/generator.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "safedm/common/check.hpp"
+#include "safedm/common/hash.hpp"
+#include "safedm/isa/disasm.hpp"
+#include "safedm/isa/encode.hpp"
+#include "safedm/isa/inst.hpp"
+
+namespace safedm::fuzz {
+
+using namespace assembler;
+namespace e = isa::enc;
+
+namespace {
+
+constexpr const char* kOpNames[] = {
+#define SAFEDM_FUZZ_NAME(name, str) str,
+    SAFEDM_FUZZ_OP_KINDS(SAFEDM_FUZZ_NAME)
+#undef SAFEDM_FUZZ_NAME
+};
+static_assert(sizeof(kOpNames) / sizeof(kOpNames[0]) == kOpKindCount);
+
+u64 mix(u64 a, u64 b) {
+  Fnv1a64 h;
+  h.add(a);
+  h.add(b);
+  return h.value();
+}
+
+// ---- operand sanitizers (applied at lowering; mutation can set anything) ----
+
+Reg ir(u8 v) { return kIntPool[v % kIntPoolSize]; }
+Reg fr(u8 v) { return kFpPool[v % kFpPoolSize]; }
+
+i64 imm12(i32 v) {
+  return ((static_cast<i64>(v) % 4096) + 4096 + 2048) % 4096 - 2048;  // [-2048, 2047]
+}
+
+unsigned shamt(i32 v) { return static_cast<unsigned>(v) & 63; }
+
+i64 mem_offset(i32 v, unsigned size) {
+  return static_cast<i64>(align_down(static_cast<u32>(v) % 2040u, size));
+}
+
+unsigned mem_size(u8 aux) { return 1u << (aux % 4); }
+
+void emit_op(Assembler& a, const FuzzOp& op) {
+  const Reg rd = ir(op.rd), rs1 = ir(op.rs1), rs2 = ir(op.rs2);
+  switch (op.kind) {
+    case OpKind::kAdd: a(e::add(rd, rs1, rs2)); break;
+    case OpKind::kSub: a(e::sub(rd, rs1, rs2)); break;
+    case OpKind::kXor: a(e::xor_(rd, rs1, rs2)); break;
+    case OpKind::kOr: a(e::or_(rd, rs1, rs2)); break;
+    case OpKind::kAnd: a(e::and_(rd, rs1, rs2)); break;
+    case OpKind::kSll: a(e::sll(rd, rs1, rs2)); break;
+    case OpKind::kSrl: a(e::srl(rd, rs1, rs2)); break;
+    case OpKind::kSra: a(e::sra(rd, rs1, rs2)); break;
+    case OpKind::kSlt: a(e::slt(rd, rs1, rs2)); break;
+    case OpKind::kSltu: a(e::sltu(rd, rs1, rs2)); break;
+    case OpKind::kMul: a(e::mul(rd, rs1, rs2)); break;
+    case OpKind::kMulh: a(e::mulh(rd, rs1, rs2)); break;
+    case OpKind::kMulw: a(e::mulw(rd, rs1, rs2)); break;
+    case OpKind::kDiv: a(e::div(rd, rs1, rs2)); break;
+    case OpKind::kDivu: a(e::divu(rd, rs1, rs2)); break;
+    case OpKind::kRem: a(e::rem(rd, rs1, rs2)); break;
+    case OpKind::kAddw: a(e::addw(rd, rs1, rs2)); break;
+    case OpKind::kSubw: a(e::subw(rd, rs1, rs2)); break;
+    case OpKind::kAddi: a(e::addi(rd, rs1, imm12(op.imm))); break;
+    case OpKind::kSltiu: a(e::sltiu(rd, rs1, static_cast<i64>(static_cast<u32>(op.imm) % 2048u))); break;
+    case OpKind::kSlli: a(e::slli(rd, rs1, shamt(op.imm))); break;
+    case OpKind::kSrai: a(e::srai(rd, rs1, shamt(op.imm))); break;
+    case OpKind::kLoad: {
+      const unsigned size = mem_size(op.aux);
+      const i64 off = mem_offset(op.imm, size);
+      switch (size) {
+        case 1: a(e::lbu(rd, S0, off)); break;
+        case 2: a(e::lh(rd, S0, off)); break;
+        case 4: a(e::lw(rd, S0, off)); break;
+        default: a(e::ld(rd, S0, off)); break;
+      }
+      break;
+    }
+    case OpKind::kStore: {
+      const unsigned size = mem_size(op.aux);
+      const i64 off = mem_offset(op.imm, size);
+      switch (size) {
+        case 1: a(e::sb(rs1, S0, off)); break;
+        case 2: a(e::sh(rs1, S0, off)); break;
+        case 4: a(e::sw(rs1, S0, off)); break;
+        default: a(e::sd(rs1, S0, off)); break;
+      }
+      break;
+    }
+    case OpKind::kFld: a(e::fld(fr(op.rd), S0, mem_offset(op.imm, 8))); break;
+    case OpKind::kFsd: a(e::fsd(fr(op.rs1), S0, mem_offset(op.imm, 8))); break;
+    case OpKind::kFadd: a(e::fadd_d(fr(op.rd), fr(op.rs1), fr(op.rs2))); break;
+    case OpKind::kFmul: a(e::fmul_d(fr(op.rd), fr(op.rs1), fr(op.rs2))); break;
+    case OpKind::kFdiv: a(e::fdiv_d(fr(op.rd), fr(op.rs1), fr(op.rs2))); break;
+    case OpKind::kFmvDX: a(e::fmv_d_x(fr(op.rd), ir(op.rs1))); break;
+    case OpKind::kFmvXD: a(e::fmv_x_d(ir(op.rd), fr(op.rs1))); break;
+  }
+}
+
+/// Mark the integer pool registers this op *reads* (write-only destinations
+/// need no initialization: both executors reset registers to zero).
+void mark_reads(const FuzzOp& op, bool (&used)[kIntPoolSize]) {
+  const auto mark = [&](u8 v) { used[v % kIntPoolSize] = true; };
+  switch (op.kind) {
+    case OpKind::kAdd: case OpKind::kSub: case OpKind::kXor: case OpKind::kOr:
+    case OpKind::kAnd: case OpKind::kSll: case OpKind::kSrl: case OpKind::kSra:
+    case OpKind::kSlt: case OpKind::kSltu: case OpKind::kMul: case OpKind::kMulh:
+    case OpKind::kMulw: case OpKind::kDiv: case OpKind::kDivu: case OpKind::kRem:
+    case OpKind::kAddw: case OpKind::kSubw:
+      mark(op.rs1);
+      mark(op.rs2);
+      break;
+    case OpKind::kAddi: case OpKind::kSltiu: case OpKind::kSlli: case OpKind::kSrai:
+      mark(op.rs1);
+      break;
+    case OpKind::kStore: case OpKind::kFmvDX:
+      mark(op.rs1);
+      break;
+    case OpKind::kLoad: case OpKind::kFld: case OpKind::kFsd: case OpKind::kFadd:
+    case OpKind::kFmul: case OpKind::kFdiv: case OpKind::kFmvXD:
+      break;
+  }
+}
+
+unsigned effective_iters(const FuzzBlock& b) { return b.loop_iters % 10; }
+bool skip_emitted(const FuzzBlock& b) { return b.cond_skip && !b.skip.empty(); }
+
+}  // namespace
+
+const char* op_kind_name(OpKind kind) { return kOpNames[static_cast<unsigned>(kind)]; }
+
+OpKind op_kind_from_name(const std::string& name) {
+  for (std::size_t i = 0; i < kOpKindCount; ++i)
+    if (name == kOpNames[i]) return static_cast<OpKind>(i);
+  SAFEDM_CHECK_MSG(false, "unknown fuzz op kind: " + name);
+  return OpKind::kAdd;  // unreachable
+}
+
+std::size_t FuzzProgram::op_count() const {
+  std::size_t n = 0;
+  for (const FuzzBlock& b : blocks) {
+    n += b.straight.size();
+    if (effective_iters(b) > 0) {
+      n += b.body.size();
+      if (skip_emitted(b)) n += b.skip.size();
+    }
+  }
+  return n;
+}
+
+FuzzOp random_op(Xoshiro256& rng, const GeneratorConfig& config) {
+  FuzzOp op;
+  op.rd = static_cast<u8>(rng.below(kIntPoolSize));
+  op.rs1 = static_cast<u8>(rng.below(kIntPoolSize));
+  op.rs2 = static_cast<u8>(rng.below(kIntPoolSize));
+  op.imm = static_cast<i32>(rng.next());
+  op.aux = static_cast<u8>(rng.below(4));
+  if (config.fp_ops && rng.chance(config.fp_chance)) {
+    static constexpr OpKind kFpKinds[] = {OpKind::kFld,  OpKind::kFsd,   OpKind::kFadd,
+                                          OpKind::kFmul, OpKind::kFdiv,  OpKind::kFmvDX,
+                                          OpKind::kFmvXD};
+    op.kind = kFpKinds[rng.below(7)];
+  } else {
+    op.kind = static_cast<OpKind>(rng.below(kIntOpKindCount));
+  }
+  return op;
+}
+
+FuzzProgram ProgramFuzzer::next() {
+  FuzzProgram p;
+  p.gen_seed = seed_ ^ (0x9E3779B97F4A7C15ULL * ++drawn_);
+  p.data_seed = rng_.next();
+  const unsigned span = config_.max_blocks - std::min(config_.min_blocks, config_.max_blocks) + 1;
+  const unsigned blocks = config_.min_blocks + static_cast<unsigned>(rng_.below(span));
+  for (unsigned i = 0; i < blocks; ++i) {
+    FuzzBlock b;
+    const unsigned straight = 2 + static_cast<unsigned>(rng_.below(config_.max_straight - 1));
+    for (unsigned j = 0; j < straight; ++j) b.straight.push_back(random_op(rng_, config_));
+    b.loop_iters = static_cast<u8>(1 + rng_.below(config_.max_loop_iters));
+    const unsigned body = 1 + static_cast<unsigned>(rng_.below(config_.max_body));
+    for (unsigned j = 0; j < body; ++j) b.body.push_back(random_op(rng_, config_));
+    if (rng_.chance(config_.skip_chance)) {
+      b.cond_skip = true;
+      b.skip_test = static_cast<u8>(rng_.below(kIntPoolSize));
+      b.skip.push_back(random_op(rng_, config_));
+    }
+    p.blocks.push_back(std::move(b));
+  }
+  return p;
+}
+
+// ---- mutation ---------------------------------------------------------------
+
+namespace {
+
+std::vector<std::vector<FuzzOp>*> op_lists(FuzzProgram& p) {
+  std::vector<std::vector<FuzzOp>*> lists;
+  for (FuzzBlock& b : p.blocks) {
+    lists.push_back(&b.straight);
+    lists.push_back(&b.body);
+    lists.push_back(&b.skip);
+  }
+  return lists;
+}
+
+FuzzOp* pick_op(FuzzProgram& p, Xoshiro256& rng) {
+  std::vector<FuzzOp*> ops;
+  for (std::vector<FuzzOp>* list : op_lists(p))
+    for (FuzzOp& op : *list) ops.push_back(&op);
+  if (ops.empty()) return nullptr;
+  return ops[rng.below(ops.size())];
+}
+
+void mutate_splice(FuzzProgram& p, const FuzzProgram& donor, Xoshiro256& rng) {
+  if (donor.blocks.empty()) return;
+  const std::size_t start = rng.below(donor.blocks.size());
+  const std::size_t len =
+      std::min<std::size_t>(1 + rng.below(2), donor.blocks.size() - start);
+  std::size_t pos = rng.below(p.blocks.size() + 1);
+  if (p.blocks.size() + len > kMaxBlocks && !p.blocks.empty()) {
+    // Replace instead of insert: erase exactly `len` blocks (or all of them
+    // when fewer remain) so the cap can never be exceeded.
+    const std::size_t erase = std::min(len, p.blocks.size());
+    pos = rng.below(p.blocks.size() - erase + 1);
+    p.blocks.erase(p.blocks.begin() + static_cast<long>(pos),
+                   p.blocks.begin() + static_cast<long>(pos + erase));
+  }
+  p.blocks.insert(p.blocks.begin() + static_cast<long>(pos),
+                  donor.blocks.begin() + static_cast<long>(start),
+                  donor.blocks.begin() + static_cast<long>(start + len));
+}
+
+void mutate_insert(FuzzProgram& p, Xoshiro256& rng, const GeneratorConfig& config) {
+  if (p.blocks.empty()) {
+    p.blocks.emplace_back();
+  }
+  auto lists = op_lists(p);
+  std::vector<std::vector<FuzzOp>*> open;
+  for (auto* list : lists)
+    if (list->size() < kMaxOpsPerList) open.push_back(list);
+  if (open.empty()) return;
+  std::vector<FuzzOp>* list = open[rng.below(open.size())];
+  list->insert(list->begin() + static_cast<long>(rng.below(list->size() + 1)),
+               random_op(rng, config));
+}
+
+void mutate_delete(FuzzProgram& p, Xoshiro256& rng) {
+  auto lists = op_lists(p);
+  std::vector<std::vector<FuzzOp>*> nonempty;
+  std::size_t total = 0;
+  for (auto* list : lists) {
+    total += list->size();
+    if (!list->empty()) nonempty.push_back(list);
+  }
+  if (total <= 1 || nonempty.empty()) return;  // keep at least one op alive
+  std::vector<FuzzOp>* list = nonempty[rng.below(nonempty.size())];
+  list->erase(list->begin() + static_cast<long>(rng.below(list->size())));
+}
+
+}  // namespace
+
+void mutate(FuzzProgram& program, const FuzzProgram* donor, Xoshiro256& rng,
+            const GeneratorConfig& config) {
+  const unsigned rounds = 1 + static_cast<unsigned>(rng.below(3));
+  for (unsigned i = 0; i < rounds; ++i) {
+    Mutation m = static_cast<Mutation>(rng.below(5));
+    if (m == Mutation::kSplice && (donor == nullptr || donor->blocks.empty()))
+      m = Mutation::kInsert;
+    switch (m) {
+      case Mutation::kSplice:
+        mutate_splice(program, *donor, rng);
+        break;
+      case Mutation::kPerturbImm:
+        if (FuzzOp* op = pick_op(program, rng)) {
+          if (rng.chance(0.5))
+            op->imm = static_cast<i32>(rng.next());
+          else
+            op->imm += static_cast<i32>(rng.below(17)) - 8;
+        }
+        break;
+      case Mutation::kPerturbReg:
+        if (FuzzOp* op = pick_op(program, rng)) {
+          switch (rng.below(4)) {
+            case 0: op->rd = static_cast<u8>(rng.below(kIntPoolSize)); break;
+            case 1: op->rs1 = static_cast<u8>(rng.below(kIntPoolSize)); break;
+            case 2: op->rs2 = static_cast<u8>(rng.below(kIntPoolSize)); break;
+            default: op->aux = static_cast<u8>(rng.below(4)); break;
+          }
+        }
+        break;
+      case Mutation::kInsert:
+        mutate_insert(program, rng, config);
+        break;
+      case Mutation::kDelete:
+        mutate_delete(program, rng);
+        break;
+    }
+  }
+}
+
+// ---- lowering ---------------------------------------------------------------
+
+assembler::Program materialize(const FuzzProgram& program) {
+  Assembler a;
+  DataBuilder d;
+
+  const u32 words = std::clamp<u32>(program.data_words, 256, 4096);
+  Xoshiro256 drng(program.data_seed);
+  std::vector<u64> blob(words);
+  for (auto& w : blob) w = drng.next();
+  d.add_u64_array(blob);
+
+  // Base pointer for memory ops; S0 is never clobbered by generated ops.
+  a.mv(S0, A0);
+
+  // Give every *read* pool register a defined, data_seed-derived value.
+  bool used[kIntPoolSize] = {};
+  for (const FuzzBlock& b : program.blocks) {
+    for (const FuzzOp& op : b.straight) mark_reads(op, used);
+    if (effective_iters(b) > 0) {
+      for (const FuzzOp& op : b.body) mark_reads(op, used);
+      if (skip_emitted(b)) {
+        used[b.skip_test % kIntPoolSize] = true;
+        for (const FuzzOp& op : b.skip) mark_reads(op, used);
+      }
+    }
+  }
+  for (unsigned i = 0; i < kIntPoolSize; ++i)
+    if (used[i]) a.li(kIntPool[i], static_cast<i64>(mix(program.data_seed, 0x1000 + i) & 0xFFFF));
+
+  for (const FuzzBlock& b : program.blocks) {
+    for (const FuzzOp& op : b.straight) emit_op(a, op);
+    const unsigned iters = effective_iters(b);
+    if (iters == 0) continue;
+    // Bounded loop on a dedicated counter (S6) generated ops never touch.
+    a.li(S6, static_cast<i64>(iters));
+    Label head = a.new_label(), exit = a.new_label();
+    a.bind(head);
+    a.beqz(S6, exit);
+    for (const FuzzOp& op : b.body) emit_op(a, op);
+    if (skip_emitted(b)) {
+      Label skip = a.new_label();
+      a(e::andi(T6, ir(b.skip_test), 1));
+      a.beqz(T6, skip);
+      for (const FuzzOp& op : b.skip) emit_op(a, op);
+      a.bind(skip);
+    }
+    a(e::addi(S6, S6, -1));
+    a.j(head);
+    a.bind(exit);
+  }
+  a(e::ecall());
+  return a.assemble("fuzz", std::move(d));
+}
+
+std::string to_assembly(const FuzzProgram& program) {
+  const assembler::Program image = materialize(program);
+  std::ostringstream os;
+  os << "# safedm-fuzz repro  gen_seed=" << program.gen_seed
+     << " data_seed=" << program.data_seed << " ops=" << program.op_count()
+     << " text_words=" << image.text.size() << "\n";
+  os << "# regenerate/replay: bench_fuzz_campaign --replay=<dir with the matching .fuzz>\n";
+  for (std::size_t i = 0; i < image.text.size(); ++i) {
+    char buf[16];
+    std::snprintf(buf, sizeof buf, "%6zx:  ", i * 4);
+    os << buf << isa::disassemble(image.text[i]) << "\n";
+  }
+  return os.str();
+}
+
+// ---- serialization ----------------------------------------------------------
+
+std::string serialize(const FuzzProgram& program) {
+  std::ostringstream os;
+  os << "safedm-fuzz/v1\n";
+  os << "gen_seed " << program.gen_seed << "\n";
+  os << "data_seed " << program.data_seed << "\n";
+  os << "data_words " << program.data_words << "\n";
+  const auto emit = [&os](char tag, const FuzzOp& op) {
+    os << tag << ' ' << op_kind_name(op.kind) << ' ' << int(op.rd) << ' ' << int(op.rs1) << ' '
+       << int(op.rs2) << ' ' << op.imm << ' ' << int(op.aux) << "\n";
+  };
+  for (const FuzzBlock& b : program.blocks) {
+    os << "block " << int(b.loop_iters) << ' ' << int(b.cond_skip) << ' ' << int(b.skip_test)
+       << "\n";
+    for (const FuzzOp& op : b.straight) emit('s', op);
+    for (const FuzzOp& op : b.body) emit('b', op);
+    for (const FuzzOp& op : b.skip) emit('k', op);
+  }
+  return os.str();
+}
+
+FuzzProgram deserialize(const std::string& text) {
+  std::istringstream is(text);
+  std::string line;
+  SAFEDM_CHECK_MSG(std::getline(is, line) && line == "safedm-fuzz/v1",
+                   "fuzz corpus: bad or missing header");
+  FuzzProgram p;
+  p.data_words = 512;
+  bool in_block = false;
+  while (std::getline(is, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    std::string tag;
+    ls >> tag;
+    if (tag == "gen_seed") {
+      SAFEDM_CHECK_MSG(static_cast<bool>(ls >> p.gen_seed), "fuzz corpus: bad gen_seed");
+    } else if (tag == "data_seed") {
+      SAFEDM_CHECK_MSG(static_cast<bool>(ls >> p.data_seed), "fuzz corpus: bad data_seed");
+    } else if (tag == "data_words") {
+      SAFEDM_CHECK_MSG(static_cast<bool>(ls >> p.data_words), "fuzz corpus: bad data_words");
+    } else if (tag == "block") {
+      unsigned iters = 0, cond = 0, test = 0;
+      SAFEDM_CHECK_MSG(static_cast<bool>(ls >> iters >> cond >> test),
+                       "fuzz corpus: bad block line");
+      FuzzBlock b;
+      b.loop_iters = static_cast<u8>(iters);
+      b.cond_skip = cond != 0;
+      b.skip_test = static_cast<u8>(test);
+      p.blocks.push_back(std::move(b));
+      in_block = true;
+    } else if (tag == "s" || tag == "b" || tag == "k") {
+      SAFEDM_CHECK_MSG(in_block, "fuzz corpus: op line before first block");
+      std::string kind;
+      int rd = 0, rs1 = 0, rs2 = 0, aux = 0;
+      i64 imm = 0;
+      SAFEDM_CHECK_MSG(static_cast<bool>(ls >> kind >> rd >> rs1 >> rs2 >> imm >> aux),
+                       "fuzz corpus: bad op line: " + line);
+      FuzzOp op;
+      op.kind = op_kind_from_name(kind);
+      op.rd = static_cast<u8>(rd);
+      op.rs1 = static_cast<u8>(rs1);
+      op.rs2 = static_cast<u8>(rs2);
+      op.imm = static_cast<i32>(imm);
+      op.aux = static_cast<u8>(aux);
+      FuzzBlock& b = p.blocks.back();
+      (tag == "s" ? b.straight : tag == "b" ? b.body : b.skip).push_back(op);
+    } else {
+      SAFEDM_CHECK_MSG(false, "fuzz corpus: unknown line tag: " + tag);
+    }
+  }
+  return p;
+}
+
+void save_program(const std::string& path, const FuzzProgram& program) {
+  std::ofstream os(path);
+  SAFEDM_CHECK_MSG(static_cast<bool>(os), "cannot open for writing: " + path);
+  os << serialize(program);
+  SAFEDM_CHECK_MSG(static_cast<bool>(os), "write failed: " + path);
+}
+
+FuzzProgram load_program(const std::string& path) {
+  std::ifstream is(path);
+  SAFEDM_CHECK_MSG(static_cast<bool>(is), "cannot open fuzz corpus file: " + path);
+  std::ostringstream buf;
+  buf << is.rdbuf();
+  return deserialize(buf.str());
+}
+
+// ---- word-level fuzzing -----------------------------------------------------
+
+u32 InstWordFuzzer::biased_word() {
+  const auto table = isa::inst_table();
+  const isa::InstInfo& ii = table[rng_.below(table.size())];
+  return ii.match | (static_cast<u32>(rng_.next()) & ~ii.mask);
+}
+
+}  // namespace safedm::fuzz

@@ -1,0 +1,110 @@
+// Coverage-guided differential fuzzing campaign.
+//
+// Rounds of inputs (fresh generations or mutations of corpus seeds) are
+// fanned across the ThreadPool with the determinism discipline of the
+// fault-injection engine (DESIGN.md §7): every per-input decision —
+// generate vs mutate, corpus picks, mutation draws, the snapshot cycle —
+// is derived *serially* from input_seed(seed, round, index) before the
+// parallel phase, results are merged back in index order, and the thread
+// count is never part of the report. BENCH_fuzz.json is therefore
+// byte-identical for any --threads.
+//
+// Corpus policy: an input is kept as a seed exactly when its run lights a
+// coverage feature that the cumulative map had dark, so features_hit()
+// after each round is monotonically non-decreasing (asserted by the fuzz
+// smoke gate). Failing inputs are shrunk and recorded as repros.
+#pragma once
+
+#include <iosfwd>
+
+#include "safedm/fuzz/coverage.hpp"
+#include "safedm/fuzz/generator.hpp"
+#include "safedm/fuzz/oracle.hpp"
+#include "safedm/fuzz/shrink.hpp"
+
+namespace safedm::fuzz {
+
+struct CorpusEntry {
+  std::string name;  // file stem: <name>.fuzz (+ <name>.s for repros)
+  FuzzProgram program;
+};
+
+struct Corpus {
+  std::vector<CorpusEntry> entries;
+
+  std::size_t size() const { return entries.size(); }
+  void add(std::string name, FuzzProgram program);
+  /// Load every *.fuzz under `dir` in sorted filename order (so corpus
+  /// iteration order — and with it campaign determinism — is stable).
+  void load_dir(const std::string& dir);
+  /// Write each entry as <dir>/<name>.fuzz plus a human-readable <name>.s.
+  void save_dir(const std::string& dir) const;
+};
+
+struct CampaignConfig {
+  u64 seed = 1;
+  unsigned rounds = 4;
+  unsigned inputs_per_round = 32;
+  unsigned threads = 1;            // execution resource only; never in the report
+  double mutate_chance = 0.5;      // mutate a corpus seed vs generate fresh
+  double snapshot_chance = 0.25;   // inputs that get the snapshot oracle layer
+  GeneratorConfig generator{};
+  OracleConfig oracle{};           // per-input snapshot_cycle is overridden
+  bool shrink_failures = true;
+  unsigned shrink_max_oracle_runs = 600;
+};
+
+/// Seed for round `round`, input `index`: position-derived, never drawn
+/// from a shared RNG, so schedules don't depend on worker interleaving.
+u64 input_seed(u64 seed, unsigned round, unsigned index);
+
+struct FailureRecord {
+  unsigned round = 0;
+  unsigned index = 0;
+  u64 seed = 0;                    // input_seed that produced the program
+  OracleVerdict verdict = OracleVerdict::kPass;
+  std::string detail;
+  FuzzProgram repro;               // minimized when shrinking is enabled
+  std::size_t original_ops = 0;
+  std::size_t minimized_ops = 0;
+  unsigned shrink_oracle_runs = 0;
+};
+
+struct RoundStats {
+  unsigned inputs = 0;
+  unsigned kept = 0;               // inputs that entered the corpus
+  unsigned new_features = 0;
+  unsigned failures = 0;
+  std::size_t corpus_size = 0;     // after the round
+  std::size_t features_hit = 0;    // cumulative, after the round
+  u64 total_hits = 0;              // cumulative, after the round
+};
+
+struct CampaignReport {
+  u64 seed = 0;
+  unsigned rounds = 0;
+  unsigned inputs_per_round = 0;
+  std::size_t initial_corpus = 0;
+  std::vector<RoundStats> round_stats;
+  CoverageMap coverage;            // cumulative over the whole campaign
+  std::vector<FailureRecord> failures;
+  std::size_t final_corpus = 0;
+};
+
+/// Run the campaign, growing `corpus` in place.
+CampaignReport run_campaign(Corpus& corpus, const CampaignConfig& config);
+
+/// BENCH_fuzz.json (schema safedm.bench.fuzz/v1). Deterministic: a pure
+/// function of the report, which never records the thread count.
+void write_report_json(const CampaignReport& report, std::ostream& os);
+std::string report_to_json(const CampaignReport& report);
+
+/// Re-run the oracle stack over every corpus entry (the CI corpus gate).
+struct ReplayOutcome {
+  std::string name;
+  OracleVerdict verdict = OracleVerdict::kPass;
+  std::string detail;
+};
+std::vector<ReplayOutcome> replay_corpus(const Corpus& corpus, const OracleConfig& config);
+
+}  // namespace safedm::fuzz

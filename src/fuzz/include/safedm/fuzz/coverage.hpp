@@ -1,0 +1,82 @@
+// Coverage map for the differential fuzzer.
+//
+// A fixed, enumerable feature space — decoded mnemonics, encoding formats,
+// pipeline events, SafeDM verdict transitions — backed by a flat counter
+// array so maps merge deterministically and "did this input light a counter
+// that was dark" is a single pass. The campaign keeps an input as a corpus
+// seed exactly when merge_count_new() reports a fresh feature, which makes
+// the cumulative features_hit() trajectory monotonically non-decreasing by
+// construction (asserted by the fuzz smoke gate).
+#pragma once
+
+#include <array>
+#include <cstddef>
+
+#include "safedm/isa/inst.hpp"
+
+namespace safedm::fuzz {
+
+/// Pipeline / monitor events observable from one differential run.
+enum class Event : u8 {
+  kMispredict,       // branch predictor flush
+  kL1dMissStall,
+  kL1iMissStall,
+  kSbFullStall,
+  kRawHazardStall,
+  kExBusyStall,
+  kSbCoalesce,       // store merged into an existing store-buffer entry
+  kSbDrain,          // store-buffer entry drained to the bus
+  kDualIssue,        // a group retired two instructions
+  kStagger,          // instruction diff nonzero while monitored
+  kNodiv,            // SafeDM flagged a no-diversity cycle
+  kInterrupt,        // SafeDM interrupt line rose
+  kSnapshotTaken,    // the snapshot/restore oracle layer engaged
+  kIllegalHalt,      // run ended in HaltReason::kIllegalInst
+};
+inline constexpr std::size_t kEventCount = 14;
+const char* event_name(Event e);
+
+/// Flat counter map over the feature space. Counters saturate at u64 max.
+class CoverageMap {
+ public:
+  static constexpr std::size_t kFormatCount = 11;        // Format::kR..kJ
+  static constexpr std::size_t kVerdictStates = 4;       // (ds_match<<1)|is_match
+  static constexpr std::size_t kVerdictEdgeCount = kVerdictStates * kVerdictStates;
+  static constexpr std::size_t kFeatureCount =
+      isa::kMnemonicCount + kFormatCount + kEventCount + kVerdictEdgeCount;
+
+  void note_mnemonic(isa::Mnemonic m, u64 n = 1);
+  void note_format(isa::Format f, u64 n = 1);
+  void note_event(Event e, u64 n = 1);
+  /// `from`/`to` are 2-bit verdict states: (ds_match << 1) | is_match.
+  void note_verdict_edge(unsigned from, unsigned to, u64 n = 1);
+
+  u64 count(std::size_t feature) const { return counts_[feature]; }
+  const std::array<u64, kFeatureCount>& counters() const { return counts_; }
+
+  /// Features with a nonzero counter.
+  std::size_t features_hit() const;
+  /// Sum of all counters (saturating).
+  u64 total_hits() const;
+
+  /// Accumulate `run` into this map; returns how many features were zero
+  /// here and nonzero in `run` (the "new coverage" signal).
+  std::size_t merge_count_new(const CoverageMap& run);
+
+  struct Breakdown {
+    std::size_t opcodes = 0;
+    std::size_t formats = 0;
+    std::size_t events = 0;
+    std::size_t verdict_edges = 0;
+  };
+  Breakdown hit_breakdown() const;
+
+  bool operator==(const CoverageMap&) const = default;
+
+ private:
+  void bump(std::size_t feature, u64 n);
+
+  std::array<u64, kFeatureCount> counts_{};
+};
+
+}  // namespace safedm::fuzz

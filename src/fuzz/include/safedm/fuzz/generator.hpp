@@ -1,0 +1,185 @@
+// Shared structured RV64IMD program generator for the differential fuzzer
+// and the property suites (the single program-generation code path; the old
+// per-test generators were folded into this one).
+//
+// Programs are held as a small IR — blocks of straight-line ops plus a
+// bounded counted loop with an optional data-dependent (but convergent)
+// skip — rather than raw instruction words, so mutation operators (block
+// splice, immediate/register perturbation, insert/delete) and the shrinker
+// always produce well-formed programs: every operand is sanitized when the
+// IR is lowered to an assembler::Program (pool-wrapped registers, aligned
+// in-segment memory offsets, 12-bit immediates, loop bounds 0..9).
+//
+// Conventions match the SoC loader and the historical property generator:
+// S0 holds the data base (copied from a0), S6 is the loop counter, T6 the
+// skip scratch; generated ops never touch them, so control flow cannot
+// diverge between the ISS and the pipeline. The IR serializes to a
+// line-oriented text format (the corpus/repro on-disk format).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "safedm/assembler/assembler.hpp"
+#include "safedm/common/rng.hpp"
+
+namespace safedm::fuzz {
+
+#define SAFEDM_FUZZ_OP_KINDS(X)                                                       \
+  X(kAdd, "add") X(kSub, "sub") X(kXor, "xor") X(kOr, "or") X(kAnd, "and")            \
+  X(kSll, "sll") X(kSrl, "srl") X(kSra, "sra") X(kSlt, "slt") X(kSltu, "sltu")        \
+  X(kMul, "mul") X(kMulh, "mulh") X(kMulw, "mulw") X(kDiv, "div") X(kDivu, "divu")    \
+  X(kRem, "rem") X(kAddw, "addw") X(kSubw, "subw") X(kAddi, "addi")                   \
+  X(kSltiu, "sltiu") X(kSlli, "slli") X(kSrai, "srai") X(kLoad, "load")               \
+  X(kStore, "store") X(kFld, "fld") X(kFsd, "fsd") X(kFadd, "fadd")                   \
+  X(kFmul, "fmul") X(kFdiv, "fdiv") X(kFmvDX, "fmvdx") X(kFmvXD, "fmvxd")
+
+enum class OpKind : u8 {
+#define SAFEDM_FUZZ_ENUM(name, str) name,
+  SAFEDM_FUZZ_OP_KINDS(SAFEDM_FUZZ_ENUM)
+#undef SAFEDM_FUZZ_ENUM
+};
+inline constexpr std::size_t kOpKindCount = 31;
+inline constexpr std::size_t kIntOpKindCount = 24;  // kAdd..kStore precede FP kinds
+
+const char* op_kind_name(OpKind kind);
+/// Inverse of op_kind_name; throws CheckError on an unknown name.
+OpKind op_kind_from_name(const std::string& name);
+
+/// Integer registers the generator may clobber (never x0/sp/a0/S0/S6/T6).
+inline constexpr assembler::Reg kIntPool[] = {
+    assembler::T0, assembler::T1, assembler::T2, assembler::S1, assembler::S2,
+    assembler::S3, assembler::S4, assembler::S5, assembler::A1, assembler::A2,
+    assembler::A3, assembler::T3, assembler::T4, assembler::T5};
+inline constexpr unsigned kIntPoolSize = 14;
+
+/// FP registers the generator may clobber.
+inline constexpr assembler::Reg kFpPool[] = {assembler::FT0, assembler::FT1, assembler::FT2,
+                                             assembler::FT3, assembler::FT4, assembler::FT5,
+                                             assembler::FS0, assembler::FS1};
+inline constexpr unsigned kFpPoolSize = 8;
+
+/// One generated operation. Register fields are *pool indices* (wrapped
+/// modulo the pool size at lowering time), `imm` is sanitized per kind, and
+/// `aux` selects the load/store width (log2 bytes, wrapped to 0..3).
+struct FuzzOp {
+  OpKind kind = OpKind::kAdd;
+  u8 rd = 0;
+  u8 rs1 = 0;
+  u8 rs2 = 0;
+  i32 imm = 0;
+  u8 aux = 0;
+
+  bool operator==(const FuzzOp&) const = default;
+};
+
+/// A straight-line run of ops, then (when loop_iters > 0) a bounded counted
+/// loop over `body` with an optional data-dependent skip around `skip`.
+struct FuzzBlock {
+  std::vector<FuzzOp> straight;
+  u8 loop_iters = 0;  // 0 = no loop; wrapped to 0..9 at lowering time
+  std::vector<FuzzOp> body;
+  bool cond_skip = false;
+  u8 skip_test = 0;  // int-pool index whose low bit gates the skip
+  std::vector<FuzzOp> skip;
+
+  bool operator==(const FuzzBlock&) const = default;
+};
+
+struct FuzzProgram {
+  u64 gen_seed = 0;    // seed that produced (or identifies) this input
+  u64 data_seed = 1;   // derives the data blob and the pool-register constants
+  u32 data_words = 512;  // data blob size in u64 words (>= 256 for offsets)
+  std::vector<FuzzBlock> blocks;
+
+  std::size_t op_count() const;
+  bool operator==(const FuzzProgram&) const = default;
+};
+
+struct GeneratorConfig {
+  unsigned min_blocks = 3;
+  unsigned max_blocks = 7;
+  unsigned max_straight = 13;  // straight ops per block: 2..max
+  unsigned max_loop_iters = 9;
+  unsigned max_body = 6;
+  double skip_chance = 0.5;
+  bool fp_ops = true;          // include RV64D ops in the mix
+  double fp_chance = 0.15;
+};
+
+/// Structural caps enforced by mutation (generation stays well below them).
+inline constexpr unsigned kMaxBlocks = 12;
+inline constexpr unsigned kMaxOpsPerList = 48;
+
+/// A single random op drawn from the configured mix.
+FuzzOp random_op(Xoshiro256& rng, const GeneratorConfig& config);
+
+/// Lower the IR to a loadable program image. Deterministic: depends only on
+/// the IR contents (including data_seed), never on generator state.
+assembler::Program materialize(const FuzzProgram& program);
+
+/// Seed-deterministic program generator: `ProgramFuzzer(seed).next()` is a
+/// pure function of the seed and config.
+class ProgramFuzzer {
+ public:
+  explicit ProgramFuzzer(u64 seed, GeneratorConfig config = {})
+      : rng_(seed), seed_(seed), config_(config) {}
+
+  /// Generate the next random program IR.
+  FuzzProgram next();
+
+  /// Convenience: generate and lower in one step.
+  assembler::Program generate() { return materialize(next()); }
+
+  const GeneratorConfig& config() const { return config_; }
+
+ private:
+  Xoshiro256 rng_;
+  u64 seed_;
+  u64 drawn_ = 0;
+  GeneratorConfig config_;
+};
+
+/// Mutation operators. All keep the IR within the structural caps and never
+/// produce an ill-formed program (operands are sanitized at lowering).
+enum class Mutation : u8 { kSplice, kPerturbImm, kPerturbReg, kInsert, kDelete };
+
+/// Apply 1..3 random mutation operators to `program`. `donor` (may be null)
+/// supplies blocks for the splice operator.
+void mutate(FuzzProgram& program, const FuzzProgram* donor, Xoshiro256& rng,
+            const GeneratorConfig& config);
+
+/// Render the lowered program as annotated assembly (repro `.s` dumps).
+std::string to_assembly(const FuzzProgram& program);
+
+// ---- corpus/repro on-disk format -------------------------------------------
+
+/// Line-oriented text serialization (header + one op per line).
+std::string serialize(const FuzzProgram& program);
+/// Inverse of serialize; throws CheckError on malformed input.
+FuzzProgram deserialize(const std::string& text);
+
+void save_program(const std::string& path, const FuzzProgram& program);
+FuzzProgram load_program(const std::string& path);
+
+// ---- instruction-word fuzzing (decoder robustness) --------------------------
+
+/// Word-level fuzzer shared by the decoder/disassembler robustness tests:
+/// uniform raw words plus "biased" words that satisfy a random table
+/// entry's match/mask with random free bits (valid-by-construction inputs
+/// that still exercise every immediate/operand extraction path).
+class InstWordFuzzer {
+ public:
+  explicit InstWordFuzzer(u64 seed) : rng_(seed) {}
+
+  /// Uniformly random 32-bit word.
+  u32 raw_word() { return static_cast<u32>(rng_.next()); }
+
+  /// A word matching a random instruction-table entry, free bits random.
+  u32 biased_word();
+
+ private:
+  Xoshiro256 rng_;
+};
+
+}  // namespace safedm::fuzz

@@ -1,0 +1,74 @@
+// Differential oracle stack for one fuzz input (DESIGN.md §5b layers):
+//
+//   1. Architectural: the pipelined SoC run must end in the same halt
+//      reason, retired-instruction count, register file and data segment
+//      as the ISS golden model.
+//   2. Verdict: the incremental DiversityComparator must agree with the
+//      exhaustive whole-signature comparison on every monitored cycle
+//      (both SafeDM instances observe the same pair).
+//   3. Snapshot: a mid-run snapshot (SoC + both monitors), restored into a
+//      fresh rig and run to completion, must be forward-bit-identical to
+//      the uninterrupted run.
+//
+// Every run also fills a CoverageMap (decoded opcodes/formats from the ISS
+// side, pipeline events from the core/store-buffer stats, verdict
+// transitions from the monitor) — the campaign's corpus-keeping signal.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "safedm/core/tap.hpp"
+#include "safedm/fuzz/coverage.hpp"
+#include "safedm/fuzz/generator.hpp"
+#include "safedm/isa/iss.hpp"
+#include "safedm/safedm/config.hpp"
+#include "safedm/soc/soc.hpp"
+
+namespace safedm::fuzz {
+
+enum class OracleVerdict : u8 {
+  kPass,
+  kArchMismatch,      // pipeline disagrees with the ISS golden model
+  kDataMismatch,      // final data segments differ
+  kVerdictMismatch,   // incremental comparator disagrees with exhaustive
+  kSnapshotMismatch,  // restored run diverged from the uninterrupted one
+  kTimeout,           // an executor exhausted its budget without halting
+};
+const char* verdict_name(OracleVerdict v);
+
+struct OracleConfig {
+  soc::SocConfig soc{};
+  monitor::SafeDmConfig dm{};    // start_enabled is forced on internally
+  u64 max_cycles = 2'000'000;
+  u64 max_instructions = 3'000'000;
+  /// Cycle at which the snapshot/restore/re-execute layer engages
+  /// (0 = layer off; no effect when the run halts earlier).
+  u64 snapshot_cycle = 0;
+
+  /// Test-only fault hook for exercising the shrinker and the red/green
+  /// corpus gate: when it returns true for a cycle's tap frames, the
+  /// incremental comparator's DS verdict is reported flipped, emulating a
+  /// comparator implementation bug. Never set outside tests.
+  std::function<bool(const core::CoreTapFrame&, const core::CoreTapFrame&)> verdict_bug;
+};
+
+struct OracleResult {
+  OracleVerdict verdict = OracleVerdict::kPass;
+  std::string detail;          // human-readable mismatch description
+  CoverageMap coverage;
+  u64 cycles = 0;              // SoC cycles of the main run
+  u64 instret = 0;             // ISS retired instructions
+  isa::ArchState iss_state;
+  isa::ArchState pipe_state;   // core 0 of the redundant pair
+
+  bool ok() const { return verdict == OracleVerdict::kPass; }
+};
+
+/// Run the full oracle stack on a lowered program image.
+OracleResult run_differential(const assembler::Program& image, const OracleConfig& config = {});
+
+/// Convenience: lower the IR and run it.
+OracleResult run_differential(const FuzzProgram& program, const OracleConfig& config = {});
+
+}  // namespace safedm::fuzz

@@ -1,0 +1,34 @@
+// Automatic repro minimization: delta-debugging over the fuzz IR.
+//
+// Given a program whose oracle run fails, the shrinker repeatedly applies
+// simplification passes — drop whole blocks (chunked, ddmin-style), zero
+// loop iteration counts, drop conditional-skip arms, delete ops (chunked
+// then singly), zero immediates — keeping a candidate only when the oracle
+// still fails with the *same verdict category*. Because candidates are IR
+// (operands sanitized at lowering), every attempt is a well-formed halting
+// program; the result is the smallest program the pass pipeline reaches,
+// typically a handful of instructions.
+#pragma once
+
+#include "safedm/fuzz/generator.hpp"
+#include "safedm/fuzz/oracle.hpp"
+
+namespace safedm::fuzz {
+
+struct ShrinkConfig {
+  OracleConfig oracle{};        // must include the failure's trigger (e.g. the bug hook)
+  unsigned max_oracle_runs = 600;
+};
+
+struct ShrinkResult {
+  FuzzProgram program;          // minimized (or the input, if nothing failed)
+  OracleVerdict verdict = OracleVerdict::kPass;  // preserved failure category
+  std::string detail;           // oracle detail of the minimized repro
+  std::size_t op_count = 0;     // generated ops in the minimized program
+  unsigned oracle_runs = 0;     // oracle invocations spent
+  bool reproduced = false;      // false: the input passed, nothing to shrink
+};
+
+ShrinkResult shrink(const FuzzProgram& program, const ShrinkConfig& config);
+
+}  // namespace safedm::fuzz

@@ -1,0 +1,273 @@
+#include "safedm/fuzz/oracle.hpp"
+
+#include <sstream>
+
+#include "safedm/common/state.hpp"
+#include "safedm/isa/decode.hpp"
+#include "safedm/mem/phys_mem.hpp"
+#include "safedm/safedm/monitor.hpp"
+
+namespace safedm::fuzz {
+
+namespace {
+
+/// Mirror of the SoC loader's stack placement so ISS and pipeline see the
+/// same initial sp (soc.cpp load_pair_images).
+u64 stack_top_for(const assembler::Program& image, u64 data_base) {
+  return align_down(data_base + align_up(image.data_segment_bytes(), 16) + image.stack_bytes, 16);
+}
+
+struct IssRun {
+  isa::ArchState state;
+  std::vector<u8> data;
+  bool timed_out = false;
+};
+
+IssRun run_iss(const assembler::Program& image, const OracleConfig& cfg, CoverageMap& cov) {
+  mem::PhysMem mem(cfg.soc.mem_base, cfg.soc.mem_size);
+  for (std::size_t i = 0; i < image.text.size(); ++i)
+    mem.store(cfg.soc.text_base + i * 4, image.text[i], 4);
+  mem.write_block(cfg.soc.data_base0, image.data);
+
+  isa::Iss iss(mem, cfg.soc.text_base);
+  iss.state().set_x(assembler::A0, cfg.soc.data_base0);
+  iss.state().set_x(assembler::SP, stack_top_for(image, cfg.soc.data_base0));
+
+  while (!iss.state().halted() && iss.state().instret < cfg.max_instructions) {
+    const auto raw = static_cast<u32>(mem.load(iss.state().pc, 4));
+    const isa::DecodedInst di = isa::decode(raw);
+    if (di.valid()) {
+      cov.note_mnemonic(di.mnemonic);
+      cov.note_format(di.info().format);
+    }
+    iss.step();
+  }
+
+  IssRun out;
+  out.state = iss.state();
+  out.timed_out = !iss.state().halted();
+  out.data.resize(image.data_segment_bytes());
+  mem.read_block(cfg.soc.data_base0, out.data);
+  return out;
+}
+
+/// SoC + two SafeDM instances (incremental and exhaustive-compare) over
+/// pair 0, freshly constructed and loaded. Noncopyable members force the
+/// heap-free aggregate to be constructed in place.
+struct Rig {
+  soc::MpSoc soc;
+  monitor::SafeDm inc;
+  monitor::SafeDm exh;
+
+  Rig(const OracleConfig& cfg, const assembler::Program& image)
+      : soc(cfg.soc), inc(inc_config(cfg)), exh(exh_config(cfg)) {
+    soc.add_observer(&inc);
+    soc.add_observer(&exh);
+    soc.load_redundant(image);
+  }
+
+  static monitor::SafeDmConfig inc_config(const OracleConfig& cfg) {
+    monitor::SafeDmConfig c = cfg.dm;
+    c.start_enabled = true;
+    c.incremental_compare = true;
+    return c;
+  }
+  static monitor::SafeDmConfig exh_config(const OracleConfig& cfg) {
+    monitor::SafeDmConfig c = inc_config(cfg);
+    c.incremental_compare = false;
+    return c;
+  }
+
+  /// Everything the forward-equivalence check must cover, as one stream.
+  std::vector<u8> fingerprint() const {
+    StateWriter w;
+    soc.save_state(w);
+    inc.save_state(w);
+    exh.save_state(w);
+    return std::move(w).take();
+  }
+};
+
+std::string describe_arch_mismatch(const isa::ArchState& iss, const isa::ArchState& pipe,
+                                   u64 expected_commits, u64 pipe_commits) {
+  std::ostringstream os;
+  if (iss.halt != pipe.halt)
+    os << "halt reason: iss=" << static_cast<int>(iss.halt)
+       << " pipe=" << static_cast<int>(pipe.halt);
+  else if (iss.instret != pipe.instret)
+    os << "instret: iss=" << iss.instret << " pipe=" << pipe.instret;
+  else if (expected_commits != pipe_commits)
+    os << "commit count: expected=" << expected_commits << " pipe commits=" << pipe_commits;
+  else {
+    for (unsigned r = 0; r < 32; ++r) {
+      if (iss.x[r] != pipe.x[r]) {
+        os << "x" << r << ": iss=0x" << std::hex << iss.x[r] << " pipe=0x" << pipe.x[r];
+        return os.str();
+      }
+    }
+    for (unsigned r = 0; r < 32; ++r) {
+      if (iss.f[r] != pipe.f[r]) {
+        os << "f" << r << ": iss=0x" << std::hex << iss.f[r] << " pipe=0x" << pipe.f[r];
+        return os.str();
+      }
+    }
+    os << "pc: iss=0x" << std::hex << iss.pc << " pipe=0x" << pipe.pc;
+  }
+  return os.str();
+}
+
+}  // namespace
+
+const char* verdict_name(OracleVerdict v) {
+  switch (v) {
+    case OracleVerdict::kPass: return "pass";
+    case OracleVerdict::kArchMismatch: return "arch_mismatch";
+    case OracleVerdict::kDataMismatch: return "data_mismatch";
+    case OracleVerdict::kVerdictMismatch: return "verdict_mismatch";
+    case OracleVerdict::kSnapshotMismatch: return "snapshot_mismatch";
+    case OracleVerdict::kTimeout: return "timeout";
+  }
+  return "?";
+}
+
+OracleResult run_differential(const assembler::Program& image, const OracleConfig& cfg) {
+  OracleResult res;
+
+  // ---- layer 1 reference: the ISS golden model -----------------------------
+  const IssRun iss = run_iss(image, cfg, res.coverage);
+  res.iss_state = iss.state;
+  res.instret = iss.state.instret;
+
+  // ---- main SoC run with per-cycle verdict cross-check ---------------------
+  Rig rig(cfg, image);
+  std::vector<u8> snapshot_bytes;
+  u64 snapshot_at = 0;
+  unsigned verdict_state = 0;  // (ds_match << 1) | is_match, exhaustive view
+
+  while (!rig.soc.all_halted() && rig.soc.cycle() < cfg.max_cycles) {
+    rig.soc.step();
+
+    bool inc_ds = rig.inc.ds_matched_now();
+    const bool inc_is = rig.inc.is_matched_now();
+    if (cfg.verdict_bug && cfg.verdict_bug(rig.soc.frame(0), rig.soc.frame(1))) inc_ds = !inc_ds;
+    const bool inc_lack = inc_ds && inc_is;
+
+    const bool exh_ds = rig.exh.ds_matched_now();
+    const bool exh_is = rig.exh.is_matched_now();
+    const bool exh_lack = rig.exh.lacking_diversity_now();
+    if (res.verdict == OracleVerdict::kPass &&
+        (inc_ds != exh_ds || inc_is != exh_is || inc_lack != exh_lack)) {
+      res.verdict = OracleVerdict::kVerdictMismatch;
+      std::ostringstream os;
+      os << "cycle " << rig.soc.cycle() << ": incremental ds/is/lack=" << inc_ds << inc_is
+         << inc_lack << " exhaustive=" << exh_ds << exh_is << exh_lack;
+      res.detail = os.str();
+      // keep running: coverage and final state are still wanted
+    }
+
+    const unsigned next_state = (static_cast<unsigned>(exh_ds) << 1) | exh_is;
+    res.coverage.note_verdict_edge(verdict_state, next_state);
+    verdict_state = next_state;
+
+    if (cfg.snapshot_cycle != 0 && rig.soc.cycle() == cfg.snapshot_cycle) {
+      snapshot_bytes = rig.fingerprint();
+      snapshot_at = rig.soc.cycle();
+      res.coverage.note_event(Event::kSnapshotTaken);
+    }
+  }
+  res.cycles = rig.soc.cycle();
+  res.pipe_state = rig.soc.core(0).arch();
+
+  // ---- coverage events from the run's stats --------------------------------
+  for (unsigned i = 0; i < 2; ++i) {
+    const core::CoreStats& s = rig.soc.core(i).stats();
+    res.coverage.note_event(Event::kMispredict, s.mispredicts);
+    res.coverage.note_event(Event::kL1dMissStall, s.l1d_miss_stall_cycles);
+    res.coverage.note_event(Event::kL1iMissStall, s.l1i_miss_stall_cycles);
+    res.coverage.note_event(Event::kSbFullStall, s.sb_full_stall_cycles);
+    res.coverage.note_event(Event::kRawHazardStall, s.raw_hazard_stall_cycles);
+    res.coverage.note_event(Event::kExBusyStall, s.ex_busy_stall_cycles);
+    res.coverage.note_event(Event::kDualIssue, s.dual_issue_commits);
+    const mem::StoreBufferStats& sb = rig.soc.core(i).sb_stats();
+    res.coverage.note_event(Event::kSbCoalesce, sb.coalesced);
+    res.coverage.note_event(Event::kSbDrain, sb.drained);
+  }
+  const monitor::SafeDmCounters& mc = rig.exh.counters();
+  res.coverage.note_event(Event::kNodiv, mc.nodiv_cycles);
+  res.coverage.note_event(Event::kInterrupt, mc.interrupts);
+  res.coverage.note_event(Event::kStagger, mc.monitored_cycles - mc.zero_stag_cycles);
+  if (res.pipe_state.halt == isa::HaltReason::kIllegalInst)
+    res.coverage.note_event(Event::kIllegalHalt);
+
+  if (res.verdict != OracleVerdict::kPass) return res;
+
+  // ---- layer 1: architectural equivalence ----------------------------------
+  if (iss.timed_out || !rig.soc.all_halted()) {
+    res.verdict = OracleVerdict::kTimeout;
+    std::ostringstream os;
+    os << "iss halted=" << !iss.timed_out << " (instret " << iss.state.instret << "), soc halted="
+       << rig.soc.all_halted() << " (cycle " << rig.soc.cycle() << ")";
+    res.detail = os.str();
+    return res;
+  }
+  // The pipeline counts the faulting word at WB (it must reach writeback to
+  // raise the halt), while the ISS only counts architecturally retired
+  // instructions — so an illegal-instruction halt carries one extra commit.
+  const u64 commits = rig.soc.core(0).stats().committed;
+  const u64 expected_commits =
+      iss.state.instret + (iss.state.halt == isa::HaltReason::kIllegalInst ? 1 : 0);
+  if (iss.state.halt != res.pipe_state.halt || iss.state.instret != res.pipe_state.instret ||
+      expected_commits != commits || iss.state.x != res.pipe_state.x ||
+      iss.state.f != res.pipe_state.f) {
+    res.verdict = OracleVerdict::kArchMismatch;
+    res.detail = describe_arch_mismatch(iss.state, res.pipe_state, expected_commits, commits);
+    return res;
+  }
+
+  std::vector<u8> pipe_data(image.data_segment_bytes());
+  rig.soc.memory().read_block(rig.soc.data_base(0), pipe_data);
+  if (pipe_data != iss.data) {
+    res.verdict = OracleVerdict::kDataMismatch;
+    for (std::size_t i = 0; i < pipe_data.size(); ++i) {
+      if (pipe_data[i] != iss.data[i]) {
+        std::ostringstream os;
+        os << "data[+0x" << std::hex << i << "]: iss=0x" << int(iss.data[i]) << " pipe=0x"
+           << int(pipe_data[i]);
+        res.detail = os.str();
+        break;
+      }
+    }
+    return res;
+  }
+
+  // ---- layer 3: snapshot/restore/re-execute equivalence --------------------
+  if (!snapshot_bytes.empty()) {
+    const std::vector<u8> final_fp = rig.fingerprint();
+
+    Rig replay(cfg, image);
+    {
+      StateReader r(snapshot_bytes);
+      replay.soc.restore_state(r);
+      replay.inc.restore_state(r);
+      replay.exh.restore_state(r);
+    }
+    while (!replay.soc.all_halted() && replay.soc.cycle() < cfg.max_cycles) replay.soc.step();
+
+    if (replay.soc.cycle() != res.cycles || replay.fingerprint() != final_fp) {
+      res.verdict = OracleVerdict::kSnapshotMismatch;
+      std::ostringstream os;
+      os << "restored-at-cycle-" << snapshot_at << " run ended at cycle " << replay.soc.cycle()
+         << " vs " << res.cycles << (replay.soc.cycle() == res.cycles ? " (state differs)" : "");
+      res.detail = os.str();
+      return res;
+    }
+  }
+
+  return res;
+}
+
+OracleResult run_differential(const FuzzProgram& program, const OracleConfig& cfg) {
+  return run_differential(materialize(program), cfg);
+}
+
+}  // namespace safedm::fuzz

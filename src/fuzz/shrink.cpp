@@ -1,0 +1,173 @@
+#include "safedm/fuzz/shrink.hpp"
+
+#include <algorithm>
+
+namespace safedm::fuzz {
+
+namespace {
+
+class Shrinker {
+ public:
+  Shrinker(const FuzzProgram& program, const ShrinkConfig& config)
+      : current_(program), config_(config) {}
+
+  ShrinkResult run() {
+    ShrinkResult out;
+    const OracleResult first = oracle(current_);
+    out.oracle_runs = runs_;
+    if (first.ok()) {
+      out.program = current_;
+      out.op_count = current_.op_count();
+      return out;
+    }
+    target_ = first.verdict;
+    out.reproduced = true;
+
+    bool changed = true;
+    while (changed && runs_ < config_.max_oracle_runs) {
+      changed = false;
+      changed |= drop_blocks();
+      changed |= simplify_loops();
+      changed |= drop_skips();
+      changed |= drop_ops();
+      changed |= zero_imms();
+    }
+
+    const OracleResult last = oracle(current_);
+    out.program = current_;
+    out.verdict = target_;
+    out.detail = last.verdict == target_ ? last.detail : first.detail;
+    out.op_count = current_.op_count();
+    out.oracle_runs = runs_;
+    return out;
+  }
+
+ private:
+  OracleResult oracle(const FuzzProgram& p) {
+    ++runs_;
+    return run_differential(p, config_.oracle);
+  }
+
+  bool budget_left() const { return runs_ < config_.max_oracle_runs; }
+
+  /// Adopt `candidate` iff the failure category still reproduces.
+  bool try_adopt(const FuzzProgram& candidate) {
+    if (!budget_left()) return false;
+    if (oracle(candidate).verdict != target_) return false;
+    current_ = candidate;
+    return true;
+  }
+
+  /// ddmin-style chunked removal of whole blocks.
+  bool drop_blocks() {
+    bool any = false;
+    for (std::size_t chunk = std::max<std::size_t>(current_.blocks.size() / 2, 1); chunk >= 1;
+         chunk /= 2) {
+      for (std::size_t pos = 0; pos + 1 <= current_.blocks.size() && budget_left();) {
+        if (current_.blocks.size() <= 1) return any;  // keep one block alive
+        FuzzProgram cand = current_;
+        const std::size_t n = std::min(chunk, cand.blocks.size() - pos);
+        cand.blocks.erase(cand.blocks.begin() + static_cast<long>(pos),
+                          cand.blocks.begin() + static_cast<long>(pos + n));
+        if (!cand.blocks.empty() && try_adopt(cand))
+          any = true;  // same pos now names the next chunk
+        else
+          pos += chunk;
+      }
+      if (chunk == 1) break;
+    }
+    return any;
+  }
+
+  bool simplify_loops() {
+    bool any = false;
+    for (std::size_t b = 0; b < current_.blocks.size() && budget_left(); ++b) {
+      if (current_.blocks[b].loop_iters % 10 == 0) continue;
+      for (u8 iters : {u8{0}, u8{1}}) {
+        if (current_.blocks[b].loop_iters % 10 == iters) break;
+        FuzzProgram cand = current_;
+        cand.blocks[b].loop_iters = iters;
+        if (try_adopt(cand)) {
+          any = true;
+          break;
+        }
+      }
+    }
+    return any;
+  }
+
+  bool drop_skips() {
+    bool any = false;
+    for (std::size_t b = 0; b < current_.blocks.size() && budget_left(); ++b) {
+      if (!current_.blocks[b].cond_skip && current_.blocks[b].skip.empty()) continue;
+      FuzzProgram cand = current_;
+      cand.blocks[b].cond_skip = false;
+      cand.blocks[b].skip.clear();
+      if (try_adopt(cand)) any = true;
+    }
+    return any;
+  }
+
+  bool drop_ops() {
+    bool any = false;
+    // Lists addressed as (block, which): 0 = straight, 1 = body, 2 = skip.
+    for (std::size_t b = 0; b < current_.blocks.size(); ++b) {
+      for (int which = 0; which < 3; ++which) {
+        for (std::size_t chunk = std::max<std::size_t>(list(current_, b, which).size() / 2, 1);
+             chunk >= 1; chunk /= 2) {
+          for (std::size_t pos = 0; pos < list(current_, b, which).size() && budget_left();) {
+            FuzzProgram cand = current_;
+            auto& ops = list(cand, b, which);
+            const std::size_t n = std::min(chunk, ops.size() - pos);
+            ops.erase(ops.begin() + static_cast<long>(pos),
+                      ops.begin() + static_cast<long>(pos + n));
+            if (try_adopt(cand))
+              any = true;
+            else
+              pos += chunk;
+          }
+          if (chunk == 1) break;
+        }
+      }
+    }
+    return any;
+  }
+
+  bool zero_imms() {
+    bool any = false;
+    for (std::size_t b = 0; b < current_.blocks.size(); ++b) {
+      for (int which = 0; which < 3; ++which) {
+        auto& ops = list(current_, b, which);
+        for (std::size_t i = 0; i < ops.size() && budget_left(); ++i) {
+          if (ops[i].imm == 0) continue;
+          FuzzProgram cand = current_;
+          list(cand, b, which)[i].imm = 0;
+          if (try_adopt(cand)) any = true;
+        }
+      }
+    }
+    return any;
+  }
+
+  static std::vector<FuzzOp>& list(FuzzProgram& p, std::size_t block, int which) {
+    FuzzBlock& b = p.blocks[block];
+    return which == 0 ? b.straight : which == 1 ? b.body : b.skip;
+  }
+  static const std::vector<FuzzOp>& list(const FuzzProgram& p, std::size_t block, int which) {
+    const FuzzBlock& b = p.blocks[block];
+    return which == 0 ? b.straight : which == 1 ? b.body : b.skip;
+  }
+
+  FuzzProgram current_;
+  ShrinkConfig config_;
+  OracleVerdict target_ = OracleVerdict::kPass;
+  unsigned runs_ = 0;
+};
+
+}  // namespace
+
+ShrinkResult shrink(const FuzzProgram& program, const ShrinkConfig& config) {
+  return Shrinker(program, config).run();
+}
+
+}  // namespace safedm::fuzz

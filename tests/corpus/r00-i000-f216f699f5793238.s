@@ -1,0 +1,146 @@
+# safedm-fuzz repro  gen_seed=7791666200248012333 data_seed=8774867611407717446 ops=83 text_words=144
+# regenerate/replay: bench_fuzz_campaign --replay=<dir with the matching .fuzz>
+     0:  addi x8, x10, 0
+     4:  lui x5, 0xf
+     8:  addiw x5, x5, -712
+     c:  lui x6, 0x9
+    10:  addiw x6, x6, 697
+    14:  lui x7, 0x8
+    18:  addiw x7, x7, 378
+    1c:  lui x9, 0xd
+    20:  addiw x9, x9, -1125
+    24:  lui x18, 0x7
+    28:  addiw x18, x18, 284
+    2c:  lui x19, 0x6
+    30:  addiw x19, x19, -35
+    34:  addi x20, x0, 1374
+    38:  lui x21, 0xf
+    3c:  addiw x21, x21, 1055
+    40:  lui x11, 0xf
+    44:  addiw x11, x11, 1936
+    48:  lui x12, 0xe
+    4c:  addiw x12, x12, 1617
+    50:  lui x13, 0x9
+    54:  addiw x13, x13, -1070
+    58:  lui x28, 0x8
+    5c:  addiw x28, x28, -1389
+    60:  lui x29, 0x2
+    64:  addiw x29, x29, 20
+    68:  lui x30, 0x1
+    6c:  addiw x30, x30, -299
+    70:  srl x29, x28, x6
+    74:  srl x20, x5, x30
+    78:  lw x30, 996(x8)
+    7c:  divu x5, x18, x12
+    80:  mulw x6, x11, x30
+    84:  add x18, x13, x18
+    88:  lbu x19, 1640(x8)
+    8c:  subw x18, x12, x21
+    90:  subw x29, x13, x13
+    94:  slli x21, x20, 19
+    98:  sra x13, x11, x20
+    9c:  addi x22, x0, 5
+    a0:  beq x22, x0, 32
+    a4:  sw x18, 1336(x8)
+    a8:  fdiv.d f0, f5, f1
+    ac:  sltu x7, x19, x19
+    b0:  addi x29, x6, -268
+    b4:  add x18, x11, x11
+    b8:  addi x22, x22, -1
+    bc:  jal x0, -28
+    c0:  addw x5, x13, x5
+    c4:  xor x19, x30, x6
+    c8:  add x12, x12, x20
+    cc:  sub x30, x5, x18
+    d0:  fsd f5, 1376(x8)
+    d4:  fld f3, 1264(x8)
+    d8:  fmv.x.d x29, f4
+    dc:  fadd.d f2, f1, f2
+    e0:  fmv.x.d x12, f3
+    e4:  mul x18, x7, x28
+    e8:  ld x20, 1872(x8)
+    ec:  addw x11, x30, x13
+    f0:  addi x22, x0, 2
+    f4:  beq x22, x0, 32
+    f8:  mulw x6, x19, x9
+    fc:  sra x9, x28, x29
+   100:  sltiu x19, x5, 377
+   104:  mul x11, x29, x21
+   108:  divu x20, x6, x11
+   10c:  addi x22, x22, -1
+   110:  jal x0, -28
+   114:  addi x13, x12, -1867
+   118:  or x29, x6, x13
+   11c:  srl x28, x29, x7
+   120:  div x29, x7, x18
+   124:  fmv.d.x f1, x30
+   128:  srl x11, x11, x11
+   12c:  fsd f5, 672(x8)
+   130:  srai x19, x21, 31
+   134:  fmul.d f4, f9, f2
+   138:  addi x22, x0, 5
+   13c:  beq x22, x0, 20
+   140:  sw x20, 772(x8)
+   144:  sll x20, x29, x11
+   148:  addi x22, x22, -1
+   14c:  jal x0, -16
+   150:  subw x19, x28, x21
+   154:  subw x21, x7, x30
+   158:  addw x28, x9, x30
+   15c:  and x6, x30, x13
+   160:  fdiv.d f3, f9, f4
+   164:  lh x7, 138(x8)
+   168:  slli x11, x9, 30
+   16c:  addi x22, x0, 2
+   170:  beq x22, x0, 16
+   174:  mulh x21, x28, x9
+   178:  addi x22, x22, -1
+   17c:  jal x0, -12
+   180:  and x13, x6, x19
+   184:  fmv.x.d x28, f8
+   188:  addw x19, x29, x29
+   18c:  and x29, x21, x9
+   190:  and x6, x13, x5
+   194:  addi x22, x0, 3
+   198:  beq x22, x0, 48
+   19c:  srai x9, x6, 17
+   1a0:  srai x28, x12, 18
+   1a4:  mulh x12, x6, x9
+   1a8:  srai x20, x7, 20
+   1ac:  subw x21, x11, x21
+   1b0:  mulw x11, x7, x13
+   1b4:  andi x31, x29, 1
+   1b8:  beq x31, x0, 8
+   1bc:  sh x13, 498(x8)
+   1c0:  addi x22, x22, -1
+   1c4:  jal x0, -44
+   1c8:  divu x12, x12, x28
+   1cc:  sll x9, x7, x7
+   1d0:  mulw x30, x28, x5
+   1d4:  sb x7, 490(x8)
+   1d8:  fld f3, 216(x8)
+   1dc:  addi x22, x0, 5
+   1e0:  beq x22, x0, 28
+   1e4:  and x6, x6, x20
+   1e8:  andi x31, x5, 1
+   1ec:  beq x31, x0, 8
+   1f0:  mulh x9, x9, x21
+   1f4:  addi x22, x22, -1
+   1f8:  jal x0, -24
+   1fc:  fld f0, 896(x8)
+   200:  fmv.x.d x7, f5
+   204:  fld f0, 1912(x8)
+   208:  sra x11, x20, x13
+   20c:  subw x19, x11, x28
+   210:  div x28, x29, x18
+   214:  slt x5, x11, x30
+   218:  subw x29, x29, x30
+   21c:  mulw x11, x5, x21
+   220:  div x7, x18, x21
+   224:  addi x22, x0, 8
+   228:  beq x22, x0, 20
+   22c:  fsd f0, 1192(x8)
+   230:  lbu x20, 663(x8)
+   234:  addi x22, x22, -1
+   238:  jal x0, -16
+   23c:  ecall

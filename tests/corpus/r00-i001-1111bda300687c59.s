@@ -1,0 +1,79 @@
+# safedm-fuzz repro  gen_seed=10315147614619828300 data_seed=12828959900507386036 ops=35 text_words=77
+# regenerate/replay: bench_fuzz_campaign --replay=<dir with the matching .fuzz>
+     0:  addi x8, x10, 0
+     4:  lui x5, 0x2
+     8:  addiw x5, x5, -1488
+     c:  lui x6, 0x1
+    10:  addiw x6, x6, -1807
+    14:  lui x7, 0xb
+    18:  addiw x7, x7, -398
+    1c:  lui x9, 0xa
+    20:  addiw x9, x9, -717
+    24:  lui x18, 0x4
+    28:  addiw x18, x18, 692
+    2c:  lui x19, 0x3
+    30:  addiw x19, x19, 373
+    34:  lui x20, 0x8
+    38:  addiw x20, x20, -1130
+    3c:  lui x21, 0x2
+    40:  addiw x21, x21, 279
+    44:  lui x11, 0x1
+    48:  addiw x11, x11, -40
+    4c:  lui x12, 0xb
+    50:  addiw x12, x12, 1369
+    54:  lui x13, 0xa
+    58:  addiw x13, x13, 1050
+    5c:  lui x28, 0xf
+    60:  addiw x28, x28, -453
+    64:  lui x29, 0x9
+    68:  addiw x29, x29, 956
+    6c:  lui x30, 0x8
+    70:  addiw x30, x30, 637
+    74:  sltu x9, x13, x28
+    78:  fld f0, 1520(x8)
+    7c:  sltiu x13, x18, 2042
+    80:  mulw x20, x19, x29
+    84:  sra x18, x12, x7
+    88:  divu x18, x18, x6
+    8c:  mulh x19, x6, x6
+    90:  rem x21, x30, x30
+    94:  fdiv.d f4, f0, f5
+    98:  mul x11, x30, x6
+    9c:  subw x6, x11, x29
+    a0:  and x19, x13, x20
+    a4:  srl x30, x13, x11
+    a8:  addi x22, x0, 1
+    ac:  beq x22, x0, 24
+    b0:  addi x12, x12, -1514
+    b4:  srai x20, x28, 57
+    b8:  rem x30, x28, x20
+    bc:  addi x22, x22, -1
+    c0:  jal x0, -20
+    c4:  sltu x5, x29, x18
+    c8:  rem x11, x12, x11
+    cc:  mulh x28, x18, x19
+    d0:  div x19, x19, x30
+    d4:  slt x29, x20, x21
+    d8:  sub x19, x9, x30
+    dc:  xor x9, x12, x6
+    e0:  or x30, x11, x29
+    e4:  addi x22, x0, 4
+    e8:  beq x22, x0, 24
+    ec:  xor x21, x20, x7
+    f0:  sh x11, 1506(x8)
+    f4:  mul x13, x19, x21
+    f8:  addi x22, x22, -1
+    fc:  jal x0, -20
+   100:  sb x18, 1372(x8)
+   104:  lw x18, 708(x8)
+   108:  fmv.x.d x12, f9
+   10c:  add x6, x12, x21
+   110:  srai x9, x21, 21
+   114:  srai x28, x5, 48
+   118:  addi x22, x0, 4
+   11c:  beq x22, x0, 20
+   120:  add x12, x9, x20
+   124:  addw x19, x20, x7
+   128:  addi x22, x22, -1
+   12c:  jal x0, -16
+   130:  ecall

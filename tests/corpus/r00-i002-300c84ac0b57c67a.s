@@ -1,0 +1,158 @@
+# safedm-fuzz repro  gen_seed=12554906654809635439 data_seed=270753259412741524 ops=88 text_words=156
+# regenerate/replay: bench_fuzz_campaign --replay=<dir with the matching .fuzz>
+     0:  addi x8, x10, 0
+     4:  lui x5, 0xc
+     8:  addiw x5, x5, 1769
+     c:  lui x6, 0xe
+    10:  addiw x6, x6, -2008
+    14:  lui x7, 0xb
+    18:  addiw x7, x7, 1675
+    1c:  lui x9, 0x7
+    20:  addiw x9, x9, -918
+    24:  lui x18, 0x5
+    28:  addiw x18, x18, -1331
+    2c:  lui x19, 0xa
+    30:  addiw x19, x19, 1356
+    34:  lui x20, 0xe
+    38:  addiw x20, x20, -241
+    3c:  lui x21, 0x4
+    40:  addiw x21, x21, -1650
+    44:  lui x11, 0xd
+    48:  addiw x11, x11, 321
+    4c:  lui x12, 0x3
+    50:  addiw x12, x12, -1088
+    54:  lui x13, 0x6
+    58:  addiw x13, x13, 1411
+    5c:  lui x28, 0xc
+    60:  addiw x28, x28, 2
+    64:  lui x29, 0x10
+    68:  addiw x29, x29, -1595
+    6c:  lui x30, 0x5
+    70:  addiw x30, x30, 1092
+    74:  mul x5, x28, x21
+    78:  srai x13, x5, 39
+    7c:  divu x20, x6, x21
+    80:  divu x20, x9, x11
+    84:  or x29, x9, x19
+    88:  addi x22, x0, 2
+    8c:  beq x22, x0, 48
+    90:  addw x9, x13, x30
+    94:  slt x13, x28, x30
+    98:  srl x19, x13, x5
+    9c:  mulh x13, x11, x29
+    a0:  addi x21, x12, 767
+    a4:  sub x20, x5, x5
+    a8:  andi x31, x13, 1
+    ac:  beq x31, x0, 8
+    b0:  div x28, x30, x18
+    b4:  addi x22, x22, -1
+    b8:  jal x0, -44
+    bc:  fsd f0, 1568(x8)
+    c0:  subw x21, x30, x19
+    c4:  addi x18, x11, 1127
+    c8:  or x12, x30, x19
+    cc:  xor x12, x29, x12
+    d0:  fmul.d f1, f4, f1
+    d4:  fsd f8, 136(x8)
+    d8:  div x13, x30, x30
+    dc:  srl x18, x28, x30
+    e0:  xor x7, x7, x30
+    e4:  sw x11, 1440(x8)
+    e8:  addi x22, x0, 2
+    ec:  beq x22, x0, 36
+    f0:  srai x13, x30, 50
+    f4:  mulh x21, x18, x9
+    f8:  rem x6, x13, x11
+    fc:  andi x31, x11, 1
+   100:  beq x31, x0, 8
+   104:  xor x20, x21, x5
+   108:  addi x22, x22, -1
+   10c:  jal x0, -32
+   110:  sub x11, x21, x28
+   114:  add x19, x30, x19
+   118:  mul x12, x30, x12
+   11c:  sll x13, x6, x20
+   120:  fadd.d f0, f2, f1
+   124:  ld x20, 1128(x8)
+   128:  sltiu x20, x13, 97
+   12c:  sltu x19, x21, x18
+   130:  or x7, x9, x19
+   134:  addi x22, x0, 6
+   138:  beq x22, x0, 28
+   13c:  fmv.d.x f2, x9
+   140:  andi x31, x30, 1
+   144:  beq x31, x0, 8
+   148:  mulw x12, x5, x19
+   14c:  addi x22, x22, -1
+   150:  jal x0, -24
+   154:  sra x21, x30, x20
+   158:  slli x20, x13, 29
+   15c:  divu x9, x7, x30
+   160:  sltiu x29, x12, 1097
+   164:  slli x19, x19, 44
+   168:  fld f3, 1632(x8)
+   16c:  fld f3, 144(x8)
+   170:  fsd f2, 1512(x8)
+   174:  sub x19, x21, x9
+   178:  addi x22, x0, 8
+   17c:  beq x22, x0, 48
+   180:  fdiv.d f9, f5, f5
+   184:  lh x18, 2012(x8)
+   188:  or x30, x21, x21
+   18c:  xor x13, x21, x29
+   190:  fld f4, 1800(x8)
+   194:  fmul.d f3, f3, f5
+   198:  andi x31, x6, 1
+   19c:  beq x31, x0, 8
+   1a0:  addw x21, x19, x30
+   1a4:  addi x22, x22, -1
+   1a8:  jal x0, -44
+   1ac:  add x13, x11, x6
+   1b0:  fmv.d.x f4, x28
+   1b4:  lbu x29, 553(x8)
+   1b8:  addw x18, x19, x21
+   1bc:  mulh x13, x19, x7
+   1c0:  slli x30, x21, 22
+   1c4:  or x9, x9, x21
+   1c8:  addi x29, x9, 1310
+   1cc:  subw x5, x11, x20
+   1d0:  lbu x6, 400(x8)
+   1d4:  rem x28, x11, x7
+   1d8:  fadd.d f3, f9, f1
+   1dc:  div x11, x20, x19
+   1e0:  addi x22, x0, 4
+   1e4:  beq x22, x0, 44
+   1e8:  sltiu x21, x29, 1786
+   1ec:  addw x20, x12, x6
+   1f0:  srl x12, x18, x18
+   1f4:  fdiv.d f4, f0, f1
+   1f8:  sub x12, x29, x21
+   1fc:  andi x31, x19, 1
+   200:  beq x31, x0, 8
+   204:  sltu x13, x21, x11
+   208:  addi x22, x22, -1
+   20c:  jal x0, -40
+   210:  srl x18, x21, x20
+   214:  or x6, x19, x20
+   218:  slli x19, x5, 33
+   21c:  srl x6, x19, x6
+   220:  addi x22, x0, 1
+   224:  beq x22, x0, 28
+   228:  divu x5, x18, x11
+   22c:  mul x6, x7, x13
+   230:  addw x18, x19, x5
+   234:  or x9, x28, x5
+   238:  addi x22, x22, -1
+   23c:  jal x0, -24
+   240:  srai x20, x7, 47
+   244:  mul x19, x13, x20
+   248:  ld x21, 1560(x8)
+   24c:  addi x22, x0, 1
+   250:  beq x22, x0, 28
+   254:  div x7, x12, x7
+   258:  and x19, x20, x6
+   25c:  rem x13, x29, x20
+   260:  xor x7, x5, x11
+   264:  addi x22, x22, -1
+   268:  jal x0, -24
+   26c:  ecall

@@ -1,0 +1,146 @@
+# safedm-fuzz repro  gen_seed=15073602981692533902 data_seed=17858856471502575305 ops=84 text_words=144
+# regenerate/replay: bench_fuzz_campaign --replay=<dir with the matching .fuzz>
+     0:  addi x8, x10, 0
+     4:  lui x5, 0xd
+     8:  addiw x5, x5, 1992
+     c:  lui x6, 0xc
+    10:  addiw x6, x6, 1673
+    14:  lui x7, 0x7
+    18:  addiw x7, x7, -1014
+    1c:  lui x9, 0xb
+    20:  addiw x9, x9, 1579
+    24:  lui x18, 0xa
+    28:  addiw x18, x18, 1260
+    2c:  lui x19, 0x5
+    30:  addiw x19, x19, -1427
+    34:  lui x20, 0x4
+    38:  addiw x20, x20, -1746
+    3c:  lui x21, 0xe
+    40:  addiw x21, x21, -337
+    44:  lui x11, 0x3
+    48:  addiw x11, x11, -1184
+    4c:  lui x12, 0xd
+    50:  addiw x12, x12, 225
+    54:  lui x13, 0xc
+    58:  addiw x13, x13, -94
+    5c:  lui x28, 0x6
+    60:  addiw x28, x28, 1315
+    64:  lui x29, 0x5
+    68:  addiw x29, x29, 996
+    6c:  lui x30, 0x10
+    70:  addiw x30, x30, -1691
+    74:  slli x28, x7, 6
+    78:  lbu x29, 1575(x8)
+    7c:  sltiu x30, x7, 952
+    80:  fdiv.d f4, f4, f2
+    84:  add x13, x28, x30
+    88:  fdiv.d f4, f0, f5
+    8c:  sll x6, x18, x29
+    90:  sll x20, x29, x30
+    94:  sub x30, x28, x28
+    98:  mul x20, x18, x18
+    9c:  xor x18, x29, x7
+    a0:  sub x19, x12, x5
+    a4:  addi x22, x0, 9
+    a8:  beq x22, x0, 32
+    ac:  fdiv.d f4, f0, f9
+    b0:  fmul.d f0, f0, f3
+    b4:  rem x21, x13, x13
+    b8:  srai x9, x28, 54
+    bc:  sltu x21, x11, x12
+    c0:  addi x22, x22, -1
+    c4:  jal x0, -28
+    c8:  sltiu x19, x20, 709
+    cc:  ld x29, 1544(x8)
+    d0:  xor x30, x19, x9
+    d4:  fmv.d.x f0, x29
+    d8:  fmv.d.x f2, x29
+    dc:  div x18, x6, x18
+    e0:  ld x30, 120(x8)
+    e4:  addw x19, x29, x5
+    e8:  fmv.d.x f2, x20
+    ec:  xor x21, x13, x11
+    f0:  mul x29, x19, x5
+    f4:  slli x19, x7, 61
+    f8:  fsd f2, 1216(x8)
+    fc:  addi x22, x0, 1
+   100:  beq x22, x0, 28
+   104:  srl x13, x30, x13
+   108:  slt x6, x13, x20
+   10c:  add x18, x6, x5
+   110:  slt x28, x7, x6
+   114:  addi x22, x22, -1
+   118:  jal x0, -24
+   11c:  addw x29, x6, x7
+   120:  sltu x7, x20, x9
+   124:  mulw x11, x9, x21
+   128:  slt x9, x11, x5
+   12c:  addi x22, x0, 7
+   130:  beq x22, x0, 20
+   134:  div x13, x19, x28
+   138:  mul x19, x5, x28
+   13c:  addi x22, x22, -1
+   140:  jal x0, -16
+   144:  addi x5, x11, -443
+   148:  slt x20, x20, x28
+   14c:  mulw x18, x12, x30
+   150:  lw x29, 1452(x8)
+   154:  fmul.d f9, f2, f4
+   158:  and x18, x28, x9
+   15c:  lw x12, 1940(x8)
+   160:  divu x30, x19, x21
+   164:  srl x28, x7, x20
+   168:  addw x20, x28, x18
+   16c:  addi x5, x28, -1166
+   170:  addi x22, x0, 2
+   174:  beq x22, x0, 44
+   178:  fmv.x.d x11, f8
+   17c:  xor x6, x29, x5
+   180:  mulw x5, x20, x13
+   184:  srai x6, x21, 44
+   188:  addw x11, x21, x28
+   18c:  andi x31, x29, 1
+   190:  beq x31, x0, 8
+   194:  fsd f2, 744(x8)
+   198:  addi x22, x22, -1
+   19c:  jal x0, -40
+   1a0:  sd x13, 1936(x8)
+   1a4:  mulh x21, x7, x21
+   1a8:  or x30, x11, x20
+   1ac:  fadd.d f5, f8, f5
+   1b0:  fmv.x.d x6, f5
+   1b4:  addi x22, x0, 3
+   1b8:  beq x22, x0, 44
+   1bc:  srai x29, x6, 32
+   1c0:  srl x21, x28, x19
+   1c4:  and x28, x21, x12
+   1c8:  srl x20, x28, x13
+   1cc:  rem x18, x28, x11
+   1d0:  andi x31, x11, 1
+   1d4:  beq x31, x0, 8
+   1d8:  slli x7, x18, 63
+   1dc:  addi x22, x22, -1
+   1e0:  jal x0, -40
+   1e4:  xor x21, x28, x20
+   1e8:  mulw x18, x11, x5
+   1ec:  divu x20, x19, x12
+   1f0:  mulw x19, x9, x29
+   1f4:  mul x6, x21, x19
+   1f8:  fmv.x.d x30, f5
+   1fc:  fsd f3, 1192(x8)
+   200:  add x29, x29, x28
+   204:  div x6, x18, x5
+   208:  addi x22, x0, 1
+   20c:  beq x22, x0, 48
+   210:  divu x20, x21, x21
+   214:  mulh x28, x13, x19
+   218:  fld f0, 880(x8)
+   21c:  addw x18, x29, x21
+   220:  div x11, x30, x9
+   224:  div x5, x9, x5
+   228:  andi x31, x29, 1
+   22c:  beq x31, x0, 8
+   230:  sltu x12, x7, x9
+   234:  addi x22, x22, -1
+   238:  jal x0, -44
+   23c:  ecall

@@ -1,0 +1,129 @@
+# safedm-fuzz repro  gen_seed=12929039355286655288 data_seed=16249863540161216655 ops=63 text_words=127
+# regenerate/replay: bench_fuzz_campaign --replay=<dir with the matching .fuzz>
+     0:  addi x8, x10, 0
+     4:  lui x5, 0x10
+     8:  addiw x5, x5, -503
+     c:  lui x6, 0x1
+    10:  addiw x6, x6, -184
+    14:  lui x7, 0xf
+    18:  addiw x7, x7, -597
+    1c:  lui x9, 0xa
+    20:  addiw x9, x9, 906
+    24:  lui x18, 0x8
+    28:  addiw x18, x18, 493
+    2c:  lui x19, 0xe
+    30:  addiw x19, x19, -916
+    34:  lui x20, 0x1
+    38:  addiw x20, x20, 1583
+    3c:  lui x21, 0x7
+    40:  addiw x21, x21, 174
+    44:  lui x11, 0x1
+    48:  addiw x11, x11, -1951
+    4c:  lui x12, 0x6
+    50:  addiw x12, x12, 736
+    54:  lui x13, 0xa
+    58:  addiw x13, x13, -861
+    5c:  lui x28, 0xf
+    60:  addiw x28, x28, 1826
+    64:  lui x29, 0x3
+    68:  addiw x29, x29, 229
+    6c:  lui x30, 0x9
+    70:  addiw x30, x30, -1180
+    74:  fmv.x.d x12, f1
+    78:  sw x9, 1992(x8)
+    7c:  rem x29, x5, x21
+    80:  addi x22, x0, 8
+    84:  beq x22, x0, 32
+    88:  subw x19, x28, x12
+    8c:  div x5, x6, x6
+    90:  andi x31, x6, 1
+    94:  beq x31, x0, 8
+    98:  mulw x28, x28, x28
+    9c:  addi x22, x22, -1
+    a0:  jal x0, -28
+    a4:  add x7, x5, x9
+    a8:  mul x21, x7, x30
+    ac:  srl x29, x13, x7
+    b0:  srl x29, x6, x20
+    b4:  rem x30, x18, x9
+    b8:  addi x22, x0, 3
+    bc:  beq x22, x0, 36
+    c0:  slt x18, x13, x7
+    c4:  sw x12, 144(x8)
+    c8:  srai x6, x6, 0
+    cc:  andi x31, x5, 1
+    d0:  beq x31, x0, 8
+    d4:  fmul.d f8, f2, f0
+    d8:  addi x22, x22, -1
+    dc:  jal x0, -32
+    e0:  rem x21, x21, x11
+    e4:  sh x5, 1538(x8)
+    e8:  mulh x7, x29, x21
+    ec:  and x19, x5, x9
+    f0:  fld f9, 1872(x8)
+    f4:  addi x22, x0, 9
+    f8:  beq x22, x0, 28
+    fc:  fmul.d f0, f8, f5
+   100:  andi x31, x13, 1
+   104:  beq x31, x0, 8
+   108:  add x13, x5, x28
+   10c:  addi x22, x22, -1
+   110:  jal x0, -24
+   114:  addi x20, x12, -1648
+   118:  mulh x21, x21, x18
+   11c:  fadd.d f3, f5, f1
+   120:  addi x12, x5, -404
+   124:  fadd.d f1, f5, f8
+   128:  addi x22, x0, 7
+   12c:  beq x22, x0, 44
+   130:  fmv.x.d x28, f2
+   134:  lbu x12, 13(x8)
+   138:  fdiv.d f3, f4, f4
+   13c:  divu x29, x21, x19
+   140:  sll x7, x9, x30
+   144:  andi x31, x9, 1
+   148:  beq x31, x0, 8
+   14c:  sub x29, x28, x19
+   150:  addi x22, x22, -1
+   154:  jal x0, -40
+   158:  fld f2, 32(x8)
+   15c:  divu x19, x28, x29
+   160:  sb x18, 1236(x8)
+   164:  srai x28, x7, 9
+   168:  lh x20, 596(x8)
+   16c:  rem x9, x21, x30
+   170:  mulh x21, x9, x12
+   174:  divu x30, x19, x11
+   178:  fsd f2, 400(x8)
+   17c:  divu x21, x5, x12
+   180:  sra x30, x29, x13
+   184:  addw x7, x21, x18
+   188:  addi x22, x0, 8
+   18c:  beq x22, x0, 28
+   190:  or x5, x7, x19
+   194:  srai x9, x21, 15
+   198:  addi x30, x5, -1630
+   19c:  fmv.d.x f1, x28
+   1a0:  addi x22, x22, -1
+   1a4:  jal x0, -24
+   1a8:  rem x18, x30, x13
+   1ac:  sub x7, x28, x9
+   1b0:  mulh x11, x29, x18
+   1b4:  xor x7, x5, x6
+   1b8:  addw x30, x9, x28
+   1bc:  sltiu x29, x29, 313
+   1c0:  or x28, x30, x19
+   1c4:  slli x18, x19, 33
+   1c8:  sub x9, x18, x5
+   1cc:  addi x22, x0, 9
+   1d0:  beq x22, x0, 40
+   1d4:  and x30, x13, x6
+   1d8:  add x20, x9, x30
+   1dc:  slli x6, x29, 24
+   1e0:  and x13, x20, x5
+   1e4:  andi x31, x9, 1
+   1e8:  beq x31, x0, 8
+   1ec:  lw x5, 1244(x8)
+   1f0:  addi x22, x22, -1
+   1f4:  jal x0, -36
+   1f8:  ecall

@@ -1,0 +1,9 @@
+# safedm-fuzz repro  gen_seed=3357 data_seed=55930 ops=1 text_words=7
+# regenerate/replay: bench_fuzz_campaign --replay=<dir with the matching .fuzz>
+     0:  addi x8, x10, 0
+     4:  lui x7, 0x3
+     8:  addiw x7, x7, 703
+     c:  lui x9, 0x4
+    10:  addiw x9, x9, 1022
+    14:  div x6, x7, x9
+    18:  ecall

@@ -1,0 +1,154 @@
+// Campaign engine: schedule determinism (thread-count independence of the
+// report, byte for byte), monotone coverage growth, corpus keep policy,
+// and failure recording with automatic shrinking.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <set>
+
+#include "safedm/common/check.hpp"
+#include "safedm/fuzz/campaign.hpp"
+#include "safedm/isa/decode.hpp"
+
+namespace safedm::fuzz {
+namespace {
+
+CampaignConfig small_config(unsigned threads) {
+  CampaignConfig cfg;
+  cfg.seed = 77;
+  cfg.rounds = 3;
+  cfg.inputs_per_round = 6;
+  cfg.threads = threads;
+  return cfg;
+}
+
+TEST(Campaign, InputSeedsArePositionDerivedAndDistinct) {
+  // Same position, same seed — regardless of when or where it is computed.
+  EXPECT_EQ(input_seed(1, 0, 0), input_seed(1, 0, 0));
+  std::set<u64> seen;
+  for (unsigned r = 0; r < 8; ++r)
+    for (unsigned i = 0; i < 64; ++i) seen.insert(input_seed(42, r, i));
+  EXPECT_EQ(seen.size(), 8u * 64u);
+  EXPECT_NE(input_seed(1, 0, 0), input_seed(2, 0, 0));
+}
+
+TEST(Campaign, ReportIsByteIdenticalAcrossThreadCounts) {
+  Corpus c1, c4;
+  const std::string json1 = report_to_json(run_campaign(c1, small_config(1)));
+  const std::string json4 = report_to_json(run_campaign(c4, small_config(4)));
+  EXPECT_EQ(json1, json4);
+
+  // The grown corpora match too — same entries, same order, same programs.
+  ASSERT_EQ(c1.size(), c4.size());
+  for (std::size_t i = 0; i < c1.size(); ++i) {
+    EXPECT_EQ(c1.entries[i].name, c4.entries[i].name);
+    EXPECT_EQ(c1.entries[i].program, c4.entries[i].program);
+  }
+}
+
+TEST(Campaign, CoverageIsMonotoneAndKeepPolicyHolds) {
+  Corpus corpus;
+  const CampaignReport report = run_campaign(corpus, small_config(2));
+  ASSERT_EQ(report.round_stats.size(), 3u);
+
+  std::size_t prev_features = 0;
+  u64 prev_hits = 0;
+  std::size_t prev_corpus = 0;
+  for (const RoundStats& rs : report.round_stats) {
+    EXPECT_EQ(rs.inputs, 6u);
+    EXPECT_GE(rs.features_hit, prev_features);
+    EXPECT_GE(rs.total_hits, prev_hits);
+    // An input is kept exactly when it lit a new feature, so kept > 0
+    // implies new features this round, and the corpus grows by `kept`.
+    if (rs.kept > 0) {
+      EXPECT_GT(rs.new_features, 0u);
+    }
+    EXPECT_EQ(rs.corpus_size, prev_corpus + rs.kept);
+    prev_features = rs.features_hit;
+    prev_hits = rs.total_hits;
+    prev_corpus = rs.corpus_size;
+  }
+  EXPECT_EQ(report.final_corpus, corpus.size());
+  EXPECT_EQ(report.coverage.features_hit(), prev_features);
+  EXPECT_TRUE(report.failures.empty());
+}
+
+TEST(Campaign, ReportJsonCarriesTheSchemaAndStats) {
+  Corpus corpus;
+  const CampaignReport report = run_campaign(corpus, small_config(1));
+  const std::string json = report_to_json(report);
+  EXPECT_NE(json.find("\"schema\": \"safedm.bench.fuzz/v1\""), std::string::npos);
+  EXPECT_NE(json.find("\"rounds\""), std::string::npos);
+  EXPECT_NE(json.find("\"features_hit\""), std::string::npos);
+  EXPECT_EQ(json.find("thread"), std::string::npos) << "thread count must never reach the report";
+}
+
+TEST(Campaign, InjectedBugIsCaughtRecordedAndShrunk) {
+  CampaignConfig cfg = small_config(2);
+  cfg.rounds = 2;
+  cfg.inputs_per_round = 8;
+  // Test-only comparator bug: misreport the DS verdict whenever a divide
+  // occupies an EX slot on core 0 — generated programs hit divs often.
+  cfg.oracle.verdict_bug = [](const core::CoreTapFrame& f0, const core::CoreTapFrame&) {
+    for (unsigned lane = 0; lane < core::kMaxIssueWidth; ++lane) {
+      const auto& slot = f0.slot(core::Stage::kEX, lane);
+      if (!slot.valid) continue;
+      const isa::DecodedInst di = isa::decode(slot.encoding);
+      if (di.valid() && di.info().exec_class == isa::ExecClass::kDiv) return true;
+    }
+    return false;
+  };
+  cfg.shrink_max_oracle_runs = 200;
+
+  Corpus corpus;
+  const CampaignReport report = run_campaign(corpus, cfg);
+  ASSERT_FALSE(report.failures.empty()) << "no generated input executed a div";
+  for (const FailureRecord& fr : report.failures) {
+    EXPECT_EQ(fr.verdict, OracleVerdict::kVerdictMismatch);
+    EXPECT_LE(fr.minimized_ops, fr.original_ops);
+    EXPECT_GT(fr.shrink_oracle_runs, 0u);
+    // The minimized repro still fails under the bug and passes without it.
+    OracleConfig buggy;
+    buggy.verdict_bug = cfg.oracle.verdict_bug;
+    EXPECT_EQ(run_differential(fr.repro, buggy).verdict, OracleVerdict::kVerdictMismatch);
+    EXPECT_TRUE(run_differential(fr.repro).ok());
+  }
+}
+
+TEST(Campaign, CorpusPersistsAndSeedsTheNextCampaign) {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "safedm_campaign_corpus").string();
+  std::filesystem::remove_all(dir);
+
+  Corpus corpus;
+  run_campaign(corpus, small_config(1));
+  ASSERT_GT(corpus.size(), 0u);
+  corpus.save_dir(dir);
+
+  Corpus reloaded;
+  reloaded.load_dir(dir);
+  ASSERT_EQ(reloaded.size(), corpus.size());
+  for (std::size_t i = 0; i < corpus.size(); ++i)
+    EXPECT_EQ(reloaded.entries[i].program, corpus.entries[i].program);
+
+  // The reloaded corpus replays green (the CI corpus gate)...
+  for (const ReplayOutcome& out : replay_corpus(reloaded, OracleConfig{}))
+    EXPECT_EQ(out.verdict, OracleVerdict::kPass) << out.name << ": " << out.detail;
+
+  // ...and seeding a second campaign with it is reflected in the report.
+  CampaignConfig next = small_config(1);
+  next.seed = 78;
+  next.rounds = 1;
+  const CampaignReport report = run_campaign(reloaded, next);
+  EXPECT_EQ(report.initial_corpus, corpus.size());
+
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Campaign, LoadDirRejectsMissingDirectory) {
+  Corpus corpus;
+  EXPECT_THROW(corpus.load_dir("/nonexistent/safedm-no-such-corpus"), CheckError);
+}
+
+}  // namespace
+}  // namespace safedm::fuzz

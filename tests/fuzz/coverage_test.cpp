@@ -1,0 +1,99 @@
+// CoverageMap: feature-space layout, merge/new-feature accounting,
+// saturation, and the breakdown used by the campaign report.
+#include <gtest/gtest.h>
+
+#include "safedm/common/rng.hpp"
+#include "safedm/fuzz/coverage.hpp"
+
+namespace safedm::fuzz {
+namespace {
+
+TEST(Coverage, StartsEmpty) {
+  CoverageMap map;
+  EXPECT_EQ(map.features_hit(), 0u);
+  EXPECT_EQ(map.total_hits(), 0u);
+  const auto b = map.hit_breakdown();
+  EXPECT_EQ(b.opcodes + b.formats + b.events + b.verdict_edges, 0u);
+}
+
+TEST(Coverage, NotesLandInTheirSegments) {
+  CoverageMap map;
+  map.note_mnemonic(static_cast<isa::Mnemonic>(1));
+  map.note_format(isa::Format::kR);
+  map.note_event(Event::kMispredict, 3);
+  map.note_verdict_edge(0, 3);
+  EXPECT_EQ(map.features_hit(), 4u);
+  EXPECT_EQ(map.total_hits(), 6u);
+  const auto b = map.hit_breakdown();
+  EXPECT_EQ(b.opcodes, 1u);
+  EXPECT_EQ(b.formats, 1u);
+  EXPECT_EQ(b.events, 1u);
+  EXPECT_EQ(b.verdict_edges, 1u);
+}
+
+TEST(Coverage, InvalidMnemonicAndZeroEventsAreIgnored) {
+  CoverageMap map;
+  map.note_mnemonic(isa::Mnemonic::kInvalid);
+  map.note_event(Event::kNodiv, 0);
+  EXPECT_EQ(map.features_hit(), 0u);
+}
+
+TEST(Coverage, VerdictEdgesAreDistinctFeatures) {
+  CoverageMap map;
+  for (unsigned from = 0; from < CoverageMap::kVerdictStates; ++from)
+    for (unsigned to = 0; to < CoverageMap::kVerdictStates; ++to) map.note_verdict_edge(from, to);
+  EXPECT_EQ(map.hit_breakdown().verdict_edges, CoverageMap::kVerdictEdgeCount);
+}
+
+TEST(Coverage, MergeCountsOnlyFreshFeatures) {
+  CoverageMap base, run;
+  run.note_event(Event::kDualIssue, 5);
+  run.note_event(Event::kSbDrain, 2);
+  EXPECT_EQ(base.merge_count_new(run), 2u);
+  EXPECT_EQ(base.total_hits(), 7u);
+
+  CoverageMap run2;
+  run2.note_event(Event::kDualIssue, 1);  // already lit
+  run2.note_event(Event::kStagger, 1);    // fresh
+  EXPECT_EQ(base.merge_count_new(run2), 1u);
+  EXPECT_EQ(base.features_hit(), 3u);
+  EXPECT_EQ(base.total_hits(), 9u);
+
+  // Merging the same run again can never report new features.
+  EXPECT_EQ(base.merge_count_new(run2), 0u);
+}
+
+TEST(Coverage, MergeIsMonotoneInFeaturesAndHits) {
+  CoverageMap cumulative;
+  Xoshiro256 rng(9);
+  std::size_t prev_features = 0;
+  u64 prev_hits = 0;
+  for (int round = 0; round < 50; ++round) {
+    CoverageMap run;
+    for (int k = 0; k < 5; ++k)
+      run.note_event(static_cast<Event>(rng.below(kEventCount)), 1 + rng.below(10));
+    cumulative.merge_count_new(run);
+    EXPECT_GE(cumulative.features_hit(), prev_features);
+    EXPECT_GE(cumulative.total_hits(), prev_hits);
+    prev_features = cumulative.features_hit();
+    prev_hits = cumulative.total_hits();
+  }
+}
+
+TEST(Coverage, CountersSaturateInsteadOfWrapping) {
+  CoverageMap map;
+  map.note_event(Event::kNodiv, ~u64{0});
+  map.note_event(Event::kNodiv, ~u64{0});
+  const std::size_t feature =
+      isa::kMnemonicCount + CoverageMap::kFormatCount + static_cast<std::size_t>(Event::kNodiv);
+  EXPECT_EQ(map.count(feature), ~u64{0});
+  EXPECT_EQ(map.total_hits(), ~u64{0});
+}
+
+TEST(Coverage, EventNamesAreStable) {
+  for (std::size_t i = 0; i < kEventCount; ++i)
+    EXPECT_STRNE(event_name(static_cast<Event>(i)), "?");
+}
+
+}  // namespace
+}  // namespace safedm::fuzz

@@ -1,0 +1,143 @@
+// Shared program generator: determinism, serialization round-trips,
+// sanitized lowering of arbitrary (mutated) IR, and mutation caps.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "safedm/common/check.hpp"
+#include "safedm/fuzz/generator.hpp"
+#include "safedm/fuzz/oracle.hpp"
+
+namespace safedm::fuzz {
+namespace {
+
+TEST(Generator, SeedDeterministic) {
+  ProgramFuzzer a(123), b(123);
+  const FuzzProgram pa = a.next(), pb = b.next();
+  EXPECT_EQ(pa, pb);
+  const assembler::Program ia = materialize(pa), ib = materialize(pb);
+  EXPECT_EQ(ia.text, ib.text);
+  EXPECT_EQ(ia.data, ib.data);
+  // Successive draws and different seeds both give different programs.
+  EXPECT_NE(a.next(), pa);
+  ProgramFuzzer c(124);
+  EXPECT_NE(c.next(), pa);
+}
+
+TEST(Generator, ProgramsAreStructurallyBounded) {
+  GeneratorConfig cfg;
+  ProgramFuzzer fuzzer(7, cfg);
+  for (int i = 0; i < 20; ++i) {
+    const FuzzProgram p = fuzzer.next();
+    EXPECT_GE(p.blocks.size(), cfg.min_blocks);
+    EXPECT_LE(p.blocks.size(), cfg.max_blocks);
+    for (const FuzzBlock& b : p.blocks) {
+      EXPECT_GE(b.straight.size(), 2u);
+      EXPECT_LE(b.straight.size(), cfg.max_straight);
+      EXPECT_GE(b.loop_iters, 1u);
+      EXPECT_LE(b.loop_iters, cfg.max_loop_iters);
+      EXPECT_LE(b.body.size(), cfg.max_body);
+    }
+  }
+}
+
+TEST(Generator, OpKindNamesRoundTrip) {
+  for (std::size_t i = 0; i < kOpKindCount; ++i) {
+    const OpKind kind = static_cast<OpKind>(i);
+    EXPECT_EQ(op_kind_from_name(op_kind_name(kind)), kind);
+  }
+  EXPECT_THROW(op_kind_from_name("no_such_op"), CheckError);
+}
+
+TEST(Generator, SerializationRoundTrips) {
+  ProgramFuzzer fuzzer(99);
+  for (int i = 0; i < 10; ++i) {
+    const FuzzProgram p = fuzzer.next();
+    const FuzzProgram q = deserialize(serialize(p));
+    EXPECT_EQ(p, q) << "draw " << i;
+  }
+}
+
+TEST(Generator, SaveLoadRoundTripsThroughDisk) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "safedm_gen_roundtrip.fuzz").string();
+  const FuzzProgram p = ProgramFuzzer(4242).next();
+  save_program(path, p);
+  EXPECT_EQ(load_program(path), p);
+  std::filesystem::remove(path);
+}
+
+TEST(Generator, MalformedCorpusFilesThrow) {
+  EXPECT_THROW(deserialize(""), CheckError);
+  EXPECT_THROW(deserialize("not-the-header\n"), CheckError);
+  EXPECT_THROW(deserialize("safedm-fuzz/v1\ngen_seed\n"), CheckError);
+  EXPECT_THROW(deserialize("safedm-fuzz/v1\ns add 1 2 3 0 0\n"), CheckError);  // op before block
+  EXPECT_THROW(deserialize("safedm-fuzz/v1\nblock 1 0 0\ns nope 1 2 3 0 0\n"), CheckError);
+  EXPECT_THROW(deserialize("safedm-fuzz/v1\nwhat 1\n"), CheckError);
+}
+
+TEST(Generator, HostileIrLowersToWellFormedPrograms) {
+  // Extreme field values (as a mutator or hand-edited corpus file could
+  // produce) must still lower to a halting program both executors agree on:
+  // operands are sanitized at lowering, not at construction.
+  FuzzProgram p;
+  p.gen_seed = 1;
+  p.data_seed = 2;
+  p.data_words = 7;  // below the floor; clamped at lowering
+  FuzzBlock b;
+  for (std::size_t k = 0; k < kOpKindCount; ++k)
+    b.straight.push_back(FuzzOp{static_cast<OpKind>(k), 255, 254, 253, -2147483647, 7});
+  b.loop_iters = 255;
+  b.body.push_back(FuzzOp{OpKind::kStore, 0, 0, 0, 2039, 3});
+  b.cond_skip = true;
+  b.skip_test = 200;
+  b.skip.push_back(FuzzOp{OpKind::kDiv, 1, 2, 3, 0, 0});
+  p.blocks.push_back(b);
+
+  const OracleResult res = run_differential(p);
+  EXPECT_TRUE(res.ok()) << verdict_name(res.verdict) << " — " << res.detail;
+  EXPECT_EQ(res.iss_state.halt, isa::HaltReason::kEcall);
+}
+
+TEST(Generator, MutationRespectsStructuralCaps) {
+  GeneratorConfig cfg;
+  ProgramFuzzer fuzzer(31337, cfg);
+  Xoshiro256 rng(31337);
+  FuzzProgram p = fuzzer.next();
+  const FuzzProgram donor = fuzzer.next();
+  for (int round = 0; round < 300; ++round) {
+    mutate(p, &donor, rng, cfg);
+    ASSERT_LE(p.blocks.size(), kMaxBlocks);
+    std::size_t ops = 0;
+    for (const FuzzBlock& b : p.blocks) {
+      ASSERT_LE(b.straight.size(), kMaxOpsPerList);
+      ASSERT_LE(b.body.size(), kMaxOpsPerList);
+      ASSERT_LE(b.skip.size(), kMaxOpsPerList);
+      ops += b.straight.size() + b.body.size() + b.skip.size();
+    }
+    ASSERT_GE(ops, 1u);  // delete never removes the last op
+  }
+}
+
+TEST(Generator, ToAssemblyAnnotatesTheRepro) {
+  const FuzzProgram p = ProgramFuzzer(5).next();
+  const std::string text = to_assembly(p);
+  EXPECT_NE(text.find("safedm-fuzz repro"), std::string::npos);
+  EXPECT_NE(text.find("gen_seed="), std::string::npos);
+  EXPECT_NE(text.find("ecall"), std::string::npos);
+}
+
+TEST(InstWords, BiasedWordsMatchTheirTableEntry) {
+  InstWordFuzzer words(77);
+  for (int i = 0; i < 10'000; ++i) {
+    const u32 raw = words.biased_word();
+    bool matched = false;
+    for (const isa::InstInfo& ii : isa::inst_table())
+      matched |= (raw & ii.mask) == ii.match;
+    ASSERT_TRUE(matched) << std::hex << raw;
+  }
+}
+
+}  // namespace
+}  // namespace safedm::fuzz

@@ -1,0 +1,101 @@
+// Differential oracle stack: clean programs pass every layer, each layer
+// catches its class of divergence, and coverage reflects the run.
+#include <gtest/gtest.h>
+
+#include "safedm/fuzz/oracle.hpp"
+#include "safedm/isa/decode.hpp"
+
+namespace safedm::fuzz {
+namespace {
+
+TEST(Oracle, CleanProgramPassesAllLayers) {
+  const FuzzProgram p = ProgramFuzzer(11).next();
+  const OracleResult res = run_differential(p);
+  EXPECT_TRUE(res.ok()) << verdict_name(res.verdict) << " — " << res.detail;
+  EXPECT_EQ(res.iss_state.halt, isa::HaltReason::kEcall);
+  EXPECT_EQ(res.pipe_state.halt, isa::HaltReason::kEcall);
+  EXPECT_EQ(res.iss_state.instret, res.pipe_state.instret);
+  EXPECT_GT(res.cycles, 0u);
+  EXPECT_GT(res.coverage.features_hit(), 0u);
+  EXPECT_GT(res.coverage.hit_breakdown().opcodes, 0u);
+}
+
+TEST(Oracle, ResultIsDeterministic) {
+  const FuzzProgram p = ProgramFuzzer(12).next();
+  const OracleResult a = run_differential(p);
+  const OracleResult b = run_differential(p);
+  EXPECT_EQ(a.verdict, b.verdict);
+  EXPECT_EQ(a.cycles, b.cycles);
+  EXPECT_EQ(a.instret, b.instret);
+  EXPECT_EQ(a.coverage, b.coverage);
+}
+
+TEST(Oracle, SnapshotLayerPassesAndLightsItsFeature) {
+  const FuzzProgram p = ProgramFuzzer(13).next();
+  OracleConfig cfg;
+  cfg.snapshot_cycle = 100;
+  const OracleResult res = run_differential(p, cfg);
+  EXPECT_TRUE(res.ok()) << verdict_name(res.verdict) << " — " << res.detail;
+  ASSERT_GT(res.cycles, cfg.snapshot_cycle) << "program too short to exercise the layer";
+  const std::size_t feature = isa::kMnemonicCount + CoverageMap::kFormatCount +
+                              static_cast<std::size_t>(Event::kSnapshotTaken);
+  EXPECT_EQ(res.coverage.count(feature), 1u);
+}
+
+TEST(Oracle, VerdictBugHookTripsTheVerdictLayer) {
+  const FuzzProgram p = ProgramFuzzer(14).next();
+  OracleConfig cfg;
+  cfg.verdict_bug = [](const core::CoreTapFrame&, const core::CoreTapFrame&) { return true; };
+  const OracleResult res = run_differential(p, cfg);
+  EXPECT_EQ(res.verdict, OracleVerdict::kVerdictMismatch) << res.detail;
+  EXPECT_FALSE(res.detail.empty());
+}
+
+TEST(Oracle, SelectiveBugHookOnlyFiresOnItsTrigger) {
+  // A hook keyed on div in EX misfires never on a div-free program...
+  FuzzProgram no_div;
+  no_div.data_seed = 3;
+  FuzzBlock b;
+  b.straight.push_back(FuzzOp{OpKind::kAdd, 0, 1, 2, 0, 0});
+  b.straight.push_back(FuzzOp{OpKind::kXor, 3, 4, 5, 0, 0});
+  no_div.blocks.push_back(b);
+
+  OracleConfig cfg;
+  cfg.verdict_bug = [](const core::CoreTapFrame& f0, const core::CoreTapFrame&) {
+    for (unsigned lane = 0; lane < core::kMaxIssueWidth; ++lane) {
+      const auto& slot = f0.slot(core::Stage::kEX, lane);
+      if (!slot.valid) continue;
+      const isa::DecodedInst di = isa::decode(slot.encoding);
+      if (di.valid() && di.info().exec_class == isa::ExecClass::kDiv) return true;
+    }
+    return false;
+  };
+  EXPECT_TRUE(run_differential(no_div, cfg).ok());
+
+  // ...and always on one that executes a div.
+  FuzzProgram with_div = no_div;
+  with_div.blocks[0].straight.push_back(FuzzOp{OpKind::kDiv, 0, 1, 2, 0, 0});
+  const OracleResult res = run_differential(with_div, cfg);
+  EXPECT_EQ(res.verdict, OracleVerdict::kVerdictMismatch) << res.detail;
+}
+
+TEST(Oracle, TinyCycleBudgetReportsTimeout) {
+  const FuzzProgram p = ProgramFuzzer(15).next();
+  OracleConfig cfg;
+  cfg.max_cycles = 10;
+  const OracleResult res = run_differential(p, cfg);
+  EXPECT_EQ(res.verdict, OracleVerdict::kTimeout);
+}
+
+TEST(Oracle, IllegalProgramsAgreeOnTheHalt) {
+  assembler::Assembler a;
+  a.li(assembler::T0, 9);
+  a(0xFFFF'FFFFu);  // undecodable
+  const OracleResult res = run_differential(a.assemble("illegal"));
+  EXPECT_TRUE(res.ok()) << verdict_name(res.verdict) << " — " << res.detail;
+  EXPECT_EQ(res.iss_state.halt, isa::HaltReason::kIllegalInst);
+  EXPECT_EQ(res.pipe_state.halt, isa::HaltReason::kIllegalInst);
+}
+
+}  // namespace
+}  // namespace safedm::fuzz

@@ -1,211 +1,58 @@
-// Property fuzzing: pipeline-vs-ISS architectural equivalence over
-// randomized programs.
+// Property fuzzing: differential-oracle equivalence over randomized
+// programs from the shared src/fuzz generator.
 //
-// A generator builds random but well-formed RV64IMD programs (bounded
-// loops, in-segment memory accesses, recursion-free control flow) and both
-// executors must agree on every architectural register, the data segment,
-// and the retired-instruction count. This is the strongest guard against
-// pipeline-model bugs (hazards, flushes, store buffering) silently
-// corrupting the experiments.
+// Each seed's program runs through the full oracle stack (fuzz/oracle.hpp):
+// pipeline-vs-ISS architectural state and data segment, incremental-vs-
+// exhaustive comparator verdict per cycle, and (for a subset of seeds) the
+// mid-run snapshot/restore/re-execute equivalence layer. This is the
+// strongest guard against pipeline-model bugs (hazards, flushes, store
+// buffering) silently corrupting the experiments.
 #include <gtest/gtest.h>
 
-#include "safedm/assembler/assembler.hpp"
-#include "safedm/bus/ahb.hpp"
-#include "safedm/bus/l2_frontend.hpp"
-#include "safedm/common/rng.hpp"
-#include "safedm/core/core.hpp"
-#include "safedm/isa/iss.hpp"
-#include "safedm/mem/phys_mem.hpp"
+#include "safedm/fuzz/generator.hpp"
+#include "safedm/fuzz/oracle.hpp"
 
 namespace safedm {
 namespace {
 
-using namespace assembler;
-namespace e = isa::enc;
-
-constexpr u64 kTextBase = 0x10000;
-constexpr u64 kDataBase = 0x100000;
-constexpr u64 kDataBytes = 0x1000;  // all generated accesses stay inside
-
-/// Registers the generator may freely clobber (avoids x0, sp, a0, scratch).
-constexpr Reg kPool[] = {T0, T1, T2, S1, S2, S3, S4, S5, A1, A2, A3, T3, T4, T5};
-constexpr unsigned kPoolSize = sizeof(kPool) / sizeof(kPool[0]);
-
-class ProgramFuzzer {
- public:
-  explicit ProgramFuzzer(u64 seed) : rng_(seed) {}
-
-  Program generate() {
-    Assembler a;
-    DataBuilder d;
-    // Pre-seeded data segment the program can load from.
-    std::vector<u64> blob(kDataBytes / 8);
-    for (auto& w : blob) w = rng_.next();
-    d.add_u64_array(blob);
-
-    // Base pointer for memory ops; kept in S0 (never clobbered below).
-    a.mv(S0, A0);
-    // Give the register pool defined values.
-    for (Reg r : kPool) a.li(r, static_cast<i64>(rng_.next() & 0xFFFF));
-
-    const unsigned blocks = 3 + static_cast<unsigned>(rng_.below(5));
-    for (unsigned b = 0; b < blocks; ++b) emit_block(a);
-    a(e::ecall());
-    return a.assemble("fuzz", std::move(d));
-  }
-
- private:
-  Reg pick() { return kPool[rng_.below(kPoolSize)]; }
-
-  i64 mem_offset(unsigned size) {
-    // Aligned, in-bounds and within the 12-bit immediate range.
-    return static_cast<i64>(align_down(rng_.below(2040), size));
-  }
-
-  void emit_random_op(Assembler& a) {
-    const Reg rd = pick(), rs1 = pick(), rs2 = pick();
-    switch (rng_.below(24)) {
-      case 0: a(e::add(rd, rs1, rs2)); break;
-      case 1: a(e::sub(rd, rs1, rs2)); break;
-      case 2: a(e::xor_(rd, rs1, rs2)); break;
-      case 3: a(e::or_(rd, rs1, rs2)); break;
-      case 4: a(e::and_(rd, rs1, rs2)); break;
-      case 5: a(e::sll(rd, rs1, rs2)); break;
-      case 6: a(e::srl(rd, rs1, rs2)); break;
-      case 7: a(e::sra(rd, rs1, rs2)); break;
-      case 8: a(e::slt(rd, rs1, rs2)); break;
-      case 9: a(e::sltu(rd, rs1, rs2)); break;
-      case 10: a(e::mul(rd, rs1, rs2)); break;
-      case 11: a(e::mulh(rd, rs1, rs2)); break;
-      case 12: a(e::div(rd, rs1, rs2)); break;
-      case 13: a(e::rem(rd, rs1, rs2)); break;
-      case 14: a(e::addw(rd, rs1, rs2)); break;
-      case 15: a(e::subw(rd, rs1, rs2)); break;
-      case 16: a(e::addi(rd, rs1, static_cast<i64>(rng_.below(4096)) - 2048)); break;
-      case 17: a(e::slli(rd, rs1, static_cast<unsigned>(rng_.below(64)))); break;
-      case 18: a(e::srai(rd, rs1, static_cast<unsigned>(rng_.below(64)))); break;
-      case 19: {  // load (width varies)
-        const unsigned size = 1u << rng_.below(4);
-        const i64 off = mem_offset(size);
-        switch (size) {
-          case 1: a(e::lbu(rd, S0, off)); break;
-          case 2: a(e::lh(rd, S0, off)); break;
-          case 4: a(e::lw(rd, S0, off)); break;
-          default: a(e::ld(rd, S0, off)); break;
-        }
-        break;
-      }
-      case 20: {  // store
-        const unsigned size = 1u << rng_.below(4);
-        const i64 off = mem_offset(size);
-        switch (size) {
-          case 1: a(e::sb(rs1, S0, off)); break;
-          case 2: a(e::sh(rs1, S0, off)); break;
-          case 4: a(e::sw(rs1, S0, off)); break;
-          default: a(e::sd(rs1, S0, off)); break;
-        }
-        break;
-      }
-      case 21: a(e::mulw(rd, rs1, rs2)); break;
-      case 22: a(e::divu(rd, rs1, rs2)); break;
-      default: a(e::sltiu(rd, rs1, static_cast<i64>(rng_.below(2048)))); break;
-    }
-  }
-
-  /// A straight-line run of ops followed by a bounded counted loop.
-  void emit_block(Assembler& a) {
-    const unsigned straight = 2 + static_cast<unsigned>(rng_.below(12));
-    for (unsigned i = 0; i < straight; ++i) emit_random_op(a);
-
-    // Bounded loop: a dedicated counter register (S6) so the generator's
-    // random ops (which never touch S6) cannot make it diverge.
-    const unsigned iterations = 1 + static_cast<unsigned>(rng_.below(9));
-    const unsigned body = 1 + static_cast<unsigned>(rng_.below(6));
-    a.li(S6, static_cast<i64>(iterations));
-    Label head = a.new_label(), exit = a.new_label();
-    a.bind(head);
-    a.beqz(S6, exit);
-    for (unsigned i = 0; i < body; ++i) emit_random_op(a);
-    // Optional data-dependent (but convergent) skip inside the loop.
-    if (rng_.chance(0.5)) {
-      Label skip = a.new_label();
-      a(e::andi(T6, pick(), 1));
-      a.beqz(T6, skip);
-      emit_random_op(a);
-      a.bind(skip);
-    }
-    a(e::addi(S6, S6, -1));
-    a.j(head);
-    a.bind(exit);
-  }
-
-  Xoshiro256 rng_;
-};
-
-struct DualRun {
-  isa::ArchState iss_state;
-  isa::ArchState pipe_state;
-  std::vector<u8> iss_data;
-  std::vector<u8> pipe_data;
-  u64 pipe_commits = 0;
-};
-
-DualRun run_both(const Program& program) {
-  DualRun out;
-  {
-    mem::PhysMem mem(0, 4 << 20);
-    for (std::size_t i = 0; i < program.text.size(); ++i)
-      mem.store(kTextBase + i * 4, program.text[i], 4);
-    mem.write_block(kDataBase, program.data);
-    isa::Iss iss(mem, kTextBase);
-    iss.state().set_x(A0, kDataBase);
-    iss.state().set_x(SP, kDataBase + 0x80000);
-    iss.run(3'000'000);
-    out.iss_state = iss.state();
-    out.iss_data.resize(kDataBytes);
-    mem.read_block(kDataBase, out.iss_data);
-  }
-  {
-    mem::PhysMem mem(0, 4 << 20);
-    for (std::size_t i = 0; i < program.text.size(); ++i)
-      mem.store(kTextBase + i * 4, program.text[i], 4);
-    mem.write_block(kDataBase, program.data);
-    bus::L2Frontend l2(mem::CacheConfig{}, bus::L2Timing{});
-    bus::AhbBus bus(l2);
-    core::Core core(core::CoreConfig{}, mem, bus, "fuzz");
-    core.reset(kTextBase, kDataBase, kDataBase + 0x80000);
-    core::CoreTapFrame frame;
-    for (u64 c = 0; c < 20'000'000 && !core.halted(); ++c) {
-      core.step(frame);
-      bus.step();
-    }
-    out.pipe_state = core.arch();
-    out.pipe_commits = core.stats().committed;
-    out.pipe_data.resize(kDataBytes);
-    mem.read_block(kDataBase, out.pipe_data);
-  }
-  return out;
-}
-
 class RandomProgramEquivalence : public ::testing::TestWithParam<u64> {};
 
-TEST_P(RandomProgramEquivalence, PipelineMatchesIss) {
-  ProgramFuzzer fuzzer(GetParam());
-  const Program program = fuzzer.generate();
-  const DualRun result = run_both(program);
+TEST_P(RandomProgramEquivalence, OracleStackPasses) {
+  fuzz::ProgramFuzzer fuzzer(GetParam());
+  const fuzz::FuzzProgram program = fuzzer.next();
 
-  ASSERT_EQ(result.iss_state.halt, isa::HaltReason::kEcall) << "seed " << GetParam();
-  ASSERT_EQ(result.pipe_state.halt, isa::HaltReason::kEcall) << "seed " << GetParam();
-  EXPECT_EQ(result.pipe_state.instret, result.iss_state.instret) << "seed " << GetParam();
-  EXPECT_EQ(result.pipe_commits, result.iss_state.instret) << "seed " << GetParam();
-  for (unsigned r = 0; r < 32; ++r)
-    EXPECT_EQ(result.pipe_state.x[r], result.iss_state.x[r])
-        << "seed " << GetParam() << " register x" << r;
-  EXPECT_EQ(result.pipe_data, result.iss_data) << "seed " << GetParam();
+  fuzz::OracleConfig cfg;
+  // Engage the snapshot layer on a quarter of the seeds (cheap seeds stay
+  // fast; the layer itself has a dedicated round-trip suite).
+  if (GetParam() % 4 == 0) cfg.snapshot_cycle = 64 + GetParam() % 256;
+
+  const fuzz::OracleResult res = fuzz::run_differential(program, cfg);
+  EXPECT_TRUE(res.ok()) << "seed " << GetParam() << ": " << fuzz::verdict_name(res.verdict)
+                        << " — " << res.detail;
+  EXPECT_EQ(res.iss_state.halt, isa::HaltReason::kEcall) << "seed " << GetParam();
+  EXPECT_GT(res.instret, 0u);
+  // The run must have produced coverage (the campaign's keep signal).
+  EXPECT_GT(res.coverage.features_hit(), 0u);
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RandomProgramEquivalence,
                          ::testing::Range<u64>(1, 41));  // 40 random programs
+
+// Mutated programs must stay well-formed: every mutant still lowers to a
+// halting program that passes the whole oracle stack.
+TEST(MutatedProgramEquivalence, MutantsStayWellFormed) {
+  fuzz::ProgramFuzzer fuzzer(0xACE);
+  Xoshiro256 rng(0xACE);
+  fuzz::FuzzProgram program = fuzzer.next();
+  const fuzz::FuzzProgram donor = fuzzer.next();
+  for (int round = 0; round < 12; ++round) {
+    fuzz::mutate(program, &donor, rng, fuzzer.config());
+    const fuzz::OracleResult res = fuzz::run_differential(program);
+    ASSERT_TRUE(res.ok()) << "mutation round " << round << ": "
+                          << fuzz::verdict_name(res.verdict) << " — " << res.detail;
+    ASSERT_EQ(res.iss_state.halt, isa::HaltReason::kEcall) << "mutation round " << round;
+  }
+}
 
 }  // namespace
 }  // namespace safedm
