@@ -5,9 +5,17 @@
 #                      gates (sanitizer overhead makes wall-clock assertions
 #                      meaningless; all label filtering is ctest -L based —
 #                      see tests/CMakeLists.txt for the label scheme)
+#   ./ci.sh lint       safedm-lint over src/ + bench/ (driven by the
+#                      CMake-exported compile_commands.json) plus clang-tidy
+#                      with the repo .clang-tidy profile when clang-tidy is
+#                      installed (skipped with a notice otherwise). Fails on
+#                      any finding — see TESTING.md "Static analysis & TSan"
+#   ./ci.sh tsan       ThreadSanitizer build (SAFEDM_SANITIZE=thread preset)
+#                      running the unit+property labels
 #   ./ci.sh coverage   gcov-instrumented build + ctest (perf excluded) +
 #                      per-subsystem line-coverage summary, so fuzzer-driven
-#                      coverage gains are measurable run over run
+#                      coverage gains are measurable run over run; also runs
+#                      the lint stage so the lint fixtures stay compiled
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -24,6 +32,43 @@ run_default_and_san() {
   cmake --preset san
   cmake --build --preset san -j "${JOBS}"
   ctest --preset san -j "${JOBS}"
+}
+
+run_lint() {
+  echo "==> lint (safedm-lint + clang-tidy)"
+  cmake --preset default
+  cmake --build --preset default --target safedm-lint -j "${JOBS}"
+  ./build/tools/lint/safedm-lint --root . --compile-commands build/compile_commands.json
+
+  if command -v clang-tidy >/dev/null 2>&1; then
+    echo "==> clang-tidy (.clang-tidy profile, warnings as errors)"
+    # Lint the repo's own sources only; compile_commands also lists
+    # fixtures (seeded violations) and third-party-free test/bench code.
+    mapfile -t tidy_files < <(
+      python3 - <<'EOF' 2>/dev/null || \
+        grep -o '"file": "[^"]*"' build/compile_commands.json | cut -d'"' -f4
+import json
+for e in json.load(open("build/compile_commands.json")):
+    print(e["file"])
+EOF
+    )
+    src_files=()
+    for f in "${tidy_files[@]}"; do
+      case "$f" in
+        */src/*|*/bench/*) src_files+=("$f") ;;
+      esac
+    done
+    clang-tidy -p build --quiet "${src_files[@]}"
+  else
+    echo "==> clang-tidy not installed; skipping (safedm-lint ran; install clang-tidy to enable)"
+  fi
+}
+
+run_tsan() {
+  echo "==> ThreadSanitizer build (unit + property labels)"
+  cmake --preset tsan
+  cmake --build --preset tsan -j "${JOBS}"
+  ctest --preset tsan -j "${JOBS}"
 }
 
 run_coverage() {
@@ -72,9 +117,14 @@ run_coverage() {
 
 case "${STAGE}" in
   all) run_default_and_san ;;
-  coverage) run_coverage ;;
+  lint) run_lint ;;
+  tsan) run_tsan ;;
+  coverage)
+    run_coverage
+    run_lint
+    ;;
   *)
-    echo "unknown stage: ${STAGE} (expected: coverage)" >&2
+    echo "unknown stage: ${STAGE} (expected: lint, tsan, or coverage)" >&2
     exit 2
     ;;
 esac

@@ -91,7 +91,7 @@ class AhbBus {
 
   AhbSlave& slave_;
   std::vector<AhbCompletion*> masters_;
-  std::vector<std::string> names_;
+  std::vector<std::string> names_;  // lint: no-snapshot(structural wiring, fixed at attach())
   std::vector<Pending> pending_;
   unsigned rr_next_ = 0;  // round-robin pointer
   unsigned busy_cycles_left_ = 0;

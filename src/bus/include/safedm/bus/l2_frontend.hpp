@@ -32,7 +32,7 @@ class L2Frontend final : public AhbSlave {
 
  private:
   mem::CacheTags tags_;
-  L2Timing timing_;
+  L2Timing timing_;  // lint: no-snapshot(timing is configuration, fixed at construction)
 };
 
 }  // namespace safedm::bus

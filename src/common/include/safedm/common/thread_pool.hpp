@@ -10,6 +10,31 @@
 // parallel_for() is the workhorse: the calling thread participates in
 // draining the index range, so a nested parallel_for from inside a worker
 // simply runs its share inline instead of deadlocking on the queue.
+//
+// Concurrency contract (audited under TSan — `./ci.sh tsan` runs the unit
+// and property labels against this code):
+//
+//  * submit() publishes the task by pushing the queue under `mutex_`; the
+//    worker pops under the same mutex, so everything sequenced before
+//    submit() in the producer happens-before the task body in the worker
+//    (mutex release/acquire pair). Tasks themselves run OUTSIDE the lock.
+//  * wait_idle() returns only after observing `queue_.empty() &&
+//    running_ == 0` under `mutex_`. A worker decrements `running_` in a
+//    locked section entered after the task body finishes, so all side
+//    effects of every completed task happen-before wait_idle() returns.
+//  * first_error_ is only ever touched under `mutex_` — including on the
+//    serial (no-worker) submit path, where the pool may still be driven
+//    from several external threads concurrently. wait_idle() atomically
+//    takes-and-clears it, so an exception is rethrown exactly once.
+//  * parallel_for(): index claiming uses a relaxed fetch_add — relaxed is
+//    sufficient because atomicity alone guarantees each index is claimed
+//    exactly once, and no data flows between claimants through `next`.
+//    Completion uses `active` decremented with acq_rel inside the
+//    ForState mutex, and the caller re-checks it (acquire) under the same
+//    mutex, so every helper's writes happen-before parallel_for returns.
+//  * The destructor sets `stopping_` under `mutex_`, wakes every worker,
+//    and join()s them — thread::join gives the final happens-before edge,
+//    so no pool memory is touched after ~ThreadPool() begins returning.
 #pragma once
 
 #include <atomic>

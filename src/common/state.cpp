@@ -21,7 +21,10 @@ std::string printable_tag(const u8* p) {
 
 }  // namespace
 
-StateWriter::StateWriter() { buf_.insert(buf_.end(), kMagic, kMagic + sizeof kMagic); }
+// assign() instead of insert(): GCC 12's -Wstringop-overflow false-fires on
+// range-insert into a fresh empty vector (PR 105329), and this TU builds
+// with -Werror.
+StateWriter::StateWriter() { buf_.assign(kMagic, kMagic + sizeof kMagic); }
 
 void StateWriter::put_u16(u16 v) {
   put_u8(static_cast<u8>(v));

@@ -63,8 +63,12 @@ class BranchPredictor {
     u64 target = 0;
   };
 
-  unsigned bht_index(u64 pc) const { return (pc >> 2) & (config_.bht_entries - 1); }
-  unsigned btb_index(u64 pc) const { return (pc >> 2) & (config_.btb_entries - 1); }
+  unsigned bht_index(u64 pc) const {
+    return static_cast<unsigned>((pc >> 2) & (config_.bht_entries - 1));
+  }
+  unsigned btb_index(u64 pc) const {
+    return static_cast<unsigned>((pc >> 2) & (config_.btb_entries - 1));
+  }
 
   BranchPredictorConfig config_;
   std::vector<u8> bht_;       // 2-bit saturating counters, init weakly not-taken

@@ -151,11 +151,11 @@ class Core final : public bus::AhbCompletion {
 
   bool try_pair(const isa::DecodedInst& first, const isa::DecodedInst& second) const;
 
-  CoreConfig config_;
+  CoreConfig config_;  // lint: no-snapshot(structural configuration; geometry lives in sub-block fingerprints)
   MemoryPort& mem_;
   bus::AhbBus& bus_;
-  int bus_id_ = -1;
-  std::string name_;
+  int bus_id_ = -1;    // lint: no-snapshot(bus attach slot, fixed at construction)
+  std::string name_;   // lint: no-snapshot(structural identity, fixed at construction)
 
   isa::ArchState arch_;
   mem::CacheTags l1i_;

@@ -66,7 +66,7 @@ class DclsChecker final : public soc::CycleObserver {
   void collect(unsigned which, const core::CoreTapFrame& frame,
                std::deque<CommitRecord>& out);
 
-  DclsConfig config_;
+  DclsConfig config_;  // lint: no-snapshot(structural configuration; restore validates against it)
   // The retiring instructions' encodings are visible in the WB stage the
   // cycle *before* their commit is reported; keep the previous snapshot.
   std::array<std::array<core::StageSlotTap, core::kMaxIssueWidth>, 2> prev_wb_{};

@@ -57,8 +57,8 @@ inline u32 pack_s(u32 match, Reg rs1, Reg rs2, i64 imm) {
   check_reg(rs2);
   check_simm(imm, 12);
   const u32 uimm = static_cast<u32>(imm & 0xFFF);
-  return match | (bits(uimm, 4, 0) << 7) | (u32{rs1} << 15) | (u32{rs2} << 20) |
-         (static_cast<u32>(bits(uimm, 11, 5)) << 25);
+  return match | (static_cast<u32>(bits(uimm, 4, 0)) << 7) | (u32{rs1} << 15) |
+         (u32{rs2} << 20) | (static_cast<u32>(bits(uimm, 11, 5)) << 25);
 }
 
 inline u32 pack_b(u32 match, Reg rs1, Reg rs2, i64 offset) {

@@ -28,7 +28,9 @@ struct CacheStats {
   u64 writeback_evictions = 0;
 
   u64 accesses() const { return hits + misses; }
-  double miss_rate() const { return accesses() ? static_cast<double>(misses) / accesses() : 0.0; }
+  double miss_rate() const {
+    return accesses() ? static_cast<double>(misses) / static_cast<double>(accesses()) : 0.0;
+  }
 };
 
 /// Tags + true-LRU state of one cache. The owner decides the policy
@@ -83,7 +85,7 @@ class CacheTags {
   const Way* find(u64 addr) const;
 
   CacheConfig config_;
-  std::string name_;
+  std::string name_;  // lint: no-snapshot(structural identity, used for restore error messages)
   std::vector<Way> ways_;  // sets * ways, row-major by set
   u64 lru_clock_ = 0;
   CacheStats stats_;

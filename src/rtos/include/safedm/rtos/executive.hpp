@@ -103,9 +103,9 @@ class RedundantTaskExecutive {
  private:
   JobRecord run_job(unsigned index, unsigned stagger, const soc::SocConfig& soc_config);
 
-  TaskConfig task_;
-  assembler::Program program_;
-  SocConfigurator configurator_;
+  TaskConfig task_;              // lint: no-snapshot(task definition; restore validates job count against it)
+  assembler::Program program_;   // lint: no-snapshot(workload image, fixed at construction)
+  SocConfigurator configurator_; // lint: no-snapshot(SoC factory callback, not serializable)
   ExecutiveState exec_;
 };
 

@@ -126,28 +126,32 @@ class DiversityComparator {
   void refresh_data_verdict();
   void recompute_instruction_verdict();
 
-  const SignatureGenerator* a_;
-  const SignatureGenerator* b_;
-  const core::PortTap* a_samples_;  // stable raw views (fast path)
-  const core::PortTap* b_samples_;
-  unsigned stride_;     // padded per-port ring span
-  unsigned ring_mask_;  // stride_ - 1
-  unsigned depth_;
-  unsigned ports_;
-  bool crc_mode_;
-  bool raw_perstage_;    // raw compare + per-stage IS: verdict inlines
-  bool incremental_ok_;  // mismatch masks fit in 64 bits
+  // Everything except stats_ is derived from the attached generators and
+  // their (separately snapshotted) rings; restore_state rebuilds it all via
+  // resync(), so each field carries a no-snapshot annotation for safedm-lint.
+  const SignatureGenerator* a_;     // lint: no-snapshot(wiring, set by attach())
+  const SignatureGenerator* b_;     // lint: no-snapshot(wiring, set by attach())
+  const core::PortTap* a_samples_;  // lint: no-snapshot(stable raw fast-path view into a_)
+  const core::PortTap* b_samples_;  // lint: no-snapshot(stable raw fast-path view into b_)
+  unsigned stride_;     // lint: no-snapshot(padded per-port ring span, from generator geometry)
+  unsigned ring_mask_;  // lint: no-snapshot(stride_ - 1, derived)
+  unsigned depth_;      // lint: no-snapshot(generator geometry, derived)
+  unsigned ports_;      // lint: no-snapshot(generator geometry, derived)
+  bool crc_mode_;       // lint: no-snapshot(generator config, derived)
+  bool raw_perstage_;   // lint: no-snapshot(raw compare + per-stage IS verdict inlines, derived)
+  bool incremental_ok_; // lint: no-snapshot(mismatch masks fit in 64 bits, derived)
 
-  std::array<u64, core::kMaxPorts> port_mismatch_{};  // bit i: logical pos i differs
-  u64 mismatch_agg_ = 0;                              // OR of all port masks
+  // bit i: logical pos i differs
+  std::array<u64, core::kMaxPorts> port_mismatch_{};  // lint: no-snapshot(rebuilt by resync())
+  u64 mismatch_agg_ = 0;  // lint: no-snapshot(OR of all port masks, rebuilt by resync())
 
-  u64 seen_shift_a_ = 0;
-  u64 seen_shift_b_ = 0;
-  u64 seen_stage_a_ = ~u64{0};
-  u64 seen_stage_b_ = ~u64{0};
+  u64 seen_shift_a_ = 0;         // lint: no-snapshot(incremental cursor, rebuilt by resync())
+  u64 seen_shift_b_ = 0;         // lint: no-snapshot(incremental cursor, rebuilt by resync())
+  u64 seen_stage_a_ = ~u64{0};   // lint: no-snapshot(incremental cursor, rebuilt by resync())
+  u64 seen_stage_b_ = ~u64{0};   // lint: no-snapshot(incremental cursor, rebuilt by resync())
 
-  bool ds_match_ = true;
-  bool is_match_ = true;
+  bool ds_match_ = true;  // lint: no-snapshot(verdict, recomputed by resync())
+  bool is_match_ = true;  // lint: no-snapshot(verdict, recomputed by resync())
   Stats stats_{};
 };
 

@@ -66,7 +66,9 @@ struct SafeDmCounters {
   u64 distance_max = 0;
 
   double mean_distance() const {
-    return monitored_cycles ? static_cast<double>(distance_sum) / monitored_cycles : 0.0;
+    return monitored_cycles
+               ? static_cast<double>(distance_sum) / static_cast<double>(monitored_cycles)
+               : 0.0;
   }
 };
 
@@ -181,7 +183,7 @@ class SafeDm final : public soc::CycleObserver, public bus::ApbDevice {
   Histogram hist_distance_;
 
   u32 hist_select_ = 0;
-  std::function<void(u64)> irq_handler_;
+  std::function<void(u64)> irq_handler_;  // lint: no-snapshot(callback wiring, re-registered by owner)
 };
 
 }  // namespace safedm::monitor

@@ -176,12 +176,13 @@ class SignatureGenerator {
   u32 data_crc_combine(bool use_cache) const;
 
   SafeDmConfig config_;
-  unsigned padded_depth_ = 1;  // power of two >= data_fifo_depth
-  unsigned depth_mask_ = 0;    // padded_depth_ - 1
-  bool crc_cached_ = false;    // dirty-bit tracking only pays off in CRC mode
+  unsigned padded_depth_ = 1;  // lint: no-snapshot(power of two >= data_fifo_depth, from config)
+  unsigned depth_mask_ = 0;    // lint: no-snapshot(padded_depth_ - 1, derived)
+  bool crc_cached_ = false;    // lint: no-snapshot(dirty-bit tracking only pays off in CRC mode)
   // Exact stage-change detection pays for itself only when a change gates
   // expensive work (CRC rehash, flat-list rebuild); in raw per-stage mode
   // the snapshot is refreshed unconditionally and the version always bumps.
+  // lint: no-snapshot(mode choice, fixed by config at construction)
   bool detect_stage_changes_ = true;
   u64 shifts_ = 0;             // total FIFO shifts; write slot = shifts_ & mask
   u64 stage_version_ = 0;
@@ -190,12 +191,14 @@ class SignatureGenerator {
 
   // CRC caches (CompareMode::kCrc32): one CRC per physical slot plus a
   // dirty flag, and a cached combination over the logical window.
-  mutable std::vector<u32> entry_crc_;
-  mutable std::vector<u8> entry_dirty_;
-  mutable u32 data_crc_cache_ = 0;
-  mutable bool data_crc_valid_ = false;
-  mutable u32 inst_crc_cache_ = 0;
-  mutable bool inst_crc_valid_ = false;
+  // restore_state marks every slot dirty and drops both combined memos, so
+  // the caches rebuild from the restored rings on the next query.
+  mutable std::vector<u32> entry_crc_;   // lint: no-snapshot(memo, dirty-marked on restore)
+  mutable std::vector<u8> entry_dirty_;  // lint: no-snapshot(all-dirty after restore)
+  mutable u32 data_crc_cache_ = 0;       // lint: no-snapshot(memo, invalidated on restore)
+  mutable bool data_crc_valid_ = false;  // lint: no-snapshot(cleared on restore)
+  mutable u32 inst_crc_cache_ = 0;       // lint: no-snapshot(memo, invalidated on restore)
+  mutable bool inst_crc_valid_ = false;  // lint: no-snapshot(cleared on restore)
 
   // Latest pipeline snapshot, packed (slot-major: stage * issue + lane).
   PackedStages stage_packed_{};

@@ -154,12 +154,13 @@ class MpSoc {
   std::unique_ptr<mem::PhysMem> memory_;
   std::unique_ptr<bus::L2Frontend> l2_;
   std::unique_ptr<bus::AhbBus> ahb_;
-  bus::ApbBus apb_;
-  std::unique_ptr<RoutingMemPort> mem_port_;
+  bus::ApbBus apb_;  // lint: no-snapshot(stateless address decode; devices snapshot themselves)
+  std::unique_ptr<RoutingMemPort> mem_port_;  // lint: no-snapshot(stateless routing shim over memory_)
   std::vector<std::unique_ptr<core::Core>> cores_;
   std::vector<core::CoreTapFrame> frames_;
   std::vector<u64> prelude_commits_;
-  std::vector<std::vector<CycleObserver*>> observers_;  // per pair
+  // per pair
+  std::vector<std::vector<CycleObserver*>> observers_;  // lint: no-snapshot(observer wiring, re-attached by owner)
   u64 cycle_ = 0;
 };
 

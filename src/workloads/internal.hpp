@@ -10,7 +10,8 @@
 
 namespace safedm::workloads::internal {
 
-using namespace safedm::assembler;  // register aliases + Assembler/DataBuilder
+// lint: allow-using-namespace(internal-only header: every workload TU wants the register aliases + Assembler/DataBuilder; never installed or included outside src/workloads)
+using namespace safedm::assembler;
 namespace e = safedm::isa::enc;
 
 /// Deterministic input data, seeded per benchmark name so inputs are stable

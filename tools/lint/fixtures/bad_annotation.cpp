@@ -1,0 +1,14 @@
+// Seeded malformed `// lint:` markers: an empty reason and an unknown kind
+// must each produce a bad-annotation finding (and must NOT suppress
+// anything).
+#include <cstdint>
+
+namespace lintfix {
+
+// lint: no-snapshot()
+std::uint64_t not_actually_exempt() { return 1; }
+
+// lint: frobnicate(made-up check name)
+std::uint64_t also_not_exempt() { return 2; }
+
+}  // namespace lintfix

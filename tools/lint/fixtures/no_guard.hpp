@@ -1,0 +1,9 @@
+// Seeded header-guard violation: no `#pragma once`, no #ifndef guard.
+
+#include <cstdint>
+
+namespace lintfix {
+
+inline std::uint64_t unguarded_helper(std::uint64_t v) { return v + 1; }
+
+}  // namespace lintfix

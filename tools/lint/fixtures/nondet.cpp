@@ -1,0 +1,32 @@
+// Seeded nondeterminism violations: rand(), std::random_device,
+// chrono::system_clock, and time() must each be flagged; the annotated
+// rand() call and the steady_clock use must not be.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+namespace lintfix {
+
+unsigned bad_rand() { return static_cast<unsigned>(std::rand()); }
+
+unsigned bad_random_device() {
+  std::random_device rd;
+  return rd();
+}
+
+long bad_system_clock() {
+  return std::chrono::system_clock::now().time_since_epoch().count();
+}
+
+long bad_time() { return static_cast<long>(time(nullptr)); }
+
+unsigned allowed_rand() {
+  return static_cast<unsigned>(std::rand());  // lint: allow-nondeterminism(fixture: escape hatch demo)
+}
+
+long fine_steady_clock() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+
+}  // namespace lintfix

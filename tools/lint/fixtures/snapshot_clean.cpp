@@ -1,0 +1,14 @@
+#include "snapshot_clean.hpp"
+
+namespace lintfix {
+
+std::uint64_t roundtrip_gauge() {
+  Gauge g;
+  StateWriter w;
+  g.save_state(w);
+  StateReader r;
+  g.restore_state(r);
+  return g.crc();
+}
+
+}  // namespace lintfix

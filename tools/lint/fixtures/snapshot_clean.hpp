@@ -1,0 +1,33 @@
+// Fully covered snapshot pair with inline bodies — must produce zero
+// findings. Exercises the inline-body capture path of the parser.
+#pragma once
+
+#include <cstdint>
+
+#include "state_stub.hpp"
+
+namespace lintfix {
+
+class Gauge {
+ public:
+  void save_state(StateWriter& w) const {
+    w.put_u64(level_);
+    w.put_u64(peak_);
+  }
+
+  void restore_state(StateReader& r) {
+    level_ = r.get_u64();
+    peak_ = r.get_u64();
+    crc_memo_ = level_ ^ peak_;
+  }
+
+  std::uint64_t crc() const { return crc_memo_; }
+
+ private:
+  std::uint64_t level_ = 0;
+  std::uint64_t peak_ = 0;
+  // lint: no-snapshot(derived memo, rebuilt at the end of restore_state)
+  std::uint64_t crc_memo_ = 0;
+};
+
+}  // namespace lintfix

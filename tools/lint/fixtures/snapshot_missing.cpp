@@ -1,0 +1,16 @@
+#include "snapshot_missing.hpp"
+
+namespace lintfix {
+
+void Widget::save_state(StateWriter& w) const {
+  w.put_u64(saved_ok_);
+  w.put_u64(missing_restore_);
+}
+
+void Widget::restore_state(StateReader& r) {
+  saved_ok_ = r.get_u64();
+  missing_save_ = r.get_u64();
+  annotated_cache_ = saved_ok_ * kScale_;
+}
+
+}  // namespace lintfix

@@ -1,0 +1,35 @@
+// Seeded snapshot-completeness violations (out-of-line bodies live in
+// snapshot_missing.cpp):
+//   missing_restore_  written by save_state, never read back
+//   missing_save_     restored, never saved
+//   missing_both_     in neither body
+// Exempt, must NOT be flagged:
+//   annotated_cache_  carries `// lint: no-snapshot(reason)`
+//   sink_             reference member (cannot be reseated)
+//   kScale_           const member (cannot be reassigned on restore)
+#pragma once
+
+#include <cstdint>
+
+#include "state_stub.hpp"
+
+namespace lintfix {
+
+class Widget {
+ public:
+  explicit Widget(StateWriter& sink) : sink_(sink) {}
+
+  void save_state(StateWriter& w) const;
+  void restore_state(StateReader& r);
+
+ private:
+  std::uint64_t saved_ok_ = 0;
+  std::uint64_t missing_restore_ = 0;
+  std::uint64_t missing_save_ = 0;
+  std::uint64_t missing_both_ = 0;
+  std::uint64_t annotated_cache_ = 0;  // lint: no-snapshot(rebuilt from saved_ok_ on restore)
+  StateWriter& sink_;
+  const std::uint64_t kScale_ = 8;
+};
+
+}  // namespace lintfix

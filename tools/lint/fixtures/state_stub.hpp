@@ -1,0 +1,25 @@
+// Self-contained stand-ins for safedm::StateWriter/StateReader so the
+// snapshot-completeness fixtures compile without linking the simulator.
+#pragma once
+
+#include <cstdint>
+
+namespace lintfix {
+
+class StateWriter {
+ public:
+  void put_u64(std::uint64_t v) { last_ = v; }
+
+ private:
+  std::uint64_t last_ = 0;
+};
+
+class StateReader {
+ public:
+  std::uint64_t get_u64() { return ++pos_; }
+
+ private:
+  std::uint64_t pos_ = 0;
+};
+
+}  // namespace lintfix

@@ -1,0 +1,30 @@
+// Seeded unordered-iteration violation: the range-for over an unordered_map
+// must be flagged; iterating a vector, or an annotated unordered range-for,
+// must not be.
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace lintfix {
+
+std::uint64_t bad_unordered_sum(const std::unordered_map<std::string, std::uint64_t>& histogram) {
+  std::uint64_t acc = 0;
+  for (const auto& entry : histogram) acc = acc * 31 + entry.second;
+  return acc;
+}
+
+std::uint64_t allowed_unordered_sum(const std::unordered_map<int, std::uint64_t>& counts) {
+  std::uint64_t acc = 0;
+  // lint: allow-unordered-iteration(commutative sum, order cannot leak)
+  for (const auto& entry : counts) acc += entry.second;
+  return acc;
+}
+
+std::uint64_t fine_vector_sum(const std::vector<std::uint64_t>& values) {
+  std::uint64_t acc = 0;
+  for (std::uint64_t v : values) acc = acc * 31 + v;
+  return acc;
+}
+
+}  // namespace lintfix

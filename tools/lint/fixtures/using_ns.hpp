@@ -1,0 +1,15 @@
+// Seeded using-namespace-header violation (the annotated one is exempt).
+#pragma once
+
+#include <string>
+
+namespace lintfix {
+
+using namespace std::string_literals;
+
+namespace detail {
+// lint: allow-using-namespace(fixture: escape hatch demo)
+using namespace std::string_literals;
+}  // namespace detail
+
+}  // namespace lintfix

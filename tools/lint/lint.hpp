@@ -1,0 +1,99 @@
+// safedm-lint: repo-native static analysis for the SafeDM codebase.
+//
+// Three check families, tuned to the invariants this repo actually relies
+// on (TESTING.md "Static analysis & TSan" documents the catalog):
+//
+//   snapshot-completeness  every data member of a class that defines both
+//                          save_state(StateWriter&) and
+//                          restore_state(StateReader&) must be referenced
+//                          in both bodies. Escape hatch:
+//                          `// lint: no-snapshot(reason)` on (or directly
+//                          above) the member declaration. Reference and
+//                          const members are exempt automatically (they
+//                          cannot be reseated/reassigned on restore).
+//
+//   nondeterminism         in src/ and bench/: bans rand()/srand(),
+//                          std::random_device, time()/clock(), and
+//                          chrono::system_clock — anything whose value
+//                          differs run-over-run and could leak into hashed
+//                          or JSON-emitted results. Escape:
+//                          `// lint: allow-nondeterminism(reason)`.
+//
+//   unordered-iteration    range-for over a std::unordered_{map,set}
+//                          (iteration order is unspecified, so anything it
+//                          feeds — output, hashes, accumulation order — is
+//                          nondeterministic across libstdc++ versions).
+//                          Escape: `// lint: allow-unordered-iteration(reason)`.
+//
+//   header-guard           every header must use #pragma once (or a
+//                          classic #ifndef/#define guard).
+//
+//   using-namespace-header no `using namespace` in headers. Escape:
+//                          `// lint: allow-using-namespace(reason)`.
+//
+//   bad-annotation         a `// lint:` marker with an unknown kind or an
+//                          empty reason — the escape does not apply, and
+//                          the malformed marker itself is reported.
+//
+// The parser is a deliberate 90% solution: a comment/string-stripping
+// tokenizer plus a brace-matching scope walker, not a real C++ front end.
+// Known limitations (all benign for this codebase, see TESTING.md):
+// function-pointer members parse as functions, and fields touched only
+// through helper functions called by save_state/restore_state need a
+// `no-snapshot` annotation.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace safedm::lint {
+
+struct Finding {
+  std::string file;  // path as reported (relative to the lint root)
+  int line = 0;
+  std::string check;
+  std::string message;
+
+  bool operator<(const Finding& o) const {
+    if (file != o.file) return file < o.file;
+    if (line != o.line) return line < o.line;
+    if (check != o.check) return check < o.check;
+    return message < o.message;
+  }
+  bool operator==(const Finding& o) const {
+    return file == o.file && line == o.line && check == o.check && message == o.message;
+  }
+};
+
+/// One file's worth of lexed state, shared by all checks.
+struct SourceFile {
+  std::string path;          // as reported in findings
+  bool is_header = false;    // .hpp / .h
+  bool determinism = false;  // subject to the determinism checks (src/, bench/)
+  std::vector<std::string> raw_lines;
+  std::string code;  // comments and literals blanked, line structure kept
+  // line -> escape-hatch kinds ("no-snapshot", "allow-nondeterminism", ...)
+  std::map<int, std::set<std::string>> annotations;
+  std::vector<Finding> bad_annotations;  // malformed `// lint:` markers
+};
+
+/// Load + lex one file. Returns false (and leaves `out` untouched) when the
+/// file cannot be read.
+bool load_source(const std::string& disk_path, const std::string& report_path, bool determinism,
+                 SourceFile& out);
+
+/// Run every check over the file set and return the sorted findings.
+std::vector<Finding> run_checks(const std::vector<SourceFile>& files);
+
+/// `path:line: [check] message` — the one canonical rendering, used by the
+/// CLI output and the selftest golden file alike.
+std::string format(const Finding& f);
+
+/// Extract the translation-unit file list from a compile_commands.json.
+/// Minimal parser for the flat shape CMake emits; relative entries are
+/// resolved against their "directory" field.
+std::vector<std::string> compile_commands_files(const std::string& json_path);
+
+}  // namespace safedm::lint

@@ -1,0 +1,203 @@
+// safedm-lint CLI. Modes:
+//
+//   safedm-lint --root <repo> --compile-commands <build/compile_commands.json>
+//       Lint the repo: every translation unit listed in compile_commands.json
+//       that lives under <repo>/src or <repo>/bench, plus every header found
+//       under those trees (headers never appear in compile_commands). Prints
+//       findings as `path:line: [check] message`; exit 1 when any exist.
+//
+//   safedm-lint --selftest <fixtures-dir> <golden-file>
+//       Lint every .hpp/.cpp under <fixtures-dir> (all checks enabled) and
+//       diff the findings against the golden file. Exit 0 only on an exact
+//       match — a seeded violation that stops firing fails just as loudly as
+//       a spurious new finding.
+//
+//   safedm-lint --files <file>...
+//       Lint an explicit file list (all checks enabled). Debugging aid.
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "lint.hpp"
+
+namespace fs = std::filesystem;
+using safedm::lint::Finding;
+using safedm::lint::SourceFile;
+
+namespace {
+
+int usage() {
+  std::cerr << "usage: safedm-lint --root DIR --compile-commands FILE\n"
+               "       safedm-lint --selftest FIXTURE_DIR GOLDEN_FILE\n"
+               "       safedm-lint --files FILE...\n";
+  return 2;
+}
+
+bool lintable_extension(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".cpp" || ext == ".cc" || ext == ".hpp" || ext == ".h" || ext == ".hh";
+}
+
+std::string relative_to(const fs::path& p, const fs::path& base) {
+  std::error_code ec;
+  fs::path rel = fs::relative(p, base, ec);
+  return (ec || rel.empty()) ? p.generic_string() : rel.generic_string();
+}
+
+// Collect lintable files under `dir` in a deterministic order.
+std::vector<fs::path> walk(const fs::path& dir) {
+  std::vector<fs::path> out;
+  if (!fs::exists(dir)) return out;
+  for (const auto& entry : fs::recursive_directory_iterator(dir)) {
+    if (entry.is_regular_file() && lintable_extension(entry.path())) out.push_back(entry.path());
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+int report(const std::vector<Finding>& findings) {
+  for (const Finding& f : findings) std::cout << safedm::lint::format(f) << "\n";
+  if (findings.empty()) {
+    std::cout << "safedm-lint: clean\n";
+    return 0;
+  }
+  std::cout << "safedm-lint: " << findings.size() << " finding(s)\n";
+  return 1;
+}
+
+int run_repo(const std::string& root_arg, const std::string& cc_path) {
+  std::error_code ec;
+  const fs::path root = fs::canonical(root_arg, ec);
+  if (ec) {
+    std::cerr << "safedm-lint: cannot resolve root `" << root_arg << "`\n";
+    return 2;
+  }
+  const fs::path src = root / "src";
+  const fs::path bench = root / "bench";
+
+  std::vector<fs::path> paths;
+  std::vector<std::string> tus = safedm::lint::compile_commands_files(cc_path);
+  if (tus.empty()) {
+    std::cerr << "safedm-lint: no translation units in `" << cc_path
+              << "` (configure with CMAKE_EXPORT_COMPILE_COMMANDS=ON)\n";
+    return 2;
+  }
+  auto under = [](const fs::path& p, const fs::path& base) {
+    const std::string ps = p.generic_string(), bs = base.generic_string() + "/";
+    return ps.compare(0, bs.size(), bs) == 0;
+  };
+  for (const std::string& tu : tus) {
+    const fs::path p = fs::weakly_canonical(tu, ec);
+    if (!ec && (under(p, src) || under(p, bench)) && lintable_extension(p)) paths.push_back(p);
+  }
+  // Headers are not translation units; pick them up from the tree.
+  for (const fs::path& dir : {src, bench}) {
+    for (fs::path& p : walk(dir)) {
+      if (p.extension() != ".cpp" && p.extension() != ".cc") paths.push_back(std::move(p));
+    }
+  }
+  std::sort(paths.begin(), paths.end());
+  paths.erase(std::unique(paths.begin(), paths.end()), paths.end());
+
+  std::vector<SourceFile> files;
+  for (const fs::path& p : paths) {
+    SourceFile sf;
+    if (!safedm::lint::load_source(p.string(), relative_to(p, root), /*determinism=*/true, sf)) {
+      std::cerr << "safedm-lint: cannot read `" << p.string() << "`\n";
+      return 2;
+    }
+    files.push_back(std::move(sf));
+  }
+  std::cout << "safedm-lint: " << files.size() << " files\n";
+  return report(safedm::lint::run_checks(files));
+}
+
+int run_files(const std::vector<std::string>& args) {
+  std::vector<SourceFile> files;
+  for (const std::string& a : args) {
+    SourceFile sf;
+    if (!safedm::lint::load_source(a, a, /*determinism=*/true, sf)) {
+      std::cerr << "safedm-lint: cannot read `" << a << "`\n";
+      return 2;
+    }
+    files.push_back(std::move(sf));
+  }
+  return report(safedm::lint::run_checks(files));
+}
+
+int run_selftest(const std::string& fixture_dir, const std::string& golden_path) {
+  std::vector<SourceFile> files;
+  for (const fs::path& p : walk(fixture_dir)) {
+    SourceFile sf;
+    if (!safedm::lint::load_source(p.string(), relative_to(p, fixture_dir), true, sf)) {
+      std::cerr << "safedm-lint: cannot read `" << p.string() << "`\n";
+      return 2;
+    }
+    files.push_back(std::move(sf));
+  }
+  if (files.empty()) {
+    std::cerr << "safedm-lint: no fixtures under `" << fixture_dir << "`\n";
+    return 2;
+  }
+  std::vector<std::string> got;
+  for (const Finding& f : safedm::lint::run_checks(files)) got.push_back(safedm::lint::format(f));
+
+  std::vector<std::string> want;
+  std::ifstream in(golden_path);
+  if (!in) {
+    std::cerr << "safedm-lint: cannot read golden file `" << golden_path << "`\n";
+    return 2;
+  }
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (!line.empty() && line[0] != '#') want.push_back(line);
+  }
+
+  bool ok = true;
+  for (const std::string& g : got) {
+    if (std::find(want.begin(), want.end(), g) == want.end()) {
+      std::cout << "UNEXPECTED: " << g << "\n";
+      ok = false;
+    }
+  }
+  for (const std::string& w : want) {
+    if (std::find(got.begin(), got.end(), w) == got.end()) {
+      std::cout << "MISSING:    " << w << "\n";
+      ok = false;
+    }
+  }
+  std::cout << "safedm-lint selftest: " << got.size() << " findings, " << want.size()
+            << " expected — " << (ok ? "OK" : "MISMATCH") << "\n";
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  std::string root, cc, selftest_dir, golden;
+  std::vector<std::string> file_args;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--root" && i + 1 < args.size()) {
+      root = args[++i];
+    } else if (args[i] == "--compile-commands" && i + 1 < args.size()) {
+      cc = args[++i];
+    } else if (args[i] == "--selftest" && i + 2 < args.size()) {
+      selftest_dir = args[++i];
+      golden = args[++i];
+    } else if (args[i] == "--files") {
+      file_args.assign(args.begin() + static_cast<long>(i) + 1, args.end());
+      break;
+    } else {
+      return usage();
+    }
+  }
+  if (!selftest_dir.empty()) return run_selftest(selftest_dir, golden);
+  if (!root.empty() && !cc.empty()) return run_repo(root, cc);
+  if (!file_args.empty()) return run_files(file_args);
+  return usage();
+}
