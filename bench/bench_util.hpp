@@ -11,6 +11,7 @@
 #pragma once
 
 #include <algorithm>
+#include <cmath>
 #include <string>
 #include <vector>
 
@@ -20,6 +21,43 @@
 #include "safedm/workloads/workloads.hpp"
 
 namespace safedm::bench {
+
+/// Repetition statistics for timed measurements (hwvar-style): collect one
+/// sample per repetition, report best alongside min/median/stddev so the
+/// JSON carries the host's noise level instead of silently folding it
+/// away. For throughput-style metrics (higher is better) `best` is the
+/// max; scheduling noise on a shared host only ever slows a run down, so
+/// the best of K repetitions approximates the true speed while the
+/// median/stddev expose how trustworthy that approximation was.
+struct Measurement {
+  std::vector<double> samples;
+
+  void add(double sample) { samples.push_back(sample); }
+  bool empty() const { return samples.empty(); }
+
+  double best() const {
+    return samples.empty() ? 0.0 : *std::max_element(samples.begin(), samples.end());
+  }
+  double min() const {
+    return samples.empty() ? 0.0 : *std::min_element(samples.begin(), samples.end());
+  }
+  double median() const {
+    if (samples.empty()) return 0.0;
+    std::vector<double> sorted = samples;
+    std::sort(sorted.begin(), sorted.end());
+    const std::size_t mid = sorted.size() / 2;
+    return sorted.size() % 2 ? sorted[mid] : (sorted[mid - 1] + sorted[mid]) / 2.0;
+  }
+  double stddev() const {
+    if (samples.size() < 2) return 0.0;
+    double mean = 0;
+    for (double s : samples) mean += s;
+    mean /= static_cast<double>(samples.size());
+    double var = 0;
+    for (double s : samples) var += (s - mean) * (s - mean);
+    return std::sqrt(var / static_cast<double>(samples.size() - 1));
+  }
+};
 
 struct RunOutcome {
   u64 cycles = 0;            // SoC cycles until both cores halted
@@ -67,6 +105,10 @@ inline ThreadPool& bench_pool() {
 inline RunOutcome run_redundant(const assembler::Program& program, const RunSpec& spec) {
   soc::SocConfig soc_config = spec.soc;
   soc_config.arbiter_bias = spec.arbiter_bias;
+  // SafeDM is the only observer this rig attaches and it is a pure sink,
+  // so batched delivery is safe and amortizes per-cycle dispatch. A spec
+  // that explicitly set another batch size wins.
+  if (soc_config.observer_batch == 1) soc_config.observer_batch = 32;
   soc::MpSoc soc(soc_config);
 
   monitor::SafeDmConfig dm_config = spec.dm;

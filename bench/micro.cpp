@@ -9,6 +9,7 @@
 #include "safedm/common/thread_pool.hpp"
 #include "safedm/safedm/monitor.hpp"
 #include "safedm/safedm/signature.hpp"
+#include "safedm/safedm/simd.hpp"
 
 using namespace safedm;
 
@@ -110,6 +111,68 @@ void BM_MonitorFullCycleMatched(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_MonitorFullCycleMatched)->Arg(1)->Arg(0);
+
+void BM_SimdStageCompare(benchmark::State& state) {
+  // The IS hot compare: one packed pipeline snapshot (kStageSlots words)
+  // per cycle. range(0) selects the kernel; unsupported kernels clamp to
+  // the best the host has, so cross-host numbers stay comparable by name.
+  namespace simd = monitor::simd;
+  const auto kernel = static_cast<simd::Kernel>(state.range(0));
+  if (!simd::kernel_supported(kernel)) {
+    state.SkipWithError("kernel not supported on this host");
+    return;
+  }
+  const simd::WordsEqualFixedFn fn =
+      simd::words_equal_fixed_fn<monitor::SignatureGenerator::kStageSlots>(kernel);
+  const core::CoreTapFrame a = busy_frame(0);
+  const core::CoreTapFrame b = busy_frame(0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fn(&a.stage, &b.stage));
+  }
+  state.SetLabel(simd::kernel_name(kernel));
+}
+BENCHMARK(BM_SimdStageCompare)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_SimdMismatchBits(benchmark::State& state) {
+  // The realign scan primitive: bit-sliced window compare over the SoA
+  // value/enable planes, range(0) = window depth, range(1) = kernel.
+  namespace simd = monitor::simd;
+  const auto n = static_cast<unsigned>(state.range(0));
+  const auto kernel = static_cast<simd::Kernel>(state.range(1));
+  if (!simd::kernel_supported(kernel)) {
+    state.SkipWithError("kernel not supported on this host");
+    return;
+  }
+  const simd::MismatchBitsFn fn = simd::mismatch_bits_fn(kernel);
+  std::vector<u64> av(n), bv(n);
+  std::vector<u8> ae(n, 1), be(n, 1);
+  for (unsigned i = 0; i < n; ++i) av[i] = bv[i] = 0x9E37'79B9 + i;
+  bv[n / 2] ^= 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fn(av.data(), bv.data(), ae.data(), be.data(), n));
+  }
+  state.SetLabel(simd::kernel_name(kernel));
+}
+BENCHMARK(BM_SimdMismatchBits)->Args({4, 2})->Args({64, 0})->Args({64, 1})->Args({64, 2});
+
+void BM_MonitorBatchedCycles(benchmark::State& state) {
+  // The chunked delivery path (on_cycles) against the same matched steady
+  // state as BM_MonitorFullCycleMatched: range(0) = batch size, so the
+  // amortization curve from per-cycle (1) to full chunks (64) is visible.
+  const auto batch = static_cast<unsigned>(state.range(0));
+  monitor::SafeDmConfig config;
+  config.start_enabled = true;
+  monitor::SafeDm dm(config);
+  const core::CoreTapFrame f = busy_frame(0);
+  std::vector<core::CoreTapFrame> frames(batch, f);
+  u64 cycle = 0;
+  for (auto _ : state) {
+    dm.on_cycles(cycle + 1, frames.data(), frames.data(), batch);
+    cycle += batch;
+  }
+  state.SetItemsProcessed(static_cast<i64>(state.iterations()) * batch);
+}
+BENCHMARK(BM_MonitorBatchedCycles)->Arg(1)->Arg(8)->Arg(64);
 
 void BM_MonitorFleetParallel(benchmark::State& state) {
   // range(0) independent monitors pumped concurrently over the bench

@@ -1,8 +1,10 @@
 // S2 — Monitor simulation throughput: simulated cycles/second of the
 // per-cycle SafeDM datapath for the legacy (pre-incremental) comparison,
-// the current exhaustive path, and the incremental DiversityComparator,
-// in both raw and CRC32 compare modes. Emits machine-readable JSON
-// (BENCH_throughput.json) so the perf trajectory is tracked PR over PR.
+// the current exhaustive path, the incremental DiversityComparator, and
+// the batched SIMD fast path (on_cycles), in raw and CRC32 compare modes.
+// Emits machine-readable JSON (BENCH_throughput.json) so the perf
+// trajectory is tracked PR over PR; bench/baselines/ holds the committed
+// reference the perf_regression CTest diffs against.
 //
 // The "legacy" baseline is a faithful replica of the original per-cycle
 // code: vector-of-vectors ring buffers indexed with modulo arithmetic, a
@@ -15,12 +17,14 @@
 // the worst case for every comparator (no early exit) and the
 // hardware-relevant steady state; the "divergent" scenario adds
 // independent per-core holds and value divergence, exercising the
-// comparator's realignment fallback.
+// comparator's realignment fallback (mid-chunk, for the batched path).
 //
 // Usage: bench_throughput [--cycles=N] [--reps=N] [--json=PATH] [--check]
-//   --reps: repetitions per mode; the best is reported (noise rejection).
+//   --reps: repetitions per mode; the best is the headline number and
+//   min/median/stddev land in the JSON (hwvar-style noise reporting).
 //   --check exits nonzero if the incremental comparator is not faster
-//   than the exhaustive path (the perf-smoke CTest gate).
+//   than the exhaustive path or the batched path loses its edge over the
+//   per-cycle incremental one (the perf-smoke CTest gate).
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -29,11 +33,14 @@
 #include <string>
 #include <vector>
 
+#include "bench_util.hpp"
 #include "json_writer.hpp"
 #include "safedm/common/rng.hpp"
 #include "safedm/safedm/monitor.hpp"
+#include "safedm/safedm/simd.hpp"
 
 using namespace safedm;
+namespace simd = safedm::monitor::simd;
 
 namespace legacy {
 
@@ -213,9 +220,19 @@ struct Monitor {
 
 namespace {
 
-struct FramePair {
-  core::CoreTapFrame f0;
-  core::CoreTapFrame f1;
+/// Both representations of the same frame stream: interleaved pairs for
+/// the per-cycle pumps, and the two contiguous per-core arrays on_cycles
+/// consumes (the batched API takes one frame pointer per core).
+struct Trace {
+  struct FramePair {
+    core::CoreTapFrame f0;
+    core::CoreTapFrame f1;
+  };
+  std::vector<FramePair> pairs;
+  std::vector<core::CoreTapFrame> f0;
+  std::vector<core::CoreTapFrame> f1;
+
+  std::size_t length() const { return pairs.size(); }
 };
 
 core::CoreTapFrame random_frame(Xoshiro256& rng) {
@@ -232,10 +249,11 @@ core::CoreTapFrame random_frame(Xoshiro256& rng) {
 /// `divergent` adds independent per-core holds (realignment pressure) and
 /// occasional value divergence; otherwise both cores see identical frames
 /// with an occasional common hold.
-std::vector<FramePair> make_trace(std::size_t length, bool divergent, u64 seed) {
+Trace make_trace(std::size_t length, bool divergent, u64 seed) {
   Xoshiro256 rng(seed);
-  std::vector<FramePair> trace(length);
-  for (FramePair& pair : trace) {
+  Trace trace;
+  trace.pairs.resize(length);
+  for (Trace::FramePair& pair : trace.pairs) {
     pair.f0 = random_frame(rng);
     pair.f0.hold = rng.chance(0.15);
     pair.f1 = pair.f0;
@@ -243,6 +261,8 @@ std::vector<FramePair> make_trace(std::size_t length, bool divergent, u64 seed) 
       pair.f1.hold = rng.chance(0.15);  // independent: de-aligns the FIFOs
       if (rng.chance(0.3)) pair.f1 = random_frame(rng);
     }
+    trace.f0.push_back(pair.f0);
+    trace.f1.push_back(pair.f1);
   }
   return trace;
 }
@@ -257,17 +277,19 @@ struct ModeResult {
   u64 nodiv = 0;  // consumed so the compiler cannot elide the work
 };
 
-// Repetitions per mode: scheduling noise on a shared host only ever slows
-// a run down, so the best of N repetitions approximates the true speed.
-// Repetitions are interleaved round-robin across modes (see main) so a
-// burst of background load cannot bias one mode's every repetition.
+/// Per-mode repetition statistics; the headline number is the best rep.
+struct ModeStats {
+  std::string name;
+  bench::Measurement meas;
+  u64 nodiv = 0;
+};
+
 unsigned g_reps = 5;
 
 template <typename PumpFn>
-ModeResult measure(const std::string& name, u64 cycles, const std::vector<FramePair>& trace,
-                   PumpFn&& pump) {
+ModeResult measure(const std::string& name, u64 cycles, PumpFn&& pump) {
   const auto start = std::chrono::steady_clock::now();
-  const u64 nodiv = pump(cycles, trace);
+  const u64 nodiv = pump(cycles);
   const double elapsed = seconds_since(start);
   return ModeResult{name, elapsed > 0 ? static_cast<double>(cycles) / elapsed : 0, nodiv};
 }
@@ -282,15 +304,15 @@ monitor::SafeDmConfig bench_config(monitor::CompareMode compare) {
   return config;
 }
 
-ModeResult run_safedm(const std::string& name, u64 cycles, const std::vector<FramePair>& trace,
+ModeResult run_safedm(const std::string& name, u64 cycles, const Trace& trace,
                       monitor::CompareMode compare, bool incremental) {
-  return measure(name, cycles, trace, [&](u64 n, const std::vector<FramePair>& t) {
+  return measure(name, cycles, [&](u64 n) {
     monitor::SafeDmConfig config = bench_config(compare);
     config.incremental_compare = incremental;
     monitor::SafeDm dm(config);
-    const std::size_t len = t.size();
+    const std::size_t len = trace.length();
     for (u64 c = 0, i = 0; c < n; ++c) {
-      const FramePair& pair = t[i];
+      const Trace::FramePair& pair = trace.pairs[i];
       if (++i == len) i = 0;  // no per-cycle modulo: it would dwarf the DUT
       dm.on_cycle(c, pair.f0, pair.f1);
     }
@@ -298,13 +320,34 @@ ModeResult run_safedm(const std::string& name, u64 cycles, const std::vector<Fra
   });
 }
 
-ModeResult run_legacy(const std::string& name, u64 cycles, const std::vector<FramePair>& trace,
+/// Batched pump: the whole trace in one on_cycles call per lap, the way
+/// MpSoc's observer batching (or a bench rig) hands frames over. The
+/// monitor chunks internally at 64 cycles.
+ModeResult run_safedm_batched(const std::string& name, u64 cycles, const Trace& trace,
+                              simd::Kernel kernel) {
+  return measure(name, cycles, [&](u64 n) {
+    const simd::Kernel previous = simd::force_kernel(kernel);
+    monitor::SafeDmConfig config = bench_config(monitor::CompareMode::kRaw);
+    config.incremental_compare = true;
+    monitor::SafeDm dm(config);
+    const u64 len = trace.length();
+    for (u64 c = 0; c < n;) {
+      const unsigned m = static_cast<unsigned>(len < n - c ? len : n - c);
+      dm.on_cycles(c, trace.f0.data(), trace.f1.data(), m);
+      c += m;
+    }
+    simd::force_kernel(previous);
+    return dm.counters().nodiv_cycles;
+  });
+}
+
+ModeResult run_legacy(const std::string& name, u64 cycles, const Trace& trace,
                       monitor::CompareMode compare) {
-  return measure(name, cycles, trace, [&](u64 n, const std::vector<FramePair>& t) {
+  return measure(name, cycles, [&](u64 n) {
     legacy::Monitor dm(bench_config(compare));
-    const std::size_t len = t.size();
+    const std::size_t len = trace.length();
     for (u64 c = 0, i = 0; c < n; ++c) {
-      const FramePair& pair = t[i];
+      const Trace::FramePair& pair = trace.pairs[i];
       if (++i == len) i = 0;
       dm.on_cycle(c, pair.f0, pair.f1);
     }
@@ -330,13 +373,14 @@ int main(int argc, char** argv) {
 
   // 64 pairs ≈ 27 KB: L1-resident, so trace fetch does not drown the
   // datapath under measurement.
-  const std::vector<FramePair> matched = make_trace(64, /*divergent=*/false, 0x5AFE0001);
-  const std::vector<FramePair> divergent = make_trace(64, /*divergent=*/true, 0x5AFE0002);
+  const Trace matched = make_trace(64, /*divergent=*/false, 0x5AFE0001);
+  const Trace divergent = make_trace(64, /*divergent=*/true, 0x5AFE0002);
+
+  const simd::Kernel kernel = simd::active_kernel();
 
   // Warm-up pass so lazy page faults / frequency scaling don't skew the
   // first measurement.
-  run_safedm("warmup", std::min<u64>(cycles / 4 + 1, 200'000), matched,
-             monitor::CompareMode::kRaw, true);
+  run_safedm_batched("warmup", std::min<u64>(cycles / 4 + 1, 200'000), matched, kernel);
 
   const std::vector<std::function<ModeResult()>> modes = {
       [&] { return run_legacy("raw_legacy", cycles, matched, monitor::CompareMode::kRaw); },
@@ -345,6 +389,11 @@ int main(int argc, char** argv) {
       },
       [&] {
         return run_safedm("raw_incremental", cycles, matched, monitor::CompareMode::kRaw, true);
+      },
+      [&] { return run_safedm_batched("raw_batched", cycles, matched, kernel); },
+      [&] {
+        return run_safedm_batched("raw_batched_portable", cycles, matched,
+                                  simd::Kernel::kPortable);
       },
       [&] { return run_legacy("crc_legacy", cycles, matched, monitor::CompareMode::kCrc32); },
       [&] {
@@ -360,46 +409,65 @@ int main(int argc, char** argv) {
         return run_safedm("raw_incremental_divergent", cycles, divergent,
                           monitor::CompareMode::kRaw, true);
       },
+      [&] { return run_safedm_batched("raw_batched_divergent", cycles, divergent, kernel); },
   };
-  std::vector<ModeResult> results(modes.size());
+  // Repetitions are interleaved round-robin across modes so a burst of
+  // background load cannot bias one mode's every repetition.
+  std::vector<ModeStats> results(modes.size());
   for (unsigned rep = 0; rep < g_reps; ++rep) {
     for (std::size_t i = 0; i < modes.size(); ++i) {
       ModeResult r = modes[i]();
-      if (r.cycles_per_sec > results[i].cycles_per_sec) results[i].cycles_per_sec = r.cycles_per_sec;
+      results[i].meas.add(r.cycles_per_sec);
       results[i].name = std::move(r.name);
       results[i].nodiv = r.nodiv;
     }
   }
 
-  const auto find = [&](const char* name) -> const ModeResult& {
-    for (const ModeResult& r : results)
+  const auto find = [&](const char* name) -> const ModeStats& {
+    for (const ModeStats& r : results)
       if (r.name == name) return r;
     std::fprintf(stderr, "missing mode %s\n", name);
     std::exit(2);
   };
-  const double raw_vs_legacy =
-      find("raw_incremental").cycles_per_sec / find("raw_legacy").cycles_per_sec;
-  const double raw_vs_exhaustive =
-      find("raw_incremental").cycles_per_sec / find("raw_exhaustive").cycles_per_sec;
-  const double crc_vs_legacy =
-      find("crc_incremental").cycles_per_sec / find("crc_legacy").cycles_per_sec;
-  const double crc_vs_exhaustive =
-      find("crc_incremental").cycles_per_sec / find("crc_exhaustive").cycles_per_sec;
+  const auto best = [&](const char* name) { return find(name).meas.best(); };
+  const double raw_vs_legacy = best("raw_incremental") / best("raw_legacy");
+  const double raw_vs_exhaustive = best("raw_incremental") / best("raw_exhaustive");
+  const double crc_vs_legacy = best("crc_incremental") / best("crc_legacy");
+  const double crc_vs_exhaustive = best("crc_incremental") / best("crc_exhaustive");
+  const double batched_vs_incremental = best("raw_batched") / best("raw_incremental");
+  const double batched_portable_vs_incremental =
+      best("raw_batched_portable") / best("raw_incremental");
+  const double batched_vs_legacy = best("raw_batched") / best("raw_legacy");
+  const double batched_portable_vs_legacy = best("raw_batched_portable") / best("raw_legacy");
+  const double batched_divergent_vs_incremental =
+      best("raw_batched_divergent") / best("raw_incremental_divergent");
 
-  std::printf("Monitor throughput (simulated cycles/sec, %llu cycles, geometry m=3 n=4)\n\n",
-              static_cast<unsigned long long>(cycles));
-  std::printf("%-28s %16s %12s\n", "mode", "cycles/sec", "nodiv");
-  for (const ModeResult& r : results)
-    std::printf("%-28s %16.0f %12llu\n", r.name.c_str(), r.cycles_per_sec,
-                static_cast<unsigned long long>(r.nodiv));
-  std::printf("\nspeedup raw incremental vs legacy (pre-PR): %.2fx\n", raw_vs_legacy);
-  std::printf("speedup raw incremental vs exhaustive:      %.2fx\n", raw_vs_exhaustive);
-  std::printf("speedup crc incremental vs legacy (pre-PR): %.2fx\n", crc_vs_legacy);
-  std::printf("speedup crc incremental vs exhaustive:      %.2fx\n", crc_vs_exhaustive);
+  std::printf(
+      "Monitor throughput (simulated cycles/sec, %llu cycles x %u reps, geometry m=3 n=4, "
+      "kernel %s)\n\n",
+      static_cast<unsigned long long>(cycles), g_reps, simd::kernel_name(kernel));
+  std::printf("%-28s %16s %16s %12s %12s\n", "mode", "best c/s", "median c/s", "stddev",
+              "nodiv");
+  for (const ModeStats& r : results)
+    std::printf("%-28s %16.0f %16.0f %12.0f %12llu\n", r.name.c_str(), r.meas.best(),
+                r.meas.median(), r.meas.stddev(), static_cast<unsigned long long>(r.nodiv));
+  std::printf("\nspeedup raw incremental vs legacy (pre-PR):  %.2fx\n", raw_vs_legacy);
+  std::printf("speedup raw incremental vs exhaustive:       %.2fx\n", raw_vs_exhaustive);
+  std::printf("speedup raw batched vs incremental:          %.2fx\n", batched_vs_incremental);
+  std::printf("speedup raw batched (portable) vs increm.:   %.2fx\n",
+              batched_portable_vs_incremental);
+  std::printf("speedup raw batched vs legacy:               %.2fx\n", batched_vs_legacy);
+  std::printf("speedup raw batched (portable) vs legacy:    %.2fx\n",
+              batched_portable_vs_legacy);
+  std::printf("speedup raw batched divergent vs increm.:    %.2fx\n",
+              batched_divergent_vs_incremental);
+  std::printf("speedup crc incremental vs legacy (pre-PR):  %.2fx\n", crc_vs_legacy);
+  std::printf("speedup crc incremental vs exhaustive:       %.2fx\n", crc_vs_exhaustive);
 
   bench::JsonWriter json;
   json.begin_object();
-  json.prop("schema", "safedm.bench.throughput/v1");
+  json.prop("schema", "safedm.bench.throughput/v2");
+  json.prop("simd_kernel", simd::kernel_name(kernel));
   json.key("geometry").begin_object();
   json.prop("num_ports", 3)
       .prop("data_fifo_depth", 4)
@@ -407,16 +475,26 @@ int main(int argc, char** argv) {
       .prop("issue_width", core::kMaxIssueWidth);
   json.end_object();
   json.prop("cycles", cycles);
+  json.prop("reps", g_reps);
   json.key("modes").begin_object();
-  for (const ModeResult& r : results) {
+  for (const ModeStats& r : results) {
     json.key(r.name).begin_object();
-    json.prop("cycles_per_sec", r.cycles_per_sec, 1).prop("nodiv", r.nodiv);
+    json.prop("cycles_per_sec", r.meas.best(), 1)
+        .prop("min", r.meas.min(), 1)
+        .prop("median", r.meas.median(), 1)
+        .prop("stddev", r.meas.stddev(), 1)
+        .prop("nodiv", r.nodiv);
     json.end_object();
   }
   json.end_object();
   json.key("speedups").begin_object();
   json.prop("raw_incremental_vs_legacy", raw_vs_legacy, 3)
       .prop("raw_incremental_vs_exhaustive", raw_vs_exhaustive, 3)
+      .prop("raw_batched_vs_incremental", batched_vs_incremental, 3)
+      .prop("raw_batched_portable_vs_incremental", batched_portable_vs_incremental, 3)
+      .prop("raw_batched_vs_legacy", batched_vs_legacy, 3)
+      .prop("raw_batched_portable_vs_legacy", batched_portable_vs_legacy, 3)
+      .prop("raw_batched_divergent_vs_incremental", batched_divergent_vs_incremental, 3)
       .prop("crc_incremental_vs_legacy", crc_vs_legacy, 3)
       .prop("crc_incremental_vs_exhaustive", crc_vs_exhaustive, 3);
   json.end_object();
@@ -436,8 +514,35 @@ int main(int argc, char** argv) {
                    raw_vs_exhaustive);
       return 1;
     }
-    std::printf("perf-smoke OK: incremental %.2fx vs exhaustive, %.2fx vs legacy\n",
-                raw_vs_exhaustive, raw_vs_legacy);
+    if (batched_vs_incremental < 1.5) {
+      std::fprintf(stderr,
+                   "PERF-SMOKE FAIL: batched path lost its edge over per-cycle "
+                   "incremental (%.2fx, want >= 1.5x)\n",
+                   batched_vs_incremental);
+      return 1;
+    }
+    // The PR-level acceptance bars: the delivered hot path (SIMD + batched)
+    // must be >= 3x the pre-PR incremental path (the legacy replica), and
+    // the portable-u64 kernel alone >= 1.5x that same baseline.
+    if (batched_vs_legacy < 3.0) {
+      std::fprintf(stderr,
+                   "PERF-SMOKE FAIL: batched path below 3x the pre-PR incremental "
+                   "baseline (%.2fx)\n",
+                   batched_vs_legacy);
+      return 1;
+    }
+    if (batched_portable_vs_legacy < 1.5) {
+      std::fprintf(stderr,
+                   "PERF-SMOKE FAIL: portable batched path below 1.5x the pre-PR "
+                   "incremental baseline (%.2fx)\n",
+                   batched_portable_vs_legacy);
+      return 1;
+    }
+    std::printf(
+        "perf-smoke OK: incremental %.2fx vs exhaustive, batched %.2fx vs incremental, "
+        "batched %.2fx (portable %.2fx) vs pre-PR baseline\n",
+        raw_vs_exhaustive, batched_vs_incremental, batched_vs_legacy,
+        batched_portable_vs_legacy);
   }
   return 0;
 }

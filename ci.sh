@@ -10,6 +10,11 @@
 #                      with the repo .clang-tidy profile when clang-tidy is
 #                      installed (skipped with a notice otherwise). Fails on
 #                      any finding — see TESTING.md "Static analysis & TSan"
+#   ./ci.sh perf       optimized build + the perf-labeled gates only: the
+#                      throughput/checkpoint smoke runs plus bench_diff
+#                      regression checks against the committed baselines in
+#                      bench/baselines/ (machine-independent speedup ratios,
+#                      20% tolerance — see EXPERIMENTS.md "Perf trajectory")
 #   ./ci.sh tsan       ThreadSanitizer build (SAFEDM_SANITIZE=thread preset)
 #                      running the unit+property labels
 #   ./ci.sh coverage   gcov-instrumented build + ctest (perf excluded) +
@@ -62,6 +67,13 @@ EOF
   else
     echo "==> clang-tidy not installed; skipping (safedm-lint ran; install clang-tidy to enable)"
   fi
+}
+
+run_perf() {
+  echo "==> perf gates (smoke benches + baseline regression diff)"
+  cmake --preset default
+  cmake --build --preset default -j "${JOBS}"
+  ctest --preset default -L perf
 }
 
 run_tsan() {
@@ -118,13 +130,14 @@ run_coverage() {
 case "${STAGE}" in
   all) run_default_and_san ;;
   lint) run_lint ;;
+  perf) run_perf ;;
   tsan) run_tsan ;;
   coverage)
     run_coverage
     run_lint
     ;;
   *)
-    echo "unknown stage: ${STAGE} (expected: lint, tsan, or coverage)" >&2
+    echo "unknown stage: ${STAGE} (expected: lint, perf, tsan, or coverage)" >&2
     exit 2
     ;;
 esac

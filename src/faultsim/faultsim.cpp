@@ -14,8 +14,20 @@
 namespace safedm::faultsim {
 namespace {
 
+// The monitor is the only observer and a pure sink, so campaign rigs run
+// with batched observer delivery: SafeDM's chunked on_cycles path does the
+// heavy lifting, and snapshots/verdicts stay bit-identical to per-cycle
+// delivery (flushed automatically at checkpoints and APB accesses).
+constexpr unsigned kRigObserverBatch = 32;
+
+soc::SocConfig rig_soc_config() {
+  soc::SocConfig config;
+  config.observer_batch = kRigObserverBatch;
+  return config;
+}
+
 struct Rig {
-  explicit Rig(monitor::SafeDmConfig dm_config) : soc(soc::SocConfig{}), dm([&] {
+  explicit Rig(monitor::SafeDmConfig dm_config) : soc(rig_soc_config()), dm([&] {
     dm_config.start_enabled = true;
     return dm_config;
   }()) {
@@ -166,8 +178,13 @@ ReferenceTrace record_reference_impl(const assembler::Program& program,
     interval = adaptive ? 1024 : policy->interval;
   }
 
+  // The per-cycle verdict stream arrives through the monitor's trail sink
+  // (appended during batched deliveries) instead of polling after every
+  // step; checkpoint saves flush pending cycles first, so each checkpoint
+  // still captures the exact per-cycle state.
+  rig.dm.set_verdict_trail(&trace.nodiv);
+
   run_to_halt(rig, kReferenceBudget, [&] {
-    trace.nodiv.push_back(rig.dm.lacking_diversity_now());
     if (interval == 0 || rig.soc.all_halted()) return;
     if (rig.soc.cycle() % interval != 0) return;
     StateWriter w;
@@ -183,6 +200,8 @@ ReferenceTrace record_reference_impl(const assembler::Program& program,
       interval *= 2;
     }
   });
+  rig.soc.flush_observers();  // drain the tail of the trail
+  rig.dm.set_verdict_trail(nullptr);
   SAFEDM_CHECK_MSG(rig.soc.all_halted(), "reference run did not finish");
   trace.golden_checksum = rig.result(0);
   SAFEDM_CHECK_MSG(trace.golden_checksum == rig.result(1),

@@ -51,16 +51,20 @@ IssRun run_iss(const assembler::Program& image, const OracleConfig& cfg, Coverag
   return out;
 }
 
-/// SoC + two SafeDM instances (incremental and exhaustive-compare) over
-/// pair 0, freshly constructed and loaded. Noncopyable members force the
-/// heap-free aggregate to be constructed in place.
+/// SoC + three SafeDM instances over pair 0, freshly constructed and
+/// loaded. `inc` (incremental) and `exh` (exhaustive-compare) attach as
+/// per-cycle observers; `bat` is an unattached twin of `inc` that the
+/// oracle hand-feeds frame batches through on_cycles, cross-checking the
+/// batched fast path against per-cycle delivery. Noncopyable members force
+/// the heap-free aggregate to be constructed in place.
 struct Rig {
   soc::MpSoc soc;
   monitor::SafeDm inc;
   monitor::SafeDm exh;
+  monitor::SafeDm bat;
 
   Rig(const OracleConfig& cfg, const assembler::Program& image)
-      : soc(cfg.soc), inc(inc_config(cfg)), exh(exh_config(cfg)) {
+      : soc(cfg.soc), inc(inc_config(cfg)), exh(exh_config(cfg)), bat(inc_config(cfg)) {
     soc.add_observer(&inc);
     soc.add_observer(&exh);
     soc.load_redundant(image);
@@ -79,13 +83,49 @@ struct Rig {
   }
 
   /// Everything the forward-equivalence check must cover, as one stream.
+  /// Callers must flush any pending hand-fed batch into `bat` first, so
+  /// the fingerprint is a pure function of the cycle count — batch
+  /// boundaries must never leak into snapshot bytes.
   std::vector<u8> fingerprint() const {
     StateWriter w;
     soc.save_state(w);
     inc.save_state(w);
     exh.save_state(w);
+    bat.save_state(w);
     return std::move(w).take();
   }
+};
+
+/// Hand-feeds a detached monitor the same frames the SoC just delivered to
+/// its attached observers, in batches of `capacity` cycles. Deliberately
+/// buffer-based rather than reusing MpSoc's observer_batch: the oracle
+/// wants batch boundaries that are independent of (and relatively prime
+/// to) anything periodic in the SoC, to prove on_cycles is bit-identical
+/// to per-cycle delivery wherever the chunk edges fall.
+class BatchFeeder {
+ public:
+  BatchFeeder(monitor::SafeDm& dm, unsigned capacity) : dm_(dm), capacity_(capacity) {}
+
+  void push(u64 cycle, const core::CoreTapFrame& f0, const core::CoreTapFrame& f1) {
+    if (f0_.empty()) first_cycle_ = cycle;
+    f0_.push_back(f0);
+    f1_.push_back(f1);
+    if (f0_.size() == capacity_) flush();
+  }
+
+  void flush() {
+    if (f0_.empty()) return;
+    dm_.on_cycles(first_cycle_, f0_.data(), f1_.data(), static_cast<unsigned>(f0_.size()));
+    f0_.clear();
+    f1_.clear();
+  }
+
+ private:
+  monitor::SafeDm& dm_;
+  unsigned capacity_;
+  u64 first_cycle_ = 0;
+  std::vector<core::CoreTapFrame> f0_;
+  std::vector<core::CoreTapFrame> f1_;
 };
 
 std::string describe_arch_mismatch(const isa::ArchState& iss, const isa::ArchState& pipe,
@@ -144,8 +184,33 @@ OracleResult run_differential(const assembler::Program& image, const OracleConfi
   u64 snapshot_at = 0;
   unsigned verdict_state = 0;  // (ds_match << 1) | is_match, exhaustive view
 
+  // Batched-delivery cross-check: `bat` consumes the same frame stream as
+  // `inc` but in 17-cycle chunks; both record verdict trails that must be
+  // bit-identical. 17 is odd and prime so chunk edges sweep every phase of
+  // the workload's periodic behaviour over a long run.
+  constexpr unsigned kBatchCycles = 17;
+  std::vector<bool> percycle_trail;
+  std::vector<bool> batched_trail;
+  rig.inc.set_verdict_trail(&percycle_trail);
+  rig.bat.set_verdict_trail(&batched_trail);
+  BatchFeeder feeder(rig.bat, kBatchCycles);
+  std::size_t trail_checked = 0;
+  const auto check_trails = [&] {
+    for (; trail_checked < batched_trail.size(); ++trail_checked) {
+      if (batched_trail[trail_checked] == percycle_trail[trail_checked]) continue;
+      if (res.verdict != OracleVerdict::kPass) continue;
+      res.verdict = OracleVerdict::kVerdictMismatch;
+      std::ostringstream os;
+      os << "batched trail[" << trail_checked << "]=" << batched_trail[trail_checked]
+         << " per-cycle=" << percycle_trail[trail_checked];
+      res.detail = os.str();
+    }
+  };
+
   while (!rig.soc.all_halted() && rig.soc.cycle() < cfg.max_cycles) {
     rig.soc.step();
+    feeder.push(rig.soc.cycle(), rig.soc.frame(0), rig.soc.frame(1));
+    check_trails();
 
     bool inc_ds = rig.inc.ds_matched_now();
     const bool inc_is = rig.inc.is_matched_now();
@@ -170,9 +235,28 @@ OracleResult run_differential(const assembler::Program& image, const OracleConfi
     verdict_state = next_state;
 
     if (cfg.snapshot_cycle != 0 && rig.soc.cycle() == cfg.snapshot_cycle) {
+      feeder.flush();  // fingerprint must not depend on batch phase
+      check_trails();
       snapshot_bytes = rig.fingerprint();
       snapshot_at = rig.soc.cycle();
       res.coverage.note_event(Event::kSnapshotTaken);
+    }
+  }
+  feeder.flush();
+  check_trails();
+  rig.inc.set_verdict_trail(nullptr);
+  rig.bat.set_verdict_trail(nullptr);
+  // The trails only cover the verdict bit; demand the batched twin's entire
+  // serialized state (counters, histograms, generators, comparator) landed
+  // bit-identical to the per-cycle monitor's.
+  if (res.verdict == OracleVerdict::kPass) {
+    StateWriter wp;
+    rig.inc.save_state(wp);
+    StateWriter wb;
+    rig.bat.save_state(wb);
+    if (std::move(wp).take() != std::move(wb).take()) {
+      res.verdict = OracleVerdict::kVerdictMismatch;
+      res.detail = "batched monitor end state differs from per-cycle twin";
     }
   }
   res.cycles = rig.soc.cycle();
@@ -250,8 +334,16 @@ OracleResult run_differential(const assembler::Program& image, const OracleConfi
       replay.soc.restore_state(r);
       replay.inc.restore_state(r);
       replay.exh.restore_state(r);
+      replay.bat.restore_state(r);
     }
-    while (!replay.soc.all_halted() && replay.soc.cycle() < cfg.max_cycles) replay.soc.step();
+    // Feed the replayed batched twin with a different (coprime) chunk size:
+    // fingerprint equality then also proves batch-boundary independence.
+    BatchFeeder replay_feeder(replay.bat, 23);
+    while (!replay.soc.all_halted() && replay.soc.cycle() < cfg.max_cycles) {
+      replay.soc.step();
+      replay_feeder.push(replay.soc.cycle(), replay.soc.frame(0), replay.soc.frame(1));
+    }
+    replay_feeder.flush();
 
     if (replay.soc.cycle() != res.cycles || replay.fingerprint() != final_fp) {
       res.verdict = OracleVerdict::kSnapshotMismatch;

@@ -3,16 +3,20 @@
 // cycle because only one sample per port FIFO changes per clock; this
 // software model exploits the same incrementality.
 //
-// DS bookkeeping: one mismatch bitmask per port, bit i set when the two
-// cores' logical FIFO position i (0 = oldest) holds differing samples.
-// When both pipelines shift, each mask shifts down by one (the oldest pair
-// ages out) and the newest pair's comparison enters at the top — O(ports)
-// work per cycle. When the cores' hold signals diverge the windows
-// de-align and the comparator falls back to one full realignment scan;
-// the common both-shift / both-hold cases stay on the fast path. The
-// masks index logical window positions (each generator tracks its own
-// ring offset via its shift count), so alignment recovers automatically
-// once both windows again hold identical histories.
+// DS bookkeeping: one mismatch bitmask per port (one 64-bit word per 64
+// window positions — depths beyond 64 widen to multiple words instead of
+// losing the fast path), bit i set when the two cores' logical FIFO
+// position i (0 = oldest) holds differing samples. When both pipelines
+// shift, each mask shifts down by one (the oldest pair ages out) and the
+// newest pair's comparison enters at the top — O(ports) work per cycle.
+// When the cores' hold signals diverge the windows de-align and the
+// comparator falls back to one full realignment scan, bit-sliced over the
+// generators' SoA value/enable planes via the runtime-dispatched
+// simd::mismatch_bits kernel; the common both-shift / both-hold cases
+// stay on the fast path. The masks index logical window positions (each
+// generator tracks its own ring offset via its shift count), so alignment
+// recovers automatically once both windows again hold identical
+// histories.
 //
 // IS bookkeeping: the verdict is recomputed only when either core's
 // pipeline-stage snapshot version changed; held pipelines reuse it.
@@ -22,7 +26,10 @@
 // (the A2 ablation's false-negative risk).
 #pragma once
 
+#include <vector>
+
 #include "safedm/safedm/signature.hpp"
+#include "safedm/safedm/simd.hpp"
 
 namespace safedm::monitor {
 
@@ -45,24 +52,33 @@ class DiversityComparator {
     seen_shift_a_ = sa;
     seen_shift_b_ = sb;
 
-    if (da == 1 && db == 1 && incremental_ok_) {
-      // Both shifted: every logical position ages down by one; the evicted
-      // (oldest) pair falls off the bottom of each mask and the newly
-      // inserted pair is compared at the top. O(ports) total, on raw
-      // storage pointers with the ring offset computed once.
-      const unsigned top = depth_ - 1;
-      const core::PortTap* ta = a_samples_ + ((static_cast<unsigned>(sa) - 1) & ring_mask_);
-      const core::PortTap* tb = b_samples_ + ((static_cast<unsigned>(sb) - 1) & ring_mask_);
-      u64 agg = 0;
-      for (unsigned p = 0; p < ports_; ++p, ta += stride_, tb += stride_) {
-        u64 mask = port_mismatch_[p] >> 1;
-        mask |= static_cast<u64>((ta->value != tb->value) | (ta->enable != tb->enable))
-                << top;
-        port_mismatch_[p] = mask;
-        agg |= mask;
+    if (da == 1 && db == 1) {
+      if (mask_words_ == 1) {
+        // Both shifted: every logical position ages down by one; the
+        // evicted (oldest) pair falls off the bottom of each mask and the
+        // newly inserted pair is compared at the top. O(ports) total, on
+        // the SoA planes with the ring offset computed once.
+        const unsigned top = depth_ - 1;
+        const unsigned oa = (static_cast<unsigned>(sa) - 1) & ring_mask_;
+        const unsigned ob = (static_cast<unsigned>(sb) - 1) & ring_mask_;
+        u64* masks = port_mismatch_.data();
+        u64 agg = 0;
+        for (unsigned p = 0; p < ports_; ++p) {
+          const unsigned ia = p * stride_ + oa;
+          const unsigned ib = p * stride_ + ob;
+          u64 mask = masks[p] >> 1;
+          mask |= static_cast<u64>((a_values_[ia] != b_values_[ib]) |
+                                   (a_enables_[ia] != b_enables_[ib]))
+                  << top;
+          masks[p] = mask;
+          agg |= mask;
+        }
+        mismatch_agg_ = agg;
+      } else {
+        // depth > 64: same aging, across multiple mask words per port.
+        shift_insert_multiword(sa, sb);
       }
-      mismatch_agg_ = agg;
-      if (!crc_mode_) ds_match_ = agg == 0;
+      if (!crc_mode_) ds_match_ = mismatch_agg_ == 0;
       else refresh_data_verdict();
       ++stats_.fast_updates;
     } else if (da == 0 && db == 0) {
@@ -103,6 +119,76 @@ class DiversityComparator {
   bool ds_match() const { return ds_match_; }
   bool is_match() const { return is_match_; }
 
+  // ---- batched fast-path hooks (SafeDm::on_cycles) ------------------------
+  //
+  // The chunk loop owns the shift cursors locally and calls exactly one of
+  // step_shift / step_realign per shifted cycle (both-held cycles touch
+  // nothing; their count is handed to batch_commit). Contract: raw compare
+  // mode, single-word masks (depth <= 64); for step_realign the caller has
+  // already written the cycle's samples into both generators' ring planes.
+  // batch_commit runs once per chunk, after the generators' own
+  // batch_commit, to sync cursors and fold in the amortized stats.
+
+  /// Both cores shifted: age the masks and insert the newest pair straight
+  /// from the tap frames (no ring read). Returns the DS verdict.
+  bool step_shift(const core::CoreTapFrame& fa, const core::CoreTapFrame& fb) {
+    const unsigned top = depth_ - 1;
+    u64* masks = port_mismatch_.data();
+    u64 agg = 0;
+    for (unsigned p = 0; p < ports_; ++p) {
+      u64 mask = masks[p] >> 1;
+      mask |= static_cast<u64>((fa.port[p].value != fb.port[p].value) |
+                               (fa.port[p].enable != fb.port[p].enable))
+              << top;
+      masks[p] = mask;
+      agg |= mask;
+    }
+    mismatch_agg_ = agg;
+    ds_match_ = agg == 0;
+    ++stats_.fast_updates;
+    return ds_match_;
+  }
+
+  /// step_shift with the port count baked in at compile time: the chunk
+  /// loop dispatches once on config_.num_ports, and the constant trip
+  /// count lets the compiler fully unroll the mask update alongside the
+  /// caller's ring-plane writes (which read the same frame ports).
+  template <unsigned P>
+  bool step_shift_fixed(const core::CoreTapFrame& fa, const core::CoreTapFrame& fb) {
+    const unsigned top = depth_ - 1;
+    u64* masks = port_mismatch_.data();
+    u64 agg = 0;
+    for (unsigned p = 0; p < P; ++p) {  // constexpr bound: fully unrolled
+      u64 mask = masks[p] >> 1;
+      mask |= static_cast<u64>((fa.port[p].value != fb.port[p].value) |
+                               (fa.port[p].enable != fb.port[p].enable))
+              << top;
+      masks[p] = mask;
+      agg |= mask;
+    }
+    mismatch_agg_ = agg;
+    ds_match_ = agg == 0;
+    ++stats_.fast_updates;
+    return ds_match_;
+  }
+
+  /// Hold signals diverged mid-batch: realign with a full bit-sliced scan
+  /// at the caller's explicit shift cursors (the generators' own cursors
+  /// lag until batch_commit). Returns the DS verdict.
+  bool step_realign(u64 sa, u64 sb);
+
+  /// End of chunk: sync cursors to the (already batch-committed)
+  /// generators, fold in per-chunk stats, and install the final IS verdict.
+  void batch_commit(u64 hold_reuses, u64 is_recomputes, bool is_match) {
+    seen_shift_a_ = a_->shift_count();
+    seen_shift_b_ = b_->shift_count();
+    seen_stage_a_ = a_->stage_version();
+    seen_stage_b_ = b_->stage_version();
+    stats_.hold_reuses += hold_reuses;
+    stats_.is_recomputes += is_recomputes;
+    is_match_ = is_match;
+  }
+
   /// Fast-path / fallback accounting (simulation observability only).
   struct Stats {
     u64 fast_updates = 0;    // O(ports) incremental steps
@@ -123,26 +209,33 @@ class DiversityComparator {
 
  private:
   void rescan_data();
+  void rescan_at(u64 sa, u64 sb);
+  void scan_port(unsigned p, u64 sa, u64 sb, u64* out) const;
+  void shift_insert_multiword(u64 sa, u64 sb);
   void refresh_data_verdict();
   void recompute_instruction_verdict();
 
   // Everything except stats_ is derived from the attached generators and
   // their (separately snapshotted) rings; restore_state rebuilds it all via
   // resync(), so each field carries a no-snapshot annotation for safedm-lint.
-  const SignatureGenerator* a_;     // lint: no-snapshot(wiring, set by attach())
-  const SignatureGenerator* b_;     // lint: no-snapshot(wiring, set by attach())
-  const core::PortTap* a_samples_;  // lint: no-snapshot(stable raw fast-path view into a_)
-  const core::PortTap* b_samples_;  // lint: no-snapshot(stable raw fast-path view into b_)
+  const SignatureGenerator* a_;  // lint: no-snapshot(wiring, set by attach())
+  const SignatureGenerator* b_;  // lint: no-snapshot(wiring, set by attach())
+  // Stable SoA fast-path views into the generators' ring planes.
+  const u64* a_values_;   // lint: no-snapshot(stable raw fast-path view into a_)
+  const u64* b_values_;   // lint: no-snapshot(stable raw fast-path view into b_)
+  const u8* a_enables_;   // lint: no-snapshot(stable raw fast-path view into a_)
+  const u8* b_enables_;   // lint: no-snapshot(stable raw fast-path view into b_)
   unsigned stride_;     // lint: no-snapshot(padded per-port ring span, from generator geometry)
   unsigned ring_mask_;  // lint: no-snapshot(stride_ - 1, derived)
   unsigned depth_;      // lint: no-snapshot(generator geometry, derived)
   unsigned ports_;      // lint: no-snapshot(generator geometry, derived)
   bool crc_mode_;       // lint: no-snapshot(generator config, derived)
   bool raw_perstage_;   // lint: no-snapshot(raw compare + per-stage IS verdict inlines, derived)
-  bool incremental_ok_; // lint: no-snapshot(mismatch masks fit in 64 bits, derived)
+  unsigned mask_words_; // lint: no-snapshot(ceil(depth/64), derived)
 
-  // bit i: logical pos i differs
-  std::array<u64, core::kMaxPorts> port_mismatch_{};  // lint: no-snapshot(rebuilt by resync())
+  // bit i of word i/64: logical pos i differs; ports_ x mask_words_,
+  // port-major.
+  std::vector<u64> port_mismatch_;  // lint: no-snapshot(rebuilt by resync())
   u64 mismatch_agg_ = 0;  // lint: no-snapshot(OR of all port masks, rebuilt by resync())
 
   u64 seen_shift_a_ = 0;         // lint: no-snapshot(incremental cursor, rebuilt by resync())

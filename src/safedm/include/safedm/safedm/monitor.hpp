@@ -38,6 +38,11 @@ class InstructionDiff {
   }
   void reset();
 
+  /// Batched path: install the post-chunk diff. The chunk loop accumulates
+  /// commit deltas locally; only legal once armed (no prelude left), which
+  /// the batch eligibility check guarantees.
+  void batch_commit(i64 diff) { diff_ = diff; }
+
   i64 diff() const { return diff_; }
   /// True once both cores have consumed their ignored prelude commits.
   bool armed() const { return ignore_[0] == 0 && ignore_[1] == 0; }
@@ -120,6 +125,23 @@ class SafeDm final : public soc::CycleObserver, public bus::ApbDevice {
   void on_cycle(u64 cycle, const core::CoreTapFrame& frame0,
                 const core::CoreTapFrame& frame1) override;
 
+  /// Batched delivery (MpSoc observer_batch > 1, or direct driving from
+  /// benches): processes `n` consecutive cycles with per-cycle semantics —
+  /// the verdict stream, counters, histograms, IRQ timing, and snapshot
+  /// bytes are bit-identical to n on_cycle calls, independent of batch
+  /// boundaries. Eligible spans (raw per-stage incremental mode, depth
+  /// <= 64, enabled + armed, no halted frames) run a chunked fast loop
+  /// that compares stage words via one SIMD op, updates the bit-sliced
+  /// mismatch masks in place, and commits generator/comparator/counter
+  /// state once per chunk; everything else falls back to on_cycle.
+  void on_cycles(u64 first_cycle, const core::CoreTapFrame* frame0,
+                 const core::CoreTapFrame* frame1, unsigned n) override;
+
+  /// Optional per-cycle verdict sink: when set, every processed cycle
+  /// appends lacking_diversity_now() (false for unmonitored cycles) —
+  /// the batched replacement for polling after each step.
+  void set_verdict_trail(std::vector<bool>* trail) { trail_ = trail; }
+
   /// Flush any open no-diversity episode into the histograms (call when an
   /// experiment window ends).
   void finalize();
@@ -160,6 +182,15 @@ class SafeDm final : public soc::CycleObserver, public bus::ApbDevice {
 
  private:
   void update_interrupt(u64 cycle);
+  bool batch_fast_eligible() const;
+  void process_chunk(u64 first_cycle, const core::CoreTapFrame* frame0,
+                     const core::CoreTapFrame* frame1, unsigned m);
+  /// Chunk loop body with the port count baked in (P == 0: runtime count).
+  /// process_chunk dispatches on config_.num_ports so the per-cycle port
+  /// loops fully unroll; defined in monitor.cpp (only instantiated there).
+  template <unsigned P>
+  void process_chunk_ports(u64 first_cycle, const core::CoreTapFrame* frame0,
+                           const core::CoreTapFrame* frame1, unsigned m);
 
   SafeDmConfig config_;
   SignatureGenerator sig0_;
@@ -184,6 +215,7 @@ class SafeDm final : public soc::CycleObserver, public bus::ApbDevice {
 
   u32 hist_select_ = 0;
   std::function<void(u64)> irq_handler_;  // lint: no-snapshot(callback wiring, re-registered by owner)
+  std::vector<bool>* trail_ = nullptr;    // lint: no-snapshot(observation sink wiring, re-attached by owner)
 };
 
 }  // namespace safedm::monitor

@@ -10,12 +10,15 @@
 // (per-stage mode, paper III-B2), or the flat in-flight instruction list
 // for cores without group-advance pipelines.
 //
-// Storage layout: all port FIFOs live in one contiguous buffer whose
-// per-port span is padded to a power of two, so ring indexing is a mask
-// instead of a modulo. The write cursor counts total shifts; the logical
-// window (oldest..newest) is the last `data_fifo_depth` writes. The
-// padding slots beyond the logical depth are never read, and the logical
-// signature geometry (data_signature_bits) is unchanged by the padding.
+// Storage layout: SoA. The port FIFOs are stored as two contiguous
+// planes — a u64 `value` plane and a u8 `enable` plane (strictly 0/1 per
+// byte) — each port-major with a per-port span padded to a power of two,
+// so ring indexing is a mask instead of a modulo and the comparator can
+// bit-slice whole slot runs with one SIMD lane operation (simd.hpp). The
+// write cursor counts total shifts; the logical window (oldest..newest)
+// is the last `data_fifo_depth` writes. The padding slots beyond the
+// logical depth are never read, and the logical signature geometry
+// (data_signature_bits) is unchanged by the padding.
 #pragma once
 
 #include <cstring>
@@ -75,7 +78,9 @@ class SignatureGenerator {
     if (frame.hold) return false;
     const unsigned slot = static_cast<unsigned>(shifts_) & depth_mask_;
     for (unsigned p = 0; p < config_.num_ports; ++p) {
-      samples_[p * padded_depth_ + slot] = frame.port[p];
+      const unsigned idx = p * padded_depth_ + slot;
+      values_[idx] = frame.port[p].value;
+      enables_[idx] = frame.port[p].enable ? u8{1} : u8{0};
     }
     if (crc_cached_) {
       for (unsigned p = 0; p < config_.num_ports; ++p) {
@@ -141,16 +146,31 @@ class SignatureGenerator {
 
   /// Logical-window access: entry(p, 0) is port p's oldest sample,
   /// entry(p, depth-1) the newest. No bounds checks — hot path.
-  const core::PortTap& entry(unsigned port, unsigned i) const {
-    return samples_[port * padded_depth_ +
-                    ((shifts_ - config_.data_fifo_depth + i) & depth_mask_)];
+  core::PortTap entry(unsigned port, unsigned i) const {
+    const unsigned idx = port * padded_depth_ +
+                         (static_cast<unsigned>(shifts_ - config_.data_fifo_depth + i) & depth_mask_);
+    return core::PortTap{enables_[idx] != 0, values_[idx]};
   }
 
-  /// Raw storage view for the comparator's fast path: contiguous rings,
-  /// port p's physical slot s at samples_data()[p * padded_depth() + s].
-  /// The pointer is stable for the generator's lifetime.
-  const core::PortTap* samples_data() const { return samples_.data(); }
+  /// Raw plane views for the comparator's bit-sliced fast path: port p's
+  /// physical slot s lives at values_data()[p * padded_depth() + s] (and
+  /// the matching enables_data() byte, strictly 0/1). The pointers are
+  /// stable for the generator's lifetime.
+  const u64* values_data() const { return values_.data(); }
+  const u8* enables_data() const { return enables_.data(); }
   unsigned padded_depth() const { return padded_depth_; }
+
+  // ---- batched-capture support (SafeDm::on_cycles fast path) --------------
+  //
+  // The batched monitor path writes ring slots directly through these
+  // mutable plane pointers (same layout/contract as the *_data() views,
+  // enable bytes strictly 0/1) and then calls batch_commit() once per
+  // chunk to sync the shift cursor, the pipeline snapshot, and the stage
+  // version. Only legal in raw per-stage mode, where no CRC dirty bits or
+  // change detection need maintaining — batch_commit checks.
+  u64* values_mut() { return values_.data(); }
+  u8* enables_mut() { return enables_.data(); }
+  void batch_commit(u64 shifts, const void* stage_src, u64 stage_bumps);
 
   /// One stage slot per word: the bit image of the (padding-free)
   /// StageSlotTap. The packed form makes the whole-pipeline IS comparison
@@ -186,8 +206,11 @@ class SignatureGenerator {
   bool detect_stage_changes_ = true;
   u64 shifts_ = 0;             // total FIFO shifts; write slot = shifts_ & mask
   u64 stage_version_ = 0;
-  // All ports' rings, contiguous: samples_[p * padded_depth_ + slot].
-  std::vector<core::PortTap> samples_;
+  // All ports' rings as SoA planes: values_[p * padded_depth_ + slot] and
+  // the matching enables_ byte (0/1). Split so the comparator can lane-
+  // compare value runs and XOR enable bytes directly.
+  std::vector<u64> values_;
+  std::vector<u8> enables_;
 
   // CRC caches (CompareMode::kCrc32): one CRC per physical slot plus a
   // dirty flag, and a cached combination over the logical window.

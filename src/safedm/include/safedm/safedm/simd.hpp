@@ -1,0 +1,352 @@
+// Runtime-dispatched compare kernels for the signature hot path.
+//
+// Two primitives cover every bulk comparison the monitor performs:
+//
+//   words_equal(a, b, n)          n 64-bit words bit-identical?
+//                                 (packed pipeline-stage snapshots)
+//   mismatch_bits(av,bv,ae,be,n)  per-slot mismatch bitmask over n
+//                                 contiguous SoA ring slots (n <= 64):
+//                                 bit i set when value i or enable i differ
+//
+// Three kernels implement them: a portable u64 fallback (the default on
+// non-x86 and the correctness oracle everywhere), an SSE2 variant, and an
+// AVX2 variant. Dispatch is resolved once per process from CPUID, can be
+// narrowed with SAFEDM_SIMD=portable|sse2|avx2 (never widened past what
+// the hardware supports), and pinned from tests via force_kernel() so the
+// property suites can prove all kernels verdict-identical on any host.
+//
+// Contract: enable planes store strictly 0 or 1 per byte (the SoA
+// generators guarantee this), so a byte XOR is already the per-slot
+// enable-mismatch bit.
+#pragma once
+
+#include <cstdlib>
+#include <cstring>
+
+#include "safedm/common/bits.hpp"
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define SAFEDM_SIMD_X86 1
+#include <immintrin.h>
+#else
+#define SAFEDM_SIMD_X86 0
+#endif
+
+namespace safedm::monitor::simd {
+
+enum class Kernel : u8 { kPortable = 0, kSse2 = 1, kAvx2 = 2 };
+
+inline const char* kernel_name(Kernel kernel) {
+  switch (kernel) {
+    case Kernel::kSse2:
+      return "sse2";
+    case Kernel::kAvx2:
+      return "avx2";
+    case Kernel::kPortable:
+      break;
+  }
+  return "portable";
+}
+
+/// Widest kernel this CPU can execute (ignores the env override).
+inline Kernel hardware_kernel() {
+#if SAFEDM_SIMD_X86
+  if (__builtin_cpu_supports("avx2")) return Kernel::kAvx2;
+  if (__builtin_cpu_supports("sse2")) return Kernel::kSse2;
+#endif
+  return Kernel::kPortable;
+}
+
+inline bool kernel_supported(Kernel kernel) {
+  return static_cast<u8>(kernel) <= static_cast<u8>(hardware_kernel());
+}
+
+/// Hardware capability, optionally narrowed by SAFEDM_SIMD. An override
+/// the CPU cannot execute is clamped down, never up.
+inline Kernel detect_kernel() {
+  Kernel best = hardware_kernel();
+  if (const char* env = std::getenv("SAFEDM_SIMD")) {
+    Kernel want = best;
+    if (std::strcmp(env, "portable") == 0) want = Kernel::kPortable;
+    else if (std::strcmp(env, "sse2") == 0) want = Kernel::kSse2;
+    else if (std::strcmp(env, "avx2") == 0) want = Kernel::kAvx2;
+    if (static_cast<u8>(want) < static_cast<u8>(best)) best = want;
+  }
+  return best;
+}
+
+inline Kernel& active_kernel_slot() {
+  static Kernel kernel = detect_kernel();
+  return kernel;
+}
+
+/// The kernel hot paths dispatch to (resolved once, then cached).
+inline Kernel active_kernel() { return active_kernel_slot(); }
+
+/// Test hook: pin dispatch to `kernel` (clamped to hardware support).
+/// Returns the kernel actually installed.
+inline Kernel force_kernel(Kernel kernel) {
+  if (!kernel_supported(kernel)) kernel = hardware_kernel();
+  active_kernel_slot() = kernel;
+  return kernel;
+}
+
+// ---- portable u64 kernel (default + oracle) --------------------------------
+
+inline bool words_equal_portable(const void* a, const void* b, unsigned n) {
+  const unsigned char* pa = static_cast<const unsigned char*>(a);
+  const unsigned char* pb = static_cast<const unsigned char*>(b);
+  u64 diff = 0;
+  for (unsigned k = 0; k < n; ++k) {
+    u64 wa, wb;  // per-word memcpy folds to a plain load
+    std::memcpy(&wa, pa + std::size_t{k} * sizeof(u64), sizeof(u64));
+    std::memcpy(&wb, pb + std::size_t{k} * sizeof(u64), sizeof(u64));
+    diff |= wa ^ wb;
+  }
+  return diff == 0;
+}
+
+inline u64 mismatch_bits_portable(const u64* av, const u64* bv, const u8* ae,
+                                  const u8* be, unsigned n) {
+  u64 bits = 0;
+  for (unsigned i = 0; i < n; ++i) {
+    bits |= static_cast<u64>((av[i] != bv[i]) | (ae[i] != be[i])) << i;
+  }
+  return bits;
+}
+
+#if SAFEDM_SIMD_X86
+
+// ---- SSE2 ------------------------------------------------------------------
+
+__attribute__((target("sse2"))) inline bool words_equal_sse2(const void* a, const void* b,
+                                                             unsigned n) {
+  const unsigned char* pa = static_cast<const unsigned char*>(a);
+  const unsigned char* pb = static_cast<const unsigned char*>(b);
+  __m128i acc = _mm_setzero_si128();
+  unsigned k = 0;
+  for (; k + 2 <= n; k += 2) {
+    const __m128i va =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(pa + std::size_t{k} * sizeof(u64)));
+    const __m128i vb =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(pb + std::size_t{k} * sizeof(u64)));
+    acc = _mm_or_si128(acc, _mm_xor_si128(va, vb));
+  }
+  const int all_zero =
+      _mm_movemask_epi8(_mm_cmpeq_epi8(acc, _mm_setzero_si128()));
+  bool equal = all_zero == 0xFFFF;
+  for (; k < n; ++k) {
+    u64 wa, wb;
+    std::memcpy(&wa, pa + std::size_t{k} * sizeof(u64), sizeof(u64));
+    std::memcpy(&wb, pb + std::size_t{k} * sizeof(u64), sizeof(u64));
+    equal = equal && wa == wb;
+  }
+  return equal;
+}
+
+__attribute__((target("sse2"))) inline u64 mismatch_bits_sse2(const u64* av, const u64* bv,
+                                                              const u8* ae, const u8* be,
+                                                              unsigned n) {
+  u64 bits = 0;
+  unsigned i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const __m128i va = _mm_loadu_si128(reinterpret_cast<const __m128i*>(av + i));
+    const __m128i vb = _mm_loadu_si128(reinterpret_cast<const __m128i*>(bv + i));
+    // cmpeq_epi32 + movemask_ps: value pair j equal iff both of its two
+    // 32-bit lanes compared equal (mask bits 2j and 2j+1 set).
+    const unsigned m =
+        static_cast<unsigned>(_mm_movemask_ps(_mm_castsi128_ps(_mm_cmpeq_epi32(va, vb))));
+    const unsigned vdiff =
+        ((m & 3u) != 3u ? 1u : 0u) | (((m >> 2) & 3u) != 3u ? 2u : 0u);
+    const unsigned ediff = static_cast<unsigned>(ae[i] ^ be[i]) |
+                           (static_cast<unsigned>(ae[i + 1] ^ be[i + 1]) << 1);
+    bits |= static_cast<u64>(vdiff | ediff) << i;
+  }
+  for (; i < n; ++i) {
+    bits |= static_cast<u64>((av[i] != bv[i]) | (ae[i] != be[i])) << i;
+  }
+  return bits;
+}
+
+// ---- AVX2 ------------------------------------------------------------------
+
+__attribute__((target("avx2"))) inline bool words_equal_avx2(const void* a, const void* b,
+                                                             unsigned n) {
+  const unsigned char* pa = static_cast<const unsigned char*>(a);
+  const unsigned char* pb = static_cast<const unsigned char*>(b);
+  __m256i acc = _mm256_setzero_si256();
+  unsigned k = 0;
+  for (; k + 4 <= n; k += 4) {
+    const __m256i va =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(pa + std::size_t{k} * sizeof(u64)));
+    const __m256i vb =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(pb + std::size_t{k} * sizeof(u64)));
+    acc = _mm256_or_si256(acc, _mm256_xor_si256(va, vb));
+  }
+  bool equal = _mm256_testz_si256(acc, acc) != 0;
+  for (; k < n; ++k) {
+    u64 wa, wb;
+    std::memcpy(&wa, pa + std::size_t{k} * sizeof(u64), sizeof(u64));
+    std::memcpy(&wb, pb + std::size_t{k} * sizeof(u64), sizeof(u64));
+    equal = equal && wa == wb;
+  }
+  return equal;
+}
+
+__attribute__((target("avx2"))) inline u64 mismatch_bits_avx2(const u64* av, const u64* bv,
+                                                              const u8* ae, const u8* be,
+                                                              unsigned n) {
+  u64 bits = 0;
+  unsigned i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i va = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(av + i));
+    const __m256i vb = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(bv + i));
+    const unsigned veq = static_cast<unsigned>(
+        _mm256_movemask_pd(_mm256_castsi256_pd(_mm256_cmpeq_epi64(va, vb))));
+    // Enable bytes are 0/1, so each XOR byte is already the mismatch bit;
+    // fold byte j's bit 8j down to bit j.
+    u32 ea, eb;
+    std::memcpy(&ea, ae + i, sizeof(u32));
+    std::memcpy(&eb, be + i, sizeof(u32));
+    const u32 ex = ea ^ eb;
+    const unsigned ediff = (ex & 1u) | ((ex >> 7) & 2u) | ((ex >> 14) & 4u) | ((ex >> 21) & 8u);
+    bits |= static_cast<u64>((~veq & 0xFu) | ediff) << i;
+  }
+  for (; i < n; ++i) {
+    bits |= static_cast<u64>((av[i] != bv[i]) | (ae[i] != be[i])) << i;
+  }
+  return bits;
+}
+
+#endif  // SAFEDM_SIMD_X86
+
+// ---- fixed-size word compare (compile-time count) --------------------------
+//
+// The chunked monitor loop compares the same word count every cycle
+// (kStageSlots packed pipeline words). Baking the count into the type
+// lets each kernel emit a fully unrolled straight-line body — no loop
+// control, no scalar tail branches — which matters at ~100M compares/sec.
+
+template <unsigned N>
+inline bool words_equal_fixed_portable(const void* a, const void* b) {
+  const unsigned char* pa = static_cast<const unsigned char*>(a);
+  const unsigned char* pb = static_cast<const unsigned char*>(b);
+  u64 diff = 0;
+  for (unsigned k = 0; k < N; ++k) {  // constexpr bound: fully unrolled
+    u64 wa, wb;
+    std::memcpy(&wa, pa + std::size_t{k} * sizeof(u64), sizeof(u64));
+    std::memcpy(&wb, pb + std::size_t{k} * sizeof(u64), sizeof(u64));
+    diff |= wa ^ wb;
+  }
+  return diff == 0;
+}
+
+#if SAFEDM_SIMD_X86
+
+template <unsigned N>
+__attribute__((target("sse2"))) inline bool words_equal_fixed_sse2(const void* a,
+                                                                   const void* b) {
+  const unsigned char* pa = static_cast<const unsigned char*>(a);
+  const unsigned char* pb = static_cast<const unsigned char*>(b);
+  __m128i acc = _mm_setzero_si128();
+  for (unsigned k = 0; k + 2 <= N; k += 2) {
+    const __m128i va =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(pa + std::size_t{k} * sizeof(u64)));
+    const __m128i vb =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(pb + std::size_t{k} * sizeof(u64)));
+    acc = _mm_or_si128(acc, _mm_xor_si128(va, vb));
+  }
+  bool equal = _mm_movemask_epi8(_mm_cmpeq_epi8(acc, _mm_setzero_si128())) == 0xFFFF;
+  if constexpr (N % 2 == 1) {
+    u64 wa, wb;
+    std::memcpy(&wa, pa + std::size_t{N - 1} * sizeof(u64), sizeof(u64));
+    std::memcpy(&wb, pb + std::size_t{N - 1} * sizeof(u64), sizeof(u64));
+    equal = equal && wa == wb;
+  }
+  return equal;
+}
+
+template <unsigned N>
+__attribute__((target("avx2"))) inline bool words_equal_fixed_avx2(const void* a,
+                                                                   const void* b) {
+  const unsigned char* pa = static_cast<const unsigned char*>(a);
+  const unsigned char* pb = static_cast<const unsigned char*>(b);
+  __m256i acc = _mm256_setzero_si256();
+  for (unsigned k = 0; k + 4 <= N; k += 4) {
+    const __m256i va =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(pa + std::size_t{k} * sizeof(u64)));
+    const __m256i vb =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(pb + std::size_t{k} * sizeof(u64)));
+    acc = _mm256_or_si256(acc, _mm256_xor_si256(va, vb));
+  }
+  bool equal = _mm256_testz_si256(acc, acc) != 0;
+  if constexpr (N % 4 >= 2) {
+    constexpr std::size_t kAt = (N / 4) * 4;
+    const __m128i va =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(pa + kAt * sizeof(u64)));
+    const __m128i vb =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(pb + kAt * sizeof(u64)));
+    const __m128i x = _mm_xor_si128(va, vb);
+    equal = equal && _mm_movemask_epi8(_mm_cmpeq_epi8(x, _mm_setzero_si128())) == 0xFFFF;
+  }
+  if constexpr (N % 2 == 1) {
+    u64 wa, wb;
+    std::memcpy(&wa, pa + std::size_t{N - 1} * sizeof(u64), sizeof(u64));
+    std::memcpy(&wb, pb + std::size_t{N - 1} * sizeof(u64), sizeof(u64));
+    equal = equal && wa == wb;
+  }
+  return equal;
+}
+
+#endif  // SAFEDM_SIMD_X86
+
+// ---- dispatch --------------------------------------------------------------
+
+using WordsEqualFn = bool (*)(const void*, const void*, unsigned);
+using MismatchBitsFn = u64 (*)(const u64*, const u64*, const u8*, const u8*, unsigned);
+
+/// Resolve once per chunk/scan and call through the pointer: the hot loops
+/// hoist the dispatch out of their per-cycle bodies.
+inline WordsEqualFn words_equal_fn(Kernel kernel) {
+#if SAFEDM_SIMD_X86
+  if (kernel == Kernel::kAvx2) return &words_equal_avx2;
+  if (kernel == Kernel::kSse2) return &words_equal_sse2;
+#endif
+  (void)kernel;
+  return &words_equal_portable;
+}
+
+inline MismatchBitsFn mismatch_bits_fn(Kernel kernel) {
+#if SAFEDM_SIMD_X86
+  if (kernel == Kernel::kAvx2) return &mismatch_bits_avx2;
+  if (kernel == Kernel::kSse2) return &mismatch_bits_sse2;
+#endif
+  (void)kernel;
+  return &mismatch_bits_portable;
+}
+
+using WordsEqualFixedFn = bool (*)(const void*, const void*);
+
+/// Fixed-count variant of words_equal_fn: the word count is baked into the
+/// resolved pointer, so the callee is straight-line code with no loop.
+template <unsigned N>
+inline WordsEqualFixedFn words_equal_fixed_fn(Kernel kernel) {
+#if SAFEDM_SIMD_X86
+  if (kernel == Kernel::kAvx2) return &words_equal_fixed_avx2<N>;
+  if (kernel == Kernel::kSse2) return &words_equal_fixed_sse2<N>;
+#endif
+  (void)kernel;
+  return &words_equal_fixed_portable<N>;
+}
+
+/// Convenience single-call forms (dispatch per call; fine off the hot path).
+inline bool words_equal(const void* a, const void* b, unsigned n) {
+  return words_equal_fn(active_kernel())(a, b, n);
+}
+
+inline u64 mismatch_bits(const u64* av, const u64* bv, const u8* ae, const u8* be,
+                         unsigned n) {
+  return mismatch_bits_fn(active_kernel())(av, bv, ae, be, n);
+}
+
+}  // namespace safedm::monitor::simd

@@ -109,6 +109,7 @@ void SafeDm::on_cycle(u64 cycle, const core::CoreTapFrame& frame0,
     lacking_now_ = false;
     ds_match_now_ = false;
     is_match_now_ = false;
+    if (trail_) trail_->push_back(false);
     return;
   }
 
@@ -157,6 +158,231 @@ void SafeDm::on_cycle(u64 cycle, const core::CoreTapFrame& frame0,
   }
 
   update_interrupt(cycle);
+  if (trail_) trail_->push_back(lacking_now_);
+}
+
+bool SafeDm::batch_fast_eligible() const {
+  // The chunked loop only covers the default hot configuration; anything
+  // else (CRC compare, flat-list IS, distance tracking, disabled or
+  // not-yet-armed monitor, multi-word masks) falls back to per-cycle
+  // on_cycle, which is always correct.
+  return enabled_ && config_.incremental_compare && config_.compare == CompareMode::kRaw &&
+         config_.is_mode == IsMode::kPerStage && !config_.track_distance &&
+         config_.data_fifo_depth <= 64 &&
+         (!config_.arm_on_first_commit || (seen_commit_[0] && seen_commit_[1])) &&
+         inst_diff_.armed();
+}
+
+void SafeDm::on_cycles(u64 first_cycle, const core::CoreTapFrame* frame0,
+                       const core::CoreTapFrame* frame1, unsigned n) {
+  unsigned i = 0;
+  while (i < n) {
+    // Eligibility can flip mid-batch (arming on first commit, prelude
+    // consumption), so re-check per span; ineligible cycles go one at a
+    // time through the exact per-cycle path.
+    if (!batch_fast_eligible()) {
+      on_cycle(first_cycle + i, frame0[i], frame1[i]);
+      ++i;
+      continue;
+    }
+    // Fast span: consecutive cycles with both cores running. Halted
+    // frames take the per-cycle path (they gate counting but still clock
+    // the signature FIFOs).
+    unsigned j = i;
+    while (j < n && !frame0[j].halted && !frame1[j].halted) ++j;
+    if (j == i) {
+      on_cycle(first_cycle + i, frame0[i], frame1[i]);
+      ++i;
+      continue;
+    }
+    while (i < j) {
+      const unsigned m = std::min(j - i, 64u);
+      process_chunk(first_cycle + i, frame0 + i, frame1 + i, m);
+      i += m;
+    }
+  }
+}
+
+void SafeDm::process_chunk(u64 first_cycle, const core::CoreTapFrame* frame0,
+                           const core::CoreTapFrame* frame1, unsigned m) {
+  // Dispatch once per chunk on the port count so the per-cycle port loops
+  // (ring-plane writes + mask shift/insert) run with a constant trip count
+  // and fully unroll. P == 0 is the runtime-count fallback; num_ports is
+  // validated at construction so the default arm is unreachable in
+  // practice, but keeps larger geometries correct if the bound ever grows.
+  switch (config_.num_ports) {
+    case 1: process_chunk_ports<1>(first_cycle, frame0, frame1, m); break;
+    case 2: process_chunk_ports<2>(first_cycle, frame0, frame1, m); break;
+    case 3: process_chunk_ports<3>(first_cycle, frame0, frame1, m); break;
+    case 4: process_chunk_ports<4>(first_cycle, frame0, frame1, m); break;
+    case 5: process_chunk_ports<5>(first_cycle, frame0, frame1, m); break;
+    case 6: process_chunk_ports<6>(first_cycle, frame0, frame1, m); break;
+    default: process_chunk_ports<0>(first_cycle, frame0, frame1, m); break;
+  }
+}
+
+template <unsigned P>
+void SafeDm::process_chunk_ports(u64 first_cycle, const core::CoreTapFrame* frame0,
+                                 const core::CoreTapFrame* frame1, unsigned m) {
+  // Per-cycle-exact batched hot loop. All accounting below is keyed to
+  // cycle events (never to chunk boundaries), so the committed state —
+  // including snapshot bytes — is independent of how a cycle stream is
+  // chunked. Kernel dispatch, ring-plane pointers, and counter traffic
+  // are hoisted out of the loop; state is committed once at the end.
+  // The stage compare resolves to a fixed-count kernel (kStageSlots baked
+  // in: straight-line vector code, no loop or tail branches).
+  const simd::WordsEqualFixedFn stage_equal =
+      simd::words_equal_fixed_fn<SignatureGenerator::kStageSlots>(simd::active_kernel());
+  const unsigned ports = P != 0 ? P : config_.num_ports;
+  const unsigned stride = sig0_.padded_depth();
+  const unsigned ring_mask = stride - 1;
+  u64* v0 = sig0_.values_mut();
+  u8* e0 = sig0_.enables_mut();
+  u64* v1 = sig1_.values_mut();
+  u8* e1 = sig1_.enables_mut();
+  u64 sa = sig0_.shift_count();
+  u64 sb = sig1_.shift_count();
+  i64 diff = inst_diff_.diff();
+  std::vector<bool>* const trail = trail_;
+
+  u64 monitored = 0, nodiv_c = 0, ds_c = 0, is_c = 0, zero_c = 0, holds = 0;
+  u64 nodiv_run = nodiv_run_, ds_run = ds_run_, is_run = is_run_;
+  bool seen0 = seen_commit_[0], seen1 = seen_commit_[1];
+  bool ds_now = ds_match_now_, is_now = is_match_now_, lack_now = lacking_now_;
+
+  // IRQ threshold, precomputed: fire on the exact cycle the nodiv count
+  // reaches it (at most once — the pending latch holds until cleared, and
+  // clearing is an APB/direct call that can't happen mid-chunk).
+  u64 fire_at = ~u64{0};
+  if (!irq_pending_) {
+    if (config_.report == ReportMode::kInterruptFirst) fire_at = 1;
+    else if (config_.report == ReportMode::kInterruptThreshold) fire_at = config_.interrupt_threshold;
+  }
+  // Keep the fire check register-resident: the base only changes inside the
+  // fire branch, which also disarms fire_at, so a stale base is never read.
+  const u64 nodiv_base = counters_.nodiv_cycles;
+
+  const auto write_slot = [&](u64* values, u8* enables, u64 shifts,
+                              const core::CoreTapFrame& f) {
+    const unsigned slot = static_cast<unsigned>(shifts) & ring_mask;
+    for (unsigned p = 0; p < ports; ++p) {
+      const unsigned idx = p * stride + slot;
+      values[idx] = f.port[p].value;
+      enables[idx] = f.port[p].enable ? u8{1} : u8{0};
+    }
+  };
+
+  for (unsigned c = 0; c < m; ++c) {
+    const core::CoreTapFrame& a = frame0[c];
+    const core::CoreTapFrame& b = frame1[c];
+
+    // IS verdict straight off the frames: the packed generator snapshots
+    // would be byte-identical, so skip the two 112-byte stage copies the
+    // per-cycle path pays and compare once with the dispatched kernel.
+    const bool is_match = stage_equal(&a.stage, &b.stage);
+
+    bool ds_match;
+    if (!a.hold && !b.hold) {
+      write_slot(v0, e0, sa, a);
+      write_slot(v1, e1, sb, b);
+      ++sa;
+      ++sb;
+      if constexpr (P != 0) {
+        ds_match = comparator_.step_shift_fixed<P>(a, b);
+      } else {
+        ds_match = comparator_.step_shift(a, b);
+      }
+    } else if (a.hold && b.hold) {
+      ++holds;
+      ds_match = comparator_.ds_match();
+    } else {
+      // Divergent holds: only the un-held core shifts, then realign.
+      if (!a.hold) {
+        write_slot(v0, e0, sa, a);
+        ++sa;
+      }
+      if (!b.hold) {
+        write_slot(v1, e1, sb, b);
+        ++sb;
+      }
+      ds_match = comparator_.step_realign(sa, sb);
+    }
+
+    diff += static_cast<i64>(a.commits) - static_cast<i64>(b.commits);
+    seen0 = seen0 || a.commits > 0;
+    seen1 = seen1 || b.commits > 0;
+
+    const bool nodiv = ds_match && is_match;
+    ++monitored;
+    if (ds_match) {
+      ++ds_c;
+      ++ds_run;
+    } else if (ds_run > 0) {
+      hist_ds_.add(ds_run);
+      ds_run = 0;
+    }
+    if (is_match) {
+      ++is_c;
+      ++is_run;
+    } else if (is_run > 0) {
+      hist_is_.add(is_run);
+      is_run = 0;
+    }
+    if (nodiv) {
+      ++nodiv_c;
+      ++nodiv_run;
+    } else if (nodiv_run > 0) {
+      hist_nodiv_.add(nodiv_run);
+      nodiv_run = 0;
+    }
+    if (diff == 0) ++zero_c;
+    ds_now = ds_match;
+    is_now = is_match;
+    lack_now = nodiv;
+    if (trail) trail->push_back(nodiv);
+
+    if (nodiv_base + nodiv_c >= fire_at) {
+      // Commit the scalar state before the handler runs so an RTOS hook
+      // observes counters/flags exactly as the per-cycle path would.
+      // (Generator/comparator internals sync at chunk end; handlers are
+      // not entitled to introspect signature internals mid-cycle.)
+      counters_.monitored_cycles += monitored;
+      counters_.nodiv_cycles += nodiv_c;
+      counters_.ds_match_cycles += ds_c;
+      counters_.is_match_cycles += is_c;
+      counters_.zero_stag_cycles += zero_c;
+      monitored = nodiv_c = ds_c = is_c = zero_c = 0;
+      nodiv_run_ = nodiv_run;
+      ds_run_ = ds_run;
+      is_run_ = is_run;
+      seen_commit_ = {seen0, seen1};
+      lacking_now_ = lack_now;
+      ds_match_now_ = ds_now;
+      is_match_now_ = is_now;
+      inst_diff_.batch_commit(diff);
+      irq_pending_ = true;
+      ++counters_.interrupts;
+      fire_at = ~u64{0};
+      if (irq_handler_) irq_handler_(first_cycle + c);
+    }
+  }
+
+  counters_.monitored_cycles += monitored;
+  counters_.nodiv_cycles += nodiv_c;
+  counters_.ds_match_cycles += ds_c;
+  counters_.is_match_cycles += is_c;
+  counters_.zero_stag_cycles += zero_c;
+  nodiv_run_ = nodiv_run;
+  ds_run_ = ds_run;
+  is_run_ = is_run;
+  seen_commit_ = {seen0, seen1};
+  lacking_now_ = lack_now;
+  ds_match_now_ = ds_now;
+  is_match_now_ = is_now;
+  inst_diff_.batch_commit(diff);
+  sig0_.batch_commit(sa, &frame0[m - 1].stage, m);
+  sig1_.batch_commit(sb, &frame1[m - 1].stage, m);
+  comparator_.batch_commit(holds, m, is_now);
 }
 
 void SafeDm::finalize() {

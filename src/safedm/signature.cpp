@@ -61,13 +61,15 @@ SignatureGenerator::SignatureGenerator(const SafeDmConfig& config) : config_(con
   depth_mask_ = padded_depth_ - 1;
   crc_cached_ = config.compare == CompareMode::kCrc32;
   detect_stage_changes_ = crc_cached_ || config.is_mode == IsMode::kFlatList;
-  samples_.assign(static_cast<size_t>(config.num_ports) * padded_depth_, {});
-  entry_crc_.assign(samples_.size(), 0);
-  entry_dirty_.assign(samples_.size(), 1);
+  values_.assign(static_cast<size_t>(config.num_ports) * padded_depth_, 0);
+  enables_.assign(values_.size(), 0);
+  entry_crc_.assign(values_.size(), 0);
+  entry_dirty_.assign(values_.size(), 1);
 }
 
 void SignatureGenerator::reset() {
-  std::fill(samples_.begin(), samples_.end(), core::PortTap{});
+  std::fill(values_.begin(), values_.end(), u64{0});
+  std::fill(enables_.begin(), enables_.end(), u8{0});
   std::fill(entry_dirty_.begin(), entry_dirty_.end(), u8{1});
   shifts_ = 0;
   data_crc_valid_ = false;
@@ -112,8 +114,8 @@ u64 SignatureGenerator::data_distance(const SignatureGenerator& a,
   u64 distance = 0;
   for (unsigned p = 0; p < a.config_.num_ports; ++p) {
     for (unsigned i = 0; i < n; ++i) {
-      const core::PortTap& ta = a.entry(p, i);
-      const core::PortTap& tb = b.entry(p, i);
+      const core::PortTap ta = a.entry(p, i);
+      const core::PortTap tb = b.entry(p, i);
       distance += static_cast<u64>(__builtin_popcountll(ta.value ^ tb.value));
       distance += ta.enable != tb.enable ? 1 : 0;
     }
@@ -135,8 +137,8 @@ u64 SignatureGenerator::instruction_distance(const SignatureGenerator& a,
 u32 SignatureGenerator::entry_crc(unsigned index) const {
   if (entry_dirty_[index]) {
     Crc32 crc;
-    crc.add_byte(samples_[index].enable ? 1 : 0);
-    crc.add(samples_[index].value);
+    crc.add_byte(enables_[index]);
+    crc.add(values_[index]);
     entry_crc_[index] = crc.value();
     entry_dirty_[index] = 0;
   }
@@ -156,8 +158,8 @@ u32 SignatureGenerator::data_crc_combine(bool use_cache) const {
         crc.add32(entry_crc(base + slot));
       } else {
         Crc32 e;
-        e.add_byte(samples_[base + slot].enable ? 1 : 0);
-        e.add(samples_[base + slot].value);
+        e.add_byte(enables_[base + slot]);
+        e.add(values_[base + slot]);
         crc.add32(e.value());
       }
     }
@@ -180,7 +182,7 @@ u32 SignatureGenerator::data_crc_exhaustive() const {
   const unsigned n = config_.data_fifo_depth;
   for (unsigned p = 0; p < config_.num_ports; ++p) {
     for (unsigned i = 0; i < n; ++i) {
-      const core::PortTap& tap = entry(p, i);
+      const core::PortTap tap = entry(p, i);
       crc.add_byte(tap.enable ? 1 : 0);
       crc.add(tap.value);
     }
@@ -231,6 +233,16 @@ core::PortTap SignatureGenerator::newest_sample(unsigned port) const {
   return entry(port, config_.data_fifo_depth - 1);
 }
 
+void SignatureGenerator::batch_commit(u64 shifts, const void* stage_src, u64 stage_bumps) {
+  // Raw per-stage mode only: no CRC dirty bits or exact change detection
+  // to maintain, so the chunk loop may write ring slots directly and sync
+  // the cursor + level-signal pipeline snapshot here.
+  SAFEDM_CHECK(!crc_cached_ && !detect_stage_changes_);
+  shifts_ = shifts;
+  std::memcpy(stage_packed_.data(), stage_src, sizeof(PackedStages));
+  stage_version_ += stage_bumps;
+}
+
 void SignatureGenerator::save_state(StateWriter& w) const {
   w.begin_section("SIGG", 1);
   w.put_u32(config_.num_ports);
@@ -239,9 +251,11 @@ void SignatureGenerator::save_state(StateWriter& w) const {
   w.put_u8(static_cast<u8>(config_.compare));
   w.put_u64(shifts_);
   w.put_u64(stage_version_);
-  for (const core::PortTap& s : samples_) {
-    w.put_bool(s.enable);
-    w.put_u64(s.value);
+  // Same slot order and per-slot {enable, value} wire format as the
+  // pre-SoA AoS ring: snapshots stay byte-compatible.
+  for (size_t i = 0; i < values_.size(); ++i) {
+    w.put_bool(enables_[i] != 0);
+    w.put_u64(values_[i]);
   }
   for (u64 word : stage_packed_) w.put_u64(word);
   w.end_section();
@@ -255,9 +269,10 @@ void SignatureGenerator::restore_state(StateReader& r) {
     throw StateError("signature generator geometry mismatch");
   shifts_ = r.get_u64();
   stage_version_ = r.get_u64();
-  for (core::PortTap& s : samples_) {  // in place: samples_data() stays stable
-    s.enable = r.get_bool();
-    s.value = r.get_u64();
+  // In place: values_data()/enables_data() stay stable for comparators.
+  for (size_t i = 0; i < values_.size(); ++i) {
+    enables_[i] = r.get_bool() ? u8{1} : u8{0};
+    values_[i] = r.get_u64();
   }
   for (u64& word : stage_packed_) word = r.get_u64();
   // CRC memos are derived state: mark everything dirty so the next query

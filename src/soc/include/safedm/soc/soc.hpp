@@ -55,6 +55,17 @@ struct SocConfig {
 
   /// Initial arbiter round-robin position (run-to-run platform variation).
   unsigned arbiter_bias = 0;
+
+  /// Cycles of tap frames buffered before observers are invoked. 1 (the
+  /// default) delivers per-cycle via on_cycle; N > 1 accumulates N
+  /// completed cycles in per-core rings and hands them to on_cycles in
+  /// one call, amortizing virtual dispatch across the batch. Pending
+  /// frames auto-flush on snapshot/save, at the end of run(), and before
+  /// any core's APB-window access, so guest programs and checkpoints
+  /// always observe exact per-cycle semantics. Only enable when every
+  /// attached observer is a pure sink (SafeDM, traces); intervening
+  /// observers (SafeDE, DCLS) need per-cycle delivery.
+  unsigned observer_batch = 1;
 };
 
 /// Observers see their pair's two tap frames each cycle (SafeDM, SafeDE,
@@ -64,6 +75,15 @@ class CycleObserver {
   virtual ~CycleObserver() = default;
   virtual void on_cycle(u64 cycle, const core::CoreTapFrame& frame0,
                         const core::CoreTapFrame& frame1) = 0;
+
+  /// Batched delivery (SocConfig::observer_batch > 1): `n` consecutive
+  /// completed cycles, frame0[k]/frame1[k] being the pair's frames for
+  /// cycle first_cycle + k. The default unrolls to per-cycle on_cycle
+  /// calls; observers with a batched fast path (SafeDM) override.
+  virtual void on_cycles(u64 first_cycle, const core::CoreTapFrame* frame0,
+                         const core::CoreTapFrame* frame1, unsigned n) {
+    for (unsigned k = 0; k < n; ++k) on_cycle(first_cycle + k, frame0[k], frame1[k]);
+  }
 };
 
 class MpSoc {
@@ -116,6 +136,13 @@ class MpSoc {
   /// Attach an observer to `pair` (default: pair 0).
   void add_observer(CycleObserver* observer, unsigned pair = 0);
 
+  /// Deliver any buffered observer cycles now (observer_batch > 1; no-op
+  /// otherwise). Safe mid-step — the buffer only ever holds completed
+  /// cycles — so an APB read always sees observers caught up through the
+  /// previous cycle, exactly as per-cycle delivery would. const because
+  /// delivery timing is not architectural SoC state.
+  void flush_observers() const;
+
   /// Capture the complete SoC state (memory, L2, bus, cores, tap frames)
   /// as a self-contained snapshot; `restore` rewinds this instance to it.
   /// The snapshot carries a config fingerprint: restoring into an MpSoc
@@ -138,12 +165,14 @@ class MpSoc {
   /// Routes the APB window to the peripheral bus, everything else to RAM.
   class RoutingMemPort final : public MemoryPort {
    public:
-    RoutingMemPort(mem::PhysMem& ram, bus::ApbBus& apb, u64 apb_base, u64 apb_size)
-        : ram_(ram), apb_(apb), apb_base_(apb_base), apb_size_(apb_size) {}
+    RoutingMemPort(const MpSoc& owner, mem::PhysMem& ram, bus::ApbBus& apb, u64 apb_base,
+                   u64 apb_size)
+        : owner_(owner), ram_(ram), apb_(apb), apb_base_(apb_base), apb_size_(apb_size) {}
     u64 load(u64 addr, unsigned size) override;
     void store(u64 addr, u64 value, unsigned size) override;
 
    private:
+    const MpSoc& owner_;  // flush hook: APB accesses must see observers caught up
     mem::PhysMem& ram_;
     bus::ApbBus& apb_;
     u64 apb_base_;
@@ -162,6 +191,15 @@ class MpSoc {
   // per pair
   std::vector<std::vector<CycleObserver*>> observers_;  // lint: no-snapshot(observer wiring, re-attached by owner)
   u64 cycle_ = 0;
+
+  // Batched observer delivery (config_.observer_batch > 1): completed
+  // cycles' frames accumulate per core, then flush in one on_cycles call.
+  // Delivery timing is not architectural state — a flush precedes every
+  // save/restore — hence mutable and unserialized: snapshot bytes are
+  // identical across observer_batch settings.
+  mutable std::vector<std::vector<core::CoreTapFrame>> obs_frames_;  // lint: no-snapshot(delivery buffer, flushed before save_state)
+  mutable unsigned obs_pending_ = 0;  // lint: no-snapshot(flushed before save_state)
+  mutable u64 obs_first_cycle_ = 0;   // lint: no-snapshot(flushed before save_state)
 };
 
 }  // namespace safedm::soc

@@ -11,10 +11,11 @@ MpSoc::MpSoc(const SocConfig& config) : config_(config) {
   SAFEDM_CHECK_MSG(config.num_cores >= 2 && config.num_cores <= 8 &&
                        config.num_cores % 2 == 0,
                    "num_cores must be even and in [2, 8]");
+  SAFEDM_CHECK_MSG(config.observer_batch >= 1, "observer_batch must be >= 1");
   memory_ = std::make_unique<mem::PhysMem>(config.mem_base, config.mem_size);
   l2_ = std::make_unique<bus::L2Frontend>(config.l2, config.l2_timing);
   ahb_ = std::make_unique<bus::AhbBus>(*l2_, config.arbiter_bias);
-  mem_port_ = std::make_unique<RoutingMemPort>(*memory_, apb_, config.apb_base,
+  mem_port_ = std::make_unique<RoutingMemPort>(*this, *memory_, apb_, config.apb_base,
                                                config.apb_size);
   config_.core.mmio_base = config.apb_base;
   config_.core.mmio_size = config.apb_size;
@@ -24,6 +25,10 @@ MpSoc::MpSoc(const SocConfig& config) : config_(config) {
   frames_.resize(config.num_cores);
   prelude_commits_.assign(config.num_cores, 0);
   observers_.resize(config.num_cores / 2);
+  if (config_.observer_batch > 1) {
+    obs_frames_.resize(config.num_cores);
+    for (auto& ring : obs_frames_) ring.resize(config_.observer_batch);
+  }
   // Cores come out of reset parked; loading a pair brings it up.
   for (unsigned i = 0; i < config.num_cores; ++i) park_core(i);
 }
@@ -152,9 +157,27 @@ void MpSoc::step() {
   ++cycle_;
   for (unsigned i = 0; i < num_cores(); ++i) cores_[i]->step(frames_[i]);
   ahb_->step();
+  if (config_.observer_batch <= 1) {
+    for (unsigned pair = 0; pair < num_pairs(); ++pair)
+      for (CycleObserver* observer : observers_[pair])
+        observer->on_cycle(cycle_, frames_[pair * 2], frames_[pair * 2 + 1]);
+    return;
+  }
+  // Batched delivery: buffer the completed cycle's frames; flush when the
+  // ring fills (or earlier via the APB/snapshot/run-exit flush points).
+  if (obs_pending_ == 0) obs_first_cycle_ = cycle_;
+  for (unsigned i = 0; i < num_cores(); ++i) obs_frames_[i][obs_pending_] = frames_[i];
+  if (++obs_pending_ == config_.observer_batch) flush_observers();
+}
+
+void MpSoc::flush_observers() const {
+  if (obs_pending_ == 0) return;
+  const unsigned n = obs_pending_;
+  obs_pending_ = 0;
   for (unsigned pair = 0; pair < num_pairs(); ++pair)
     for (CycleObserver* observer : observers_[pair])
-      observer->on_cycle(cycle_, frames_[pair * 2], frames_[pair * 2 + 1]);
+      observer->on_cycles(obs_first_cycle_, obs_frames_[pair * 2].data(),
+                          obs_frames_[pair * 2 + 1].data(), n);
 }
 
 u64 MpSoc::run(u64 max_cycles) {
@@ -163,12 +186,17 @@ u64 MpSoc::run(u64 max_cycles) {
     step();
     ++executed;
   }
+  // Callers poll observers after run(); make sure they are caught up.
+  flush_observers();
   return executed;
 }
 
 u64 MpSoc::RoutingMemPort::load(u64 addr, unsigned size) {
   if (addr >= apb_base_ && addr < apb_base_ + apb_size_) {
     SAFEDM_CHECK_MSG(size == 4, "APB access must be 32-bit (lw/sw)");
+    // Guest register reads must see observers caught up through the
+    // previous cycle, exactly as per-cycle delivery would.
+    owner_.flush_observers();
     return apb_.read(addr);
   }
   return ram_.load(addr, size);
@@ -177,6 +205,7 @@ u64 MpSoc::RoutingMemPort::load(u64 addr, unsigned size) {
 void MpSoc::RoutingMemPort::store(u64 addr, u64 value, unsigned size) {
   if (addr >= apb_base_ && addr < apb_base_ + apb_size_) {
     SAFEDM_CHECK_MSG(size == 4, "APB access must be 32-bit (lw/sw)");
+    owner_.flush_observers();
     apb_.write(addr, static_cast<u32>(value));
     return;
   }
@@ -223,6 +252,12 @@ void restore_frame(StateReader& r, core::CoreTapFrame& frame) {
 }  // namespace
 
 void MpSoc::save_state(StateWriter& w) const {
+  // Deliver buffered cycles first: observers (snapshotted alongside by the
+  // owner) must be caught up, and the delivery buffer itself is then empty
+  // — snapshot bytes are identical across observer_batch settings.
+  // observer_batch is deliberately NOT in the config fingerprint below for
+  // the same reason: it changes delivery timing, not architectural state.
+  flush_observers();
   w.begin_section("MSOC", 1);
   // Config fingerprint: a snapshot only restores into an identically
   // configured SoC (same topology, address map, arbiter bias).
@@ -248,6 +283,8 @@ void MpSoc::save_state(StateWriter& w) const {
 }
 
 void MpSoc::restore_state(StateReader& r) {
+  // Deliver any pending cycles from the outgoing timeline before rewinding.
+  flush_observers();
   r.begin_section("MSOC", 1);
   const bool config_ok =
       r.get_u32() == config_.num_cores && r.get_u64() == config_.mem_base &&

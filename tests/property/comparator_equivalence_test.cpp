@@ -39,7 +39,9 @@ std::string scenario_name(const ::testing::TestParamInfo<Scenario>& info) {
 std::vector<Scenario> make_scenarios() {
   std::vector<Scenario> scenarios;
   u64 seed = 1;
-  for (unsigned depth : {1u, 2u, 3u, 4u, 8u, 16u})
+  // 64 and 128 cover the single-word mask boundary and the multi-word
+  // widening beyond it.
+  for (unsigned depth : {1u, 2u, 3u, 4u, 8u, 16u, 64u, 128u})
     for (CompareMode compare : {CompareMode::kRaw, CompareMode::kCrc32})
       for (IsMode is_mode : {IsMode::kPerStage, IsMode::kFlatList})
         scenarios.push_back(Scenario{depth, depth % 2 ? 3u : 4u, compare, is_mode, seed++});
@@ -121,6 +123,36 @@ TEST_P(ComparatorEquivalence, VerdictMatchesOracleEveryCycle) {
 
 INSTANTIATE_TEST_SUITE_P(Sweep, ComparatorEquivalence, ::testing::ValuesIn(make_scenarios()),
                          scenario_name);
+
+// Regression: data_fifo_depth > 64 used to silently fall off the
+// incremental fast path (the mismatch mask was a single u64, so every
+// aligned cycle degraded to an exhaustive compare). With multi-word masks
+// every aligned shift must count as a fast update and none as a realign.
+TEST(ComparatorDeepFifo, Depth128StaysOnTheIncrementalFastPath) {
+  SafeDmConfig config;
+  config.data_fifo_depth = 128;
+  config.num_ports = 3;
+  config.compare = CompareMode::kRaw;
+  config.is_mode = IsMode::kPerStage;
+
+  SignatureGenerator a(config), b(config);
+  DiversityComparator comparator(a, b);
+  Xoshiro256 rng(0xD128'F1F0);
+
+  constexpr u64 kCycles = 2000;
+  for (u64 cycle = 0; cycle < kCycles; ++cycle) {
+    core::CoreTapFrame f0 = small_frame(rng);
+    core::CoreTapFrame f1 = rng.chance(0.5) ? f0 : small_frame(rng);
+    f0.hold = f1.hold = false;  // aligned: every cycle is fast-path eligible
+    a.capture(f0);
+    b.capture(f1);
+    comparator.update();
+    ASSERT_EQ(comparator.ds_match(), SignatureGenerator::data_equal(a, b)) << "cycle " << cycle;
+  }
+  const auto& stats = comparator.stats();
+  EXPECT_EQ(stats.fast_updates, kCycles);
+  EXPECT_EQ(stats.realign_scans, 0u);
+}
 
 // Monitor-level equivalence: a SafeDm on the incremental comparator and a
 // SafeDm on the exhaustive path, fed the same random stream (including

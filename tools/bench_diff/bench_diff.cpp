@@ -1,0 +1,297 @@
+// bench_diff — gate a fresh BENCH_*.json against a committed baseline.
+//
+// Usage:
+//   bench_diff <baseline.json> <current.json> [--tolerance=0.2]
+//              [--keys=speedups,speedup]
+//
+// Both files are flattened into dotted numeric keys ("speedups.raw_batched
+// _vs_legacy", "modes.raw_batched.cycles_per_sec", ...). Every selected key
+// (one that equals a --keys entry or sits underneath it) present in the
+// baseline must exist in the current file and must not have regressed by
+// more than the tolerance: current >= baseline * (1 - tolerance). Higher
+// is better for every gated metric in this repo (speedup ratios, cycles
+// per second), so only the downward direction fails.
+//
+// The default key set gates only machine-independent ratios: absolute
+// cycles/sec move with the host, but "the SIMD batched path is Nx the
+// pre-PR path" should survive any machine, so a committed baseline stays
+// meaningful across hardware. Exit codes: 0 ok, 1 regression (or a gated
+// key missing from the current file), 2 usage/parse errors.
+#include <cctype>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+// ---- minimal JSON reader ---------------------------------------------------
+//
+// Just enough for the bench JSON the repo's JsonWriter emits (objects,
+// arrays, strings, numbers, bools, null). Numeric leaves land in `out`
+// keyed by dotted path; everything else is parsed and discarded.
+
+class JsonFlattener {
+ public:
+  JsonFlattener(const std::string& text, std::map<std::string, double>& out)
+      : text_(text), out_(out) {}
+
+  bool run() {
+    skip_ws();
+    if (!parse_value("")) return false;
+    skip_ws();
+    return pos_ == text_.size();  // trailing garbage is a parse error
+  }
+
+  std::string error() const { return error_; }
+
+ private:
+  bool fail(const std::string& what) {
+    std::ostringstream os;
+    os << what << " at byte " << pos_;
+    error_ = os.str();
+    return false;
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])))
+      ++pos_;
+  }
+
+  bool parse_value(const std::string& path) {
+    skip_ws();
+    if (pos_ >= text_.size()) return fail("unexpected end of input");
+    const char c = text_[pos_];
+    if (c == '{') return parse_object(path);
+    if (c == '[') return parse_array(path);
+    if (c == '"') {
+      std::string ignored;
+      return parse_string(ignored);
+    }
+    if (c == 't' || c == 'f' || c == 'n') return parse_keyword();
+    return parse_number(path);
+  }
+
+  bool parse_object(const std::string& path) {
+    ++pos_;  // '{'
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      std::string key;
+      if (pos_ >= text_.size() || text_[pos_] != '"' || !parse_string(key))
+        return fail("expected object key");
+      skip_ws();
+      if (pos_ >= text_.size() || text_[pos_] != ':') return fail("expected ':'");
+      ++pos_;
+      if (!parse_value(path.empty() ? key : path + "." + key)) return false;
+      skip_ws();
+      if (pos_ < text_.size() && text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (pos_ < text_.size() && text_[pos_] == '}') {
+        ++pos_;
+        return true;
+      }
+      return fail("expected ',' or '}'");
+    }
+  }
+
+  bool parse_array(const std::string& path) {
+    ++pos_;  // '['
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      return true;
+    }
+    unsigned index = 0;
+    while (true) {
+      if (!parse_value(path + "." + std::to_string(index++))) return false;
+      skip_ws();
+      if (pos_ < text_.size() && text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (pos_ < text_.size() && text_[pos_] == ']') {
+        ++pos_;
+        return true;
+      }
+      return fail("expected ',' or ']'");
+    }
+  }
+
+  bool parse_string(std::string& out) {
+    ++pos_;  // opening quote
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) break;
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case 'n': out += '\n'; break;
+          case 't': out += '\t'; break;
+          case 'u':
+            // Bench keys are ASCII; skip the 4 hex digits, keep a marker.
+            pos_ += 4 <= text_.size() - pos_ ? 4 : text_.size() - pos_;
+            out += '?';
+            break;
+          default: out += esc; break;
+        }
+      } else {
+        out += c;
+      }
+    }
+    return fail("unterminated string");
+  }
+
+  bool parse_keyword() {
+    for (const char* kw : {"true", "false", "null"}) {
+      const std::size_t len = std::strlen(kw);
+      if (text_.compare(pos_, len, kw) == 0) {
+        pos_ += len;
+        return true;
+      }
+    }
+    return fail("bad keyword");
+  }
+
+  bool parse_number(const std::string& path) {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '-' || text_[pos_] == '+'))
+      ++pos_;
+    if (pos_ == start) return fail("expected a value");
+    try {
+      out_[path] = std::stod(text_.substr(start, pos_ - start));
+    } catch (...) {
+      return fail("bad number");
+    }
+    return true;
+  }
+
+  const std::string& text_;
+  std::map<std::string, double>& out_;
+  std::size_t pos_ = 0;
+  std::string error_;
+};
+
+bool load_flat(const char* path, std::map<std::string, double>& out) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "bench_diff: cannot open %s\n", path);
+    return false;
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+  JsonFlattener parser(text, out);
+  if (!parser.run()) {
+    std::fprintf(stderr, "bench_diff: %s: %s\n", path, parser.error().c_str());
+    return false;
+  }
+  return true;
+}
+
+bool key_selected(const std::string& key, const std::vector<std::string>& prefixes) {
+  for (const std::string& prefix : prefixes) {
+    if (key == prefix) return true;
+    if (key.size() > prefix.size() && key.compare(0, prefix.size(), prefix) == 0 &&
+        key[prefix.size()] == '.')
+      return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* baseline_path = nullptr;
+  const char* current_path = nullptr;
+  double tolerance = 0.2;
+  std::vector<std::string> prefixes = {"speedups", "speedup"};
+
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--tolerance=", 12) == 0) {
+      tolerance = std::atof(arg + 12);
+      if (tolerance < 0.0 || tolerance >= 1.0) {
+        std::fprintf(stderr, "bench_diff: --tolerance must be in [0, 1)\n");
+        return 2;
+      }
+    } else if (std::strncmp(arg, "--keys=", 7) == 0) {
+      prefixes.clear();
+      std::string list(arg + 7);
+      std::size_t pos = 0;
+      while (pos != std::string::npos) {
+        const std::size_t comma = list.find(',', pos);
+        const std::string item = list.substr(
+            pos, comma == std::string::npos ? std::string::npos : comma - pos);
+        if (!item.empty()) prefixes.push_back(item);
+        pos = comma == std::string::npos ? comma : comma + 1;
+      }
+      if (prefixes.empty()) {
+        std::fprintf(stderr, "bench_diff: --keys needs at least one prefix\n");
+        return 2;
+      }
+    } else if (!baseline_path) {
+      baseline_path = arg;
+    } else if (!current_path) {
+      current_path = arg;
+    } else {
+      std::fprintf(stderr, "bench_diff: unexpected argument %s\n", arg);
+      return 2;
+    }
+  }
+  if (!baseline_path || !current_path) {
+    std::fprintf(stderr,
+                 "usage: bench_diff <baseline.json> <current.json> "
+                 "[--tolerance=0.2] [--keys=speedups,speedup]\n");
+    return 2;
+  }
+
+  std::map<std::string, double> baseline, current;
+  if (!load_flat(baseline_path, baseline) || !load_flat(current_path, current)) return 2;
+
+  unsigned gated = 0, regressed = 0;
+  for (const auto& [key, base_value] : baseline) {
+    if (!key_selected(key, prefixes)) continue;
+    ++gated;
+    const auto it = current.find(key);
+    if (it == current.end()) {
+      std::fprintf(stderr, "REGRESSION %s: present in baseline, missing from current\n",
+                   key.c_str());
+      ++regressed;
+      continue;
+    }
+    const double floor = base_value * (1.0 - tolerance);
+    const char* verdict = it->second < floor ? "REGRESSION" : "ok";
+    if (it->second < floor) ++regressed;
+    std::printf("%-10s %-45s baseline %10.3f  current %10.3f  floor %10.3f\n", verdict,
+                key.c_str(), base_value, it->second, floor);
+  }
+
+  if (gated == 0) {
+    std::fprintf(stderr, "bench_diff: no baseline keys matched the selection\n");
+    return 2;
+  }
+  if (regressed > 0) {
+    std::fprintf(stderr, "bench_diff: %u of %u gated keys regressed beyond %.0f%%\n",
+                 regressed, gated, tolerance * 100.0);
+    return 1;
+  }
+  std::printf("bench_diff: %u gated keys within %.0f%% of baseline\n", gated,
+              tolerance * 100.0);
+  return 0;
+}

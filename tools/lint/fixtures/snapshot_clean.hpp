@@ -30,4 +30,28 @@ class Gauge {
   std::uint64_t crc_memo_ = 0;
 };
 
+// SoA fast-path idiom (mirrors src/safedm/comparator.hpp after the
+// bit-sliced refactor): raw plane views into an attached producer plus
+// geometry/bookkeeping derived from it are rebuilt by resync() rather than
+// serialized, so every such member carries a `no-snapshot` annotation and
+// only the genuine state (stats_) round-trips. Must produce zero findings.
+class SlicedMirror {
+ public:
+  void save_state(StateWriter& w) const { w.put_u64(stats_); }
+
+  void restore_state(StateReader& r) {
+    stats_ = r.get_u64();
+    resync();
+  }
+
+ private:
+  void resync() { mismatch_mask_ = values_ != nullptr ? stride_ : 0; }
+
+  const std::uint64_t* values_ = nullptr;  // lint: no-snapshot(stable raw plane view, rebound by attach)
+  const std::uint8_t* enables_ = nullptr;  // lint: no-snapshot(stable raw plane view, rebound by attach)
+  std::uint32_t stride_ = 0;        // lint: no-snapshot(producer geometry, derived)
+  std::uint64_t mismatch_mask_ = 0; // lint: no-snapshot(rebuilt by resync())
+  std::uint64_t stats_ = 0;
+};
+
 }  // namespace lintfix

@@ -3,6 +3,10 @@
 //   missing_restore_  written by save_state, never read back
 //   missing_save_     restored, never saved
 //   missing_both_     in neither body
+//   plane_view_       SoA-style raw plane pointer with no `no-snapshot`
+//                     annotation (mutable pointers are NOT auto-exempt:
+//                     forgetting the annotation on a fast-path view must
+//                     fire, unlike the annotated mirrors in snapshot_clean)
 // Exempt, must NOT be flagged:
 //   annotated_cache_  carries `// lint: no-snapshot(reason)`
 //   sink_             reference member (cannot be reseated)
@@ -27,6 +31,7 @@ class Widget {
   std::uint64_t missing_restore_ = 0;
   std::uint64_t missing_save_ = 0;
   std::uint64_t missing_both_ = 0;
+  const std::uint64_t* plane_view_ = nullptr;
   std::uint64_t annotated_cache_ = 0;  // lint: no-snapshot(rebuilt from saved_ok_ on restore)
   StateWriter& sink_;
   const std::uint64_t kScale_ = 8;
