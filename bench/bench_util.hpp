@@ -1,26 +1,37 @@
-// Shared experiment harness for the bench binaries: builds the MPSoC +
-// SafeDM rig, runs a workload redundantly, and returns the monitor's
-// counters. Mirrors the paper's methodology (Section V-B): synchronized
-// start, optional nop prelude on one core, monitor armed once both cores
-// execute the program, max over repeated runs.
+// Shared pieces of the bench executables:
 //
-// Every MpSoc run is fully independent, so the repeated-run and sweep
-// layers fan out over a process-wide ThreadPool. SAFEDM_BENCH_THREADS
-// overrides the worker count (default: hardware concurrency; 1 restores
-// the historical serial behavior for debugging).
+//   - the redundant-run experiment harness itself now lives in
+//     src/scenario (safedm/scenario/redundant.hpp) so the JSON scenario
+//     runner and the bench drivers execute the same code path; this
+//     header re-exports it under the historical safedm::bench names,
+//   - hwvar-style repetition statistics (Measurement),
+//   - checked CLI numeric parsing: every bench flag goes through
+//     parse_u64/parse_u32/parse_double, which reject non-numeric,
+//     negative, and out-of-range input with a clear error plus the
+//     driver's usage line — the bare-atoi era of `--threads=abc`
+//     silently meaning 0 is over.
 #pragma once
 
 #include <algorithm>
 #include <cmath>
-#include <string>
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+#include <string_view>
 #include <vector>
 
-#include "safedm/common/thread_pool.hpp"
-#include "safedm/safedm/monitor.hpp"
-#include "safedm/soc/soc.hpp"
+#include "safedm/scenario/redundant.hpp"
 #include "safedm/workloads/workloads.hpp"
 
 namespace safedm::bench {
+
+using scenario::RunOutcome;
+using scenario::RunSpec;
+using scenario::max_over_runs;
+using scenario::run_redundant;
+
+/// Process-wide bench pool (sized by SAFEDM_BENCH_THREADS / hardware).
+inline ThreadPool& bench_pool() { return scenario::shared_pool(); }
 
 /// Repetition statistics for timed measurements (hwvar-style): collect one
 /// sample per repetition, report best alongside min/median/stddev so the
@@ -59,109 +70,64 @@ struct Measurement {
   }
 };
 
-struct RunOutcome {
-  u64 cycles = 0;            // SoC cycles until both cores halted
-  u64 monitored_cycles = 0;
-  u64 zero_stag = 0;         // cycles with instruction diff == 0
-  u64 nodiv = 0;             // cycles with neither data nor instr diversity
-  u64 ds_match = 0;
-  u64 is_match = 0;
-  u64 committed0 = 0;
-  u64 committed1 = 0;
-  bool completed = false;
+// ---- checked CLI parsing ---------------------------------------------------
 
-  /// Field-wise max aggregation (the paper reports the highest values
-  /// found over repeated runs).
-  RunOutcome& max_with(const RunOutcome& other) {
-    cycles = std::max(cycles, other.cycles);
-    monitored_cycles = std::max(monitored_cycles, other.monitored_cycles);
-    zero_stag = std::max(zero_stag, other.zero_stag);
-    nodiv = std::max(nodiv, other.nodiv);
-    ds_match = std::max(ds_match, other.ds_match);
-    is_match = std::max(is_match, other.is_match);
-    committed0 = std::max(committed0, other.committed0);
-    committed1 = std::max(committed1, other.committed1);
-    completed = completed || other.completed;
-    return *this;
+/// Strict decimal u64: every character must be a digit, the value must
+/// fit u64 and land in [lo, hi]. No sign, no whitespace, no prefixes —
+/// `-1`, `0x10`, `12abc`, and `""` are all rejected (std::nullopt), where
+/// atoi/strtoul would have silently produced 0 or a wrapped value.
+inline std::optional<u64> try_parse_u64(std::string_view text, u64 lo = 0, u64 hi = ~u64{0}) {
+  if (text.empty()) return std::nullopt;
+  u64 value = 0;
+  for (const char c : text) {
+    if (c < '0' || c > '9') return std::nullopt;
+    const u64 digit = static_cast<u64>(c - '0');
+    if (value > (~u64{0} - digit) / 10) return std::nullopt;  // would overflow
+    value = value * 10 + digit;
   }
-};
-
-struct RunSpec {
-  unsigned scale = 1;
-  unsigned stagger_nops = 0;
-  unsigned delayed_core = 1;
-  unsigned arbiter_bias = 0;
-  u64 max_cycles = 20'000'000;
-  monitor::SafeDmConfig dm{};
-  soc::SocConfig soc{};
-};
-
-/// Process-wide bench pool (sized by SAFEDM_BENCH_THREADS / hardware).
-inline ThreadPool& bench_pool() {
-  static ThreadPool pool(bench_thread_count());
-  return pool;
+  if (value < lo || value > hi) return std::nullopt;
+  return value;
 }
 
-inline RunOutcome run_redundant(const assembler::Program& program, const RunSpec& spec) {
-  soc::SocConfig soc_config = spec.soc;
-  soc_config.arbiter_bias = spec.arbiter_bias;
-  // SafeDM is the only observer this rig attaches and it is a pure sink,
-  // so batched delivery is safe and amortizes per-cycle dispatch. A spec
-  // that explicitly set another batch size wins.
-  if (soc_config.observer_batch == 1) soc_config.observer_batch = 32;
-  soc::MpSoc soc(soc_config);
-
-  monitor::SafeDmConfig dm_config = spec.dm;
-  dm_config.start_enabled = true;
-  monitor::SafeDm dm(dm_config);
-  soc.add_observer(&dm);
-
-  soc.load_redundant(program, spec.stagger_nops, spec.delayed_core);
-  dm.set_prelude_ignore(0, soc.prelude_commits(0));
-  dm.set_prelude_ignore(1, soc.prelude_commits(1));
-
-  const u64 cycles = soc.run(spec.max_cycles);
-  dm.finalize();
-
-  RunOutcome out;
-  out.cycles = cycles;
-  out.completed = soc.all_halted();
-  const auto& c = dm.counters();
-  out.monitored_cycles = c.monitored_cycles;
-  out.zero_stag = c.zero_stag_cycles;
-  out.nodiv = c.nodiv_cycles;
-  out.ds_match = c.ds_match_cycles;
-  out.is_match = c.is_match_cycles;
-  out.committed0 = soc.core(0).stats().committed;
-  out.committed1 = soc.core(1).stats().committed;
-  return out;
+/// Strict finite double (strtod grammar, fully consumed, finite result).
+inline std::optional<double> try_parse_double(std::string_view text) {
+  if (text.empty() || text.size() > 63) return std::nullopt;
+  char buf[64];
+  text.copy(buf, text.size());
+  buf[text.size()] = '\0';
+  char* end = nullptr;
+  const double value = std::strtod(buf, &end);
+  if (end != buf + text.size() || !std::isfinite(value)) return std::nullopt;
+  return value;
 }
 
-/// The paper reports the max over repeated runs ("we selected the highest
-/// values found"). Runs vary who starts first and the arbiter phase; the
-/// variants are independent simulations and execute on the bench pool.
-inline RunOutcome max_over_runs(const assembler::Program& program, RunSpec spec) {
-  std::vector<RunSpec> specs;
-  if (spec.stagger_nops == 0) {
-    for (unsigned bias = 0; bias < 2; ++bias) {
-      RunSpec s = spec;
-      s.arbiter_bias = bias;
-      specs.push_back(s);
-    }
-  } else {
-    for (unsigned delayed = 0; delayed < 2; ++delayed) {
-      RunSpec s = spec;
-      s.delayed_core = delayed;
-      specs.push_back(s);
-    }
-  }
-  std::vector<RunOutcome> outcomes(specs.size());
-  bench_pool().parallel_for(specs.size(), [&](std::size_t i) {
-    outcomes[i] = run_redundant(program, specs[i]);
-  });
-  RunOutcome best;
-  for (const RunOutcome& out : outcomes) best.max_with(out);
-  return best;
+[[noreturn]] inline void cli_fail(const char* flag, std::string_view value,
+                                  const char* expected, const char* usage) {
+  std::fprintf(stderr, "error: %s expects %s, got \"%.*s\"\n%s", flag, expected,
+               static_cast<int>(value.size()), value.data(), usage);
+  std::exit(2);
+}
+
+/// Parse-or-die helpers for bench main()s: on bad input, print a
+/// diagnostic naming the flag and the accepted range plus the driver's
+/// usage text, and exit 2 before any simulation state is built.
+inline u64 parse_u64(const char* flag, std::string_view value, const char* usage, u64 lo = 0,
+                     u64 hi = ~u64{0}) {
+  if (const std::optional<u64> parsed = try_parse_u64(value, lo, hi)) return *parsed;
+  char expected[96];
+  std::snprintf(expected, sizeof expected, "an integer in [%llu, %llu]",
+                static_cast<unsigned long long>(lo), static_cast<unsigned long long>(hi));
+  cli_fail(flag, value, expected, usage);
+}
+
+inline u32 parse_u32(const char* flag, std::string_view value, const char* usage, u32 lo = 0,
+                     u32 hi = ~u32{0}) {
+  return static_cast<u32>(parse_u64(flag, value, usage, lo, hi));
+}
+
+inline double parse_double(const char* flag, std::string_view value, const char* usage) {
+  if (const std::optional<double> parsed = try_parse_double(value)) return *parsed;
+  cli_fail(flag, value, "a finite number", usage);
 }
 
 }  // namespace safedm::bench

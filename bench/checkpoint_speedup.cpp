@@ -30,6 +30,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_util.hpp"
 #include "json_writer.hpp"
 #include "safedm/faultsim/faultsim.hpp"
 #include "safedm/workloads/workloads.hpp"
@@ -75,6 +76,9 @@ EngineRun run_engine_once(const assembler::Program& program, const std::vector<I
 }  // namespace
 
 int main(int argc, char** argv) {
+  constexpr char kUsage[] =
+      "usage: bench_checkpoint_speedup [--workload=NAME] [--scale=N] [--interval=N]\n"
+      "                                [--reps=N] [--min-speedup=X] [--json=PATH] [--check]\n";
   std::string workload = "quicksort";
   unsigned scale = 2;
   u64 interval = 0;
@@ -86,21 +90,20 @@ int main(int argc, char** argv) {
     const char* arg = argv[i];
     if (std::strncmp(arg, "--workload=", 11) == 0) workload = arg + 11;
     else if (std::strncmp(arg, "--scale=", 8) == 0)
-      scale = static_cast<unsigned>(std::atoi(arg + 8));
+      scale = bench::parse_u32("--scale", arg + 8, kUsage, 1, 1024);
     else if (std::strncmp(arg, "--interval=", 11) == 0)
-      interval = std::strtoull(arg + 11, nullptr, 10);
+      interval = bench::parse_u64("--interval", arg + 11, kUsage);
     else if (std::strncmp(arg, "--reps=", 7) == 0)
-      reps = static_cast<unsigned>(std::atoi(arg + 7));
+      reps = bench::parse_u32("--reps", arg + 7, kUsage, 1, 1000);
     else if (std::strncmp(arg, "--min-speedup=", 14) == 0)
-      min_speedup = std::atof(arg + 14);
+      min_speedup = bench::parse_double("--min-speedup", arg + 14, kUsage);
     else if (std::strncmp(arg, "--json=", 7) == 0) json_path = arg + 7;
     else if (std::strcmp(arg, "--check") == 0) check = true;
     else {
-      std::fprintf(stderr, "unknown option: %s\n", arg);
+      std::fprintf(stderr, "unknown option: %s\n%s", arg, kUsage);
       return 2;
     }
   }
-  if (reps == 0) reps = 1;
 
   const assembler::Program program = workloads::build(workload, scale);
 

@@ -28,6 +28,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_util.hpp"
 #include "safedm/common/log.hpp"
 #include "safedm/common/thread_pool.hpp"
 #include "safedm/faultsim/campaign.hpp"
@@ -37,6 +38,13 @@ using namespace safedm;
 using namespace safedm::faultsim;
 
 namespace {
+
+constexpr char kUsage[] =
+    "usage: bench_faultsim_campaign [--workloads=a,b|paper4|all] [--samples=N]\n"
+    "                               [--registers=a,b] [--bits=a,b] [--scale=N] [--seed=N]\n"
+    "                               [--threads=N] [--engine=replay|checkpoint]\n"
+    "                               [--checkpoint-interval=N] [--json=PATH] [--no-single]\n"
+    "                               [--smoke]\n";
 
 std::vector<std::string> split_csv(const char* arg) {
   std::vector<std::string> out;
@@ -86,21 +94,29 @@ int main(int argc, char** argv) {
         config.workloads = split_csv(value);
       }
     } else if (std::strncmp(arg, "--samples=", 10) == 0) {
-      config.samples_per_class = static_cast<unsigned>(std::atoi(arg + 10));
+      config.samples_per_class = bench::parse_u32("--samples", arg + 10, kUsage, 1, 100'000);
     } else if (std::strncmp(arg, "--registers=", 12) == 0) {
+      // x0 is hardwired zero and x-numbers stop at 31; an out-of-range
+      // register must be a hard error, not a silent u8 wrap (the old atoi
+      // path turned --registers=256 into injections against x0, i.e. a
+      // campaign that faults nothing).
       config.registers.clear();
       for (const std::string& r : split_csv(arg + 12))
-        config.registers.push_back(static_cast<u8>(std::atoi(r.c_str())));
+        config.registers.push_back(static_cast<u8>(bench::parse_u64("--registers", r, kUsage, 1, 31)));
+      if (config.registers.empty())
+        bench::cli_fail("--registers", arg + 12, "a non-empty list of registers in [1, 31]", kUsage);
     } else if (std::strncmp(arg, "--bits=", 7) == 0) {
       config.bits.clear();
       for (const std::string& b : split_csv(arg + 7))
-        config.bits.push_back(static_cast<unsigned>(std::atoi(b.c_str())));
+        config.bits.push_back(static_cast<unsigned>(bench::parse_u64("--bits", b, kUsage, 0, 63)));
+      if (config.bits.empty())
+        bench::cli_fail("--bits", arg + 7, "a non-empty list of bit positions in [0, 63]", kUsage);
     } else if (std::strncmp(arg, "--scale=", 8) == 0) {
-      config.scale = static_cast<unsigned>(std::atoi(arg + 8));
+      config.scale = bench::parse_u32("--scale", arg + 8, kUsage, 1, 1024);
     } else if (std::strncmp(arg, "--seed=", 7) == 0) {
-      config.seed = static_cast<u64>(std::atoll(arg + 7));
+      config.seed = bench::parse_u64("--seed", arg + 7, kUsage);
     } else if (std::strncmp(arg, "--threads=", 10) == 0) {
-      config.threads = static_cast<unsigned>(std::atoi(arg + 10));
+      config.threads = bench::parse_u32("--threads", arg + 10, kUsage, 0, 4096);
     } else if (std::strncmp(arg, "--engine=", 9) == 0) {
       const char* value = arg + 9;
       if (std::strcmp(value, "replay") == 0) {
@@ -108,11 +124,11 @@ int main(int argc, char** argv) {
       } else if (std::strcmp(value, "checkpoint") == 0) {
         config.engine = InjectionEngine::kCheckpoint;
       } else {
-        std::fprintf(stderr, "unknown engine: %s (replay|checkpoint)\n", value);
+        std::fprintf(stderr, "unknown engine: %s (replay|checkpoint)\n%s", value, kUsage);
         return 2;
       }
     } else if (std::strncmp(arg, "--checkpoint-interval=", 22) == 0) {
-      config.checkpoint_interval = std::strtoull(arg + 22, nullptr, 10);
+      config.checkpoint_interval = bench::parse_u64("--checkpoint-interval", arg + 22, kUsage);
     } else if (std::strncmp(arg, "--json=", 7) == 0) {
       json_path = arg + 7;
     } else if (std::strcmp(arg, "--no-single") == 0) {
@@ -120,7 +136,7 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(arg, "--smoke") == 0) {
       smoke = true;
     } else {
-      std::fprintf(stderr, "unknown option: %s\n", arg);
+      std::fprintf(stderr, "unknown option: %s\n%s", arg, kUsage);
       return 2;
     }
   }

@@ -25,6 +25,7 @@
 #include <fstream>
 #include <string>
 
+#include "bench_util.hpp"
 #include "safedm/common/thread_pool.hpp"
 #include "safedm/fuzz/campaign.hpp"
 
@@ -32,6 +33,10 @@ using namespace safedm;
 using namespace safedm::fuzz;
 
 int main(int argc, char** argv) {
+  constexpr char kUsage[] =
+      "usage: bench_fuzz_campaign [--rounds=N] [--inputs=N] [--seed=N] [--threads=N]\n"
+      "                           [--max-cycles=N] [--corpus=DIR] [--save-corpus=DIR]\n"
+      "                           [--repro-dir=DIR] [--json=PATH] [--replay=DIR] [--smoke]\n";
   CampaignConfig config;
   config.threads = bench_thread_count();
   std::string json_path = "BENCH_fuzz.json";
@@ -40,15 +45,15 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
     if (std::strncmp(arg, "--rounds=", 9) == 0) {
-      config.rounds = static_cast<unsigned>(std::atoi(arg + 9));
+      config.rounds = bench::parse_u32("--rounds", arg + 9, kUsage, 1, 100'000);
     } else if (std::strncmp(arg, "--inputs=", 9) == 0) {
-      config.inputs_per_round = static_cast<unsigned>(std::atoi(arg + 9));
+      config.inputs_per_round = bench::parse_u32("--inputs", arg + 9, kUsage, 1, 1'000'000);
     } else if (std::strncmp(arg, "--seed=", 7) == 0) {
-      config.seed = static_cast<u64>(std::atoll(arg + 7));
+      config.seed = bench::parse_u64("--seed", arg + 7, kUsage);
     } else if (std::strncmp(arg, "--threads=", 10) == 0) {
-      config.threads = static_cast<unsigned>(std::atoi(arg + 10));
+      config.threads = bench::parse_u32("--threads", arg + 10, kUsage, 0, 4096);
     } else if (std::strncmp(arg, "--max-cycles=", 13) == 0) {
-      config.oracle.max_cycles = std::strtoull(arg + 13, nullptr, 10);
+      config.oracle.max_cycles = bench::parse_u64("--max-cycles", arg + 13, kUsage, 1);
     } else if (std::strncmp(arg, "--corpus=", 9) == 0) {
       corpus_dir = arg + 9;
     } else if (std::strncmp(arg, "--save-corpus=", 14) == 0) {
@@ -62,7 +67,7 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(arg, "--smoke") == 0) {
       smoke = true;
     } else {
-      std::fprintf(stderr, "unknown option: %s\n", arg);
+      std::fprintf(stderr, "unknown option: %s\n%s", arg, kUsage);
       return 2;
     }
   }

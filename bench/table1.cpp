@@ -20,10 +20,19 @@
 using namespace safedm;
 using namespace safedm::bench;
 
+namespace {
+constexpr char kUsage[] = "usage: bench_table1 [--scale=N]\n";
+}
+
 int main(int argc, char** argv) {
   unsigned scale = 1;
   for (int i = 1; i < argc; ++i) {
-    if (std::strncmp(argv[i], "--scale=", 8) == 0) scale = std::atoi(argv[i] + 8);
+    if (std::strncmp(argv[i], "--scale=", 8) == 0) {
+      scale = parse_u32("--scale", argv[i] + 8, kUsage, 1, 1024);
+    } else {
+      std::fprintf(stderr, "unknown option: %s\n%s", argv[i], kUsage);
+      return 2;
+    }
   }
 
   const unsigned staggers[] = {0, 100, 1000, 10000};

@@ -358,18 +358,23 @@ ModeResult run_legacy(const std::string& name, u64 cycles, const Trace& trace,
 }  // namespace
 
 int main(int argc, char** argv) {
+  constexpr char kUsage[] =
+      "usage: bench_throughput [--cycles=N] [--reps=N] [--json=PATH] [--check]\n";
   u64 cycles = 2'000'000;
   std::string json_path = "BENCH_throughput.json";
   bool check = false;
   for (int i = 1; i < argc; ++i) {
-    if (std::strncmp(argv[i], "--cycles=", 9) == 0) cycles = std::strtoull(argv[i] + 9, nullptr, 10);
+    if (std::strncmp(argv[i], "--cycles=", 9) == 0)
+      cycles = bench::parse_u64("--cycles", argv[i] + 9, kUsage, 1);
     else if (std::strncmp(argv[i], "--json=", 7) == 0) json_path = argv[i] + 7;
     else if (std::strncmp(argv[i], "--reps=", 7) == 0)
-      g_reps = static_cast<unsigned>(std::strtoul(argv[i] + 7, nullptr, 10));
+      g_reps = bench::parse_u32("--reps", argv[i] + 7, kUsage, 1, 1000);
     else if (std::strcmp(argv[i], "--check") == 0) check = true;
+    else {
+      std::fprintf(stderr, "unknown option: %s\n%s", argv[i], kUsage);
+      return 2;
+    }
   }
-  if (cycles == 0) cycles = 1;
-  if (g_reps == 0) g_reps = 1;
 
   // 64 pairs ≈ 27 KB: L1-resident, so trace fetch does not drown the
   // datapath under measurement.

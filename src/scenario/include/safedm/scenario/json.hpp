@@ -1,0 +1,62 @@
+// Strict, dependency-free JSON parser for the scenario DSL.
+//
+// Scenario files are hand-written configuration, so the parser is a
+// validator first and a reader second (the same philosophy as
+// `safedm-lint`): it accepts exactly the RFC 8259 grammar — no comments,
+// no trailing commas, no unquoted keys, no NaN/Infinity — and rejects
+// duplicate object keys, because a silently-ignored duplicate is how a
+// scenario ends up asserting something other than what its author wrote.
+// Every value remembers its 1-based source line so the schema layer can
+// point at the offending token, not just the file.
+//
+// The DOM is deliberately dumb: one variant-ish struct, object members in
+// source order (deterministic iteration, no hashing). Numbers keep their
+// raw text alongside the double so integer fields can be re-parsed
+// exactly (a u64 cycle count survives even where a double would round).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "safedm/common/bits.hpp"
+
+namespace safedm::scenario {
+
+/// Thrown on malformed JSON; positions are 1-based in the source text.
+struct JsonParseError {
+  unsigned line = 0;
+  unsigned column = 0;
+  std::string message;
+};
+
+struct JsonValue {
+  enum class Kind : u8 { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string text;  // string payload; for numbers, the raw literal
+  std::vector<JsonValue> items;                             // kArray
+  std::vector<std::pair<std::string, JsonValue>> members;   // kObject, source order
+  unsigned line = 0;  // 1-based line of the value's first character
+
+  bool is_null() const { return kind == Kind::kNull; }
+  bool is_bool() const { return kind == Kind::kBool; }
+  bool is_number() const { return kind == Kind::kNumber; }
+  bool is_string() const { return kind == Kind::kString; }
+  bool is_array() const { return kind == Kind::kArray; }
+  bool is_object() const { return kind == Kind::kObject; }
+
+  /// Object member lookup; nullptr when absent (or not an object).
+  const JsonValue* find(std::string_view key) const;
+};
+
+const char* kind_name(JsonValue::Kind kind);
+
+/// Parse one complete JSON document (throws JsonParseError). Trailing
+/// whitespace is allowed; any other trailing content is an error.
+JsonValue parse_json(std::string_view text);
+
+}  // namespace safedm::scenario

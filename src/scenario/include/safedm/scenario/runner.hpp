@@ -1,0 +1,60 @@
+// Scenario execution: lower a validated Scenario onto the shared
+// redundant-run harness, the fault-injection campaign engine, and the
+// differential fuzz oracle, then evaluate the `expect` assertions into a
+// flat pass/fail check list. The bench/scenario driver (and the
+// `scenario_smoke` CI gate) is a thin CLI around this.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "safedm/faultsim/campaign.hpp"
+#include "safedm/fuzz/oracle.hpp"
+#include "safedm/scenario/redundant.hpp"
+#include "safedm/scenario/scenario.hpp"
+
+namespace safedm::scenario {
+
+/// One evaluated assertion. `name` is the schema path of the expectation
+/// (e.g. "expect.counters.nodiv"); `detail` explains a failure in terms
+/// of observed vs expected values.
+struct CheckResult {
+  std::string name;
+  bool pass = true;
+  std::string detail;
+};
+
+struct ScenarioResult {
+  std::string name;
+  std::string file;
+
+  bool ran_redundant = false;
+  RunOutcome outcome{};  // valid when ran_redundant
+
+  bool ran_faults = false;
+  faultsim::EngineReport fault_report{};  // valid when ran_faults
+
+  bool ran_fuzz = false;
+  fuzz::OracleVerdict fuzz_verdict = fuzz::OracleVerdict::kPass;
+  std::string fuzz_detail;
+
+  std::vector<CheckResult> checks;
+
+  bool passed() const {
+    for (const CheckResult& c : checks)
+      if (!c.pass) return false;
+    return true;
+  }
+};
+
+/// Build the soc/monitor configs a scenario's `run` section describes.
+/// Exposed so the equivalence test can drive the harness directly with
+/// the exact spec the runner derives.
+RunSpec build_run_spec(const Scenario& scenario);
+
+/// Execute every section of the scenario and evaluate its assertions.
+/// Simulation-level failures (e.g. an unknown workload slipping past the
+/// schema) surface as CheckError from the layers below.
+ScenarioResult run_scenario(const Scenario& scenario);
+
+}  // namespace safedm::scenario

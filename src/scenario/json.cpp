@@ -1,0 +1,280 @@
+#include "safedm/scenario/json.hpp"
+
+#include <cmath>
+#include <cstdlib>
+
+namespace safedm::scenario {
+
+const JsonValue* JsonValue::find(std::string_view key) const {
+  for (const auto& [name, value] : members)
+    if (name == key) return &value;
+  return nullptr;
+}
+
+const char* kind_name(JsonValue::Kind kind) {
+  switch (kind) {
+    case JsonValue::Kind::kNull: return "null";
+    case JsonValue::Kind::kBool: return "bool";
+    case JsonValue::Kind::kNumber: return "number";
+    case JsonValue::Kind::kString: return "string";
+    case JsonValue::Kind::kArray: return "array";
+    case JsonValue::Kind::kObject: return "object";
+  }
+  return "?";
+}
+
+namespace {
+
+// Containers may nest this deep before the parser refuses; scenario files
+// are ~4 levels, so hitting this means a pathological or hostile input.
+constexpr unsigned kMaxDepth = 64;
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  JsonValue parse_document() {
+    skip_ws();
+    JsonValue value = parse_value(0);
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing content after the top-level value");
+    return value;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& message) const {
+    throw JsonParseError{line_, column(), message};
+  }
+
+  unsigned column() const {
+    std::size_t start = text_.rfind('\n', pos_ == 0 ? 0 : pos_ - 1);
+    start = (start == std::string_view::npos) ? 0 : start + 1;
+    return static_cast<unsigned>(pos_ - start + 1);
+  }
+
+  bool eof() const { return pos_ >= text_.size(); }
+  char peek() const { return text_[pos_]; }
+
+  char take() {
+    const char c = text_[pos_++];
+    if (c == '\n') ++line_;
+    return c;
+  }
+
+  void skip_ws() {
+    while (!eof()) {
+      const char c = peek();
+      if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+        take();
+      } else {
+        return;
+      }
+    }
+  }
+
+  void expect(char want, const char* where) {
+    if (eof() || peek() != want)
+      fail(std::string("expected `") + want + "` " + where);
+    take();
+  }
+
+  bool consume_literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) return false;
+    pos_ += word.size();
+    return true;
+  }
+
+  JsonValue parse_value(unsigned depth) {
+    if (depth > kMaxDepth) fail("nesting deeper than 64 levels");
+    if (eof()) fail("unexpected end of input (expected a value)");
+    JsonValue value;
+    value.line = line_;
+    switch (peek()) {
+      case '{': parse_object(value, depth); return value;
+      case '[': parse_array(value, depth); return value;
+      case '"':
+        value.kind = JsonValue::Kind::kString;
+        value.text = parse_string();
+        return value;
+      case 't':
+        if (!consume_literal("true")) fail("malformed literal (expected `true`)");
+        value.kind = JsonValue::Kind::kBool;
+        value.boolean = true;
+        return value;
+      case 'f':
+        if (!consume_literal("false")) fail("malformed literal (expected `false`)");
+        value.kind = JsonValue::Kind::kBool;
+        value.boolean = false;
+        return value;
+      case 'n':
+        if (!consume_literal("null")) fail("malformed literal (expected `null`)");
+        value.kind = JsonValue::Kind::kNull;
+        return value;
+      default: parse_number(value); return value;
+    }
+  }
+
+  void parse_object(JsonValue& value, unsigned depth) {
+    value.kind = JsonValue::Kind::kObject;
+    take();  // '{'
+    skip_ws();
+    if (!eof() && peek() == '}') {
+      take();
+      return;
+    }
+    while (true) {
+      skip_ws();
+      if (eof() || peek() != '"') fail("expected a quoted object key");
+      const unsigned key_line = line_;
+      std::string key = parse_string();
+      if (value.find(key) != nullptr) {
+        line_ = key_line;
+        fail("duplicate key \"" + key + "\"");
+      }
+      skip_ws();
+      expect(':', "after an object key");
+      skip_ws();
+      value.members.emplace_back(std::move(key), parse_value(depth + 1));
+      skip_ws();
+      if (eof()) fail("unterminated object (missing `}`)");
+      const char c = take();
+      if (c == '}') return;
+      if (c != ',') fail("expected `,` or `}` in an object");
+      skip_ws();
+      if (!eof() && peek() == '}') fail("trailing comma in an object");
+    }
+  }
+
+  void parse_array(JsonValue& value, unsigned depth) {
+    value.kind = JsonValue::Kind::kArray;
+    take();  // '['
+    skip_ws();
+    if (!eof() && peek() == ']') {
+      take();
+      return;
+    }
+    while (true) {
+      skip_ws();
+      value.items.push_back(parse_value(depth + 1));
+      skip_ws();
+      if (eof()) fail("unterminated array (missing `]`)");
+      const char c = take();
+      if (c == ']') return;
+      if (c != ',') fail("expected `,` or `]` in an array");
+      skip_ws();
+      if (!eof() && peek() == ']') fail("trailing comma in an array");
+    }
+  }
+
+  std::string parse_string() {
+    take();  // opening quote
+    std::string out;
+    while (true) {
+      if (eof()) fail("unterminated string");
+      const char c = take();
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20)
+        fail("raw control character in a string (use \\u escapes)");
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (eof()) fail("unterminated escape sequence");
+      const char esc = take();
+      switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': append_utf8(out, parse_codepoint()); break;
+        default: fail("unknown escape sequence");
+      }
+    }
+  }
+
+  u32 parse_hex4() {
+    u32 value = 0;
+    for (int i = 0; i < 4; ++i) {
+      if (eof()) fail("truncated \\u escape");
+      const char c = take();
+      value <<= 4;
+      if (c >= '0' && c <= '9') value |= static_cast<u32>(c - '0');
+      else if (c >= 'a' && c <= 'f') value |= static_cast<u32>(c - 'a' + 10);
+      else if (c >= 'A' && c <= 'F') value |= static_cast<u32>(c - 'A' + 10);
+      else fail("non-hex digit in \\u escape");
+    }
+    return value;
+  }
+
+  u32 parse_codepoint() {
+    const u32 unit = parse_hex4();
+    if (unit < 0xD800 || unit > 0xDFFF) return unit;
+    if (unit >= 0xDC00) fail("unpaired low surrogate in \\u escape");
+    // High surrogate: a \uXXXX low surrogate must follow immediately.
+    if (!consume_literal("\\u")) fail("high surrogate not followed by \\u escape");
+    const u32 low = parse_hex4();
+    if (low < 0xDC00 || low > 0xDFFF) fail("high surrogate followed by a non-low surrogate");
+    return 0x10000 + ((unit - 0xD800) << 10) + (low - 0xDC00);
+  }
+
+  static void append_utf8(std::string& out, u32 cp) {
+    if (cp < 0x80) {
+      out.push_back(static_cast<char>(cp));
+    } else if (cp < 0x800) {
+      out.push_back(static_cast<char>(0xC0 | (cp >> 6)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else if (cp < 0x10000) {
+      out.push_back(static_cast<char>(0xE0 | (cp >> 12)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else {
+      out.push_back(static_cast<char>(0xF0 | (cp >> 18)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    }
+  }
+
+  void parse_number(JsonValue& value) {
+    const std::size_t start = pos_;
+    if (!eof() && peek() == '-') take();
+    // Integer part: 0, or a nonzero digit followed by digits (RFC 8259
+    // forbids leading zeros — `01` is two tokens, i.e. an error here).
+    if (eof() || peek() < '0' || peek() > '9') fail("malformed number");
+    if (peek() == '0') {
+      take();
+      if (!eof() && peek() >= '0' && peek() <= '9') fail("leading zero in a number");
+    } else {
+      while (!eof() && peek() >= '0' && peek() <= '9') take();
+    }
+    if (!eof() && peek() == '.') {
+      take();
+      if (eof() || peek() < '0' || peek() > '9') fail("digit required after decimal point");
+      while (!eof() && peek() >= '0' && peek() <= '9') take();
+    }
+    if (!eof() && (peek() == 'e' || peek() == 'E')) {
+      take();
+      if (!eof() && (peek() == '+' || peek() == '-')) take();
+      if (eof() || peek() < '0' || peek() > '9') fail("digit required in an exponent");
+      while (!eof() && peek() >= '0' && peek() <= '9') take();
+    }
+    value.kind = JsonValue::Kind::kNumber;
+    value.text = std::string(text_.substr(start, pos_ - start));
+    value.number = std::strtod(value.text.c_str(), nullptr);
+    if (!std::isfinite(value.number)) fail("number out of double range");
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  unsigned line_ = 1;
+};
+
+}  // namespace
+
+JsonValue parse_json(std::string_view text) { return Parser(text).parse_document(); }
+
+}  // namespace safedm::scenario

@@ -1,0 +1,95 @@
+#include "safedm/scenario/redundant.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "safedm/safedm/monitor.hpp"
+
+namespace safedm::scenario {
+
+RunOutcome& RunOutcome::max_with(const RunOutcome& other) {
+  cycles = std::max(cycles, other.cycles);
+  monitored_cycles = std::max(monitored_cycles, other.monitored_cycles);
+  zero_stag = std::max(zero_stag, other.zero_stag);
+  nodiv = std::max(nodiv, other.nodiv);
+  ds_match = std::max(ds_match, other.ds_match);
+  is_match = std::max(is_match, other.is_match);
+  committed0 = std::max(committed0, other.committed0);
+  committed1 = std::max(committed1, other.committed1);
+  completed = completed || other.completed;
+  return *this;
+}
+
+ThreadPool& shared_pool() {
+  static ThreadPool pool(bench_thread_count());
+  return pool;
+}
+
+RunOutcome run_redundant(const assembler::Program& program, const RunSpec& spec) {
+  soc::SocConfig soc_config = spec.soc;
+  soc_config.arbiter_bias = spec.arbiter_bias;
+  // SafeDM is a pure sink, so batched delivery is safe and amortizes
+  // per-cycle dispatch. SafeDE is *not* — it stalls the trail core
+  // mid-flight, so its presence pins the rig to per-cycle delivery. A
+  // spec that explicitly set another batch size wins.
+  if (soc_config.observer_batch == 1 && !spec.safede) soc_config.observer_batch = 32;
+  if (spec.safede) soc_config.observer_batch = 1;
+  soc::MpSoc soc(soc_config);
+
+  std::optional<safede::SafeDe> enforcement;
+  if (spec.safede) {
+    enforcement.emplace(*spec.safede, soc);
+    soc.add_observer(&*enforcement);
+  }
+
+  monitor::SafeDmConfig dm_config = spec.dm;
+  dm_config.start_enabled = true;
+  monitor::SafeDm dm(dm_config);
+  soc.add_observer(&dm);
+
+  soc.load_redundant(program, spec.stagger_nops, spec.delayed_core);
+  dm.set_prelude_ignore(0, soc.prelude_commits(0));
+  dm.set_prelude_ignore(1, soc.prelude_commits(1));
+
+  const u64 cycles = soc.run(spec.max_cycles);
+  dm.finalize();
+
+  RunOutcome out;
+  out.cycles = cycles;
+  out.completed = soc.all_halted();
+  const auto& c = dm.counters();
+  out.monitored_cycles = c.monitored_cycles;
+  out.zero_stag = c.zero_stag_cycles;
+  out.nodiv = c.nodiv_cycles;
+  out.ds_match = c.ds_match_cycles;
+  out.is_match = c.is_match_cycles;
+  out.committed0 = soc.core(0).stats().committed;
+  out.committed1 = soc.core(1).stats().committed;
+  return out;
+}
+
+RunOutcome max_over_runs(const assembler::Program& program, RunSpec spec) {
+  std::vector<RunSpec> specs;
+  if (spec.stagger_nops == 0) {
+    for (unsigned bias = 0; bias < 2; ++bias) {
+      RunSpec s = spec;
+      s.arbiter_bias = bias;
+      specs.push_back(s);
+    }
+  } else {
+    for (unsigned delayed = 0; delayed < 2; ++delayed) {
+      RunSpec s = spec;
+      s.delayed_core = delayed;
+      specs.push_back(s);
+    }
+  }
+  std::vector<RunOutcome> outcomes(specs.size());
+  shared_pool().parallel_for(specs.size(), [&](std::size_t i) {
+    outcomes[i] = run_redundant(program, specs[i]);
+  });
+  RunOutcome best;
+  for (const RunOutcome& out : outcomes) best.max_with(out);
+  return best;
+}
+
+}  // namespace safedm::scenario

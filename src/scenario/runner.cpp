@@ -1,0 +1,211 @@
+#include "safedm/scenario/runner.hpp"
+
+#include <string>
+
+#include "safedm/fuzz/generator.hpp"
+#include "safedm/workloads/workloads.hpp"
+
+namespace safedm::scenario {
+
+namespace {
+
+std::string u64_str(u64 v) { return std::to_string(v); }
+
+void check_bound(std::vector<CheckResult>& checks, const char* name, const Bound& bound,
+                 u64 observed) {
+  if (bound.trivial()) return;
+  CheckResult check{name, true, {}};
+  const u64 lo = bound.min.value_or(0);
+  const u64 hi = bound.max.value_or(~u64{0});
+  if (observed < lo || observed > hi) {
+    check.pass = false;
+    check.detail = "observed " + u64_str(observed) + ", expected [" +
+                   (bound.min ? u64_str(lo) : std::string("-inf")) + ", " +
+                   (bound.max ? u64_str(hi) : std::string("+inf")) + "]";
+  }
+  checks.push_back(std::move(check));
+}
+
+/// Detection-latency histogram sanity: the campaign records one latency
+/// sample for exactly the detectable outcomes (detected / crashed /
+/// hung), so each class histogram's population must equal that count.
+bool latency_consistent(const faultsim::ClassAggregate& agg, std::string& detail) {
+  const u64 detectable = agg.count(faultsim::Outcome::kDetected) +
+                         agg.count(faultsim::Outcome::kCrashed) +
+                         agg.count(faultsim::Outcome::kHung);
+  if (agg.latency.total_samples() != detectable) {
+    detail = "histogram holds " + u64_str(agg.latency.total_samples()) +
+             " samples for " + u64_str(detectable) + " detectable outcomes";
+    return false;
+  }
+  return true;
+}
+
+void evaluate_fault_checks(const Scenario& scenario, const faultsim::EngineReport& report,
+                           std::vector<CheckResult>& checks) {
+  const ExpectSection& expect = scenario.expect;
+  if (expect.single_fault_ccf_max) {
+    u64 single_ccf = 0;
+    for (const auto& wr : report.workloads)
+      single_ccf += wr.single.count(faultsim::Outcome::kCcf);
+    CheckResult check{"expect.faults.single_fault_ccf_max", true, {}};
+    if (single_ccf > *expect.single_fault_ccf_max) {
+      check.pass = false;
+      check.detail = u64_str(single_ccf) + " single-fault CCFs, expected <= " +
+                     u64_str(*expect.single_fault_ccf_max);
+    }
+    checks.push_back(std::move(check));
+  }
+  if (expect.nodiv_ccf_ge_diverse && *expect.nodiv_ccf_ge_diverse) {
+    CheckResult check{"expect.faults.nodiv_ccf_ge_diverse", true, {}};
+    for (const auto& wr : report.workloads) {
+      if (wr.nodiv_pool == 0) {
+        // An empty no-diversity pool cannot exercise the ordering claim;
+        // treat it as a failed expectation rather than a vacuous pass
+        // (same policy as the faultsim smoke gate).
+        check.pass = false;
+        check.detail = wr.name + ": no no-diversity cycles to sample";
+        break;
+      }
+      if (wr.identical[1].ccf_rate() < wr.identical[0].ccf_rate()) {
+        check.pass = false;
+        check.detail = wr.name + ": no-div CCF rate " +
+                       std::to_string(wr.identical[1].ccf_rate()) + " < diverse rate " +
+                       std::to_string(wr.identical[0].ccf_rate());
+        break;
+      }
+    }
+    checks.push_back(std::move(check));
+  }
+  if (expect.ccf_rate_max) {
+    u64 ccf = 0, total = 0;
+    for (const auto& wr : report.workloads) {
+      for (const auto& agg : wr.identical) {
+        ccf += agg.count(faultsim::Outcome::kCcf);
+        total += agg.total();
+      }
+    }
+    const double rate = total ? static_cast<double>(ccf) / static_cast<double>(total) : 0.0;
+    CheckResult check{"expect.faults.ccf_rate_max", true, {}};
+    if (rate > *expect.ccf_rate_max) {
+      check.pass = false;
+      check.detail = "identical-fault CCF rate " + std::to_string(rate) + " > " +
+                     std::to_string(*expect.ccf_rate_max);
+    }
+    checks.push_back(std::move(check));
+  }
+  if (expect.latency_sane && *expect.latency_sane) {
+    CheckResult check{"expect.faults.latency_sane", true, {}};
+    for (const auto& wr : report.workloads) {
+      std::string detail;
+      if (!latency_consistent(wr.identical[0], detail) ||
+          !latency_consistent(wr.identical[1], detail) ||
+          !latency_consistent(wr.single, detail)) {
+        check.pass = false;
+        check.detail = wr.name + ": " + detail;
+        break;
+      }
+    }
+    checks.push_back(std::move(check));
+  }
+}
+
+}  // namespace
+
+RunSpec build_run_spec(const Scenario& scenario) {
+  RunSpec spec;
+  const RunSection& run = *scenario.run;
+  spec.scale = run.scale;
+  spec.stagger_nops = run.stagger_nops;
+  spec.delayed_core = run.delayed_core;
+  spec.max_cycles = run.max_cycles;
+  spec.dm = scenario.monitor.to_config();
+  spec.soc.shared_data = scenario.soc.shared_data;
+  if (scenario.soc.data_base1 != 0) spec.soc.data_base1 = scenario.soc.data_base1;
+  if (scenario.soc.text_stride != 0) spec.soc.text_stride = scenario.soc.text_stride;
+  if (scenario.soc.observer_batch != 0) spec.soc.observer_batch = scenario.soc.observer_batch;
+  if (run.safede) spec.safede = run.safede->to_config();
+  return spec;
+}
+
+ScenarioResult run_scenario(const Scenario& scenario) {
+  ScenarioResult result;
+  result.name = scenario.name;
+  result.file = scenario.file;
+  const ExpectSection& expect = scenario.expect;
+
+  if (scenario.run) {
+    const RunSection& run = *scenario.run;
+    const assembler::Program program = workloads::build(run.workload, run.scale);
+    const RunSpec spec = build_run_spec(scenario);
+    result.outcome = run.sweep ? max_over_runs(program, spec) : run_redundant(program, spec);
+    result.ran_redundant = true;
+
+    // A run is expected to halt within budget unless the scenario says
+    // otherwise (a watchdog-timeout scenario sets completed: false).
+    const bool want_completed = expect.completed.value_or(true);
+    CheckResult completed{"expect.completed", true, {}};
+    if (result.outcome.completed != want_completed) {
+      completed.pass = false;
+      completed.detail = result.outcome.completed
+                             ? "run completed but completed: false was expected"
+                             : "run did not halt within " + u64_str(run.max_cycles) + " cycles";
+    }
+    result.checks.push_back(std::move(completed));
+
+    check_bound(result.checks, "expect.counters.zero_stag", expect.zero_stag,
+                result.outcome.zero_stag);
+    check_bound(result.checks, "expect.counters.nodiv", expect.nodiv, result.outcome.nodiv);
+    check_bound(result.checks, "expect.counters.ds_match", expect.ds_match,
+                result.outcome.ds_match);
+    check_bound(result.checks, "expect.counters.is_match", expect.is_match,
+                result.outcome.is_match);
+    check_bound(result.checks, "expect.counters.monitored", expect.monitored,
+                result.outcome.monitored_cycles);
+    if (expect.nodiv_le_zero_stag && *expect.nodiv_le_zero_stag) {
+      CheckResult shape{"expect.counters.nodiv_le_zero_stag", true, {}};
+      if (result.outcome.nodiv > result.outcome.zero_stag) {
+        shape.pass = false;
+        shape.detail = "nodiv " + u64_str(result.outcome.nodiv) + " > zero_stag " +
+                       u64_str(result.outcome.zero_stag);
+      }
+      result.checks.push_back(std::move(shape));
+    }
+  }
+
+  if (scenario.faults) {
+    const FaultSection& faults = *scenario.faults;
+    faultsim::EngineConfig config;
+    config.workloads = {scenario.run->workload};
+    config.scale = scenario.run->scale;
+    config.samples_per_class = faults.samples_per_class;
+    config.registers = faults.registers;
+    config.bits = faults.bits;
+    config.seed = faults.seed;
+    config.single_fault = faults.single_fault;
+    config.engine = faults.engine;
+    config.dm = scenario.monitor.to_config();
+    config.threads = shared_pool().size();
+    result.fault_report = faultsim::run_engine(config);
+    result.ran_faults = true;
+    evaluate_fault_checks(scenario, result.fault_report, result.checks);
+  }
+
+  if (scenario.fuzz) {
+    fuzz::OracleConfig config;
+    config.max_cycles = scenario.fuzz->max_cycles;
+    const fuzz::FuzzProgram program = fuzz::deserialize(scenario.fuzz->program);
+    const fuzz::OracleResult oracle = fuzz::run_differential(program, config);
+    result.ran_fuzz = true;
+    result.fuzz_verdict = oracle.verdict;
+    result.fuzz_detail = oracle.detail;
+    CheckResult check{"fuzz.oracle", oracle.ok(), {}};
+    if (!oracle.ok())
+      check.detail = std::string(fuzz::verdict_name(oracle.verdict)) + ": " + oracle.detail;
+    result.checks.push_back(std::move(check));
+  }
+
+  return result;
+}
+
+}  // namespace safedm::scenario

@@ -1,0 +1,56 @@
+// The shared checked CLI parsing in bench/bench_util.hpp — regression
+// cover for the bare-atoi era: `--threads=abc` silently meant 0, and
+// `--registers=256` wrapped through a u8 cast into x0 (a campaign that
+// faults the hardwired-zero register, i.e. faults nothing).
+#include <gtest/gtest.h>
+
+#include "bench_util.hpp"
+
+namespace safedm::bench {
+namespace {
+
+TEST(CliParse, AcceptsPlainDecimal) {
+  EXPECT_EQ(try_parse_u64("0"), 0u);
+  EXPECT_EQ(try_parse_u64("42"), 42u);
+  EXPECT_EQ(try_parse_u64("18446744073709551615"), ~u64{0});
+}
+
+TEST(CliParse, RejectsNonNumeric) {
+  EXPECT_FALSE(try_parse_u64("abc").has_value());
+  EXPECT_FALSE(try_parse_u64("12abc").has_value());
+  EXPECT_FALSE(try_parse_u64("").has_value());
+  EXPECT_FALSE(try_parse_u64(" 1").has_value());
+  EXPECT_FALSE(try_parse_u64("0x10").has_value());
+}
+
+TEST(CliParse, RejectsNegative) {
+  EXPECT_FALSE(try_parse_u64("-1").has_value());
+  EXPECT_FALSE(try_parse_u64("+1").has_value());
+}
+
+TEST(CliParse, RejectsOverflow) {
+  EXPECT_FALSE(try_parse_u64("18446744073709551616").has_value());
+  EXPECT_FALSE(try_parse_u64("99999999999999999999999").has_value());
+}
+
+TEST(CliParse, EnforcesRange) {
+  // The faultsim register bounds: 256 used to wrap to x0 through the u8
+  // cast; now it is out of range before any cast happens.
+  EXPECT_EQ(try_parse_u64("31", 1, 31), 31u);
+  EXPECT_FALSE(try_parse_u64("0", 1, 31).has_value());
+  EXPECT_FALSE(try_parse_u64("32", 1, 31).has_value());
+  EXPECT_FALSE(try_parse_u64("256", 1, 31).has_value());
+}
+
+TEST(CliParse, ParsesFiniteDoubles) {
+  EXPECT_DOUBLE_EQ(*try_parse_double("1.25"), 1.25);
+  EXPECT_DOUBLE_EQ(*try_parse_double("-3e2"), -300.0);
+  EXPECT_FALSE(try_parse_double("abc").has_value());
+  EXPECT_FALSE(try_parse_double("1.2.3").has_value());
+  EXPECT_FALSE(try_parse_double("inf").has_value());
+  EXPECT_FALSE(try_parse_double("nan").has_value());
+  EXPECT_FALSE(try_parse_double("").has_value());
+}
+
+}  // namespace
+}  // namespace safedm::bench

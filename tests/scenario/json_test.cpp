@@ -1,0 +1,131 @@
+// The strict JSON parser under src/scenario: RFC 8259 positive cases,
+// the rejections that make it strict (trailing commas, comments,
+// duplicate keys, raw control characters, leading zeros), and the
+// round-trip contract with the bench JsonWriter — everything the writer
+// can emit, including control-character escapes, must parse back to the
+// original text.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "json_writer.hpp"
+#include "safedm/scenario/json.hpp"
+
+namespace safedm::scenario {
+namespace {
+
+TEST(Json, ParsesScalars) {
+  EXPECT_EQ(parse_json("null").kind, JsonValue::Kind::kNull);
+  EXPECT_TRUE(parse_json("true").boolean);
+  EXPECT_FALSE(parse_json("false").boolean);
+  EXPECT_DOUBLE_EQ(parse_json("-12.5e2").number, -1250.0);
+  EXPECT_EQ(parse_json("\"hi\"").text, "hi");
+}
+
+TEST(Json, KeepsRawNumberLiteral) {
+  // Exact u64 round-trip relies on the untouched literal text: the double
+  // payload of 18446744073709551615 is lossy, the text is not.
+  const JsonValue v = parse_json("18446744073709551615");
+  EXPECT_EQ(v.text, "18446744073709551615");
+}
+
+TEST(Json, ParsesNestedContainers) {
+  const JsonValue v = parse_json(R"({"a": [1, {"b": true}], "c": {}})");
+  ASSERT_TRUE(v.is_object());
+  const JsonValue* a = v.find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_EQ(a->items.size(), 2u);
+  EXPECT_TRUE(a->items[1].find("b")->boolean);
+  EXPECT_TRUE(v.find("c")->members.empty());
+}
+
+TEST(Json, TracksLineNumbers) {
+  const JsonValue v = parse_json("{\n  \"a\": 1,\n  \"b\": 2\n}");
+  EXPECT_EQ(v.line, 1u);
+  EXPECT_EQ(v.find("a")->line, 2u);
+  EXPECT_EQ(v.find("b")->line, 3u);
+}
+
+TEST(Json, DecodesEscapes) {
+  EXPECT_EQ(parse_json(R"("a\"b\\c\nd\te")").text, "a\"b\\c\nd\te");
+  EXPECT_EQ(parse_json(R"("\u0041\u00e9")").text, "A\xc3\xa9");
+  // Surrogate pair: U+1F600 as UTF-8.
+  EXPECT_EQ(parse_json(R"("\ud83d\ude00")").text, "\xf0\x9f\x98\x80");
+}
+
+void expect_error(const std::string& text, unsigned line) {
+  try {
+    (void)parse_json(text);
+    FAIL() << "accepted: " << text;
+  } catch (const JsonParseError& e) {
+    EXPECT_EQ(e.line, line) << text << ": " << e.message;
+  }
+}
+
+TEST(Json, RejectsNonJson) {
+  expect_error("", 1);
+  expect_error("{", 1);
+  expect_error("[1,]", 1);            // trailing comma
+  expect_error("{\"a\": 1,}", 1);     // trailing comma
+  expect_error("// comment\n1", 1);   // comments are not JSON
+  expect_error("{\"a\":1 \"b\":2}", 1);  // missing comma
+  expect_error("1 2", 1);             // trailing content
+  expect_error("01", 1);              // leading zero
+  expect_error("+1", 1);              // explicit plus
+  expect_error("\"\t\"", 1);          // raw control char in string
+  expect_error("\"\n\"", 2);          // ...a raw newline reports past itself
+  expect_error("{\"a\":1,\n\"a\":2}", 2);  // duplicate key
+  expect_error("nul", 1);
+  expect_error("\"\\q\"", 1);         // unknown escape
+  expect_error("\"\\ud800\"", 1);     // lone surrogate
+}
+
+TEST(Json, RejectsRunawayNesting) {
+  std::string deep(100, '[');
+  expect_error(deep, 1);
+}
+
+// The satellite's round-trip contract: JsonWriter escapes everything the
+// strict parser requires escaped (quotes, backslashes, and all control
+// characters), so a string containing the worst of them survives
+// writer -> parser unchanged.
+TEST(Json, WriterRoundTripsControlCharacters) {
+  std::string nasty = "quote\" backslash\\ newline\n cr\r tab\t";
+  nasty += '\x01';
+  nasty += '\x1f';
+  nasty += " unicode\xc3\xa9";
+  bench::JsonWriter writer;
+  writer.begin_object();
+  writer.prop("payload", std::string_view(nasty));
+  writer.end_object();
+
+  const JsonValue parsed = parse_json(writer.str());
+  const JsonValue* payload = parsed.find("payload");
+  ASSERT_NE(payload, nullptr);
+  EXPECT_EQ(payload->text, nasty);
+}
+
+TEST(Json, WriterRoundTripsNestedReport) {
+  bench::JsonWriter writer;
+  writer.begin_object();
+  writer.prop("schema", "safedm.bench.scenario/v1");
+  writer.key("checks").begin_array();
+  writer.begin_object();
+  writer.prop("name", "expect.counters.nodiv");
+  writer.prop("pass", false);
+  writer.prop("detail", "observed 3,\nexpected [0, 0]");
+  writer.end_object();
+  writer.end_array();
+  writer.prop("total", 14);
+  writer.end_object();
+
+  const JsonValue parsed = parse_json(writer.str());
+  EXPECT_EQ(parsed.find("schema")->text, "safedm.bench.scenario/v1");
+  EXPECT_EQ(parsed.find("total")->text, "14");
+  const JsonValue& check = parsed.find("checks")->items.at(0);
+  EXPECT_FALSE(check.find("pass")->boolean);
+  EXPECT_EQ(check.find("detail")->text, "observed 3,\nexpected [0, 0]");
+}
+
+}  // namespace
+}  // namespace safedm::scenario

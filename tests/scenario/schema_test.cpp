@@ -1,0 +1,250 @@
+// safedm.scenario/v1 schema validation: the negative paths each raise
+// exactly one ScenarioError whose what() is a single `file:line: message`
+// diagnostic pointing at the offending value, and the positive path
+// lowers every section onto the right engine configs.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "safedm/scenario/scenario.hpp"
+
+namespace safedm::scenario {
+namespace {
+
+Scenario parse(const std::string& text) {
+  return parse_scenario(parse_json(text), "test.json");
+}
+
+/// The negative-path contract: one ScenarioError, whose message is one
+/// line, prefixed `test.json:<line>:`, containing `needle`.
+void expect_diag(const std::string& text, unsigned line, const std::string& needle) {
+  try {
+    (void)parse(text);
+    FAIL() << "accepted: " << text;
+  } catch (const ScenarioError& e) {
+    const std::string what = e.what();
+    EXPECT_EQ(e.line(), line) << what;
+    EXPECT_EQ(what.rfind("test.json:" + std::to_string(line) + ": ", 0), 0u) << what;
+    EXPECT_EQ(what.find('\n'), std::string::npos) << "multi-line diagnostic: " << what;
+    EXPECT_NE(what.find(needle), std::string::npos) << what;
+  }
+}
+
+constexpr char kMinimal[] = R"({
+  "schema": "safedm.scenario/v1",
+  "name": "minimal",
+  "run": { "workload": "bitcount" }
+})";
+
+TEST(Schema, AcceptsMinimalScenario) {
+  const Scenario s = parse(kMinimal);
+  EXPECT_EQ(s.name, "minimal");
+  ASSERT_TRUE(s.run.has_value());
+  EXPECT_EQ(s.run->workload, "bitcount");
+  EXPECT_TRUE(s.run->sweep);
+  EXPECT_FALSE(s.faults);
+  EXPECT_FALSE(s.fuzz);
+}
+
+TEST(Schema, LowersMonitorSpec) {
+  const Scenario s = parse(R"({
+    "schema": "safedm.scenario/v1",
+    "name": "mon",
+    "monitor": { "ports": 2, "depth": 32, "is_mode": "flat", "compare": "crc32",
+                 "report": "interrupt_threshold", "interrupt_threshold": 5,
+                 "track_distance": true },
+    "run": { "workload": "cubic", "scale": 2, "stagger_nops": 100 }
+  })");
+  const monitor::SafeDmConfig dm = s.monitor.to_config();
+  EXPECT_EQ(dm.num_ports, 2u);
+  EXPECT_EQ(dm.data_fifo_depth, 32u);
+  EXPECT_EQ(dm.is_mode, monitor::IsMode::kFlatList);
+  EXPECT_EQ(dm.compare, monitor::CompareMode::kCrc32);
+  EXPECT_EQ(dm.report, monitor::ReportMode::kInterruptThreshold);
+  EXPECT_EQ(dm.interrupt_threshold, 5u);
+  EXPECT_TRUE(dm.track_distance);
+}
+
+TEST(Schema, LowersSafeDeSpec) {
+  const Scenario s = parse(R"({
+    "schema": "safedm.scenario/v1",
+    "name": "de",
+    "run": { "workload": "bitcount",
+             "safede": { "head_core": 1, "min_staggering": 250 } }
+  })");
+  ASSERT_TRUE(s.run->safede.has_value());
+  const safede::SafeDeConfig de = s.run->safede->to_config();
+  EXPECT_EQ(de.head_core, 1u);
+  EXPECT_EQ(de.min_staggering, 250);
+  EXPECT_TRUE(de.enabled);
+}
+
+TEST(Schema, BareNumberBoundMeansExactlyEqual) {
+  const Scenario s = parse(R"({
+    "schema": "safedm.scenario/v1",
+    "name": "b",
+    "run": { "workload": "bitcount" },
+    "expect": { "counters": { "zero_stag": 110, "nodiv": { "min": 1, "max": 20 } } }
+  })");
+  EXPECT_EQ(s.expect.zero_stag.min, 110u);
+  EXPECT_EQ(s.expect.zero_stag.max, 110u);
+  EXPECT_EQ(s.expect.nodiv.min, 1u);
+  EXPECT_EQ(s.expect.nodiv.max, 20u);
+}
+
+// ---- negative paths --------------------------------------------------------
+
+TEST(Schema, RejectsUnknownTopLevelKey) {
+  expect_diag(R"({
+  "schema": "safedm.scenario/v1",
+  "name": "x",
+  "run": { "workload": "bitcount" },
+  "runs": 3
+})", 5, "unknown key \"runs\"");
+}
+
+TEST(Schema, RejectsUnknownKeyInSection) {
+  expect_diag(R"({
+  "schema": "safedm.scenario/v1",
+  "name": "x",
+  "run": { "workload": "bitcount",
+           "stagger": 100 }
+})", 5, "unknown key \"stagger\" in \"run\"");
+}
+
+TEST(Schema, RejectsWrongType) {
+  expect_diag(R"({
+  "schema": "safedm.scenario/v1",
+  "name": "x",
+  "run": { "workload": "bitcount", "scale": "big" }
+})", 4, "\"run.scale\" must be an integer, got string");
+  expect_diag(R"({
+  "schema": "safedm.scenario/v1",
+  "name": "x",
+  "run": { "workload": 7 }
+})", 4, "\"run.workload\" must be a string, got number");
+  expect_diag(R"({
+  "schema": "safedm.scenario/v1",
+  "name": "x",
+  "run": "bitcount"
+})", 4, "\"run\" must be an object, got string");
+}
+
+TEST(Schema, RejectsNonIntegerNumbers) {
+  expect_diag(R"({
+  "schema": "safedm.scenario/v1",
+  "name": "x",
+  "run": { "workload": "bitcount", "scale": 1.5 }
+})", 4, "non-negative integer");
+  expect_diag(R"({
+  "schema": "safedm.scenario/v1",
+  "name": "x",
+  "run": { "workload": "bitcount", "max_cycles": 1e6 }
+})", 4, "non-negative integer");
+}
+
+TEST(Schema, RejectsOutOfRangePortsAndDepth) {
+  expect_diag(R"({
+  "schema": "safedm.scenario/v1",
+  "name": "x",
+  "monitor": { "ports": 7 },
+  "run": { "workload": "bitcount" }
+})", 4, "\"monitor.ports\" must be in [1, 6], got 7");
+  expect_diag(R"({
+  "schema": "safedm.scenario/v1",
+  "name": "x",
+  "monitor": { "depth": 0 },
+  "run": { "workload": "bitcount" }
+})", 4, "\"monitor.depth\" must be in [1, 1024], got 0");
+}
+
+TEST(Schema, RejectsMissingWorkload) {
+  expect_diag(R"({
+  "schema": "safedm.scenario/v1",
+  "name": "x",
+  "run": { "scale": 2 }
+})", 4, "missing required key \"workload\"");
+}
+
+TEST(Schema, RejectsUnknownWorkload) {
+  expect_diag(R"({
+  "schema": "safedm.scenario/v1",
+  "name": "x",
+  "run": { "workload": "doom" }
+})", 4, "\"doom\" is not a registry benchmark");
+}
+
+TEST(Schema, RejectsOutOfRangeFaultRegisters) {
+  // The same x0/wrap hazard the CLI fix covers: register 32+ and bit 64+
+  // must die in validation, never wrap into a campaign config.
+  expect_diag(R"({
+  "schema": "safedm.scenario/v1",
+  "name": "x",
+  "run": { "workload": "bitcount" },
+  "faults": { "registers": [6, 256] }
+})", 5, "\"faults.registers\" entry must be in [1, 31], got 256");
+  expect_diag(R"({
+  "schema": "safedm.scenario/v1",
+  "name": "x",
+  "run": { "workload": "bitcount" },
+  "faults": { "bits": [64] }
+})", 5, "\"faults.bits\" entry must be in [0, 63], got 64");
+}
+
+TEST(Schema, RejectsFaultsWithoutRun) {
+  expect_diag(R"({
+  "schema": "safedm.scenario/v1",
+  "name": "x",
+  "fuzz": { "program": ["safedm-fuzz/v1", "gen_seed 1", "data_seed 1",
+                        "data_words 16", "block 1 0 0"] },
+  "faults": { "seed": 1 }
+})", 6, "\"faults\" requires a \"run\" section");
+}
+
+TEST(Schema, RejectsBadSchemaIdAndName) {
+  expect_diag(R"({
+  "schema": "safedm.scenario/v2",
+  "name": "x",
+  "run": { "workload": "bitcount" }
+})", 2, "unsupported schema");
+  expect_diag(R"({
+  "schema": "safedm.scenario/v1",
+  "name": "bad name!",
+  "run": { "workload": "bitcount" }
+})", 3, "\"name\" must be 1-128 chars");
+}
+
+TEST(Schema, RejectsEmptyAndInvertedBounds) {
+  expect_diag(R"({
+  "schema": "safedm.scenario/v1",
+  "name": "x",
+  "run": { "workload": "bitcount" },
+  "expect": { "counters": { "nodiv": {} } }
+})", 5, "empty bound");
+  expect_diag(R"({
+  "schema": "safedm.scenario/v1",
+  "name": "x",
+  "run": { "workload": "bitcount" },
+  "expect": { "counters": { "nodiv": { "min": 5, "max": 1 } } }
+})", 5, "min exceeds max");
+}
+
+TEST(Schema, RejectsInvalidFuzzProgram) {
+  expect_diag(R"({
+  "schema": "safedm.scenario/v1",
+  "name": "x",
+  "fuzz": { "program": ["not-a-fuzz-program"] }
+})", 4, "not a valid safedm-fuzz/v1 program");
+}
+
+TEST(Schema, ReportsJsonSyntaxErrorsThroughSameChannel) {
+  try {
+    (void)load_scenario_file("/nonexistent/scenario.json");
+    FAIL();
+  } catch (const ScenarioError& e) {
+    EXPECT_NE(std::string(e.what()).find("cannot read file"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace safedm::scenario

@@ -459,7 +459,7 @@ std::size_t parse_member_statement(ParseCtx& ctx, const std::vector<Tok>& toks, 
         last || is_punct(stmt[k + 1], ",") || is_punct(stmt[k + 1], ":") ||
         is_punct(stmt[k + 1], "[");
     if (!terminated || k == 0) continue;  // k==0: a lone type name, not a declarator
-    if (is_punct(stmt[k + 1], ":")) {
+    if (!last && is_punct(stmt[k + 1], ":")) {
       // Bitfield only if a width follows; otherwise this is something odd.
       if (k + 2 >= stmt.size() || stmt[k + 2].kind != Tok::kNum) continue;
     }
@@ -467,7 +467,7 @@ std::size_t parse_member_statement(ParseCtx& ctx, const std::vector<Tok>& toks, 
     const bool is_ref = is_punct(stmt[k - 1], "&");
     m.exempt = is_ref || is_const || annotated(*ctx.file, m.line, "no-snapshot");
     rec.members.push_back(m);
-    if (is_punct(stmt[k + 1], "[")) {
+    if (!last && is_punct(stmt[k + 1], "[")) {
       // Skip the array extent so its contents aren't mistaken for names.
       while (k + 1 < stmt.size() && !is_punct(stmt[k + 1], "]")) ++k;
     }
