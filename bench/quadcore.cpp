@@ -1,16 +1,25 @@
 // E7 — Four-core deployment (paper Section I: "We integrate SafeDM in a
-// 4-core multicore by Cobham Gaisler"): two redundant pairs share the bus
-// and L2, each pair watched by its own SafeDM.
+// 4-core multicore by Cobham Gaisler"): two redundancy groups share the
+// bus and L2, each group watched by its own SafeDM.
 //
-// Measured finding: cross-pair contention acts as a *synchronizer* — both
-// cores of a pair queue at the same arbiter, so their relative progress
-// equalizes and zero-staggering GROWS under load. Lack of diversity grows
-// with it in absolute terms (stalled-together cycles keep comparing the
-// same frozen state) but stays a small fraction of monitored cycles. The
-// practical conclusion is the paper's: timing alone ("some staggering
-// exists") is not evidence of diversity — monitoring the actual state is
-// needed precisely because congested systems re-synchronize.
+// Built on the redundancy-group topology: the SoC is declared as explicit
+// GroupSpecs (not the legacy even-core pairing), each monitor is sized
+// from its group, and a final section runs a mixed 2+3 topology — a pair
+// and a triple sharing the SoC — to show per-group monitors of different
+// replica counts coexisting on one bus.
+//
+// Measured finding: cross-group contention acts as a *synchronizer* —
+// replicas of a group queue at the same arbiter, so their relative
+// progress equalizes and zero-staggering GROWS under load. Lack of
+// diversity grows with it in absolute terms (stalled-together cycles keep
+// comparing the same frozen state) but stays a small fraction of
+// monitored cycles. The practical conclusion is the paper's: timing alone
+// ("some staggering exists") is not evidence of diversity — monitoring
+// the actual state is needed precisely because congested systems
+// re-synchronize.
 #include <cstdio>
+#include <memory>
+#include <vector>
 
 #include "safedm/safedm/monitor.hpp"
 #include "safedm/soc/soc.hpp"
@@ -20,48 +29,65 @@ using namespace safedm;
 
 namespace {
 
-struct PairCounters {
+struct GroupResult {
   u64 zero_stag = 0;
   u64 nodiv = 0;
   u64 cycles = 0;
 };
 
-PairCounters run_solo(const char* name) {
-  soc::MpSoc soc{soc::SocConfig{}};
+monitor::SafeDmConfig monitor_config(unsigned replicas) {
   monitor::SafeDmConfig config;
+  config.num_replicas = replicas;
   config.start_enabled = true;
-  monitor::SafeDm dm(config);
+  return config;
+}
+
+GroupResult run_solo(const char* name) {
+  soc::SocConfig soc_config;
+  soc_config.groups = {soc::GroupSpec::homogeneous(2)};
+  soc::MpSoc soc(soc_config);
+  monitor::SafeDm dm(monitor_config(soc.group_size(0)));
   soc.add_observer(&dm);
   soc.load_redundant(workloads::build(name, 1));
   const u64 cycles = soc.run(50'000'000);
   dm.finalize();
-  return PairCounters{dm.counters().zero_stag_cycles, dm.counters().nodiv_cycles, cycles};
+  return GroupResult{dm.counters().zero_stag_cycles, dm.counters().nodiv_cycles, cycles};
 }
 
-void run_quad(const char* name0, const char* name1, PairCounters& pair0, PairCounters& pair1) {
+/// Run one workload per group on a multi-group SoC, one SafeDM per group
+/// sized from the topology; returns one result row per group.
+std::vector<GroupResult> run_groups(const std::vector<soc::GroupSpec>& groups,
+                                    const std::vector<const char*>& names) {
   soc::SocConfig soc_config;
-  soc_config.num_cores = 4;
+  soc_config.groups = groups;
   soc::MpSoc soc(soc_config);
-  monitor::SafeDmConfig config;
-  config.start_enabled = true;
-  monitor::SafeDm dm0(config), dm1(config);
-  soc.add_observer(&dm0, 0);
-  soc.add_observer(&dm1, 1);
-  soc.load_redundant_pair(0, workloads::build(name0, 1));
-  soc.load_redundant_pair(1, workloads::build(name1, 1));
+
+  std::vector<std::unique_ptr<monitor::SafeDm>> dms;
+  for (unsigned g = 0; g < soc.num_groups(); ++g) {
+    dms.push_back(std::make_unique<monitor::SafeDm>(monitor_config(soc.group_size(g))));
+    soc.add_observer(dms[g].get(), g);
+    soc.load_redundant_group(g, workloads::build(names[g], 1));
+  }
   const u64 cycles = soc.run(100'000'000);
-  dm0.finalize();
-  dm1.finalize();
-  pair0 = PairCounters{dm0.counters().zero_stag_cycles, dm0.counters().nodiv_cycles, cycles};
-  pair1 = PairCounters{dm1.counters().zero_stag_cycles, dm1.counters().nodiv_cycles, cycles};
+
+  std::vector<GroupResult> results;
+  for (auto& dm : dms) {
+    dm->finalize();
+    results.push_back(GroupResult{dm->counters().zero_stag_cycles,
+                                  dm->counters().nodiv_cycles, cycles});
+  }
+  return results;
 }
+
+const std::vector<soc::GroupSpec> kTwoPairs = {soc::GroupSpec::homogeneous(2),
+                                               soc::GroupSpec::homogeneous(2)};
 
 }  // namespace
 
 int main() {
-  std::printf("Quad-core deployment: two redundant pairs, per-pair SafeDM\n\n");
-  std::printf("%-14s %-14s | %10s %10s | %10s %10s | %10s\n", "pair0", "pair1", "p0 zstag",
-              "p0 nodiv", "p1 zstag", "p1 nodiv", "cycles");
+  std::printf("Quad-core deployment: two redundancy groups, per-group SafeDM\n\n");
+  std::printf("%-14s %-14s | %10s %10s | %10s %10s | %10s\n", "group0", "group1", "g0 zstag",
+              "g0 nodiv", "g1 zstag", "g1 nodiv", "cycles");
 
   struct Combo {
     const char* a;
@@ -69,32 +95,49 @@ int main() {
   };
   const Combo combos[] = {{"bitcount", "md5"}, {"cubic", "matrix1"}, {"quicksort", "fft"}};
   for (const Combo& combo : combos) {
-    PairCounters p0, p1;
-    run_quad(combo.a, combo.b, p0, p1);
+    const std::vector<GroupResult> r = run_groups(kTwoPairs, {combo.a, combo.b});
     std::printf("%-14s %-14s | %10llu %10llu | %10llu %10llu | %10llu\n", combo.a, combo.b,
-                static_cast<unsigned long long>(p0.zero_stag),
-                static_cast<unsigned long long>(p0.nodiv),
-                static_cast<unsigned long long>(p1.zero_stag),
-                static_cast<unsigned long long>(p1.nodiv),
-                static_cast<unsigned long long>(p0.cycles));
+                static_cast<unsigned long long>(r[0].zero_stag),
+                static_cast<unsigned long long>(r[0].nodiv),
+                static_cast<unsigned long long>(r[1].zero_stag),
+                static_cast<unsigned long long>(r[1].nodiv),
+                static_cast<unsigned long long>(r[0].cycles));
     std::fflush(stdout);
   }
 
-  std::printf("\nSolo vs contended (pair 0 workload alone vs sharing the SoC):\n");
+  std::printf("\nSolo vs contended (group 0 workload alone vs sharing the SoC):\n");
   std::printf("%-14s %14s %14s %14s %14s\n", "benchmark", "solo zstag", "quad zstag",
               "solo nodiv", "quad nodiv");
   for (const Combo& combo : combos) {
-    const PairCounters solo = run_solo(combo.a);
-    PairCounters quad, other;
-    run_quad(combo.a, combo.b, quad, other);
+    const GroupResult solo = run_solo(combo.a);
+    const std::vector<GroupResult> r = run_groups(kTwoPairs, {combo.a, combo.b});
     std::printf("%-14s %14llu %14llu %14llu %14llu\n", combo.a,
                 static_cast<unsigned long long>(solo.zero_stag),
-                static_cast<unsigned long long>(quad.zero_stag),
+                static_cast<unsigned long long>(r[0].zero_stag),
                 static_cast<unsigned long long>(solo.nodiv),
-                static_cast<unsigned long long>(quad.nodiv));
+                static_cast<unsigned long long>(r[0].nodiv));
     std::fflush(stdout);
   }
-  std::printf("\nShape check: contention synchronizes the pairs (zero-stag grows under\n"
+
+  // Mixed topology: a 2-replica pair and a 3-replica triple (5 cores)
+  // share the bus; the triple's monitor maintains a C(3,2) matrix while
+  // the pair's runs the classic pairwise datapath — same SoC, same cycle.
+  std::printf("\nMixed topology: pair + triple (5 cores) on one bus:\n");
+  std::printf("%-14s %-14s | %10s %10s | %10s %10s\n", "pair", "triple", "pr zstag",
+              "pr nodiv", "tr zstag", "tr nodiv");
+  const std::vector<soc::GroupSpec> mixed = {soc::GroupSpec::homogeneous(2),
+                                             soc::GroupSpec::homogeneous(3)};
+  for (const Combo& combo : combos) {
+    const std::vector<GroupResult> r = run_groups(mixed, {combo.a, combo.b});
+    std::printf("%-14s %-14s | %10llu %10llu | %10llu %10llu\n", combo.a, combo.b,
+                static_cast<unsigned long long>(r[0].zero_stag),
+                static_cast<unsigned long long>(r[0].nodiv),
+                static_cast<unsigned long long>(r[1].zero_stag),
+                static_cast<unsigned long long>(r[1].nodiv));
+    std::fflush(stdout);
+  }
+
+  std::printf("\nShape check: contention synchronizes the groups (zero-stag grows under\n"
               "load) while no-div remains a tiny fraction of monitored cycles — staggering\n"
               "cannot be assumed, which is exactly why a diversity *monitor* is needed.\n");
   return 0;

@@ -1,0 +1,48 @@
+// Program-level decorrelation transforms (DME-style software diversity).
+//
+// The register-allocation shuffle renames the scratch registers of an
+// assembled program through a seed-derived bijection. Renaming is purely
+// syntactic: every definition and every use move together, so values,
+// hazard relations, pipeline timing, and commit counts are identical to
+// the original program — the transform injects *instruction-signature*
+// diversity (different encodings in every pipeline stage) without
+// touching data-signature content. Determinism contract (TESTING.md):
+// the permutation is a pure function of the seed; seed 0 is the identity
+// transform and returns the program unchanged.
+//
+// Registers with an entry/ABI meaning are never remapped: x0 (zero),
+// ra/sp/gp/tp (x1..x4), and a0 (x10, the data-segment base argument).
+// Everything else (t0..t6, s0..s11, a1..a7) is fair game, as are all 32
+// FP registers (no FP entry arguments exist in this convention).
+#pragma once
+
+#include <array>
+
+#include "safedm/assembler/assembler.hpp"
+
+namespace safedm::assembler {
+
+/// A register renaming: old index -> new index, identity outside the
+/// shuffled class. Bijective by construction.
+struct RegisterShuffle {
+  std::array<u8, 32> int_map;
+  std::array<u8, 32> fp_map;
+
+  bool identity() const;
+};
+
+/// Derive the (deterministic) renaming for `seed`; seed 0 is the identity.
+RegisterShuffle make_register_shuffle(u32 seed);
+
+/// Rewrite one instruction word under the renaming. Register fields are
+/// located via isa::decode and only rewritten when the instruction's
+/// operand flags say the field holds a register (store/branch [11:7]
+/// immediates and FP sub-op selector fields are left untouched).
+/// Invalid encodings pass through unchanged.
+u32 remap_instruction(u32 raw, const RegisterShuffle& shuffle);
+
+/// Apply the seed's renaming to a whole program (text only; data/bss and
+/// the entry convention are unchanged). Seed 0 returns a plain copy.
+Program shuffle_registers(const Program& program, u32 seed);
+
+}  // namespace safedm::assembler

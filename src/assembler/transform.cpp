@@ -1,0 +1,90 @@
+#include "safedm/assembler/transform.hpp"
+
+#include <algorithm>
+
+#include "safedm/common/rng.hpp"
+#include "safedm/isa/decode.hpp"
+
+namespace safedm::assembler {
+
+namespace {
+
+/// Integer registers eligible for renaming: everything without an
+/// entry/ABI meaning (see transform.hpp). Kept sorted so the permutation
+/// is stable against incidental reorderings of this table.
+constexpr std::array<u8, 26> kIntClass = {
+    5,  6,  7,                               // t0..t2
+    8,  9,                                   // s0, s1
+    11, 12, 13, 14, 15, 16, 17,              // a1..a7 (a0 carries the data base)
+    18, 19, 20, 21, 22, 23, 24, 25, 26, 27,  // s2..s11
+    28, 29, 30, 31,                          // t3..t6
+};
+
+template <std::size_t N>
+void shuffle_class(std::array<u8, 32>& map, const std::array<u8, N>& cls, Xoshiro256& rng) {
+  std::array<u8, N> perm = cls;
+  // Fisher-Yates; rng.below keeps the draw sequence a pure function of
+  // the seed, independent of any library shuffle implementation.
+  for (std::size_t i = N - 1; i > 0; --i) {
+    const std::size_t j = static_cast<std::size_t>(rng.below(i + 1));
+    std::swap(perm[i], perm[j]);
+  }
+  for (std::size_t i = 0; i < N; ++i) map[cls[i]] = perm[i];
+}
+
+}  // namespace
+
+bool RegisterShuffle::identity() const {
+  for (unsigned r = 0; r < 32; ++r)
+    if (int_map[r] != r || fp_map[r] != r) return false;
+  return true;
+}
+
+RegisterShuffle make_register_shuffle(u32 seed) {
+  RegisterShuffle shuffle;
+  for (unsigned r = 0; r < 32; ++r) {
+    shuffle.int_map[r] = static_cast<u8>(r);
+    shuffle.fp_map[r] = static_cast<u8>(r);
+  }
+  if (seed == 0) return shuffle;
+  Xoshiro256 rng(0x5AFED0005871FFULL ^ seed);
+  shuffle_class(shuffle.int_map, kIntClass, rng);
+  // All 32 FP registers are scratch at entry (no FP arguments), so the FP
+  // permutation covers the whole file.
+  std::array<u8, 32> fp_class{};
+  for (unsigned r = 0; r < 32; ++r) fp_class[r] = static_cast<u8>(r);
+  shuffle_class(shuffle.fp_map, fp_class, rng);
+  return shuffle;
+}
+
+u32 remap_instruction(u32 raw, const RegisterShuffle& shuffle) {
+  const isa::DecodedInst inst = isa::decode(raw);
+  if (!inst.valid()) return raw;
+  const isa::InstInfo& info = inst.info();
+  u32 out = raw;
+  const auto set_field = [&out](unsigned lsb, u8 reg) {
+    out = (out & ~(0x1Fu << lsb)) | (static_cast<u32>(reg) << lsb);
+  };
+  // Flag-gated: a field is only rewritten when this mnemonic actually
+  // carries a register there. S/B-format [11:7] immediates, FP sub-op
+  // selectors (fcvt's rs2 field), and system-instruction zero fields all
+  // have the corresponding flag clear and keep their bits.
+  if (info.writes_rd()) set_field(7, (info.rd_fp() ? shuffle.fp_map : shuffle.int_map)[inst.rd]);
+  if (info.reads_rs1())
+    set_field(15, (info.rs1_fp() ? shuffle.fp_map : shuffle.int_map)[inst.rs1]);
+  if (info.reads_rs2())
+    set_field(20, (info.rs2_fp() ? shuffle.fp_map : shuffle.int_map)[inst.rs2]);
+  if (info.reads_rs3())
+    set_field(27, (info.rs3_fp() ? shuffle.fp_map : shuffle.int_map)[inst.rs3]);
+  return out;
+}
+
+Program shuffle_registers(const Program& program, u32 seed) {
+  if (seed == 0) return program;
+  const RegisterShuffle shuffle = make_register_shuffle(seed);
+  Program out = program;
+  for (u32& word : out.text) word = remap_instruction(word, shuffle);
+  return out;
+}
+
+}  // namespace safedm::assembler

@@ -27,7 +27,31 @@ enum class CompareMode : u8 {
   kCrc32 = 1,  // CRC-compressed signatures: cheaper, small collision risk
 };
 
+/// Replicas one monitor can watch (must agree with soc::kMaxGroupReplicas)
+/// and the resulting pairwise-matrix size, C(8,2).
+inline constexpr unsigned kMaxReplicas = 8;
+inline constexpr unsigned kMaxReplicaPairs = kMaxReplicas * (kMaxReplicas - 1) / 2;
+
+/// Group verdict policy (N-replica groups): when does the *group* lack
+/// diversity in a cycle, as a threshold over the per-pair nodiv verdicts.
+/// kQuorum with quorum_k = 1 is kAnyPair and with quorum_k = C(n,2) is
+/// kAllPairs by construction (the policy lowers to one threshold).
+enum class VerdictPolicy : u8 {
+  kAnyPair = 0,   // >= 1 pair matched: the conservative default — any
+                  // correlated sub-pair already threatens the group
+  kAllPairs = 1,  // every pair matched: the whole group collapsed
+  kQuorum = 2,    // >= quorum_k pairs matched
+};
+
 struct SafeDmConfig {
+  /// Replicas monitored together (a redundancy group); the monitor keeps
+  /// one signature generator per replica and one diversity comparator per
+  /// unordered replica pair. 2 is the paper's pairwise monitor and keeps
+  /// its exact legacy semantics and hot path.
+  unsigned num_replicas = 2;
+  VerdictPolicy policy = VerdictPolicy::kAnyPair;
+  unsigned quorum_k = 1;  // for kQuorum: pairs that must match, 1..C(n,2)
+
   unsigned data_fifo_depth = 8;  // n: cycles of register-port history
   unsigned num_ports = 4;        // m: monitored register-file ports (<= 6)
   IsMode is_mode = IsMode::kPerStage;

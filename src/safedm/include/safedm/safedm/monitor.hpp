@@ -1,11 +1,19 @@
 // SafeDM: the hardware Diversity Monitor (paper Section III/IV).
 //
-// Consumes both cores' per-cycle tap frames, maintains a SignatureGenerator
-// per core, and reports lack of diversity — a cycle in which *both* the
-// Data Signatures and the Instruction Signatures of the two cores match.
-// SafeDM can only raise false positives (unmonitored diversity sources),
-// never false negatives (paper III-A): if any monitored state differs, the
-// cycle is diverse.
+// Consumes the replicas' per-cycle tap frames, maintains a
+// SignatureGenerator per replica, and reports lack of diversity — a cycle
+// in which *both* the Data Signatures and the Instruction Signatures of a
+// replica pair match. SafeDM can only raise false positives (unmonitored
+// diversity sources), never false negatives (paper III-A): if any monitored
+// state differs, the cycle is diverse.
+//
+// Beyond the paper's two-core monitor, one SafeDm instance can watch an
+// N-replica redundancy group (2..8): it then keeps a full pairwise
+// diversity matrix — one DiversityComparator and one PairCounters cell per
+// unordered replica pair — and lowers a group VerdictPolicy (any_pair /
+// all_pairs / quorum k) to a threshold over the per-pair verdicts for the
+// group-level counters, histograms, and interrupt. N == 2 is bit-exact
+// with (and as fast as) the original pairwise monitor.
 //
 // The block also contains the two evaluation-support modules of the
 // paper's integration (Fig. 4): the Instruction diff (staggering counter)
@@ -14,6 +22,7 @@
 #pragma once
 
 #include <functional>
+#include <utility>
 
 #include "safedm/bus/apb.hpp"
 #include "safedm/common/histogram.hpp"
@@ -23,29 +32,50 @@
 
 namespace safedm::monitor {
 
-/// Staggering counter: +1 per core-0 commit, -1 per core-1 commit (paper
-/// IV-B3). Optionally ignores each core's first `ignore` commits so that a
-/// nop prelude does not distort the program-position distance.
+/// Staggering counter (paper IV-B3), generalized to N replicas: tracks one
+/// cumulative post-prelude commit count per replica so any pair's signed
+/// program-position distance is cum[i] - cum[j]. Optionally ignores each
+/// replica's first `ignore` commits so a nop prelude does not distort the
+/// distance. The classic two-core diff is pair (0, 1).
 class InstructionDiff {
  public:
-  void set_ignore(unsigned core_index, u64 count);
+  /// Set the replica count (2..kMaxReplicas); resets all state.
+  void configure(unsigned n_replicas);
+  void set_ignore(unsigned replica, u64 count);
   void on_commits(unsigned commits0, unsigned commits1) {
     if ((ignore_[0] | ignore_[1]) == 0) {  // steady state: no prelude left
-      diff_ += static_cast<i64>(commits0) - static_cast<i64>(commits1);
+      cum_[0] += commits0;
+      cum_[1] += commits1;
       return;
     }
     on_commits_prelude(commits0, commits1);
   }
+  /// N-replica per-cycle path: one commit count per replica.
+  void on_commits_n(const unsigned* commits, unsigned n_replicas);
   void reset();
 
-  /// Batched path: install the post-chunk diff. The chunk loop accumulates
-  /// commit deltas locally; only legal once armed (no prelude left), which
-  /// the batch eligibility check guarantees.
-  void batch_commit(i64 diff) { diff_ = diff; }
+  /// Batched path: fold a chunk's per-replica commit sums in. Only legal
+  /// once armed (no prelude left), which the batch eligibility check
+  /// guarantees.
+  void batch_commit(u64 add0, u64 add1) {
+    cum_[0] += add0;
+    cum_[1] += add1;
+  }
+  void batch_commit_n(const u64* adds, unsigned n_replicas);
 
-  i64 diff() const { return diff_; }
-  /// True once both cores have consumed their ignored prelude commits.
-  bool armed() const { return ignore_[0] == 0 && ignore_[1] == 0; }
+  i64 diff() const { return pair_diff(0, 1); }
+  /// Signed committed-instruction distance between replicas i and j.
+  i64 pair_diff(unsigned i, unsigned j) const {
+    return static_cast<i64>(cum_[i] - cum_[j]);
+  }
+  /// Cumulative post-prelude commits of one replica (batched-path rebase).
+  u64 cumulative(unsigned replica) const { return cum_[replica]; }
+  /// True once every replica has consumed its ignored prelude commits.
+  bool armed() const {
+    u64 pending = 0;
+    for (unsigned r = 0; r < n_; ++r) pending |= ignore_[r];
+    return pending == 0;
+  }
 
   void save_state(StateWriter& w) const;
   void restore_state(StateReader& r);
@@ -53,8 +83,9 @@ class InstructionDiff {
  private:
   void on_commits_prelude(unsigned commits0, unsigned commits1);
 
-  i64 diff_ = 0;
-  std::array<u64, 2> ignore_{0, 0};
+  unsigned n_ = 2;
+  std::array<u64, kMaxReplicas> cum_{};
+  std::array<u64, kMaxReplicas> ignore_{};
 };
 
 struct SafeDmCounters {
@@ -75,6 +106,19 @@ struct SafeDmCounters {
                ? static_cast<double>(distance_sum) / static_cast<double>(monitored_cycles)
                : 0.0;
   }
+};
+
+/// One cell of the pairwise diversity matrix: the per-pair slice of the
+/// group counters. For a 2-replica monitor the single pair *is* the group,
+/// so these equal the corresponding SafeDmCounters fields.
+struct PairCounters {
+  u64 nodiv_cycles = 0;
+  u64 ds_match_cycles = 0;
+  u64 is_match_cycles = 0;
+  u64 zero_stag_cycles = 0;
+  u64 distance_sum = 0;  // DS+IS Hamming distance (config.track_distance)
+  u64 distance_min = ~u64{0};
+  u64 distance_max = 0;
 };
 
 /// APB register map (byte offsets; all registers 32-bit).
@@ -98,13 +142,20 @@ inline constexpr u32 kIgnore1 = 0x3C;
 inline constexpr u32 kHistSelect = 0x40;  // [7:0] bin, [9:8] histogram (0=nodiv,1=ds,2=is)
 inline constexpr u32 kHistData = 0x44;    // selected bin count (saturating u32)
 inline constexpr u32 kGeometry = 0x48;    // [7:0] n, [15:8] m, [23:16] o, [31:24] p
+inline constexpr u32 kGroup = 0x4C;       // [7:0] replicas, [15:8] pairs, [17:16] policy, [31:18] quorum k
+inline constexpr u32 kPairSelect = 0x50;  // [7:0] pair index, [9:8] counter (0=nodiv,1=ds,2=is,3=zerostag)
+inline constexpr u32 kPairData = 0x54;    // selected pair counter (saturating u32)
 inline constexpr u32 kSize = 0x80;        // register file span
 }  // namespace reg
+
+static_assert(kMaxReplicas == soc::kMaxGroupReplicas,
+              "monitor and SoC must agree on the maximum group size");
 
 class SafeDm final : public soc::CycleObserver, public bus::ApbDevice {
  public:
   explicit SafeDm(const SafeDmConfig& config);
-  // The comparator aliases sig0_/sig1_; copying would leave it dangling.
+  // The comparators alias the signature generators; copying would leave
+  // them dangling.
   SafeDm(const SafeDm&) = delete;
   SafeDm& operator=(const SafeDm&) = delete;
 
@@ -114,7 +165,7 @@ class SafeDm final : public soc::CycleObserver, public bus::ApbDevice {
   void set_report_mode(ReportMode mode) { config_.report = mode; }
   void set_interrupt_threshold(u32 threshold) { config_.interrupt_threshold = threshold; }
   /// Program the prelude lengths so staggering nops don't skew the diff.
-  void set_prelude_ignore(unsigned core_index, u64 commits);
+  void set_prelude_ignore(unsigned replica, u64 commits);
   void clear_interrupt();
   void reset();
 
@@ -136,6 +187,17 @@ class SafeDm final : public soc::CycleObserver, public bus::ApbDevice {
   /// state once per chunk; everything else falls back to on_cycle.
   void on_cycles(u64 first_cycle, const core::CoreTapFrame* frame0,
                  const core::CoreTapFrame* frame1, unsigned n) override;
+
+  /// N-replica group delivery (config.num_replicas > 2; 2-replica groups
+  /// forward to the pairwise hooks above, so the paper's monitor keeps its
+  /// exact legacy hot path). Updates every cell of the pairwise diversity
+  /// matrix, then lowers the configured VerdictPolicy to a threshold over
+  /// the per-pair verdicts for the group counters/histograms/IRQ.
+  void on_group_cycle(u64 cycle, const core::CoreTapFrame* const* frames,
+                      unsigned n_replicas) override;
+  /// Batched group delivery: per-cycle-exact, like on_cycles.
+  void on_group_cycles(u64 first_cycle, const core::CoreTapFrame* const* frames,
+                       unsigned n_replicas, unsigned n_cycles) override;
 
   /// Optional per-cycle verdict sink: when set, every processed cycle
   /// appends lacking_diversity_now() (false for unmonitored cycles) —
@@ -159,11 +221,26 @@ class SafeDm final : public soc::CycleObserver, public bus::ApbDevice {
   /// Per-cycle signature Hamming-distance distribution (track_distance).
   const Histogram& distance_history() const { return hist_distance_; }
   const SafeDmConfig& config() const { return config_; }
-  const SignatureGenerator& signatures(unsigned core_index) const;
-  /// Incremental-comparator fast-path/fallback accounting.
-  const DiversityComparator::Stats& comparator_stats() const { return comparator_.stats(); }
+  const SignatureGenerator& signatures(unsigned replica) const;
+  /// Incremental-comparator fast-path/fallback accounting (pair 0).
+  const DiversityComparator::Stats& comparator_stats() const { return pairs_[0].stats(); }
 
-  /// Total monitor storage bits (both cores' signature FIFOs); feeds the
+  // ---- pairwise diversity matrix ----------------------------------------
+  unsigned num_replicas() const { return config_.num_replicas; }
+  unsigned num_pairs() const { return static_cast<unsigned>(pairs_.size()); }
+  /// Replica indices (i, j), i < j, of matrix cell `pair`; cells are in
+  /// lexicographic order: (0,1), (0,2), ..., (n-2,n-1).
+  std::pair<unsigned, unsigned> pair_replicas(unsigned pair) const;
+  /// Matrix cell counters. For 2-replica monitors the single pair is the
+  /// group, so the cell is synthesized from the group counters.
+  PairCounters pair_counters(unsigned pair) const;
+  /// Per-pair fast-path/fallback accounting.
+  const DiversityComparator::Stats& pair_stats(unsigned pair) const;
+  /// The lowered verdict-policy threshold: matched pairs needed for a
+  /// group-level match (any_pair -> 1, all_pairs -> C(n,2), quorum -> k).
+  unsigned verdict_threshold() const { return needed_; }
+
+  /// Total monitor storage bits (all replicas' signature FIFOs); feeds the
   /// hardware cost model.
   u64 storage_bits() const;
 
@@ -191,14 +268,25 @@ class SafeDm final : public soc::CycleObserver, public bus::ApbDevice {
   template <unsigned P>
   void process_chunk_ports(u64 first_cycle, const core::CoreTapFrame* frame0,
                            const core::CoreTapFrame* frame1, unsigned m);
+  /// N > 2 per-cycle matrix update (the group analogue of on_cycle's body).
+  void group_cycle(u64 cycle, const core::CoreTapFrame* const* frames);
+  /// N > 2 batched chunk (the group analogue of process_chunk).
+  void process_group_chunk(u64 first_cycle, const core::CoreTapFrame* const* frames,
+                           unsigned offset, unsigned m);
 
   SafeDmConfig config_;
-  SignatureGenerator sig0_;
-  SignatureGenerator sig1_;
-  DiversityComparator comparator_;  // observes sig0_/sig1_
+  /// One generator per replica, one comparator per unordered replica pair
+  /// (lexicographic order). Both vectors are sized in the constructor and
+  /// never resized: the comparators hold pointers into sigs_.
+  std::vector<SignatureGenerator> sigs_;
+  std::vector<DiversityComparator> pairs_;
+  std::vector<std::pair<u8, u8>> pair_replicas_;  // lint: no-snapshot(derived from num_replicas)
+  unsigned needed_ = 1;  // lint: no-snapshot(lowered verdict policy, derived from config)
+  /// Matrix cell counters, N > 2 only (for pairs the group counters serve).
+  std::vector<PairCounters> pair_counters_;
   InstructionDiff inst_diff_;
   bool enabled_ = false;
-  std::array<bool, 2> seen_commit_{false, false};
+  std::array<bool, kMaxReplicas> seen_commit_{};
   bool lacking_now_ = false;
   bool ds_match_now_ = false;
   bool is_match_now_ = false;
@@ -214,6 +302,7 @@ class SafeDm final : public soc::CycleObserver, public bus::ApbDevice {
   Histogram hist_distance_;
 
   u32 hist_select_ = 0;
+  u32 pair_select_ = 0;
   std::function<void(u64)> irq_handler_;  // lint: no-snapshot(callback wiring, re-registered by owner)
   std::vector<bool>* trail_ = nullptr;    // lint: no-snapshot(observation sink wiring, re-attached by owner)
 };

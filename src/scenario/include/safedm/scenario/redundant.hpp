@@ -34,10 +34,17 @@ struct RunOutcome {
   u64 is_match = 0;
   u64 committed0 = 0;
   u64 committed1 = 0;
+  // Diversity-magnitude statistics (dm.track_distance; zero/~0 otherwise).
+  // For an N-replica group these describe the per-cycle *minimum pairwise*
+  // distance — the weakest link of the diversity matrix.
+  u64 distance_sum = 0;
+  u64 distance_min = ~u64{0};
+  u64 distance_max = 0;
   bool completed = false;
 
   /// Field-wise max aggregation (the paper reports the highest values
-  /// found over repeated runs).
+  /// found over repeated runs). distance_min, being a min-statistic, takes
+  /// the min — the aggregate keeps the worst case of every field.
   RunOutcome& max_with(const RunOutcome& other);
 };
 

@@ -66,6 +66,41 @@ struct SocSpec {
   unsigned observer_batch = 0;  // monitor delivery batch; 0 = runner default
 };
 
+/// One entry of `"group.replica"`: a replica's decorrelation transforms
+/// plus optional structural-heterogeneity overrides. Absent keys keep the
+/// platform-default (homogeneous, non-decorrelated) replica.
+struct GroupReplicaSpec {
+  u64 text_offset = 0;       // image placement inside the group text window
+  u64 data_offset = 0;       // added to the replica's data segment base
+  u64 stack_offset = 0;      // added to the computed stack top
+  u32 reg_shuffle_seed = 0;  // register-allocation shuffle; 0 = identity
+
+  // Structural overrides (each replaces one knob of the platform core):
+  std::optional<unsigned> store_buffer_entries;
+  std::optional<unsigned> l1i_kb;
+  std::optional<unsigned> l1d_kb;
+  std::optional<unsigned> bht_entries;
+  std::optional<unsigned> btb_entries;
+  std::optional<unsigned> mul_latency;
+  std::optional<unsigned> div_latency;
+
+  bool structural() const {
+    return store_buffer_entries || l1i_kb || l1d_kb || bht_entries || btb_entries ||
+           mul_latency || div_latency;
+  }
+};
+
+/// `"group"` — N-replica redundancy-group topology and the monitor's
+/// verdict policy. Absent means the paper's homogeneous 2-replica pair.
+struct GroupSection {
+  unsigned replicas = 2;  // 2..8
+  monitor::VerdictPolicy policy = monitor::VerdictPolicy::kAnyPair;
+  // "any_pair" | "all_pairs" | "quorum"
+  unsigned quorum_k = 1;  // for "quorum": matched pairs needed, 1..C(n,2)
+  std::vector<GroupReplicaSpec> replica;  // at most `replicas` entries;
+                                          // missing tail entries are default
+};
+
 /// `"run.safede"` — SafeDE-style staggering enforcement (presence enables it).
 struct SafeDeSpec {
   unsigned head_core = 0;    // 0 | 1
@@ -121,6 +156,12 @@ struct ExpectSection {
   Bound ds_match;
   Bound is_match;
   Bound monitored;
+  // Diversity-magnitude bounds (require "monitor.track_distance": true).
+  // distance_min is the run's smallest per-cycle group distance — for an
+  // N-replica group, the minimum *pairwise* distance, i.e. the weakest
+  // link of the diversity matrix.
+  Bound distance_min;
+  Bound distance_max;
   std::optional<bool> nodiv_le_zero_stag;  // the paper's shape invariant
   // "faults": CCF-classification assertions over the campaign report.
   std::optional<u64> single_fault_ccf_max;   // usually 0: redundancy holds
@@ -135,6 +176,7 @@ struct Scenario {
   std::string description;
   MonitorSpec monitor;
   SocSpec soc;
+  std::optional<GroupSection> group;
   std::optional<RunSection> run;
   std::optional<FaultSection> faults;  // requires `run` (its workload)
   std::optional<FuzzSection> fuzz;

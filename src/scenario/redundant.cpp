@@ -16,6 +16,9 @@ RunOutcome& RunOutcome::max_with(const RunOutcome& other) {
   is_match = std::max(is_match, other.is_match);
   committed0 = std::max(committed0, other.committed0);
   committed1 = std::max(committed1, other.committed1);
+  distance_sum = std::max(distance_sum, other.distance_sum);
+  distance_min = std::min(distance_min, other.distance_min);
+  distance_max = std::max(distance_max, other.distance_max);
   completed = completed || other.completed;
   return *this;
 }
@@ -48,8 +51,8 @@ RunOutcome run_redundant(const assembler::Program& program, const RunSpec& spec)
   soc.add_observer(&dm);
 
   soc.load_redundant(program, spec.stagger_nops, spec.delayed_core);
-  dm.set_prelude_ignore(0, soc.prelude_commits(0));
-  dm.set_prelude_ignore(1, soc.prelude_commits(1));
+  for (unsigned r = 0; r < soc.group_size(0); ++r)
+    dm.set_prelude_ignore(r, soc.prelude_commits(soc.group_core(0, r)));
 
   const u64 cycles = soc.run(spec.max_cycles);
   dm.finalize();
@@ -63,6 +66,9 @@ RunOutcome run_redundant(const assembler::Program& program, const RunSpec& spec)
   out.nodiv = c.nodiv_cycles;
   out.ds_match = c.ds_match_cycles;
   out.is_match = c.is_match_cycles;
+  out.distance_sum = c.distance_sum;
+  out.distance_min = c.distance_min;
+  out.distance_max = c.distance_max;
   out.committed0 = soc.core(0).stats().committed;
   out.committed1 = soc.core(1).stats().committed;
   return out;

@@ -125,6 +125,36 @@ RunSpec build_run_spec(const Scenario& scenario) {
   if (scenario.soc.text_stride != 0) spec.soc.text_stride = scenario.soc.text_stride;
   if (scenario.soc.observer_batch != 0) spec.soc.observer_batch = scenario.soc.observer_batch;
   if (run.safede) spec.safede = run.safede->to_config();
+  if (scenario.group) {
+    const GroupSection& group = *scenario.group;
+    spec.dm.num_replicas = group.replicas;
+    spec.dm.policy = group.policy;
+    spec.dm.quorum_k = group.quorum_k;
+    soc::GroupSpec gs;
+    for (unsigned r = 0; r < group.replicas; ++r) {
+      soc::ReplicaSpec rep;
+      if (r < group.replica.size()) {
+        const GroupReplicaSpec& s = group.replica[r];
+        rep.text_offset = s.text_offset;
+        rep.data_offset = s.data_offset;
+        rep.stack_offset = s.stack_offset;
+        rep.reg_shuffle_seed = s.reg_shuffle_seed;
+        if (s.structural()) {
+          core::CoreConfig cc = spec.soc.core;
+          if (s.store_buffer_entries) cc.store_buffer.entries = *s.store_buffer_entries;
+          if (s.l1i_kb) cc.l1i.size_bytes = *s.l1i_kb * 1024;
+          if (s.l1d_kb) cc.l1d.size_bytes = *s.l1d_kb * 1024;
+          if (s.bht_entries) cc.predictor.bht_entries = *s.bht_entries;
+          if (s.btb_entries) cc.predictor.btb_entries = *s.btb_entries;
+          if (s.mul_latency) cc.mul_latency = *s.mul_latency;
+          if (s.div_latency) cc.div_latency = *s.div_latency;
+          rep.core = cc;
+        }
+      }
+      gs.replicas.push_back(rep);
+    }
+    spec.soc.groups = {gs};
+  }
   return spec;
 }
 
@@ -162,6 +192,10 @@ ScenarioResult run_scenario(const Scenario& scenario) {
                 result.outcome.is_match);
     check_bound(result.checks, "expect.counters.monitored", expect.monitored,
                 result.outcome.monitored_cycles);
+    check_bound(result.checks, "expect.counters.distance_min", expect.distance_min,
+                result.outcome.distance_min);
+    check_bound(result.checks, "expect.counters.distance_max", expect.distance_max,
+                result.outcome.distance_max);
     if (expect.nodiv_le_zero_stag && *expect.nodiv_le_zero_stag) {
       CheckResult shape{"expect.counters.nodiv_le_zero_stag", true, {}};
       if (result.outcome.nodiv > result.outcome.zero_stag) {

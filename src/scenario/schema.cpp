@@ -10,6 +10,7 @@
 #include "safedm/common/check.hpp"
 #include "safedm/fuzz/generator.hpp"
 #include "safedm/scenario/scenario.hpp"
+#include "safedm/soc/soc.hpp"
 #include "safedm/workloads/workloads.hpp"
 
 namespace safedm::scenario {
@@ -174,6 +175,108 @@ SocSpec parse_soc(const Ctx& ctx, const JsonValue& v) {
   return spec;
 }
 
+GroupReplicaSpec parse_group_replica(const Ctx& ctx, const JsonValue& v, unsigned index,
+                                     const SocSpec& soc) {
+  const std::string tag = "\"group.replica[" + std::to_string(index) + "]";
+  ctx.object(v, (tag + "\"").c_str());
+  ctx.check_keys(v, (tag + "\"").c_str(),
+                 {"text_offset", "data_offset", "stack_offset", "reg_shuffle_seed",
+                  "store_buffer_entries", "l1i_kb", "l1d_kb", "bht_entries", "btb_entries",
+                  "mul_latency", "div_latency"});
+  GroupReplicaSpec spec;
+  // Decorrelation offsets must fit the layout the SoC will actually build;
+  // validating here turns a CheckError at construction into a file:line
+  // diagnostic at the offending value.
+  const soc::SocConfig defaults;
+  const u64 text_stride = soc.text_stride != 0 ? soc.text_stride : defaults.text_stride;
+  const u64 data_base1 = soc.data_base1 != 0 ? soc.data_base1 : defaults.data_base1;
+  const u64 data_stride = data_base1 - defaults.data_base0;
+  if (const JsonValue* f = v.find("text_offset")) {
+    spec.text_offset = ctx.get_u64(*f, (tag + ".text_offset\"").c_str(), 0, ~u64{0});
+    if (spec.text_offset % 4 != 0)
+      ctx.fail(*f, tag + ".text_offset\" must be 4-byte aligned");
+    if (spec.text_offset >= text_stride)
+      ctx.fail(*f, tag + ".text_offset\" " + std::to_string(spec.text_offset) +
+                       " overflows the text stride " + std::to_string(text_stride));
+  }
+  if (const JsonValue* f = v.find("data_offset")) {
+    spec.data_offset = ctx.get_u64(*f, (tag + ".data_offset\"").c_str(), 0, ~u64{0});
+    if (spec.data_offset % 16 != 0)
+      ctx.fail(*f, tag + ".data_offset\" must be 16-byte aligned");
+    if (spec.data_offset >= data_stride)
+      ctx.fail(*f, tag + ".data_offset\" " + std::to_string(spec.data_offset) +
+                       " overflows the data stride " + std::to_string(data_stride));
+  }
+  if (const JsonValue* f = v.find("stack_offset")) {
+    spec.stack_offset = ctx.get_u64(*f, (tag + ".stack_offset\"").c_str(), 0, 65536);
+    if (spec.stack_offset % 16 != 0)
+      ctx.fail(*f, tag + ".stack_offset\" must be 16-byte aligned");
+  }
+  if (const JsonValue* f = v.find("reg_shuffle_seed"))
+    spec.reg_shuffle_seed =
+        static_cast<u32>(ctx.get_u64(*f, (tag + ".reg_shuffle_seed\"").c_str(), 0, ~u32{0}));
+  const auto pow2 = [&](const JsonValue& f, unsigned value, const std::string& what) {
+    if ((value & (value - 1)) != 0) ctx.fail(f, what + " must be a power of two");
+  };
+  if (const JsonValue* f = v.find("store_buffer_entries"))
+    spec.store_buffer_entries =
+        ctx.get_unsigned(*f, (tag + ".store_buffer_entries\"").c_str(), 1, 64);
+  if (const JsonValue* f = v.find("l1i_kb")) {
+    spec.l1i_kb = ctx.get_unsigned(*f, (tag + ".l1i_kb\"").c_str(), 1, 256);
+    pow2(*f, *spec.l1i_kb, tag + ".l1i_kb\"");
+  }
+  if (const JsonValue* f = v.find("l1d_kb")) {
+    spec.l1d_kb = ctx.get_unsigned(*f, (tag + ".l1d_kb\"").c_str(), 1, 256);
+    pow2(*f, *spec.l1d_kb, tag + ".l1d_kb\"");
+  }
+  if (const JsonValue* f = v.find("bht_entries")) {
+    spec.bht_entries = ctx.get_unsigned(*f, (tag + ".bht_entries\"").c_str(), 1, 65536);
+    pow2(*f, *spec.bht_entries, tag + ".bht_entries\"");
+  }
+  if (const JsonValue* f = v.find("btb_entries")) {
+    spec.btb_entries = ctx.get_unsigned(*f, (tag + ".btb_entries\"").c_str(), 1, 4096);
+    pow2(*f, *spec.btb_entries, tag + ".btb_entries\"");
+  }
+  if (const JsonValue* f = v.find("mul_latency"))
+    spec.mul_latency = ctx.get_unsigned(*f, (tag + ".mul_latency\"").c_str(), 1, 200);
+  if (const JsonValue* f = v.find("div_latency"))
+    spec.div_latency = ctx.get_unsigned(*f, (tag + ".div_latency\"").c_str(), 1, 200);
+  return spec;
+}
+
+GroupSection parse_group(const Ctx& ctx, const JsonValue& v, const SocSpec& soc) {
+  ctx.object(v, "\"group\"");
+  ctx.check_keys(v, "\"group\"", {"replicas", "policy", "quorum_k", "replica"});
+  GroupSection group;
+  if (const JsonValue* f = v.find("replicas"))
+    group.replicas = ctx.get_unsigned(*f, "\"group.replicas\"", 2, 8);
+  const unsigned n_pairs = group.replicas * (group.replicas - 1) / 2;
+  if (const JsonValue* f = v.find("policy")) {
+    const std::string policy = ctx.get_string(*f, "\"group.policy\"");
+    if (policy == "any_pair") group.policy = monitor::VerdictPolicy::kAnyPair;
+    else if (policy == "all_pairs") group.policy = monitor::VerdictPolicy::kAllPairs;
+    else if (policy == "quorum") group.policy = monitor::VerdictPolicy::kQuorum;
+    else
+      ctx.fail(*f, "\"group.policy\" must be \"any_pair\", \"all_pairs\", or \"quorum\", "
+                   "got \"" + policy + "\"");
+  }
+  if (const JsonValue* f = v.find("quorum_k")) {
+    if (group.policy != monitor::VerdictPolicy::kQuorum)
+      ctx.fail(*f, "\"group.quorum_k\" requires \"group.policy\": \"quorum\"");
+    group.quorum_k = ctx.get_unsigned(*f, "\"group.quorum_k\"", 1, n_pairs);
+  }
+  if (const JsonValue* f = v.find("replica")) {
+    if (!f->is_array())
+      ctx.fail(*f, "\"group.replica\" must be an array of replica objects");
+    if (f->items.size() > group.replicas)
+      ctx.fail(*f, "\"group.replica\" has " + std::to_string(f->items.size()) +
+                       " entries for " + std::to_string(group.replicas) + " replicas");
+    for (unsigned i = 0; i < f->items.size(); ++i)
+      group.replica.push_back(parse_group_replica(ctx, f->items[i], i, soc));
+  }
+  return group;
+}
+
 RunSection parse_run(const Ctx& ctx, const JsonValue& v) {
   ctx.object(v, "\"run\"");
   ctx.check_keys(v, "\"run\"", {"workload", "scale", "stagger_nops", "delayed_core",
@@ -189,7 +292,9 @@ RunSection parse_run(const Ctx& ctx, const JsonValue& v) {
   if (const JsonValue* f = v.find("stagger_nops"))
     run.stagger_nops = ctx.get_unsigned(*f, "\"run.stagger_nops\"", 0, 1'000'000);
   if (const JsonValue* f = v.find("delayed_core"))
-    run.delayed_core = ctx.get_unsigned(*f, "\"run.delayed_core\"", 0, 1);
+    // Upper bound is the group size; the cross-check against the actual
+    // replica count happens in parse_scenario once both sections exist.
+    run.delayed_core = ctx.get_unsigned(*f, "\"run.delayed_core\"", 0, 7);
   if (const JsonValue* f = v.find("max_cycles"))
     run.max_cycles = ctx.get_u64(*f, "\"run.max_cycles\"", 1, ~u64{0});
   if (const JsonValue* f = v.find("sweep")) run.sweep = ctx.get_bool(*f, "\"run.sweep\"");
@@ -298,7 +403,7 @@ ExpectSection parse_expect(const Ctx& ctx, const JsonValue& v) {
     ctx.object(*f, "\"expect.counters\"");
     ctx.check_keys(*f, "\"expect.counters\"",
                    {"zero_stag", "nodiv", "ds_match", "is_match", "monitored",
-                    "nodiv_le_zero_stag"});
+                    "distance_min", "distance_max", "nodiv_le_zero_stag"});
     if (const JsonValue* g = f->find("zero_stag"))
       expect.zero_stag = parse_bound(ctx, *g, "\"expect.counters.zero_stag\"");
     if (const JsonValue* g = f->find("nodiv"))
@@ -309,6 +414,10 @@ ExpectSection parse_expect(const Ctx& ctx, const JsonValue& v) {
       expect.is_match = parse_bound(ctx, *g, "\"expect.counters.is_match\"");
     if (const JsonValue* g = f->find("monitored"))
       expect.monitored = parse_bound(ctx, *g, "\"expect.counters.monitored\"");
+    if (const JsonValue* g = f->find("distance_min"))
+      expect.distance_min = parse_bound(ctx, *g, "\"expect.counters.distance_min\"");
+    if (const JsonValue* g = f->find("distance_max"))
+      expect.distance_max = parse_bound(ctx, *g, "\"expect.counters.distance_max\"");
     if (const JsonValue* g = f->find("nodiv_le_zero_stag"))
       expect.nodiv_le_zero_stag = ctx.get_bool(*g, "\"expect.counters.nodiv_le_zero_stag\"");
   }
@@ -346,8 +455,8 @@ Scenario parse_scenario(const JsonValue& root, const std::string& file) {
   const Ctx ctx{file};
   ctx.object(root, "a scenario document");
   ctx.check_keys(root, "a scenario",
-                 {"schema", "name", "description", "monitor", "soc", "run", "faults", "fuzz",
-                  "expect"});
+                 {"schema", "name", "description", "monitor", "soc", "group", "run", "faults",
+                  "fuzz", "expect"});
 
   const JsonValue* schema = root.find("schema");
   if (schema == nullptr) ctx.fail(root, "missing required key \"schema\"");
@@ -367,6 +476,8 @@ Scenario parse_scenario(const JsonValue& root, const std::string& file) {
     scenario.description = ctx.get_string(*f, "\"description\"");
   if (const JsonValue* f = root.find("monitor")) scenario.monitor = parse_monitor(ctx, *f);
   if (const JsonValue* f = root.find("soc")) scenario.soc = parse_soc(ctx, *f);
+  if (const JsonValue* f = root.find("group"))
+    scenario.group = parse_group(ctx, *f, scenario.soc);
   if (const JsonValue* f = root.find("run")) scenario.run = parse_run(ctx, *f);
   if (const JsonValue* f = root.find("faults")) scenario.faults = parse_faults(ctx, *f);
   if (const JsonValue* f = root.find("fuzz")) scenario.fuzz = parse_fuzz(ctx, *f);
@@ -376,6 +487,21 @@ Scenario parse_scenario(const JsonValue& root, const std::string& file) {
     ctx.fail(root, "a scenario must have a \"run\" or a \"fuzz\" section");
   if (scenario.faults && !scenario.run)
     ctx.fail(*root.find("faults"), "\"faults\" requires a \"run\" section (its workload)");
+  const unsigned replicas = scenario.group ? scenario.group->replicas : 2;
+  if (scenario.run && scenario.run->delayed_core >= replicas)
+    ctx.fail(*root.find("run"), "\"run.delayed_core\" must be in [0, " +
+                                    std::to_string(replicas - 1) + "] for " +
+                                    std::to_string(replicas) + " replicas");
+  if (scenario.run && scenario.run->safede && replicas != 2)
+    ctx.fail(*root.find("run"),
+             "\"run.safede\" enforcement is pairwise; it requires 2 replicas");
+  if (scenario.faults && scenario.group)
+    ctx.fail(*root.find("faults"),
+             "\"faults\" campaigns run on the pairwise rig; drop the \"group\" section");
+  if ((!scenario.expect.distance_min.trivial() || !scenario.expect.distance_max.trivial()) &&
+      !scenario.monitor.track_distance)
+    ctx.fail(*root.find("expect"),
+             "\"expect.counters.distance_*\" requires \"monitor.track_distance\": true");
   return scenario;
 }
 

@@ -4,27 +4,39 @@
 // for peripherals (SafeDM attaches there).
 //
 // The paper integrates SafeDM "in a 4-core multicore by Cobham Gaisler":
-// cores are grouped into redundant pairs (cores 2p and 2p+1 form pair p),
-// each pair monitored by its own SafeDM instance; the default
-// configuration is the dual-core setup of the evaluation.
+// cores are grouped into redundant *groups*, each monitored by its own
+// SafeDM instance. The paper's topology is the 2-replica pair (cores 2p
+// and 2p+1 form pair p); this model generalizes it to ordered groups of
+// 2..8 replicas (DMON/ResiLogic-style N-variant redundancy), each replica
+// optionally carrying its own structural core config and DME-style
+// decorrelation transforms. A SocConfig without explicit groups derives
+// one homogeneous 2-replica group per core pair — bit-exact with the
+// historical pair layout.
 //
 // Redundant-execution conventions:
-//   - Both cores of a pair run the same text segment (shared physical
-//     code, same PCs). An optional nop prelude placed *before* the program
-//     entry implements the paper's initial staggering: the delayed core
-//     boots at the prelude, the other directly at the program entry.
+//   - All replicas of a group run the same program inside the group's text
+//     window. Replicas with identical decorrelation (text offset +
+//     register-shuffle seed) share one physical text image (shared code,
+//     same PCs); decorrelated replicas get their own image at
+//     window base + text_offset, register-renamed by their seed. An
+//     optional nop prelude placed *before* the program entry implements
+//     the paper's initial staggering: the delayed replica boots at the
+//     prelude, the others directly at the program entry.
 //   - Each core gets its own data segment copy at a distinct base
-//     (different address spaces), passed in a0; stacks are per-core.
+//     (different address spaces, plus any per-replica data_offset), passed
+//     in a0; stacks are per-core (plus any per-replica stack_offset).
 #pragma once
 
 #include <functional>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "safedm/assembler/assembler.hpp"
 #include "safedm/bus/ahb.hpp"
 #include "safedm/bus/apb.hpp"
 #include "safedm/bus/l2_frontend.hpp"
+#include "safedm/common/check.hpp"
 #include "safedm/common/state.hpp"
 #include "safedm/core/core.hpp"
 #include "safedm/mem/phys_mem.hpp"
@@ -34,8 +46,49 @@ namespace safedm::soc {
 /// Cores in the default (paper-evaluation) configuration.
 inline constexpr unsigned kNumCores = 2;
 
+/// Replicas a redundancy group may hold (and, transitively, cores an SoC
+/// may hold). The pairwise diversity matrix is C(n,2) comparators, so 8
+/// replicas is already a 28-comparator monitor.
+inline constexpr unsigned kMinGroupReplicas = 2;
+inline constexpr unsigned kMaxGroupReplicas = 8;
+
+/// Per-replica configuration inside a redundancy group: optional
+/// structural heterogeneity plus DME-style decorrelation transforms.
+/// Defaults describe the paper's homogeneous, non-decorrelated replica.
+struct ReplicaSpec {
+  /// When set, this replica's core is built from this config instead of
+  /// SocConfig::core (issue width is fixed by the model; cache geometry,
+  /// store-buffer depth, predictor tables, and unit latencies are free).
+  /// The MMIO window is still forced onto the SoC's APB window.
+  std::optional<core::CoreConfig> core{};
+
+  // Decorrelation transforms (DME-style deliberate diversity):
+  u64 text_offset = 0;       // image placement inside the group text window
+  u64 data_offset = 0;       // added to the replica's data segment base
+  u64 stack_offset = 0;      // added to the computed stack top (16-aligned)
+  u32 reg_shuffle_seed = 0;  // assembler::shuffle_registers seed; 0 = identity
+};
+
+/// One redundancy group: an ordered set of 2..8 replica cores monitored
+/// together. Cores are assigned to groups in declaration order (group 0
+/// gets cores 0..n0-1, group 1 the next n1, ...).
+struct GroupSpec {
+  std::vector<ReplicaSpec> replicas;
+
+  static GroupSpec homogeneous(unsigned n) {
+    GroupSpec group;
+    group.replicas.resize(n);
+    return group;
+  }
+  unsigned size() const { return static_cast<unsigned>(replicas.size()); }
+};
+
 struct SocConfig {
-  unsigned num_cores = kNumCores;  // even, 2..8; cores 2p/2p+1 form pair p
+  /// Legacy topology knob: with `groups` empty, the SoC derives
+  /// num_cores/2 homogeneous 2-replica groups (cores 2p/2p+1 form group
+  /// p; must be even, 2..8). With explicit `groups`, num_cores is derived
+  /// from the group sizes and this field is ignored.
+  unsigned num_cores = kNumCores;
   core::CoreConfig core{};
   mem::CacheConfig l2{.size_bytes = 256 * 1024, .ways = 8, .line_bytes = 32};
   bus::L2Timing l2_timing{};
@@ -53,6 +106,11 @@ struct SocConfig {
   u64 apb_base = 0x8000'0000;
   u64 apb_size = 0x0010'0000;
 
+  /// Redundancy-group topology. Empty derives the legacy pair layout from
+  /// num_cores; group replica counts must each be in [2, 8] and the total
+  /// core count in [2, 8].
+  std::vector<GroupSpec> groups{};
+
   /// Initial arbiter round-robin position (run-to-run platform variation).
   unsigned arbiter_bias = 0;
 
@@ -68,8 +126,12 @@ struct SocConfig {
   unsigned observer_batch = 1;
 };
 
-/// Observers see their pair's two tap frames each cycle (SafeDM, SafeDE,
-/// traces). frame0/frame1 are the pair's lower/upper core.
+/// Observers see their group's tap frames each cycle (SafeDM, SafeDE,
+/// traces). Two-replica groups are delivered through the pairwise hooks
+/// (on_cycle/on_cycles, frame0/frame1 being the group's lower/upper
+/// core) — the interface every pre-group observer implements. Larger
+/// groups go through the group hooks; only observers that understand
+/// N > 2 (SafeDM's pairwise diversity matrix) override those.
 class CycleObserver {
  public:
   virtual ~CycleObserver() = default;
@@ -84,6 +146,32 @@ class CycleObserver {
                          const core::CoreTapFrame* frame1, unsigned n) {
     for (unsigned k = 0; k < n; ++k) on_cycle(first_cycle + k, frame0[k], frame1[k]);
   }
+
+  /// Group delivery: frames[r] is replica r's frame for this cycle. The
+  /// default forwards 2-replica groups to on_cycle and rejects larger
+  /// ones, so pair-only observers cannot silently watch a third replica.
+  virtual void on_group_cycle(u64 cycle, const core::CoreTapFrame* const* frames,
+                              unsigned n_replicas) {
+    SAFEDM_CHECK_MSG(n_replicas == 2, "observer only handles 2-replica groups");
+    on_cycle(cycle, *frames[0], *frames[1]);
+  }
+
+  /// Batched group delivery: frames[r] points at `n_cycles` consecutive
+  /// frames of replica r (frames[r][k] is replica r at first_cycle + k).
+  /// Default: 2-replica groups ride the pairwise batched hook; larger
+  /// groups unroll to per-cycle on_group_cycle calls.
+  virtual void on_group_cycles(u64 first_cycle, const core::CoreTapFrame* const* frames,
+                               unsigned n_replicas, unsigned n_cycles) {
+    if (n_replicas == 2) {
+      on_cycles(first_cycle, frames[0], frames[1], n_cycles);
+      return;
+    }
+    const core::CoreTapFrame* cycle_frames[kMaxGroupReplicas];
+    for (unsigned k = 0; k < n_cycles; ++k) {
+      for (unsigned r = 0; r < n_replicas; ++r) cycle_frames[r] = frames[r] + k;
+      on_group_cycle(first_cycle + k, cycle_frames, n_replicas);
+    }
+  }
 };
 
 class MpSoc {
@@ -91,18 +179,43 @@ class MpSoc {
   explicit MpSoc(const SocConfig& config);
 
   unsigned num_cores() const { return static_cast<unsigned>(cores_.size()); }
-  unsigned num_pairs() const { return num_cores() / 2; }
+  /// Legacy alias from the pair era; every "pair" is now a group.
+  unsigned num_pairs() const { return num_groups(); }
 
-  /// Load `program` for redundant execution on pair 0 (cores 0 and 1).
-  /// `stagger_nops` nop instructions are executed by core `delayed_core`
-  /// (0 or 1) before it enters the program. Both cores start at cycle 0.
+  // ---- group topology ------------------------------------------------------
+  unsigned num_groups() const { return static_cast<unsigned>(groups_.size()); }
+  unsigned group_size(unsigned group) const {
+    SAFEDM_CHECK(group < groups_.size());
+    return groups_[group].size();
+  }
+  /// Global core index of replica `replica` of `group`.
+  unsigned group_core(unsigned group, unsigned replica) const {
+    SAFEDM_CHECK(group < groups_.size() && replica < groups_[group].size());
+    return group_first_[group] + replica;
+  }
+  const GroupSpec& group_spec(unsigned group) const {
+    SAFEDM_CHECK(group < groups_.size());
+    return groups_[group];
+  }
+
+  /// Load `program` for redundant execution on group 0.
+  /// `stagger_nops` nop instructions are executed by replica
+  /// `delayed_replica` before it enters the program; all replicas start at
+  /// cycle 0. Per-replica decorrelation (text/data/stack offsets, register
+  /// shuffle) comes from the group's ReplicaSpecs.
   void load_redundant(const assembler::Program& program, unsigned stagger_nops = 0,
-                      unsigned delayed_core = 1);
+                      unsigned delayed_replica = 1);
 
-  /// Same, for an arbitrary pair; `delayed_local` selects the pair's lower
-  /// (0) or upper (1) core. Pairs can be loaded independently.
+  /// Same, for an arbitrary group; `delayed_replica` is a group-local
+  /// replica index. Groups can be loaded independently.
+  void load_redundant_group(unsigned group, const assembler::Program& program,
+                            unsigned stagger_nops = 0, unsigned delayed_replica = 1);
+
+  /// Legacy alias (pair == 2-replica group).
   void load_redundant_pair(unsigned pair, const assembler::Program& program,
-                           unsigned stagger_nops = 0, unsigned delayed_local = 1);
+                           unsigned stagger_nops = 0, unsigned delayed_local = 1) {
+    load_redundant_group(pair, program, stagger_nops, delayed_local);
+  }
 
   /// Load two different programs onto pair 0 (diverse software use case).
   void load_distinct(const assembler::Program& program0, const assembler::Program& program1);
@@ -133,8 +246,8 @@ class MpSoc {
   u64 cycle() const { return cycle_; }
   const SocConfig& config() const { return config_; }
 
-  /// Attach an observer to `pair` (default: pair 0).
-  void add_observer(CycleObserver* observer, unsigned pair = 0);
+  /// Attach an observer to `group` (default: group 0).
+  void add_observer(CycleObserver* observer, unsigned group = 0);
 
   /// Deliver any buffered observer cycles now (observer_batch > 1; no-op
   /// otherwise). Safe mid-step — the buffer only ever holds completed
@@ -159,8 +272,11 @@ class MpSoc {
   void restore_state(StateReader& r);
 
  private:
-  void load_pair_images(unsigned pair, const assembler::Program& program,
-                        unsigned stagger_nops, unsigned delayed_local);
+  void load_group_images(unsigned group, const assembler::Program& program,
+                         unsigned stagger_nops, unsigned delayed_replica);
+  /// The replica's core config (its override or SocConfig::core), with the
+  /// MMIO window forced onto the SoC's APB window.
+  core::CoreConfig effective_core_config(unsigned group, unsigned replica) const;
 
   /// Routes the APB window to the peripheral bus, everything else to RAM.
   class RoutingMemPort final : public MemoryPort {
@@ -188,8 +304,18 @@ class MpSoc {
   std::vector<std::unique_ptr<core::Core>> cores_;
   std::vector<core::CoreTapFrame> frames_;
   std::vector<u64> prelude_commits_;
-  // per pair
+  // Normalized group topology (never empty after construction) and the
+  // derived per-core layout. All of it restates SocConfig, so the config
+  // fingerprint — not the state body — covers it.
+  std::vector<GroupSpec> groups_;      // lint: no-snapshot(config restatement, fingerprinted)
+  std::vector<unsigned> group_first_;  // lint: no-snapshot(derived from groups_)
+  std::vector<u64> core_data_base_;    // lint: no-snapshot(derived from groups_ + address map)
+  // per group
   std::vector<std::vector<CycleObserver*>> observers_;  // lint: no-snapshot(observer wiring, re-attached by owner)
+  // Stable per-group frame pointer tables for group delivery (pointers
+  // into frames_ / obs_frames_, which never reallocate after the ctor).
+  std::vector<std::vector<const core::CoreTapFrame*>> group_frames_;  // lint: no-snapshot(derived wiring)
+  std::vector<std::vector<const core::CoreTapFrame*>> group_rings_;   // lint: no-snapshot(derived wiring)
   u64 cycle_ = 0;
 
   // Batched observer delivery (config_.observer_batch > 1): completed

@@ -1,0 +1,169 @@
+// Register-allocation shuffle (DME-style decorrelation transform):
+// determinism contract (TESTING.md), identity seed, protected-register
+// set, bijectivity, operand-flag gating, and semantic equivalence of a
+// shuffled program on the ISS.
+#include "safedm/assembler/transform.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <set>
+
+#include "safedm/assembler/assembler.hpp"
+#include "safedm/isa/encode.hpp"
+#include "safedm/isa/iss.hpp"
+#include "safedm/mem/phys_mem.hpp"
+#include "safedm/workloads/workloads.hpp"
+
+namespace safedm::assembler {
+namespace {
+
+namespace e = isa::enc;
+
+constexpr u64 kTextBase = 0x10000;
+constexpr u64 kDataBase = 0x40000;
+constexpr u64 kStackTop = 0xF0000;
+
+isa::ArchState run_program(const Program& program, mem::PhysMem& mem,
+                           u64 max_inst = 1'000'000) {
+  for (std::size_t i = 0; i < program.text.size(); ++i)
+    mem.store(kTextBase + i * 4, program.text[i], 4);
+  mem.write_block(kDataBase, program.data);
+  isa::Iss iss(mem, kTextBase);
+  iss.state().set_x(A0, kDataBase);
+  iss.state().set_x(SP, kStackTop);
+  iss.run(max_inst);
+  return iss.state();
+}
+
+TEST(RegisterShuffle, SeedZeroIsIdentity) {
+  const RegisterShuffle shuffle = make_register_shuffle(0);
+  EXPECT_TRUE(shuffle.identity());
+  for (unsigned r = 0; r < 32; ++r) {
+    EXPECT_EQ(shuffle.int_map[r], r);
+    EXPECT_EQ(shuffle.fp_map[r], r);
+  }
+  const Program program = workloads::build("bitcount", 1);
+  const Program copy = shuffle_registers(program, 0);
+  EXPECT_EQ(program.text, copy.text);
+  EXPECT_EQ(program.data, copy.data);
+}
+
+TEST(RegisterShuffle, PureFunctionOfSeed) {
+  const Program program = workloads::build("cubic", 1);
+  for (const u32 seed : {1u, 42u, 0xDEADBEEFu}) {
+    const RegisterShuffle a = make_register_shuffle(seed);
+    const RegisterShuffle b = make_register_shuffle(seed);
+    EXPECT_EQ(a.int_map, b.int_map) << "seed " << seed;
+    EXPECT_EQ(a.fp_map, b.fp_map) << "seed " << seed;
+    const Program p1 = shuffle_registers(program, seed);
+    const Program p2 = shuffle_registers(program, seed);
+    EXPECT_EQ(p1.text, p2.text) << "seed " << seed;
+  }
+  // Distinct seeds must produce distinct permutations in practice (not a
+  // hard guarantee per pair, but across three seeds a collision would
+  // mean the seed barely feeds the permutation).
+  const RegisterShuffle s1 = make_register_shuffle(1);
+  const RegisterShuffle s2 = make_register_shuffle(2);
+  const RegisterShuffle s3 = make_register_shuffle(3);
+  EXPECT_TRUE(s1.int_map != s2.int_map || s2.int_map != s3.int_map);
+}
+
+TEST(RegisterShuffle, NeverRemapsProtectedRegisters) {
+  // x0 (zero), ra/sp/gp/tp (x1..x4), and a0 (x10) carry the entry/ABI
+  // convention and must stay fixed under every seed.
+  for (u32 seed = 0; seed < 64; ++seed) {
+    const RegisterShuffle shuffle = make_register_shuffle(seed);
+    for (const unsigned fixed : {0u, 1u, 2u, 3u, 4u, 10u})
+      EXPECT_EQ(shuffle.int_map[fixed], fixed) << "seed " << seed << " x" << fixed;
+  }
+}
+
+TEST(RegisterShuffle, BijectiveForManySeeds) {
+  for (u32 seed = 0; seed < 64; ++seed) {
+    const RegisterShuffle shuffle = make_register_shuffle(seed);
+    std::set<u8> ints(shuffle.int_map.begin(), shuffle.int_map.end());
+    std::set<u8> fps(shuffle.fp_map.begin(), shuffle.fp_map.end());
+    EXPECT_EQ(ints.size(), 32u) << "seed " << seed;
+    EXPECT_EQ(fps.size(), 32u) << "seed " << seed;
+  }
+  // A nonzero seed must actually move something (the shuffled class has
+  // 26 members; a fixed-point-only permutation would defeat the point).
+  bool any_moved = false;
+  for (u32 seed = 1; seed < 8 && !any_moved; ++seed)
+    any_moved = !make_register_shuffle(seed).identity();
+  EXPECT_TRUE(any_moved);
+}
+
+TEST(RegisterShuffle, RemapIsGatedByOperandFlags) {
+  // Find a seed that moves x6 (T1): the S-type [11:7] field of a store is
+  // an *immediate* slice that happens to alias rd's position — it must
+  // not be rewritten even when its value names a shuffled register.
+  u32 seed = 0;
+  for (u32 candidate = 1; candidate < 256; ++candidate) {
+    if (make_register_shuffle(candidate).int_map[6] != 6) {
+      seed = candidate;
+      break;
+    }
+  }
+  ASSERT_NE(seed, 0u) << "no seed in 1..255 moves x6";
+  const RegisterShuffle shuffle = make_register_shuffle(seed);
+
+  // sw t0, 6(a0): immediate bits [11:7] == 6 == x6's index.
+  const u32 sw = e::sw(T0, A0, 6);
+  const u32 remapped = remap_instruction(sw, shuffle);
+  EXPECT_EQ((remapped >> 7) & 0x1F, 6u) << "store immediate field was rewritten";
+  EXPECT_EQ((remapped >> 15) & 0x1F, 10u) << "a0 base must stay fixed";
+  EXPECT_EQ((remapped >> 20) & 0x1F, shuffle.int_map[T0]) << "rs2 must follow the map";
+
+  // Same for the B-type immediate slice.
+  const u32 beq = e::beq(A0, T0, 12);
+  const u32 beq_remapped = remap_instruction(beq, shuffle);
+  EXPECT_EQ(beq_remapped & 0xFE007FFFu, beq & 0xFE007FFFu)
+      << "branch opcode/immediate bits changed";
+
+  // An R-type instruction moves all three register fields together.
+  const u32 add = e::add(T1, T1, T2);
+  const u32 add_remapped = remap_instruction(add, shuffle);
+  EXPECT_EQ((add_remapped >> 7) & 0x1F, shuffle.int_map[6]);
+  EXPECT_EQ((add_remapped >> 15) & 0x1F, shuffle.int_map[6]);
+  EXPECT_EQ((add_remapped >> 20) & 0x1F, shuffle.int_map[7]);
+
+  // Invalid encodings pass through untouched.
+  EXPECT_EQ(remap_instruction(0xFFFFFFFFu, shuffle), 0xFFFFFFFFu);
+}
+
+TEST(RegisterShuffle, ShuffledProgramIsSemanticallyEquivalent) {
+  // Renaming is purely syntactic: same halt, same retired-instruction
+  // count, same memory image — only the (renamed) register file differs.
+  Assembler a;
+  Label loop = a.new_label();
+  Label done = a.new_label();
+  a.li(T0, 10);
+  a.li(T1, 0);
+  a.bind(loop);
+  a.beqz(T0, done);
+  a(e::add(T1, T1, T0));
+  a(e::addi(T0, T0, -1));
+  a.j(loop);
+  a.bind(done);
+  a(e::sw(T1, A0, 0));
+  a(e::ecall());
+  const Program program = a.assemble("sum10");
+
+  for (const u32 seed : {7u, 0x5AFEu}) {
+    const Program shuffled = shuffle_registers(program, seed);
+    ASSERT_EQ(program.text.size(), shuffled.text.size());
+
+    mem::PhysMem mem_ref(0, 1 << 20), mem_shuf(0, 1 << 20);
+    const isa::ArchState ref = run_program(program, mem_ref);
+    const isa::ArchState shuf = run_program(shuffled, mem_shuf);
+    EXPECT_EQ(ref.halt, shuf.halt) << "seed " << seed;
+    EXPECT_EQ(ref.instret, shuf.instret) << "seed " << seed;
+    EXPECT_EQ(mem_ref.load(kDataBase, 4), mem_shuf.load(kDataBase, 4)) << "seed " << seed;
+    EXPECT_EQ(mem_ref.load(kDataBase, 4), 55u);
+  }
+}
+
+}  // namespace
+}  // namespace safedm::assembler

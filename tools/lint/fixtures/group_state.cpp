@@ -1,0 +1,29 @@
+#include "group_state.hpp"
+
+namespace lintfix {
+
+GroupMonitor::GroupMonitor(unsigned replicas) : num_replicas_(replicas) {
+  pair_counters_.resize(replicas * (replicas - 1) / 2);
+  for (std::uint8_t i = 0; i < replicas; ++i)
+    for (std::uint8_t j = static_cast<std::uint8_t>(i + 1); j < replicas; ++j)
+      pair_replicas_.emplace_back(i, j);
+}
+
+void GroupMonitor::save_state(StateWriter& w) const {
+  w.put_u64(num_replicas_);
+  for (const PairCell& cell : pair_counters_) {
+    w.put_u64(cell.nodiv);
+    w.put_u64(cell.zero_stag);
+  }
+  w.put_u64(pair_select_);
+}
+
+void GroupMonitor::restore_state(StateReader& r) {
+  num_replicas_ = static_cast<unsigned>(r.get_u64());
+  for (PairCell& cell : pair_counters_) {
+    cell.nodiv = r.get_u64();
+    cell.zero_stag = r.get_u64();
+  }
+}
+
+}  // namespace lintfix

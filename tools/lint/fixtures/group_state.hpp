@@ -1,0 +1,46 @@
+// Group-monitor snapshot pattern (mirrors SafeDm's N-replica state): a
+// pairwise matrix of per-pair counters that must round-trip, derived pair
+// topology that is annotated away, and two seeded violations
+// (out-of-line bodies live in group_state.cpp):
+//   verdict_needed_   lowered policy threshold, no annotation, in neither
+//                     snapshot body — must fire
+//   pair_select_      APB mux register saved but never restored — must fire
+// Exempt, must NOT be flagged:
+//   pair_replicas_    derived from the replica count, annotated
+//   pair_counters_    serialized element-wise in both bodies
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "state_stub.hpp"
+
+namespace lintfix {
+
+class GroupMonitor {
+ public:
+  explicit GroupMonitor(unsigned replicas);
+
+  void save_state(StateWriter& w) const;
+  void restore_state(StateReader& r);
+
+ private:
+  struct PairCell {
+    std::uint64_t nodiv = 0;
+    std::uint64_t zero_stag = 0;
+  };
+
+  using PairIndex = std::pair<std::uint8_t, std::uint8_t>;
+
+  // (pair_replicas_ is declared last: a `no-snapshot` annotation also covers
+  // the next line — comment-above style — so a seeded violation must not sit
+  // directly below it.)
+  unsigned num_replicas_ = 2;
+  unsigned verdict_needed_ = 1;
+  std::vector<PairCell> pair_counters_;
+  std::uint32_t pair_select_ = 0;
+  std::vector<PairIndex> pair_replicas_;  // lint: no-snapshot(derived from num_replicas_)
+};
+
+}  // namespace lintfix
