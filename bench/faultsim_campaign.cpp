@@ -22,6 +22,20 @@
 //   --smoke            exit non-zero unless the campaign invariants hold:
 //                      (a) single-fault injections never classify as CCF,
 //                      (b) per workload, no-div-class CCF rate >= diverse
+//
+// Fleet mode (sharded multi-process campaigns, merged by safedm-merge):
+//   --shard=i/N        run only shard i of N (0-based), streaming durable
+//                      partial aggregates to the shard log instead of JSON
+//   --log=PATH         shard log path (default shard-<i>-of-<N>.shardlog)
+//   --resume           continue an interrupted shard from its log's last
+//                      durable record (also starts fresh if no log exists)
+//   --flush-interval=K sites folded per durable log record (default 16)
+//   --ref-cache=DIR    share reference-run warmup across shards via
+//                      mmap-published trace snapshots in DIR
+//   --write-manifest=PATH  write the fleet manifest for --shard-count
+//                      shards (no injections are run) and exit
+//   --shard-count=N    fleet size for --write-manifest (defaults to the
+//                      N of --shard when given)
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -29,9 +43,11 @@
 #include <vector>
 
 #include "bench_util.hpp"
+#include "safedm/common/check.hpp"
 #include "safedm/common/log.hpp"
 #include "safedm/common/thread_pool.hpp"
 #include "safedm/faultsim/campaign.hpp"
+#include "safedm/faultsim/shard.hpp"
 #include "safedm/workloads/workloads.hpp"
 
 using namespace safedm;
@@ -44,7 +60,10 @@ constexpr char kUsage[] =
     "                               [--registers=a,b] [--bits=a,b] [--scale=N] [--seed=N]\n"
     "                               [--threads=N] [--engine=replay|checkpoint]\n"
     "                               [--checkpoint-interval=N] [--json=PATH] [--no-single]\n"
-    "                               [--smoke]\n";
+    "                               [--smoke]\n"
+    "                               [--shard=i/N] [--log=PATH] [--resume]\n"
+    "                               [--flush-interval=K] [--ref-cache=DIR]\n"
+    "                               [--write-manifest=PATH] [--shard-count=N]\n";
 
 std::vector<std::string> split_csv(const char* arg) {
   std::vector<std::string> out;
@@ -83,6 +102,10 @@ int main(int argc, char** argv) {
   config.threads = bench_thread_count();
   std::string json_path = "BENCH_faultsim.json";
   bool smoke = false;
+  bool have_shard = false;
+  ShardRunConfig shard_run;
+  std::string manifest_path;
+  u32 manifest_shards = 0;
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
     if (std::strncmp(arg, "--workloads=", 12) == 0) {
@@ -135,6 +158,31 @@ int main(int argc, char** argv) {
       config.single_fault = false;
     } else if (std::strcmp(arg, "--smoke") == 0) {
       smoke = true;
+    } else if (std::strncmp(arg, "--shard=", 8) == 0) {
+      const std::string value = arg + 8;
+      const std::size_t slash = value.find('/');
+      if (slash == std::string::npos)
+        bench::cli_fail("--shard", value, "a fraction i/N with 0 <= i < N", kUsage);
+      config.shard.count =
+          bench::parse_u32("--shard", value.substr(slash + 1), kUsage, 1, kMaxShards);
+      config.shard.index =
+          bench::parse_u32("--shard", value.substr(0, slash), kUsage, 0, kMaxShards - 1);
+      if (config.shard.index >= config.shard.count)
+        bench::cli_fail("--shard", value, "a fraction i/N with 0 <= i < N", kUsage);
+      have_shard = true;
+    } else if (std::strncmp(arg, "--log=", 6) == 0) {
+      shard_run.log_path = arg + 6;
+    } else if (std::strcmp(arg, "--resume") == 0) {
+      shard_run.resume = true;
+    } else if (std::strncmp(arg, "--flush-interval=", 17) == 0) {
+      shard_run.flush_interval =
+          bench::parse_u64("--flush-interval", arg + 17, kUsage, 1, 1'000'000);
+    } else if (std::strncmp(arg, "--ref-cache=", 12) == 0) {
+      shard_run.ref_cache_dir = arg + 12;
+    } else if (std::strncmp(arg, "--write-manifest=", 17) == 0) {
+      manifest_path = arg + 17;
+    } else if (std::strncmp(arg, "--shard-count=", 14) == 0) {
+      manifest_shards = bench::parse_u32("--shard-count", arg + 14, kUsage, 1, kMaxShards);
     } else {
       std::fprintf(stderr, "unknown option: %s\n%s", arg, kUsage);
       return 2;
@@ -142,6 +190,56 @@ int main(int argc, char** argv) {
   }
 
   Logger::instance().set_level(LogLevel::kInfo);  // per-workload progress lines
+
+  if (smoke && (have_shard || !manifest_path.empty())) {
+    std::fprintf(stderr, "--smoke needs the single-process campaign (no --shard / "
+                         "--write-manifest)\n%s", kUsage);
+    return 2;
+  }
+
+  if (!manifest_path.empty()) {
+    const u32 shards = manifest_shards != 0 ? manifest_shards
+                       : have_shard         ? config.shard.count
+                                            : 0;
+    if (shards == 0) {
+      std::fprintf(stderr, "--write-manifest needs --shard-count=N (or --shard=i/N)\n%s",
+                   kUsage);
+      return 2;
+    }
+    try {
+      const ShardManifest manifest =
+          build_manifest(config, shards, shard_run.ref_cache_dir);
+      write_manifest_file(manifest_path, manifest);
+      std::printf("wrote manifest %s: %u shards, %llu sites\n", manifest_path.c_str(), shards,
+                  static_cast<unsigned long long>(manifest.total_sites));
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "%s\n", e.what());
+      return 1;
+    }
+    return 0;
+  }
+
+  if (have_shard) {
+    if (shard_run.log_path.empty()) {
+      shard_run.log_path = "shard-" + std::to_string(config.shard.index) + "-of-" +
+                           std::to_string(config.shard.count) + ".shardlog";
+    }
+    shard_run.engine = config;
+    try {
+      const ShardRunResult result = run_shard(shard_run);
+      std::printf("shard %u/%u: %llu/%llu sites durable (%llu run now%s) -> %s\n",
+                  config.shard.index, config.shard.count,
+                  static_cast<unsigned long long>(result.resumed_at + result.executed),
+                  static_cast<unsigned long long>(result.shard_sites),
+                  static_cast<unsigned long long>(result.executed),
+                  result.complete ? ", complete" : "", shard_run.log_path.c_str());
+      return result.complete ? 0 : 1;
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "%s\n", e.what());
+      return 1;
+    }
+  }
+
   const EngineReport report = run_engine(config);
 
   std::printf("\nfault-injection campaign: seed %llu, %llu injections\n",

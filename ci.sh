@@ -15,6 +15,11 @@
 #                      regression checks against the committed baselines in
 #                      bench/baselines/ (machine-independent speedup ratios,
 #                      20% tolerance — see EXPERIMENTS.md "Perf trajectory")
+#   ./ci.sh fleet      default build + the sharded-campaign fleet gates only:
+#                      the kill/resume & merge-determinism ctest battery
+#                      (test_fleet) plus the CLI-level fleet_smoke script
+#                      (3 shards, SIGKILL one, resume, merge, cmp against
+#                      the single-process JSON)
 #   ./ci.sh tsan       ThreadSanitizer build (SAFEDM_SANITIZE=thread preset)
 #                      running the unit+property labels
 #   ./ci.sh coverage   gcov-instrumented build + ctest (perf excluded) +
@@ -76,6 +81,13 @@ run_perf() {
   ctest --preset default -L perf
 }
 
+run_fleet() {
+  echo "==> fleet gates (kill/resume + merge-determinism battery, CLI smoke)"
+  cmake --preset default
+  cmake --build --preset default -j "${JOBS}"
+  ctest --preset default -R '^(ShardMerge|CrashResume)\.|^fleet_smoke$'
+}
+
 run_tsan() {
   echo "==> ThreadSanitizer build (unit + property labels)"
   cmake --preset tsan
@@ -131,13 +143,14 @@ case "${STAGE}" in
   all) run_default_and_san ;;
   lint) run_lint ;;
   perf) run_perf ;;
+  fleet) run_fleet ;;
   tsan) run_tsan ;;
   coverage)
     run_coverage
     run_lint
     ;;
   *)
-    echo "unknown stage: ${STAGE} (expected: lint, perf, tsan, or coverage)" >&2
+    echo "unknown stage: ${STAGE} (expected: lint, perf, fleet, tsan, or coverage)" >&2
     exit 2
     ;;
 esac

@@ -60,6 +60,17 @@ void Histogram::add(u64 sample, u64 weight) {
   max_sample_ = std::max(max_sample_, sample);
 }
 
+void Histogram::merge(const Histogram& other) {
+  SAFEDM_CHECK_MSG(bounds_ == other.bounds_,
+                   "histogram merge requires identical bin bounds");
+  for (std::size_t i = 0; i < counts_.size(); ++i)
+    counts_[i] = saturating_add(counts_[i], other.counts_[i]);
+  total_samples_ = saturating_add(total_samples_, other.total_samples_);
+  total_weight_ = saturating_add(total_weight_, other.total_weight_);
+  sample_sum_ = saturating_add(sample_sum_, other.sample_sum_);
+  max_sample_ = std::max(max_sample_, other.max_sample_);
+}
+
 void Histogram::clear() {
   std::fill(counts_.begin(), counts_.end(), 0);
   total_samples_ = 0;

@@ -36,6 +36,16 @@ class Histogram {
   void add(u64 sample, u64 weight = 1);
   void clear();
 
+  /// Fold another histogram with identical binning into this one. All
+  /// counters use the same saturating arithmetic as `add`, so folding
+  /// partial histograms is associative and commutative — any grouping or
+  /// order of partials yields the same bytes as adding every sample to a
+  /// single histogram, including when a bin has already saturated. (A
+  /// wrapping fold would instead fold a saturated partial back to a small
+  /// count.) The sharded campaign merge relies on this property for its
+  /// byte-identical-report contract.
+  void merge(const Histogram& other);
+
   std::size_t bin_count() const { return counts_.size(); }
   u64 bin_value(std::size_t bin) const { return counts_.at(bin); }
   /// Upper bound of bin (inclusive); the overflow bin returns UINT64_MAX.

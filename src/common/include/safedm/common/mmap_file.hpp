@@ -1,0 +1,41 @@
+// Read-only file-backed memory mapping.
+//
+// The sharded campaign fleet shares reference-run warmup (the serialized
+// checkpoint train from `MpSoc::snapshot()`-derived rig state) across
+// shard processes through files: one shard writes the snapshot once
+// (atomically, via rename), every other shard maps it and deserializes
+// straight out of the page cache instead of re-simulating the reference
+// run. A StateReader works directly over `bytes()` — no copy of the
+// (potentially multi-MB) checkpoint payload into process-private memory.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+
+#include "safedm/common/bits.hpp"
+
+namespace safedm {
+
+/// RAII read-only mmap of a whole file. Move-only; unmaps on destruction.
+/// `open` throws StateError when the file cannot be opened or mapped.
+class MappedFile {
+ public:
+  MappedFile() = default;
+  ~MappedFile();
+  MappedFile(MappedFile&& other) noexcept;
+  MappedFile& operator=(MappedFile&& other) noexcept;
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+
+  static MappedFile open(const std::string& path);
+
+  /// The mapped contents; empty for an empty file.
+  std::span<const u8> bytes() const { return {data_, size_}; }
+
+ private:
+  const u8* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+}  // namespace safedm

@@ -1,0 +1,53 @@
+#include "safedm/common/mmap_file.hpp"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <utility>
+
+#include "safedm/common/state.hpp"
+
+namespace safedm {
+
+MappedFile::~MappedFile() {
+  if (data_ != nullptr && size_ != 0)
+    ::munmap(const_cast<u8*>(data_), size_);
+}
+
+MappedFile::MappedFile(MappedFile&& other) noexcept
+    : data_(std::exchange(other.data_, nullptr)), size_(std::exchange(other.size_, 0)) {}
+
+MappedFile& MappedFile::operator=(MappedFile&& other) noexcept {
+  if (this != &other) {
+    if (data_ != nullptr && size_ != 0) ::munmap(const_cast<u8*>(data_), size_);
+    data_ = std::exchange(other.data_, nullptr);
+    size_ = std::exchange(other.size_, 0);
+  }
+  return *this;
+}
+
+MappedFile MappedFile::open(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) throw StateError("cannot open '" + path + "' for mapping");
+  struct stat st{};
+  if (::fstat(fd, &st) != 0 || st.st_size < 0) {
+    ::close(fd);
+    throw StateError("cannot stat '" + path + "'");
+  }
+  MappedFile out;
+  out.size_ = static_cast<std::size_t>(st.st_size);
+  if (out.size_ != 0) {
+    void* p = ::mmap(nullptr, out.size_, PROT_READ, MAP_PRIVATE, fd, 0);
+    if (p == MAP_FAILED) {
+      ::close(fd);
+      throw StateError("cannot mmap '" + path + "'");
+    }
+    out.data_ = static_cast<const u8*>(p);
+  }
+  ::close(fd);  // the mapping keeps the pages alive
+  return out;
+}
+
+}  // namespace safedm

@@ -6,35 +6,17 @@
 #include <ostream>
 #include <sstream>
 
+#include "campaign_internal.hpp"
 #include "safedm/common/check.hpp"
 #include "safedm/common/hash.hpp"
 #include "safedm/common/log.hpp"
 #include "safedm/common/rng.hpp"
+#include "safedm/common/state.hpp"
 #include "safedm/common/thread_pool.hpp"
 #include "safedm/workloads/workloads.hpp"
 
 namespace safedm::faultsim {
 namespace {
-
-// Per-workload plan: the reference trace plus the sampled injection cycles
-// for each verdict class. Built deterministically (seeded only by the
-// campaign seed and the workload name) before any injection runs.
-struct WorkloadPlan {
-  assembler::Program program{};
-  ReferenceTrace trace;
-  u64 budget = 0;
-  std::vector<u64> cycles[2];  // [0] diverse-class, [1] nodiv-class samples
-  u64 pool_size[2] = {0, 0};
-};
-
-// One point of the enumerated injection space.
-struct Site {
-  unsigned workload = 0;
-  Injection injection{};
-  bool nodiv_class = false;
-  bool single = false;        // single-fault control model
-  unsigned target_core = 0;   // only for single == true
-};
 
 /// Sample `count` distinct cycles from `pool` (the whole pool if smaller),
 /// via a partial Fisher-Yates shuffle — O(count) swaps, deterministic in
@@ -47,37 +29,6 @@ std::vector<u64> sample_cycles(std::vector<u64> pool, unsigned count, Xoshiro256
   }
   pool.resize(count);
   return pool;
-}
-
-WorkloadPlan build_plan(const std::string& name, const EngineConfig& config) {
-  WorkloadPlan plan;
-  plan.program = workloads::build(name, config.scale);
-  if (config.engine == InjectionEngine::kCheckpoint) {
-    CheckpointPolicy policy;
-    policy.interval = config.checkpoint_interval;
-    plan.trace = record_reference(plan.program, config.dm, policy);
-  } else {
-    plan.trace = record_reference(plan.program, config.dm);
-  }
-  plan.budget = plan.trace.cycles * 4 + 100'000;
-
-  // Candidate injection cycles per verdict class. Skip the first ~100
-  // cycles (startup) so the flipped registers are live.
-  std::vector<u64> pools[2];
-  for (u64 c = 100; c < plan.trace.nodiv.size(); ++c)
-    pools[plan.trace.nodiv[c] ? 1 : 0].push_back(c + 1);
-  plan.pool_size[0] = pools[0].size();
-  plan.pool_size[1] = pools[1].size();
-
-  // The sampling RNG depends only on (seed, workload): plans are identical
-  // whether workloads are prepared serially or concurrently.
-  Fnv1a64 h;
-  h.add(config.seed);
-  for (char ch : name) h.add(static_cast<u8>(ch));
-  Xoshiro256 rng(h.value());
-  for (int cls = 0; cls < 2; ++cls)
-    plan.cycles[cls] = sample_cycles(std::move(pools[cls]), config.samples_per_class, rng);
-  return plan;
 }
 
 void append_class_json(std::ostream& os, const ClassAggregate& agg, const char* indent) {
@@ -105,6 +56,94 @@ void append_class_json(std::ostream& os, const ClassAggregate& agg, const char* 
 }
 
 }  // namespace
+
+namespace detail {
+
+WorkloadPlan finish_plan(assembler::Program program, ReferenceTrace trace,
+                         const std::string& name, const EngineConfig& config) {
+  WorkloadPlan plan;
+  plan.program = std::move(program);
+  plan.trace = std::move(trace);
+  plan.budget = plan.trace.cycles * 4 + 100'000;
+
+  // Candidate injection cycles per verdict class. Skip the first ~100
+  // cycles (startup) so the flipped registers are live.
+  std::vector<u64> pools[2];
+  for (u64 c = 100; c < plan.trace.nodiv.size(); ++c)
+    pools[plan.trace.nodiv[c] ? 1 : 0].push_back(c + 1);
+  plan.pool_size[0] = pools[0].size();
+  plan.pool_size[1] = pools[1].size();
+
+  // The sampling RNG depends only on (seed, workload): plans are identical
+  // whether workloads are prepared serially or concurrently — and whether
+  // the trace was simulated locally or loaded from the shared warmup cache.
+  Fnv1a64 h;
+  h.add(config.seed);
+  for (char ch : name) h.add(static_cast<u8>(ch));
+  Xoshiro256 rng(h.value());
+  for (int cls = 0; cls < 2; ++cls)
+    plan.cycles[cls] = sample_cycles(std::move(pools[cls]), config.samples_per_class, rng);
+  return plan;
+}
+
+WorkloadPlan build_plan(const std::string& name, const EngineConfig& config) {
+  assembler::Program program = workloads::build(name, config.scale);
+  ReferenceTrace trace;
+  if (config.engine == InjectionEngine::kCheckpoint) {
+    CheckpointPolicy policy;
+    policy.interval = config.checkpoint_interval;
+    trace = record_reference(program, config.dm, policy);
+  } else {
+    trace = record_reference(program, config.dm);
+  }
+  return finish_plan(std::move(program), std::move(trace), name, config);
+}
+
+std::vector<Site> enumerate_sites(const EngineConfig& config,
+                                  const std::vector<WorkloadPlan>& plans) {
+  std::vector<Site> sites;
+  for (unsigned w = 0; w < plans.size(); ++w) {
+    for (int cls = 0; cls < 2; ++cls) {
+      for (u64 cycle : plans[w].cycles[cls]) {
+        for (u8 reg : config.registers) {
+          for (unsigned bit : config.bits) {
+            sites.push_back({w, Injection{cycle, reg, bit}, cls == 1, false, 0});
+            if (config.single_fault) {
+              const u64 s = injection_seed(config.seed, config.workloads[w], cycle, reg, bit,
+                                           /*single_fault=*/true);
+              sites.push_back({w, Injection{cycle, reg, bit}, cls == 1, true,
+                               static_cast<unsigned>(s & 1)});
+            }
+          }
+        }
+      }
+    }
+  }
+  return sites;
+}
+
+u64 site_hash(const EngineConfig& config, const Site& site) {
+  return injection_seed(config.seed, config.workloads[site.workload], site.injection.cycle,
+                        site.injection.reg, site.injection.bit, site.single);
+}
+
+bool site_on_shard(const EngineConfig& config, const Site& site) {
+  if (config.shard.count <= 1) return true;
+  return site_hash(config, site) % config.shard.count == config.shard.index;
+}
+
+InjectionResult run_site(const Site& site, const WorkloadPlan& plan,
+                         const EngineConfig& config) {
+  const ReferenceTrace* fork =
+      config.engine == InjectionEngine::kCheckpoint ? &plan.trace : nullptr;
+  return site.single
+             ? inject_single_fault_timed(plan.program, site.injection, site.target_core,
+                                         plan.trace.golden_checksum, plan.budget, fork)
+             : inject_identical_fault_timed(plan.program, site.injection,
+                                            plan.trace.golden_checksum, plan.budget, fork);
+}
+
+}  // namespace detail
 
 Interval wilson_interval(u64 successes, u64 trials, double z) {
   if (trials == 0) return {};
@@ -137,6 +176,25 @@ void ClassAggregate::add(const InjectionResult& result) {
   if (detectable) latency.add(result.detection_latency);
 }
 
+void ClassAggregate::merge(const ClassAggregate& other) {
+  for (int i = 0; i < 5; ++i) counts[i] += other.counts[i];
+  latency.merge(other.latency);
+}
+
+void ClassAggregate::save_state(StateWriter& w) const {
+  w.begin_section("CAGG", 1);
+  for (u64 c : counts) w.put_u64(c);
+  latency.save_state(w);
+  w.end_section();
+}
+
+void ClassAggregate::restore_state(StateReader& r) {
+  r.begin_section("CAGG", 1);
+  for (u64& c : counts) c = r.get_u64();
+  latency.restore_state(r);
+  r.end_section();
+}
+
 u64 injection_seed(u64 seed, std::string_view workload, u64 cycle, u8 reg, unsigned bit,
                    bool single_fault) {
   Fnv1a64 h;
@@ -157,6 +215,9 @@ EngineReport run_engine(const EngineConfig& raw_config) {
   SAFEDM_CHECK_MSG(!config.workloads.empty(), "campaign needs at least one workload");
   SAFEDM_CHECK_MSG(!config.registers.empty(), "campaign needs at least one valid register");
   SAFEDM_CHECK_MSG(!config.bits.empty(), "campaign needs at least one valid bit");
+  SAFEDM_CHECK_MSG(config.shard.count >= 1 && config.shard.index < config.shard.count,
+                   "shard index " << config.shard.index << " out of range for "
+                                  << config.shard.count << " shards");
 
   ThreadPool pool(config.threads);
   SAFEDM_INFO("faultsim: campaign over " << config.workloads.size() << " workloads, seed "
@@ -165,45 +226,26 @@ EngineReport run_engine(const EngineConfig& raw_config) {
   // Stage 1: reference runs + per-class cycle sampling, one plan per
   // workload. Plans are seed-derived, so the concurrent fan-out cannot
   // perturb them.
-  std::vector<WorkloadPlan> plans(config.workloads.size());
+  std::vector<detail::WorkloadPlan> plans(config.workloads.size());
   pool.parallel_for(plans.size(), [&](std::size_t i) {
-    plans[i] = build_plan(config.workloads[i], config);
+    plans[i] = detail::build_plan(config.workloads[i], config);
   });
 
-  // Stage 2: enumerate the full injection space into a flat site list.
-  std::vector<Site> sites;
-  for (unsigned w = 0; w < plans.size(); ++w) {
-    for (int cls = 0; cls < 2; ++cls) {
-      for (u64 cycle : plans[w].cycles[cls]) {
-        for (u8 reg : config.registers) {
-          for (unsigned bit : config.bits) {
-            sites.push_back({w, Injection{cycle, reg, bit}, cls == 1, false, 0});
-            if (config.single_fault) {
-              const u64 s = injection_seed(config.seed, config.workloads[w], cycle, reg, bit,
-                                           /*single_fault=*/true);
-              sites.push_back({w, Injection{cycle, reg, bit}, cls == 1, true,
-                               static_cast<unsigned>(s & 1)});
-            }
-          }
-        }
-      }
-    }
-  }
+  // Stage 2: enumerate the full injection space into a flat site list,
+  // then keep this shard's slice (everything, for the default 1-shard
+  // campaign). The filter preserves the canonical site order, so the
+  // aggregation below folds in the same order a shard log does.
+  std::vector<detail::Site> all_sites = detail::enumerate_sites(config, plans);
+  std::vector<detail::Site> sites;
+  sites.reserve(all_sites.size());
+  for (const detail::Site& site : all_sites)
+    if (detail::site_on_shard(config, site)) sites.push_back(site);
 
   // Stage 3: run every site; results land at their site index, so the
   // aggregation below is independent of completion order.
   std::vector<InjectionResult> results(sites.size());
   pool.parallel_for(sites.size(), [&](std::size_t i) {
-    const Site& site = sites[i];
-    const WorkloadPlan& plan = plans[site.workload];
-    const ReferenceTrace* fork =
-        config.engine == InjectionEngine::kCheckpoint ? &plan.trace : nullptr;
-    results[i] = site.single
-                     ? inject_single_fault_timed(plan.program, site.injection, site.target_core,
-                                                 plan.trace.golden_checksum, plan.budget, fork)
-                     : inject_identical_fault_timed(plan.program, site.injection,
-                                                    plan.trace.golden_checksum, plan.budget,
-                                                    fork);
+    results[i] = detail::run_site(sites[i], plans[sites[i].workload], config);
   });
 
   // Stage 4: serial aggregation in site order.

@@ -1,0 +1,62 @@
+// Campaign internals shared between the single-process engine
+// (campaign.cpp) and the sharded fleet layer (shard.cpp): per-workload
+// plan construction, the deterministic site-space enumeration, and the
+// per-site injection run. Not installed — the public surface is
+// campaign.hpp / shard.hpp.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "safedm/faultsim/campaign.hpp"
+
+namespace safedm::faultsim::detail {
+
+/// Per-workload plan: the reference trace plus the sampled injection
+/// cycles for each verdict class. Built deterministically (seeded only by
+/// the campaign seed and the workload name) before any injection runs.
+struct WorkloadPlan {
+  assembler::Program program{};
+  ReferenceTrace trace;
+  u64 budget = 0;
+  std::vector<u64> cycles[2];  // [0] diverse-class, [1] nodiv-class samples
+  u64 pool_size[2] = {0, 0};
+};
+
+/// One point of the enumerated injection space.
+struct Site {
+  unsigned workload = 0;
+  Injection injection{};
+  bool nodiv_class = false;
+  bool single = false;        // single-fault control model
+  unsigned target_core = 0;   // only for single == true
+};
+
+/// Derive the sampled cycles and pools from an already-recorded reference
+/// trace (the path a shard takes when the trace came out of the shared
+/// warmup cache instead of a fresh simulation).
+WorkloadPlan finish_plan(assembler::Program program, ReferenceTrace trace,
+                         const std::string& name, const EngineConfig& config);
+
+/// Full plan construction: build the workload, record the reference run
+/// (with checkpoints for the checkpoint engine), sample cycles.
+WorkloadPlan build_plan(const std::string& name, const EngineConfig& config);
+
+/// Enumerate the full injection space into a flat site list, in the
+/// canonical campaign order (workload-major, then class, cycle, register,
+/// bit, with the single-fault twin right after its identical-fault site).
+std::vector<Site> enumerate_sites(const EngineConfig& config,
+                                  const std::vector<WorkloadPlan>& plans);
+
+/// The per-site hash every deterministic decision derives from; shard
+/// assignment is `site_hash % shard_count`.
+u64 site_hash(const EngineConfig& config, const Site& site);
+
+/// True when `site` belongs to the shard named by `config.shard`.
+bool site_on_shard(const EngineConfig& config, const Site& site);
+
+/// Run one injection site against its workload plan.
+InjectionResult run_site(const Site& site, const WorkloadPlan& plan,
+                         const EngineConfig& config);
+
+}  // namespace safedm::faultsim::detail

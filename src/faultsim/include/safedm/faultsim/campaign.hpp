@@ -26,8 +26,10 @@
 #include "safedm/faultsim/faultsim.hpp"
 
 namespace safedm {
+class StateReader;
+class StateWriter;
 class ThreadPool;
-}
+}  // namespace safedm
 
 namespace safedm::faultsim {
 
@@ -35,6 +37,17 @@ namespace safedm::faultsim {
 enum class InjectionEngine : u8 {
   kReplay,      // simulate from cycle zero every time (historical engine)
   kCheckpoint,  // fork from the nearest reference-run checkpoint
+};
+
+/// Deterministic campaign partition (the fleet layer, ROADMAP item 3).
+/// Shard `index` of `count` owns exactly the sites whose per-site seed
+/// hash is ≡ index (mod count). The assignment depends only on the
+/// campaign seed and the site coordinates — never on thread count,
+/// engine, or enumeration batching — so the same site lands on the same
+/// shard on every machine, and the union over shards is the full space.
+struct ShardSpec {
+  u32 index = 0;  // 0-based
+  u32 count = 1;  // 1 = the whole campaign (no sharding)
 };
 
 struct EngineConfig {
@@ -52,6 +65,11 @@ struct EngineConfig {
   // into the JSON.
   InjectionEngine engine = InjectionEngine::kCheckpoint;
   u64 checkpoint_interval = 0;      // cycles between checkpoints; 0 = auto
+  // With count > 1, run_engine aggregates only this shard's slice of the
+  // site space (reference runs and pools stay campaign-global). The JSON
+  // then covers the slice; the canonical full report comes from merging
+  // all shard logs (see shard.hpp / tools/merge).
+  ShardSpec shard{};
 };
 
 /// Wilson score interval for a binomial proportion (default z: 95%).
@@ -71,6 +89,17 @@ struct ClassAggregate {
   double ccf_rate() const;
   Interval ccf_interval() const { return wilson_interval(count(Outcome::kCcf), total()); }
   void add(const InjectionResult& result);
+
+  /// Fold another aggregate (a shard partial) into this one. Outcome
+  /// counts add; the latency histogram folds with the saturating
+  /// `Histogram::merge`, so folding partials in any order or grouping
+  /// matches adding every injection to one aggregate byte-for-byte.
+  void merge(const ClassAggregate& other);
+
+  /// Shard-log serialization ("CAGG" section): outcome counts + latency
+  /// histogram, the per-class payload of a streamed partial record.
+  void save_state(StateWriter& w) const;
+  void restore_state(StateReader& r);
 };
 
 struct WorkloadReport {

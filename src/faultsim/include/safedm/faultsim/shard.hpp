@@ -1,0 +1,183 @@
+// Sharded campaign fleet: run one deterministic slice of a campaign per
+// process, stream durable partial aggregates to an append-only shard log,
+// and fold any complete set of shard logs back into the canonical report.
+//
+// Determinism contract (extends campaign.hpp): the merged report is
+// byte-identical to the single-process `run_engine` JSON for ANY shard
+// count, ANY per-shard thread count, and ANY merge order — because
+//   1. shard assignment is `site_hash % count`, a pure function of the
+//      campaign seed and the site coordinates;
+//   2. each shard folds its slice in canonical site order, so a shard
+//      partial equals the contiguous-run aggregate over that slice; and
+//   3. the merge folds partials in shard-index order with operations
+//      (integer adds, saturating histogram adds, max) that are
+//      associative and commutative, so regrouping by shard cannot change
+//      a single byte.
+//
+// Crash tolerance: the shard log is a sequence of length-prefixed records,
+// each flushed as a unit. A SIGKILL mid-write leaves at most one torn
+// record at the tail; `read_shard_log` drops it and `run_shard --resume`
+// truncates it and continues from the last durable partial (re-running at
+// most `flush_interval` sites, whose re-aggregation is idempotent because
+// the partial carries the full fold so far, not a delta).
+#pragma once
+
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "safedm/faultsim/campaign.hpp"
+
+namespace safedm::faultsim {
+
+/// Shard-log record format version (the section version of every record).
+inline constexpr u32 kShardLogVersion = 1;
+
+/// Upper bound on the fleet size; keeps `--shard i/N` typos from
+/// enumerating an absurd partition.
+inline constexpr u32 kMaxShards = 4096;
+
+/// A merge/shard-log problem the caller can print and exit on. The
+/// message is pre-formatted as `path:record: detail` (record numbers are
+/// 1-based; 0 means the file as a whole), mirroring the scenario DSL's
+/// one-line `file:line:` diagnostics.
+class MergeError : public std::runtime_error {
+ public:
+  explicit MergeError(const std::string& what) : std::runtime_error(what) {}
+  MergeError(const std::string& path, u64 record, const std::string& detail);
+};
+
+/// Per-workload reference metadata, captured once in the shard-log header
+/// so the merge can rebuild the `WorkloadReport` skeleton without
+/// re-running any reference simulation.
+struct WorkloadMeta {
+  std::string name;
+  u64 reference_cycles = 0;
+  u64 diverse_pool = 0;
+  u64 nodiv_pool = 0;
+
+  void save_state(StateWriter& w) const;  // "WMET"
+  void restore_state(StateReader& r);
+};
+
+/// Record 1 of every shard log ("SHHD"): the campaign identity this log
+/// belongs to. `fingerprint` covers everything that shapes the injection
+/// space and its outcomes (workloads, seed, scale, samples, targets,
+/// single-fault flag, monitor config) and deliberately excludes pure
+/// performance knobs (threads, engine, checkpoint interval, shard spec) —
+/// logs produced under different perf settings merge freely.
+struct ShardHeader {
+  u64 fingerprint = 0;
+  u32 shard_index = 0;
+  u32 shard_count = 1;
+  u64 shard_sites = 0;  // sites this shard owns
+  u64 total_sites = 0;  // full campaign site-space size
+  u64 seed = 0;
+  u32 scale = 1;
+  u32 samples_per_class = 0;
+  bool single_fault = true;
+  std::vector<u8> registers;
+  std::vector<u32> bits;
+  std::vector<WorkloadMeta> workloads;
+
+  void save_state(StateWriter& w) const;  // "SHHD"
+  void restore_state(StateReader& r);
+};
+
+/// Per-workload running aggregate inside a streamed partial.
+struct WorkloadPartial {
+  u64 injections = 0;
+  ClassAggregate identical[2];
+  ClassAggregate single;
+
+  void merge(const WorkloadPartial& other);
+  void save_state(StateWriter& w) const;  // "WPRT"
+  void restore_state(StateReader& r);
+};
+
+/// Records 2..n of a shard log ("SHPT"): the complete fold of the first
+/// `next_site` sites of the shard's slice (a cumulative snapshot, not a
+/// delta — so resume needs only the LAST durable partial, and a re-run
+/// of sites already covered by it cannot double-count).
+struct ShardPartial {
+  u64 next_site = 0;     // sites folded so far, in canonical slice order
+  bool complete = false; // next_site == shard_sites: the shard is done
+  std::vector<WorkloadPartial> workloads;
+
+  void save_state(StateWriter& w) const;  // "SHPT"
+  void restore_state(StateReader& r);
+};
+
+/// Everything durable in one shard log.
+struct ShardLogContents {
+  ShardHeader header;
+  std::optional<ShardPartial> last;  // last durable partial, if any
+  u64 records = 0;                   // durable records, header included
+  u64 durable_bytes = 0;             // log size excluding any torn tail
+  bool torn_tail = false;            // trailing partially-written record
+};
+
+/// Identity hash of the campaign a config describes (see ShardHeader).
+/// Call with the config already passed through `sanitize_targets`.
+u64 campaign_fingerprint(const EngineConfig& config);
+
+/// Parse a shard log, tolerating a torn tail record. Throws MergeError on
+/// anything else (bad magic, unsupported record version, corruption that
+/// cannot be explained by a mid-write kill).
+ShardLogContents read_shard_log(const std::string& path);
+
+struct ShardRunConfig {
+  EngineConfig engine;        // with engine.shard naming this shard
+  std::string log_path;       // append-only shard log
+  bool resume = false;        // continue from the log's last durable partial
+  u64 flush_interval = 16;    // sites folded per durable partial record
+  std::string ref_cache_dir;  // shared reference-trace cache; "" = off
+  u64 max_sites = 0;          // stop after this many sites (0 = run to
+                              // completion); a test hook for mid-campaign
+                              // interruption without process games
+};
+
+struct ShardRunResult {
+  u64 shard_sites = 0;  // sites this shard owns
+  u64 resumed_at = 0;   // slice cursor restored from the log (0 if fresh)
+  u64 executed = 0;     // sites actually run by this invocation
+  bool complete = true; // the log now ends in a complete partial
+};
+
+/// Run (or resume) one shard, streaming partials to `log_path`. Usage
+/// errors — bad shard spec, resume against a log from a different
+/// campaign — throw CheckError; a malformed log throws MergeError.
+ShardRunResult run_shard(const ShardRunConfig& config);
+
+/// Fold a complete set of shard logs into the canonical report;
+/// `write_report_json` on the result is byte-identical to the
+/// single-process campaign. Throws MergeError when the set is not a
+/// complete, consistent fleet (missing/duplicate/unfinished shard,
+/// fingerprint mismatch, or — when `manifest_path` is given — any
+/// disagreement with the manifest).
+EngineReport merge_shard_logs(const std::vector<std::string>& log_paths,
+                              const std::string& manifest_path = "");
+
+/// Fleet manifest ("SHMF"): the expected shape of a complete fleet, so an
+/// operator can validate a pile of logs without knowing the campaign
+/// config that produced them.
+struct ShardManifest {
+  u64 fingerprint = 0;
+  u32 shard_count = 1;
+  u64 total_sites = 0;
+  std::vector<u64> shard_sites;  // per shard index
+
+  void save_state(StateWriter& w) const;  // "SHMF"
+  void restore_state(StateReader& r);
+};
+
+/// Enumerate the site space for `config` (running or cache-loading the
+/// reference traces) and count each shard's slice under `shard_count`.
+ShardManifest build_manifest(const EngineConfig& config, u32 shard_count,
+                             const std::string& ref_cache_dir = "");
+
+void write_manifest_file(const std::string& path, const ShardManifest& manifest);
+ShardManifest read_manifest_file(const std::string& path);
+
+}  // namespace safedm::faultsim

@@ -1,0 +1,770 @@
+#include "safedm/faultsim/shard.hpp"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+#include <utility>
+
+#include "campaign_internal.hpp"
+#include "safedm/common/check.hpp"
+#include "safedm/common/hash.hpp"
+#include "safedm/common/log.hpp"
+#include "safedm/common/mmap_file.hpp"
+#include "safedm/common/state.hpp"
+#include "safedm/common/thread_pool.hpp"
+#include "safedm/workloads/workloads.hpp"
+
+namespace safedm::faultsim {
+namespace {
+
+constexpr u8 kStreamMagic[8] = {'S', 'A', 'F', 'E', 'D', 'M', 'S', 1};
+
+u32 read_le32(const u8* p) {
+  return static_cast<u32>(p[0]) | static_cast<u32>(p[1]) << 8 | static_cast<u32>(p[2]) << 16 |
+         static_cast<u32>(p[3]) << 24;
+}
+
+std::string shard_name(u32 index, u32 count) {
+  return std::to_string(index) + "/" + std::to_string(count);
+}
+
+// ---------------------------------------------------------------------------
+// Shard-log record framing: u32 LE payload length + one complete
+// StateWriter stream. Each record is appended with one buffered write and
+// an fflush, so a SIGKILL leaves at most a *prefix* of the final record on
+// disk — a fully framed record is always intact, and any parse failure
+// inside one is real corruption, never a torn write.
+// ---------------------------------------------------------------------------
+
+void append_record(std::FILE* f, const std::string& path, const std::vector<u8>& payload) {
+  SAFEDM_CHECK_MSG(payload.size() <= 0xffff'ffffull, "shard log record too large");
+  const u32 len = static_cast<u32>(payload.size());
+  const u8 frame[4] = {static_cast<u8>(len), static_cast<u8>(len >> 8),
+                       static_cast<u8>(len >> 16), static_cast<u8>(len >> 24)};
+  const bool ok = std::fwrite(frame, 1, sizeof frame, f) == sizeof frame &&
+                  std::fwrite(payload.data(), 1, payload.size(), f) == payload.size() &&
+                  std::fflush(f) == 0;
+  SAFEDM_CHECK_MSG(ok, "shard log write failed: " << path);
+}
+
+void append_partial(std::FILE* f, const std::string& path, const ShardPartial& partial) {
+  StateWriter w;
+  partial.save_state(w);
+  append_record(f, path, w.take());
+}
+
+// ---------------------------------------------------------------------------
+// Reference-trace warmup cache: one file per (workload, scale, monitor,
+// engine) holding the recorded reference run — verdict bitmap, golden
+// checksum, and the checkpoint train. Shards map it read-only and
+// deserialize out of the page cache instead of re-simulating; the writer
+// publishes atomically via rename so concurrent shards either see a whole
+// snapshot or none.
+// ---------------------------------------------------------------------------
+
+u64 reference_cache_key(const std::string& workload, const EngineConfig& config) {
+  Fnv1a64 h;
+  h.add(workload.size());
+  for (char ch : workload) h.add(static_cast<u8>(ch));
+  h.add(config.scale);
+  const monitor::SafeDmConfig& dm = config.dm;
+  h.add(dm.num_replicas);
+  h.add(static_cast<u64>(dm.policy));
+  h.add(dm.quorum_k);
+  h.add(dm.data_fifo_depth);
+  h.add(dm.num_ports);
+  h.add(static_cast<u64>(dm.is_mode));
+  h.add(static_cast<u64>(dm.compare));
+  h.add(static_cast<u64>(dm.report));
+  h.add(dm.interrupt_threshold);
+  h.add_bit(dm.start_enabled);
+  h.add_bit(dm.arm_on_first_commit);
+  h.add(dm.history_bins.size());
+  for (u64 b : dm.history_bins) h.add(b);
+  h.add_bit(dm.track_distance);
+  h.add_bit(dm.incremental_compare);
+  // The engine and its interval shape the cached checkpoint train (the
+  // replay engine records none), so they are part of the cache identity
+  // even though reports are byte-identical across them.
+  h.add(static_cast<u64>(config.engine));
+  h.add(config.checkpoint_interval);
+  return h.value();
+}
+
+std::string reference_cache_path(const std::string& dir, const std::string& workload,
+                                 const EngineConfig& config) {
+  char hex[17];
+  std::snprintf(hex, sizeof hex, "%016llx",
+                static_cast<unsigned long long>(reference_cache_key(workload, config)));
+  return dir + "/ref-" + hex + ".state";
+}
+
+void save_trace(StateWriter& w, const ReferenceTrace& trace) {
+  w.begin_section("FREF", 1);
+  w.put_u64(trace.golden_checksum);
+  w.put_u64(trace.cycles);
+  w.put_u64(trace.checkpoint_interval);
+  w.put_u64(trace.nodiv.size());
+  u64 word = 0;
+  unsigned filled = 0;
+  for (bool b : trace.nodiv) {
+    if (b) word |= u64{1} << filled;
+    if (++filled == 64) {
+      w.put_u64(word);
+      word = 0;
+      filled = 0;
+    }
+  }
+  if (filled != 0) w.put_u64(word);
+  w.put_u64(trace.checkpoints.size());
+  for (const Checkpoint& c : trace.checkpoints) {
+    w.put_u64(c.cycle);
+    w.put_u64(c.state.size());
+    w.put_bytes(c.state.data(), c.state.size());
+  }
+  w.end_section();
+}
+
+ReferenceTrace load_trace(StateReader& r) {
+  ReferenceTrace trace;
+  r.begin_section("FREF", 1);
+  trace.golden_checksum = r.get_u64();
+  trace.cycles = r.get_u64();
+  trace.checkpoint_interval = r.get_u64();
+  const u64 nodiv_size = r.get_u64();
+  trace.nodiv.reserve(nodiv_size);
+  u64 word = 0;
+  for (u64 i = 0; i < nodiv_size; ++i) {
+    if (i % 64 == 0) word = r.get_u64();
+    trace.nodiv.push_back((word >> (i % 64)) & 1);
+  }
+  const u64 n_checkpoints = r.get_u64();
+  for (u64 i = 0; i < n_checkpoints; ++i) {
+    Checkpoint c;
+    c.cycle = r.get_u64();
+    c.state.resize(r.get_u64());
+    r.get_bytes(c.state.data(), c.state.size());
+    trace.checkpoints.push_back(std::move(c));
+  }
+  r.end_section();
+  return trace;
+}
+
+void publish_trace(const std::string& path, const ReferenceTrace& trace) {
+  StateWriter w;
+  save_trace(w, trace);
+  const std::string tmp = path + ".tmp." + std::to_string(::getpid());
+  try {
+    write_state_file(tmp, w.bytes());
+  } catch (const StateError& e) {
+    SAFEDM_WARN("faultsim: reference cache write failed: " << e.what());
+    return;
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    SAFEDM_WARN("faultsim: reference cache publish failed for " << path);
+    std::remove(tmp.c_str());
+  }
+}
+
+detail::WorkloadPlan build_plan_cached(const std::string& name, const EngineConfig& config,
+                                       const std::string& cache_dir) {
+  if (cache_dir.empty()) return detail::build_plan(name, config);
+  const std::string path = reference_cache_path(cache_dir, name, config);
+  assembler::Program program = workloads::build(name, config.scale);
+  try {
+    const MappedFile file = MappedFile::open(path);
+    StateReader r(file.bytes());
+    ReferenceTrace trace = load_trace(r);
+    // The cache key covers every monitor field, so the recorded trace was
+    // taken under exactly this config; only the in-memory back-pointer
+    // needs re-establishing.
+    trace.dm_config = config.dm;
+    return detail::finish_plan(std::move(program), std::move(trace), name, config);
+  } catch (const StateError&) {
+    // Miss (or a corrupt/obsolete entry): simulate and publish.
+  }
+  detail::WorkloadPlan plan = detail::build_plan(name, config);
+  publish_trace(path, plan.trace);
+  return plan;
+}
+
+std::vector<detail::WorkloadPlan> prepare_plans(const EngineConfig& config, ThreadPool& pool,
+                                                const std::string& cache_dir) {
+  std::vector<detail::WorkloadPlan> plans(config.workloads.size());
+  pool.parallel_for(plans.size(), [&](std::size_t i) {
+    plans[i] = build_plan_cached(config.workloads[i], config, cache_dir);
+  });
+  return plans;
+}
+
+void sanitize_and_check(EngineConfig& config) {
+  sanitize_targets(config.registers, config.bits);
+  SAFEDM_CHECK_MSG(!config.workloads.empty(), "campaign needs at least one workload");
+  SAFEDM_CHECK_MSG(!config.registers.empty(), "campaign needs at least one valid register");
+  SAFEDM_CHECK_MSG(!config.bits.empty(), "campaign needs at least one valid bit");
+  SAFEDM_CHECK_MSG(config.shard.count >= 1 && config.shard.count <= kMaxShards &&
+                       config.shard.index < config.shard.count,
+                   "invalid shard spec " << config.shard.index << "/" << config.shard.count);
+}
+
+ShardHeader make_header(const EngineConfig& config, u64 fingerprint,
+                        const std::vector<detail::WorkloadPlan>& plans, u64 shard_sites,
+                        u64 total_sites) {
+  ShardHeader h;
+  h.fingerprint = fingerprint;
+  h.shard_index = config.shard.index;
+  h.shard_count = config.shard.count;
+  h.shard_sites = shard_sites;
+  h.total_sites = total_sites;
+  h.seed = config.seed;
+  h.scale = config.scale;
+  h.samples_per_class = config.samples_per_class;
+  h.single_fault = config.single_fault;
+  h.registers = config.registers;
+  h.bits.assign(config.bits.begin(), config.bits.end());
+  for (std::size_t w = 0; w < plans.size(); ++w) {
+    WorkloadMeta meta;
+    meta.name = config.workloads[w];
+    meta.reference_cycles = plans[w].trace.cycles;
+    meta.diverse_pool = plans[w].pool_size[0];
+    meta.nodiv_pool = plans[w].pool_size[1];
+    h.workloads.push_back(std::move(meta));
+  }
+  return h;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Serialization
+// ---------------------------------------------------------------------------
+
+MergeError::MergeError(const std::string& path, u64 record, const std::string& detail)
+    : std::runtime_error(record != 0 ? path + ":" + std::to_string(record) + ": " + detail
+                                     : path + ": " + detail) {}
+
+void WorkloadMeta::save_state(StateWriter& w) const {
+  w.begin_section("WMET", 1);
+  w.put_string(name);
+  w.put_u64(reference_cycles);
+  w.put_u64(diverse_pool);
+  w.put_u64(nodiv_pool);
+  w.end_section();
+}
+
+void WorkloadMeta::restore_state(StateReader& r) {
+  r.begin_section("WMET", 1);
+  name = r.get_string();
+  reference_cycles = r.get_u64();
+  diverse_pool = r.get_u64();
+  nodiv_pool = r.get_u64();
+  r.end_section();
+}
+
+void ShardHeader::save_state(StateWriter& w) const {
+  w.begin_section("SHHD", kShardLogVersion);
+  w.put_u64(fingerprint);
+  w.put_u32(shard_index);
+  w.put_u32(shard_count);
+  w.put_u64(shard_sites);
+  w.put_u64(total_sites);
+  w.put_u64(seed);
+  w.put_u32(scale);
+  w.put_u32(samples_per_class);
+  w.put_bool(single_fault);
+  w.put_u64(registers.size());
+  for (u8 reg : registers) w.put_u8(reg);
+  w.put_u64(bits.size());
+  for (u32 bit : bits) w.put_u32(bit);
+  w.put_u64(workloads.size());
+  for (const WorkloadMeta& m : workloads) m.save_state(w);
+  w.end_section();
+}
+
+void ShardHeader::restore_state(StateReader& r) {
+  r.begin_section("SHHD", kShardLogVersion);
+  fingerprint = r.get_u64();
+  shard_index = r.get_u32();
+  shard_count = r.get_u32();
+  shard_sites = r.get_u64();
+  total_sites = r.get_u64();
+  seed = r.get_u64();
+  scale = r.get_u32();
+  samples_per_class = r.get_u32();
+  single_fault = r.get_bool();
+  registers.clear();
+  const u64 n_regs = r.get_u64();
+  for (u64 i = 0; i < n_regs; ++i) registers.push_back(r.get_u8());
+  bits.clear();
+  const u64 n_bits = r.get_u64();
+  for (u64 i = 0; i < n_bits; ++i) bits.push_back(r.get_u32());
+  workloads.clear();
+  const u64 n_workloads = r.get_u64();
+  for (u64 i = 0; i < n_workloads; ++i) {
+    WorkloadMeta m;
+    m.restore_state(r);
+    workloads.push_back(std::move(m));
+  }
+  r.end_section();
+}
+
+void WorkloadPartial::merge(const WorkloadPartial& other) {
+  injections += other.injections;
+  identical[0].merge(other.identical[0]);
+  identical[1].merge(other.identical[1]);
+  single.merge(other.single);
+}
+
+void WorkloadPartial::save_state(StateWriter& w) const {
+  w.begin_section("WPRT", 1);
+  w.put_u64(injections);
+  identical[0].save_state(w);
+  identical[1].save_state(w);
+  single.save_state(w);
+  w.end_section();
+}
+
+void WorkloadPartial::restore_state(StateReader& r) {
+  r.begin_section("WPRT", 1);
+  injections = r.get_u64();
+  identical[0].restore_state(r);
+  identical[1].restore_state(r);
+  single.restore_state(r);
+  r.end_section();
+}
+
+void ShardPartial::save_state(StateWriter& w) const {
+  w.begin_section("SHPT", kShardLogVersion);
+  w.put_u64(next_site);
+  w.put_bool(complete);
+  w.put_u64(workloads.size());
+  for (const WorkloadPartial& p : workloads) p.save_state(w);
+  w.end_section();
+}
+
+void ShardPartial::restore_state(StateReader& r) {
+  r.begin_section("SHPT", kShardLogVersion);
+  next_site = r.get_u64();
+  complete = r.get_bool();
+  workloads.clear();
+  const u64 n = r.get_u64();
+  for (u64 i = 0; i < n; ++i) {
+    WorkloadPartial p;
+    p.restore_state(r);
+    workloads.push_back(std::move(p));
+  }
+  r.end_section();
+}
+
+void ShardManifest::save_state(StateWriter& w) const {
+  w.begin_section("SHMF", 1);
+  w.put_u64(fingerprint);
+  w.put_u32(shard_count);
+  w.put_u64(total_sites);
+  w.put_u64(shard_sites.size());
+  for (u64 s : shard_sites) w.put_u64(s);
+  w.end_section();
+}
+
+void ShardManifest::restore_state(StateReader& r) {
+  r.begin_section("SHMF", 1);
+  fingerprint = r.get_u64();
+  shard_count = r.get_u32();
+  total_sites = r.get_u64();
+  shard_sites.clear();
+  const u64 n = r.get_u64();
+  for (u64 i = 0; i < n; ++i) shard_sites.push_back(r.get_u64());
+  r.end_section();
+}
+
+// ---------------------------------------------------------------------------
+// Fingerprint + log reading
+// ---------------------------------------------------------------------------
+
+u64 campaign_fingerprint(const EngineConfig& config) {
+  Fnv1a64 h;
+  h.add(config.workloads.size());
+  for (const std::string& name : config.workloads) {
+    h.add(name.size());
+    for (char ch : name) h.add(static_cast<u8>(ch));
+  }
+  h.add(config.seed);
+  h.add(config.scale);
+  h.add(config.samples_per_class);
+  h.add(config.registers.size());
+  for (u8 reg : config.registers) h.add(reg);
+  h.add(config.bits.size());
+  for (unsigned bit : config.bits) h.add(bit);
+  h.add_bit(config.single_fault);
+  const monitor::SafeDmConfig& dm = config.dm;
+  h.add(dm.num_replicas);
+  h.add(static_cast<u64>(dm.policy));
+  h.add(dm.quorum_k);
+  h.add(dm.data_fifo_depth);
+  h.add(dm.num_ports);
+  h.add(static_cast<u64>(dm.is_mode));
+  h.add(static_cast<u64>(dm.compare));
+  h.add(static_cast<u64>(dm.report));
+  h.add(dm.interrupt_threshold);
+  h.add_bit(dm.start_enabled);
+  h.add_bit(dm.arm_on_first_commit);
+  h.add(dm.history_bins.size());
+  for (u64 b : dm.history_bins) h.add(b);
+  h.add_bit(dm.track_distance);
+  // threads / engine / checkpoint_interval / shard / incremental_compare
+  // are pure performance knobs (reports are byte-identical across them),
+  // so they stay out of the campaign identity.
+  return h.value();
+}
+
+ShardLogContents read_shard_log(const std::string& path) {
+  MappedFile file;
+  try {
+    file = MappedFile::open(path);
+  } catch (const StateError& e) {
+    throw MergeError(path, 0, e.what());
+  }
+  const std::span<const u8> bytes = file.bytes();
+  ShardLogContents out;
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    if (bytes.size() - off < 4) {
+      out.torn_tail = true;
+      break;
+    }
+    const u32 len = read_le32(bytes.data() + off);
+    if (bytes.size() - off - 4 < len) {
+      out.torn_tail = true;
+      break;
+    }
+    const std::span<const u8> payload = bytes.subspan(off + 4, len);
+    const u64 record = out.records + 1;
+    if (len < 24) throw MergeError(path, record, "record too short for a state stream");
+    if (std::memcmp(payload.data(), kStreamMagic, sizeof kStreamMagic) != 0)
+      throw MergeError(path, record, "bad record magic (not a shard log?)");
+    const char tag[5] = {static_cast<char>(payload[8]), static_cast<char>(payload[9]),
+                         static_cast<char>(payload[10]), static_cast<char>(payload[11]), 0};
+    const u32 version = read_le32(payload.data() + 12);
+    const char* want = record == 1 ? "SHHD" : "SHPT";
+    if (std::strcmp(tag, want) != 0)
+      throw MergeError(path, record,
+                       std::string("unexpected record tag `") + tag + "` (want " + want + ")");
+    if (version != kShardLogVersion)
+      throw MergeError(path, record,
+                       "unsupported shard log version " + std::to_string(version) +
+                           " (this tool reads version " + std::to_string(kShardLogVersion) + ")");
+    try {
+      StateReader r(payload);
+      if (record == 1) {
+        out.header.restore_state(r);
+      } else {
+        ShardPartial partial;
+        partial.restore_state(r);
+        out.last = std::move(partial);
+      }
+    } catch (const StateError& e) {
+      // A fully framed record was flushed as a unit, so this cannot be a
+      // torn write — report it as corruption.
+      throw MergeError(path, record, e.what());
+    }
+    off += 4 + len;
+    out.records = record;
+    out.durable_bytes = off;
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Shard execution
+// ---------------------------------------------------------------------------
+
+ShardRunResult run_shard(const ShardRunConfig& rc) {
+  EngineConfig config = rc.engine;
+  sanitize_and_check(config);
+  SAFEDM_CHECK_MSG(!rc.log_path.empty(), "shard run needs a log path");
+  const u64 fingerprint = campaign_fingerprint(config);
+  ThreadPool pool(config.threads);
+  SAFEDM_INFO("faultsim: shard " << shard_name(config.shard.index, config.shard.count)
+                                 << " of campaign " << std::hex << fingerprint << std::dec
+                                 << ", log " << rc.log_path);
+
+  const std::vector<detail::WorkloadPlan> plans = prepare_plans(config, pool, rc.ref_cache_dir);
+  const std::vector<detail::Site> all_sites = detail::enumerate_sites(config, plans);
+  std::vector<detail::Site> slice;
+  for (const detail::Site& site : all_sites)
+    if (detail::site_on_shard(config, site)) slice.push_back(site);
+
+  ShardRunResult result;
+  result.shard_sites = slice.size();
+
+  u64 cursor = 0;
+  std::vector<WorkloadPartial> agg(config.workloads.size());
+  bool fresh = true;
+  // --resume doubles as "start if nothing is there yet", so a first launch
+  // and a relaunch can share one command line; only an *existing* log is
+  // parsed (and real corruption in it propagates as MergeError rather
+  // than silently restarting the shard from zero).
+  if (rc.resume && ::access(rc.log_path.c_str(), F_OK) == 0) {
+    const ShardLogContents log = read_shard_log(rc.log_path);
+    if (log.records > 0) {
+      fresh = false;
+      SAFEDM_CHECK_MSG(log.header.fingerprint == fingerprint,
+                       "resume: " << rc.log_path << " is from a different campaign "
+                                  << "(fingerprint mismatch)");
+      SAFEDM_CHECK_MSG(log.header.shard_index == config.shard.index &&
+                           log.header.shard_count == config.shard.count,
+                       "resume: " << rc.log_path << " belongs to shard "
+                                  << shard_name(log.header.shard_index, log.header.shard_count)
+                                  << ", not "
+                                  << shard_name(config.shard.index, config.shard.count));
+      SAFEDM_CHECK_MSG(log.header.shard_sites == result.shard_sites &&
+                           log.header.total_sites == all_sites.size(),
+                       "resume: " << rc.log_path << " disagrees on the site space");
+      if (log.last) {
+        SAFEDM_CHECK_MSG(log.last->workloads.size() == agg.size(),
+                         "resume: " << rc.log_path << " has a mismatched workload count");
+        cursor = log.last->next_site;
+        agg = log.last->workloads;
+        if (log.last->complete) {
+          result.resumed_at = cursor;
+          SAFEDM_INFO("faultsim: shard already complete, nothing to do");
+          return result;
+        }
+      }
+      result.resumed_at = cursor;
+      if (log.torn_tail) {
+        SAFEDM_CHECK_MSG(
+            ::truncate(rc.log_path.c_str(), static_cast<off_t>(log.durable_bytes)) == 0,
+            "cannot truncate torn tail of " << rc.log_path);
+        SAFEDM_INFO("faultsim: dropped torn tail record (log truncated to "
+                    << log.durable_bytes << " bytes)");
+      }
+    }
+  }
+
+  std::FILE* f = std::fopen(rc.log_path.c_str(), fresh ? "wb" : "ab");
+  SAFEDM_CHECK_MSG(f != nullptr, "cannot open shard log " << rc.log_path);
+  if (fresh) {
+    StateWriter w;
+    make_header(config, fingerprint, plans, result.shard_sites, all_sites.size()).save_state(w);
+    append_record(f, rc.log_path, w.take());
+  }
+
+  const u64 flush_interval = std::max<u64>(1, rc.flush_interval);
+  u64 limit = slice.size();
+  if (rc.max_sites != 0 && cursor + rc.max_sites < limit) limit = cursor + rc.max_sites;
+
+  while (cursor < limit) {
+    const u64 wave = std::min(flush_interval, limit - cursor);
+    std::vector<InjectionResult> results(wave);
+    pool.parallel_for(wave, [&](std::size_t i) {
+      const detail::Site& site = slice[cursor + i];
+      results[i] = detail::run_site(site, plans[site.workload], config);
+    });
+    // Fold in slice order: the cumulative aggregate after site k is the
+    // same whether the run was interrupted at any earlier flush or not.
+    for (u64 i = 0; i < wave; ++i) {
+      const detail::Site& site = slice[cursor + i];
+      WorkloadPartial& wp = agg[site.workload];
+      if (site.single)
+        wp.single.add(results[i]);
+      else
+        wp.identical[site.nodiv_class ? 1 : 0].add(results[i]);
+      ++wp.injections;
+    }
+    cursor += wave;
+    result.executed += wave;
+    append_partial(f, rc.log_path, {cursor, cursor == slice.size(), agg});
+  }
+  if (cursor == slice.size() && result.executed == 0) {
+    // Nothing ran (an empty slice, or a resume that landed exactly on the
+    // end without a durable completion mark): still seal the log.
+    append_partial(f, rc.log_path, {cursor, true, agg});
+  }
+  std::fclose(f);
+
+  result.complete = cursor == slice.size();
+  SAFEDM_INFO("faultsim: shard " << shard_name(config.shard.index, config.shard.count) << ": "
+                                 << cursor << "/" << slice.size() << " sites durable ("
+                                 << result.executed << " run now)"
+                                 << (result.complete ? ", complete" : ""));
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Merge
+// ---------------------------------------------------------------------------
+
+EngineReport merge_shard_logs(const std::vector<std::string>& log_paths,
+                              const std::string& manifest_path) {
+  if (log_paths.empty()) throw MergeError("no shard logs to merge");
+  std::vector<ShardLogContents> logs;
+  for (const std::string& path : log_paths) {
+    ShardLogContents log = read_shard_log(path);
+    if (log.records == 0)
+      throw MergeError(path, 0, "no durable records (empty or fully torn log)");
+    const ShardHeader& h = log.header;
+    if (!log.last || !log.last->complete || log.last->next_site != h.shard_sites) {
+      const u64 done = log.last ? log.last->next_site : 0;
+      throw MergeError(path, 0,
+                       "shard " + shard_name(h.shard_index, h.shard_count) + " incomplete (" +
+                           std::to_string(done) + "/" + std::to_string(h.shard_sites) +
+                           " sites durable); resume it before merging");
+    }
+    if (log.last->workloads.size() != h.workloads.size())
+      throw MergeError(path, log.records, "partial/header workload count mismatch");
+    logs.push_back(std::move(log));
+  }
+
+  const ShardHeader& first = logs.front().header;
+  const u32 shard_count = first.shard_count;
+  std::vector<std::size_t> owner(shard_count, logs.size());  // shard index -> log position
+  for (std::size_t i = 0; i < logs.size(); ++i) {
+    const ShardHeader& h = logs[i].header;
+    if (h.fingerprint != first.fingerprint)
+      throw MergeError(log_paths[i], 0,
+                       "campaign fingerprint mismatch vs " + log_paths.front());
+    if (h.shard_count != shard_count)
+      throw MergeError(log_paths[i], 0,
+                       "fleet size mismatch: " + std::to_string(h.shard_count) + " shards vs " +
+                           std::to_string(shard_count) + " in " + log_paths.front());
+    if (h.total_sites != first.total_sites)
+      throw MergeError(log_paths[i], 0, "total site count mismatch vs " + log_paths.front());
+    if (h.shard_index >= shard_count)
+      throw MergeError(log_paths[i], 0,
+                       "shard index " + std::to_string(h.shard_index) + " out of range for " +
+                           std::to_string(shard_count) + " shards");
+    if (owner[h.shard_index] != logs.size())
+      throw MergeError(log_paths[i], 0,
+                       "duplicate shard " + shard_name(h.shard_index, shard_count) +
+                           " (also in " + log_paths[owner[h.shard_index]] + ")");
+    owner[h.shard_index] = i;
+  }
+  for (u32 s = 0; s < shard_count; ++s) {
+    if (owner[s] == logs.size())
+      throw MergeError("missing shard " + shard_name(s, shard_count) + ": got " +
+                       std::to_string(logs.size()) + " of " + std::to_string(shard_count) +
+                       " logs");
+  }
+  u64 site_sum = 0;
+  for (const ShardLogContents& log : logs) site_sum += log.header.shard_sites;
+  if (site_sum != first.total_sites)
+    throw MergeError("fleet covers " + std::to_string(site_sum) + " sites, campaign has " +
+                     std::to_string(first.total_sites));
+  for (std::size_t i = 1; i < logs.size(); ++i) {
+    const std::vector<WorkloadMeta>& a = first.workloads;
+    const std::vector<WorkloadMeta>& b = logs[i].header.workloads;
+    bool equal = a.size() == b.size();
+    for (std::size_t w = 0; equal && w < a.size(); ++w) {
+      equal = a[w].name == b[w].name && a[w].reference_cycles == b[w].reference_cycles &&
+              a[w].diverse_pool == b[w].diverse_pool && a[w].nodiv_pool == b[w].nodiv_pool;
+    }
+    if (!equal)
+      throw MergeError(log_paths[i], 0, "workload metadata mismatch vs " + log_paths.front());
+  }
+
+  if (!manifest_path.empty()) {
+    ShardManifest manifest;
+    try {
+      const MappedFile file = MappedFile::open(manifest_path);
+      StateReader r(file.bytes());
+      manifest.restore_state(r);
+    } catch (const StateError& e) {
+      throw MergeError(manifest_path, 0, e.what());
+    }
+    if (manifest.fingerprint != first.fingerprint)
+      throw MergeError(manifest_path, 0, "manifest is for a different campaign");
+    if (manifest.shard_count != shard_count || manifest.shard_sites.size() != shard_count)
+      throw MergeError(manifest_path, 0,
+                       "manifest expects " + std::to_string(manifest.shard_count) +
+                           " shards, logs form " + std::to_string(shard_count));
+    if (manifest.total_sites != first.total_sites)
+      throw MergeError(manifest_path, 0, "manifest total site count mismatch");
+    for (const ShardLogContents& log : logs) {
+      const ShardHeader& h = log.header;
+      if (manifest.shard_sites[h.shard_index] != h.shard_sites)
+        throw MergeError(manifest_path, 0,
+                         "manifest expects " +
+                             std::to_string(manifest.shard_sites[h.shard_index]) +
+                             " sites on shard " + shard_name(h.shard_index, shard_count) +
+                             ", log has " + std::to_string(h.shard_sites));
+    }
+  }
+
+  EngineReport report;
+  report.config.workloads.clear();
+  for (const WorkloadMeta& m : first.workloads) report.config.workloads.push_back(m.name);
+  report.config.scale = first.scale;
+  report.config.samples_per_class = first.samples_per_class;
+  report.config.registers = first.registers;
+  report.config.bits.assign(first.bits.begin(), first.bits.end());
+  report.config.seed = first.seed;
+  report.config.single_fault = first.single_fault;
+
+  report.workloads.resize(first.workloads.size());
+  for (std::size_t w = 0; w < first.workloads.size(); ++w) {
+    WorkloadReport& wr = report.workloads[w];
+    wr.name = first.workloads[w].name;
+    wr.reference_cycles = first.workloads[w].reference_cycles;
+    wr.diverse_pool = first.workloads[w].diverse_pool;
+    wr.nodiv_pool = first.workloads[w].nodiv_pool;
+  }
+  // Fold in shard-index order. The per-class operations are associative
+  // and commutative, so this matches the single-process site-order fold
+  // byte-for-byte no matter how sites interleaved across shards — and the
+  // caller may pass the logs in any order.
+  for (u32 s = 0; s < shard_count; ++s) {
+    const ShardPartial& partial = *logs[owner[s]].last;
+    for (std::size_t w = 0; w < report.workloads.size(); ++w) {
+      WorkloadReport& wr = report.workloads[w];
+      const WorkloadPartial& wp = partial.workloads[w];
+      wr.identical[0].merge(wp.identical[0]);
+      wr.identical[1].merge(wp.identical[1]);
+      wr.single.merge(wp.single);
+      wr.injections += wp.injections;
+      report.injections += wp.injections;
+    }
+  }
+  return report;
+}
+
+// ---------------------------------------------------------------------------
+// Manifest
+// ---------------------------------------------------------------------------
+
+ShardManifest build_manifest(const EngineConfig& raw_config, u32 shard_count,
+                             const std::string& ref_cache_dir) {
+  EngineConfig config = raw_config;
+  config.shard = ShardSpec{0, shard_count};
+  sanitize_and_check(config);
+  ThreadPool pool(config.threads);
+  const std::vector<detail::WorkloadPlan> plans = prepare_plans(config, pool, ref_cache_dir);
+  const std::vector<detail::Site> all_sites = detail::enumerate_sites(config, plans);
+  ShardManifest manifest;
+  manifest.fingerprint = campaign_fingerprint(config);
+  manifest.shard_count = shard_count;
+  manifest.total_sites = all_sites.size();
+  manifest.shard_sites.assign(shard_count, 0);
+  for (const detail::Site& site : all_sites)
+    ++manifest.shard_sites[detail::site_hash(config, site) % shard_count];
+  return manifest;
+}
+
+void write_manifest_file(const std::string& path, const ShardManifest& manifest) {
+  StateWriter w;
+  manifest.save_state(w);
+  write_state_file(path, w.bytes());
+}
+
+ShardManifest read_manifest_file(const std::string& path) {
+  const MappedFile file = MappedFile::open(path);
+  StateReader r(file.bytes());
+  ShardManifest manifest;
+  manifest.restore_state(r);
+  return manifest;
+}
+
+}  // namespace safedm::faultsim

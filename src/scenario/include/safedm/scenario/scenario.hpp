@@ -129,6 +129,7 @@ struct FaultSection {
   u64 seed = 1;
   bool single_fault = true;               // also run the single-fault control
   faultsim::InjectionEngine engine = faultsim::InjectionEngine::kCheckpoint;
+  faultsim::ShardSpec shard{};            // "shard": {"index": i, "count": n}
 };
 
 /// `"fuzz"` — replay one inline `safedm-fuzz/v1` program through the full

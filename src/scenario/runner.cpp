@@ -218,6 +218,7 @@ ScenarioResult run_scenario(const Scenario& scenario) {
     config.seed = faults.seed;
     config.single_fault = faults.single_fault;
     config.engine = faults.engine;
+    config.shard = faults.shard;
     config.dm = scenario.monitor.to_config();
     config.threads = shared_pool().size();
     result.fault_report = faultsim::run_engine(config);

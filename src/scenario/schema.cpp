@@ -8,6 +8,7 @@
 #include <sstream>
 
 #include "safedm/common/check.hpp"
+#include "safedm/faultsim/shard.hpp"
 #include "safedm/fuzz/generator.hpp"
 #include "safedm/scenario/scenario.hpp"
 #include "safedm/soc/soc.hpp"
@@ -315,7 +316,8 @@ RunSection parse_run(const Ctx& ctx, const JsonValue& v) {
 FaultSection parse_faults(const Ctx& ctx, const JsonValue& v) {
   ctx.object(v, "\"faults\"");
   ctx.check_keys(v, "\"faults\"",
-                 {"samples_per_class", "registers", "bits", "seed", "single_fault", "engine"});
+                 {"samples_per_class", "registers", "bits", "seed", "single_fault", "engine",
+                  "shard"});
   FaultSection faults;
   if (const JsonValue* f = v.find("samples_per_class"))
     faults.samples_per_class = ctx.get_unsigned(*f, "\"faults.samples_per_class\"", 1, 100'000);
@@ -346,6 +348,17 @@ FaultSection parse_faults(const Ctx& ctx, const JsonValue& v) {
     else if (engine == "checkpoint") faults.engine = faultsim::InjectionEngine::kCheckpoint;
     else ctx.fail(*f, "\"faults.engine\" must be \"replay\" or \"checkpoint\", got \"" +
                       engine + "\"");
+  }
+  if (const JsonValue* f = v.find("shard")) {
+    ctx.object(*f, "\"faults.shard\"");
+    ctx.check_keys(*f, "\"faults.shard\"", {"index", "count"});
+    // Parse the count first so the index bound can name it.
+    if (const JsonValue* g = f->find("count"))
+      faults.shard.count =
+          ctx.get_unsigned(*g, "\"faults.shard.count\"", 1, faultsim::kMaxShards);
+    if (const JsonValue* g = f->find("index"))
+      faults.shard.index =
+          ctx.get_unsigned(*g, "\"faults.shard.index\"", 0, faults.shard.count - 1);
   }
   return faults;
 }

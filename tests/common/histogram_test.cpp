@@ -78,6 +78,51 @@ TEST(Histogram, CountersSaturateInsteadOfWrapping) {
   EXPECT_EQ(h.bin_value(0), 0u);
 }
 
+// The shard-log merge folds per-shard partial histograms in whatever
+// order the logs arrive; with saturating counters that fold must land on
+// the same bytes either way (saturating add of non-negative terms is
+// min(true sum, max), which is order-independent). A plain wrapping add
+// would break this the moment any partial had saturated.
+TEST(Histogram, MergeOfSaturatedPartialsIsOrderIndependent) {
+  constexpr u64 kMax = std::numeric_limits<u64>::max();
+  Histogram big({4});
+  big.add(2, kMax - 1);  // saturates total_weight on the next touch
+  big.add(kMax, 2);      // saturated sample_sum, max_sample at ceiling
+  Histogram small({4});
+  small.add(3, 5);
+  small.add(7, 1);
+
+  Histogram ab = big;
+  ab.merge(small);
+  Histogram ba = small;
+  ba.merge(big);
+  for (std::size_t bin = 0; bin < ab.bin_count(); ++bin)
+    EXPECT_EQ(ab.bin_value(bin), ba.bin_value(bin)) << "bin " << bin;
+  EXPECT_EQ(ab.total_samples(), ba.total_samples());
+  EXPECT_EQ(ab.total_weight(), ba.total_weight());
+  EXPECT_EQ(ab.sample_sum(), ba.sample_sum());
+  EXPECT_EQ(ab.max_sample(), ba.max_sample());
+  // Saturation actually engaged (the test would be vacuous otherwise),
+  // and the merge matches folding every sample into one histogram.
+  EXPECT_EQ(ab.total_weight(), kMax);
+  Histogram seq({4});
+  seq.add(2, kMax - 1);
+  seq.add(kMax, 2);
+  seq.add(3, 5);
+  seq.add(7, 1);
+  EXPECT_EQ(ab.total_weight(), seq.total_weight());
+  EXPECT_EQ(ab.sample_sum(), seq.sample_sum());
+  EXPECT_EQ(ab.max_sample(), seq.max_sample());
+  for (std::size_t bin = 0; bin < seq.bin_count(); ++bin)
+    EXPECT_EQ(ab.bin_value(bin), seq.bin_value(bin)) << "bin " << bin;
+}
+
+TEST(Histogram, MergeRequiresIdenticalBounds) {
+  Histogram a({4});
+  Histogram b({4, 8});
+  EXPECT_THROW(a.merge(b), CheckError);
+}
+
 TEST(Histogram, RejectsBadBounds) {
   EXPECT_THROW(Histogram({}), CheckError);
   EXPECT_THROW(Histogram({5, 5}), CheckError);

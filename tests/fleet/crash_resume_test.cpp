@@ -1,0 +1,182 @@
+// Crash/resume integration test for the sharded campaign fleet: launch
+// real shard processes (the bench_faultsim_campaign binary), SIGKILL one
+// mid-campaign at randomized points, resume it, and assert the merged
+// report is byte-identical to an uninterrupted single-process run. This
+// is the end-to-end proof of the shard-log durability contract — every
+// in-process test in shard_merge_test.cpp only simulates interruption.
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <time.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "safedm/common/rng.hpp"
+#include "safedm/faultsim/shard.hpp"
+
+#ifndef SAFEDM_FAULTSIM_BIN
+#error "build must define SAFEDM_FAULTSIM_BIN (path to bench_faultsim_campaign)"
+#endif
+
+namespace safedm::faultsim {
+namespace {
+
+namespace fs = std::filesystem;
+
+// Bounded campaign shared by child processes and the in-process baseline:
+// 4 cycles x 2 classes x 2 registers x 2 bits x 2 fault models = 64
+// sites over one workload (16 per shard in the 4-way fleet).
+EngineConfig fleet_config() {
+  EngineConfig config;
+  config.workloads = {"bitcount"};
+  config.scale = 1;
+  config.samples_per_class = 4;
+  config.registers = {6, 9};
+  config.bits = {3, 40};
+  config.seed = 11;
+  config.threads = 2;
+  return config;
+}
+
+std::vector<std::string> shard_args(const fs::path& dir, u32 index, u32 count,
+                                    const std::string& log) {
+  return {SAFEDM_FAULTSIM_BIN,
+          "--workloads=bitcount",
+          "--scale=1",
+          "--samples=4",
+          "--registers=6,9",
+          "--bits=3,40",
+          "--seed=11",
+          "--threads=2",
+          "--flush-interval=1",
+          "--shard=" + std::to_string(index) + "/" + std::to_string(count),
+          "--log=" + log,
+          "--resume",
+          "--ref-cache=" + (dir / "refcache").string()};
+}
+
+pid_t spawn(const std::vector<std::string>& args) {
+  const pid_t pid = fork();
+  if (pid == 0) {
+    // Keep stderr (diagnostics) but drop the per-wave progress chatter.
+    const int devnull = ::open("/dev/null", O_WRONLY);
+    if (devnull >= 0) {
+      ::dup2(devnull, STDOUT_FILENO);
+      ::close(devnull);
+    }
+    std::vector<char*> argv;
+    argv.reserve(args.size() + 1);
+    for (const std::string& a : args) argv.push_back(const_cast<char*>(a.c_str()));
+    argv.push_back(nullptr);
+    ::execv(argv[0], argv.data());
+    _exit(127);
+  }
+  return pid;
+}
+
+void sleep_ms(long ms) {
+  timespec ts{ms / 1000, (ms % 1000) * 1'000'000L};
+  ::nanosleep(&ts, nullptr);
+}
+
+u64 file_size_or_zero(const std::string& path) {
+  struct stat st{};
+  return ::stat(path.c_str(), &st) == 0 ? static_cast<u64>(st.st_size) : 0;
+}
+
+int wait_exit(pid_t pid, bool* signaled = nullptr) {
+  int status = 0;
+  EXPECT_EQ(::waitpid(pid, &status, 0), pid);
+  if (signaled) *signaled = WIFSIGNALED(status);
+  return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+}
+
+// Run the shard child until its log grows past `kill_after` bytes beyond
+// its current size, then SIGKILL it. Returns true if the kill landed
+// while the campaign was still running (false: the shard finished first).
+bool run_and_kill(const std::vector<std::string>& args, const std::string& log,
+                  u64 kill_after) {
+  const u64 base = file_size_or_zero(log);
+  const pid_t pid = spawn(args);
+  // Generous deadline: a stuck child fails the test via the EXPECT below
+  // rather than hanging ctest.
+  for (int tick = 0; tick < 60'000; ++tick) {
+    if (file_size_or_zero(log) >= base + kill_after) {
+      ::kill(pid, SIGKILL);
+      bool signaled = false;
+      wait_exit(pid, &signaled);
+      return signaled;
+    }
+    int status = 0;
+    if (::waitpid(pid, &status, WNOHANG) == pid) {
+      EXPECT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0);
+      return false;  // finished before the kill threshold
+    }
+    sleep_ms(1);
+  }
+  ::kill(pid, SIGKILL);
+  wait_exit(pid);
+  ADD_FAILURE() << "shard made no progress: " << log;
+  return false;
+}
+
+TEST(CrashResume, KilledShardResumesToByteIdenticalMergedReport) {
+  const fs::path dir = fs::temp_directory_path() / "safedm_fleet_crash";
+  fs::remove_all(dir);
+  fs::create_directories(dir / "refcache");
+
+  const EngineConfig config = fleet_config();
+  const std::string baseline = report_to_json(run_engine(config));
+
+  constexpr u32 kShards = 4;
+  constexpr u32 kVictim = 1;
+  std::vector<std::string> logs;
+  for (u32 i = 0; i < kShards; ++i)
+    logs.push_back((dir / ("shard-" + std::to_string(i) + ".shardlog")).string());
+
+  // The victim shard: kill it at randomized log-growth points (seeded,
+  // so failures replay), resuming in between. Each record lands with one
+  // flush, so any byte threshold falls mid-record somewhere eventually.
+  Xoshiro256 rng(2026);
+  bool interrupted = false;
+  const std::vector<std::string> victim_args =
+      shard_args(dir, kVictim, kShards, logs[kVictim]);
+  for (int attempt = 0; attempt < 6; ++attempt) {
+    const u64 kill_after = rng.range(64, 2048);
+    if (run_and_kill(victim_args, logs[kVictim], kill_after))
+      interrupted = true;
+    else
+      break;  // shard completed under the threshold — done early
+  }
+  EXPECT_TRUE(interrupted) << "no attempt killed the shard mid-campaign";
+
+  // Final resume must run to completion (exit 0) whatever the tail looks
+  // like after the last SIGKILL.
+  const pid_t pid = spawn(victim_args);
+  EXPECT_EQ(wait_exit(pid), 0);
+  {
+    const ShardLogContents log = read_shard_log(logs[kVictim]);
+    ASSERT_TRUE(log.last.has_value());
+    EXPECT_TRUE(log.last->complete);
+  }
+
+  // The other shards run uninterrupted (still through the real CLI).
+  for (u32 i = 0; i < kShards; ++i) {
+    if (i == kVictim) continue;
+    const pid_t shard_pid = spawn(shard_args(dir, i, kShards, logs[i]));
+    EXPECT_EQ(wait_exit(shard_pid), 0) << "shard " << i;
+  }
+
+  EXPECT_EQ(report_to_json(merge_shard_logs(logs)), baseline);
+  fs::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace safedm::faultsim

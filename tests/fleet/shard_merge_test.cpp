@@ -1,0 +1,352 @@
+// Merge-determinism property suite for the sharded campaign fleet
+// (ROADMAP item 3): merging shard logs must reproduce the single-process
+// BENCH_faultsim.json byte-for-byte for any shard count, any per-shard
+// thread count, any merge order, and across interrupt/resume — and must
+// fail loudly (one-line `path:record:` diagnostic) on anything short of a
+// complete, consistent fleet.
+#include "safedm/faultsim/shard.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "safedm/common/check.hpp"
+
+namespace safedm::faultsim {
+namespace {
+
+namespace fs = std::filesystem;
+
+// Small but non-trivial campaign: 2 verdict classes x 3 cycles x 1
+// register x 2 bits x 2 fault models = 24 sites over one workload.
+EngineConfig small_config() {
+  EngineConfig config;
+  config.workloads = {"bitcount"};
+  config.scale = 1;
+  config.samples_per_class = 3;
+  config.registers = {6};
+  config.bits = {2, 40};
+  config.seed = 7;
+  config.threads = 2;
+  return config;
+}
+
+// Fresh per-test scratch directory (deterministic name; no clock/rand).
+fs::path scratch_dir(const std::string& name) {
+  const fs::path dir = fs::temp_directory_path() / ("safedm_fleet_" + name);
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+std::string log_path(const fs::path& dir, u32 index, u32 count) {
+  return (dir / ("shard-" + std::to_string(index) + "-of-" + std::to_string(count) +
+                 ".shardlog"))
+      .string();
+}
+
+// Run every shard of an N-way fleet; returns the log paths in index order.
+std::vector<std::string> run_fleet(const EngineConfig& base, u32 count, const fs::path& dir,
+                                   const std::string& ref_cache = "") {
+  fs::create_directories(dir);
+  std::vector<std::string> logs;
+  for (u32 i = 0; i < count; ++i) {
+    ShardRunConfig rc;
+    rc.engine = base;
+    rc.engine.shard = {i, count};
+    // Mixed per-shard thread counts: the merged bytes must not care.
+    rc.engine.threads = 1 + i % 3;
+    rc.log_path = log_path(dir, i, count);
+    rc.ref_cache_dir = ref_cache;
+    const ShardRunResult result = run_shard(rc);
+    EXPECT_TRUE(result.complete);
+    logs.push_back(rc.log_path);
+  }
+  return logs;
+}
+
+std::string merged_json(const std::vector<std::string>& logs,
+                        const std::string& manifest = "") {
+  return report_to_json(merge_shard_logs(logs, manifest));
+}
+
+TEST(ShardMerge, MatchesSingleProcessBytesForAnyShardCount) {
+  const EngineConfig config = small_config();
+  const std::string baseline = report_to_json(run_engine(config));
+  for (u32 count : {1u, 2u, 3u, 8u}) {
+    const fs::path dir = scratch_dir("count" + std::to_string(count));
+    const std::vector<std::string> logs = run_fleet(config, count, dir);
+    EXPECT_EQ(merged_json(logs), baseline) << count << " shards";
+    fs::remove_all(dir);
+  }
+}
+
+TEST(ShardMerge, MergeOrderDoesNotMatter) {
+  const EngineConfig config = small_config();
+  const std::string baseline = report_to_json(run_engine(config));
+  const fs::path dir = scratch_dir("order");
+  std::vector<std::string> logs = run_fleet(config, 3, dir);
+  std::vector<std::vector<std::string>> orders = {
+      {logs[0], logs[1], logs[2]}, {logs[2], logs[0], logs[1]}, {logs[1], logs[2], logs[0]}};
+  for (const auto& order : orders) EXPECT_EQ(merged_json(order), baseline);
+  fs::remove_all(dir);
+}
+
+TEST(ShardMerge, ShardAssignmentPartitionsTheSiteSpace) {
+  const EngineConfig config = small_config();
+  const fs::path dir = scratch_dir("partition");
+  const std::vector<std::string> logs = run_fleet(config, 3, dir);
+  u64 total = 0;
+  u64 expected_total = 0;
+  for (const std::string& path : logs) {
+    const ShardLogContents log = read_shard_log(path);
+    total += log.header.shard_sites;
+    expected_total = log.header.total_sites;
+    EXPECT_FALSE(log.torn_tail);
+    ASSERT_TRUE(log.last.has_value());
+    EXPECT_TRUE(log.last->complete);
+  }
+  EXPECT_EQ(total, expected_total);
+  EXPECT_EQ(expected_total, 24u);
+  fs::remove_all(dir);
+}
+
+TEST(ShardMerge, InterruptedShardResumesToIdenticalBytes) {
+  const EngineConfig config = small_config();
+  const std::string baseline = report_to_json(run_engine(config));
+  const fs::path dir = scratch_dir("resume");
+
+  ShardRunConfig rc;
+  rc.engine = config;
+  rc.engine.shard = {0, 2};
+  rc.log_path = log_path(dir, 0, 2);
+  rc.flush_interval = 2;
+  rc.max_sites = 5;  // simulate an interruption after 5 sites
+  const ShardRunResult partial = run_shard(rc);
+  EXPECT_FALSE(partial.complete);
+  EXPECT_EQ(partial.executed, 5u);
+
+  // Merging an unfinished shard must fail, not silently under-count.
+  ShardRunConfig other = rc;
+  other.engine.shard = {1, 2};
+  other.log_path = log_path(dir, 1, 2);
+  other.max_sites = 0;
+  EXPECT_TRUE(run_shard(other).complete);
+  try {
+    merge_shard_logs({rc.log_path, other.log_path});
+    FAIL() << "merge accepted an incomplete shard";
+  } catch (const MergeError& e) {
+    EXPECT_NE(std::string(e.what()).find("incomplete"), std::string::npos) << e.what();
+  }
+
+  rc.max_sites = 0;
+  rc.resume = true;
+  const ShardRunResult resumed = run_shard(rc);
+  EXPECT_TRUE(resumed.complete);
+  EXPECT_EQ(resumed.resumed_at, 5u);
+  EXPECT_EQ(merged_json({other.log_path, rc.log_path}), baseline);
+  fs::remove_all(dir);
+}
+
+TEST(ShardMerge, TornTailIsDroppedAndReRunOnResume) {
+  const EngineConfig config = small_config();
+  const std::string baseline = report_to_json(run_engine(config));
+  const fs::path dir = scratch_dir("torn");
+  std::vector<std::string> logs = run_fleet(config, 2, dir);
+
+  // Chop the final record mid-payload: a SIGKILL between fwrite and a
+  // completed fflush leaves exactly this shape.
+  const auto full_size = fs::file_size(logs[0]);
+  fs::resize_file(logs[0], full_size - 7);
+  const ShardLogContents torn = read_shard_log(logs[0]);
+  EXPECT_TRUE(torn.torn_tail);
+  EXPECT_LT(torn.durable_bytes, full_size - 7);
+
+  ShardRunConfig rc;
+  rc.engine = config;
+  rc.engine.shard = {0, 2};
+  rc.log_path = logs[0];
+  rc.resume = true;
+  const ShardRunResult resumed = run_shard(rc);
+  EXPECT_TRUE(resumed.complete);
+  EXPECT_GT(resumed.executed, 0u);  // the sites the torn record covered re-ran
+  EXPECT_EQ(merged_json(logs), baseline);
+  fs::remove_all(dir);
+}
+
+TEST(ShardMerge, ResumeStartsFreshWhenNoLogExists) {
+  const EngineConfig config = small_config();
+  const fs::path dir = scratch_dir("fresh");
+  ShardRunConfig rc;
+  rc.engine = config;
+  rc.engine.shard = {0, 1};
+  rc.log_path = log_path(dir, 0, 1);
+  rc.resume = true;
+  const ShardRunResult result = run_shard(rc);
+  EXPECT_TRUE(result.complete);
+  EXPECT_EQ(result.resumed_at, 0u);
+  EXPECT_EQ(result.executed, result.shard_sites);
+  fs::remove_all(dir);
+}
+
+TEST(ShardMerge, ResumeRejectsForeignLog) {
+  const EngineConfig config = small_config();
+  const fs::path dir = scratch_dir("foreign");
+  const std::vector<std::string> logs = run_fleet(config, 2, dir);
+  ShardRunConfig rc;
+  rc.engine = config;
+  rc.engine.seed = config.seed + 1;  // a different campaign
+  rc.engine.shard = {0, 2};
+  rc.log_path = logs[0];
+  rc.resume = true;
+  EXPECT_THROW(run_shard(rc), CheckError);
+  // Same campaign, wrong shard slot.
+  rc.engine.seed = config.seed;
+  rc.engine.shard = {1, 2};
+  EXPECT_THROW(run_shard(rc), CheckError);
+  fs::remove_all(dir);
+}
+
+TEST(ShardMerge, RejectsMissingAndDuplicateShards) {
+  const EngineConfig config = small_config();
+  const fs::path dir = scratch_dir("setflaws");
+  const std::vector<std::string> logs = run_fleet(config, 3, dir);
+  try {
+    merge_shard_logs({logs[0], logs[2]});
+    FAIL() << "merge accepted an incomplete fleet";
+  } catch (const MergeError& e) {
+    EXPECT_NE(std::string(e.what()).find("missing shard 1/3"), std::string::npos) << e.what();
+  }
+  try {
+    merge_shard_logs({logs[0], logs[1], logs[1]});
+    FAIL() << "merge accepted a duplicate shard";
+  } catch (const MergeError& e) {
+    EXPECT_NE(std::string(e.what()).find("duplicate shard 1/3"), std::string::npos) << e.what();
+  }
+  fs::remove_all(dir);
+}
+
+TEST(ShardMerge, RejectsMixedCampaigns) {
+  const EngineConfig config = small_config();
+  const fs::path dir = scratch_dir("mixed");
+  const std::vector<std::string> a = run_fleet(config, 2, dir / "a");
+  EngineConfig other = config;
+  other.seed = 99;
+  std::vector<std::string> b;
+  {
+    fs::create_directories(dir / "b");
+    ShardRunConfig rc;
+    rc.engine = other;
+    rc.engine.shard = {1, 2};
+    rc.log_path = log_path(dir / "b", 1, 2);
+    run_shard(rc);
+    b.push_back(rc.log_path);
+  }
+  try {
+    merge_shard_logs({a[0], b[0]});
+    FAIL() << "merge accepted logs from different campaigns";
+  } catch (const MergeError& e) {
+    EXPECT_NE(std::string(e.what()).find("fingerprint mismatch"), std::string::npos)
+        << e.what();
+  }
+  fs::remove_all(dir);
+}
+
+// Byte-patch helpers for the corruption negatives.
+void patch_byte(const std::string& path, std::size_t offset, char value) {
+  std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+  ASSERT_TRUE(f.is_open());
+  f.seekp(static_cast<std::streamoff>(offset));
+  f.put(value);
+}
+
+TEST(ShardMerge, RejectsVersionMismatchWithOneLineDiagnostic) {
+  const EngineConfig config = small_config();
+  const fs::path dir = scratch_dir("version");
+  const std::vector<std::string> logs = run_fleet(config, 1, dir);
+  // Record framing: 4-byte length, then the state stream (8-byte magic,
+  // 4-byte tag, u32 LE version). The header record's version byte lives
+  // at file offset 4 + 8 + 4 = 16.
+  patch_byte(logs[0], 16, 99);
+  try {
+    merge_shard_logs(logs);
+    FAIL() << "merge accepted an unknown log version";
+  } catch (const MergeError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find(logs[0] + ":1:"), std::string::npos) << what;
+    EXPECT_NE(what.find("unsupported shard log version 99"), std::string::npos) << what;
+    EXPECT_EQ(what.find('\n'), std::string::npos) << "diagnostic must be one line: " << what;
+  }
+  fs::remove_all(dir);
+}
+
+TEST(ShardMerge, RejectsBadMagic) {
+  const EngineConfig config = small_config();
+  const fs::path dir = scratch_dir("magic");
+  const std::vector<std::string> logs = run_fleet(config, 1, dir);
+  patch_byte(logs[0], 4, 'X');  // first magic byte of record 1
+  try {
+    merge_shard_logs(logs);
+    FAIL() << "merge accepted a non-log file";
+  } catch (const MergeError& e) {
+    EXPECT_NE(std::string(e.what()).find("bad record magic"), std::string::npos) << e.what();
+  }
+  fs::remove_all(dir);
+}
+
+TEST(ShardMerge, ManifestValidatesTheFleet) {
+  const EngineConfig config = small_config();
+  const std::string baseline = report_to_json(run_engine(config));
+  const fs::path dir = scratch_dir("manifest");
+  const std::vector<std::string> logs = run_fleet(config, 3, dir);
+
+  const ShardManifest manifest = build_manifest(config, 3);
+  EXPECT_EQ(manifest.total_sites, 24u);
+  u64 sum = 0;
+  for (u64 s : manifest.shard_sites) sum += s;
+  EXPECT_EQ(sum, manifest.total_sites);
+  const std::string manifest_path = (dir / "fleet.manifest").string();
+  write_manifest_file(manifest_path, manifest);
+  const ShardManifest round = read_manifest_file(manifest_path);
+  EXPECT_EQ(round.fingerprint, manifest.fingerprint);
+  EXPECT_EQ(round.shard_sites, manifest.shard_sites);
+
+  EXPECT_EQ(merged_json(logs, manifest_path), baseline);
+
+  // A manifest for a different fleet shape must be rejected.
+  const ShardManifest wrong = build_manifest(config, 4);
+  const std::string wrong_path = (dir / "wrong.manifest").string();
+  write_manifest_file(wrong_path, wrong);
+  EXPECT_THROW(merge_shard_logs(logs, wrong_path), MergeError);
+  fs::remove_all(dir);
+}
+
+TEST(ShardMerge, ReferenceCacheKeepsBytesIdentical) {
+  const EngineConfig config = small_config();
+  const std::string baseline = report_to_json(run_engine(config));
+  const fs::path dir = scratch_dir("refcache");
+  const fs::path cache = dir / "cache";
+  fs::create_directories(cache);
+
+  // Cold cache: the first fleet publishes the reference snapshots.
+  const std::vector<std::string> cold = run_fleet(config, 2, dir / "cold", cache.string());
+  EXPECT_EQ(merged_json(cold), baseline);
+  bool have_snapshot = false;
+  for (const auto& entry : fs::directory_iterator(cache))
+    have_snapshot |= entry.path().extension() == ".state";
+  EXPECT_TRUE(have_snapshot) << "no reference snapshot was published";
+
+  // Warm cache: every shard deserializes the mmap'd snapshot instead of
+  // re-simulating; the bytes still cannot change.
+  const std::vector<std::string> warm = run_fleet(config, 2, dir / "warm", cache.string());
+  EXPECT_EQ(merged_json(warm), baseline);
+  fs::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace safedm::faultsim

@@ -1,0 +1,12 @@
+#include "shard_record.hpp"
+
+namespace lintfix {
+
+void ShardRecord::save_state(StateWriter& w) const {
+  w.put_u64(next_site_ok_);
+  w.put_u64(torn_records_);
+}
+
+void ShardRecord::restore_state(StateReader& r) { next_site_ok_ = r.get_u64(); }
+
+}  // namespace lintfix

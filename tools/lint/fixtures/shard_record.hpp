@@ -1,0 +1,28 @@
+// Seeded snapshot-completeness violations on a shard-log record struct
+// (shaped like the fleet layer's streamed partials, src/faultsim/shard.hpp):
+// a record field that is appended to the log but never restored would
+// silently desynchronize a crash/resume cycle, so the lint must cover
+// these structs like any other snapshot pair.
+//   next_site_ok_  round-trips correctly (must NOT be flagged)
+//   fingerprint_   in neither body
+//   torn_records_  saved, never restored
+#pragma once
+
+#include <cstdint>
+
+#include "state_stub.hpp"
+
+namespace lintfix {
+
+class ShardRecord {
+ public:
+  void save_state(StateWriter& w) const;
+  void restore_state(StateReader& r);
+
+ private:
+  std::uint64_t next_site_ok_ = 0;
+  std::uint64_t fingerprint_ = 0;
+  std::uint64_t torn_records_ = 0;
+};
+
+}  // namespace lintfix

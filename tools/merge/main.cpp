@@ -1,0 +1,71 @@
+// safedm-merge — fold a complete set of shard logs into the canonical
+// campaign report.
+//
+// Usage: safedm-merge [--manifest=PATH] [--out=PATH] LOG...
+//   --manifest=PATH  validate the fleet against a manifest written by
+//                    bench_faultsim_campaign --write-manifest
+//   --out=PATH       report path (default BENCH_faultsim.json)
+//
+// The output is byte-identical to the single-process campaign's JSON for
+// any shard count and any log order; anything short of a complete,
+// consistent fleet fails with a one-line `path:record:` diagnostic and
+// exit code 1 (usage errors exit 2).
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "safedm/faultsim/shard.hpp"
+
+namespace {
+
+constexpr char kUsage[] = "usage: safedm-merge [--manifest=PATH] [--out=PATH] LOG...\n";
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string manifest_path;
+  std::string out_path = "BENCH_faultsim.json";
+  std::vector<std::string> logs;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--manifest=", 11) == 0) {
+      manifest_path = arg + 11;
+    } else if (std::strncmp(arg, "--out=", 6) == 0) {
+      out_path = arg + 6;
+    } else if (std::strncmp(arg, "--", 2) == 0) {
+      std::fprintf(stderr, "unknown option: %s\n%s", arg, kUsage);
+      return 2;
+    } else {
+      logs.push_back(arg);
+    }
+  }
+  if (logs.empty()) {
+    std::fprintf(stderr, "no shard logs given\n%s", kUsage);
+    return 2;
+  }
+
+  safedm::faultsim::EngineReport report;
+  try {
+    report = safedm::faultsim::merge_shard_logs(logs, manifest_path);
+  } catch (const safedm::faultsim::MergeError& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 1;
+  }
+
+  std::ofstream out(out_path, std::ios::binary);
+  if (!out) {
+    std::fprintf(stderr, "cannot open %s for writing\n", out_path.c_str());
+    return 2;
+  }
+  safedm::faultsim::write_report_json(report, out);
+  out.flush();
+  if (!out) {
+    std::fprintf(stderr, "write to %s failed\n", out_path.c_str());
+    return 2;
+  }
+  std::printf("merged %zu shard logs (%llu injections) -> %s\n", logs.size(),
+              static_cast<unsigned long long>(report.injections), out_path.c_str());
+  return 0;
+}
