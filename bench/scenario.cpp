@@ -16,6 +16,8 @@
 //                      validator golden test (mirrors safedm-lint): run the
 //                      schema over every fixture under DIR and diff the
 //                      diagnostics against EXPECTED line-for-line
+//   --update-golden    with --selftest: rewrite EXPECTED from the current
+//                      diagnostics instead of diffing (review the diff!)
 //
 // Exit status: 0 all scenarios pass, 1 any assertion or validation
 // failure, 2 usage or I/O error.
@@ -42,7 +44,7 @@ namespace {
 constexpr char kUsage[] =
     "usage: bench_scenario [--check-only] [--json=PATH] <path>...\n"
     "       bench_scenario --export-fuzz=DIR [--out=DIR]\n"
-    "       bench_scenario --selftest DIR EXPECTED\n";
+    "       bench_scenario --selftest DIR EXPECTED [--update-golden]\n";
 
 /// Every *.json under `path` (itself, if it is a file), sorted so corpus
 /// order — and therefore report order — is deterministic.
@@ -76,7 +78,7 @@ std::string error_message(const scenario::ScenarioError& error) {
 /// diff are errors, so a schema change that silences a diagnostic fails as
 /// loudly as a new false positive. Golden lines starting with '#' are
 /// comments.
-int run_selftest(const fs::path& dir, const fs::path& expected_path) {
+int run_selftest(const fs::path& dir, const fs::path& expected_path, bool update_golden) {
   std::vector<std::string> produced;
   for (const fs::path& file : collect_scenarios(dir)) {
     const std::string rel = fs::relative(file, dir).generic_string();
@@ -87,6 +89,28 @@ int run_selftest(const fs::path& dir, const fs::path& expected_path) {
       produced.push_back(rel + ":" + std::to_string(error.line()) + ": " +
                          error_message(error));
     }
+  }
+
+  if (update_golden) {
+    std::ofstream out(expected_path, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", expected_path.string().c_str());
+      return 2;
+    }
+    out << "# Golden diagnostics for `bench_scenario --selftest` (the scenario_selftest\n"
+           "# ctest). One line per fixture: `file:line: message` for an invalid\n"
+           "# scenario, `file: OK` for a valid one. The diff runs in both directions —\n"
+           "# a schema change that silences a diagnostic fails the same as a new false\n"
+           "# positive. Regenerate with:\n"
+           "#   build/bench/bench_scenario --selftest tests/scenario/fixtures \\\n"
+           "#     tests/scenario/fixtures/expected.txt --update-golden\n";
+    for (const std::string& line : produced) out << line << "\n";
+    if (!out.flush()) {
+      std::fprintf(stderr, "cannot write %s\n", expected_path.string().c_str());
+      return 2;
+    }
+    std::printf("scenario selftest: golden updated (%zu lines)\n", produced.size());
+    return 0;
   }
 
   std::ifstream golden(expected_path);
@@ -232,7 +256,10 @@ void emit_result(bench::JsonWriter& json, const scenario::ScenarioResult& result
 int main(int argc, char** argv) {
   std::string json_path = "BENCH_scenario.json";
   std::string export_dir, out_dir = "scenarios/fuzz";
+  std::string selftest_dir, selftest_golden;
   bool check_only = false;
+  bool selftest = false;
+  bool update_golden = false;
   std::vector<fs::path> paths;
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
@@ -244,12 +271,16 @@ int main(int argc, char** argv) {
       export_dir = arg + 14;
     } else if (std::strncmp(arg, "--out=", 6) == 0) {
       out_dir = arg + 6;
+    } else if (std::strcmp(arg, "--update-golden") == 0) {
+      update_golden = true;
     } else if (std::strcmp(arg, "--selftest") == 0) {
       if (i + 2 >= argc) {
         std::fprintf(stderr, "--selftest needs a fixtures dir and a golden file\n%s", kUsage);
         return 2;
       }
-      return run_selftest(argv[i + 1], argv[i + 2]);
+      selftest = true;
+      selftest_dir = argv[++i];
+      selftest_golden = argv[++i];
     } else if (arg[0] == '-') {
       std::fprintf(stderr, "unknown option: %s\n%s", arg, kUsage);
       return 2;
@@ -258,6 +289,7 @@ int main(int argc, char** argv) {
     }
   }
 
+  if (selftest) return run_selftest(selftest_dir, selftest_golden, update_golden);
   if (!export_dir.empty()) return run_export(export_dir, out_dir);
   if (paths.empty()) {
     std::fprintf(stderr, "no scenario paths given\n%s", kUsage);

@@ -4,12 +4,18 @@
 #                      running everything except the perf-labeled timing
 #                      gates (sanitizer overhead makes wall-clock assertions
 #                      meaningless; all label filtering is ctest -L based —
-#                      see tests/CMakeLists.txt for the label scheme)
-#   ./ci.sh lint       safedm-lint over src/ + bench/ (driven by the
-#                      CMake-exported compile_commands.json) plus clang-tidy
-#                      with the repo .clang-tidy profile when clang-tidy is
+#                      see tests/CMakeLists.txt for the label scheme),
+#                      then the analyze stage below
+#   ./ci.sh analyze    cross-TU static analysis: safedm-lint v2 over src/ +
+#                      bench/ (driven by the CMake-exported
+#                      compile_commands.json — lock-discipline, layering DAG,
+#                      snapshot-format drift, stale annotations, and the six
+#                      single-file checks), a freshness diff of the checked-in
+#                      tools/lint/snapshot_manifest.txt, plus clang-tidy with
+#                      the repo .clang-tidy profile when clang-tidy is
 #                      installed (skipped with a notice otherwise). Fails on
 #                      any finding — see TESTING.md "Static analysis & TSan"
+#   ./ci.sh lint       alias for analyze (historical name)
 #   ./ci.sh perf       optimized build + the perf-labeled gates only: the
 #                      throughput/checkpoint smoke runs plus bench_diff
 #                      regression checks against the committed baselines in
@@ -44,11 +50,24 @@ run_default_and_san() {
   ctest --preset san -j "${JOBS}"
 }
 
-run_lint() {
-  echo "==> lint (safedm-lint + clang-tidy)"
+run_analyze() {
+  echo "==> analyze (safedm-lint v2: cross-TU checks over compile_commands.json)"
   cmake --preset default
   cmake --build --preset default --target safedm-lint -j "${JOBS}"
   ./build/tools/lint/safedm-lint --root . --compile-commands build/compile_commands.json
+
+  echo "==> snapshot manifest freshness (tools/lint/snapshot_manifest.txt)"
+  local tmp_manifest
+  tmp_manifest="$(mktemp)"
+  ./build/tools/lint/safedm-lint --root . --compile-commands build/compile_commands.json \
+    --manifest "${tmp_manifest}" --update-manifest >/dev/null
+  if ! diff -u tools/lint/snapshot_manifest.txt "${tmp_manifest}"; then
+    rm -f "${tmp_manifest}"
+    echo "error: snapshot manifest is stale; regenerate with" >&2
+    echo "  build/tools/lint/safedm-lint --root . --compile-commands build/compile_commands.json --update-manifest" >&2
+    exit 1
+  fi
+  rm -f "${tmp_manifest}"
 
   if command -v clang-tidy >/dev/null 2>&1; then
     echo "==> clang-tidy (.clang-tidy profile, warnings as errors)"
@@ -140,17 +159,20 @@ run_coverage() {
 }
 
 case "${STAGE}" in
-  all) run_default_and_san ;;
-  lint) run_lint ;;
+  all)
+    run_default_and_san
+    run_analyze
+    ;;
+  analyze | lint) run_analyze ;;
   perf) run_perf ;;
   fleet) run_fleet ;;
   tsan) run_tsan ;;
   coverage)
     run_coverage
-    run_lint
+    run_analyze
     ;;
   *)
-    echo "unknown stage: ${STAGE} (expected: lint, perf, fleet, tsan, or coverage)" >&2
+    echo "unknown stage: ${STAGE} (expected: analyze, perf, fleet, tsan, or coverage)" >&2
     exit 2
     ;;
 esac

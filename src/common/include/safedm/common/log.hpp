@@ -5,6 +5,7 @@
 #pragma once
 
 #include <iostream>
+#include <mutex>
 #include <sstream>
 #include <string>
 
@@ -20,10 +21,19 @@ class Logger {
   LogLevel level() const { return level_; }
   bool enabled(LogLevel level) const { return level >= level_; }
 
+  /// Redirect output (tests); nullptr restores the default std::clog sink.
+  void set_sink(std::ostream* sink);
+
+  /// Emit one formatted line. Lines from concurrent bench workers are
+  /// serialized under mutex_ so they never interleave mid-line.
   void write(LogLevel level, const std::string& msg);
 
  private:
+  // level_ is deliberately unguarded: it is set once before threads spawn
+  // and then only read (a stale read merely drops/keeps one message).
   LogLevel level_ = LogLevel::kWarn;
+  std::mutex mutex_;
+  std::ostream* sink_ = &std::clog;  // lint: guarded-by(mutex_)
 };
 
 }  // namespace safedm

@@ -118,13 +118,13 @@ class ThreadPool {
   void worker_loop();
 
   std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> queue_;
+  std::deque<std::function<void()>> queue_;  // lint: guarded-by(mutex_)
   std::mutex mutex_;
   std::condition_variable work_ready_;
   std::condition_variable idle_;
-  unsigned running_ = 0;
-  bool stopping_ = false;
-  std::exception_ptr first_error_;
+  unsigned running_ = 0;             // lint: guarded-by(mutex_)
+  bool stopping_ = false;            // lint: guarded-by(mutex_)
+  std::exception_ptr first_error_;   // lint: guarded-by(mutex_)
 };
 
 /// Thread count for the bench harness, from SAFEDM_BENCH_THREADS:

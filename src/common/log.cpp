@@ -7,9 +7,15 @@ Logger& Logger::instance() {
   return logger;
 }
 
+void Logger::set_sink(std::ostream* sink) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  sink_ = sink ? sink : &std::clog;
+}
+
 void Logger::write(LogLevel level, const std::string& msg) {
   static constexpr const char* kNames[] = {"TRACE", "DEBUG", "INFO", "WARN", "ERROR", "OFF"};
-  std::clog << '[' << kNames[static_cast<int>(level)] << "] " << msg << '\n';
+  std::lock_guard<std::mutex> lock(mutex_);
+  *sink_ << '[' << kNames[static_cast<int>(level)] << "] " << msg << '\n';
 }
 
 }  // namespace safedm

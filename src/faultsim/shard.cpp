@@ -5,6 +5,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <mutex>
 #include <sstream>
 #include <utility>
 
@@ -39,22 +40,51 @@ std::string shard_name(u32 index, u32 count) {
 // inside one is real corruption, never a torn write.
 // ---------------------------------------------------------------------------
 
-void append_record(std::FILE* f, const std::string& path, const std::vector<u8>& payload) {
-  SAFEDM_CHECK_MSG(payload.size() <= 0xffff'ffffull, "shard log record too large");
-  const u32 len = static_cast<u32>(payload.size());
-  const u8 frame[4] = {static_cast<u8>(len), static_cast<u8>(len >> 8),
-                       static_cast<u8>(len >> 16), static_cast<u8>(len >> 24)};
-  const bool ok = std::fwrite(frame, 1, sizeof frame, f) == sizeof frame &&
-                  std::fwrite(payload.data(), 1, payload.size(), f) == payload.size() &&
-                  std::fflush(f) == 0;
-  SAFEDM_CHECK_MSG(ok, "shard log write failed: " << path);
-}
+// Every append to one shard log funnels through this writer. The stream
+// handle is guarded so frame+payload+flush stays one atomic unit even if a
+// future change moves flushing off the wave loop's calling thread.
+class ShardLogWriter {
+ public:
+  ShardLogWriter(std::string path, bool fresh) : path_(std::move(path)) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    file_ = std::fopen(path_.c_str(), fresh ? "wb" : "ab");
+    SAFEDM_CHECK_MSG(file_ != nullptr, "cannot open shard log " << path_);
+  }
+  ~ShardLogWriter() { close(); }
+  ShardLogWriter(const ShardLogWriter&) = delete;
+  ShardLogWriter& operator=(const ShardLogWriter&) = delete;
 
-void append_partial(std::FILE* f, const std::string& path, const ShardPartial& partial) {
-  StateWriter w;
-  partial.save_state(w);
-  append_record(f, path, w.take());
-}
+  void append(const std::vector<u8>& payload) {
+    SAFEDM_CHECK_MSG(payload.size() <= 0xffff'ffffull, "shard log record too large");
+    const u32 len = static_cast<u32>(payload.size());
+    const u8 frame[4] = {static_cast<u8>(len), static_cast<u8>(len >> 8),
+                         static_cast<u8>(len >> 16), static_cast<u8>(len >> 24)};
+    std::lock_guard<std::mutex> lock(mutex_);
+    const bool ok = std::fwrite(frame, 1, sizeof frame, file_) == sizeof frame &&
+                    std::fwrite(payload.data(), 1, payload.size(), file_) == payload.size() &&
+                    std::fflush(file_) == 0;
+    SAFEDM_CHECK_MSG(ok, "shard log write failed: " << path_);
+  }
+
+  void append_partial(const ShardPartial& partial) {
+    StateWriter w;
+    partial.save_state(w);
+    append(w.take());
+  }
+
+  void close() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (file_ != nullptr) {
+      std::fclose(file_);
+      file_ = nullptr;
+    }
+  }
+
+ private:
+  std::string path_;
+  std::mutex mutex_;
+  std::FILE* file_ = nullptr;  // lint: guarded-by(mutex_)
+};
 
 // ---------------------------------------------------------------------------
 // Reference-trace warmup cache: one file per (workload, scale, monitor,
@@ -545,12 +575,11 @@ ShardRunResult run_shard(const ShardRunConfig& rc) {
     }
   }
 
-  std::FILE* f = std::fopen(rc.log_path.c_str(), fresh ? "wb" : "ab");
-  SAFEDM_CHECK_MSG(f != nullptr, "cannot open shard log " << rc.log_path);
+  ShardLogWriter log_writer(rc.log_path, fresh);
   if (fresh) {
     StateWriter w;
     make_header(config, fingerprint, plans, result.shard_sites, all_sites.size()).save_state(w);
-    append_record(f, rc.log_path, w.take());
+    log_writer.append(w.take());
   }
 
   const u64 flush_interval = std::max<u64>(1, rc.flush_interval);
@@ -577,14 +606,14 @@ ShardRunResult run_shard(const ShardRunConfig& rc) {
     }
     cursor += wave;
     result.executed += wave;
-    append_partial(f, rc.log_path, {cursor, cursor == slice.size(), agg});
+    log_writer.append_partial({cursor, cursor == slice.size(), agg});
   }
   if (cursor == slice.size() && result.executed == 0) {
     // Nothing ran (an empty slice, or a resume that landed exactly on the
     // end without a durable completion mark): still seal the log.
-    append_partial(f, rc.log_path, {cursor, true, agg});
+    log_writer.append_partial({cursor, true, agg});
   }
-  std::fclose(f);
+  log_writer.close();
 
   result.complete = cursor == slice.size();
   SAFEDM_INFO("faultsim: shard " << shard_name(config.shard.index, config.shard.count) << ": "

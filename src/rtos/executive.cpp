@@ -5,6 +5,7 @@
 #include "safedm/common/check.hpp"
 #include "safedm/common/state.hpp"
 #include "safedm/safedm/monitor.hpp"
+// lint: allow-layer(reuses the workload corpus's kResultOffset ABI constant only)
 #include "safedm/workloads/workloads.hpp"
 
 namespace safedm::rtos {

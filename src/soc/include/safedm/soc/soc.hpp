@@ -307,7 +307,7 @@ class MpSoc {
   // Normalized group topology (never empty after construction) and the
   // derived per-core layout. All of it restates SocConfig, so the config
   // fingerprint — not the state body — covers it.
-  std::vector<GroupSpec> groups_;      // lint: no-snapshot(config restatement, fingerprinted)
+  std::vector<GroupSpec> groups_;      // fingerprinted by save/restore_state directly
   std::vector<unsigned> group_first_;  // lint: no-snapshot(derived from groups_)
   std::vector<u64> core_data_base_;    // lint: no-snapshot(derived from groups_ + address map)
   // per group

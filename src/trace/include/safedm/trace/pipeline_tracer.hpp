@@ -9,7 +9,9 @@
 
 #include <ostream>
 
+// lint: allow-layer(debug sink: renders monitor verdicts, no soc/safedm code depends back on it)
 #include "safedm/safedm/monitor.hpp"
+// lint: allow-layer(implements soc::CycleObserver and decodes CoreTapFrame)
 #include "safedm/soc/soc.hpp"
 
 namespace safedm::trace {

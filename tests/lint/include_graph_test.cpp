@@ -1,0 +1,156 @@
+// Unit tests for the safedm-lint include-graph builder (tools/lint/graph.*)
+// on synthetic file trees: diamond includes, cycle detection, system-header
+// exclusion, and `#pragma once` vs #ifndef/#define guard-pair equivalence.
+//
+// Files are written flat into a temp directory; their *report* paths carry
+// the synthetic tree shape, which is all the graph builder looks at (nodes
+// and include resolution work on report paths, not on-disk layout).
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "graph.hpp"
+#include "lint.hpp"
+
+namespace fs = std::filesystem;
+using safedm::lint::build_include_graph;
+using safedm::lint::extract_includes;
+using safedm::lint::find_file_cycle;
+using safedm::lint::header_is_guarded;
+using safedm::lint::IncludeGraph;
+using safedm::lint::layer_of;
+using safedm::lint::SourceFile;
+using safedm::lint::subsystem_of;
+
+namespace {
+
+class IncludeGraphTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("safedm_lint_graph_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::create_directories(dir_);
+  }
+  void TearDown() override {
+    std::error_code ec;
+    fs::remove_all(dir_, ec);
+  }
+
+  /// Write `text` to a flat temp file and load it under the synthetic
+  /// report path `report` (which is what the graph builder resolves).
+  SourceFile load(const std::string& report, const std::string& text) {
+    const fs::path p = dir_ / (std::to_string(counter_++) + ".src");
+    std::ofstream(p) << text;
+    SourceFile f;
+    EXPECT_TRUE(safedm::lint::load_source(p.string(), report, /*determinism=*/false, f))
+        << report;
+    return f;
+  }
+
+  fs::path dir_;
+  int counter_ = 0;
+};
+
+TEST_F(IncludeGraphTest, DiamondResolvesEachEdgeOnceAndStaysAcyclic) {
+  // main.cpp -> a.hpp -> {b.hpp, c.hpp} -> d.hpp (shared base of the diamond).
+  std::vector<SourceFile> files;
+  files.push_back(load("src/x/include/safedm/x/d.hpp", "#pragma once\nint d();\n"));
+  files.push_back(load("src/x/include/safedm/x/b.hpp",
+                       "#pragma once\n#include \"safedm/x/d.hpp\"\nint b();\n"));
+  files.push_back(load("src/x/include/safedm/x/c.hpp",
+                       "#pragma once\n#include \"safedm/x/d.hpp\"\nint c();\n"));
+  files.push_back(load("src/x/include/safedm/x/a.hpp",
+                       "#pragma once\n#include \"safedm/x/b.hpp\"\n"
+                       "#include \"safedm/x/c.hpp\"\nint a();\n"));
+  files.push_back(load("src/x/main.cpp", "#include \"safedm/x/a.hpp\"\nint main() {}\n"));
+
+  const IncludeGraph g = build_include_graph(files, {});
+  EXPECT_EQ(g.nodes.size(), 5u);
+  ASSERT_EQ(g.edges.at("src/x/include/safedm/x/a.hpp").size(), 2u);
+  // b and c both reach d, but d is one node with no duplicate edge entries.
+  EXPECT_EQ(g.edges.at("src/x/include/safedm/x/b.hpp").size(), 1u);
+  EXPECT_EQ(g.edges.at("src/x/include/safedm/x/c.hpp").size(), 1u);
+  EXPECT_EQ(g.edges.at("src/x/include/safedm/x/b.hpp")[0].first,
+            "src/x/include/safedm/x/d.hpp");
+  EXPECT_EQ(g.edges.at("src/x/include/safedm/x/c.hpp")[0].first,
+            "src/x/include/safedm/x/d.hpp");
+  EXPECT_TRUE(find_file_cycle(g).empty());
+}
+
+TEST_F(IncludeGraphTest, MutualIncludesAreReportedAsACycle) {
+  std::vector<SourceFile> files;
+  files.push_back(load("src/x/include/safedm/x/p.hpp",
+                       "#pragma once\n#include \"safedm/x/q.hpp\"\n"));
+  files.push_back(load("src/x/include/safedm/x/q.hpp",
+                       "#pragma once\n#include \"safedm/x/p.hpp\"\n"));
+
+  const std::vector<std::string> cyc = find_file_cycle(build_include_graph(files, {}));
+  ASSERT_GE(cyc.size(), 3u);  // a -> b -> a
+  EXPECT_EQ(cyc.front(), cyc.back());
+  EXPECT_NE(std::find(cyc.begin(), cyc.end(), "src/x/include/safedm/x/p.hpp"), cyc.end());
+  EXPECT_NE(std::find(cyc.begin(), cyc.end(), "src/x/include/safedm/x/q.hpp"), cyc.end());
+}
+
+TEST_F(IncludeGraphTest, SystemHeadersAndCommentedIncludesAreExcluded) {
+  std::vector<SourceFile> files;
+  files.push_back(load("src/x/include/safedm/x/leaf.hpp", "#pragma once\nint leaf();\n"));
+  files.push_back(load("src/x/user.cpp",
+                       "#include <vector>\n"
+                       "#include <safedm/x/nonexistent_outside_set.hpp>\n"
+                       "// #include \"safedm/x/commented_out.hpp\"\n"
+                       "#include \"safedm/x/leaf.hpp\"\nint u();\n"));
+
+  // extract_includes keeps the real directives (angled or not) but drops the
+  // commented-out one; the graph then keeps only edges that resolve in-set.
+  ASSERT_EQ(extract_includes(files[1]).size(), 3u);
+  const IncludeGraph g = build_include_graph(files, {});
+  ASSERT_EQ(g.edges.count("src/x/user.cpp"), 1u);
+  ASSERT_EQ(g.edges.at("src/x/user.cpp").size(), 1u);
+  EXPECT_EQ(g.edges.at("src/x/user.cpp")[0].first, "src/x/include/safedm/x/leaf.hpp");
+  EXPECT_EQ(g.nodes.count("vector"), 0u);
+}
+
+TEST_F(IncludeGraphTest, PragmaOnceAndGuardPairAreEquivalentlyGuarded) {
+  const SourceFile pragma_once = load("src/x/include/safedm/x/po.hpp",
+                                      "// banner comment\n#pragma once\nint po();\n");
+  const SourceFile guard_pair =
+      load("src/x/include/safedm/x/gp.hpp",
+           "#ifndef SAFEDM_X_GP_HPP\n#define SAFEDM_X_GP_HPP\nint gp();\n#endif\n");
+  const SourceFile unguarded = load("src/x/include/safedm/x/raw.hpp", "int raw();\n");
+  EXPECT_TRUE(header_is_guarded(pragma_once.raw_lines));
+  EXPECT_TRUE(header_is_guarded(guard_pair.raw_lines));
+  EXPECT_FALSE(header_is_guarded(unguarded.raw_lines));
+
+  // Both guard styles produce identical graphs over an otherwise-equal tree.
+  std::vector<SourceFile> tree_a, tree_b;
+  tree_a.push_back(pragma_once);
+  tree_a.push_back(load("src/x/u1.cpp", "#include \"safedm/x/po.hpp\"\n"));
+  tree_b.push_back(guard_pair);
+  tree_b.push_back(load("src/x/u1.cpp", "#include \"safedm/x/gp.hpp\"\n"));
+  const IncludeGraph ga = build_include_graph(tree_a, {});
+  const IncludeGraph gb = build_include_graph(tree_b, {});
+  EXPECT_EQ(ga.nodes.size(), gb.nodes.size());
+  EXPECT_EQ(ga.edges.at("src/x/u1.cpp").size(), 1u);
+  EXPECT_EQ(gb.edges.at("src/x/u1.cpp").size(), 1u);
+}
+
+TEST_F(IncludeGraphTest, SubsystemAndLayerLookup) {
+  EXPECT_EQ(subsystem_of("src/soc/soc.cpp"), "soc");
+  EXPECT_EQ(subsystem_of("src/common/include/safedm/common/bits.hpp"), "common");
+  EXPECT_EQ(subsystem_of("bench/micro.cpp"), "bench");
+  EXPECT_EQ(subsystem_of("tools/lint/lint.cpp"), "tools");
+  EXPECT_LT(layer_of("common"), layer_of("isa"));
+  EXPECT_LT(layer_of("mem"), layer_of("core"));
+  EXPECT_LT(layer_of("trace"), layer_of("soc"));
+  EXPECT_LT(layer_of("safedm"), layer_of("faultsim"));
+  EXPECT_LT(layer_of("scenario"), layer_of("bench"));
+  EXPECT_EQ(layer_of("no_such_subsystem"), -1);
+}
+
+}  // namespace

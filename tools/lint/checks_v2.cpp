@@ -1,0 +1,301 @@
+#include "checks_v2.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace safedm::lint {
+
+namespace {
+
+bool is_lock_type(const std::string& s) {
+  return s == "lock_guard" || s == "unique_lock" || s == "scoped_lock" || s == "shared_lock";
+}
+
+// `std::lock_guard<std::mutex> lock(state->mutex);` — the mutex a guard
+// argument names is its last identifier (member access chains collapse to
+// the member actually locked).
+void collect_lock_args(const std::vector<Tok>& toks, std::size_t open, std::size_t close,
+                       std::vector<std::string>& out) {
+  int depth = 0;
+  std::string last_ident;
+  for (std::size_t i = open; i < close; ++i) {
+    const Tok& t = toks[i];
+    if (t.kind == Tok::kPunct &&
+        (t.text == "(" || t.text == "[" || t.text == "{" || t.text == "<")) {
+      ++depth;
+    } else if (t.kind == Tok::kPunct &&
+               (t.text == ")" || t.text == "]" || t.text == "}" || t.text == ">")) {
+      --depth;
+    } else if (t.kind == Tok::kPunct && t.text == "," && depth == 0) {
+      if (!last_ident.empty()) out.push_back(last_ident);
+      last_ident.clear();
+    } else if (t.kind == Tok::kIdent) {
+      last_ident = t.text;
+    }
+  }
+  if (!last_ident.empty()) out.push_back(last_ident);
+}
+
+}  // namespace
+
+void check_lock_discipline(const SourceFile& f, const std::vector<Tok>& toks,
+                           const std::vector<GuardedMember>& applicable, AnnotationUse& used,
+                           std::vector<Finding>& out) {
+  if (applicable.empty()) return;
+  std::map<std::string, const GuardedMember*> by_name;
+  for (const GuardedMember& g : applicable) by_name[g.name] = &g;
+
+  struct Scope {
+    std::vector<std::string> locks;
+  };
+  std::vector<Scope> scopes(1);
+  const std::size_t n = toks.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const Tok& t = toks[i];
+    if (is_punct(t, "{")) {
+      scopes.push_back({});
+      continue;
+    }
+    if (is_punct(t, "}")) {
+      if (scopes.size() > 1) scopes.pop_back();
+      continue;
+    }
+    if (t.kind != Tok::kIdent) continue;
+    if (is_lock_type(t.text)) {
+      // lock_guard<...> name(args) / scoped_lock name{args} / unique_lock
+      // name(args, std::defer_lock) — register every mutex argument in the
+      // current scope. (A deferred lock still counts: name-based matching
+      // is the documented 90% solution.)
+      std::size_t j = i + 1;
+      if (j < n && is_punct(toks[j], "<")) j = skip_template_args(toks, j);
+      if (j < n && toks[j].kind == Tok::kIdent) ++j;  // the guard variable
+      if (j < n && (is_punct(toks[j], "(") || is_punct(toks[j], "{"))) {
+        const char* open = toks[j].text == "(" ? "(" : "{";
+        const char* close = toks[j].text == "(" ? ")" : "}";
+        const std::size_t end = skip_balanced(toks, j, open, close);
+        collect_lock_args(toks, j + 1, end - 1, scopes.back().locks);
+        i = end - 1;
+      }
+      continue;
+    }
+    auto it = by_name.find(t.text);
+    if (it == by_name.end()) continue;
+    const GuardedMember& g = *it->second;
+    // The declaration site itself (the annotated line) is not an access.
+    if (f.path == g.file && (t.line == g.annot_line || t.line == g.annot_line + 1)) continue;
+    bool locked = false;
+    for (const Scope& s : scopes) {
+      if (std::find(s.locks.begin(), s.locks.end(), g.mutex) != s.locks.end()) {
+        locked = true;
+        break;
+      }
+    }
+    if (locked) continue;
+    const int al = annotation_line(f, t.line, "allow-unguarded");
+    if (al != 0) {
+      used.mark(f, al, "allow-unguarded");
+      continue;
+    }
+    out.push_back({f.path, t.line, "lock-discipline",
+                   "`" + g.name + "` is guarded by `" + g.mutex +
+                       "` (declared at " + g.file + ":" + std::to_string(g.line) +
+                       ") but accessed without a lock_guard/unique_lock/scoped_lock on it "
+                       "(escape: `// lint: allow-unguarded(reason)`)"});
+  }
+}
+
+std::vector<ManifestEntry> collect_manifest(
+    const std::vector<ClassRec>& classes, const std::map<std::string, Bodies>& bodies,
+    const std::map<std::string, std::string>& constants) {
+  std::vector<ManifestEntry> out;
+  std::set<std::string> seen;
+  for (const ClassRec& rec : classes) {
+    if (!rec.declares_save || !rec.declares_restore) continue;
+    auto it = bodies.find(rec.name);
+    if (it == bodies.end() || !it->second.save.present || !it->second.restore.present) continue;
+    const BodyInfo& save = it->second.save;
+    if (save.section_tag.empty()) continue;  // serializes into a parent's section
+    if (!seen.insert(rec.name).second) continue;
+    ManifestEntry e;
+    e.cls = rec.name;
+    e.tag = save.section_tag;
+    e.file = save.file;
+    e.line = save.line;
+    // Resolve a symbolic version (kShardLogVersion) through the constexpr
+    // constant table; normalize numeric literals to decimal.
+    std::string v = save.version_token;
+    auto cit = constants.find(v);
+    if (cit != constants.end()) v = cit->second;
+    if (!v.empty()) {
+      char* end = nullptr;
+      const unsigned long long num = std::strtoull(v.c_str(), &end, 0);
+      if (end && *end == '\0') v = std::to_string(num);
+    }
+    e.version = v.empty() ? "?" : v;
+    std::set<std::string> members;
+    for (const Member& m : rec.members) {
+      if (save.idents.count(m.name)) members.insert(m.name);
+    }
+    e.members.assign(members.begin(), members.end());
+    out.push_back(std::move(e));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const ManifestEntry& a, const ManifestEntry& b) { return a.cls < b.cls; });
+  return out;
+}
+
+std::string render_manifest(const std::vector<ManifestEntry>& entries) {
+  std::ostringstream os;
+  os << "# safedm-lint snapshot-format manifest — one row per save_state class that\n"
+        "# opens a tagged section:  <class> <fourcc> v<version> <member,member,...>\n"
+        "# Changing a row's member set without bumping its version is a\n"
+        "# [snapshot-format-drift] finding. Regenerate with:\n"
+        "#   safedm-lint --root . --compile-commands build/compile_commands.json "
+        "--update-manifest\n";
+  for (const ManifestEntry& e : entries) {
+    os << e.cls << " " << e.tag << " v" << e.version << " ";
+    for (std::size_t i = 0; i < e.members.size(); ++i) {
+      if (i) os << ",";
+      os << e.members[i];
+    }
+    if (e.members.empty()) os << "-";
+    os << "\n";
+  }
+  return os.str();
+}
+
+void check_manifest_drift(const std::vector<ManifestEntry>& entries, const std::string& path,
+                          const std::string& display, std::vector<Finding>& out) {
+  struct Row {
+    std::string tag, version, members;
+    int line = 0;
+  };
+  std::map<std::string, Row> want;
+  std::ifstream in(path);
+  if (!in) {
+    out.push_back({display, 1, "snapshot-format-drift",
+                   "snapshot manifest is missing; regenerate with `safedm-lint ... "
+                   "--update-manifest`"});
+    return;
+  }
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream is(line);
+    std::string cls, tag, version, members;
+    is >> cls >> tag >> version >> members;
+    if (cls.empty() || tag.empty() || version.size() < 2 || version[0] != 'v') {
+      out.push_back({display, lineno, "snapshot-format-drift",
+                     "malformed manifest row (want `<class> <fourcc> v<version> "
+                     "<member,...>`); regenerate with --update-manifest"});
+      continue;
+    }
+    want[cls] = {tag, version.substr(1), members == "-" ? "" : members, lineno};
+  }
+
+  std::set<std::string> matched;
+  for (const ManifestEntry& e : entries) {
+    std::string members;
+    for (std::size_t i = 0; i < e.members.size(); ++i) {
+      if (i) members += ",";
+      members += e.members[i];
+    }
+    auto it = want.find(e.cls);
+    if (it == want.end()) {
+      out.push_back({e.file, e.line, "snapshot-format-drift",
+                     "class `" + e.cls + "` (section " + e.tag + " v" + e.version +
+                         ") is not in the snapshot manifest; run `safedm-lint ... "
+                         "--update-manifest` and review the new row"});
+      continue;
+    }
+    matched.insert(e.cls);
+    const Row& w = it->second;
+    if (w.tag != e.tag || w.version != e.version) {
+      out.push_back({e.file, e.line, "snapshot-format-drift",
+                     "class `" + e.cls + "`: section changed (" + w.tag + " v" + w.version +
+                         " -> " + e.tag + " v" + e.version +
+                         "); manifest is stale — run `safedm-lint ... --update-manifest`"});
+      continue;
+    }
+    if (w.members != members) {
+      // The headline case: same fourcc+version, different serialized set.
+      std::set<std::string> have(e.members.begin(), e.members.end());
+      std::set<std::string> old;
+      std::istringstream ms(w.members);
+      std::string m;
+      while (std::getline(ms, m, ',')) {
+        if (!m.empty()) old.insert(m);
+      }
+      std::string delta;
+      for (const std::string& x : have) {
+        if (!old.count(x)) delta += " +" + x;
+      }
+      for (const std::string& x : old) {
+        if (!have.count(x)) delta += " -" + x;
+      }
+      out.push_back({e.file, e.line, "snapshot-format-drift",
+                     "class `" + e.cls + "`: serialized member set changed (" +
+                         (delta.empty() ? " reordered" : delta) + " ) but section " + e.tag +
+                         " is still v" + e.version +
+                         " — bump the version, then run `safedm-lint ... --update-manifest`"});
+    }
+  }
+  for (const auto& [cls, w] : want) {
+    if (matched.count(cls)) continue;
+    out.push_back({display, w.line, "snapshot-format-drift",
+                   "manifest row for `" + cls +
+                       "` matches no save_state class in the scanned sources; run "
+                       "`safedm-lint ... --update-manifest`"});
+  }
+}
+
+void check_stale_annotations(const std::vector<SourceFile>& files, const AnnotationUse& used,
+                             const std::set<std::pair<std::string, int>>& claimed_no_snapshot,
+                             const std::vector<GuardedMember>& guarded,
+                             std::vector<Finding>& out) {
+  std::set<std::pair<std::string, int>> guard_decls;
+  for (const GuardedMember& g : guarded) guard_decls.insert({g.file, g.annot_line});
+  for (const SourceFile& f : files) {
+    for (const auto& [line, kinds] : f.annotations) {
+      for (const auto& [kind, reason] : kinds) {
+        (void)reason;
+        if (kind == "guarded-by") {
+          // Declarative, not an escape — but it must attach to a member.
+          if (!guard_decls.count({f.path, line})) {
+            out.push_back({f.path, line, "stale-annotation",
+                           "`guarded-by` attaches to no member declaration (it goes on, or "
+                           "directly above, the guarded member)"});
+          }
+          continue;
+        }
+        if (kind == "no-snapshot" && claimed_no_snapshot.count({f.path, line}) &&
+            !used.is_used(f.path, line, kind)) {
+          out.push_back({f.path, line, "stale-annotation",
+                         "stale `no-snapshot`: the member is referenced in both save_state "
+                         "and restore_state (or is exempt anyway) — the check would not "
+                         "fire; remove the annotation"});
+          continue;
+        }
+        if (used.is_used(f.path, line, kind)) continue;
+        if (kind == "no-snapshot" && !claimed_no_snapshot.count({f.path, line})) {
+          out.push_back({f.path, line, "stale-annotation",
+                         "`no-snapshot` attaches to no member declaration of a class with "
+                         "save_state/restore_state — the check would not fire; remove it"});
+          continue;
+        }
+        if (kind == "no-snapshot") continue;  // claimed and used
+        out.push_back({f.path, line, "stale-annotation",
+                       "stale `" + kind +
+                           "`: the check it escapes would not fire here; remove the "
+                           "annotation"});
+      }
+    }
+  }
+}
+
+}  // namespace safedm::lint

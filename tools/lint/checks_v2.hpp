@@ -1,0 +1,52 @@
+// The v2 cross-TU checks: lock-discipline, snapshot-format drift against
+// the checked-in manifest, and stale-annotation detection.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "symbols.hpp"
+
+namespace safedm::lint {
+
+/// Lock-discipline over one file. `applicable` is the subset of the guarded
+/// registry whose declaring file shares this file's stem and subsystem
+/// (thread_pool.hpp governs thread_pool.cpp and vice versa).
+void check_lock_discipline(const SourceFile& f, const std::vector<Tok>& toks,
+                           const std::vector<GuardedMember>& applicable, AnnotationUse& used,
+                           std::vector<Finding>& out);
+
+/// One manifest row: a save_state class with a tagged section.
+struct ManifestEntry {
+  std::string cls;
+  std::string tag;      // section fourcc
+  std::string version;  // resolved to decimal when possible
+  std::vector<std::string> members;  // sorted serialized member set
+  std::string file;     // save body location, for findings
+  int line = 0;
+};
+
+/// Collect the manifest entries from the merged symbol tables. `constants`
+/// resolves symbolic version arguments (e.g. kShardLogVersion).
+std::vector<ManifestEntry> collect_manifest(
+    const std::vector<ClassRec>& classes, const std::map<std::string, Bodies>& bodies,
+    const std::map<std::string, std::string>& constants);
+
+/// Canonical text form (sorted, with a regeneration header).
+std::string render_manifest(const std::vector<ManifestEntry>& entries);
+
+/// Diff `entries` against the checked-in manifest at `path`; findings point
+/// at the save body (drift) or at `display` (manifest-side problems).
+void check_manifest_drift(const std::vector<ManifestEntry>& entries, const std::string& path,
+                          const std::string& display, std::vector<Finding>& out);
+
+/// Every escape-hatch annotation that suppressed nothing is a finding.
+/// `claimed_no_snapshot` is the set of (path, line) no-snapshot annotations
+/// attached to a parsed member declaration (the snapshot-completeness pass
+/// decides used/stale for those); unclaimed ones are dangling.
+void check_stale_annotations(const std::vector<SourceFile>& files, const AnnotationUse& used,
+                             const std::set<std::pair<std::string, int>>& claimed_no_snapshot,
+                             const std::vector<GuardedMember>& guarded,
+                             std::vector<Finding>& out);
+
+}  // namespace safedm::lint

@@ -1,0 +1,25 @@
+#include "guarded.hpp"
+
+namespace lintfix {
+
+void JobQueue::push(std::uint64_t v) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  jobs_.push_back(v);
+  ++pushes_;
+}
+
+std::uint64_t JobQueue::unsafe_peek() const {
+  return jobs_.empty() ? 0 : jobs_.front();  // seeded: no lock on mutex_
+}
+
+std::uint64_t JobQueue::racy_size_hint() const {
+  // lint: allow-unguarded(fixture: advisory size hint, staleness tolerated)
+  return pushes_;
+}
+
+std::size_t JobQueue::locked_size() const {
+  std::unique_lock<std::mutex> lock(mutex_);
+  return jobs_.size();
+}
+
+}  // namespace lintfix

@@ -1,0 +1,28 @@
+// Lock-discipline fixtures: members annotated `guarded-by(mutex_)` may only
+// be touched under a lock_guard/unique_lock/scoped_lock on that mutex.
+//   unsafe_peek()     reads jobs_ with no lock      (must be flagged)
+//   racy_size_hint()  reads pushes_ via the escape  (must NOT be flagged)
+//   push()/locked_size() lock correctly             (must NOT be flagged)
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+
+namespace lintfix {
+
+class JobQueue {
+ public:
+  void push(std::uint64_t v);
+  std::uint64_t unsafe_peek() const;
+  std::uint64_t racy_size_hint() const;
+  std::size_t locked_size() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::deque<std::uint64_t> jobs_;  // lint: guarded-by(mutex_)
+  std::uint64_t pushes_ = 0;        // lint: guarded-by(mutex_)
+};
+
+}  // namespace lintfix

@@ -1,0 +1,12 @@
+// Other half of the seeded include cycle: assembler -> isa -> assembler.
+#pragma once
+
+#include <cstdint>
+
+#include "safedm/isa/cyc_a.hpp"
+
+namespace lintfix {
+
+inline constexpr std::uint32_t kCycB = 0xBu;
+
+}  // namespace lintfix

@@ -1,0 +1,10 @@
+// Layer-0 stub header for the layering fixtures.
+#pragma once
+
+#include <cstdint>
+
+namespace lintfix {
+
+inline constexpr std::uint32_t kBitsStub = 0xB175u;
+
+}  // namespace lintfix

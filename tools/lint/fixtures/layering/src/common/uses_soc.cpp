@@ -1,0 +1,9 @@
+// Seeded layering violation: a layer-0 (common) translation unit reaching up
+// into layer-3 (soc). The include below must be flagged as a back-edge.
+#include "safedm/soc/soc_stub.hpp"
+
+namespace lintfix {
+
+std::uint32_t common_peeks_at_soc() { return kSocStub; }
+
+}  // namespace lintfix

@@ -1,0 +1,9 @@
+// Translation unit that pulls the seeded cycle into the fixture build so the
+// headers stay compilable despite the (pragma-once-tolerated) cycle.
+#include "safedm/isa/cyc_a.hpp"
+
+namespace lintfix {
+
+std::uint32_t cycle_sum() { return kCycA + kCycB; }
+
+}  // namespace lintfix

@@ -1,0 +1,13 @@
+// Half of a seeded include cycle: isa -> assembler -> isa. Both the
+// subsystem-level cycle and the header-level cycle must be flagged.
+#pragma once
+
+#include <cstdint>
+
+#include "safedm/assembler/cyc_b.hpp"
+
+namespace lintfix {
+
+inline constexpr std::uint32_t kCycA = 0xAu;
+
+}  // namespace lintfix

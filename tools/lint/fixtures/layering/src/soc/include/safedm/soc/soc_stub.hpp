@@ -1,0 +1,13 @@
+// Layer-3 stub header for the layering fixtures. Including a lower layer
+// (common) from here is the allowed direction and must stay silent.
+#pragma once
+
+#include <cstdint>
+
+#include "safedm/common/bits_stub.hpp"
+
+namespace lintfix {
+
+inline constexpr std::uint32_t kSocStub = kBitsStub + 1u;
+
+}  // namespace lintfix

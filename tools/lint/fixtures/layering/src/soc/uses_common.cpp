@@ -1,0 +1,9 @@
+// Clean counter-example: soc (layer 3) depending on common (layer 0) follows
+// the allowed direction and must not be flagged.
+#include "safedm/common/bits_stub.hpp"
+
+namespace lintfix {
+
+std::uint32_t soc_uses_common() { return kBitsStub; }
+
+}  // namespace lintfix

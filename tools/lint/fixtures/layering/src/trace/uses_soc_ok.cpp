@@ -1,0 +1,11 @@
+// Annotated counter-example: trace (layer 2) including soc (layer 3) is a
+// back-edge, but the allow-layer escape below suppresses it. If the escape
+// ever stops being needed it will be reported as stale instead.
+// lint: allow-layer(fixture: mirrors the tracer's soc introspection hooks)
+#include "safedm/soc/soc_stub.hpp"
+
+namespace lintfix {
+
+std::uint32_t trace_reads_soc() { return kSocStub; }
+
+}  // namespace lintfix

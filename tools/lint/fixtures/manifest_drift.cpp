@@ -1,0 +1,43 @@
+#include "manifest_drift.hpp"
+
+namespace lintfix {
+
+void DriftRecord::save_state(StateWriter& w) const {
+  w.begin_section("DRFT", 1);
+  w.put_u64(cursor_);
+  w.put_u64(added_field_);
+  w.end_section();
+}
+
+void DriftRecord::restore_state(StateReader& r) {
+  r.begin_section("DRFT");
+  cursor_ = r.get_u64();
+  added_field_ = r.get_u64();
+  r.end_section();
+}
+
+void StableRecord::save_state(StateWriter& w) const {
+  w.begin_section("STBL", 1);
+  w.put_u64(value_);
+  w.end_section();
+}
+
+void StableRecord::restore_state(StateReader& r) {
+  r.begin_section("STBL");
+  value_ = r.get_u64();
+  r.end_section();
+}
+
+void RebuiltRecord::save_state(StateWriter& w) const {
+  w.begin_section("RBLT", 2);
+  w.put_u64(value_);
+  w.end_section();
+}
+
+void RebuiltRecord::restore_state(StateReader& r) {
+  r.begin_section("RBLT");
+  value_ = r.get_u64();
+  r.end_section();
+}
+
+}  // namespace lintfix

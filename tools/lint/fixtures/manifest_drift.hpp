@@ -1,0 +1,43 @@
+// Snapshot-format drift fixtures, diffed against the fixture manifest
+// (snapshot_manifest.txt in this directory):
+//   DriftRecord    gained added_field_ without a version bump (must be flagged)
+//   StableRecord   matches its manifest row                    (must NOT be flagged)
+//   RebuiltRecord  bumped its version; the manifest row is v1  (stale-manifest finding)
+// The manifest also lists GhostRecord, which no longer exists (must be flagged).
+#pragma once
+
+#include <cstdint>
+
+#include "state_stub.hpp"
+
+namespace lintfix {
+
+class DriftRecord {
+ public:
+  void save_state(StateWriter& w) const;
+  void restore_state(StateReader& r);
+
+ private:
+  std::uint64_t cursor_ = 0;
+  std::uint64_t added_field_ = 0;
+};
+
+class StableRecord {
+ public:
+  void save_state(StateWriter& w) const;
+  void restore_state(StateReader& r);
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+class RebuiltRecord {
+ public:
+  void save_state(StateWriter& w) const;
+  void restore_state(StateReader& r);
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+}  // namespace lintfix

@@ -1,0 +1,31 @@
+// Lexer regression fixtures: raw string literals (including encoding
+// prefixes and custom delimiters) and `\`-continued lines must not leak
+// their contents into the token stream. Only the real std::rand() call at
+// the bottom may fire.
+#include <cstdlib>
+
+namespace lintfix {
+
+// Plain raw string: contents are not code.
+inline const char* kRaw = R"(calls rand() and time(nullptr) but is just text)";
+
+// Custom delimiter with an embedded `)quoted"` that must not end the string.
+inline const char* kDelim = R"abc(embedded )quoted" and rand() stay text)abc";
+
+// Encoding prefix: LR"..." is a raw string too; the embedded quote must not
+// flip the lexer back into code mid-literal.
+inline const wchar_t* kWide = LR"(a quote " then rand() still inside the literal)";
+
+// Macro definitions continue across `\` line breaks; every continued line
+// is preprocessor text, not code.
+#define LINTFIX_MIX(dst, v)        \
+  do {                             \
+    (dst) += (v) + time(nullptr);  \
+  } while (false)
+
+// A `\`-continued // comment keeps the next line inside the comment: \
+   rand() here is still comment text, not a call
+
+unsigned real_violation() { return static_cast<unsigned>(std::rand()); }  // seeded: must fire
+
+}  // namespace lintfix

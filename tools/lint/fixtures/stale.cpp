@@ -1,0 +1,20 @@
+// Stale escape hatches at statement level:
+//   the allow-nondeterminism below covers plain arithmetic  (must be flagged)
+//   the guarded-by attaches to a function, not a member     (must be flagged)
+//   the file-scope no-snapshot attaches to no member        (must be flagged)
+#include "stale.hpp"
+
+namespace lintfix {
+
+std::uint64_t doubled(std::uint64_t v) {
+  // lint: allow-nondeterminism(stale: nothing nondeterministic on this line)
+  return v * 2;
+}
+
+// lint: guarded-by(mutex_)
+std::uint64_t not_a_member(std::uint64_t v) { return v + 1; }
+
+// lint: no-snapshot(stale: this is not a member declaration)
+std::uint64_t kFileScopeValue = 7;
+
+}  // namespace lintfix

@@ -1,0 +1,23 @@
+// Stale-annotation fixtures: escape hatches whose check would not fire are
+// themselves findings, so suppressions cannot accumulate.
+//   counted_ round-trips through both bodies, so its `no-snapshot` is stale.
+//   (snapshot_clean.hpp holds the counter-examples: annotations that DO
+//   suppress a would-be finding and must stay silent.)
+#pragma once
+
+#include <cstdint>
+
+#include "state_stub.hpp"
+
+namespace lintfix {
+
+class Tidy {
+ public:
+  void save_state(StateWriter& w) const { w.put_u64(counted_); }
+  void restore_state(StateReader& r) { counted_ = r.get_u64(); }
+
+ private:
+  std::uint64_t counted_ = 0;  // lint: no-snapshot(stale: this field round-trips fine)
+};
+
+}  // namespace lintfix

@@ -8,6 +8,10 @@ namespace lintfix {
 
 class StateWriter {
  public:
+  void begin_section(const char* tag, std::uint32_t version) {
+    last_ = static_cast<std::uint64_t>(tag[0]) + version;
+  }
+  void end_section() {}
   void put_u64(std::uint64_t v) { last_ = v; }
 
  private:
@@ -16,6 +20,10 @@ class StateWriter {
 
 class StateReader {
  public:
+  std::uint32_t begin_section(const char* tag) {
+    return static_cast<std::uint32_t>(tag[0]) + static_cast<std::uint32_t>(pos_);
+  }
+  void end_section() {}
   std::uint64_t get_u64() { return ++pos_; }
 
  private:

@@ -1,0 +1,296 @@
+#include "graph.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <sstream>
+#include <tuple>
+
+namespace safedm::lint {
+
+namespace {
+
+std::vector<std::string> split_path(const std::string& p) {
+  std::vector<std::string> comp;
+  std::string cur;
+  for (char c : p) {
+    if (c == '/') {
+      if (!cur.empty()) comp.push_back(cur);
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  if (!cur.empty()) comp.push_back(cur);
+  return comp;
+}
+
+std::string normalize_path(const std::string& p) {
+  std::vector<std::string> out;
+  for (const std::string& c : split_path(p)) {
+    if (c == ".") continue;
+    if (c == ".." && !out.empty() && out.back() != "..") {
+      out.pop_back();
+      continue;
+    }
+    out.push_back(c);
+  }
+  std::string joined;
+  for (const std::string& c : out) {
+    if (!joined.empty()) joined += '/';
+    joined += c;
+  }
+  return joined;
+}
+
+std::string dirname_of(const std::string& p) {
+  const std::size_t slash = p.find_last_of('/');
+  return slash == std::string::npos ? std::string() : p.substr(0, slash);
+}
+
+// The subsystem an include target points into: `safedm/<subsystem>/...`.
+// Relative includes stay within the includer's subsystem and never create a
+// layering edge.
+std::string target_subsystem(const std::string& target) {
+  const std::vector<std::string> comp = split_path(target);
+  if (comp.size() >= 2 && comp[0] == "safedm") return comp[1];
+  return "";
+}
+
+}  // namespace
+
+const char* const kLayerDiagram =
+    "common -> isa/assembler/mem -> bus/core/trace -> soc/safedm/safede/dcls/rtos -> "
+    "faultsim/fuzz/scenario/workloads/hwcost -> bench/tools/tests";
+
+std::vector<IncludeRef> extract_includes(const SourceFile& f) {
+  std::vector<IncludeRef> out;
+  // Line-start offsets into the blanked code, to reject directives that
+  // live inside comments or string literals (blanked there).
+  std::vector<std::size_t> starts;
+  starts.push_back(0);
+  for (std::size_t i = 0; i < f.code.size(); ++i) {
+    if (f.code[i] == '\n') starts.push_back(i + 1);
+  }
+  for (std::size_t li = 0; li < f.raw_lines.size(); ++li) {
+    const std::string& raw = f.raw_lines[li];
+    std::size_t b = raw.find_first_not_of(" \t");
+    if (b == std::string::npos || raw[b] != '#') continue;
+    if (li < starts.size()) {
+      const std::size_t off = starts[li] + b;
+      if (off >= f.code.size() || f.code[off] != '#') continue;  // commented out
+    }
+    std::size_t j = b + 1;
+    while (j < raw.size() && (raw[j] == ' ' || raw[j] == '\t')) ++j;
+    if (raw.compare(j, 7, "include") != 0) continue;
+    j += 7;
+    while (j < raw.size() && (raw[j] == ' ' || raw[j] == '\t')) ++j;
+    if (j >= raw.size()) continue;
+    IncludeRef ref;
+    ref.line = static_cast<int>(li) + 1;
+    if (raw[j] == '"') {
+      const std::size_t close = raw.find('"', j + 1);
+      if (close == std::string::npos) continue;
+      ref.target = raw.substr(j + 1, close - j - 1);
+    } else if (raw[j] == '<') {
+      const std::size_t close = raw.find('>', j + 1);
+      if (close == std::string::npos) continue;
+      ref.target = raw.substr(j + 1, close - j - 1);
+      ref.angled = true;
+    } else {
+      continue;  // computed include (macro) — out of scope
+    }
+    out.push_back(std::move(ref));
+  }
+  return out;
+}
+
+std::string subsystem_of(const std::string& path) {
+  const std::vector<std::string> comp = split_path(path);
+  if (comp.empty()) return "";
+  for (std::size_t i = 0; i + 1 < comp.size(); ++i) {
+    if (comp[i] == "src") return comp[i + 1];
+  }
+  if (comp[0] == "bench" || comp[0] == "tools" || comp[0] == "tests" || comp[0] == "examples") {
+    return comp[0];
+  }
+  return "";
+}
+
+int layer_of(const std::string& subsystem) {
+  static const std::map<std::string, int> layers = {
+      {"common", 0},
+      {"isa", 1},      {"assembler", 1}, {"mem", 1},
+      {"bus", 2},      {"core", 2},      {"trace", 2},
+      {"soc", 3},      {"safedm", 3},    {"safede", 3},   {"dcls", 3},      {"rtos", 3},
+      {"faultsim", 4}, {"fuzz", 4},      {"scenario", 4}, {"workloads", 4}, {"hwcost", 4},
+      {"bench", 5},    {"tools", 5},     {"tests", 5},    {"examples", 5},
+  };
+  auto it = layers.find(subsystem);
+  return it == layers.end() ? -1 : it->second;
+}
+
+IncludeGraph build_include_graph(const std::vector<SourceFile>& files,
+                                 const std::vector<std::string>& roots) {
+  IncludeGraph g;
+  for (const SourceFile& f : files) g.nodes.insert(f.path);
+  // Auto-derive include roots: every path prefix ending in an `include`
+  // component, the repo's `-I` convention (`src/<sub>/include`).
+  std::set<std::string> all_roots(roots.begin(), roots.end());
+  for (const std::string& p : g.nodes) {
+    std::size_t pos = 0;
+    while ((pos = p.find("include/", pos)) != std::string::npos) {
+      if (pos == 0 || p[pos - 1] == '/') all_roots.insert(p.substr(0, pos + 7));
+      pos += 8;
+    }
+  }
+  for (const SourceFile& f : files) {
+    for (const IncludeRef& inc : extract_includes(f)) {
+      std::vector<std::string> cands;
+      if (!inc.angled) {
+        const std::string dir = dirname_of(f.path);
+        cands.push_back(normalize_path(dir.empty() ? inc.target : dir + "/" + inc.target));
+      }
+      for (const std::string& r : all_roots) cands.push_back(normalize_path(r + "/" + inc.target));
+      for (const std::string& cand : cands) {
+        if (g.nodes.count(cand)) {
+          g.edges[f.path].push_back({cand, inc.line});
+          break;
+        }
+      }
+    }
+  }
+  for (auto& [from, tos] : g.edges) {
+    std::sort(tos.begin(), tos.end());
+    tos.erase(std::unique(tos.begin(), tos.end()), tos.end());
+  }
+  return g;
+}
+
+std::vector<std::string> find_file_cycle(const IncludeGraph& g) {
+  std::map<std::string, int> color;  // 0 = unvisited, 1 = on stack, 2 = done
+  std::vector<std::string> stack, cycle;
+  std::function<bool(const std::string&)> dfs = [&](const std::string& u) {
+    color[u] = 1;
+    stack.push_back(u);
+    auto it = g.edges.find(u);
+    if (it != g.edges.end()) {
+      for (const auto& [v, line] : it->second) {
+        (void)line;
+        if (color[v] == 1) {
+          auto pos = std::find(stack.begin(), stack.end(), v);
+          cycle.assign(pos, stack.end());
+          cycle.push_back(v);
+          return true;
+        }
+        if (color[v] == 0 && dfs(v)) return true;
+      }
+    }
+    stack.pop_back();
+    color[u] = 2;
+    return false;
+  };
+  for (const std::string& n : g.nodes) {
+    if (color[n] == 0 && dfs(n)) return cycle;
+  }
+  return {};
+}
+
+bool header_is_guarded(const std::vector<std::string>& raw_lines) {
+  std::string ifndef_macro;
+  for (const std::string& raw : raw_lines) {
+    std::size_t b = raw.find_first_not_of(" \t");
+    if (b == std::string::npos || raw[b] != '#') continue;
+    std::istringstream is(raw.substr(b + 1));
+    std::string directive, arg;
+    is >> directive >> arg;
+    if (directive == "pragma" && arg == "once") return true;
+    if (directive == "ifndef" && ifndef_macro.empty()) ifndef_macro = arg;
+    if (directive == "define" && !ifndef_macro.empty() && arg == ifndef_macro) return true;
+  }
+  return false;
+}
+
+void check_layering(const std::vector<SourceFile>& files, AnnotationUse& used,
+                    std::vector<Finding>& out) {
+  // Subsystem-level edges (for cycle detection) with a deterministic
+  // representative include: the smallest (file, line, target).
+  std::map<std::pair<std::string, std::string>, std::tuple<std::string, int, std::string>> edges;
+  for (const SourceFile& f : files) {
+    const std::string& ssub = f.subsystem;
+    if (ssub.empty()) continue;
+    const int sl = layer_of(ssub);
+    if (sl < 0) continue;
+    for (const IncludeRef& inc : extract_includes(f)) {
+      const std::string tsub = target_subsystem(inc.target);
+      if (tsub.empty()) continue;
+      const int tl = layer_of(tsub);
+      if (tl < 0) continue;
+      const int al = annotation_line(f, inc.line, "allow-layer");
+      if (tl > sl) {
+        if (al != 0) {
+          used.mark(f, al, "allow-layer");
+        } else {
+          std::ostringstream msg;
+          msg << "layering back-edge: `" << ssub << "` (layer " << sl << ") must not include `"
+              << inc.target << "` (layer " << tl << " `" << tsub
+              << "`); allowed order is " << kLayerDiagram
+              << " (escape: `// lint: allow-layer(reason)`)";
+          out.push_back({f.path, inc.line, "layering", msg.str()});
+        }
+        continue;  // annotated or reported — keep it out of the cycle graph
+      }
+      if (tsub == ssub) continue;
+      if (al != 0) used.mark(f, al, "allow-layer");  // reviewed same/forward edge
+      const auto key = std::make_pair(ssub, tsub);
+      const auto val = std::make_tuple(f.path, inc.line, inc.target);
+      auto it = edges.find(key);
+      if (it == edges.end() || val < it->second) edges[key] = val;
+    }
+  }
+
+  // Same-layer cycles (forward edges cannot cycle; back-edges are already
+  // findings above).
+  std::map<std::string, std::vector<std::string>> adj;
+  for (const auto& [key, rep] : edges) {
+    (void)rep;
+    adj[key.first].push_back(key.second);
+  }
+  std::map<std::string, int> color;
+  std::vector<std::string> stack;
+  std::set<std::string> reported;
+  std::function<void(const std::string&)> dfs = [&](const std::string& u) {
+    color[u] = 1;
+    stack.push_back(u);
+    auto it = adj.find(u);
+    if (it != adj.end()) {
+      for (const std::string& v : it->second) {
+        if (color[v] == 1) {
+          auto pos = std::find(stack.begin(), stack.end(), v);
+          std::vector<std::string> cyc(pos, stack.end());
+          // Canonical rotation: smallest subsystem first.
+          auto mn = std::min_element(cyc.begin(), cyc.end());
+          std::rotate(cyc.begin(), mn, cyc.end());
+          std::string rendered;
+          for (const std::string& s : cyc) rendered += s + " -> ";
+          rendered += cyc.front();
+          if (reported.insert(rendered).second) {
+            const auto& rep = edges.at({cyc.front(), cyc[1 % cyc.size()]});
+            out.push_back({std::get<0>(rep), std::get<1>(rep), "layering",
+                           "subsystem include cycle: " + rendered +
+                               " (break one of these includes)"});
+          }
+        } else if (color[v] == 0) {
+          dfs(v);
+        }
+      }
+    }
+    stack.pop_back();
+    color[u] = 2;
+  };
+  for (const auto& [u, tos] : adj) {
+    (void)tos;
+    if (color[u] == 0) dfs(u);
+  }
+}
+
+}  // namespace safedm::lint

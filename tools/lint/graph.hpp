@@ -1,0 +1,68 @@
+// Include-graph construction + layering DAG for safedm-lint. The graph is
+// built from the actual `#include` directives of the scanned file set;
+// system headers (angle includes that do not resolve inside the tree) are
+// excluded. The layering check works on subsystem names parsed from
+// `safedm/<subsystem>/...` include targets, so it fires even on includes of
+// headers outside the scanned set.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lint.hpp"
+
+namespace safedm::lint {
+
+struct IncludeRef {
+  int line = 0;
+  std::string target;   // the path between the quotes / angle brackets
+  bool angled = false;  // `<...>` (never resolved against the includer dir)
+};
+
+/// Every #include directive of `f`, in line order. Directives whose line is
+/// fully blanked in `f.code` (commented out) are skipped.
+std::vector<IncludeRef> extract_includes(const SourceFile& f);
+
+/// The subsystem a path belongs to: the component after the last "src/" in
+/// the path ("src/soc/..." -> "soc"), or the first component for the
+/// top-layer trees ("bench/...", "tools/...", "tests/...", "examples/...").
+/// "" when the path fits neither shape.
+std::string subsystem_of(const std::string& path);
+
+/// Layer index of a subsystem in the dependency DAG (0 = common, ...,
+/// 5 = bench/tools/tests). -1 for unknown subsystems.
+int layer_of(const std::string& subsystem);
+
+/// The DAG rendered for diagnostics and docs.
+extern const char* const kLayerDiagram;
+
+/// File-level include graph over the scanned set. Nodes are report paths;
+/// an edge records the #include line that created it.
+struct IncludeGraph {
+  std::set<std::string> nodes;
+  // from-path -> [(to-path, include line)], each sorted.
+  std::map<std::string, std::vector<std::pair<std::string, int>>> edges;
+};
+
+/// Resolve each file's includes against (a) the includer's directory and
+/// (b) `roots` (path prefixes tried as `root + "/" + target`). Includes
+/// that resolve to no scanned file — system headers — contribute nothing.
+IncludeGraph build_include_graph(const std::vector<SourceFile>& files,
+                                 const std::vector<std::string>& roots);
+
+/// First include cycle found (deterministic: DFS over sorted nodes), as the
+/// node path a -> b -> ... -> a. Empty when the graph is acyclic.
+std::vector<std::string> find_file_cycle(const IncludeGraph& g);
+
+/// True when the header opens with `#pragma once` or a classic
+/// #ifndef/#define guard pair.
+bool header_is_guarded(const std::vector<std::string>& raw_lines);
+
+/// Layering check: back-edge findings (layer(target) > layer(source)) with
+/// the `allow-layer` escape, plus subsystem-level include cycle findings.
+void check_layering(const std::vector<SourceFile>& files, AnnotationUse& used,
+                    std::vector<Finding>& out);
+
+}  // namespace safedm::lint

@@ -5,6 +5,11 @@
 #include <fstream>
 #include <sstream>
 
+#include "checks_v2.hpp"
+#include "graph.hpp"
+#include "safedm/common/thread_pool.hpp"
+#include "symbols.hpp"
+
 namespace safedm::lint {
 namespace {
 
@@ -14,12 +19,23 @@ namespace {
 
 bool ident_char(char c) { return std::isalnum(static_cast<unsigned char>(c)) || c == '_'; }
 
+bool plain_identifier(const std::string& s) {
+  if (s.empty() || std::isdigit(static_cast<unsigned char>(s[0]))) return false;
+  for (char c : s) {
+    if (!ident_char(c)) return false;
+  }
+  return true;
+}
+
 const std::set<std::string>& known_annotation_kinds() {
   static const std::set<std::string> kinds = {
       "no-snapshot",
       "allow-nondeterminism",
       "allow-unordered-iteration",
       "allow-using-namespace",
+      "guarded-by",
+      "allow-unguarded",
+      "allow-layer",
   };
   return kinds;
 }
@@ -52,8 +68,12 @@ void scan_comment(const std::string& text, int line, SourceFile& out) {
     }
     const bool known = known_annotation_kinds().count(kind) != 0;
     const bool reasoned = has_paren && reason.find_first_not_of(" \t") != std::string::npos;
-    if (known && reasoned) {
-      out.annotations[line].insert(kind);
+    if (known && reasoned && kind == "guarded-by" && !plain_identifier(reason)) {
+      out.bad_annotations.push_back(
+          {out.path, line, "bad-annotation",
+           "`lint: guarded-by` takes the mutex member's name, not prose: `" + reason + "`"});
+    } else if (known && reasoned) {
+      out.annotations[line][kind] = reason;
     } else {
       out.bad_annotations.push_back(
           {out.path, line, "bad-annotation",
@@ -64,7 +84,8 @@ void scan_comment(const std::string& text, int line, SourceFile& out) {
 }
 
 // Blank comments, string literals, and char literals from the source while
-// preserving the line structure, collecting `// lint:` annotations as we go.
+// preserving the line structure, collecting `// lint:` annotations and
+// string-literal contents (keyed by the opening quote's offset) as we go.
 std::string blank_code(const std::vector<std::string>& lines, SourceFile& out) {
   std::string src;
   for (const std::string& l : lines) {
@@ -76,6 +97,8 @@ std::string blank_code(const std::vector<std::string>& lines, SourceFile& out) {
   St st = St::Code;
   std::string comment;
   std::string raw_delim;
+  std::string str_val;
+  std::size_t str_start = 0;
   int line = 1;
   int comment_line = 1;
   for (std::size_t i = 0; i < src.size(); ++i) {
@@ -97,14 +120,30 @@ std::string blank_code(const std::vector<std::string>& lines, SourceFile& out) {
           ++i;
         } else if (c == '"') {
           // R"delim( ... )delim" raw strings end at the matching delimiter.
-          bool raw = i > 0 && src[i - 1] == 'R' && (i < 2 || !ident_char(src[i - 2]));
+          // The R may carry an encoding prefix: u8R, uR, UR, LR.
+          bool raw = false;
+          if (i > 0 && src[i - 1] == 'R') {
+            std::size_t q = i - 1;  // start of the prefix
+            if (q > 0 && (src[q - 1] == 'u' || src[q - 1] == 'U' || src[q - 1] == 'L')) {
+              --q;
+            } else if (q > 1 && src[q - 1] == '8' && src[q - 2] == 'u') {
+              q -= 2;
+            }
+            raw = q == 0 || !ident_char(src[q - 1]);
+          }
           if (raw) {
             std::size_t open = src.find('(', i + 1);
             if (open == std::string::npos) break;  // malformed; give up quietly
             raw_delim = ")" + src.substr(i + 1, open - i - 1) + "\"";
+            // Blank the open delimiter too — `R"abc(` must not leak an
+            // `abc` identifier token.
+            for (std::size_t k = i + 1; k <= open; ++k) code[k] = ' ';
+            i = open;  // contents start after `(`; Raw state blanks them
             st = St::Raw;
           } else {
             st = St::Str;
+            str_start = i;
+            str_val.clear();
           }
         } else if (c == '\'' && !(i > 0 && ident_char(src[i - 1]))) {
           // `'` after an identifier char is a digit separator (0x8000'0000).
@@ -113,6 +152,7 @@ std::string blank_code(const std::vector<std::string>& lines, SourceFile& out) {
         break;
       case St::Line:
         if (c == '\n') {
+          if (i > 0 && src[i - 1] == '\\') break;  // `\`-continued comment line
           scan_comment(comment, comment_line, out);
           st = St::Code;
         } else {
@@ -133,12 +173,18 @@ std::string blank_code(const std::vector<std::string>& lines, SourceFile& out) {
         break;
       case St::Str:
         if (c == '\\') {
+          str_val += c;
           code[i] = ' ';
-          if (next != '\n') code[i + 1] = ' ';
+          if (next != '\n') {
+            str_val += next;
+            code[i + 1] = ' ';
+          }
           ++i;
         } else if (c == '"') {
+          out.string_literals[str_start] = str_val;
           st = St::Code;
         } else if (c != '\n') {
+          str_val += c;
           code[i] = ' ';
         }
         break;
@@ -173,412 +219,10 @@ std::string blank_code(const std::vector<std::string>& lines, SourceFile& out) {
 }
 
 // ---------------------------------------------------------------------------
-// Tokenizer
-// ---------------------------------------------------------------------------
-
-struct Tok {
-  enum Kind { kIdent, kNum, kPunct } kind;
-  std::string text;
-  int line;
-};
-
-std::vector<Tok> tokenize(const std::string& code) {
-  std::vector<Tok> toks;
-  int line = 1;
-  for (std::size_t i = 0; i < code.size();) {
-    const char c = code[i];
-    if (c == '\n') {
-      ++line;
-      ++i;
-      continue;
-    }
-    if (std::isspace(static_cast<unsigned char>(c))) {
-      ++i;
-      continue;
-    }
-    if (c == '#') {  // preprocessor: drop the directive line (no continuations
-      while (i < code.size() && code[i] != '\n') ++i;  // in this codebase)
-      continue;
-    }
-    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
-      std::size_t b = i;
-      while (i < code.size() && ident_char(code[i])) ++i;
-      toks.push_back({Tok::kIdent, code.substr(b, i - b), line});
-      continue;
-    }
-    if (std::isdigit(static_cast<unsigned char>(c))) {
-      std::size_t b = i;
-      while (i < code.size() && (ident_char(code[i]) || code[i] == '.')) ++i;
-      toks.push_back({Tok::kNum, code.substr(b, i - b), line});
-      continue;
-    }
-    if (c == ':' && i + 1 < code.size() && code[i + 1] == ':') {
-      toks.push_back({Tok::kPunct, "::", line});
-      i += 2;
-      continue;
-    }
-    if (c == '-' && i + 1 < code.size() && code[i + 1] == '>') {
-      toks.push_back({Tok::kPunct, "->", line});
-      i += 2;
-      continue;
-    }
-    toks.push_back({Tok::kPunct, std::string(1, c), line});
-    ++i;
-  }
-  return toks;
-}
-
-// ---------------------------------------------------------------------------
-// Class / member model
-// ---------------------------------------------------------------------------
-
-struct Member {
-  std::string name;
-  int line = 0;
-  bool exempt = false;  // reference/const member, or `no-snapshot` annotated
-};
-
-struct ClassRec {
-  std::string name;
-  const SourceFile* file = nullptr;
-  std::vector<Member> members;
-  bool declares_save = false;
-  bool declares_restore = false;
-};
-
-struct Bodies {
-  std::set<std::string> save_idents, restore_idents;
-  bool has_save = false, has_restore = false;
-};
-
-struct ParseCtx {
-  const SourceFile* file;
-  std::vector<ClassRec>* classes;
-  std::map<std::string, Bodies>* bodies;  // keyed by unqualified class name
-};
-
-bool annotated(const SourceFile& f, int line, const std::string& kind) {
-  for (int l : {line, line - 1}) {
-    auto it = f.annotations.find(l);
-    if (it != f.annotations.end() && it->second.count(kind)) return true;
-  }
-  return false;
-}
-
-// Skip a balanced token group starting at toks[i] (which must be `open`).
-// Returns the index one past the matching closer. Optionally collects the
-// identifiers seen inside.
-std::size_t skip_balanced(const std::vector<Tok>& toks, std::size_t i, const char* open,
-                          const char* close, std::set<std::string>* idents = nullptr) {
-  int depth = 0;
-  for (; i < toks.size(); ++i) {
-    if (toks[i].kind == Tok::kPunct && toks[i].text == open) {
-      ++depth;
-    } else if (toks[i].kind == Tok::kPunct && toks[i].text == close) {
-      if (--depth == 0) return i + 1;
-    } else if (idents && toks[i].kind == Tok::kIdent) {
-      idents->insert(toks[i].text);
-    }
-  }
-  return i;
-}
-
-// Attempt to skip a template argument list starting at a `<`. Template
-// arguments never contain `;` or top-level `{`, which is how we tell
-// `vector<int>` apart from a stray comparison. Returns the index past the
-// matching `>`, or `begin + 1` when this is not a template list.
-std::size_t skip_template_args(const std::vector<Tok>& toks, std::size_t begin) {
-  int depth = 0;
-  for (std::size_t i = begin; i < toks.size(); ++i) {
-    if (toks[i].kind != Tok::kPunct) continue;
-    const std::string& t = toks[i].text;
-    if (t == "<") ++depth;
-    else if (t == ">") {
-      if (--depth == 0) return i + 1;
-    } else if (t == ";" || t == "{" || t == ")") {
-      break;  // not a template argument list after all
-    } else if (t == "(") {
-      i = skip_balanced(toks, i, "(", ")") - 1;
-    }
-  }
-  return begin + 1;
-}
-
-bool is_punct(const Tok& t, const char* p) { return t.kind == Tok::kPunct && t.text == p; }
-bool is_ident(const Tok& t, const char* s) { return t.kind == Tok::kIdent && t.text == s; }
-
-std::size_t parse_class(ParseCtx& ctx, const std::vector<Tok>& toks, std::size_t i,
-                        ClassRec* outer);
-
-// Parse one statement at class scope starting at toks[i]; appends members /
-// declaration flags to `rec`. Returns the index of the first token after the
-// statement.
-std::size_t parse_member_statement(ParseCtx& ctx, const std::vector<Tok>& toks, std::size_t i,
-                                   ClassRec& rec) {
-  const std::size_t n = toks.size();
-  // Access specifier: `public:` etc.
-  if (i + 1 < n && toks[i].kind == Tok::kIdent &&
-      (toks[i].text == "public" || toks[i].text == "private" || toks[i].text == "protected") &&
-      is_punct(toks[i + 1], ":")) {
-    return i + 2;
-  }
-  if (is_ident(toks[i], "template")) {
-    ++i;
-    if (i < n && is_punct(toks[i], "<")) i = skip_template_args(toks, i);
-    // fall through: the templated declaration itself is parsed below
-  }
-  // Nested type definition?
-  if (i < n && (is_ident(toks[i], "class") || is_ident(toks[i], "struct") ||
-                is_ident(toks[i], "union") || is_ident(toks[i], "enum"))) {
-    const bool is_enum = is_ident(toks[i], "enum");
-    std::size_t j = i;
-    while (j < n && !is_punct(toks[j], "{") && !is_punct(toks[j], ";")) {
-      if (is_punct(toks[j], "<")) j = skip_template_args(toks, j);
-      else if (is_punct(toks[j], "(")) j = skip_balanced(toks, j, "(", ")");
-      else ++j;
-    }
-    if (j < n && is_punct(toks[j], "{")) {
-      if (is_enum) {
-        j = skip_balanced(toks, j, "{", "}");
-      } else {
-        j = parse_class(ctx, toks, i, &rec);
-      }
-      // `struct T { ... } member_;` declares a member of the *outer* class.
-      while (j < n && !is_punct(toks[j], ";")) {
-        if (toks[j].kind == Tok::kIdent && j + 1 < n &&
-            (is_punct(toks[j + 1], ";") || is_punct(toks[j + 1], ","))) {
-          Member m{toks[j].text, toks[j].line, false};
-          m.exempt = annotated(*ctx.file, m.line, "no-snapshot");
-          rec.members.push_back(m);
-        }
-        ++j;
-      }
-      return j < n ? j + 1 : j;
-    }
-    // Forward declaration / elaborated type: fall through to the generic
-    // statement scan below starting from the keyword.
-  }
-
-  // Generic statement: collect tokens (template args stripped, initializers
-  // and function bodies skipped) until the terminating `;` / body.
-  std::vector<Tok> stmt;
-  bool saw_paren = false;
-  std::string func_name;  // identifier immediately before the first top-level (
-  std::set<std::string> body_idents;
-  bool has_body = false;
-  while (i < n) {
-    const Tok& t = toks[i];
-    if (is_punct(t, ";")) {
-      ++i;
-      break;
-    }
-    if (is_punct(t, "}")) break;  // malformed / end of class: don't consume
-    if (is_punct(t, "<") && !stmt.empty() && stmt.back().kind == Tok::kIdent) {
-      i = skip_template_args(toks, i);
-      continue;
-    }
-    if (is_punct(t, "(")) {
-      if (!saw_paren) {
-        saw_paren = true;
-        if (!stmt.empty() && stmt.back().kind == Tok::kIdent) func_name = stmt.back().text;
-        // `operator==` etc.: the token before `(` is the operator symbol.
-        for (std::size_t k = stmt.size(); k-- > 0;) {
-          if (is_ident(stmt[k], "operator")) {
-            func_name = "operator";
-            break;
-          }
-          if (stmt[k].kind == Tok::kIdent) break;
-        }
-      }
-      i = skip_balanced(toks, i, "(", ")");
-      continue;
-    }
-    if (is_punct(t, "{")) {
-      if (saw_paren) {
-        // Inline member function body (possibly save_state/restore_state).
-        i = skip_balanced(toks, i, "{", "}", &body_idents);
-        has_body = true;
-        if (i < n && is_punct(toks[i], ";")) ++i;
-        break;
-      }
-      // Brace initializer on a data member.
-      i = skip_balanced(toks, i, "{", "}");
-      continue;
-    }
-    if (is_punct(t, "=")) {
-      // Initializer (or `= default`): skip to `;` or to a top-level `,`
-      // separating the next declarator (`u64 a_ = 0, b_ = 0;`).
-      ++i;
-      while (i < n && !is_punct(toks[i], ";") && !is_punct(toks[i], ",")) {
-        if (is_punct(toks[i], "{")) i = skip_balanced(toks, i, "{", "}");
-        else if (is_punct(toks[i], "(")) i = skip_balanced(toks, i, "(", ")");
-        else if (is_punct(toks[i], "<") && toks[i - 1].kind == Tok::kIdent)
-          i = skip_template_args(toks, i);
-        else ++i;
-      }
-      continue;
-    }
-    stmt.push_back(t);
-    ++i;
-  }
-  if (stmt.empty()) return i;
-
-  static const std::set<std::string> skip_lead = {"using",  "typedef", "friend",
-                                                 "static", "constexpr", "template"};
-  if (skip_lead.count(stmt.front().text)) return i;
-
-  if (saw_paren) {
-    if (func_name == "save_state" || func_name == "restore_state") {
-      const bool save = func_name == "save_state";
-      (save ? rec.declares_save : rec.declares_restore) = true;
-      if (has_body) {
-        Bodies& b = (*ctx.bodies)[rec.name];
-        (save ? b.has_save : b.has_restore) = true;
-        auto& dst = save ? b.save_idents : b.restore_idents;
-        dst.insert(body_idents.begin(), body_idents.end());
-      }
-    }
-    return i;
-  }
-
-  // Data member(s): declared names are identifiers followed by a terminator.
-  // A leading `const` exempts the member (it cannot be reassigned on
-  // restore) — but only when no `*` follows, since `const X* p_` is a
-  // mutable pointer to const.
-  bool has_star = false;
-  for (const Tok& s : stmt) {
-    if (is_punct(s, "*")) has_star = true;
-  }
-  const bool is_const = !has_star && (is_ident(stmt.front(), "const") ||
-                                      (stmt.size() > 1 && is_ident(stmt.front(), "mutable") &&
-                                       is_ident(stmt[1], "const")));
-  for (std::size_t k = 0; k < stmt.size(); ++k) {
-    if (stmt[k].kind != Tok::kIdent) continue;
-    const bool last = k + 1 == stmt.size();
-    const bool terminated =
-        last || is_punct(stmt[k + 1], ",") || is_punct(stmt[k + 1], ":") ||
-        is_punct(stmt[k + 1], "[");
-    if (!terminated || k == 0) continue;  // k==0: a lone type name, not a declarator
-    if (!last && is_punct(stmt[k + 1], ":")) {
-      // Bitfield only if a width follows; otherwise this is something odd.
-      if (k + 2 >= stmt.size() || stmt[k + 2].kind != Tok::kNum) continue;
-    }
-    Member m{stmt[k].text, stmt[k].line, false};
-    const bool is_ref = is_punct(stmt[k - 1], "&");
-    m.exempt = is_ref || is_const || annotated(*ctx.file, m.line, "no-snapshot");
-    rec.members.push_back(m);
-    if (!last && is_punct(stmt[k + 1], "[")) {
-      // Skip the array extent so its contents aren't mistaken for names.
-      while (k + 1 < stmt.size() && !is_punct(stmt[k + 1], "]")) ++k;
-    }
-  }
-  return i;
-}
-
-// Parse a class/struct/union definition whose `class` keyword is at toks[i].
-// Returns the index just past the closing `}` (the caller handles any
-// trailing declarators and the `;`).
-std::size_t parse_class(ParseCtx& ctx, const std::vector<Tok>& toks, std::size_t i,
-                        ClassRec* /*outer*/) {
-  const std::size_t n = toks.size();
-  ++i;  // class/struct/union
-  std::string name;
-  while (i < n && !is_punct(toks[i], "{") && !is_punct(toks[i], ";")) {
-    if (toks[i].kind == Tok::kIdent && name.empty() && !is_ident(toks[i], "final") &&
-        !is_ident(toks[i], "alignas")) {
-      name = toks[i].text;
-    }
-    if (is_punct(toks[i], ":")) {
-      // Base clause: everything up to `{` belongs to it.
-      while (i < n && !is_punct(toks[i], "{")) {
-        if (is_punct(toks[i], "<")) i = skip_template_args(toks, i);
-        else ++i;
-      }
-      break;
-    }
-    if (is_punct(toks[i], ")") || is_punct(toks[i], ",") || is_punct(toks[i], "=") ||
-        is_punct(toks[i], "&") || is_punct(toks[i], "*")) {
-      return i;  // elaborated type reference (`struct X` in a parameter), not a definition
-    }
-    if (is_punct(toks[i], "<")) i = skip_template_args(toks, i);
-    else if (is_punct(toks[i], "(")) i = skip_balanced(toks, i, "(", ")");
-    else ++i;
-  }
-  if (i >= n || !is_punct(toks[i], "{")) return i;  // forward declaration
-  ++i;  // {
-  ClassRec rec;
-  rec.name = name.empty() ? "<anonymous>" : name;
-  rec.file = ctx.file;
-  while (i < n && !is_punct(toks[i], "}")) {
-    i = parse_member_statement(ctx, toks, i, rec);
-  }
-  if (i < n) ++i;  // }
-  ctx.classes->push_back(std::move(rec));
-  return i;
-}
-
-// Out-of-line `Qualified::ClassName::save_state(...) ... { body }` at toks[i]
-// (i points at the save_state/restore_state identifier). Returns the index
-// past the body on success, or `i + 1` when this is not a definition.
-std::size_t try_out_of_line_body(ParseCtx& ctx, const std::vector<Tok>& toks, std::size_t i) {
-  const std::size_t n = toks.size();
-  if (i < 2 || !is_punct(toks[i - 1], "::") || toks[i - 2].kind != Tok::kIdent) return i + 1;
-  const std::string cls = toks[i - 2].text;
-  const bool save = toks[i].text == "save_state";
-  std::size_t j = i + 1;
-  if (j >= n || !is_punct(toks[j], "(")) return i + 1;
-  j = skip_balanced(toks, j, "(", ")");
-  while (j < n && toks[j].kind == Tok::kIdent &&
-         (toks[j].text == "const" || toks[j].text == "noexcept" || toks[j].text == "override" ||
-          toks[j].text == "final")) {
-    ++j;
-  }
-  if (j >= n || !is_punct(toks[j], "{")) return i + 1;  // a declaration or a call
-  std::set<std::string> idents;
-  j = skip_balanced(toks, j, "{", "}", &idents);
-  Bodies& b = (*ctx.bodies)[cls];
-  (save ? b.has_save : b.has_restore) = true;
-  auto& dst = save ? b.save_idents : b.restore_idents;
-  dst.insert(idents.begin(), idents.end());
-  return j;
-}
-
-// Top-level walk of one file: find class definitions and out-of-line
-// save_state/restore_state bodies; everything else just has its braces
-// balanced so nesting cannot derail the scan.
-void parse_file(ParseCtx& ctx, const std::vector<Tok>& toks) {
-  const std::size_t n = toks.size();
-  std::size_t i = 0;
-  while (i < n) {
-    const Tok& t = toks[i];
-    if (is_ident(t, "template")) {
-      ++i;
-      if (i < n && is_punct(toks[i], "<")) i = skip_template_args(toks, i);
-      continue;
-    }
-    if (is_ident(t, "class") || is_ident(t, "struct") || is_ident(t, "union")) {
-      // Definition or forward declaration — parse_class handles both.
-      i = parse_class(ctx, toks, i, nullptr);
-      continue;
-    }
-    if (is_ident(t, "enum")) {
-      while (i < n && !is_punct(toks[i], "{") && !is_punct(toks[i], ";")) ++i;
-      if (i < n && is_punct(toks[i], "{")) i = skip_balanced(toks, i, "{", "}");
-      continue;
-    }
-    if (t.kind == Tok::kIdent && (t.text == "save_state" || t.text == "restore_state")) {
-      i = try_out_of_line_body(ctx, toks, i);
-      continue;
-    }
-    ++i;
-  }
-}
-
-// ---------------------------------------------------------------------------
 // Per-file checks
 // ---------------------------------------------------------------------------
 
-void check_determinism(const SourceFile& f, const std::vector<Tok>& toks,
+void check_determinism(const SourceFile& f, const std::vector<Tok>& toks, AnnotationUse& used,
                        std::vector<Finding>& out) {
   // Names of variables/members declared with an unordered container type in
   // this file — range-for over any of them is flagged.
@@ -604,7 +248,10 @@ void check_determinism(const SourceFile& f, const std::vector<Tok>& toks,
     const bool called = i + 1 < n && is_punct(toks[i + 1], "(");
 
     if (t.text == "random_device" || t.text == "system_clock") {
-      if (!annotated(f, t.line, "allow-nondeterminism")) {
+      const int al = annotation_line(f, t.line, "allow-nondeterminism");
+      if (al != 0) {
+        used.mark(f, al, "allow-nondeterminism");
+      } else {
         out.push_back({f.path, t.line, "nondeterminism",
                        "`" + t.text + "` is nondeterministic; use safedm::Rng / steady_clock "
                        "(escape: `// lint: allow-nondeterminism(reason)`)"});
@@ -613,7 +260,10 @@ void check_determinism(const SourceFile& f, const std::vector<Tok>& toks,
     }
     if ((t.text == "rand" || t.text == "srand" || t.text == "time" || t.text == "clock") &&
         called && !member_access) {
-      if (!annotated(f, t.line, "allow-nondeterminism")) {
+      const int al = annotation_line(f, t.line, "allow-nondeterminism");
+      if (al != 0) {
+        used.mark(f, al, "allow-nondeterminism");
+      } else {
         out.push_back({f.path, t.line, "nondeterminism",
                        "`" + t.text + "()` is nondeterministic; results must be seed-derived "
                        "(escape: `// lint: allow-nondeterminism(reason)`)"});
@@ -637,7 +287,10 @@ void check_determinism(const SourceFile& f, const std::vector<Tok>& toks,
       if (colon != 0) {
         for (std::size_t j = colon + 1; j + 1 < close; ++j) {
           if (toks[j].kind == Tok::kIdent && unordered_names.count(toks[j].text)) {
-            if (!annotated(f, toks[i].line, "allow-unordered-iteration")) {
+            const int al = annotation_line(f, toks[i].line, "allow-unordered-iteration");
+            if (al != 0) {
+              used.mark(f, al, "allow-unordered-iteration");
+            } else {
               out.push_back(
                   {f.path, toks[i].line, "unordered-iteration",
                    "iteration over unordered container `" + toks[j].text +
@@ -652,36 +305,22 @@ void check_determinism(const SourceFile& f, const std::vector<Tok>& toks,
   }
 }
 
-void check_header_hygiene(const SourceFile& f, const std::vector<Tok>& toks,
+void check_header_hygiene(const SourceFile& f, const std::vector<Tok>& toks, AnnotationUse& used,
                           std::vector<Finding>& out) {
-  bool guarded = false;
-  std::string ifndef_macro;
-  for (const std::string& raw : f.raw_lines) {
-    std::size_t b = raw.find_first_not_of(" \t");
-    if (b == std::string::npos || raw[b] != '#') continue;
-    std::istringstream is(raw.substr(b + 1));
-    std::string directive, arg;
-    is >> directive >> arg;
-    if (directive == "pragma" && arg == "once") {
-      guarded = true;
-      break;
-    }
-    if (directive == "ifndef" && ifndef_macro.empty()) ifndef_macro = arg;
-    if (directive == "define" && !ifndef_macro.empty() && arg == ifndef_macro) {
-      guarded = true;
-      break;
-    }
-  }
-  if (!guarded) {
+  if (!header_is_guarded(f.raw_lines)) {
     out.push_back({f.path, 1, "header-guard",
                    "header lacks `#pragma once` (or an #ifndef/#define include guard)"});
   }
   for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
-    if (is_ident(toks[i], "using") && is_ident(toks[i + 1], "namespace") &&
-        !annotated(f, toks[i].line, "allow-using-namespace")) {
-      out.push_back({f.path, toks[i].line, "using-namespace-header",
-                     "`using namespace` in a header leaks into every includer "
-                     "(escape: `// lint: allow-using-namespace(reason)`)"});
+    if (is_ident(toks[i], "using") && is_ident(toks[i + 1], "namespace")) {
+      const int al = annotation_line(f, toks[i].line, "allow-using-namespace");
+      if (al != 0) {
+        used.mark(f, al, "allow-using-namespace");
+      } else {
+        out.push_back({f.path, toks[i].line, "using-namespace-header",
+                       "`using namespace` in a header leaks into every includer "
+                       "(escape: `// lint: allow-using-namespace(reason)`)"});
+      }
     }
   }
 }
@@ -692,12 +331,32 @@ void check_header_hygiene(const SourceFile& f, const std::vector<Tok>& toks,
 // Public API
 // ---------------------------------------------------------------------------
 
+int annotation_line(const SourceFile& f, int line, const std::string& kind) {
+  for (int l : {line, line - 1}) {
+    auto it = f.annotations.find(l);
+    if (it != f.annotations.end() && it->second.count(kind)) return l;
+  }
+  return 0;
+}
+
+const std::string* annotation_reason(const SourceFile& f, int line, const std::string& kind) {
+  for (int l : {line, line - 1}) {
+    auto it = f.annotations.find(l);
+    if (it != f.annotations.end()) {
+      auto kit = it->second.find(kind);
+      if (kit != it->second.end()) return &kit->second;
+    }
+  }
+  return nullptr;
+}
+
 bool load_source(const std::string& disk_path, const std::string& report_path, bool determinism,
                  SourceFile& out) {
   std::ifstream in(disk_path, std::ios::binary);
   if (!in) return false;
   out.path = report_path;
   out.determinism = determinism;
+  out.subsystem = subsystem_of(report_path);
   const auto dot = report_path.rfind('.');
   const std::string ext = dot == std::string::npos ? "" : report_path.substr(dot);
   out.is_header = ext == ".hpp" || ext == ".h" || ext == ".hh";
@@ -706,38 +365,104 @@ bool load_source(const std::string& disk_path, const std::string& report_path, b
     if (!line.empty() && line.back() == '\r') line.pop_back();
     out.raw_lines.push_back(line);
   }
-  // Re-point bad-annotation findings at this file's report path.
   out.annotations.clear();
+  out.string_literals.clear();
   out.bad_annotations.clear();
   out.code = blank_code(out.raw_lines, out);
   return true;
 }
 
-std::vector<Finding> run_checks(const std::vector<SourceFile>& files) {
-  std::vector<Finding> findings;
+LintResult run_checks(const std::vector<SourceFile>& files, const LintOptions& opt) {
+  LintResult res;
+  const std::size_t n = files.size();
+
+  // Pass 1 (parallel): lex + parse every file into its symbol contribution.
+  std::vector<FileSymbols> syms(n);
+  ThreadPool pool(opt.jobs);
+  pool.parallel_for(n, [&](std::size_t i) { syms[i] = analyze_file(files[i]); });
+
+  // Merge into the cross-TU tables, in deterministic file order.
   std::vector<ClassRec> classes;
   std::map<std::string, Bodies> bodies;
-
-  for (const SourceFile& f : files) {
-    const std::vector<Tok> toks = tokenize(f.code);
-    ParseCtx ctx{&f, &classes, &bodies};
-    parse_file(ctx, toks);
-    if (f.determinism) check_determinism(f, toks, findings);
-    if (f.is_header) check_header_hygiene(f, toks, findings);
-    findings.insert(findings.end(), f.bad_annotations.begin(), f.bad_annotations.end());
+  std::map<std::string, std::string> constants;
+  std::vector<GuardedMember> guarded;
+  for (std::size_t i = 0; i < n; ++i) {
+    FileSymbols& s = syms[i];
+    for (ClassRec& rec : s.classes) classes.push_back(std::move(rec));
+    for (auto& [cls, b] : s.bodies) {
+      Bodies& dst = bodies[cls];
+      for (const BodyInfo* src : {&b.save, &b.restore}) {
+        BodyInfo& d = src == &b.save ? dst.save : dst.restore;
+        if (!src->present) continue;
+        d.present = true;
+        d.idents.insert(src->idents.begin(), src->idents.end());
+        if (d.file.empty()) {
+          d.file = src->file;
+          d.line = src->line;
+        }
+        if (d.section_tag.empty()) {
+          d.section_tag = src->section_tag;
+          d.version_token = src->version_token;
+        }
+      }
+    }
+    constants.insert(s.constants.begin(), s.constants.end());
+    guarded.insert(guarded.end(), s.guarded.begin(), s.guarded.end());
   }
 
-  for (const ClassRec& rec : classes) {
-    if (!rec.declares_save || !rec.declares_restore) continue;
-    auto it = bodies.find(rec.name);
-    if (it == bodies.end() || !it->second.has_save || !it->second.has_restore) {
-      continue;  // bodies live outside the scanned file set — nothing to check
+  // Pass 2 (parallel): per-file checks; results merged in file order.
+  struct PerFile {
+    std::vector<Finding> findings;
+    AnnotationUse used;
+  };
+  std::vector<PerFile> per(n);
+  pool.parallel_for(n, [&](std::size_t i) {
+    const SourceFile& f = files[i];
+    PerFile& p = per[i];
+    if (f.determinism) check_determinism(f, syms[i].toks, p.used, p.findings);
+    if (f.is_header) check_header_hygiene(f, syms[i].toks, p.used, p.findings);
+    std::vector<GuardedMember> applicable;
+    const std::string stem = path_stem(f.path);
+    for (const GuardedMember& g : guarded) {
+      if (g.stem == stem && g.subsystem == f.subsystem) applicable.push_back(g);
     }
+    check_lock_discipline(f, syms[i].toks, applicable, p.used, p.findings);
+    p.findings.insert(p.findings.end(), f.bad_annotations.begin(), f.bad_annotations.end());
+  });
+
+  std::vector<Finding> findings;
+  AnnotationUse used;
+  for (PerFile& p : per) {
+    findings.insert(findings.end(), p.findings.begin(), p.findings.end());
+    used.merge(p.used);
+  }
+
+  // Pass 3 (serial): cross-TU checks over the merged tables.
+  // Snapshot-completeness, marking which no-snapshot annotations earned
+  // their keep. `claimed` = annotations attached to a parsed member.
+  std::set<std::pair<std::string, int>> claimed;
+  for (const ClassRec& rec : classes) {
+    const bool both = rec.declares_save && rec.declares_restore;
+    auto it = bodies.find(rec.name);
+    const bool have_bodies =
+        both && it != bodies.end() && it->second.save.present && it->second.restore.present;
     std::set<std::string> reported;  // one finding per field even if declared twice
     for (const Member& m : rec.members) {
-      if (m.exempt || !reported.insert(m.name).second) continue;
-      const bool in_save = it->second.save_idents.count(m.name) != 0;
-      const bool in_restore = it->second.restore_idents.count(m.name) != 0;
+      if (m.no_snapshot) {
+        claimed.insert({rec.file->path, m.annot_line});
+        bool would_fire = false;
+        if (both && !have_bodies) {
+          would_fire = true;  // bodies outside the scanned set — don't call it stale
+        } else if (have_bodies && !m.auto_exempt) {
+          would_fire = !(it->second.save.idents.count(m.name) &&
+                         it->second.restore.idents.count(m.name));
+        }
+        if (would_fire) used.mark(*rec.file, m.annot_line, "no-snapshot");
+      }
+      if (!have_bodies || m.auto_exempt || m.no_snapshot) continue;
+      if (!reported.insert(m.name).second) continue;
+      const bool in_save = it->second.save.idents.count(m.name) != 0;
+      const bool in_restore = it->second.restore.idents.count(m.name) != 0;
       if (in_save && in_restore) continue;
       std::string where = !in_save && !in_restore ? "save_state or restore_state"
                           : !in_save              ? "save_state"
@@ -749,9 +474,42 @@ std::vector<Finding> run_checks(const std::vector<SourceFile>& files) {
     }
   }
 
+  // Layering DAG over the actual include edges, plus file-level cycles.
+  check_layering(files, used, findings);
+  {
+    const IncludeGraph g = build_include_graph(files, {});
+    const std::vector<std::string> cyc = find_file_cycle(g);
+    if (!cyc.empty()) {
+      int line = 1;
+      auto eit = g.edges.find(cyc[0]);
+      if (eit != g.edges.end()) {
+        for (const auto& [to, l] : eit->second) {
+          if (to == cyc[1]) line = l;
+        }
+      }
+      std::string rendered;
+      for (const std::string& p : cyc) rendered += (rendered.empty() ? "" : " -> ") + p;
+      findings.push_back(
+          {cyc[0], line, "layering", "header include cycle: " + rendered + " (break one edge)"});
+    }
+  }
+
+  // Snapshot-format drift against the checked-in manifest.
+  const std::vector<ManifestEntry> manifest = collect_manifest(classes, bodies, constants);
+  res.manifest_text = render_manifest(manifest);
+  if (!opt.manifest_path.empty() && !opt.update_manifest) {
+    check_manifest_drift(manifest, opt.manifest_path,
+                         opt.manifest_display.empty() ? opt.manifest_path : opt.manifest_display,
+                         findings);
+  }
+
+  // Stale annotations last — every earlier check has voted by now.
+  check_stale_annotations(files, used, claimed, guarded, findings);
+
   std::sort(findings.begin(), findings.end());
   findings.erase(std::unique(findings.begin(), findings.end()), findings.end());
-  return findings;
+  res.findings = std::move(findings);
+  return res;
 }
 
 std::string format(const Finding& f) {

@@ -1,7 +1,14 @@
 // safedm-lint: repo-native static analysis for the SafeDM codebase.
 //
-// Three check families, tuned to the invariants this repo actually relies
-// on (TESTING.md "Static analysis & TSan" documents the catalog):
+// v2 is a multi-pass, cross-TU analyzer. Pass 1 lexes + parses every file
+// into a repo-wide symbol table (classes/members, save/restore bodies,
+// constexpr integer constants, guarded-by registrations) and an include
+// graph, in parallel over the shared ThreadPool. Pass 2 runs the per-file
+// checks (again parallel, deterministic merge). Pass 3 runs the cross-TU
+// checks serially over the merged tables. Output is sorted and deduped, so
+// it is byte-identical at any thread count.
+//
+// Check catalog (TESTING.md "Static analysis & TSan" documents it in full):
 //
 //   snapshot-completeness  every data member of a class that defines both
 //                          save_state(StateWriter&) and
@@ -35,17 +42,46 @@
 //                          empty reason — the escape does not apply, and
 //                          the malformed marker itself is reported.
 //
+//   lock-discipline        a member annotated `// lint: guarded-by(mutex_)`
+//                          may only be touched inside a brace scope that
+//                          constructs a lock_guard/unique_lock/scoped_lock/
+//                          shared_lock on that mutex. Applies across the
+//                          declaring header and its same-stem .cpp. Escape:
+//                          `// lint: allow-unguarded(reason)` on the access.
+//
+//   layering               #include edges must respect the dependency DAG
+//                          common → isa/assembler/mem → bus/core/trace →
+//                          soc/safedm/safede/dcls/rtos → faultsim/fuzz/
+//                          scenario/workloads/hwcost → bench/tools/tests.
+//                          Back-edges and subsystem include cycles are
+//                          findings. Escape: `// lint: allow-layer(reason)`
+//                          on the offending #include line.
+//
+//   snapshot-format-drift  every save_state body that opens a tagged
+//                          section is inventoried (class, fourcc, version,
+//                          serialized member set) into a checked-in
+//                          manifest (tools/lint/snapshot_manifest.txt).
+//                          Changing the member set without bumping the
+//                          section version is a finding; regenerate with
+//                          `safedm-lint ... --update-manifest`.
+//
+//   stale-annotation       any no-snapshot/allow-* annotation whose check
+//                          would not have fired is itself a finding, so
+//                          escape hatches cannot accumulate.
+//
 // The parser is a deliberate 90% solution: a comment/string-stripping
 // tokenizer plus a brace-matching scope walker, not a real C++ front end.
 // Known limitations (all benign for this codebase, see TESTING.md):
-// function-pointer members parse as functions, and fields touched only
-// through helper functions called by save_state/restore_state need a
-// `no-snapshot` annotation.
+// function-pointer members parse as functions, fields touched only through
+// helper functions called by save_state/restore_state need `no-snapshot`,
+// lock-discipline matches mutexes by name (not object identity), and macro
+// *definitions* are preprocessor text the checks do not see.
 #pragma once
 
 #include <map>
 #include <set>
 #include <string>
+#include <tuple>
 #include <vector>
 
 namespace safedm::lint {
@@ -72,11 +108,51 @@ struct SourceFile {
   std::string path;          // as reported in findings
   bool is_header = false;    // .hpp / .h
   bool determinism = false;  // subject to the determinism checks (src/, bench/)
+  std::string subsystem;     // "common", "soc", ..., "bench" — "" when unplaced
   std::vector<std::string> raw_lines;
   std::string code;  // comments and literals blanked, line structure kept
-  // line -> escape-hatch kinds ("no-snapshot", "allow-nondeterminism", ...)
-  std::map<int, std::set<std::string>> annotations;
+  // line -> annotation kind -> reason ("no-snapshot", "guarded-by", ...)
+  std::map<int, std::map<std::string, std::string>> annotations;
+  // byte offset of each string literal's opening quote -> its raw contents
+  // (blanked out of `code`; the manifest check needs section fourcc tags)
+  std::map<std::size_t, std::string> string_literals;
   std::vector<Finding> bad_annotations;  // malformed `// lint:` markers
+};
+
+/// An annotation applies to its own line and the line directly below it.
+/// Returns the line carrying `kind` (== `line` or `line - 1`), or 0.
+int annotation_line(const SourceFile& f, int line, const std::string& kind);
+
+/// The reason text of the annotation found by annotation_line, or nullptr.
+const std::string* annotation_reason(const SourceFile& f, int line, const std::string& kind);
+
+/// Tracks which escape-hatch annotations actually suppressed a would-be
+/// finding, so the stale-annotation pass can flag the rest.
+struct AnnotationUse {
+  std::set<std::tuple<std::string, int, std::string>> used;  // (path, line, kind)
+  void mark(const SourceFile& f, int line, const std::string& kind) {
+    used.insert({f.path, line, kind});
+  }
+  bool is_used(const std::string& path, int line, const std::string& kind) const {
+    return used.count({path, line, kind}) != 0;
+  }
+  void merge(const AnnotationUse& o) { used.insert(o.used.begin(), o.used.end()); }
+};
+
+struct LintOptions {
+  // Path of the checked-in snapshot manifest; "" disables the drift check.
+  std::string manifest_path;
+  // Path to report manifest-level findings against (relative display form).
+  std::string manifest_display;
+  // When set, run_checks skips drift findings and returns the canonical
+  // manifest text in LintResult::manifest_text for the caller to write.
+  bool update_manifest = false;
+  unsigned jobs = 0;  // worker threads; 0 = hardware default
+};
+
+struct LintResult {
+  std::vector<Finding> findings;
+  std::string manifest_text;  // canonical manifest regenerated from sources
 };
 
 /// Load + lex one file. Returns false (and leaves `out` untouched) when the
@@ -84,8 +160,8 @@ struct SourceFile {
 bool load_source(const std::string& disk_path, const std::string& report_path, bool determinism,
                  SourceFile& out);
 
-/// Run every check over the file set and return the sorted findings.
-std::vector<Finding> run_checks(const std::vector<SourceFile>& files);
+/// Run every check over the file set. Deterministic at any `jobs` count.
+LintResult run_checks(const std::vector<SourceFile>& files, const LintOptions& opt);
 
 /// `path:line: [check] message` — the one canonical rendering, used by the
 /// CLI output and the selftest golden file alike.

@@ -1,20 +1,25 @@
 // safedm-lint CLI. Modes:
 //
 //   safedm-lint --root <repo> --compile-commands <build/compile_commands.json>
+//               [--manifest FILE] [--update-manifest] [--jobs N]
 //       Lint the repo: every translation unit listed in compile_commands.json
 //       that lives under <repo>/src or <repo>/bench, plus every header found
-//       under those trees (headers never appear in compile_commands). Prints
-//       findings as `path:line: [check] message`; exit 1 when any exist.
+//       under those trees (headers never appear in compile_commands). The
+//       snapshot manifest defaults to <repo>/tools/lint/snapshot_manifest.txt;
+//       --update-manifest rewrites it from the sources instead of diffing.
+//       Prints findings as `path:line: [check] message`; exit 1 when any exist.
 //
-//   safedm-lint --selftest <fixtures-dir> <golden-file>
-//       Lint every .hpp/.cpp under <fixtures-dir> (all checks enabled) and
-//       diff the findings against the golden file. Exit 0 only on an exact
-//       match — a seeded violation that stops firing fails just as loudly as
-//       a spurious new finding.
+//   safedm-lint --selftest <fixtures-dir> <golden-file> [--update-golden]
+//       Lint every .hpp/.cpp under <fixtures-dir> (all checks enabled; a
+//       <fixtures-dir>/snapshot_manifest.txt is used when present) and diff
+//       the findings against the golden file. Exit 0 only on an exact match —
+//       a seeded violation that stops firing fails just as loudly as a
+//       spurious new finding. --update-golden rewrites the golden in place.
 //
 //   safedm-lint --files <file>...
 //       Lint an explicit file list (all checks enabled). Debugging aid.
 #include <algorithm>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
@@ -25,13 +30,16 @@
 
 namespace fs = std::filesystem;
 using safedm::lint::Finding;
+using safedm::lint::LintOptions;
+using safedm::lint::LintResult;
 using safedm::lint::SourceFile;
 
 namespace {
 
 int usage() {
   std::cerr << "usage: safedm-lint --root DIR --compile-commands FILE\n"
-               "       safedm-lint --selftest FIXTURE_DIR GOLDEN_FILE\n"
+               "                   [--manifest FILE] [--update-manifest] [--jobs N]\n"
+               "       safedm-lint --selftest FIXTURE_DIR GOLDEN_FILE [--update-golden]\n"
                "       safedm-lint --files FILE...\n";
   return 2;
 }
@@ -68,20 +76,35 @@ int report(const std::vector<Finding>& findings) {
   return 1;
 }
 
-int run_repo(const std::string& root_arg, const std::string& cc_path) {
+bool write_text(const std::string& path, const std::string& text) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  out << text;
+  return static_cast<bool>(out.flush());
+}
+
+struct Cli {
+  std::string root, cc, selftest_dir, golden, manifest;
+  std::vector<std::string> file_args;
+  bool update_manifest = false;
+  bool update_golden = false;
+  unsigned jobs = 0;
+};
+
+int run_repo(const Cli& cli) {
   std::error_code ec;
-  const fs::path root = fs::canonical(root_arg, ec);
+  const fs::path root = fs::canonical(cli.root, ec);
   if (ec) {
-    std::cerr << "safedm-lint: cannot resolve root `" << root_arg << "`\n";
+    std::cerr << "safedm-lint: cannot resolve root `" << cli.root << "`\n";
     return 2;
   }
   const fs::path src = root / "src";
   const fs::path bench = root / "bench";
 
   std::vector<fs::path> paths;
-  std::vector<std::string> tus = safedm::lint::compile_commands_files(cc_path);
+  std::vector<std::string> tus = safedm::lint::compile_commands_files(cli.cc);
   if (tus.empty()) {
-    std::cerr << "safedm-lint: no translation units in `" << cc_path
+    std::cerr << "safedm-lint: no translation units in `" << cli.cc
               << "` (configure with CMAKE_EXPORT_COMPILE_COMMANDS=ON)\n";
     return 2;
   }
@@ -112,12 +135,29 @@ int run_repo(const std::string& root_arg, const std::string& cc_path) {
     files.push_back(std::move(sf));
   }
   std::cout << "safedm-lint: " << files.size() << " files\n";
-  return report(safedm::lint::run_checks(files));
+
+  LintOptions opt;
+  opt.jobs = cli.jobs;
+  opt.update_manifest = cli.update_manifest;
+  const fs::path manifest = cli.manifest.empty()
+                                ? root / "tools" / "lint" / "snapshot_manifest.txt"
+                                : fs::path(cli.manifest);
+  opt.manifest_path = manifest.string();
+  opt.manifest_display = relative_to(manifest, root);
+  const LintResult res = safedm::lint::run_checks(files, opt);
+  if (cli.update_manifest) {
+    if (!write_text(opt.manifest_path, res.manifest_text)) {
+      std::cerr << "safedm-lint: cannot write manifest `" << opt.manifest_path << "`\n";
+      return 2;
+    }
+    std::cout << "safedm-lint: manifest updated (" << opt.manifest_display << ")\n";
+  }
+  return report(res.findings);
 }
 
-int run_files(const std::vector<std::string>& args) {
+int run_files(const Cli& cli) {
   std::vector<SourceFile> files;
-  for (const std::string& a : args) {
+  for (const std::string& a : cli.file_args) {
     SourceFile sf;
     if (!safedm::lint::load_source(a, a, /*determinism=*/true, sf)) {
       std::cerr << "safedm-lint: cannot read `" << a << "`\n";
@@ -125,30 +165,57 @@ int run_files(const std::vector<std::string>& args) {
     }
     files.push_back(std::move(sf));
   }
-  return report(safedm::lint::run_checks(files));
+  LintOptions opt;
+  opt.jobs = cli.jobs;
+  opt.manifest_path = cli.manifest;
+  opt.manifest_display = cli.manifest;
+  return report(safedm::lint::run_checks(files, opt).findings);
 }
 
-int run_selftest(const std::string& fixture_dir, const std::string& golden_path) {
+int run_selftest(const Cli& cli) {
   std::vector<SourceFile> files;
-  for (const fs::path& p : walk(fixture_dir)) {
+  for (const fs::path& p : walk(cli.selftest_dir)) {
     SourceFile sf;
-    if (!safedm::lint::load_source(p.string(), relative_to(p, fixture_dir), true, sf)) {
+    if (!safedm::lint::load_source(p.string(), relative_to(p, cli.selftest_dir), true, sf)) {
       std::cerr << "safedm-lint: cannot read `" << p.string() << "`\n";
       return 2;
     }
     files.push_back(std::move(sf));
   }
   if (files.empty()) {
-    std::cerr << "safedm-lint: no fixtures under `" << fixture_dir << "`\n";
+    std::cerr << "safedm-lint: no fixtures under `" << cli.selftest_dir << "`\n";
     return 2;
   }
+  LintOptions opt;
+  opt.jobs = cli.jobs;
+  const fs::path fixture_manifest = fs::path(cli.selftest_dir) / "snapshot_manifest.txt";
+  if (fs::exists(fixture_manifest)) {
+    opt.manifest_path = fixture_manifest.string();
+    opt.manifest_display = "snapshot_manifest.txt";
+  }
   std::vector<std::string> got;
-  for (const Finding& f : safedm::lint::run_checks(files)) got.push_back(safedm::lint::format(f));
+  for (const Finding& f : safedm::lint::run_checks(files, opt).findings) {
+    got.push_back(safedm::lint::format(f));
+  }
+
+  if (cli.update_golden) {
+    std::string text =
+        "# safedm-lint selftest golden findings — one line per seeded violation.\n"
+        "# Regenerate with: build/tools/lint/safedm-lint --selftest tools/lint/fixtures \\\n"
+        "#   tools/lint/fixtures/expected.txt --update-golden\n";
+    for (const std::string& g : got) text += g + "\n";
+    if (!write_text(cli.golden, text)) {
+      std::cerr << "safedm-lint: cannot write golden `" << cli.golden << "`\n";
+      return 2;
+    }
+    std::cout << "safedm-lint selftest: golden updated (" << got.size() << " findings)\n";
+    return 0;
+  }
 
   std::vector<std::string> want;
-  std::ifstream in(golden_path);
+  std::ifstream in(cli.golden);
   if (!in) {
-    std::cerr << "safedm-lint: cannot read golden file `" << golden_path << "`\n";
+    std::cerr << "safedm-lint: cannot read golden file `" << cli.golden << "`\n";
     return 2;
   }
   std::string line;
@@ -179,25 +246,32 @@ int run_selftest(const std::string& fixture_dir, const std::string& golden_path)
 
 int main(int argc, char** argv) {
   std::vector<std::string> args(argv + 1, argv + argc);
-  std::string root, cc, selftest_dir, golden;
-  std::vector<std::string> file_args;
+  Cli cli;
   for (std::size_t i = 0; i < args.size(); ++i) {
     if (args[i] == "--root" && i + 1 < args.size()) {
-      root = args[++i];
+      cli.root = args[++i];
     } else if (args[i] == "--compile-commands" && i + 1 < args.size()) {
-      cc = args[++i];
+      cli.cc = args[++i];
+    } else if (args[i] == "--manifest" && i + 1 < args.size()) {
+      cli.manifest = args[++i];
+    } else if (args[i] == "--update-manifest") {
+      cli.update_manifest = true;
+    } else if (args[i] == "--update-golden") {
+      cli.update_golden = true;
+    } else if (args[i] == "--jobs" && i + 1 < args.size()) {
+      cli.jobs = static_cast<unsigned>(std::strtoul(args[++i].c_str(), nullptr, 10));
     } else if (args[i] == "--selftest" && i + 2 < args.size()) {
-      selftest_dir = args[++i];
-      golden = args[++i];
+      cli.selftest_dir = args[++i];
+      cli.golden = args[++i];
     } else if (args[i] == "--files") {
-      file_args.assign(args.begin() + static_cast<long>(i) + 1, args.end());
+      cli.file_args.assign(args.begin() + static_cast<long>(i) + 1, args.end());
       break;
     } else {
       return usage();
     }
   }
-  if (!selftest_dir.empty()) return run_selftest(selftest_dir, golden);
-  if (!root.empty() && !cc.empty()) return run_repo(root, cc);
-  if (!file_args.empty()) return run_files(file_args);
+  if (!cli.selftest_dir.empty()) return run_selftest(cli);
+  if (!cli.root.empty() && !cli.cc.empty()) return run_repo(cli);
+  if (!cli.file_args.empty()) return run_files(cli);
   return usage();
 }

@@ -1,0 +1,465 @@
+#include "symbols.hpp"
+
+#include <cctype>
+
+namespace safedm::lint {
+
+namespace {
+bool ident_char(char c) { return std::isalnum(static_cast<unsigned char>(c)) || c == '_'; }
+}  // namespace
+
+bool is_punct(const Tok& t, const char* p) { return t.kind == Tok::kPunct && t.text == p; }
+bool is_ident(const Tok& t, const char* s) { return t.kind == Tok::kIdent && t.text == s; }
+
+std::vector<Tok> tokenize(const std::string& code) {
+  std::vector<Tok> toks;
+  int line = 1;
+  for (std::size_t i = 0; i < code.size();) {
+    const char c = code[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (c == '#') {
+      // Preprocessor: drop the whole directive, honoring `\`-continuations
+      // so multi-line macro bodies stay out of the token stream.
+      while (i < code.size()) {
+        if (code[i] == '\n') {
+          if (i > 0 && code[i - 1] == '\\') {
+            ++line;
+            ++i;
+            continue;
+          }
+          break;  // the final newline is counted by the main loop
+        }
+        ++i;
+      }
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::size_t b = i;
+      while (i < code.size() && ident_char(code[i])) ++i;
+      toks.push_back({Tok::kIdent, code.substr(b, i - b), line, b});
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::size_t b = i;
+      while (i < code.size() && (ident_char(code[i]) || code[i] == '.')) ++i;
+      toks.push_back({Tok::kNum, code.substr(b, i - b), line, b});
+      continue;
+    }
+    if (c == ':' && i + 1 < code.size() && code[i + 1] == ':') {
+      toks.push_back({Tok::kPunct, "::", line, i});
+      i += 2;
+      continue;
+    }
+    if (c == '-' && i + 1 < code.size() && code[i + 1] == '>') {
+      toks.push_back({Tok::kPunct, "->", line, i});
+      i += 2;
+      continue;
+    }
+    toks.push_back({Tok::kPunct, std::string(1, c), line, i});
+    ++i;
+  }
+  return toks;
+}
+
+std::size_t skip_balanced(const std::vector<Tok>& toks, std::size_t i, const char* open,
+                          const char* close, std::set<std::string>* idents) {
+  int depth = 0;
+  for (; i < toks.size(); ++i) {
+    if (toks[i].kind == Tok::kPunct && toks[i].text == open) {
+      ++depth;
+    } else if (toks[i].kind == Tok::kPunct && toks[i].text == close) {
+      if (--depth == 0) return i + 1;
+    } else if (idents && toks[i].kind == Tok::kIdent) {
+      idents->insert(toks[i].text);
+    }
+  }
+  return i;
+}
+
+std::size_t skip_template_args(const std::vector<Tok>& toks, std::size_t begin) {
+  // Template arguments never contain `;` or a top-level `{`, which is how
+  // we tell `vector<int>` apart from a stray comparison.
+  int depth = 0;
+  for (std::size_t i = begin; i < toks.size(); ++i) {
+    if (toks[i].kind != Tok::kPunct) continue;
+    const std::string& t = toks[i].text;
+    if (t == "<") ++depth;
+    else if (t == ">") {
+      if (--depth == 0) return i + 1;
+    } else if (t == ";" || t == "{" || t == ")") {
+      break;  // not a template argument list after all
+    } else if (t == "(") {
+      i = skip_balanced(toks, i, "(", ")") - 1;
+    }
+  }
+  return begin + 1;
+}
+
+std::string path_stem(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  const std::size_t base = slash == std::string::npos ? 0 : slash + 1;
+  const std::size_t dot = path.find_last_of('.');
+  if (dot == std::string::npos || dot < base) return path.substr(base);
+  return path.substr(base, dot - base);
+}
+
+namespace {
+
+struct ParseCtx {
+  const SourceFile* file;
+  FileSymbols* sym;
+};
+
+// The first begin_section("TAG", version) call inside a body names the
+// class's own section; capture the fourcc (from the blanked string literal,
+// via its byte offset) and the version argument token.
+void scan_section(const SourceFile& f, const std::vector<Tok>& toks, std::size_t b, std::size_t e,
+                  BodyInfo& info) {
+  for (std::size_t j = b; j + 2 < e; ++j) {
+    if (!is_ident(toks[j], "begin_section") || !is_punct(toks[j + 1], "(")) continue;
+    std::size_t k = j + 2;
+    if (k < e && is_punct(toks[k], "\"")) {
+      auto it = f.string_literals.find(toks[k].pos);
+      if (it != f.string_literals.end()) info.section_tag = it->second;
+    }
+    while (k < e && !is_punct(toks[k], ",") && !is_punct(toks[k], ")")) ++k;
+    if (k < e && is_punct(toks[k], ",") && k + 1 < e &&
+        (toks[k + 1].kind == Tok::kNum || toks[k + 1].kind == Tok::kIdent)) {
+      info.version_token = toks[k + 1].text;
+    }
+    return;
+  }
+}
+
+void record_body(ParseCtx& ctx, const std::vector<Tok>& toks, const std::string& cls, bool save,
+                 std::size_t body_begin, std::size_t body_end,
+                 const std::set<std::string>& idents) {
+  Bodies& b = ctx.sym->bodies[cls];
+  BodyInfo& info = save ? b.save : b.restore;
+  info.present = true;
+  info.idents.insert(idents.begin(), idents.end());
+  if (info.file.empty()) {
+    info.file = ctx.file->path;
+    info.line = toks[body_begin].line;
+  }
+  if (save && info.section_tag.empty()) {
+    scan_section(*ctx.file, toks, body_begin, body_end, info);
+  }
+}
+
+// Attach annotation state to a freshly parsed member and register any
+// guarded-by declaration it carries.
+void finish_member(ParseCtx& ctx, Member& m) {
+  m.annot_line = annotation_line(*ctx.file, m.line, "no-snapshot");
+  m.no_snapshot = m.annot_line != 0;
+  const int gl = annotation_line(*ctx.file, m.line, "guarded-by");
+  if (gl != 0) {
+    const std::string* mu = annotation_reason(*ctx.file, m.line, "guarded-by");
+    ctx.sym->guarded.push_back({m.name, mu ? *mu : "", ctx.file->path, ctx.file->subsystem,
+                                path_stem(ctx.file->path), m.line, gl});
+  }
+}
+
+std::size_t parse_class(ParseCtx& ctx, const std::vector<Tok>& toks, std::size_t i);
+
+// Parse one statement at class scope starting at toks[i]; appends members /
+// declaration flags to `rec`. Returns the index of the first token after the
+// statement.
+std::size_t parse_member_statement(ParseCtx& ctx, const std::vector<Tok>& toks, std::size_t i,
+                                   ClassRec& rec) {
+  const std::size_t n = toks.size();
+  // Access specifier: `public:` etc.
+  if (i + 1 < n && toks[i].kind == Tok::kIdent &&
+      (toks[i].text == "public" || toks[i].text == "private" || toks[i].text == "protected") &&
+      is_punct(toks[i + 1], ":")) {
+    return i + 2;
+  }
+  if (is_ident(toks[i], "template")) {
+    ++i;
+    if (i < n && is_punct(toks[i], "<")) i = skip_template_args(toks, i);
+    // fall through: the templated declaration itself is parsed below
+  }
+  // Nested type definition?
+  if (i < n && (is_ident(toks[i], "class") || is_ident(toks[i], "struct") ||
+                is_ident(toks[i], "union") || is_ident(toks[i], "enum"))) {
+    const bool is_enum = is_ident(toks[i], "enum");
+    std::size_t j = i;
+    while (j < n && !is_punct(toks[j], "{") && !is_punct(toks[j], ";")) {
+      if (is_punct(toks[j], "<")) j = skip_template_args(toks, j);
+      else if (is_punct(toks[j], "(")) j = skip_balanced(toks, j, "(", ")");
+      else ++j;
+    }
+    if (j < n && is_punct(toks[j], "{")) {
+      if (is_enum) {
+        j = skip_balanced(toks, j, "{", "}");
+      } else {
+        j = parse_class(ctx, toks, i);
+      }
+      // `struct T { ... } member_;` declares a member of the *outer* class.
+      while (j < n && !is_punct(toks[j], ";")) {
+        if (toks[j].kind == Tok::kIdent && j + 1 < n &&
+            (is_punct(toks[j + 1], ";") || is_punct(toks[j + 1], ","))) {
+          Member m;
+          m.name = toks[j].text;
+          m.line = toks[j].line;
+          finish_member(ctx, m);
+          rec.members.push_back(m);
+        }
+        ++j;
+      }
+      return j < n ? j + 1 : j;
+    }
+    // Forward declaration / elaborated type: fall through to the generic
+    // statement scan below starting from the keyword.
+  }
+
+  // Generic statement: collect tokens (template args stripped, initializers
+  // and function bodies skipped) until the terminating `;` / body.
+  std::vector<Tok> stmt;
+  bool saw_paren = false;
+  std::string func_name;  // identifier immediately before the first top-level (
+  std::set<std::string> body_idents;
+  bool has_body = false;
+  std::size_t body_begin = 0, body_end = 0;
+  while (i < n) {
+    const Tok& t = toks[i];
+    if (is_punct(t, ";")) {
+      ++i;
+      break;
+    }
+    if (is_punct(t, "}")) break;  // malformed / end of class: don't consume
+    if (is_punct(t, "<") && !stmt.empty() && stmt.back().kind == Tok::kIdent) {
+      i = skip_template_args(toks, i);
+      continue;
+    }
+    if (is_punct(t, "(")) {
+      if (!saw_paren) {
+        saw_paren = true;
+        if (!stmt.empty() && stmt.back().kind == Tok::kIdent) func_name = stmt.back().text;
+        // `operator==` etc.: the token before `(` is the operator symbol.
+        for (std::size_t k = stmt.size(); k-- > 0;) {
+          if (is_ident(stmt[k], "operator")) {
+            func_name = "operator";
+            break;
+          }
+          if (stmt[k].kind == Tok::kIdent) break;
+        }
+      }
+      i = skip_balanced(toks, i, "(", ")");
+      continue;
+    }
+    if (is_punct(t, "{")) {
+      if (saw_paren) {
+        // Inline member function body (possibly save_state/restore_state).
+        body_begin = i;
+        i = skip_balanced(toks, i, "{", "}", &body_idents);
+        body_end = i;
+        has_body = true;
+        if (i < n && is_punct(toks[i], ";")) ++i;
+        break;
+      }
+      // Brace initializer on a data member.
+      i = skip_balanced(toks, i, "{", "}");
+      continue;
+    }
+    if (is_punct(t, "=")) {
+      // Initializer (or `= default`): skip to `;` or to a top-level `,`
+      // separating the next declarator (`u64 a_ = 0, b_ = 0;`).
+      ++i;
+      while (i < n && !is_punct(toks[i], ";") && !is_punct(toks[i], ",")) {
+        if (is_punct(toks[i], "{")) i = skip_balanced(toks, i, "{", "}");
+        else if (is_punct(toks[i], "(")) i = skip_balanced(toks, i, "(", ")");
+        else if (is_punct(toks[i], "<") && toks[i - 1].kind == Tok::kIdent)
+          i = skip_template_args(toks, i);
+        else ++i;
+      }
+      continue;
+    }
+    stmt.push_back(t);
+    ++i;
+  }
+  if (stmt.empty()) return i;
+
+  static const std::set<std::string> skip_lead = {"using",  "typedef",   "friend",
+                                                  "static", "constexpr", "template"};
+  if (skip_lead.count(stmt.front().text)) return i;
+
+  if (saw_paren) {
+    if (func_name == "save_state" || func_name == "restore_state") {
+      const bool save = func_name == "save_state";
+      (save ? rec.declares_save : rec.declares_restore) = true;
+      if (has_body) record_body(ctx, toks, rec.name, save, body_begin, body_end, body_idents);
+    }
+    return i;
+  }
+
+  // Data member(s): declared names are identifiers followed by a terminator.
+  // A leading `const` exempts the member (it cannot be reassigned on
+  // restore) — but only when no `*` follows, since `const X* p_` is a
+  // mutable pointer to const.
+  bool has_star = false;
+  for (const Tok& s : stmt) {
+    if (is_punct(s, "*")) has_star = true;
+  }
+  const bool is_const = !has_star && (is_ident(stmt.front(), "const") ||
+                                      (stmt.size() > 1 && is_ident(stmt.front(), "mutable") &&
+                                       is_ident(stmt[1], "const")));
+  for (std::size_t k = 0; k < stmt.size(); ++k) {
+    if (stmt[k].kind != Tok::kIdent) continue;
+    const bool last = k + 1 == stmt.size();
+    const bool terminated =
+        last || is_punct(stmt[k + 1], ",") || is_punct(stmt[k + 1], ":") ||
+        is_punct(stmt[k + 1], "[");
+    if (!terminated || k == 0) continue;  // k==0: a lone type name, not a declarator
+    if (!last && is_punct(stmt[k + 1], ":")) {
+      // Bitfield only if a width follows; otherwise this is something odd.
+      if (k + 2 >= stmt.size() || stmt[k + 2].kind != Tok::kNum) continue;
+    }
+    Member m;
+    m.name = stmt[k].text;
+    m.line = stmt[k].line;
+    const bool is_ref = is_punct(stmt[k - 1], "&");
+    m.auto_exempt = is_ref || is_const;
+    finish_member(ctx, m);
+    rec.members.push_back(m);
+    if (!last && is_punct(stmt[k + 1], "[")) {
+      // Skip the array extent so its contents aren't mistaken for names.
+      while (k + 1 < stmt.size() && !is_punct(stmt[k + 1], "]")) ++k;
+    }
+  }
+  return i;
+}
+
+// Parse a class/struct/union definition whose `class` keyword is at toks[i].
+// Returns the index just past the closing `}` (the caller handles any
+// trailing declarators and the `;`).
+std::size_t parse_class(ParseCtx& ctx, const std::vector<Tok>& toks, std::size_t i) {
+  const std::size_t n = toks.size();
+  ++i;  // class/struct/union
+  std::string name;
+  while (i < n && !is_punct(toks[i], "{") && !is_punct(toks[i], ";")) {
+    if (toks[i].kind == Tok::kIdent && name.empty() && !is_ident(toks[i], "final") &&
+        !is_ident(toks[i], "alignas")) {
+      name = toks[i].text;
+    }
+    if (is_punct(toks[i], ":")) {
+      // Base clause: everything up to `{` belongs to it.
+      while (i < n && !is_punct(toks[i], "{")) {
+        if (is_punct(toks[i], "<")) i = skip_template_args(toks, i);
+        else ++i;
+      }
+      break;
+    }
+    if (is_punct(toks[i], ")") || is_punct(toks[i], ",") || is_punct(toks[i], "=") ||
+        is_punct(toks[i], "&") || is_punct(toks[i], "*")) {
+      return i;  // elaborated type reference (`struct X` in a parameter), not a definition
+    }
+    if (is_punct(toks[i], "<")) i = skip_template_args(toks, i);
+    else if (is_punct(toks[i], "(")) i = skip_balanced(toks, i, "(", ")");
+    else ++i;
+  }
+  if (i >= n || !is_punct(toks[i], "{")) return i;  // forward declaration
+  ++i;  // {
+  ClassRec rec;
+  rec.name = name.empty() ? "<anonymous>" : name;
+  rec.file = ctx.file;
+  while (i < n && !is_punct(toks[i], "}")) {
+    i = parse_member_statement(ctx, toks, i, rec);
+  }
+  if (i < n) ++i;  // }
+  ctx.sym->classes.push_back(std::move(rec));
+  return i;
+}
+
+// Out-of-line `Qualified::ClassName::save_state(...) ... { body }` at toks[i]
+// (i points at the save_state/restore_state identifier). Returns the index
+// past the body on success, or `i + 1` when this is not a definition.
+std::size_t try_out_of_line_body(ParseCtx& ctx, const std::vector<Tok>& toks, std::size_t i) {
+  const std::size_t n = toks.size();
+  if (i < 2 || !is_punct(toks[i - 1], "::") || toks[i - 2].kind != Tok::kIdent) return i + 1;
+  const std::string cls = toks[i - 2].text;
+  const bool save = toks[i].text == "save_state";
+  std::size_t j = i + 1;
+  if (j >= n || !is_punct(toks[j], "(")) return i + 1;
+  j = skip_balanced(toks, j, "(", ")");
+  while (j < n && toks[j].kind == Tok::kIdent &&
+         (toks[j].text == "const" || toks[j].text == "noexcept" || toks[j].text == "override" ||
+          toks[j].text == "final")) {
+    ++j;
+  }
+  if (j >= n || !is_punct(toks[j], "{")) return i + 1;  // a declaration or a call
+  std::set<std::string> idents;
+  const std::size_t body_begin = j;
+  j = skip_balanced(toks, j, "{", "}", &idents);
+  record_body(ctx, toks, cls, save, body_begin, j, idents);
+  return j;
+}
+
+// Top-level walk of one file: find class definitions and out-of-line
+// save_state/restore_state bodies; everything else just has its braces
+// balanced so nesting cannot derail the scan.
+void parse_file(ParseCtx& ctx, const std::vector<Tok>& toks) {
+  const std::size_t n = toks.size();
+  std::size_t i = 0;
+  while (i < n) {
+    const Tok& t = toks[i];
+    if (is_ident(t, "template")) {
+      ++i;
+      if (i < n && is_punct(toks[i], "<")) i = skip_template_args(toks, i);
+      continue;
+    }
+    if (is_ident(t, "class") || is_ident(t, "struct") || is_ident(t, "union")) {
+      // Definition or forward declaration — parse_class handles both.
+      i = parse_class(ctx, toks, i);
+      continue;
+    }
+    if (is_ident(t, "enum")) {
+      while (i < n && !is_punct(toks[i], "{") && !is_punct(toks[i], ";")) ++i;
+      if (i < n && is_punct(toks[i], "{")) i = skip_balanced(toks, i, "{", "}");
+      continue;
+    }
+    if (t.kind == Tok::kIdent && (t.text == "save_state" || t.text == "restore_state")) {
+      i = try_out_of_line_body(ctx, toks, i);
+      continue;
+    }
+    ++i;
+  }
+}
+
+// `constexpr <type> name = <integer literal>;` — resolves symbolic section
+// versions like kShardLogVersion in the snapshot manifest.
+void scan_constants(const std::vector<Tok>& toks, std::map<std::string, std::string>& out) {
+  const std::size_t n = toks.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!is_ident(toks[i], "constexpr")) continue;
+    for (std::size_t j = i + 1; j < n && j < i + 16; ++j) {
+      if (is_punct(toks[j], ";") || is_punct(toks[j], "{") || is_punct(toks[j], "(")) break;
+      if (is_punct(toks[j], "=") && toks[j - 1].kind == Tok::kIdent && j + 2 < n &&
+          toks[j + 1].kind == Tok::kNum && is_punct(toks[j + 2], ";")) {
+        out[toks[j - 1].text] = toks[j + 1].text;
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+FileSymbols analyze_file(const SourceFile& f) {
+  FileSymbols sym;
+  sym.toks = tokenize(f.code);
+  ParseCtx ctx{&f, &sym};
+  parse_file(ctx, sym.toks);
+  scan_constants(sym.toks, sym.constants);
+  return sym;
+}
+
+}  // namespace safedm::lint

@@ -1,0 +1,94 @@
+// Pass-1 symbol extraction for safedm-lint: tokenizer, class/member parser,
+// save/restore body capture (with section fourcc/version), constexpr
+// integer constants, and guarded-by member registrations. One FileSymbols
+// per source file; run_checks merges them into the cross-TU tables.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lint.hpp"
+
+namespace safedm::lint {
+
+struct Tok {
+  enum Kind { kIdent, kNum, kPunct } kind;
+  std::string text;
+  int line;
+  std::size_t pos;  // byte offset into SourceFile::code (keys string_literals)
+};
+
+std::vector<Tok> tokenize(const std::string& code);
+
+bool is_punct(const Tok& t, const char* p);
+bool is_ident(const Tok& t, const char* s);
+
+/// Skip a balanced token group starting at toks[i] (which must be `open`).
+/// Returns the index one past the matching closer. Optionally collects the
+/// identifiers seen inside.
+std::size_t skip_balanced(const std::vector<Tok>& toks, std::size_t i, const char* open,
+                          const char* close, std::set<std::string>* idents = nullptr);
+
+/// Skip a template argument list starting at a `<`. Returns the index past
+/// the matching `>`, or `begin + 1` when this is not a template list.
+std::size_t skip_template_args(const std::vector<Tok>& toks, std::size_t begin);
+
+struct Member {
+  std::string name;
+  int line = 0;
+  bool auto_exempt = false;  // reference or const member: skipped silently
+  bool no_snapshot = false;  // carries a `no-snapshot` annotation
+  int annot_line = 0;        // line of that annotation (0 when none)
+};
+
+struct ClassRec {
+  std::string name;
+  const SourceFile* file = nullptr;
+  std::vector<Member> members;
+  bool declares_save = false;
+  bool declares_restore = false;
+};
+
+/// One save_state or restore_state body (inline or out-of-line).
+struct BodyInfo {
+  bool present = false;
+  std::set<std::string> idents;
+  std::string section_tag;     // first begin_section("TAG", v) fourcc, "" if none
+  std::string version_token;   // its version argument: literal or identifier
+  std::string file;            // path of the file holding the body
+  int line = 0;                // line of the body's opening brace
+};
+
+struct Bodies {
+  BodyInfo save, restore;
+};
+
+/// A member registered via `// lint: guarded-by(mutex_name)`.
+struct GuardedMember {
+  std::string name;
+  std::string mutex;
+  std::string file;       // declaring file path
+  std::string subsystem;  // declaring file's subsystem
+  std::string stem;       // declaring file's basename without extension
+  int line = 0;           // member declaration line
+  int annot_line = 0;     // the guarded-by annotation's line
+};
+
+struct FileSymbols {
+  std::vector<Tok> toks;
+  std::vector<ClassRec> classes;
+  std::map<std::string, Bodies> bodies;  // keyed by unqualified class name
+  // `constexpr <type> name = <integer literal>;` anywhere in the file.
+  std::map<std::string, std::string> constants;
+  std::vector<GuardedMember> guarded;
+};
+
+/// Basename of `path` without its extension ("src/a/b/foo.cpp" -> "foo").
+std::string path_stem(const std::string& path);
+
+/// Tokenize + parse one file into its symbol contribution.
+FileSymbols analyze_file(const SourceFile& f);
+
+}  // namespace safedm::lint
